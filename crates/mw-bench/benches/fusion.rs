@@ -1,0 +1,70 @@
+//! Microbenchmarks of the fusion core: lattice construction, Equation-7
+//! evaluation (printed and calibrated variants), full object queries and
+//! conflict resolution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mw_bench::random_readings;
+use mw_fusion::bayes::{posterior_eq7_as_published, posterior_general, SensorEvidence};
+use mw_fusion::{conflict, FusionEngine, RegionLattice};
+use mw_geometry::{Point, Rect};
+use mw_model::SimTime;
+
+fn universe() -> Rect {
+    Rect::new(Point::new(0.0, 0.0), Point::new(500.0, 100.0))
+}
+
+fn lattice_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lattice_build");
+    for &n in &[2usize, 4, 8, 16, 32] {
+        let evidence: Vec<SensorEvidence> = random_readings(n, universe(), 7)
+            .iter()
+            .map(|r| SensorEvidence::new(r.region, 0.85, 0.002))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &evidence, |b, ev| {
+            b.iter(|| RegionLattice::build(universe(), ev.clone()).expect("valid"));
+        });
+    }
+    group.finish();
+}
+
+fn posterior_evaluation(c: &mut Criterion) {
+    let evidence: Vec<SensorEvidence> = random_readings(8, universe(), 11)
+        .iter()
+        .map(|r| SensorEvidence::new(r.region, 0.85, 0.002))
+        .collect();
+    let region = Rect::new(Point::new(200.0, 30.0), Point::new(240.0, 60.0));
+    c.bench_function("eq7_calibrated_8_sensors", |b| {
+        b.iter(|| posterior_general(&evidence, &region, &universe()));
+    });
+    c.bench_function("eq7_as_published_8_sensors", |b| {
+        b.iter(|| posterior_eq7_as_published(&evidence, &region, &universe()));
+    });
+}
+
+fn object_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("object_query");
+    for &n in &[1usize, 4, 16] {
+        let readings = random_readings(n, universe(), 13);
+        let engine = FusionEngine::new(universe());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &readings, |b, rs| {
+            b.iter(|| engine.fuse(rs, SimTime::ZERO).best_estimate());
+        });
+    }
+    group.finish();
+}
+
+fn conflict_resolution(c: &mut Criterion) {
+    let readings = random_readings(16, universe(), 17);
+    c.bench_function("conflict_resolution_16_readings", |b| {
+        b.iter(|| conflict::resolve(&readings, &universe(), SimTime::ZERO));
+    });
+}
+
+criterion_group!(
+    benches,
+    lattice_build,
+    posterior_evaluation,
+    object_query,
+    conflict_resolution
+);
+criterion_main!(benches);

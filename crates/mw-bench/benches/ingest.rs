@@ -1,0 +1,92 @@
+//! Ingestion-path microbenchmarks: reading insertion with trigger
+//! matching, object queries under load, and the end-to-end simulation
+//! step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mw_bench::{service_with_triggers, ubisense_reading};
+use mw_geometry::Point;
+use mw_model::{SimDuration, SimTime};
+use mw_sim::{building, DeploymentConfig, SimConfig, Simulation};
+
+fn ingest_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest_with_triggers");
+    group.sample_size(50);
+    for &n_triggers in &[0usize, 100, 1000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_triggers),
+            &n_triggers,
+            |b, &n| {
+                let (service, _broker) = service_with_triggers(n, 42);
+                let mut tick = 0u64;
+                b.iter(|| {
+                    let t = SimTime::from_secs(tick as f64 * 0.1);
+                    tick += 1;
+                    service.ingest_reading(
+                        ubisense_reading("ingest-bench", Point::new(250.0, 50.0), t),
+                        t,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn locate_under_history(c: &mut Criterion) {
+    // Many sensors have reported the object over time; locate() fuses the
+    // live subset.
+    let (service, _broker) = service_with_triggers(0, 42);
+    for i in 0..12 {
+        let mut r = ubisense_reading(
+            "history-bench",
+            Point::new(200.0 + i as f64, 50.0),
+            SimTime::from_secs(i as f64),
+        );
+        r.sensor_id = format!("Ubi-{i}").as_str().into();
+        r.time_to_live = SimDuration::from_secs(1e6);
+        service.ingest_reading(r, SimTime::from_secs(i as f64));
+    }
+    c.bench_function("locate_12_live_sensors", |b| {
+        b.iter(|| {
+            service
+                .locate(&"history-bench".into(), SimTime::from_secs(20.0))
+                .expect("located")
+        });
+    });
+}
+
+fn simulation_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_step");
+    group.sample_size(20);
+    for &people in &[5usize, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(people), &people, |b, &n| {
+            let plan = building::paper_floor();
+            let rooms = plan.rooms.len();
+            let mut sim = Simulation::new(
+                plan,
+                SimConfig {
+                    seed: 1,
+                    people: n,
+                    deployment: DeploymentConfig {
+                        ubisense_rooms: (0..rooms).collect(),
+                        rfid_rooms: vec![],
+                        biometric_rooms: vec![],
+                        carry_probability: 1.0,
+                        ..DeploymentConfig::default()
+                    },
+                    aging_inflation_ft_per_s: 0.0,
+                },
+            );
+            b.iter(|| sim.step(SimDuration::from_secs(1.0)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ingest_scaling,
+    locate_under_history,
+    simulation_step
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Microbenchmarks of the spatial substrates: R-tree queries, RCC-8
+//! computation, route-graph shortest paths and GLOB parsing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mw_core::WorldModel;
+use mw_geometry::{Point, RTree, Rect};
+use mw_model::Glob;
+use mw_reasoning::Rcc8;
+use mw_sim::building::synthetic_floor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rtree_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree_window_query");
+    let mut rng = StdRng::seed_from_u64(5);
+    for &n in &[100usize, 1_000, 10_000] {
+        let mut tree = RTree::new();
+        for i in 0..n {
+            let x = rng.gen_range(0.0..490.0);
+            let y = rng.gen_range(0.0..95.0);
+            tree.insert(Rect::new(Point::new(x, y), Point::new(x + 5.0, y + 5.0)), i);
+        }
+        let window = Rect::new(Point::new(200.0, 40.0), Point::new(230.0, 60.0));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, t| {
+            b.iter(|| t.query_window(&window).count());
+        });
+    }
+    group.finish();
+}
+
+fn rcc8_computation(c: &mut Criterion) {
+    let a = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+    let b = Rect::new(Point::new(5.0, 5.0), Point::new(15.0, 15.0));
+    c.bench_function("rcc8_of_two_rects", |bch| {
+        bch.iter(|| Rcc8::of(std::hint::black_box(&a), std::hint::black_box(&b)));
+    });
+}
+
+fn route_graph_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_distance");
+    for &rooms in &[5usize, 20, 50] {
+        let plan = synthetic_floor(rooms);
+        let world = WorldModel::from_database(&plan.db);
+        let from = plan.rooms.first().expect("rooms").0.clone();
+        let to = plan.rooms.last().expect("rooms").0.clone();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rooms * 2 + 1),
+            &world,
+            |b, w| {
+                b.iter(|| w.path_distance(&from, &to, true).expect("known rooms"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn glob_parsing(c: &mut Criterion) {
+    c.bench_function("glob_parse_symbolic", |b| {
+        b.iter(|| "SC/3/3216/lightswitch1".parse::<Glob>().expect("valid"));
+    });
+    c.bench_function("glob_parse_polygon", |b| {
+        b.iter(|| {
+            "SC/3/(45,12),(45,40),(65,40),(65,12)"
+                .parse::<Glob>()
+                .expect("valid")
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    rtree_queries,
+    rcc8_computation,
+    route_graph_paths,
+    glob_parsing
+);
+criterion_main!(benches);

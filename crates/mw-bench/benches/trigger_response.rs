@@ -1,0 +1,56 @@
+//! Criterion version of the Figure 9 experiment: end-to-end trigger
+//! response time (location update -> fused posterior -> subscription
+//! evaluation -> bus delivery) as a function of the number of programmed
+//! triggers.
+//!
+//! The paper's claim: response time is almost independent of the number
+//! of programmed triggers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mw_bench::{service_with_triggers, ubisense_reading};
+use mw_core::{Notification, SubscriptionSpec, NOTIFICATION_TOPIC};
+use mw_geometry::{Point, Rect};
+use mw_model::{SimDuration, SimTime};
+
+fn trigger_response(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_trigger_response");
+    group.sample_size(30);
+    for &n_triggers in &[1usize, 10, 100, 1000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_triggers),
+            &n_triggers,
+            |b, &n| {
+                let (service, broker) = service_with_triggers(n.saturating_sub(1), 42);
+                let watched = Rect::new(Point::new(330.0, 0.0), Point::new(350.0, 30.0));
+                let _id = service.subscribe(
+                    SubscriptionSpec::region_entry(watched, 0.5).for_object("bench-person".into()),
+                );
+                let inbox = broker.topic::<Notification>(NOTIFICATION_TOPIC).subscribe();
+                let mut tick = 0u64;
+                b.iter(|| {
+                    // Leave, then enter: every iteration is a rising edge.
+                    let t_out = SimTime::from_secs(tick as f64 * 20.0);
+                    service.ingest_reading(
+                        ubisense_reading("bench-person", Point::new(100.0, 80.0), t_out),
+                        t_out,
+                    );
+                    inbox.drain();
+                    let t_in = t_out + SimDuration::from_secs(10.0);
+                    service.ingest_reading(
+                        ubisense_reading("bench-person", Point::new(340.0, 15.0), t_in),
+                        t_in,
+                    );
+                    let n = inbox
+                        .recv_timeout(std::time::Duration::from_secs(5))
+                        .expect("notification fires");
+                    tick += 1;
+                    n
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, trigger_response);
+criterion_main!(benches);

@@ -1,0 +1,311 @@
+//! Regenerates the paper's non-evaluation figures and tables as
+//! deterministic console output:
+//!
+//! - Figure 2 (Case 1: contained rectangles, Equation 4),
+//! - Figure 3 (Case 2: intersecting rectangles, Equation 6 vs. 7),
+//! - Figure 4 (Case 3: disjoint rectangles, conflict rules),
+//! - Figures 5–6 (the five-sensor lattice and its Hasse diagram),
+//! - Figure 7 (the RCC-8 relations on witness geometries),
+//! - Figure 8 + Table 1 (the floor layout and its spatial table),
+//! - Table 2 (sensor readings and sensor metadata).
+//!
+//! Run with `cargo run -p mw-bench --release --bin figures`.
+
+use mw_fusion::bayes::{
+    posterior_contained_outer, posterior_eq7_as_published, posterior_general,
+    posterior_intersection, posterior_single, SensorEvidence,
+};
+use mw_fusion::{conflict, NodeKind, RegionLattice};
+use mw_geometry::{Circle, Point, Rect};
+use mw_model::{SimDuration, SimTime, TemporalDegradation};
+use mw_reasoning::Rcc8;
+use mw_sensors::{SensorReading, SensorSpec};
+use mw_sim::building::paper_floor;
+
+fn r(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+    Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+}
+
+fn universe() -> Rect {
+    r(0.0, 0.0, 500.0, 100.0)
+}
+
+fn main() {
+    fig2_case1();
+    fig3_case2();
+    fig4_case3();
+    fig5_6_lattice();
+    fig7_rcc8();
+    fig8_table1_floor();
+    table2_sensor_tables();
+}
+
+fn fig2_case1() {
+    println!("== Figure 2 / Equation 4: one rectangle contains the other ==");
+    let a = r(338.0, 12.0, 342.0, 16.0); // inner, e.g. Ubisense
+    let b = r(330.0, 0.0, 350.0, 30.0); // outer, e.g. a card reader's room
+    let s1 = SensorEvidence::new(a, 0.95, 0.0001);
+    let s2 = SensorEvidence::new(b, 0.75, 0.01);
+    let p_b_alone = posterior_single(&s2, &universe());
+    let p_b_both = posterior_contained_outer(&s1, &s2, &universe());
+    let p_a_both = posterior_general(&[s1, s2], &a, &universe());
+    println!("  P(person_B | s2 only)   = {p_b_alone:.4}");
+    println!(
+        "  P(person_B | s1 and s2) = {p_b_both:.4}   (reinforced: {})",
+        p_b_both > p_b_alone
+    );
+    println!("  P(person_A | s1 and s2) = {p_a_both:.4}");
+    println!();
+}
+
+fn fig3_case2() {
+    println!("== Figure 3 / Equation 6: the rectangles intersect ==");
+    let a = r(330.0, 0.0, 345.0, 20.0);
+    let b = r(338.0, 10.0, 355.0, 30.0);
+    let c = a.intersection(&b).expect("overlapping");
+    let s1 = SensorEvidence::new(a, 0.85, 0.004);
+    let s2 = SensorEvidence::new(b, 0.85, 0.004);
+    let ev = [s1, s2];
+    println!("  A = {a}, B = {b}, C = A∩B = {c}");
+    for (name, region) in [("A", a), ("B", b), ("C", c)] {
+        let p = posterior_general(&ev, &region, &universe());
+        println!(
+            "  P(person_{name}) = {:.4}   density {:.6}/sqft",
+            p,
+            p / region.area()
+        );
+    }
+    let closed = posterior_intersection(&s1, &s2, &universe());
+    let published = posterior_eq7_as_published(&ev, &c, &universe());
+    println!("  Eq.6 closed form (as printed)  = {closed:.6}");
+    println!("  Eq.7 (as printed)              = {published:.6}");
+    println!(
+        "  general (prior counted once)   = {:.6}",
+        posterior_general(&ev, &c, &universe())
+    );
+    println!("  (see EXPERIMENTS.md: the printed Eq.6/7 double-count the area prior)");
+    println!();
+}
+
+fn fig4_case3() {
+    println!("== Figure 4: disjoint rectangles — conflict resolution ==");
+    let make = |region: Rect, moving: bool, spec: SensorSpec| SensorReading {
+        sensor_id: "s".into(),
+        spec,
+        object: "alice".into(),
+        glob_prefix: "CS/Floor3".parse().expect("glob"),
+        region,
+        detected_at: SimTime::ZERO,
+        time_to_live: SimDuration::from_secs(60.0),
+        tdf: TemporalDegradation::None,
+        moving,
+    };
+    let scenarios: [(&str, Vec<SensorReading>); 2] = [
+        (
+            "rule 1 (badge moving through corridor vs badge left in office)",
+            vec![
+                make(
+                    r(330.0, 0.0, 350.0, 30.0),
+                    false,
+                    SensorSpec::biometric_short_term(),
+                ),
+                make(
+                    r(100.0, 50.0, 102.0, 52.0),
+                    true,
+                    SensorSpec::rfid_badge(0.7),
+                ),
+            ],
+        ),
+        (
+            "rule 2 (both stationary: higher Eq.5 posterior wins)",
+            vec![
+                make(
+                    r(330.0, 0.0, 350.0, 30.0),
+                    false,
+                    SensorSpec::biometric_short_term(),
+                ),
+                make(
+                    r(100.0, 50.0, 102.0, 52.0),
+                    false,
+                    SensorSpec::rfid_badge(0.7),
+                ),
+            ],
+        ),
+    ];
+    for (label, readings) in scenarios {
+        let outcome = conflict::resolve(&readings, &universe(), SimTime::ZERO);
+        println!("  {label}");
+        println!(
+            "    applied {:?}: kept reading(s) {:?}, discarded {:?}",
+            outcome.rule, outcome.kept, outcome.discarded
+        );
+    }
+    println!();
+}
+
+fn fig5_6_lattice() {
+    println!("== Figures 5–6: five sensor rectangles and their lattice ==");
+    let s1 = r(0.0, 0.0, 40.0, 40.0);
+    let s2 = r(20.0, 0.0, 60.0, 40.0);
+    let s3 = r(10.0, 20.0, 50.0, 60.0);
+    let s4 = r(5.0, 5.0, 15.0, 15.0);
+    let s5 = r(200.0, 50.0, 240.0, 90.0);
+    let names = [(s1, "S1"), (s2, "S2"), (s3, "S3"), (s4, "S4"), (s5, "S5")];
+    let ev = |rect| SensorEvidence::new(rect, 0.85, 0.002);
+    let lattice = RegionLattice::build(universe(), vec![ev(s1), ev(s2), ev(s3), ev(s4), ev(s5)])
+        .expect("positive-area universe");
+
+    let label = |id| -> String {
+        let region = lattice.region(id).expect("valid node");
+        match lattice.kind(id).expect("valid node") {
+            NodeKind::Top => "Top".into(),
+            NodeKind::Bottom => "Bottom".into(),
+            NodeKind::Sensor(_) => names
+                .iter()
+                .find(|(rect, _)| *rect == region)
+                .map_or_else(|| format!("{region}"), |(_, n)| (*n).to_string()),
+            NodeKind::Intersection => {
+                // Which sensors formed it?
+                let members: Vec<&str> = names
+                    .iter()
+                    .filter(|(rect, _)| rect.contains_rect(&region))
+                    .map(|(_, n)| *n)
+                    .collect();
+                members.join("∩")
+            }
+            NodeKind::Query => format!("query {region}"),
+        }
+    };
+
+    println!("  Hasse diagram (node -> children):");
+    let mut ids: Vec<_> = std::iter::once(lattice.top())
+        .chain(lattice.region_nodes())
+        .collect();
+    ids.push(lattice.bottom());
+    for id in ids {
+        let children: Vec<String> = lattice
+            .children(id)
+            .expect("valid node")
+            .iter()
+            .map(|&c| label(c))
+            .collect();
+        if children.is_empty() {
+            println!("    {:<8} -> (none)", label(id));
+        } else {
+            println!("    {:<8} -> {}", label(id), children.join(", "));
+        }
+    }
+    println!("  Posteriors:");
+    for id in lattice.region_nodes() {
+        println!(
+            "    P({:<6}) = {:.4}",
+            label(id),
+            lattice.probability(id).expect("valid node")
+        );
+    }
+    println!();
+}
+
+fn fig7_rcc8() {
+    println!("== Figure 7: RCC-8 relations on witness rectangles ==");
+    let base = r(0.0, 0.0, 10.0, 10.0);
+    let witnesses = [
+        ("DC", r(20.0, 0.0, 30.0, 10.0)),
+        ("EC", r(10.0, 0.0, 20.0, 10.0)),
+        ("PO", r(5.0, 5.0, 15.0, 15.0)),
+        ("TPP", r(0.0, 2.0, 5.0, 8.0)),
+        ("NTPP", r(2.0, 2.0, 8.0, 8.0)),
+        ("EQ", base),
+    ];
+    for (expected, other) in witnesses {
+        let rel = Rcc8::of(&other, &base);
+        println!(
+            "  {expected:<5} witness {other}: computed {rel} (converse {})",
+            rel.converse()
+        );
+    }
+    println!();
+}
+
+fn fig8_table1_floor() {
+    println!("== Figure 8 / Table 1: the floor's spatial table ==");
+    let plan = paper_floor();
+    println!(
+        "  {:<14} {:<11} {:<9} {:<9} Points",
+        "ObjectId", "GlobPrefix", "ObjType", "GeomType"
+    );
+    let mut rows: Vec<_> = plan.db.objects().iter().collect();
+    rows.sort_by_key(|o| o.key());
+    for obj in rows {
+        let pts = match &obj.geometry {
+            mw_spatial_db::Geometry::Polygon(p) => p
+                .vertices()
+                .iter()
+                .map(|v| format!("({},{})", v.x, v.y))
+                .collect::<Vec<_>>()
+                .join(", "),
+            mw_spatial_db::Geometry::Line(s) => format!("{s}"),
+            mw_spatial_db::Geometry::Point(p) => format!("{p}"),
+        };
+        println!(
+            "  {:<14} {:<11} {:<9} {:<9} {}",
+            obj.identifier,
+            obj.glob_prefix.to_string(),
+            obj.object_type.to_string(),
+            obj.geometry.type_name(),
+            pts
+        );
+    }
+    println!();
+}
+
+fn table2_sensor_tables() {
+    println!("== Table 2: sensor information + sensor metadata ==");
+    // The paper's two sample readings.
+    let readings = [
+        (
+            "RF-12",
+            "SC/Floor3/3105",
+            "RF",
+            "tom-pda",
+            Point::new(5.0, 22.0),
+            30.0,
+            "11:52:35",
+        ),
+        (
+            "Ubi-18",
+            "SC/Floor3/3102",
+            "Ubisense",
+            "ralph-bat",
+            Point::new(41.0, 3.0),
+            0.5,
+            "11:51:22",
+        ),
+    ];
+    println!(
+        "  {:<8} {:<16} {:<9} {:<10} {:<12} {:<7} DetTime",
+        "SensorId", "GlobPrefix", "Type", "MObjectId", "ObjLocation", "Radius"
+    );
+    for (id, prefix, ty, obj, loc, radius, at) in readings {
+        let mbr = Circle::new(loc, radius).mbr();
+        println!(
+            "  {:<8} {:<16} {:<9} {:<10} {:<12} {:<7} {}   (MBR {})",
+            id,
+            prefix,
+            ty,
+            obj,
+            loc.to_string(),
+            radius,
+            at,
+            mbr
+        );
+    }
+    println!();
+    println!(
+        "  {:<12} {:<15} Time-to-live(s)",
+        "SensorId", "Confidence(%)"
+    );
+    for (id, conf, ttl) in [("RF-12", 72.0, 60.0), ("Ubisense-18", 93.0, 3.0)] {
+        println!("  {id:<12} {conf:<15} {ttl}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Scalability study (an evaluation extension beyond the paper's
+//! Figure 9): how the middleware behaves as the deployment grows in
+//! rooms, people and subscriptions.
+//!
+//! Three sweeps, each printing one table:
+//!
+//! 1. **floor size** — synthetic floors from 10 to 200 walkable regions,
+//!    full Ubisense coverage, fixed population: per-step simulation cost
+//!    and localization quality,
+//! 2. **population** — fixed floor, 5 → 80 people: ingest volume and
+//!    per-step cost,
+//! 3. **subscriptions** — fixed floor and population, 0 → 5000 watched
+//!    regions: per-step cost (the Figure 9 claim at simulation scale).
+//!
+//! Run with `cargo run -p mw-bench --release --bin scalability`.
+
+use std::time::Instant;
+
+use mw_core::SubscriptionSpec;
+use mw_geometry::{Point, Rect};
+use mw_model::SimDuration;
+use mw_sim::{building, DeploymentConfig, SimConfig, Simulation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn full_coverage(rooms: usize, carry: f64) -> DeploymentConfig {
+    DeploymentConfig {
+        ubisense_rooms: (0..rooms).collect(),
+        rfid_rooms: vec![],
+        biometric_rooms: vec![],
+        carry_probability: carry,
+        ..DeploymentConfig::default()
+    }
+}
+
+fn main() {
+    floor_sweep();
+    population_sweep();
+    subscription_sweep();
+}
+
+fn floor_sweep() {
+    println!("== scalability: floor size (20 people, full coverage, 60 sim-seconds) ==");
+    println!(
+        "  {:>8} {:>10} {:>14} {:>10} {:>12}",
+        "regions", "floor ft", "step cost", "coverage", "mean error"
+    );
+    for rooms_per_side in [5usize, 25, 50, 100] {
+        let plan = building::synthetic_floor(rooms_per_side);
+        let regions = plan.rooms.len();
+        let width = plan.universe.width();
+        let mut sim = Simulation::new(
+            plan,
+            SimConfig {
+                seed: 7,
+                people: 20,
+                deployment: full_coverage(regions, 1.0),
+                aging_inflation_ft_per_s: 0.0,
+            },
+        );
+        let start = Instant::now();
+        let stats = sim.run_accuracy_trial(60, SimDuration::from_secs(1.0));
+        let per_step = start.elapsed() / 60;
+        println!(
+            "  {:>8} {:>10.0} {:>14.1?} {:>9.0}% {:>9.1} ft",
+            regions,
+            width,
+            per_step,
+            100.0 * stats.coverage(),
+            stats.mean_error()
+        );
+    }
+    println!();
+}
+
+fn population_sweep() {
+    println!("== scalability: population (51-region floor, 60 sim-seconds) ==");
+    println!(
+        "  {:>8} {:>14} {:>12} {:>10}",
+        "people", "step cost", "fixes/step", "coverage"
+    );
+    for people in [5usize, 20, 40, 80] {
+        let plan = building::synthetic_floor(25);
+        let regions = plan.rooms.len();
+        let mut sim = Simulation::new(
+            plan,
+            SimConfig {
+                seed: 7,
+                people,
+                deployment: full_coverage(regions, 1.0),
+                aging_inflation_ft_per_s: 0.0,
+            },
+        );
+        let start = Instant::now();
+        let stats = sim.run_accuracy_trial(60, SimDuration::from_secs(1.0));
+        let per_step = start.elapsed() / 60;
+        println!(
+            "  {:>8} {:>14.1?} {:>12.1} {:>9.0}%",
+            people,
+            per_step,
+            stats.located as f64 / 60.0,
+            100.0 * stats.coverage()
+        );
+    }
+    println!();
+}
+
+fn subscription_sweep() {
+    println!("== scalability: programmed subscriptions (51 regions, 20 people, 60 sim-seconds) ==");
+    println!(
+        "  {:>14} {:>14} {:>16}",
+        "subscriptions", "step cost", "notifications"
+    );
+    for subs in [0usize, 100, 1000, 5000] {
+        let plan = building::synthetic_floor(25);
+        let regions = plan.rooms.len();
+        let universe = plan.universe;
+        let mut sim = Simulation::new(
+            plan,
+            SimConfig {
+                seed: 7,
+                people: 20,
+                deployment: full_coverage(regions, 1.0),
+                aging_inflation_ft_per_s: 0.0,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..subs {
+            let w = rng.gen_range(5.0..30.0);
+            let h = rng.gen_range(5.0..20.0);
+            let x = rng.gen_range(0.0..universe.width() - w);
+            let y = rng.gen_range(0.0..universe.height() - h);
+            let _ = sim.service().subscribe(SubscriptionSpec::region_entry(
+                Rect::new(Point::new(x, y), Point::new(x + w, y + h)),
+                0.4,
+            ));
+        }
+        let start = Instant::now();
+        let mut fired = 0usize;
+        for _ in 0..60 {
+            fired += sim.step(SimDuration::from_secs(1.0)).len();
+        }
+        let per_step = start.elapsed() / 60;
+        println!("  {subs:>14} {per_step:>14.1?} {fired:>16}");
+    }
+    println!();
+}

@@ -1,0 +1,215 @@
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::rpc::{self, RpcClient, RpcServer};
+use crate::topic::Publisher;
+use crate::BusError;
+
+/// The message bus: service registry (the Gaia Space Repository stand-in),
+/// RPC endpoints and pub/sub topics.
+///
+/// Cloning a broker gives another handle to the same bus.
+///
+/// # Example
+///
+/// ```
+/// use mw_bus::Broker;
+///
+/// let broker = Broker::new();
+/// // A trigger-notification topic (push model).
+/// let topic = broker.topic::<String>("triggers");
+/// let sub = topic.subscribe();
+/// broker.topic::<String>("triggers").publish("alice entered 3105".into());
+/// assert_eq!(sub.recv().unwrap(), "alice entered 3105");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Broker {
+    inner: Arc<Mutex<Registry>>,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    /// Service name → typed client handle, keyed by (name, req, rep).
+    services: HashMap<(String, TypeId, TypeId), Box<dyn Any + Send>>,
+    /// Topic name → typed publisher, keyed by (name, type).
+    topics: HashMap<(String, TypeId), Box<dyn Any + Send>>,
+}
+
+impl Broker {
+    /// Creates an empty bus.
+    #[must_use]
+    pub fn new() -> Self {
+        Broker::default()
+    }
+
+    /// Registers a service under `name`; returns the server end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::DuplicateService`] when a service with the same
+    /// name and request/reply types already exists.
+    pub fn register_service<Req, Rep>(&self, name: &str) -> Result<RpcServer<Req, Rep>, BusError>
+    where
+        Req: Send + 'static,
+        Rep: Send + 'static,
+    {
+        let key = (name.to_string(), TypeId::of::<Req>(), TypeId::of::<Rep>());
+        let mut reg = self.inner.lock();
+        if reg.services.contains_key(&key) {
+            return Err(BusError::DuplicateService { name: name.into() });
+        }
+        let (server, client) = rpc::channel::<Req, Rep>(name);
+        reg.services.insert(key, Box::new(client));
+        Ok(server)
+    }
+
+    /// Discovers a service by name (the Space Repository query); returns a
+    /// client handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::UnknownService`] when no service with the name
+    /// and types exists.
+    pub fn lookup<Req, Rep>(&self, name: &str) -> Result<RpcClient<Req, Rep>, BusError>
+    where
+        Req: Send + 'static,
+        Rep: Send + 'static,
+    {
+        let key = (name.to_string(), TypeId::of::<Req>(), TypeId::of::<Rep>());
+        let reg = self.inner.lock();
+        reg.services
+            .get(&key)
+            .and_then(|b| b.downcast_ref::<RpcClient<Req, Rep>>())
+            .cloned()
+            .ok_or_else(|| BusError::UnknownService { name: name.into() })
+    }
+
+    /// Removes a service registration (clients holding handles keep them,
+    /// but new lookups fail and calls fail once the server drops).
+    pub fn unregister_service<Req, Rep>(&self, name: &str)
+    where
+        Req: Send + 'static,
+        Rep: Send + 'static,
+    {
+        let key = (name.to_string(), TypeId::of::<Req>(), TypeId::of::<Rep>());
+        self.inner.lock().services.remove(&key);
+    }
+
+    /// The names of all registered services (any type), sorted.
+    #[must_use]
+    pub fn service_names(&self) -> Vec<String> {
+        let reg = self.inner.lock();
+        let mut names: Vec<String> = reg.services.keys().map(|(n, _, _)| n.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Gets (creating on first use) the typed topic `name`.
+    #[must_use]
+    pub fn topic<T>(&self, name: &str) -> Publisher<T>
+    where
+        T: Clone + Send + 'static,
+    {
+        let key = (name.to_string(), TypeId::of::<T>());
+        let mut reg = self.inner.lock();
+        let entry = reg
+            .topics
+            .entry(key)
+            .or_insert_with(|| Box::new(Publisher::<T>::new()));
+        entry
+            .downcast_ref::<Publisher<T>>()
+            .expect("topic type is part of the key")
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_lookup_call() {
+        let broker = Broker::new();
+        let server = broker.register_service::<String, usize>("strlen").unwrap();
+        std::thread::spawn(move || {
+            while let Some((req, reply)) = server.next_request() {
+                reply(req.len());
+            }
+        });
+        let client = broker.lookup::<String, usize>("strlen").unwrap();
+        assert_eq!(client.call("hello".into()).unwrap(), 5);
+    }
+
+    #[test]
+    fn unknown_service() {
+        let broker = Broker::new();
+        assert!(matches!(
+            broker.lookup::<u32, u32>("nope"),
+            Err(BusError::UnknownService { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let broker = Broker::new();
+        let _s = broker.register_service::<u32, u32>("svc").unwrap();
+        assert!(matches!(
+            broker.register_service::<u32, u32>("svc"),
+            Err(BusError::DuplicateService { .. })
+        ));
+        // A service with the same name but different types is distinct.
+        assert!(broker.register_service::<String, String>("svc").is_ok());
+    }
+
+    #[test]
+    fn type_mismatch_is_unknown() {
+        let broker = Broker::new();
+        let _s = broker.register_service::<u32, u32>("svc").unwrap();
+        assert!(matches!(
+            broker.lookup::<String, String>("svc"),
+            Err(BusError::UnknownService { .. })
+        ));
+    }
+
+    #[test]
+    fn unregister_service() {
+        let broker = Broker::new();
+        let _s = broker.register_service::<u32, u32>("svc").unwrap();
+        broker.unregister_service::<u32, u32>("svc");
+        assert!(broker.lookup::<u32, u32>("svc").is_err());
+        // Can re-register after removal.
+        assert!(broker.register_service::<u32, u32>("svc").is_ok());
+    }
+
+    #[test]
+    fn service_names_listing() {
+        let broker = Broker::new();
+        let _a = broker.register_service::<u32, u32>("location").unwrap();
+        let _b = broker.register_service::<u32, u32>("presence").unwrap();
+        assert_eq!(broker.service_names(), vec!["location", "presence"]);
+    }
+
+    #[test]
+    fn topics_are_shared_by_name_and_type() {
+        let broker = Broker::new();
+        let sub = broker.topic::<u32>("numbers").subscribe();
+        broker.topic::<u32>("numbers").publish(5);
+        assert_eq!(sub.recv(), Some(5));
+        // Same name, different type: a different topic.
+        let sub_s = broker.topic::<String>("numbers").subscribe();
+        broker.topic::<u32>("numbers").publish(6);
+        assert!(sub_s.try_recv().is_none());
+    }
+
+    #[test]
+    fn broker_clones_share_state() {
+        let broker = Broker::new();
+        let clone = broker.clone();
+        let _s = broker.register_service::<u32, u32>("svc").unwrap();
+        assert!(clone.lookup::<u32, u32>("svc").is_ok());
+    }
+}

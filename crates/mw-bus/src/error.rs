@@ -1,0 +1,52 @@
+use std::fmt;
+
+/// Errors produced by the message bus.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BusError {
+    /// No service is registered under the requested name (or it has a
+    /// different request/reply type).
+    UnknownService {
+        /// The requested service name.
+        name: String,
+    },
+    /// A service with this name and type already exists.
+    DuplicateService {
+        /// The conflicting service name.
+        name: String,
+    },
+    /// The service did not reply within the deadline, or its server was
+    /// dropped.
+    CallFailed {
+        /// The called service name.
+        name: String,
+    },
+}
+
+impl fmt::Display for BusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusError::UnknownService { name } => write!(f, "unknown service {name:?}"),
+            BusError::DuplicateService { name } => {
+                write!(f, "service {name:?} already registered")
+            }
+            BusError::CallFailed { name } => {
+                write!(f, "call to service {name:?} failed or timed out")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(BusError::UnknownService { name: "loc".into() }
+            .to_string()
+            .contains("loc"));
+    }
+}

@@ -1,0 +1,329 @@
+//! TCP bridging of pub/sub topics — the cross-process half of the
+//! CORBA stand-in.
+//!
+//! The original MiddleWhere delivered trigger notifications to remote
+//! Gaia applications over CORBA. Here a [`RemoteTopicServer`] exports one
+//! typed topic over a TCP listener, and any number of
+//! [`remote_subscribe`] clients (possibly in other processes) receive
+//! every message published after they connect.
+//!
+//! Wire format: each message is a frame of a 4-byte big-endian length
+//! followed by that many bytes of JSON. JSON keeps the bridge debuggable
+//! with `nc`; the framing comes from the `bytes` crate.
+//!
+//! # Example
+//!
+//! ```
+//! use mw_bus::{Broker, remote::{RemoteTopicServer, remote_subscribe}};
+//!
+//! let broker = Broker::new();
+//! let topic = broker.topic::<String>("alerts");
+//! let server = RemoteTopicServer::bind("127.0.0.1:0", topic.clone())?;
+//! let inbox = remote_subscribe::<String>(server.local_addr())?;
+//! std::thread::sleep(std::time::Duration::from_millis(50)); // connect
+//! topic.publish("hello".to_string());
+//! assert_eq!(inbox.recv_timeout(std::time::Duration::from_secs(2)), Some("hello".to_string()));
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::{Buf, BufMut, BytesMut};
+use parking_lot::Mutex;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::topic::{Publisher, Subscription};
+
+/// Upper bound on a single frame, rejecting corrupt length prefixes.
+const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+fn encode_frame<T: Serialize>(message: &T) -> std::io::Result<BytesMut> {
+    let payload = serde_json::to_vec(message)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let mut frame = BytesMut::with_capacity(4 + payload.len());
+    frame.put_u32(payload.len() as u32);
+    frame.put_slice(&payload);
+    Ok(frame)
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF.
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    match stream.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = (&header[..]).get_u32() as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Exports one typed topic over TCP: every message published on the
+/// topic after a client connects is forwarded to that client.
+#[derive(Debug)]
+pub struct RemoteTopicServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl RemoteTopicServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// forwarding `topic`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    pub fn bind<T>(addr: &str, topic: Publisher<T>) -> std::io::Result<Self>
+    where
+        T: Clone + Serialize + Send + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let clients: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+
+        // Accept loop.
+        {
+            let stop = Arc::clone(&stop);
+            let clients = Arc::clone(&clients);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = stream.set_nodelay(true);
+                            clients.lock().push(stream);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            });
+        }
+
+        // Forward loop: local topic -> all TCP clients.
+        {
+            let stop = Arc::clone(&stop);
+            let subscription = topic.subscribe();
+            std::thread::spawn(move || loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Some(message) = subscription.recv_timeout(Duration::from_millis(50)) else {
+                    continue;
+                };
+                let Ok(frame) = encode_frame(&message) else {
+                    continue;
+                };
+                clients
+                    .lock()
+                    .retain_mut(|stream| stream.write_all(&frame).is_ok());
+            });
+        }
+
+        Ok(RemoteTopicServer { local_addr, stop })
+    }
+
+    /// The address clients should connect to.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the accept and forward threads (also done on drop).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Drop for RemoteTopicServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Connects to a [`RemoteTopicServer`] and returns a local subscription
+/// fed by the remote topic. The background reader thread exits when the
+/// connection closes or the subscription is dropped.
+///
+/// # Errors
+///
+/// Returns the connection error when the server is unreachable.
+pub fn remote_subscribe<T>(addr: SocketAddr) -> std::io::Result<Subscription<T>>
+where
+    T: Clone + DeserializeOwned + Send + 'static,
+{
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let publisher: Publisher<T> = Publisher::new();
+    let subscription = publisher.subscribe();
+    std::thread::spawn(move || {
+        // Deliver frames until EOF, an I/O error, a corrupt frame, or the
+        // local subscriber going away.
+        while let Ok(Some(payload)) = read_frame(&mut stream) {
+            let Ok(message) = serde_json::from_slice::<T>(&payload) else {
+                break; // corrupt stream: stop delivering
+            };
+            if publisher.publish(message) == 0 {
+                break; // local subscriber gone
+            }
+        }
+    });
+    Ok(subscription)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Broker;
+
+    fn wait_for<F: FnMut() -> bool>(mut cond: F, what: &str) {
+        for _ in 0..200 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
+    #[test]
+    fn remote_delivery_end_to_end() {
+        let broker = Broker::new();
+        let topic = broker.topic::<String>("remote-test");
+        let server = RemoteTopicServer::bind("127.0.0.1:0", topic.clone()).unwrap();
+        let inbox = remote_subscribe::<String>(server.local_addr()).unwrap();
+        // The server must register the client before we publish.
+        wait_for(|| topic.subscriber_count() >= 1, "forwarder subscription");
+        std::thread::sleep(Duration::from_millis(50));
+        topic.publish("over the wire".into());
+        let got = inbox.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(got, "over the wire");
+    }
+
+    #[test]
+    fn multiple_remote_clients() {
+        let broker = Broker::new();
+        let topic = broker.topic::<u32>("fanout");
+        let server = RemoteTopicServer::bind("127.0.0.1:0", topic.clone()).unwrap();
+        let a = remote_subscribe::<u32>(server.local_addr()).unwrap();
+        let b = remote_subscribe::<u32>(server.local_addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        topic.publish(7);
+        assert_eq!(a.recv_timeout(Duration::from_secs(2)), Some(7));
+        assert_eq!(b.recv_timeout(Duration::from_secs(2)), Some(7));
+    }
+
+    #[test]
+    fn disconnected_client_does_not_break_the_topic() {
+        let broker = Broker::new();
+        let topic = broker.topic::<u32>("resilient");
+        let server = RemoteTopicServer::bind("127.0.0.1:0", topic.clone()).unwrap();
+        {
+            let dead = remote_subscribe::<u32>(server.local_addr()).unwrap();
+            std::thread::sleep(Duration::from_millis(50));
+            drop(dead);
+        }
+        let live = remote_subscribe::<u32>(server.local_addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        for i in 0..10 {
+            topic.publish(i);
+        }
+        // The live client still receives (the dead one is pruned on write
+        // failure; depending on OS buffering the first few writes to the
+        // dead socket may succeed silently, which is fine).
+        assert_eq!(live.recv_timeout(Duration::from_secs(2)), Some(0));
+    }
+
+    #[test]
+    fn ordered_stream_of_messages() {
+        let broker = Broker::new();
+        let topic = broker.topic::<u32>("ordered");
+        let server = RemoteTopicServer::bind("127.0.0.1:0", topic.clone()).unwrap();
+        let inbox = remote_subscribe::<u32>(server.local_addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        for i in 0..100 {
+            topic.publish(i);
+        }
+        let mut got = Vec::new();
+        while got.len() < 100 {
+            match inbox.recv_timeout(Duration::from_secs(2)) {
+                Some(v) => got.push(v),
+                None => break,
+            }
+        }
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shutdown_stops_accepting() {
+        let broker = Broker::new();
+        let topic = broker.topic::<u32>("closing");
+        let server = RemoteTopicServer::bind("127.0.0.1:0", topic.clone()).unwrap();
+        let addr = server.local_addr();
+        server.shutdown();
+        std::thread::sleep(Duration::from_millis(50));
+        // New connections may still complete the TCP handshake in the
+        // backlog, but no frames ever arrive.
+        if let Ok(inbox) = remote_subscribe::<u32>(addr) {
+            topic.publish(1);
+            assert_eq!(inbox.recv_timeout(Duration::from_millis(200)), None);
+        }
+    }
+
+    #[test]
+    fn corrupt_frame_terminates_client_quietly() {
+        let broker = Broker::new();
+        let topic = broker.topic::<u32>("corrupt");
+        let server = RemoteTopicServer::bind("127.0.0.1:0", topic.clone()).unwrap();
+        // Handshake as a raw socket and send garbage to ourselves? The
+        // client side is what parses; connect a real client, then check a
+        // huge length prefix is rejected by read_frame directly.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            // Length prefix far above MAX_FRAME_BYTES.
+            s.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        writer.join().unwrap();
+        let err = read_frame(&mut stream).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        drop(server);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let frame = encode_frame(&"payload".to_string()).unwrap();
+        assert_eq!(&frame[..4], &(frame.len() as u32 - 4).to_be_bytes());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            s.write_all(&frame).unwrap();
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        t.join().unwrap();
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        let decoded: String = serde_json::from_slice(&payload).unwrap();
+        assert_eq!(decoded, "payload");
+        // Clean EOF next.
+        assert!(read_frame(&mut stream).unwrap().is_none());
+    }
+}

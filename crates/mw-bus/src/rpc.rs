@@ -1,0 +1,207 @@
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+
+use crate::BusError;
+
+/// A pending RPC request: the payload plus the channel the reply goes to.
+type Envelope<Req, Rep> = (Req, Sender<Rep>);
+
+/// The server end of an RPC service: receive requests, send replies.
+///
+/// A service loop looks like:
+///
+/// ```
+/// use mw_bus::Broker;
+///
+/// let broker = Broker::new();
+/// let server = broker.register_service::<u32, u32>("doubler")?;
+/// std::thread::spawn(move || {
+///     while let Some((req, reply)) = server.next_request() {
+///         reply(req * 2);
+///     }
+/// });
+/// let client = broker.lookup::<u32, u32>("doubler")?;
+/// assert_eq!(client.call(21)?, 42);
+/// # Ok::<(), mw_bus::BusError>(())
+/// ```
+#[derive(Debug)]
+pub struct RpcServer<Req, Rep> {
+    pub(crate) name: String,
+    pub(crate) rx: Receiver<Envelope<Req, Rep>>,
+}
+
+impl<Req, Rep> RpcServer<Req, Rep> {
+    /// The service's registered name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Blocks for the next request; returns the payload and a reply
+    /// closure. `None` once every client handle is gone.
+    #[must_use]
+    pub fn next_request(&self) -> Option<(Req, impl FnOnce(Rep))> {
+        let (req, tx) = self.rx.recv().ok()?;
+        Some((req, move |rep: Rep| {
+            let _ = tx.send(rep);
+        }))
+    }
+
+    /// Non-blocking variant of [`RpcServer::next_request`].
+    #[must_use]
+    pub fn try_next_request(&self) -> Option<(Req, impl FnOnce(Rep))> {
+        let (req, tx) = self.rx.try_recv().ok()?;
+        Some((req, move |rep: Rep| {
+            let _ = tx.send(rep);
+        }))
+    }
+}
+
+/// The client end of an RPC service.
+#[derive(Debug)]
+pub struct RpcClient<Req, Rep> {
+    pub(crate) name: String,
+    pub(crate) tx: Sender<Envelope<Req, Rep>>,
+    pub(crate) timeout: Duration,
+}
+
+// Manual impl: `Sender` is always cloneable; a derive would wrongly
+// require `Req: Clone + Rep: Clone`.
+impl<Req, Rep> Clone for RpcClient<Req, Rep> {
+    fn clone(&self) -> Self {
+        RpcClient {
+            name: self.name.clone(),
+            tx: self.tx.clone(),
+            timeout: self.timeout,
+        }
+    }
+}
+
+impl<Req, Rep> RpcClient<Req, Rep> {
+    /// The service's registered name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Overrides the default 5-second call timeout.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Sends a request and blocks for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::CallFailed`] when the server is gone or does
+    /// not reply within the timeout.
+    pub fn call(&self, request: Req) -> Result<Rep, BusError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send((request, reply_tx))
+            .map_err(|_| BusError::CallFailed {
+                name: self.name.clone(),
+            })?;
+        reply_rx
+            .recv_timeout(self.timeout)
+            .map_err(|_| BusError::CallFailed {
+                name: self.name.clone(),
+            })
+    }
+}
+
+/// Creates a connected server/client pair (used by the broker).
+pub(crate) fn channel<Req, Rep>(name: &str) -> (RpcServer<Req, Rep>, RpcClient<Req, Rep>) {
+    let (tx, rx) = unbounded();
+    (
+        RpcServer {
+            name: name.to_string(),
+            rx,
+        },
+        RpcClient {
+            name: name.to_string(),
+            tx,
+            timeout: Duration::from_secs(5),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let (server, client) = channel::<u32, u32>("double");
+        let t = std::thread::spawn(move || {
+            while let Some((req, reply)) = server.next_request() {
+                reply(req * 2);
+            }
+        });
+        assert_eq!(client.call(21).unwrap(), 42);
+        assert_eq!(client.call(5).unwrap(), 10);
+        drop(client);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn call_times_out_when_server_ignores() {
+        let (server, mut client) = channel::<u32, u32>("lazy");
+        client.set_timeout(Duration::from_millis(20));
+        // Server thread receives but never replies.
+        let t = std::thread::spawn(move || {
+            let (_req, _reply) = server.next_request().unwrap();
+            // Drop the reply closure without calling it.
+        });
+        let err = client.call(1).unwrap_err();
+        assert!(matches!(err, BusError::CallFailed { .. }));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn call_fails_when_server_dropped() {
+        let (server, client) = channel::<u32, u32>("gone");
+        drop(server);
+        assert!(matches!(client.call(1), Err(BusError::CallFailed { .. })));
+    }
+
+    #[test]
+    fn try_next_request_nonblocking() {
+        let (server, client) = channel::<u32, u32>("nb");
+        assert!(server.try_next_request().is_none());
+        // Fire a call from another thread; poll the server.
+        let t = std::thread::spawn(move || client.call(7).unwrap());
+        let reply = loop {
+            if let Some((req, reply)) = server.try_next_request() {
+                assert_eq!(req, 7);
+                break reply;
+            }
+            std::thread::yield_now();
+        };
+        reply(14);
+        assert_eq!(t.join().unwrap(), 14);
+    }
+
+    #[test]
+    fn clients_are_cloneable() {
+        let (server, client) = channel::<u32, u32>("multi");
+        let c2 = client.clone();
+        let t = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (req, reply) = server.next_request().unwrap();
+                reply(req + 1);
+            }
+        });
+        assert_eq!(client.call(1).unwrap(), 2);
+        assert_eq!(c2.call(2).unwrap(), 3);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn names_are_kept() {
+        let (server, client) = channel::<(), ()>("svc");
+        assert_eq!(server.name(), "svc");
+        assert_eq!(client.name(), "svc");
+    }
+}

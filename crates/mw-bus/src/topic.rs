@@ -1,0 +1,167 @@
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// The publisher end of a pub/sub topic.
+///
+/// Cloning produces another handle to the same topic. Messages are cloned
+/// per subscriber; subscribers that were dropped are pruned lazily.
+#[derive(Debug, Clone)]
+pub struct Publisher<T> {
+    subscribers: Arc<Mutex<Vec<Sender<T>>>>,
+}
+
+impl<T: Clone> Publisher<T> {
+    /// Creates a topic with no subscribers.
+    #[must_use]
+    pub fn new() -> Self {
+        Publisher {
+            subscribers: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Subscribes to the topic; every message published afterwards is
+    /// delivered to the returned subscription.
+    #[must_use]
+    pub fn subscribe(&self) -> Subscription<T> {
+        let (tx, rx) = unbounded();
+        self.subscribers.lock().push(tx);
+        Subscription { rx }
+    }
+
+    /// Publishes a message to all current subscribers. Returns the number
+    /// of subscribers that received it.
+    pub fn publish(&self, message: T) -> usize {
+        let mut subs = self.subscribers.lock();
+        subs.retain(|tx| tx.send(message.clone()).is_ok());
+        subs.len()
+    }
+
+    /// Number of live subscribers (after pruning on the last publish).
+    #[must_use]
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().len()
+    }
+}
+
+impl<T: Clone> Default for Publisher<T> {
+    fn default() -> Self {
+        Publisher::new()
+    }
+}
+
+/// The subscriber end of a pub/sub topic.
+#[derive(Debug)]
+pub struct Subscription<T> {
+    rx: Receiver<T>,
+}
+
+impl<T> Subscription<T> {
+    /// Blocks until the next message (or the publisher is dropped).
+    pub fn recv(&self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Blocks up to `timeout` for the next message.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<T> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Drains everything currently queued.
+    pub fn drain(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(v) = self.try_recv() {
+            out.push(v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_to_all_subscribers() {
+        let topic: Publisher<String> = Publisher::new();
+        let s1 = topic.subscribe();
+        let s2 = topic.subscribe();
+        assert_eq!(topic.publish("hello".into()), 2);
+        assert_eq!(s1.recv().unwrap(), "hello");
+        assert_eq!(s2.recv().unwrap(), "hello");
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let topic: Publisher<u32> = Publisher::new();
+        let s1 = topic.subscribe();
+        {
+            let _s2 = topic.subscribe();
+        }
+        assert_eq!(topic.publish(1), 1);
+        assert_eq!(s1.recv(), Some(1));
+        assert_eq!(topic.subscriber_count(), 1);
+    }
+
+    #[test]
+    fn try_recv_and_drain() {
+        let topic: Publisher<u32> = Publisher::new();
+        let s = topic.subscribe();
+        assert_eq!(s.try_recv(), None);
+        topic.publish(1);
+        topic.publish(2);
+        topic.publish(3);
+        assert_eq!(s.drain(), vec![1, 2, 3]);
+        assert_eq!(s.try_recv(), None);
+    }
+
+    #[test]
+    fn publish_without_subscribers_is_fine() {
+        let topic: Publisher<u32> = Publisher::new();
+        assert_eq!(topic.publish(42), 0);
+    }
+
+    #[test]
+    fn late_subscriber_misses_earlier_messages() {
+        let topic: Publisher<u32> = Publisher::new();
+        topic.publish(1);
+        let s = topic.subscribe();
+        topic.publish(2);
+        assert_eq!(s.drain(), vec![2]);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let topic: Publisher<u32> = Publisher::new();
+        let s = topic.subscribe();
+        let t = std::thread::spawn(move || {
+            for i in 0..100 {
+                topic.publish(i);
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.push(s.recv().unwrap());
+        }
+        t.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_timeout_elapses() {
+        let topic: Publisher<u32> = Publisher::new();
+        let s = topic.subscribe();
+        assert_eq!(s.recv_timeout(std::time::Duration::from_millis(10)), None);
+        topic.publish(7);
+        assert_eq!(
+            s.recv_timeout(std::time::Duration::from_millis(100)),
+            Some(7)
+        );
+    }
+}

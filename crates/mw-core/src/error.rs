@@ -1,0 +1,93 @@
+use std::fmt;
+
+use mw_fusion::FusionError;
+use mw_reasoning::ReasoningError;
+use mw_spatial_db::DbError;
+
+/// Errors produced by the Location Service.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A named region is not present in the world model.
+    UnknownRegion {
+        /// The missing region name.
+        name: String,
+    },
+    /// No live location information exists for the object.
+    NoLocation {
+        /// The object queried.
+        object: String,
+    },
+    /// A subscription id is stale.
+    UnknownSubscription {
+        /// The missing subscription id.
+        id: u64,
+    },
+    /// An error bubbled up from the spatial database.
+    Db(DbError),
+    /// An error bubbled up from the fusion engine.
+    Fusion(FusionError),
+    /// An error bubbled up from the reasoning engine.
+    Reasoning(ReasoningError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownRegion { name } => write!(f, "unknown region {name:?}"),
+            CoreError::NoLocation { object } => {
+                write!(f, "no live location information for {object:?}")
+            }
+            CoreError::UnknownSubscription { id } => write!(f, "unknown subscription {id}"),
+            CoreError::Db(e) => write!(f, "spatial database: {e}"),
+            CoreError::Fusion(e) => write!(f, "fusion: {e}"),
+            CoreError::Reasoning(e) => write!(f, "reasoning: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Db(e) => Some(e),
+            CoreError::Fusion(e) => Some(e),
+            CoreError::Reasoning(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DbError> for CoreError {
+    fn from(e: DbError) -> Self {
+        CoreError::Db(e)
+    }
+}
+
+impl From<FusionError> for CoreError {
+    fn from(e: FusionError) -> Self {
+        CoreError::Fusion(e)
+    }
+}
+
+impl From<ReasoningError> for CoreError {
+    fn from(e: ReasoningError) -> Self {
+        CoreError::Reasoning(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::from(DbError::UnknownTrigger { id: 3 });
+        assert!(e.to_string().contains("spatial database"));
+        assert!(std::error::Error::source(&e).is_some());
+        let plain = CoreError::NoLocation {
+            object: "alice".into(),
+        };
+        assert!(std::error::Error::source(&plain).is_none());
+        assert!(plain.to_string().contains("alice"));
+    }
+}

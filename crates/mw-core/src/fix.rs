@@ -1,0 +1,66 @@
+use mw_fusion::ProbabilityBand;
+use mw_geometry::Rect;
+use mw_model::{Glob, SimTime};
+use mw_sensors::MobileObjectId;
+use serde::{Deserialize, Serialize};
+
+use crate::SubscriptionId;
+
+/// The answer to an object-based query (§4.2): the most specific region
+/// the sensors support, in both coordinate and symbolic form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocationFix {
+    /// The object located.
+    pub object: MobileObjectId,
+    /// Best-estimate region in building coordinates (an MBR).
+    pub region: Rect,
+    /// Posterior probability that the object is inside `region`.
+    pub probability: f64,
+    /// Qualitative band of `probability` (§4.4).
+    pub band: ProbabilityBand,
+    /// The symbolic location (room / corridor / floor GLOB), possibly
+    /// truncated by the object's privacy policy (§4.5). `None` when the
+    /// estimate lies outside every known region.
+    pub symbolic: Option<Glob>,
+    /// When the query was evaluated.
+    pub at: SimTime,
+}
+
+/// A push notification delivered when a subscription's condition becomes
+/// true (§4.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Notification {
+    /// The subscription that fired.
+    pub subscription: SubscriptionId,
+    /// The object that satisfied the condition.
+    pub object: MobileObjectId,
+    /// The watched region.
+    pub region: Rect,
+    /// The probability with which the object is in the region.
+    pub probability: f64,
+    /// Qualitative band of `probability`.
+    pub band: ProbabilityBand,
+    /// When the condition was evaluated.
+    pub at: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mw_geometry::Point;
+
+    #[test]
+    fn fix_is_cloneable_and_comparable() {
+        let fix = LocationFix {
+            object: "alice".into(),
+            region: Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            probability: 0.9,
+            band: ProbabilityBand::High,
+            symbolic: Some("SC/3/3105".parse().unwrap()),
+            at: SimTime::ZERO,
+        };
+        let copy = fix.clone();
+        assert_eq!(fix, copy);
+        assert_eq!(copy.symbolic.unwrap().to_string(), "SC/3/3105");
+    }
+}

@@ -1,0 +1,317 @@
+//! Spatial relationship functions with probabilities (§4.6).
+//!
+//! "We also associate probabilities with spatial relations, which are
+//! derived from the probabilities of locations of the objects in the
+//! relation." For a relation over two independently-located objects the
+//! probability is the product of their location posteriors; for an
+//! object–region relation it is the object's posterior of being in the
+//! region.
+
+use mw_geometry::Rect;
+use mw_reasoning::{EcKind, Rcc8};
+
+use crate::LocationFix;
+
+/// A relation between two *regions* (§4.6.1): the RCC-8 relation, with
+/// external connection refined by passage information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionRelation {
+    /// DC.
+    Disconnected,
+    /// EC, refined into free / restricted / no passage.
+    ExternallyConnected(EcKind),
+    /// PO.
+    PartialOverlap,
+    /// TPP or NTPP (`tangential` distinguishes them).
+    ProperPart {
+        /// `true` for TPP, `false` for NTPP.
+        tangential: bool,
+    },
+    /// TPPi or NTPPi.
+    ProperPartInverse {
+        /// `true` for TPPi, `false` for NTPPi.
+        tangential: bool,
+    },
+    /// EQ.
+    Equal,
+}
+
+impl RegionRelation {
+    /// Combines a base RCC-8 relation with an optional EC refinement.
+    #[must_use]
+    pub fn from_parts(rcc: Rcc8, ec: Option<EcKind>) -> Self {
+        match rcc {
+            Rcc8::Dc => RegionRelation::Disconnected,
+            Rcc8::Ec => RegionRelation::ExternallyConnected(ec.unwrap_or(EcKind::NoPassage)),
+            Rcc8::Po => RegionRelation::PartialOverlap,
+            Rcc8::Tpp => RegionRelation::ProperPart { tangential: true },
+            Rcc8::Ntpp => RegionRelation::ProperPart { tangential: false },
+            Rcc8::Tppi => RegionRelation::ProperPartInverse { tangential: true },
+            Rcc8::Ntppi => RegionRelation::ProperPartInverse { tangential: false },
+            Rcc8::Eq => RegionRelation::Equal,
+        }
+    }
+
+    /// Whether one can (possibly) walk directly between the two regions.
+    #[must_use]
+    pub fn is_traversable(self) -> bool {
+        matches!(
+            self,
+            RegionRelation::ExternallyConnected(EcKind::FreePassage)
+                | RegionRelation::ExternallyConnected(EcKind::RestrictedPassage)
+                | RegionRelation::PartialOverlap
+                | RegionRelation::ProperPart { .. }
+                | RegionRelation::ProperPartInverse { .. }
+                | RegionRelation::Equal
+        )
+    }
+}
+
+/// The outcome of a probabilistic object relation: whether the geometric
+/// predicate holds on the best estimates, and with what probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectRelation {
+    /// Does the predicate hold on the best-estimate geometry?
+    pub holds: bool,
+    /// Probability that the relation actually holds, derived from the
+    /// location posteriors.
+    pub probability: f64,
+}
+
+impl ObjectRelation {
+    const FALSE: ObjectRelation = ObjectRelation {
+        holds: false,
+        probability: 0.0,
+    };
+}
+
+/// Proximity (§4.6.3a): are two objects closer than `threshold`?
+///
+/// The predicate is evaluated on the minimum distance between the two
+/// best-estimate rectangles; the probability is the product of the two
+/// location posteriors (independent estimates).
+#[must_use]
+pub fn proximity(a: &LocationFix, b: &LocationFix, threshold: f64) -> ObjectRelation {
+    let distance = a.region.distance_to_rect(&b.region);
+    if distance <= threshold {
+        ObjectRelation {
+            holds: true,
+            probability: (a.probability * b.probability).clamp(0.0, 1.0),
+        }
+    } else {
+        ObjectRelation::FALSE
+    }
+}
+
+/// The result of a co-location test (§4.6.3b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoLocation {
+    /// Whether both objects resolve to the same symbolic region at the
+    /// requested granularity.
+    pub co_located: bool,
+    /// The shared region (at the requested granularity) when co-located.
+    pub region: Option<mw_model::Glob>,
+    /// Probability derived from the two location posteriors.
+    pub probability: f64,
+}
+
+/// Co-location (§4.6.3b): are two objects in the same symbolic region "of
+/// a specified granularity such as room, floor or building"?
+///
+/// `granularity` is the GLOB depth to compare at (e.g. 2 = floor for
+/// `SC/3/3105`-style names, 3 = room).
+#[must_use]
+pub fn co_location(a: &LocationFix, b: &LocationFix, granularity: usize) -> CoLocation {
+    match (&a.symbolic, &b.symbolic) {
+        (Some(ga), Some(gb)) => {
+            let ta = ga.truncated(granularity);
+            let tb = gb.truncated(granularity);
+            // Both must actually reach the requested depth: a person known
+            // only to floor granularity is not room-co-located with anyone.
+            if ta == tb
+                && ta.depth() == granularity.min(ga.depth()).min(gb.depth())
+                && ga.depth() >= granularity
+                && gb.depth() >= granularity
+            {
+                CoLocation {
+                    co_located: true,
+                    region: Some(ta),
+                    probability: (a.probability * b.probability).clamp(0.0, 1.0),
+                }
+            } else {
+                CoLocation {
+                    co_located: false,
+                    region: None,
+                    probability: 0.0,
+                }
+            }
+        }
+        _ => CoLocation {
+            co_located: false,
+            region: None,
+            probability: 0.0,
+        },
+    }
+}
+
+/// Euclidean distance between two objects' best estimates (§4.6.3c):
+/// center-to-center.
+#[must_use]
+pub fn object_distance(a: &LocationFix, b: &LocationFix) -> f64 {
+    a.region.center().distance(b.region.center())
+}
+
+/// Containment (§4.6.2a) evaluated on a fix against an explicit region:
+/// the predicate on the best estimate, with the fix's posterior scaled by
+/// the estimate's overlap with the region.
+#[must_use]
+pub fn containment(fix: &LocationFix, region: &Rect) -> ObjectRelation {
+    let overlap = fix.region.intersection_area(region);
+    let area = fix.region.area();
+    if overlap <= 0.0 {
+        return ObjectRelation::FALSE;
+    }
+    let fraction = if area > 0.0 { overlap / area } else { 1.0 };
+    ObjectRelation {
+        holds: region.contains_rect(&fix.region),
+        probability: (fix.probability * fraction).clamp(0.0, 1.0),
+    }
+}
+
+/// Distance from an object to a region (§4.6.2c), Euclidean variant:
+/// minimum distance from the best-estimate rectangle to the region.
+#[must_use]
+pub fn object_region_distance(fix: &LocationFix, region: &Rect) -> f64 {
+    fix.region.distance_to_rect(region)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mw_fusion::ProbabilityBand;
+    use mw_geometry::Point;
+    use mw_model::SimTime;
+
+    fn fix(x: f64, y: f64, p: f64, symbolic: Option<&str>) -> LocationFix {
+        LocationFix {
+            object: "x".into(),
+            region: Rect::from_center(Point::new(x, y), 2.0, 2.0),
+            probability: p,
+            band: ProbabilityBand::High,
+            symbolic: symbolic.map(|s| s.parse().unwrap()),
+            at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn region_relation_from_parts() {
+        assert_eq!(
+            RegionRelation::from_parts(Rcc8::Dc, None),
+            RegionRelation::Disconnected
+        );
+        assert_eq!(
+            RegionRelation::from_parts(Rcc8::Ec, Some(EcKind::FreePassage)),
+            RegionRelation::ExternallyConnected(EcKind::FreePassage)
+        );
+        assert_eq!(
+            RegionRelation::from_parts(Rcc8::Ec, None),
+            RegionRelation::ExternallyConnected(EcKind::NoPassage)
+        );
+        assert_eq!(
+            RegionRelation::from_parts(Rcc8::Tpp, None),
+            RegionRelation::ProperPart { tangential: true }
+        );
+        assert_eq!(
+            RegionRelation::from_parts(Rcc8::Ntppi, None),
+            RegionRelation::ProperPartInverse { tangential: false }
+        );
+        assert_eq!(
+            RegionRelation::from_parts(Rcc8::Eq, None),
+            RegionRelation::Equal
+        );
+    }
+
+    #[test]
+    fn traversability() {
+        assert!(RegionRelation::ExternallyConnected(EcKind::FreePassage).is_traversable());
+        assert!(!RegionRelation::ExternallyConnected(EcKind::NoPassage).is_traversable());
+        assert!(!RegionRelation::Disconnected.is_traversable());
+        assert!(RegionRelation::Equal.is_traversable());
+    }
+
+    #[test]
+    fn proximity_relation() {
+        let a = fix(0.0, 0.0, 0.9, None);
+        let b = fix(3.0, 0.0, 0.8, None);
+        // Rect gap is 3 - 1 - 1 = 1.
+        let near = proximity(&a, &b, 1.5);
+        assert!(near.holds);
+        assert!((near.probability - 0.72).abs() < 1e-12);
+        let far = proximity(&a, &b, 0.5);
+        assert!(!far.holds);
+        assert_eq!(far.probability, 0.0);
+    }
+
+    #[test]
+    fn co_location_at_granularities() {
+        let a = fix(0.0, 0.0, 0.9, Some("SC/3/3105"));
+        let b = fix(3.0, 0.0, 0.8, Some("SC/3/3105"));
+        let room = co_location(&a, &b, 3);
+        assert!(room.co_located);
+        assert_eq!(room.region.unwrap().to_string(), "SC/3/3105");
+        assert!((room.probability - 0.72).abs() < 1e-12);
+
+        let c = fix(100.0, 0.0, 0.8, Some("SC/3/3102"));
+        let other_room = co_location(&a, &c, 3);
+        assert!(!other_room.co_located);
+        // Same floor though.
+        let floor = co_location(&a, &c, 2);
+        assert!(floor.co_located);
+        assert_eq!(floor.region.unwrap().to_string(), "SC/3");
+    }
+
+    #[test]
+    fn co_location_requires_sufficient_depth() {
+        // b is only known to floor granularity: not room-co-located.
+        let a = fix(0.0, 0.0, 0.9, Some("SC/3/3105"));
+        let b = fix(1.0, 0.0, 0.9, Some("SC/3"));
+        assert!(!co_location(&a, &b, 3).co_located);
+        assert!(co_location(&a, &b, 2).co_located);
+    }
+
+    #[test]
+    fn co_location_unknown_symbolic() {
+        let a = fix(0.0, 0.0, 0.9, Some("SC/3/3105"));
+        let b = fix(1.0, 0.0, 0.9, None);
+        assert!(!co_location(&a, &b, 2).co_located);
+    }
+
+    #[test]
+    fn distances() {
+        let a = fix(0.0, 0.0, 0.9, None);
+        let b = fix(6.0, 8.0, 0.9, None);
+        assert_eq!(object_distance(&a, &b), 10.0);
+        let region = Rect::new(Point::new(10.0, 0.0), Point::new(20.0, 10.0));
+        // a's rect spans [-1,1]^2; min distance to x=10 is 9.
+        assert_eq!(object_region_distance(&a, &region), 9.0);
+    }
+
+    #[test]
+    fn containment_relation() {
+        let a = fix(5.0, 5.0, 0.9, None);
+        let inside = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let c = containment(&a, &inside);
+        assert!(c.holds);
+        assert!((c.probability - 0.9).abs() < 1e-12);
+        // Partial overlap: predicate false, probability scaled.
+        let partial = Rect::new(Point::new(5.0, 0.0), Point::new(10.0, 10.0));
+        let cp = containment(&a, &partial);
+        assert!(!cp.holds);
+        assert!(cp.probability > 0.0 && cp.probability < 0.9);
+        // Disjoint.
+        let far = Rect::new(Point::new(100.0, 100.0), Point::new(110.0, 110.0));
+        let cf = containment(&a, &far);
+        assert!(!cf.holds);
+        assert_eq!(cf.probability, 0.0);
+    }
+}

@@ -1,0 +1,1427 @@
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mw_bus::{Broker, Publisher};
+use mw_fusion::{BandThresholds, FusionEngine, ProbabilityBand};
+use mw_geometry::Rect;
+use mw_model::SimTime;
+use mw_sensors::{AdapterOutput, MobileObjectId, SensorReading};
+use mw_spatial_db::{SpatialDatabase, SpatialObject};
+use parking_lot::RwLock;
+
+use crate::relations::{self, CoLocation, ObjectRelation, RegionRelation};
+use crate::subscription::SubscriptionManager;
+use crate::symbolic::SymbolicLattice;
+use crate::world::WorldModel;
+use crate::{
+    CoreError, LocationFix, Notification, SubscriptionId, SubscriptionSpec, LOCATION_SERVICE_NAME,
+    NOTIFICATION_TOPIC,
+};
+
+/// Requests handled by the Location Service's bus endpoint (the pull
+/// model of §7).
+#[derive(Debug, Clone)]
+pub enum LocationRequest {
+    /// "Where is person X?" (object-based query).
+    Locate {
+        /// The object to locate.
+        object: MobileObjectId,
+        /// Evaluation time.
+        now: SimTime,
+    },
+    /// "What is the probability that X is in region R?"
+    RegionProbability {
+        /// The object.
+        object: MobileObjectId,
+        /// The named region (a GLOB string known to the world model).
+        region: String,
+        /// Evaluation time.
+        now: SimTime,
+    },
+    /// "Who are the people in room 3105?" (region-based query).
+    ObjectsInRegion {
+        /// The named region.
+        region: String,
+        /// Minimum probability to report.
+        min_probability: f64,
+        /// Evaluation time.
+        now: SimTime,
+    },
+    /// Register a region-entry subscription remotely; notifications are
+    /// delivered on [`NOTIFICATION_TOPIC`] (and across any TCP bridge
+    /// exporting it).
+    Subscribe {
+        /// The named region to watch.
+        region: String,
+        /// Minimum probability to fire.
+        min_probability: f64,
+        /// Restrict to one object, or `None` for any.
+        object: Option<MobileObjectId>,
+    },
+    /// Cancel a subscription by id.
+    Unsubscribe {
+        /// The subscription to cancel.
+        id: SubscriptionId,
+    },
+}
+
+/// Replies from the Location Service's bus endpoint.
+#[derive(Debug, Clone)]
+pub enum LocationResponse {
+    /// Reply to [`LocationRequest::Locate`].
+    Fix(Option<LocationFix>),
+    /// Reply to [`LocationRequest::RegionProbability`].
+    Probability(f64),
+    /// Reply to [`LocationRequest::ObjectsInRegion`].
+    Objects(Vec<(MobileObjectId, f64)>),
+    /// Reply to [`LocationRequest::Subscribe`].
+    Subscribed(SubscriptionId),
+    /// Reply to [`LocationRequest::Unsubscribe`].
+    Unsubscribed,
+    /// The request failed.
+    Error(String),
+}
+
+/// The Location Service (§4): fusion, queries, notifications, spatial
+/// relationships and privacy, over the spatial database and the bus.
+#[derive(Debug)]
+pub struct LocationService {
+    db: RwLock<SpatialDatabase>,
+    world: RwLock<WorldModel>,
+    symbolic: RwLock<SymbolicLattice>,
+    engine: FusionEngine,
+    subs: RwLock<SubscriptionManager>,
+    /// Privacy policy: object → maximum GLOB depth revealed (§4.5).
+    privacy: RwLock<HashMap<MobileObjectId, usize>>,
+    /// Hit probabilities (`p_i`) of every sensor technology seen so far;
+    /// §4.4 derives the low/medium/high/very-high band edges from "the
+    /// accuracy of various sensors" deployed, not just the ones
+    /// contributing to one reading.
+    sensor_accuracies: RwLock<Vec<f64>>,
+    notifications: Publisher<Notification>,
+}
+
+impl LocationService {
+    /// Creates a service over `db`, fusing within `universe` (the whole
+    /// floor area, `U` in the paper's equations), publishing notifications
+    /// on `broker`'s [`NOTIFICATION_TOPIC`].
+    #[must_use]
+    pub fn new(db: SpatialDatabase, universe: Rect, broker: &Broker) -> Arc<Self> {
+        Self::new_with_engine(db, FusionEngine::new(universe), broker)
+    }
+
+    /// Creates a service with a custom-configured fusion engine (e.g.
+    /// with the aging motion model enabled via
+    /// [`FusionEngine::with_aging_inflation`]).
+    #[must_use]
+    pub fn new_with_engine(
+        db: SpatialDatabase,
+        engine: FusionEngine,
+        broker: &Broker,
+    ) -> Arc<Self> {
+        let world = WorldModel::from_database(&db);
+        let symbolic = SymbolicLattice::from_database(&db);
+        Arc::new(LocationService {
+            db: RwLock::new(db),
+            world: RwLock::new(world),
+            symbolic: RwLock::new(symbolic),
+            engine,
+            subs: RwLock::new(SubscriptionManager::default()),
+            privacy: RwLock::new(HashMap::new()),
+            sensor_accuracies: RwLock::new(Vec::new()),
+            notifications: broker.topic::<Notification>(NOTIFICATION_TOPIC),
+        })
+    }
+
+    /// The fusion universe.
+    #[must_use]
+    pub fn universe(&self) -> Rect {
+        self.engine.universe()
+    }
+
+    // --- world management -------------------------------------------------
+
+    /// Adds a static object / region to the world model (§4's task 4–5:
+    /// "Supports the creation of spatial regions … the addition of static
+    /// objects").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Db`] when the object key already exists.
+    pub fn add_object(&self, object: SpatialObject) -> Result<(), CoreError> {
+        self.db.write().insert_object(object)?;
+        let db = self.db.read();
+        let rebuilt = WorldModel::from_database(&db);
+        let symbolic = SymbolicLattice::from_database(&db);
+        drop(db);
+        *self.world.write() = rebuilt;
+        *self.symbolic.write() = symbolic;
+        Ok(())
+    }
+
+    /// Defines an application-level symbolic region (§4's task 4 and
+    /// §4.5's "East wing of the building"-style names). The last GLOB
+    /// segment becomes the object identifier; `rect` is in building
+    /// coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Db`] for duplicate names and
+    /// [`CoreError::UnknownRegion`] for an empty GLOB.
+    pub fn define_region(&self, glob: &mw_model::Glob, rect: Rect) -> Result<(), CoreError> {
+        let Some(parent) = glob.parent() else {
+            return Err(CoreError::UnknownRegion {
+                name: glob.to_string(),
+            });
+        };
+        let name = glob
+            .last_segment()
+            .ok_or_else(|| CoreError::UnknownRegion {
+                name: glob.to_string(),
+            })?
+            .to_string();
+        self.add_object(SpatialObject::new(
+            name,
+            parent,
+            mw_spatial_db::ObjectType::NamedRegion,
+            mw_spatial_db::Geometry::Polygon(mw_geometry::Polygon::from_rect(&rect)),
+        ))
+    }
+
+    /// Runs `f` with read access to the symbolic region lattice (§4.5).
+    pub fn with_symbolic_lattice<R>(&self, f: impl FnOnce(&SymbolicLattice) -> R) -> R {
+        f(&self.symbolic.read())
+    }
+
+    /// Every symbolic region containing the object's best estimate, most
+    /// specific first — the §4.5 lattice walk. Respects the object's
+    /// privacy granularity by dropping regions deeper than allowed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoLocation`] when the object has no live
+    /// readings.
+    pub fn symbolic_regions_of(
+        &self,
+        object: &MobileObjectId,
+        now: SimTime,
+    ) -> Result<Vec<mw_model::Glob>, CoreError> {
+        let fix = self.locate(object, now)?;
+        let chain = self.symbolic.read().regions_for_rect(&fix.region);
+        let max_depth = self.privacy.read().get(object).copied();
+        Ok(match max_depth {
+            Some(d) => chain.into_iter().filter(|g| g.depth() <= d).collect(),
+            None => chain,
+        })
+    }
+
+    /// Resolves a model-level [`mw_model::Location`] (symbolic name or
+    /// room-local coordinates) to a building-frame rectangle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRegion`] for unknown names/prefixes.
+    pub fn resolve_location(&self, location: &mw_model::Location) -> Result<Rect, CoreError> {
+        self.world.read().resolve_location(location)
+    }
+
+    /// Runs `f` with read access to the world model.
+    pub fn with_world<R>(&self, f: impl FnOnce(&WorldModel) -> R) -> R {
+        f(&self.world.read())
+    }
+
+    /// Runs `f` with read access to the spatial database.
+    pub fn with_db<R>(&self, f: impl FnOnce(&SpatialDatabase) -> R) -> R {
+        f(&self.db.read())
+    }
+
+    // --- ingestion ---------------------------------------------------------
+
+    /// Ingests an adapter's output at `now`: stores readings (firing
+    /// database triggers), applies revocations, then evaluates
+    /// subscriptions for the affected objects. Fired notifications are
+    /// published on the bus topic and returned.
+    pub fn ingest(&self, output: AdapterOutput, now: SimTime) -> Vec<Notification> {
+        let mut affected: Vec<MobileObjectId> = Vec::new();
+        {
+            let mut db = self.db.write();
+            for revocation in &output.revocations {
+                db.revoke_readings(&revocation.sensor_id, &revocation.object);
+                if !affected.contains(&revocation.object) {
+                    affected.push(revocation.object.clone());
+                }
+            }
+            for reading in output.readings {
+                if !affected.contains(&reading.object) {
+                    affected.push(reading.object.clone());
+                }
+                self.register_accuracy(reading.spec.hit_probability());
+                // Keep the per-sensor metadata table (§5.2's second
+                // table) current from the calibration the adapter sent.
+                db.upsert_sensor_meta(mw_spatial_db::SensorMetaRow {
+                    sensor_id: reading.sensor_id.clone(),
+                    confidence_percent: reading.spec.hit_probability() * 100.0,
+                    time_to_live: reading.time_to_live,
+                });
+                // Database-level trigger events are superseded by the
+                // probability-filtered subscription pass below; the raw
+                // events remain available to database-level users.
+                let _ = db.insert_reading(reading, now);
+            }
+        }
+        let mut fired = Vec::new();
+        for object in affected {
+            fired.extend(self.evaluate_subscriptions(&object, now));
+        }
+        for n in &fired {
+            self.notifications.publish(n.clone());
+        }
+        fired
+    }
+
+    /// Convenience: ingest a single reading.
+    pub fn ingest_reading(&self, reading: SensorReading, now: SimTime) -> Vec<Notification> {
+        self.ingest(AdapterOutput::single(reading), now)
+    }
+
+    /// Declares a deployed sensor technology up front so the §4.4 band
+    /// thresholds can be derived before its first reading arrives.
+    /// Readings also register their technology automatically on ingest.
+    pub fn register_sensor_type(&self, spec: &mw_sensors::SensorSpec) {
+        self.register_accuracy(spec.hit_probability());
+    }
+
+    fn register_accuracy(&self, p: f64) {
+        let mut acc = self.sensor_accuracies.write();
+        if !acc.iter().any(|&x| (x - p).abs() < 1e-9) {
+            acc.push(p);
+        }
+    }
+
+    /// The deployment-wide band thresholds (§4.4), derived from every
+    /// sensor technology registered or seen so far.
+    #[must_use]
+    pub fn band_thresholds(&self) -> BandThresholds {
+        BandThresholds::from_sensor_accuracies(&self.sensor_accuracies.read())
+    }
+
+    // --- object-based queries ----------------------------------------------
+
+    /// "Where is person X?" — fuses the object's live readings and returns
+    /// the best estimate with symbolic resolution and privacy applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoLocation`] when no live readings exist.
+    pub fn locate(&self, object: &MobileObjectId, now: SimTime) -> Result<LocationFix, CoreError> {
+        let readings = self.db.read().live_readings_for(object, now);
+        let result = self.engine.fuse(&readings, now);
+        let estimate = result
+            .best_estimate()
+            .ok_or_else(|| CoreError::NoLocation {
+                object: object.to_string(),
+            })?;
+        let world = self.world.read();
+        let mut symbolic = world.symbolic_for_rect(&estimate.region);
+        let mut region = estimate.region;
+        // Privacy (§4.5): truncate the symbolic location and coarsen the
+        // coordinate estimate to the revealed region's rectangle.
+        if let Some(&max_depth) = self.privacy.read().get(object) {
+            if let Some(glob) = symbolic.take() {
+                let truncated = glob.truncated(max_depth);
+                if let Ok(rect) = world.region_rect(&truncated.to_string()) {
+                    region = rect;
+                }
+                symbolic = Some(truncated);
+            } else {
+                // No symbolic resolution: reveal the whole universe.
+                region = self.engine.universe();
+            }
+        }
+        Ok(LocationFix {
+            object: object.clone(),
+            region,
+            probability: estimate.probability,
+            band: self.band_thresholds().classify(estimate.probability),
+            symbolic,
+            at: now,
+        })
+    }
+
+    /// The full spatial probability distribution of one object (§4.1.2:
+    /// "Multi-sensor fusion uses data from different sensors to derive a
+    /// spatial probability distribution of the location of the person"):
+    /// the lattice's minimal regions with normalized weights summing
+    /// to 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoLocation`] when the object has no live
+    /// readings.
+    pub fn location_distribution(
+        &self,
+        object: &MobileObjectId,
+        now: SimTime,
+    ) -> Result<Vec<(Rect, f64)>, CoreError> {
+        let readings = self.db.read().live_readings_for(object, now);
+        let result = self.engine.fuse(&readings, now);
+        let lattice = result.lattice();
+        let dist: Vec<(Rect, f64)> = lattice
+            .normalized_distribution()
+            .into_iter()
+            .filter_map(|(id, w)| lattice.region(id).ok().map(|r| (r, w)))
+            .collect();
+        if dist.is_empty() {
+            return Err(CoreError::NoLocation {
+                object: object.to_string(),
+            });
+        }
+        Ok(dist)
+    }
+
+    /// The probability that `object` is inside the named region (§4.2's
+    /// region-based query on one object).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRegion`] for unknown names.
+    pub fn probability_in_region(
+        &self,
+        object: &MobileObjectId,
+        region: &str,
+        now: SimTime,
+    ) -> Result<f64, CoreError> {
+        let rect = self.world.read().region_rect(region)?;
+        Ok(self.probability_in_rect(object, &rect, now))
+    }
+
+    /// The probability that `object` is inside an explicit rectangle.
+    #[must_use]
+    pub fn probability_in_rect(&self, object: &MobileObjectId, rect: &Rect, now: SimTime) -> f64 {
+        let readings = self.db.read().live_readings_for(object, now);
+        let mut result = self.engine.fuse(&readings, now);
+        result.region_probability(*rect).unwrap_or(0.0)
+    }
+
+    /// The §4.4 band of [`LocationService::probability_in_region`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRegion`] for unknown names.
+    pub fn band_in_region(
+        &self,
+        object: &MobileObjectId,
+        region: &str,
+        now: SimTime,
+    ) -> Result<ProbabilityBand, CoreError> {
+        let rect = self.world.read().region_rect(region)?;
+        let p = self.probability_in_rect(object, &rect, now);
+        Ok(self.band_thresholds().classify(p))
+    }
+
+    /// The nearest static object satisfying `pred` to the object's best
+    /// estimate — the Follow-Me proxy's "nearby displays or workstations
+    /// that are suitable for resuming the session" query (§8.1). Returns
+    /// the object's combined key and its distance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoLocation`] when the object has no live
+    /// readings.
+    pub fn nearest_static_object<F>(
+        &self,
+        object: &MobileObjectId,
+        now: SimTime,
+        pred: F,
+    ) -> Result<Option<(String, f64)>, CoreError>
+    where
+        F: FnMut(&SpatialObject) -> bool,
+    {
+        let fix = self.locate(object, now)?;
+        let center = fix.region.center();
+        let db = self.db.read();
+        Ok(db
+            .objects()
+            .nearest_matching(center, pred)
+            .map(|o| (o.key(), o.mbr().distance_to_point(center))))
+    }
+
+    // --- region-based queries ----------------------------------------------
+
+    /// "Who are the people in room 3105?" — all tracked objects inside the
+    /// named region with probability at least `min_probability`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRegion`] for unknown names.
+    pub fn objects_in_region(
+        &self,
+        region: &str,
+        min_probability: f64,
+        now: SimTime,
+    ) -> Result<Vec<(MobileObjectId, f64)>, CoreError> {
+        let rect = self.world.read().region_rect(region)?;
+        let objects = self.db.read().readings().tracked_objects(now);
+        let mut out = Vec::new();
+        for object in objects {
+            let p = self.probability_in_rect(&object, &rect, now);
+            if p >= min_probability {
+                out.push((object, p));
+            }
+        }
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
+        Ok(out)
+    }
+
+    // --- subscriptions (push mode) ------------------------------------------
+
+    /// Registers a region-based notification (§4.3); returns its id.
+    #[must_use]
+    pub fn subscribe(&self, spec: SubscriptionSpec) -> SubscriptionId {
+        self.subs.write().add(spec)
+    }
+
+    /// Subscribes using a model-level [`mw_model::Location`] (symbolic
+    /// name or room-local coordinates) instead of a raw rectangle,
+    /// resolving through the world model (§3's hybrid flexibility).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRegion`] when the location cannot be
+    /// resolved.
+    pub fn subscribe_location(
+        &self,
+        location: &mw_model::Location,
+        min_probability: f64,
+        object: Option<MobileObjectId>,
+    ) -> Result<SubscriptionId, CoreError> {
+        let region = self.resolve_location(location)?;
+        let mut spec = SubscriptionSpec::region_entry(region, min_probability);
+        spec.object = object;
+        Ok(self.subscribe(spec))
+    }
+
+    /// Cancels a subscription.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownSubscription`] for stale ids.
+    pub fn unsubscribe(&self, id: SubscriptionId) -> Result<(), CoreError> {
+        self.subs
+            .write()
+            .remove(id)
+            .map(|_| ())
+            .ok_or(CoreError::UnknownSubscription { id: id.value() })
+    }
+
+    /// Number of registered subscriptions.
+    #[must_use]
+    pub fn subscription_count(&self) -> usize {
+        self.subs.read().len()
+    }
+
+    fn evaluate_subscriptions(&self, object: &MobileObjectId, now: SimTime) -> Vec<Notification> {
+        if self.subs.read().len() == 0 {
+            return Vec::new();
+        }
+        let readings = self.db.read().live_readings_for(object, now);
+        let result = self.engine.fuse(&readings, now);
+        // Candidates: subscriptions whose region intersects the surviving
+        // evidence (R-tree pruned) plus currently-true ones that may need
+        // re-arming. This keeps the per-update cost nearly independent of
+        // the number of programmed triggers (the paper's Figure 9 claim).
+        let window = result.evidence_window();
+        let candidates: Vec<(SubscriptionId, SubscriptionSpec)> = {
+            let subs = self.subs.read();
+            subs.candidates(object, window)
+                .into_iter()
+                .filter_map(|id| subs.subs.get(&id).map(|s| (id, s.clone())))
+                .collect()
+        };
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let thresholds = self.band_thresholds();
+        let mut fired = Vec::new();
+        for (id, spec) in candidates {
+            let p = result.region_probability_fast(&spec.region);
+            let band = thresholds.classify(p);
+            let satisfied =
+                p >= spec.min_probability && spec.min_band.is_none_or(|min| band >= min);
+            if self.subs.write().record(id, object, satisfied) {
+                fired.push(Notification {
+                    subscription: id,
+                    object: object.clone(),
+                    region: spec.region,
+                    probability: p,
+                    band,
+                    at: now,
+                });
+            }
+        }
+        fired
+    }
+
+    // --- privacy -------------------------------------------------------------
+
+    /// Limits how precisely `object`'s location is revealed: GLOBs are
+    /// truncated to `max_depth` segments and coordinates coarsened to the
+    /// revealed region (§4.5).
+    pub fn set_privacy(&self, object: MobileObjectId, max_depth: usize) {
+        self.privacy.write().insert(object, max_depth);
+    }
+
+    /// Removes `object`'s privacy constraint.
+    pub fn clear_privacy(&self, object: &MobileObjectId) {
+        self.privacy.write().remove(object);
+    }
+
+    // --- spatial relationships (§4.6) ----------------------------------------
+
+    /// The full region–region relation (RCC-8 + passage refinement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRegion`] for unknown names.
+    pub fn region_relation(&self, a: &str, b: &str) -> Result<RegionRelation, CoreError> {
+        let world = self.world.read();
+        let rcc = world.rcc8(a, b)?;
+        let ec = world.ec_kind(a, b)?;
+        Ok(RegionRelation::from_parts(rcc, ec))
+    }
+
+    /// Builds an RCC-8 inference engine pre-loaded with the exact
+    /// relations of every named region — the paper's XSB Prolog layer
+    /// ("The Location Service reasons further about these relations using
+    /// XSB Prolog"). Callers may assert additional abstract facts (regions
+    /// without geometry) before running closure.
+    #[must_use]
+    pub fn build_reasoner(&self) -> mw_reasoning::RccEngine {
+        let world = self.world.read();
+        let regions: Vec<(String, Rect)> =
+            world.regions().map(|(n, r)| (n.to_string(), r)).collect();
+        let mut engine = mw_reasoning::RccEngine::new();
+        for (i, (a, ra)) in regions.iter().enumerate() {
+            engine.declare(a.clone());
+            for (b, rb) in regions.iter().skip(i + 1) {
+                engine.assert_fact(a, b, mw_reasoning::Rcc8::of(ra, rb));
+            }
+        }
+        engine
+    }
+
+    /// The possible RCC-8 relations between two regions after closure —
+    /// works for abstract regions connected to the geometry only through
+    /// asserted facts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Reasoning`] for contradictory facts or
+    /// unknown names.
+    pub fn possible_relations(
+        &self,
+        a: &str,
+        b: &str,
+    ) -> Result<mw_reasoning::RelationSet, CoreError> {
+        let mut engine = self.build_reasoner();
+        engine.close()?;
+        Ok(engine.query(a, b)?)
+    }
+
+    /// Proximity of two objects (§4.6.3a).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoLocation`] when either object has no live
+    /// readings.
+    pub fn proximity(
+        &self,
+        a: &MobileObjectId,
+        b: &MobileObjectId,
+        threshold: f64,
+        now: SimTime,
+    ) -> Result<ObjectRelation, CoreError> {
+        let fa = self.locate(a, now)?;
+        let fb = self.locate(b, now)?;
+        Ok(relations::proximity(&fa, &fb, threshold))
+    }
+
+    /// Co-location of two objects at a symbolic granularity (§4.6.3b).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoLocation`] when either object has no live
+    /// readings.
+    pub fn co_location(
+        &self,
+        a: &MobileObjectId,
+        b: &MobileObjectId,
+        granularity: usize,
+        now: SimTime,
+    ) -> Result<CoLocation, CoreError> {
+        let fa = self.locate(a, now)?;
+        let fb = self.locate(b, now)?;
+        Ok(relations::co_location(&fa, &fb, granularity))
+    }
+
+    /// Euclidean distance between two objects (§4.6.3c).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoLocation`] when either object has no live
+    /// readings.
+    pub fn object_distance(
+        &self,
+        a: &MobileObjectId,
+        b: &MobileObjectId,
+        now: SimTime,
+    ) -> Result<f64, CoreError> {
+        let fa = self.locate(a, now)?;
+        let fb = self.locate(b, now)?;
+        Ok(relations::object_distance(&fa, &fb))
+    }
+
+    /// Distance from an object to a named region (§4.6.2c): Euclidean
+    /// when `path = false`, walking distance through doors when
+    /// `path = true` (measured from the region the object resolves to).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoLocation`] for untracked objects and
+    /// [`CoreError::UnknownRegion`] for unknown regions. Path distance is
+    /// `None` when no walkable route exists.
+    pub fn object_region_distance(
+        &self,
+        object: &MobileObjectId,
+        region: &str,
+        path: bool,
+        now: SimTime,
+    ) -> Result<Option<f64>, CoreError> {
+        let fix = self.locate(object, now)?;
+        let world = self.world.read();
+        if !path {
+            let rect = world.region_rect(region)?;
+            return Ok(Some(relations::object_region_distance(&fix, &rect)));
+        }
+        let Some(here) = fix.symbolic else {
+            return Ok(None);
+        };
+        world.path_distance(&here.to_string(), region, true)
+    }
+
+    /// Usage-region check (§4.6.2b): is `object` within the usage region
+    /// of the static object named `target`? Usage regions are
+    /// `UsageRegion` rows whose `usage-for` attribute names the target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRegion`] when `target` has no usage
+    /// region, or [`CoreError::NoLocation`] for an untracked object.
+    pub fn can_use(
+        &self,
+        object: &MobileObjectId,
+        target: &str,
+        now: SimTime,
+    ) -> Result<ObjectRelation, CoreError> {
+        let usage_rect = self.with_db(|db| {
+            db.objects()
+                .iter()
+                .find(|o| {
+                    o.object_type == mw_spatial_db::ObjectType::UsageRegion
+                        && o.attribute("usage-for") == Some(target)
+                })
+                .map(|o| o.mbr())
+        });
+        let usage_rect = usage_rect.ok_or_else(|| CoreError::UnknownRegion {
+            name: format!("usage region for {target}"),
+        })?;
+        let fix = self.locate(object, now)?;
+        Ok(relations::containment(&fix, &usage_rect))
+    }
+
+    // --- bus endpoint (pull mode over the wire) ---------------------------------
+
+    /// Registers the service's RPC endpoint on `broker` under
+    /// [`LOCATION_SERVICE_NAME`] and spawns a thread serving it. The
+    /// thread exits when the broker (and all client handles) are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mw_bus::BusError::DuplicateService`] when already
+    /// registered.
+    pub fn serve_on(
+        self: &Arc<Self>,
+        broker: &Broker,
+    ) -> Result<std::thread::JoinHandle<()>, mw_bus::BusError> {
+        let server =
+            broker.register_service::<LocationRequest, LocationResponse>(LOCATION_SERVICE_NAME)?;
+        let service = Arc::clone(self);
+        Ok(std::thread::spawn(move || {
+            while let Some((request, reply)) = server.next_request() {
+                reply(service.handle(request));
+            }
+        }))
+    }
+
+    fn handle(&self, request: LocationRequest) -> LocationResponse {
+        match request {
+            LocationRequest::Locate { object, now } => match self.locate(&object, now) {
+                Ok(fix) => LocationResponse::Fix(Some(fix)),
+                Err(CoreError::NoLocation { .. }) => LocationResponse::Fix(None),
+                Err(e) => LocationResponse::Error(e.to_string()),
+            },
+            LocationRequest::RegionProbability {
+                object,
+                region,
+                now,
+            } => match self.probability_in_region(&object, &region, now) {
+                Ok(p) => LocationResponse::Probability(p),
+                Err(e) => LocationResponse::Error(e.to_string()),
+            },
+            LocationRequest::ObjectsInRegion {
+                region,
+                min_probability,
+                now,
+            } => match self.objects_in_region(&region, min_probability, now) {
+                Ok(v) => LocationResponse::Objects(v),
+                Err(e) => LocationResponse::Error(e.to_string()),
+            },
+            LocationRequest::Subscribe {
+                region,
+                min_probability,
+                object,
+            } => match self.with_world(|w| w.region_rect(&region)) {
+                Ok(rect) => {
+                    let mut spec = SubscriptionSpec::region_entry(rect, min_probability);
+                    spec.object = object;
+                    LocationResponse::Subscribed(self.subscribe(spec))
+                }
+                Err(e) => LocationResponse::Error(e.to_string()),
+            },
+            LocationRequest::Unsubscribe { id } => match self.unsubscribe(id) {
+                Ok(()) => LocationResponse::Unsubscribed,
+                Err(e) => LocationResponse::Error(e.to_string()),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mw_geometry::{Point, Polygon, Segment};
+    use mw_model::{SimDuration, TemporalDegradation};
+    use mw_sensors::SensorSpec;
+    use mw_spatial_db::{Geometry, ObjectType};
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    fn reading(object: &str, region: Rect, at: f64) -> SensorReading {
+        SensorReading {
+            sensor_id: "Ubi-18".into(),
+            spec: SensorSpec::ubisense(1.0),
+            object: object.into(),
+            glob_prefix: "CS/Floor3".parse().unwrap(),
+            region,
+            detected_at: SimTime::from_secs(at),
+            time_to_live: SimDuration::from_secs(30.0),
+            tdf: TemporalDegradation::None,
+            moving: false,
+        }
+    }
+
+    fn sample_db() -> SpatialDatabase {
+        let mut db = SpatialDatabase::new();
+        let prefix: mw_model::Glob = "CS/Floor3".parse().unwrap();
+        db.insert_object(SpatialObject::new(
+            "Floor3",
+            "CS".parse().unwrap(),
+            ObjectType::Floor,
+            Geometry::Polygon(Polygon::from_rect(&rect(0.0, 0.0, 500.0, 100.0))),
+        ))
+        .unwrap();
+        db.insert_object(SpatialObject::new(
+            "3105",
+            prefix.clone(),
+            ObjectType::Room,
+            Geometry::Polygon(Polygon::from_rect(&rect(330.0, 0.0, 350.0, 30.0))),
+        ))
+        .unwrap();
+        db.insert_object(SpatialObject::new(
+            "LabCorridor",
+            prefix.clone(),
+            ObjectType::Corridor,
+            Geometry::Polygon(Polygon::from_rect(&rect(310.0, 0.0, 330.0, 30.0))),
+        ))
+        .unwrap();
+        db.insert_object(SpatialObject::new(
+            "Door3105",
+            prefix,
+            ObjectType::Door,
+            Geometry::Line(Segment::new(
+                Point::new(330.0, 10.0),
+                Point::new(330.0, 14.0),
+            )),
+        ))
+        .unwrap();
+        db
+    }
+
+    fn service() -> (Arc<LocationService>, Broker) {
+        let broker = Broker::new();
+        let svc = LocationService::new(sample_db(), rect(0.0, 0.0, 500.0, 100.0), &broker);
+        (svc, broker)
+    }
+
+    #[test]
+    fn locate_resolves_symbolically() {
+        let (svc, _broker) = service();
+        svc.ingest_reading(
+            reading("alice", rect(339.0, 9.0, 341.0, 11.0), 0.0),
+            SimTime::ZERO,
+        );
+        let fix = svc
+            .locate(&"alice".into(), SimTime::from_secs(1.0))
+            .unwrap();
+        assert_eq!(fix.symbolic.unwrap().to_string(), "CS/Floor3/3105");
+        assert!(fix.probability > 0.8, "p={}", fix.probability);
+    }
+
+    #[test]
+    fn locate_unknown_object_errors() {
+        let (svc, _broker) = service();
+        assert!(matches!(
+            svc.locate(&"ghost".into(), SimTime::ZERO),
+            Err(CoreError::NoLocation { .. })
+        ));
+    }
+
+    #[test]
+    fn region_queries() {
+        let (svc, _broker) = service();
+        svc.ingest_reading(
+            reading("alice", rect(339.0, 9.0, 341.0, 11.0), 0.0),
+            SimTime::ZERO,
+        );
+        svc.ingest_reading(
+            reading("bob", rect(319.0, 9.0, 321.0, 11.0), 0.0),
+            SimTime::ZERO,
+        );
+        let now = SimTime::from_secs(1.0);
+        let p_room = svc
+            .probability_in_region(&"alice".into(), "CS/Floor3/3105", now)
+            .unwrap();
+        assert!(p_room > 0.8);
+        let p_corridor = svc
+            .probability_in_region(&"alice".into(), "CS/Floor3/LabCorridor", now)
+            .unwrap();
+        assert!(p_corridor < 0.1);
+        // Region-based: who is in the room?
+        let in_room = svc.objects_in_region("CS/Floor3/3105", 0.5, now).unwrap();
+        assert_eq!(in_room.len(), 1);
+        assert_eq!(in_room[0].0, "alice".into());
+        // Unknown region.
+        assert!(svc
+            .probability_in_region(&"alice".into(), "Nope", now)
+            .is_err());
+    }
+
+    #[test]
+    fn subscription_fires_on_entry_and_is_edge_triggered() {
+        let (svc, broker) = service();
+        let sub_rx = broker.topic::<Notification>(NOTIFICATION_TOPIC).subscribe();
+        let room = rect(330.0, 0.0, 350.0, 30.0);
+        let id =
+            svc.subscribe(SubscriptionSpec::region_entry(room, 0.5).for_object("alice".into()));
+        // Alice is in the corridor: no notification.
+        let fired = svc.ingest_reading(
+            reading("alice", rect(319.0, 9.0, 321.0, 11.0), 0.0),
+            SimTime::ZERO,
+        );
+        assert!(fired.is_empty());
+        // Alice enters the room: notification.
+        let fired = svc.ingest_reading(
+            reading("alice", rect(339.0, 9.0, 341.0, 11.0), 5.0),
+            SimTime::from_secs(5.0),
+        );
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].subscription, id);
+        assert!(fired[0].probability > 0.5);
+        // The bus subscriber saw it too.
+        let pushed = sub_rx
+            .recv_timeout(std::time::Duration::from_millis(200))
+            .unwrap();
+        assert_eq!(pushed.subscription, id);
+        // Another reading inside the room: edge-triggered, no repeat.
+        let fired = svc.ingest_reading(
+            reading("alice", rect(340.0, 10.0, 342.0, 12.0), 6.0),
+            SimTime::from_secs(6.0),
+        );
+        assert!(fired.is_empty());
+    }
+
+    #[test]
+    fn subscription_object_filter() {
+        let (svc, _broker) = service();
+        let room = rect(330.0, 0.0, 350.0, 30.0);
+        let _id =
+            svc.subscribe(SubscriptionSpec::region_entry(room, 0.5).for_object("alice".into()));
+        let fired = svc.ingest_reading(
+            reading("bob", rect(339.0, 9.0, 341.0, 11.0), 0.0),
+            SimTime::ZERO,
+        );
+        assert!(fired.is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_stops_notifications() {
+        let (svc, _broker) = service();
+        let room = rect(330.0, 0.0, 350.0, 30.0);
+        let id = svc.subscribe(SubscriptionSpec::region_entry(room, 0.5));
+        assert_eq!(svc.subscription_count(), 1);
+        svc.unsubscribe(id).unwrap();
+        assert_eq!(svc.subscription_count(), 0);
+        assert!(svc.unsubscribe(id).is_err());
+        let fired = svc.ingest_reading(
+            reading("alice", rect(339.0, 9.0, 341.0, 11.0), 0.0),
+            SimTime::ZERO,
+        );
+        assert!(fired.is_empty());
+    }
+
+    #[test]
+    fn privacy_truncates_to_floor() {
+        let (svc, _broker) = service();
+        svc.ingest_reading(
+            reading("alice", rect(339.0, 9.0, 341.0, 11.0), 0.0),
+            SimTime::ZERO,
+        );
+        svc.set_privacy("alice".into(), 2); // reveal only CS/Floor3
+        let fix = svc
+            .locate(&"alice".into(), SimTime::from_secs(1.0))
+            .unwrap();
+        assert_eq!(fix.symbolic.unwrap().to_string(), "CS/Floor3");
+        // The coordinate estimate is coarsened to the floor rectangle.
+        assert_eq!(fix.region, rect(0.0, 0.0, 500.0, 100.0));
+        svc.clear_privacy(&"alice".into());
+        let fix2 = svc
+            .locate(&"alice".into(), SimTime::from_secs(1.0))
+            .unwrap();
+        assert_eq!(fix2.symbolic.unwrap().to_string(), "CS/Floor3/3105");
+    }
+
+    #[test]
+    fn relations_between_objects() {
+        let (svc, _broker) = service();
+        let now = SimTime::from_secs(1.0);
+        svc.ingest_reading(
+            reading("alice", rect(339.0, 9.0, 341.0, 11.0), 0.0),
+            SimTime::ZERO,
+        );
+        svc.ingest_reading(
+            reading("bob", rect(342.0, 9.0, 344.0, 11.0), 0.0),
+            SimTime::ZERO,
+        );
+        let near = svc
+            .proximity(&"alice".into(), &"bob".into(), 5.0, now)
+            .unwrap();
+        assert!(near.holds);
+        let far = svc
+            .proximity(&"alice".into(), &"bob".into(), 0.5, now)
+            .unwrap();
+        assert!(!far.holds);
+        let colo = svc
+            .co_location(&"alice".into(), &"bob".into(), 3, now)
+            .unwrap();
+        assert!(colo.co_located);
+        assert_eq!(colo.region.unwrap().to_string(), "CS/Floor3/3105");
+        let d = svc
+            .object_distance(&"alice".into(), &"bob".into(), now)
+            .unwrap();
+        assert!((d - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn region_relation_api() {
+        let (svc, _broker) = service();
+        let rel = svc
+            .region_relation("CS/Floor3/3105", "CS/Floor3/LabCorridor")
+            .unwrap();
+        assert!(matches!(
+            rel,
+            RegionRelation::ExternallyConnected(mw_reasoning::EcKind::FreePassage)
+        ));
+        assert!(rel.is_traversable());
+    }
+
+    #[test]
+    fn usage_region_check() {
+        let (svc, _broker) = service();
+        svc.add_object(
+            SpatialObject::new(
+                "DisplayNook",
+                "CS/Floor3".parse().unwrap(),
+                ObjectType::UsageRegion,
+                Geometry::Polygon(Polygon::from_rect(&rect(335.0, 0.0, 345.0, 10.0))),
+            )
+            .with_attribute("usage-for", "wall-display-1"),
+        )
+        .unwrap();
+        svc.ingest_reading(
+            reading("alice", rect(339.0, 4.0, 341.0, 6.0), 0.0),
+            SimTime::ZERO,
+        );
+        let now = SimTime::from_secs(1.0);
+        let usable = svc.can_use(&"alice".into(), "wall-display-1", now).unwrap();
+        assert!(usable.holds);
+        assert!(usable.probability > 0.5);
+        assert!(svc
+            .can_use(&"alice".into(), "no-such-display", now)
+            .is_err());
+    }
+
+    #[test]
+    fn rpc_endpoint_roundtrip() {
+        let (svc, broker) = service();
+        let _handle = svc.serve_on(&broker).unwrap();
+        svc.ingest_reading(
+            reading("alice", rect(339.0, 9.0, 341.0, 11.0), 0.0),
+            SimTime::ZERO,
+        );
+        let client = broker
+            .lookup::<LocationRequest, LocationResponse>(LOCATION_SERVICE_NAME)
+            .unwrap();
+        let now = SimTime::from_secs(1.0);
+        match client
+            .call(LocationRequest::Locate {
+                object: "alice".into(),
+                now,
+            })
+            .unwrap()
+        {
+            LocationResponse::Fix(Some(fix)) => {
+                assert_eq!(fix.symbolic.unwrap().to_string(), "CS/Floor3/3105");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        match client
+            .call(LocationRequest::ObjectsInRegion {
+                region: "CS/Floor3/3105".into(),
+                min_probability: 0.5,
+                now,
+            })
+            .unwrap()
+        {
+            LocationResponse::Objects(objs) => assert_eq!(objs.len(), 1),
+            other => panic!("unexpected response {other:?}"),
+        }
+        match client
+            .call(LocationRequest::Locate {
+                object: "ghost".into(),
+                now,
+            })
+            .unwrap()
+        {
+            LocationResponse::Fix(None) => {}
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn band_thresholds_span_deployed_technologies() {
+        let (svc, _broker) = service();
+        // Declare a weaker technology alongside Ubisense so the band
+        // edges spread out (§4.4 uses all deployed sensors).
+        svc.register_sensor_type(&SensorSpec::rfid_badge(0.8));
+        svc.ingest_reading(
+            reading("alice", rect(339.0, 9.0, 341.0, 11.0), 0.0),
+            SimTime::ZERO,
+        );
+        let fix = svc
+            .locate(&"alice".into(), SimTime::from_secs(1.0))
+            .unwrap();
+        // p ≈ 0.93 exceeds the RFID-derived min threshold: at least medium.
+        assert!(fix.band >= ProbabilityBand::Medium, "band={:?}", fix.band);
+        let t = svc.band_thresholds();
+        assert!(t.lower_bound(ProbabilityBand::Medium) < 0.9);
+    }
+
+    #[test]
+    fn object_region_distance_euclidean_and_path() {
+        let (svc, _broker) = service();
+        svc.ingest_reading(
+            reading("alice", rect(339.0, 9.0, 341.0, 11.0), 0.0),
+            SimTime::ZERO,
+        );
+        let now = SimTime::from_secs(1.0);
+        // Euclidean to the corridor: the room wall is at x = 330, alice's
+        // rect starts at 339: distance 9.
+        let d = svc
+            .object_region_distance(&"alice".into(), "CS/Floor3/LabCorridor", false, now)
+            .unwrap()
+            .unwrap();
+        assert!((d - 9.0).abs() < 1e-9, "d={d}");
+        // Path distance goes through the door.
+        let p = svc
+            .object_region_distance(&"alice".into(), "CS/Floor3/LabCorridor", true, now)
+            .unwrap()
+            .unwrap();
+        assert!(p > d);
+        // Unknown region errors.
+        assert!(svc
+            .object_region_distance(&"alice".into(), "Nope", false, now)
+            .is_err());
+    }
+
+    #[test]
+    fn symbolic_lattice_walk_and_defined_regions() {
+        let (svc, _broker) = service();
+        // Define the paper's "East wing" and a work region inside 3105.
+        svc.define_region(
+            &"CS/Floor3/EastWing".parse().unwrap(),
+            rect(250.0, 0.0, 500.0, 100.0),
+        )
+        .unwrap();
+        svc.define_region(
+            &"CS/Floor3/3105/WorkRegion".parse().unwrap(),
+            rect(335.0, 5.0, 345.0, 15.0),
+        )
+        .unwrap();
+        svc.ingest_reading(
+            reading("alice", rect(339.0, 9.0, 341.0, 11.0), 0.0),
+            SimTime::ZERO,
+        );
+        let chain = svc
+            .symbolic_regions_of(&"alice".into(), SimTime::from_secs(1.0))
+            .unwrap();
+        let names: Vec<String> = chain.iter().map(ToString::to_string).collect();
+        assert_eq!(
+            names,
+            vec![
+                "CS/Floor3/3105/WorkRegion",
+                "CS/Floor3/3105",
+                "CS/Floor3/EastWing",
+                "CS/Floor3",
+            ]
+        );
+        // Privacy caps the revealed depth.
+        svc.set_privacy("alice".into(), 2);
+        let capped = svc
+            .symbolic_regions_of(&"alice".into(), SimTime::from_secs(1.0))
+            .unwrap();
+        // Region rect is coarsened by privacy to the floor, whose chain
+        // only contains depth-2 regions.
+        assert!(capped.iter().all(|g| g.depth() <= 2));
+        // Duplicate definition errors; root-level glob errors.
+        assert!(svc
+            .define_region(
+                &"CS/Floor3/EastWing".parse().unwrap(),
+                rect(0.0, 0.0, 1.0, 1.0)
+            )
+            .is_err());
+        assert!(svc
+            .define_region(&"CS".parse().unwrap(), rect(0.0, 0.0, 1.0, 1.0))
+            .is_err());
+    }
+
+    #[test]
+    fn nearest_static_object_finds_suitable_display() {
+        let (svc, _broker) = service();
+        for (name, x) in [("display-a", 332.0), ("display-b", 348.0)] {
+            svc.add_object(
+                SpatialObject::new(
+                    name,
+                    "CS/Floor3".parse().unwrap(),
+                    ObjectType::Display,
+                    Geometry::Point(Point::new(x, 2.0)),
+                )
+                .with_attribute("suitable-for-sessions", "true"),
+            )
+            .unwrap();
+        }
+        svc.ingest_reading(
+            reading("alice", rect(333.0, 9.0, 335.0, 11.0), 0.0),
+            SimTime::ZERO,
+        );
+        let hit = svc
+            .nearest_static_object(&"alice".into(), SimTime::from_secs(1.0), |o| {
+                o.object_type == ObjectType::Display
+                    && o.attribute("suitable-for-sessions") == Some("true")
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(hit.0, "CS/Floor3:display-a");
+        assert!(hit.1 < 10.0);
+        // No match: None.
+        let none = svc
+            .nearest_static_object(&"alice".into(), SimTime::from_secs(1.0), |o| {
+                o.object_type == ObjectType::Table
+            })
+            .unwrap();
+        assert!(none.is_none());
+        // Untracked object errors.
+        assert!(svc
+            .nearest_static_object(&"ghost".into(), SimTime::ZERO, |_| true)
+            .is_err());
+    }
+
+    #[test]
+    fn reasoner_derives_relations_for_abstract_regions() {
+        let (svc, _broker) = service();
+        let mut engine = svc.build_reasoner();
+        // An abstract "SecureZone" with no geometry: asserted to contain
+        // room 3105.
+        engine.assert_fact("SecureZone", "CS/Floor3/3105", mw_reasoning::Rcc8::Ntppi);
+        engine.close().unwrap();
+        // Derived: the corridor (EC with the room) cannot be NTPP inside
+        // the zone's interior-disjoint complement... at minimum, the zone
+        // overlaps the floor (it contains a room that is inside the floor).
+        let zone_floor = engine.query("SecureZone", "CS/Floor3").unwrap();
+        assert!(!zone_floor.contains(mw_reasoning::Rcc8::Dc));
+        // Geometric pairs stay exact.
+        let direct = svc
+            .possible_relations("CS/Floor3/3105", "CS/Floor3/LabCorridor")
+            .unwrap();
+        assert_eq!(direct.as_singleton(), Some(mw_reasoning::Rcc8::Ec));
+    }
+
+    #[test]
+    fn subscribe_by_location() {
+        let (svc, _broker) = service();
+        // Subscribe using room-local coordinates: a 10x10 zone in 3105.
+        let loc = mw_model::Location::parse("CS/Floor3/3105/(2,2),(12,2),(12,12),(2,12)").unwrap();
+        let id = svc
+            .subscribe_location(&loc, 0.5, Some("alice".into()))
+            .unwrap();
+        // Alice appears inside that zone (building coords ~ (335, 5)).
+        let fired = svc.ingest_reading(
+            reading("alice", rect(334.0, 4.0, 336.0, 6.0), 0.0),
+            SimTime::ZERO,
+        );
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].subscription, id);
+        // Unknown prefix errors.
+        let bad = mw_model::Location::parse("CS/Nowhere/(1,1)").unwrap();
+        assert!(svc.subscribe_location(&bad, 0.5, None).is_err());
+    }
+
+    #[test]
+    fn location_distribution_sums_to_one() {
+        let (svc, _broker) = service();
+        // Two disjoint-ish readings from different sensors.
+        let mut r1 = reading("alice", rect(339.0, 9.0, 341.0, 11.0), 0.0);
+        r1.sensor_id = "Ubi-1".into();
+        let mut r2 = reading("alice", rect(338.0, 8.0, 344.0, 14.0), 0.0);
+        r2.sensor_id = "RF-1".into();
+        svc.ingest_reading(r1, SimTime::ZERO);
+        svc.ingest_reading(r2, SimTime::ZERO);
+        let dist = svc
+            .location_distribution(&"alice".into(), SimTime::from_secs(1.0))
+            .unwrap();
+        let total: f64 = dist.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        assert!(svc
+            .location_distribution(&"ghost".into(), SimTime::ZERO)
+            .is_err());
+    }
+
+    #[test]
+    fn sensor_meta_table_populates_on_ingest() {
+        let (svc, _broker) = service();
+        svc.ingest_reading(
+            reading("alice", rect(339.0, 9.0, 341.0, 11.0), 0.0),
+            SimTime::ZERO,
+        );
+        svc.with_db(|db| {
+            let row = db.sensor_meta().get(&"Ubi-18".into()).expect("row exists");
+            assert!((row.confidence_percent - 95.0).abs() < 1e-9);
+            assert_eq!(row.time_to_live, SimDuration::from_secs(30.0));
+        });
+    }
+
+    #[test]
+    fn resolve_location_via_service() {
+        let (svc, _broker) = service();
+        let loc = mw_model::Location::parse("CS/Floor3/3105/(5,5)").unwrap();
+        let resolved = svc.resolve_location(&loc).unwrap();
+        assert_eq!(resolved.center(), Point::new(335.0, 5.0));
+    }
+
+    #[test]
+    fn rpc_subscribe_and_unsubscribe() {
+        let (svc, broker) = service();
+        let _server = svc.serve_on(&broker).unwrap();
+        let inbox = broker.topic::<Notification>(NOTIFICATION_TOPIC).subscribe();
+        let client = broker
+            .lookup::<LocationRequest, LocationResponse>(LOCATION_SERVICE_NAME)
+            .unwrap();
+        // Subscribe remotely to room 3105.
+        let id = match client
+            .call(LocationRequest::Subscribe {
+                region: "CS/Floor3/3105".into(),
+                min_probability: 0.5,
+                object: None,
+            })
+            .unwrap()
+        {
+            LocationResponse::Subscribed(id) => id,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(svc.subscription_count(), 1);
+        // Entry fires a notification on the topic.
+        svc.ingest_reading(
+            reading("alice", rect(339.0, 9.0, 341.0, 11.0), 0.0),
+            SimTime::ZERO,
+        );
+        let n = inbox
+            .recv_timeout(std::time::Duration::from_millis(500))
+            .unwrap();
+        assert_eq!(n.subscription, id);
+        // Unsubscribe remotely.
+        match client.call(LocationRequest::Unsubscribe { id }).unwrap() {
+            LocationResponse::Unsubscribed => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(svc.subscription_count(), 0);
+        // Unknown region and stale id report errors.
+        assert!(matches!(
+            client
+                .call(LocationRequest::Subscribe {
+                    region: "Nope".into(),
+                    min_probability: 0.5,
+                    object: None,
+                })
+                .unwrap(),
+            LocationResponse::Error(_)
+        ));
+        assert!(matches!(
+            client.call(LocationRequest::Unsubscribe { id }).unwrap(),
+            LocationResponse::Error(_)
+        ));
+    }
+
+    #[test]
+    fn revocation_removes_location() {
+        let (svc, _broker) = service();
+        svc.ingest_reading(
+            reading("alice", rect(339.0, 9.0, 341.0, 11.0), 0.0),
+            SimTime::ZERO,
+        );
+        assert!(svc.locate(&"alice".into(), SimTime::from_secs(1.0)).is_ok());
+        svc.ingest(
+            AdapterOutput {
+                readings: vec![],
+                revocations: vec![mw_sensors::Revocation {
+                    sensor_id: "Ubi-18".into(),
+                    object: "alice".into(),
+                }],
+            },
+            SimTime::from_secs(2.0),
+        );
+        assert!(svc
+            .locate(&"alice".into(), SimTime::from_secs(2.0))
+            .is_err());
+    }
+}

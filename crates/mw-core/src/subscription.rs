@@ -1,0 +1,224 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use mw_fusion::ProbabilityBand;
+use mw_geometry::Rect;
+use mw_sensors::MobileObjectId;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a registered subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SubscriptionId(pub(crate) u64);
+
+impl SubscriptionId {
+    /// The raw id.
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SubscriptionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "subscription#{}", self.0)
+    }
+}
+
+/// What an application subscribes to (§4.3): notify when an object is in
+/// a region with sufficient probability.
+///
+/// "Applications can, thus, choose to be notified if the location of the
+/// person is known with low, medium, high or very high probability.
+/// Alternatively, an application can explicitly ask for the probability"
+/// — so the threshold is either a raw probability or a band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubscriptionSpec {
+    /// The watched region (an MBR in building coordinates).
+    pub region: Rect,
+    /// Restrict to one object, or `None` for any tracked object.
+    pub object: Option<MobileObjectId>,
+    /// Minimum raw probability to fire.
+    pub min_probability: f64,
+    /// Alternatively/additionally, a minimum band (evaluated against the
+    /// fusion result's sensor-derived thresholds).
+    pub min_band: Option<ProbabilityBand>,
+}
+
+impl SubscriptionSpec {
+    /// A subscription for any object entering `region` with probability at
+    /// least `min_probability`.
+    #[must_use]
+    pub fn region_entry(region: Rect, min_probability: f64) -> Self {
+        SubscriptionSpec {
+            region,
+            object: None,
+            min_probability,
+            min_band: None,
+        }
+    }
+
+    /// Restricts the subscription to a single object, builder style.
+    #[must_use]
+    pub fn for_object(mut self, object: MobileObjectId) -> Self {
+        self.object = Some(object);
+        self
+    }
+
+    /// Requires at least `band`, builder style.
+    #[must_use]
+    pub fn with_band(mut self, band: ProbabilityBand) -> Self {
+        self.min_band = Some(band);
+        self
+    }
+}
+
+/// Internal: subscription bookkeeping with edge-triggering state.
+///
+/// Watched regions live in an R-tree so an update only evaluates the
+/// subscriptions its evidence could possibly satisfy — this is what makes
+/// the paper's Figure 9 response time "almost independent" of the number
+/// of programmed triggers.
+#[derive(Debug, Default)]
+pub(crate) struct SubscriptionManager {
+    next_id: u64,
+    pub(crate) subs: HashMap<SubscriptionId, SubscriptionSpec>,
+    index: mw_geometry::RTree<SubscriptionId>,
+    /// Per object: the subscriptions whose condition held on the last
+    /// evaluation (needed so leaving a region re-arms the edge trigger).
+    currently_true: HashMap<MobileObjectId, Vec<SubscriptionId>>,
+}
+
+impl SubscriptionManager {
+    pub(crate) fn add(&mut self, spec: SubscriptionSpec) -> SubscriptionId {
+        let id = SubscriptionId(self.next_id);
+        self.next_id += 1;
+        self.index.insert(spec.region, id);
+        self.subs.insert(id, spec);
+        id
+    }
+
+    pub(crate) fn remove(&mut self, id: SubscriptionId) -> Option<SubscriptionSpec> {
+        let spec = self.subs.remove(&id)?;
+        self.index.remove_if(&spec.region, |v| *v == id);
+        for set in self.currently_true.values_mut() {
+            set.retain(|sid| *sid != id);
+        }
+        Some(spec)
+    }
+
+    /// The subscriptions worth evaluating for `object` given the evidence
+    /// window: R-tree hits (could newly fire) plus currently-true ones
+    /// (could need re-arming), filtered by object.
+    pub(crate) fn candidates(
+        &self,
+        object: &MobileObjectId,
+        window: Option<mw_geometry::Rect>,
+    ) -> Vec<SubscriptionId> {
+        let mut out: Vec<SubscriptionId> = match window {
+            Some(w) => self.index.query_window(&w).map(|(_, id)| *id).collect(),
+            None => Vec::new(),
+        };
+        if let Some(truthy) = self.currently_true.get(object) {
+            out.extend(truthy.iter().copied());
+        }
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|id| {
+            self.subs
+                .get(id)
+                .is_some_and(|s| s.object.as_ref().is_none_or(|o| o == object))
+        });
+        out
+    }
+
+    /// Records the evaluation of `(id, object)`; returns `true` when this
+    /// is a rising edge (condition newly true).
+    pub(crate) fn record(
+        &mut self,
+        id: SubscriptionId,
+        object: &MobileObjectId,
+        satisfied: bool,
+    ) -> bool {
+        let set = self.currently_true.entry(object.clone()).or_default();
+        let was = set.contains(&id);
+        match (was, satisfied) {
+            (false, true) => {
+                set.push(id);
+                true
+            }
+            (true, false) => {
+                set.retain(|sid| *sid != id);
+                false
+            }
+            _ => false,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.subs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mw_geometry::Point;
+
+    fn region() -> Rect {
+        Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0))
+    }
+
+    #[test]
+    fn builder_style_spec() {
+        let spec = SubscriptionSpec::region_entry(region(), 0.5)
+            .for_object("alice".into())
+            .with_band(ProbabilityBand::High);
+        assert_eq!(spec.object, Some("alice".into()));
+        assert_eq!(spec.min_band, Some(ProbabilityBand::High));
+        assert_eq!(spec.min_probability, 0.5);
+    }
+
+    #[test]
+    fn edge_triggering() {
+        let mut m = SubscriptionManager::default();
+        let id = m.add(SubscriptionSpec::region_entry(region(), 0.5));
+        let alice: MobileObjectId = "alice".into();
+        // False → no edge.
+        assert!(!m.record(id, &alice, false));
+        // Rising edge.
+        assert!(m.record(id, &alice, true));
+        // Still true → no new notification.
+        assert!(!m.record(id, &alice, true));
+        // Falls, then rises again.
+        assert!(!m.record(id, &alice, false));
+        assert!(m.record(id, &alice, true));
+    }
+
+    #[test]
+    fn state_is_per_object() {
+        let mut m = SubscriptionManager::default();
+        let id = m.add(SubscriptionSpec::region_entry(region(), 0.5));
+        assert!(m.record(id, &"alice".into(), true));
+        // Bob's first satisfaction is its own edge.
+        assert!(m.record(id, &"bob".into(), true));
+    }
+
+    #[test]
+    fn remove_clears_state() {
+        let mut m = SubscriptionManager::default();
+        let id = m.add(SubscriptionSpec::region_entry(region(), 0.5));
+        m.record(id, &"alice".into(), true);
+        assert!(m.remove(id).is_some());
+        assert_eq!(m.len(), 0);
+        assert!(m.remove(id).is_none());
+        // Re-adding gets a fresh id and fresh state.
+        let id2 = m.add(SubscriptionSpec::region_entry(region(), 0.5));
+        assert_ne!(id, id2);
+        assert!(m.record(id2, &"alice".into(), true));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SubscriptionId(4).to_string(), "subscription#4");
+    }
+}

@@ -1,0 +1,335 @@
+//! The symbolic region lattice (§4.5).
+//!
+//! "In order to give location information as a symbolic region, the
+//! Location Service maintains a lattice of all symbolic regions. This
+//! includes rooms, corridors and other building structures. In addition,
+//! other symbolic locations can be defined such as 'East wing of the
+//! building' or 'work region inside a room', etc. The lattice
+//! representation also allows incorporating privacy constraints that
+//! specify that a user's location can only be revealed upto a certain
+//! granularity."
+//!
+//! Nodes are every named region in the world model (rooms, corridors,
+//! floors, and application-defined [`ObjectType::NamedRegion`] rows);
+//! the order is geometric containment of their MBRs, with GLOB-prefix
+//! nesting as a tie-break for equal rectangles.
+//!
+//! [`ObjectType::NamedRegion`]: mw_spatial_db::ObjectType
+
+use mw_geometry::{Point, Rect};
+use mw_model::Glob;
+use mw_spatial_db::{ObjectType, SpatialDatabase};
+
+/// One node of the symbolic lattice.
+#[derive(Debug, Clone)]
+struct SymNode {
+    glob: Glob,
+    rect: Rect,
+    parents: Vec<usize>,
+    children: Vec<usize>,
+}
+
+/// The lattice of symbolic regions, ordered by containment.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolicLattice {
+    nodes: Vec<SymNode>,
+}
+
+impl SymbolicLattice {
+    /// Builds the lattice from every named region in the database:
+    /// floors, rooms, corridors and application-defined named regions.
+    #[must_use]
+    pub fn from_database(db: &SpatialDatabase) -> Self {
+        let mut nodes: Vec<SymNode> = db
+            .objects()
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o.object_type,
+                    ObjectType::Floor
+                        | ObjectType::Room
+                        | ObjectType::Corridor
+                        | ObjectType::NamedRegion
+                )
+            })
+            .map(|o| SymNode {
+                glob: o.glob(),
+                rect: o.mbr(),
+                parents: Vec::new(),
+                children: Vec::new(),
+            })
+            .collect();
+        // Stable order so the lattice is deterministic.
+        nodes.sort_by_key(|a| a.glob.to_string());
+
+        // Strict containment with glob-prefix tie-break for equal rects.
+        let n = nodes.len();
+        let contains = |a: &SymNode, b: &SymNode| -> bool {
+            if a.glob == b.glob {
+                return false;
+            }
+            if a.rect == b.rect {
+                return a.glob.is_prefix_of(&b.glob);
+            }
+            a.rect.contains_rect(&b.rect)
+        };
+        for i in 0..n {
+            let containers: Vec<usize> = (0..n)
+                .filter(|&j| j != i && contains(&nodes[j], &nodes[i]))
+                .collect();
+            let mut immediate = Vec::new();
+            'outer: for &a in &containers {
+                for &c in &containers {
+                    if c != a && contains(&nodes[a], &nodes[c]) {
+                        continue 'outer;
+                    }
+                }
+                immediate.push(a);
+            }
+            for a in immediate {
+                nodes[i].parents.push(a);
+            }
+        }
+        let parent_lists: Vec<Vec<usize>> = nodes.iter().map(|x| x.parents.clone()).collect();
+        for (child, parents) in parent_lists.iter().enumerate() {
+            for &p in parents {
+                nodes[p].children.push(child);
+            }
+        }
+        SymbolicLattice { nodes }
+    }
+
+    /// Number of symbolic regions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` when no regions are known.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All region GLOBs, in lattice order.
+    pub fn regions(&self) -> impl Iterator<Item = &Glob> {
+        self.nodes.iter().map(|x| &x.glob)
+    }
+
+    /// Every symbolic region containing the point, most specific
+    /// (smallest) first — the chain an application walks to pick its
+    /// granularity.
+    #[must_use]
+    pub fn regions_at(&self, p: Point) -> Vec<Glob> {
+        let mut hits: Vec<&SymNode> = self
+            .nodes
+            .iter()
+            .filter(|x| x.rect.contains_point(p))
+            .collect();
+        hits.sort_by(|a, b| {
+            a.rect
+                .area()
+                .total_cmp(&b.rect.area())
+                .then_with(|| b.glob.depth().cmp(&a.glob.depth()))
+        });
+        hits.into_iter().map(|x| x.glob.clone()).collect()
+    }
+
+    /// Every symbolic region containing the rectangle's center, most
+    /// specific first.
+    #[must_use]
+    pub fn regions_for_rect(&self, rect: &Rect) -> Vec<Glob> {
+        self.regions_at(rect.center())
+    }
+
+    /// The immediate parents (enclosing regions) of a named region.
+    #[must_use]
+    pub fn parents_of(&self, glob: &Glob) -> Vec<Glob> {
+        self.find(glob).map_or_else(Vec::new, |i| {
+            self.nodes[i]
+                .parents
+                .iter()
+                .map(|&p| self.nodes[p].glob.clone())
+                .collect()
+        })
+    }
+
+    /// The immediate children (maximal contained regions) of a named
+    /// region.
+    #[must_use]
+    pub fn children_of(&self, glob: &Glob) -> Vec<Glob> {
+        self.find(glob).map_or_else(Vec::new, |i| {
+            self.nodes[i]
+                .children
+                .iter()
+                .map(|&c| self.nodes[c].glob.clone())
+                .collect()
+        })
+    }
+
+    /// Coarsens a symbolic location by walking `levels` steps up the
+    /// lattice (preferring the ancestor whose GLOB is a prefix, matching
+    /// the paper's privacy semantics). Stops at a maximal region.
+    #[must_use]
+    pub fn coarsen(&self, glob: &Glob, levels: usize) -> Glob {
+        let mut cur = match self.find(glob) {
+            Some(i) => i,
+            None => return glob.clone(),
+        };
+        for _ in 0..levels {
+            let parents = &self.nodes[cur].parents;
+            if parents.is_empty() {
+                break;
+            }
+            // Prefer the hierarchy parent (a GLOB prefix); else any.
+            cur = parents
+                .iter()
+                .copied()
+                .find(|&p| self.nodes[p].glob.is_prefix_of(&self.nodes[cur].glob))
+                .unwrap_or(parents[0]);
+        }
+        self.nodes[cur].glob.clone()
+    }
+
+    /// The rectangle of a named region, if known.
+    #[must_use]
+    pub fn rect_of(&self, glob: &Glob) -> Option<Rect> {
+        self.find(glob).map(|i| self.nodes[i].rect)
+    }
+
+    fn find(&self, glob: &Glob) -> Option<usize> {
+        self.nodes.iter().position(|x| &x.glob == glob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mw_geometry::Polygon;
+    use mw_spatial_db::{Geometry, SpatialObject};
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    fn db_with_wings() -> SpatialDatabase {
+        let mut db = SpatialDatabase::new();
+        let add = |db: &mut SpatialDatabase, id: &str, prefix: &str, t: ObjectType, r: Rect| {
+            db.insert_object(SpatialObject::new(
+                id,
+                prefix.parse().unwrap(),
+                t,
+                Geometry::Polygon(Polygon::from_rect(&r)),
+            ))
+            .unwrap();
+        };
+        add(
+            &mut db,
+            "Floor3",
+            "CS",
+            ObjectType::Floor,
+            rect(0.0, 0.0, 500.0, 100.0),
+        );
+        add(
+            &mut db,
+            "3105",
+            "CS/Floor3",
+            ObjectType::Room,
+            rect(330.0, 0.0, 350.0, 30.0),
+        );
+        add(
+            &mut db,
+            "NetLab",
+            "CS/Floor3",
+            ObjectType::Room,
+            rect(360.0, 0.0, 380.0, 30.0),
+        );
+        // User-defined regions: the paper's "East wing" and "work region
+        // inside a room".
+        add(
+            &mut db,
+            "EastWing",
+            "CS/Floor3",
+            ObjectType::NamedRegion,
+            rect(250.0, 0.0, 500.0, 100.0),
+        );
+        add(
+            &mut db,
+            "WorkRegion",
+            "CS/Floor3/3105",
+            ObjectType::NamedRegion,
+            rect(335.0, 5.0, 345.0, 15.0),
+        );
+        db
+    }
+
+    #[test]
+    fn lattice_structure() {
+        let lattice = SymbolicLattice::from_database(&db_with_wings());
+        assert_eq!(lattice.len(), 5);
+        let room: Glob = "CS/Floor3/3105".parse().unwrap();
+        // Room's parent is the east wing (smaller than the floor).
+        let parents = lattice.parents_of(&room);
+        assert_eq!(parents.len(), 1);
+        assert_eq!(parents[0].to_string(), "CS/Floor3/EastWing");
+        // The wing's parent is the floor.
+        let wing_parents = lattice.parents_of(&parents[0]);
+        assert_eq!(wing_parents[0].to_string(), "CS/Floor3");
+        // The room's child is the work region.
+        let children = lattice.children_of(&room);
+        assert_eq!(children.len(), 1);
+        assert_eq!(children[0].to_string(), "CS/Floor3/3105/WorkRegion");
+    }
+
+    #[test]
+    fn regions_at_point_most_specific_first() {
+        let lattice = SymbolicLattice::from_database(&db_with_wings());
+        let chain = lattice.regions_at(Point::new(340.0, 10.0));
+        let names: Vec<String> = chain.iter().map(ToString::to_string).collect();
+        assert_eq!(
+            names,
+            vec![
+                "CS/Floor3/3105/WorkRegion",
+                "CS/Floor3/3105",
+                "CS/Floor3/EastWing",
+                "CS/Floor3",
+            ]
+        );
+        // A point in the west has only the floor.
+        let west = lattice.regions_at(Point::new(50.0, 50.0));
+        assert_eq!(west.len(), 1);
+        assert_eq!(west[0].to_string(), "CS/Floor3");
+        // Off the map: nothing.
+        assert!(lattice.regions_at(Point::new(1000.0, 1000.0)).is_empty());
+    }
+
+    #[test]
+    fn coarsening_walks_the_lattice() {
+        let lattice = SymbolicLattice::from_database(&db_with_wings());
+        let work: Glob = "CS/Floor3/3105/WorkRegion".parse().unwrap();
+        assert_eq!(lattice.coarsen(&work, 1).to_string(), "CS/Floor3/3105");
+        assert_eq!(lattice.coarsen(&work, 2).to_string(), "CS/Floor3/EastWing");
+        assert_eq!(lattice.coarsen(&work, 3).to_string(), "CS/Floor3");
+        // Beyond the top: stays at the maximal region.
+        assert_eq!(lattice.coarsen(&work, 10).to_string(), "CS/Floor3");
+        // Unknown region: unchanged.
+        let stranger: Glob = "EB/1".parse().unwrap();
+        assert_eq!(lattice.coarsen(&stranger, 3), stranger);
+    }
+
+    #[test]
+    fn rect_lookup() {
+        let lattice = SymbolicLattice::from_database(&db_with_wings());
+        let wing: Glob = "CS/Floor3/EastWing".parse().unwrap();
+        assert_eq!(lattice.rect_of(&wing), Some(rect(250.0, 0.0, 500.0, 100.0)));
+        assert_eq!(lattice.rect_of(&"X/Y".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn empty_database_gives_empty_lattice() {
+        let lattice = SymbolicLattice::from_database(&SpatialDatabase::new());
+        assert!(lattice.is_empty());
+        assert_eq!(lattice.len(), 0);
+        assert_eq!(lattice.regions().count(), 0);
+    }
+}

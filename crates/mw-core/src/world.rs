@@ -1,0 +1,497 @@
+use std::collections::HashMap;
+
+use mw_geometry::{Point, Rect};
+use mw_model::Glob;
+use mw_reasoning::{ec_refinement, EcKind, Passage, Rcc8, RouteGraph, RouteNodeId};
+use mw_spatial_db::{Geometry, ObjectType, SpatialDatabase};
+
+use crate::CoreError;
+
+/// A navigable snapshot of the physical world, derived from the spatial
+/// database: named regions, passages, and the route graph for
+/// path-distance queries (§4.6.1).
+///
+/// "The vertices of all the rooms and corridors in the building are
+/// obtained from the blueprints of the building" — here, from the Table-1
+/// rows in [`SpatialDatabase`]. Doors become [`Passage`]s; a door object
+/// with attribute `passage = restricted` models the paper's
+/// card-swipe-protected doors.
+#[derive(Debug, Clone)]
+pub struct WorldModel {
+    /// Region name (full GLOB string) → (glob, rect, type).
+    regions: HashMap<String, (Glob, Rect, ObjectType)>,
+    passages: Vec<Passage>,
+    route: RouteGraph,
+    route_ids: HashMap<String, RouteNodeId>,
+}
+
+impl WorldModel {
+    /// Builds the model from the database's current contents.
+    #[must_use]
+    pub fn from_database(db: &SpatialDatabase) -> Self {
+        let mut regions = HashMap::new();
+        let mut passages = Vec::new();
+        let mut route = RouteGraph::new();
+        let mut route_ids = HashMap::new();
+
+        for obj in db.objects().iter() {
+            match (&obj.object_type, &obj.geometry) {
+                (ObjectType::Door, Geometry::Line(seg)) => {
+                    let restricted = obj.attribute("passage") == Some("restricted");
+                    passages.push(if restricted {
+                        Passage::restricted(*seg)
+                    } else {
+                        Passage::free(*seg)
+                    });
+                }
+                (ObjectType::Room | ObjectType::Corridor | ObjectType::Floor, _) => {
+                    let name = obj.glob().to_string();
+                    regions.insert(
+                        name.clone(),
+                        (obj.glob(), obj.mbr(), obj.object_type.clone()),
+                    );
+                    if obj.object_type != ObjectType::Floor {
+                        let id = route.add_region(name.clone(), obj.mbr());
+                        route_ids.insert(name, id);
+                    }
+                }
+                _ => {
+                    // Other objects (tables, displays, usage regions) are
+                    // named regions too, but not route nodes.
+                    let name = obj.glob().to_string();
+                    regions.insert(
+                        name.clone(),
+                        (obj.glob(), obj.mbr(), obj.object_type.clone()),
+                    );
+                }
+            }
+        }
+
+        // Wire the route graph: each passage connects every pair of
+        // walkable regions it touches.
+        let walkable: Vec<(String, RouteNodeId)> =
+            route_ids.iter().map(|(n, id)| (n.clone(), *id)).collect();
+        for p in &passages {
+            for (i, (na, a)) in walkable.iter().enumerate() {
+                for (nb, b) in walkable.iter().skip(i + 1) {
+                    let ra = regions[na].1;
+                    let rb = regions[nb].1;
+                    if p.connects(&ra, &rb) && Rcc8::of(&ra, &rb) == Rcc8::Ec {
+                        let _ = route.connect(*a, *b, p);
+                    }
+                }
+            }
+        }
+
+        WorldModel {
+            regions,
+            passages,
+            route,
+            route_ids,
+        }
+    }
+
+    /// The rectangle of a named region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRegion`] for unknown names.
+    pub fn region_rect(&self, name: &str) -> Result<Rect, CoreError> {
+        self.regions
+            .get(name)
+            .map(|(_, r, _)| *r)
+            .ok_or_else(|| CoreError::UnknownRegion { name: name.into() })
+    }
+
+    /// Iterates over all named regions as `(name, rect)`.
+    pub fn regions(&self) -> impl Iterator<Item = (&str, Rect)> {
+        self.regions.iter().map(|(n, (_, r, _))| (n.as_str(), *r))
+    }
+
+    /// All passages (doors) in the world.
+    #[must_use]
+    pub fn passages(&self) -> &[Passage] {
+        &self.passages
+    }
+
+    /// The RCC-8 relation between two named regions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRegion`] for unknown names.
+    pub fn rcc8(&self, a: &str, b: &str) -> Result<Rcc8, CoreError> {
+        Ok(Rcc8::of(&self.region_rect(a)?, &self.region_rect(b)?))
+    }
+
+    /// The ECFP/ECRP/ECNP refinement between two externally connected
+    /// regions, or `None` when they are not EC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRegion`] for unknown names.
+    pub fn ec_kind(&self, a: &str, b: &str) -> Result<Option<EcKind>, CoreError> {
+        Ok(ec_refinement(
+            &self.region_rect(a)?,
+            &self.region_rect(b)?,
+            &self.passages,
+        ))
+    }
+
+    /// Euclidean center-to-center distance between two named regions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRegion`] for unknown names.
+    pub fn euclidean_distance(&self, a: &str, b: &str) -> Result<f64, CoreError> {
+        Ok(self
+            .region_rect(a)?
+            .center()
+            .distance(self.region_rect(b)?.center()))
+    }
+
+    /// Path distance through doors between two walkable regions; `None`
+    /// when no route exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRegion`] when either region is unknown
+    /// or not walkable (not a room/corridor).
+    pub fn path_distance(
+        &self,
+        a: &str,
+        b: &str,
+        allow_restricted: bool,
+    ) -> Result<Option<f64>, CoreError> {
+        let na = self
+            .route_ids
+            .get(a)
+            .ok_or_else(|| CoreError::UnknownRegion { name: a.into() })?;
+        let nb = self
+            .route_ids
+            .get(b)
+            .ok_or_else(|| CoreError::UnknownRegion { name: b.into() })?;
+        Ok(self.route.path_distance(*na, *nb, allow_restricted)?)
+    }
+
+    /// The deepest (smallest) walkable-or-floor region containing `p`,
+    /// as its GLOB — the coordinate → symbolic conversion of §4.5.
+    #[must_use]
+    pub fn symbolic_at(&self, p: Point) -> Option<Glob> {
+        self.regions
+            .values()
+            .filter(|(_, r, t)| {
+                matches!(
+                    t,
+                    ObjectType::Room | ObjectType::Corridor | ObjectType::Floor
+                ) && r.contains_point(p)
+            })
+            .min_by(|(_, r1, _), (_, r2, _)| r1.area().total_cmp(&r2.area()))
+            .map(|(g, _, _)| g.clone())
+    }
+
+    /// The symbolic region (room/corridor/floor) best covering a rectangle:
+    /// the smallest such region containing the rectangle's center.
+    #[must_use]
+    pub fn symbolic_for_rect(&self, rect: &Rect) -> Option<Glob> {
+        self.symbolic_at(rect.center())
+    }
+
+    /// Read access to the route graph.
+    #[must_use]
+    pub fn route_graph(&self) -> &RouteGraph {
+        &self.route
+    }
+
+    // --- hierarchical coordinate conversion (§3) --------------------------
+
+    /// Converts a point expressed in the local coordinate system of the
+    /// named region (origin at the region's min corner, axes aligned with
+    /// the building's) into building coordinates.
+    ///
+    /// §3: "Each building, floor and room has its own coordinate axes and
+    /// a point of origin. Locations within a room can be expressed with
+    /// respect to the coordinate system of the room, the floor or the
+    /// building."
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRegion`] for unknown names.
+    pub fn to_building_coords(&self, region: &str, local: Point) -> Result<Point, CoreError> {
+        let origin = self.region_rect(region)?.min();
+        Ok(Point::new(origin.x + local.x, origin.y + local.y))
+    }
+
+    /// Inverse of [`WorldModel::to_building_coords`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRegion`] for unknown names.
+    pub fn to_local_coords(&self, region: &str, building: Point) -> Result<Point, CoreError> {
+        let origin = self.region_rect(region)?.min();
+        Ok(Point::new(building.x - origin.x, building.y - origin.y))
+    }
+
+    /// Converts a point between two regions' local coordinate systems.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRegion`] for unknown names.
+    pub fn convert_coords(
+        &self,
+        from_region: &str,
+        to_region: &str,
+        p: Point,
+    ) -> Result<Point, CoreError> {
+        let b = self.to_building_coords(from_region, p)?;
+        self.to_local_coords(to_region, b)
+    }
+
+    /// Resolves a model-level [`mw_model::Location`] to a building-frame
+    /// MBR: symbolic locations resolve through the named-region table;
+    /// coordinate locations are interpreted in the local frame of their
+    /// GLOB prefix (e.g. `CS/Floor3/3105/(5,5)` is 5 ft into room 3105).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRegion`] when the symbolic name or the
+    /// coordinate prefix is unknown.
+    pub fn resolve_location(&self, location: &mw_model::Location) -> Result<Rect, CoreError> {
+        let glob = location.glob();
+        if location.is_symbolic() {
+            return self.region_rect(&glob.to_string());
+        }
+        let prefix = glob.to_string();
+        // The display form of a coordinate glob includes the leaf; strip
+        // it by reformatting the symbolic prefix only.
+        let prefix_only = glob.segments().join("/");
+        let _ = prefix;
+        let origin = self.region_rect(&prefix_only)?.min();
+        let local = location.mbr().expect("coordinate locations have geometry");
+        Ok(local.translated(mw_geometry::Vec2::new(origin.x, origin.y)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mw_geometry::{Polygon, Segment};
+    use mw_spatial_db::SpatialObject;
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    /// A small two-room world: corridor | room, connected by a door.
+    fn sample_db() -> SpatialDatabase {
+        let mut db = SpatialDatabase::new();
+        let prefix: Glob = "CS/Floor3".parse().unwrap();
+        db.insert_object(SpatialObject::new(
+            "Floor3",
+            "CS".parse().unwrap(),
+            ObjectType::Floor,
+            Geometry::Polygon(Polygon::from_rect(&rect(0.0, 0.0, 500.0, 100.0))),
+        ))
+        .unwrap();
+        db.insert_object(SpatialObject::new(
+            "3105",
+            prefix.clone(),
+            ObjectType::Room,
+            Geometry::Polygon(Polygon::from_rect(&rect(330.0, 0.0, 350.0, 30.0))),
+        ))
+        .unwrap();
+        db.insert_object(SpatialObject::new(
+            "LabCorridor",
+            prefix.clone(),
+            ObjectType::Corridor,
+            Geometry::Polygon(Polygon::from_rect(&rect(310.0, 0.0, 330.0, 30.0))),
+        ))
+        .unwrap();
+        db.insert_object(SpatialObject::new(
+            "Door3105",
+            prefix,
+            ObjectType::Door,
+            Geometry::Line(Segment::new(
+                Point::new(330.0, 10.0),
+                Point::new(330.0, 14.0),
+            )),
+        ))
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn regions_and_rects() {
+        let world = WorldModel::from_database(&sample_db());
+        assert_eq!(
+            world.region_rect("CS/Floor3/3105").unwrap(),
+            rect(330.0, 0.0, 350.0, 30.0)
+        );
+        assert!(world.region_rect("CS/Floor3/nope").is_err());
+        // Doors become passages, not named regions.
+        assert_eq!(world.regions().count(), 3); // floor, room, corridor
+        assert_eq!(world.passages().len(), 1);
+    }
+
+    #[test]
+    fn rcc8_between_named_regions() {
+        let world = WorldModel::from_database(&sample_db());
+        assert_eq!(
+            world
+                .rcc8("CS/Floor3/3105", "CS/Floor3/LabCorridor")
+                .unwrap(),
+            Rcc8::Ec
+        );
+        assert_eq!(
+            world.rcc8("CS/Floor3/3105", "CS/Floor3").unwrap(),
+            Rcc8::Tpp
+        );
+    }
+
+    #[test]
+    fn ec_refinement_via_door() {
+        let world = WorldModel::from_database(&sample_db());
+        assert_eq!(
+            world
+                .ec_kind("CS/Floor3/3105", "CS/Floor3/LabCorridor")
+                .unwrap(),
+            Some(EcKind::FreePassage)
+        );
+    }
+
+    #[test]
+    fn path_distance_through_door() {
+        let world = WorldModel::from_database(&sample_db());
+        let d = world
+            .path_distance("CS/Floor3/3105", "CS/Floor3/LabCorridor", false)
+            .unwrap()
+            .unwrap();
+        // room center (340,15) → door (330,12) → corridor center (320,15):
+        // sqrt(100+9) + sqrt(100+9) ≈ 20.88.
+        assert!((d - 2.0 * (109.0f64).sqrt()).abs() < 1e-9);
+        let e = world
+            .euclidean_distance("CS/Floor3/3105", "CS/Floor3/LabCorridor")
+            .unwrap();
+        assert_eq!(e, 20.0);
+        assert!(d > e);
+    }
+
+    #[test]
+    fn floor_is_not_walkable() {
+        let world = WorldModel::from_database(&sample_db());
+        assert!(world
+            .path_distance("CS/Floor3/3105", "CS/Floor3", false)
+            .is_err());
+    }
+
+    #[test]
+    fn symbolic_lookup() {
+        let world = WorldModel::from_database(&sample_db());
+        assert_eq!(
+            world
+                .symbolic_at(Point::new(340.0, 10.0))
+                .unwrap()
+                .to_string(),
+            "CS/Floor3/3105"
+        );
+        assert_eq!(
+            world
+                .symbolic_at(Point::new(100.0, 80.0))
+                .unwrap()
+                .to_string(),
+            "CS/Floor3"
+        );
+        assert_eq!(world.symbolic_at(Point::new(1000.0, 1000.0)), None);
+        let fix_region = rect(338.0, 8.0, 342.0, 12.0);
+        assert_eq!(
+            world.symbolic_for_rect(&fix_region).unwrap().to_string(),
+            "CS/Floor3/3105"
+        );
+    }
+
+    #[test]
+    fn coordinate_conversion_between_frames() {
+        let world = WorldModel::from_database(&sample_db());
+        // Room 3105's origin is (330, 0) in building coordinates.
+        let b = world
+            .to_building_coords("CS/Floor3/3105", Point::new(5.0, 5.0))
+            .unwrap();
+        assert_eq!(b, Point::new(335.0, 5.0));
+        let back = world.to_local_coords("CS/Floor3/3105", b).unwrap();
+        assert_eq!(back, Point::new(5.0, 5.0));
+        // Room-to-room conversion: room origin (330,0), corridor origin
+        // (310,0): room-local (0,0) is corridor-local (20,0).
+        let c = world
+            .convert_coords(
+                "CS/Floor3/3105",
+                "CS/Floor3/LabCorridor",
+                Point::new(0.0, 0.0),
+            )
+            .unwrap();
+        assert_eq!(c, Point::new(20.0, 0.0));
+        assert!(world.to_building_coords("Nope", Point::ORIGIN).is_err());
+    }
+
+    #[test]
+    fn resolve_location_symbolic_and_coordinate() {
+        let world = WorldModel::from_database(&sample_db());
+        // Symbolic: the room's rect.
+        let sym = mw_model::Location::parse("CS/Floor3/3105").unwrap();
+        assert_eq!(
+            world.resolve_location(&sym).unwrap(),
+            rect(330.0, 0.0, 350.0, 30.0)
+        );
+        // Coordinate in room-local frame: (5,5) in 3105 = (335,5) in the
+        // building.
+        let coord = mw_model::Location::parse("CS/Floor3/3105/(5,5)").unwrap();
+        let resolved = world.resolve_location(&coord).unwrap();
+        assert_eq!(resolved.center(), Point::new(335.0, 5.0));
+        // A line location (a door) resolves to its MBR.
+        let line = mw_model::Location::parse("CS/Floor3/3105/(0,10),(0,14)").unwrap();
+        let resolved = world.resolve_location(&line).unwrap();
+        assert_eq!(resolved, rect(330.0, 10.0, 330.0, 14.0));
+        // Unknown prefix errors.
+        let bad = mw_model::Location::parse("CS/Floor9/(1,1)").unwrap();
+        assert!(world.resolve_location(&bad).is_err());
+    }
+
+    #[test]
+    fn restricted_door_attribute() {
+        let mut db = sample_db();
+        db.insert_object(
+            SpatialObject::new(
+                "SecureDoor",
+                "CS/Floor3".parse().unwrap(),
+                ObjectType::Door,
+                Geometry::Line(Segment::new(
+                    Point::new(350.0, 10.0),
+                    Point::new(350.0, 14.0),
+                )),
+            )
+            .with_attribute("passage", "restricted"),
+        )
+        .unwrap();
+        db.insert_object(SpatialObject::new(
+            "Vault",
+            "CS/Floor3".parse().unwrap(),
+            ObjectType::Room,
+            Geometry::Polygon(Polygon::from_rect(&rect(350.0, 0.0, 370.0, 30.0))),
+        ))
+        .unwrap();
+        let world = WorldModel::from_database(&db);
+        assert_eq!(
+            world.ec_kind("CS/Floor3/3105", "CS/Floor3/Vault").unwrap(),
+            Some(EcKind::RestrictedPassage)
+        );
+        // Unreachable without clearance, reachable with it.
+        assert_eq!(
+            world
+                .path_distance("CS/Floor3/LabCorridor", "CS/Floor3/Vault", false)
+                .unwrap(),
+            None
+        );
+        assert!(world
+            .path_distance("CS/Floor3/LabCorridor", "CS/Floor3/Vault", true)
+            .unwrap()
+            .is_some());
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests of the Location Service's observable behaviour.
+
+use std::sync::Arc;
+
+use mw_bus::Broker;
+use mw_core::{LocationService, SubscriptionSpec};
+use mw_geometry::{Point, Polygon, Rect};
+use mw_model::{SimDuration, SimTime, TemporalDegradation};
+use mw_sensors::{SensorReading, SensorSpec};
+use mw_spatial_db::{Geometry, ObjectType, SpatialDatabase, SpatialObject};
+use proptest::prelude::*;
+
+fn universe() -> Rect {
+    Rect::new(Point::new(0.0, 0.0), Point::new(500.0, 100.0))
+}
+
+fn floor_db() -> SpatialDatabase {
+    let mut db = SpatialDatabase::new();
+    db.insert_object(SpatialObject::new(
+        "Floor3",
+        "CS".parse().unwrap(),
+        ObjectType::Floor,
+        Geometry::Polygon(Polygon::from_rect(&universe())),
+    ))
+    .unwrap();
+    // A 10-room strip so symbolic resolution has something to find.
+    for i in 0..10 {
+        let x0 = i as f64 * 50.0;
+        db.insert_object(SpatialObject::new(
+            format!("R{i}"),
+            "CS/Floor3".parse().unwrap(),
+            ObjectType::Room,
+            Geometry::Polygon(Polygon::from_rect(&Rect::new(
+                Point::new(x0, 0.0),
+                Point::new(x0 + 50.0, 100.0),
+            ))),
+        ))
+        .unwrap();
+    }
+    db
+}
+
+fn service() -> (Arc<LocationService>, Broker) {
+    let broker = Broker::new();
+    let svc = LocationService::new(floor_db(), universe(), &broker);
+    (svc, broker)
+}
+
+fn reading(object: &str, center: Point, at: f64) -> SensorReading {
+    SensorReading {
+        sensor_id: "Ubi-prop".into(),
+        spec: SensorSpec::ubisense(1.0),
+        object: object.into(),
+        glob_prefix: "CS/Floor3".parse().unwrap(),
+        region: Rect::from_center(center, 2.0, 2.0),
+        detected_at: SimTime::from_secs(at),
+        time_to_live: SimDuration::from_secs(1e6),
+        tdf: TemporalDegradation::None,
+        moving: false,
+    }
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (2.0..498.0f64, 2.0..98.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn located_fix_contains_reading_and_resolves_symbolically(p in point()) {
+        let (svc, _b) = service();
+        svc.ingest_reading(reading("alice", p, 0.0), SimTime::ZERO);
+        let fix = svc.locate(&"alice".into(), SimTime::from_secs(1.0)).unwrap();
+        prop_assert!(fix.region.contains_point(p));
+        prop_assert!((0.0..=1.0).contains(&fix.probability));
+        // The symbolic region is the room whose strip contains p.
+        let expected_room = format!("CS/Floor3/R{}", (p.x / 50.0).floor() as usize);
+        prop_assert_eq!(fix.symbolic.unwrap().to_string(), expected_room);
+    }
+
+    #[test]
+    fn privacy_never_reveals_deeper_than_allowed(p in point(), depth in 0usize..4) {
+        let (svc, _b) = service();
+        svc.ingest_reading(reading("alice", p, 0.0), SimTime::ZERO);
+        svc.set_privacy("alice".into(), depth);
+        let fix = svc.locate(&"alice".into(), SimTime::from_secs(1.0)).unwrap();
+        if let Some(g) = fix.symbolic {
+            prop_assert!(g.depth() <= depth, "revealed {g} at depth limit {depth}");
+        }
+    }
+
+    #[test]
+    fn subscription_fires_exactly_on_entry_sequence(
+        walk in proptest::collection::vec(proptest::bool::ANY, 1..12),
+    ) {
+        // walk[i] = inside the watched room or not; notifications must
+        // fire exactly on false->true transitions (with true at i = 0
+        // counting as a transition).
+        let (svc, _b) = service();
+        let room = Rect::new(Point::new(100.0, 0.0), Point::new(150.0, 100.0)); // R2
+        let _id = svc.subscribe(SubscriptionSpec::region_entry(room, 0.5).for_object("alice".into()));
+        let mut expected = 0usize;
+        let mut fired = 0usize;
+        let mut prev = false;
+        for (i, &inside) in walk.iter().enumerate() {
+            if inside && !prev {
+                expected += 1;
+            }
+            prev = inside;
+            let center = if inside {
+                Point::new(125.0, 50.0)
+            } else {
+                Point::new(350.0, 50.0)
+            };
+            let t = SimTime::from_secs(i as f64 * 10.0);
+            fired += svc.ingest_reading(reading("alice", center, t.as_secs()), t).len();
+        }
+        prop_assert_eq!(fired, expected, "walk {:?}", walk);
+    }
+
+    #[test]
+    fn objects_in_region_finds_everyone_inside(
+        positions in proptest::collection::vec(point(), 1..8),
+    ) {
+        let (svc, _b) = service();
+        for (i, p) in positions.iter().enumerate() {
+            svc.ingest_reading(reading(&format!("p{i}"), *p, 0.0), SimTime::ZERO);
+        }
+        let now = SimTime::from_secs(1.0);
+        for room_idx in 0..10 {
+            let room = format!("CS/Floor3/R{room_idx}");
+            let found = svc.objects_in_region(&room, 0.5, now).unwrap();
+            let expected: usize = positions
+                .iter()
+                .filter(|p| {
+                    // Strictly inside the strip (±1 ft margin for the
+                    // reading rectangle).
+                    let x0 = room_idx as f64 * 50.0;
+                    p.x > x0 + 1.0 && p.x < x0 + 49.0
+                })
+                .count();
+            prop_assert!(
+                found.len() >= expected,
+                "room {room}: found {} expected at least {expected}",
+                found.len()
+            );
+        }
+    }
+
+    #[test]
+    fn co_location_is_symmetric(pa in point(), pb in point(), g in 1usize..4) {
+        let (svc, _b) = service();
+        svc.ingest_reading(reading("a", pa, 0.0), SimTime::ZERO);
+        svc.ingest_reading(reading("b", pb, 0.0), SimTime::ZERO);
+        let now = SimTime::from_secs(1.0);
+        let ab = svc.co_location(&"a".into(), &"b".into(), g, now).unwrap();
+        let ba = svc.co_location(&"b".into(), &"a".into(), g, now).unwrap();
+        prop_assert_eq!(ab.co_located, ba.co_located);
+        prop_assert_eq!(ab.region, ba.region);
+    }
+
+    #[test]
+    fn proximity_threshold_monotone(pa in point(), pb in point(), t1 in 0.0..100.0f64, dt in 0.0..100.0f64) {
+        let (svc, _b) = service();
+        svc.ingest_reading(reading("a", pa, 0.0), SimTime::ZERO);
+        svc.ingest_reading(reading("b", pb, 0.0), SimTime::ZERO);
+        let now = SimTime::from_secs(1.0);
+        let narrow = svc.proximity(&"a".into(), &"b".into(), t1, now).unwrap();
+        let wide = svc.proximity(&"a".into(), &"b".into(), t1 + dt, now).unwrap();
+        // Widening the threshold can only turn the relation on.
+        prop_assert!(!narrow.holds || wide.holds);
+    }
+}

@@ -1,0 +1,601 @@
+//! Bayesian probability computations — Equations 1–7 of the paper.
+//!
+//! One sensor observation is a [`SensorEvidence`]: the reported rectangle
+//! `A_i`, the (temporally degraded) hit probability `p_i = P(sensor says
+//! in A_i | person in A_i)` and the false-positive probability `q_i =
+//! P(sensor says in A_i | person not in A_i)`.
+//!
+//! # A note on Equation 7
+//!
+//! The paper derives the two-sensor closed forms carefully (Equations 1–4
+//! via Bayes' theorem with a uniform spatial prior, Equation 5 for a
+//! single sensor) and then states a general formula (Equation 7). As
+//! printed, Equation 7 multiplies an area-weighted factor per sensor, so
+//! the uniform prior is counted `n` times instead of once; for `n ≥ 2` a
+//! confirming small rectangle can then *lower* the posterior of a region
+//! it supports — contradicting the paper's own verified claim that
+//! "P(person_B | s1_A, s2_B) > P(person_B | s2_B) if p1 > q1".
+//!
+//! [`posterior_general`] therefore implements the prior-counted-once
+//! generalization, which **reduces exactly to the paper's Equations 4 and
+//! 5** (tests prove the algebraic identity numerically). The verbatim
+//! published formula is kept as [`posterior_eq7_as_published`] for
+//! fidelity comparison and for the ablation bench.
+//!
+//! # A note on conditional independence
+//!
+//! The paper's derivation (its Equation 1) assumes sensors are
+//! "conditionally independent given person_B" — i.e. given the *region*,
+//! not the person's exact position. [`posterior_general`] mirrors that
+//! assumption faithfully, which makes it an approximation for `n ≥ 2`: in
+//! rare configurations adding area to a region can slightly *decrease*
+//! its posterior, although true Bayesian mass is monotone under region
+//! growth. [`posterior_exact`] computes the exact posterior by
+//! decomposing the universe into the rectangle arrangement's grid cells
+//! (sensors are genuinely independent given a cell), at `O(n³)` instead
+//! of `O(n)` per query. The two agree exactly for `n = 1` and typically
+//! to within a few percent otherwise; the engine uses the paper-faithful
+//! formula and exposes the exact one for validation.
+
+use mw_geometry::Rect;
+
+/// One sensor's contribution to the fusion computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorEvidence {
+    /// The reported rectangle `A_i` in universe coordinates.
+    pub region: Rect,
+    /// `p_i`: probability the sensor reports the person in `A_i` when the
+    /// person is in `A_i` (after temporal degradation, per §4.1.2).
+    pub hit: f64,
+    /// `q_i`: probability the sensor reports the person in `A_i` when the
+    /// person is not in `A_i`.
+    pub false_positive: f64,
+}
+
+impl SensorEvidence {
+    /// Creates evidence, clamping the probabilities into `[0, 1]`.
+    #[must_use]
+    pub fn new(region: Rect, hit: f64, false_positive: f64) -> Self {
+        SensorEvidence {
+            region,
+            hit: hit.clamp(0.0, 1.0),
+            false_positive: false_positive.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// The general multi-sensor posterior `P(person_R | s_1, …, s_n)` with the
+/// uniform spatial prior counted once (see the module docs).
+///
+/// With a uniform prior over the universe `U` and sensors conditionally
+/// independent given the person's cell:
+///
+/// ```text
+/// inside  = area(R)        · Π_i [p_i·area(A_i∩R)  + q_i·(area(R) − area(A_i∩R))] / area(R)
+/// outside = (area(U)−area(R)) · Π_i [p_i·(area(A_i)−area(A_i∩R))
+///                                  + q_i·(area(U)−area(R)−area(A_i)+area(A_i∩R))] / (area(U)−area(R))
+/// P       = inside / (inside + outside)
+/// ```
+///
+/// For `n = 1` this is the paper's Equation 5; for the nested two-sensor
+/// case it is exactly Equation 4.
+///
+/// Degenerate inputs (zero-area `R`, no sensors) return 0; `R` covering
+/// the whole universe returns 1.
+#[must_use]
+pub fn posterior_general(evidence: &[SensorEvidence], region: &Rect, universe: &Rect) -> f64 {
+    let area_u = universe.area();
+    let area_r = region.intersection_area(universe);
+    if evidence.is_empty() || area_u <= 0.0 || area_r <= 0.0 {
+        return 0.0;
+    }
+    let area_out = area_u - area_r;
+    if area_out <= 0.0 {
+        return 1.0; // the region covers the whole universe
+    }
+    // Products of per-sensor conditional likelihoods.
+    let mut lik_in = 1.0f64;
+    let mut lik_out = 1.0f64;
+    for e in evidence {
+        let area_a = e.region.intersection_area(universe);
+        let area_int = e.region.intersection_area(region);
+        lik_in *= (e.hit * area_int + e.false_positive * (area_r - area_int)) / area_r;
+        lik_out *= (e.hit * (area_a - area_int)
+            + e.false_positive * (area_out - (area_a - area_int)))
+            / area_out;
+    }
+    let inside = area_r * lik_in;
+    let outside = area_out * lik_out;
+    if inside + outside <= 0.0 {
+        return 0.0;
+    }
+    inside / (inside + outside)
+}
+
+/// Equation 7 exactly as published in the paper:
+///
+/// ```text
+///                   Π_i [p_i·area(A_i ∩ R) + q_i·(area(R) − area(A_i ∩ R))]
+/// P(person_R | s) = ─────────────────────────────────────────────────────────────
+///                   (numerator) + Π_i [p_i·(area(A_i) − area(A_i ∩ R))
+///                                     + q_i·(area(U) − area(A_i) + area(A_i ∩ R))]
+/// ```
+///
+/// Kept verbatim for fidelity comparison; see the module docs for why the
+/// engine uses [`posterior_general`] instead.
+#[must_use]
+pub fn posterior_eq7_as_published(
+    evidence: &[SensorEvidence],
+    region: &Rect,
+    universe: &Rect,
+) -> f64 {
+    let area_u = universe.area();
+    let area_r = region.intersection_area(universe);
+    if evidence.is_empty() || area_u <= 0.0 || area_r <= 0.0 {
+        return 0.0;
+    }
+    let mut inside = 1.0f64;
+    let mut outside = 1.0f64;
+    for e in evidence {
+        let area_a = e.region.intersection_area(universe);
+        let area_int = e.region.intersection_area(region);
+        inside *= e.hit * area_int + e.false_positive * (area_r - area_int);
+        outside *= e.hit * (area_a - area_int) + e.false_positive * (area_u - area_a + area_int);
+    }
+    if inside + outside <= 0.0 {
+        return 0.0;
+    }
+    inside / (inside + outside)
+}
+
+/// The exact multi-sensor posterior `P(person_R | s_1, …, s_n)` via cell
+/// decomposition (see the module docs).
+///
+/// The x/y edge coordinates of the universe and every sensor rectangle
+/// induce a grid; within one grid cell every sensor's likelihood is
+/// constant (`p_i` if the cell lies in `A_i`, else `q_i`), so sensors are
+/// genuinely conditionally independent and the posterior is the exact
+/// normalized cell-mass sum:
+///
+/// ```text
+/// m(cell) = area(cell) · Π_i (p_i if cell ⊆ A_i else q_i)
+/// P(R)    = Σ_cell m(cell)·frac(cell ∩ R)  /  Σ_cell m(cell)
+/// ```
+///
+/// Exact Bayes is monotone under region growth and reduces to the
+/// paper's Equations 4/5 in their settings. Cost is `O(n)` per cell over
+/// `O(n²)` cells.
+#[must_use]
+pub fn posterior_exact(evidence: &[SensorEvidence], region: &Rect, universe: &Rect) -> f64 {
+    let area_u = universe.area();
+    if evidence.is_empty() || area_u <= 0.0 {
+        return 0.0;
+    }
+    let clipped = match region.intersection(universe) {
+        Some(r) if r.area() > 0.0 => r,
+        _ => return 0.0,
+    };
+    // Grid coordinates: universe edges + sensor rect edges + region edges.
+    let mut xs = vec![
+        universe.min().x,
+        universe.max().x,
+        clipped.min().x,
+        clipped.max().x,
+    ];
+    let mut ys = vec![
+        universe.min().y,
+        universe.max().y,
+        clipped.min().y,
+        clipped.max().y,
+    ];
+    for e in evidence {
+        if let Some(a) = e.region.intersection(universe) {
+            xs.push(a.min().x);
+            xs.push(a.max().x);
+            ys.push(a.min().y);
+            ys.push(a.max().y);
+        }
+    }
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+    ys.sort_by(f64::total_cmp);
+    ys.dedup();
+
+    let mut mass_in = 0.0f64;
+    let mut mass_total = 0.0f64;
+    for wx in xs.windows(2) {
+        for wy in ys.windows(2) {
+            let w = wx[1] - wx[0];
+            let h = wy[1] - wy[0];
+            if w <= 0.0 || h <= 0.0 {
+                continue;
+            }
+            let center = mw_geometry::Point::new((wx[0] + wx[1]) / 2.0, (wy[0] + wy[1]) / 2.0);
+            let mut density = 1.0f64;
+            for e in evidence {
+                density *= if e.region.contains_point(center) {
+                    e.hit
+                } else {
+                    e.false_positive
+                };
+            }
+            let m = density * w * h;
+            mass_total += m;
+            if clipped.contains_point(center) {
+                mass_in += m;
+            }
+        }
+    }
+    if mass_total <= 0.0 {
+        return 0.0;
+    }
+    mass_in / mass_total
+}
+
+/// Equation 5: the single-sensor posterior for the sensor's own rectangle
+/// `B`.
+///
+/// ```text
+/// P(person_B | s_B) = area_B·p / (area_B·p + q·(area_U − area_B))
+/// ```
+#[must_use]
+pub fn posterior_single(evidence: &SensorEvidence, universe: &Rect) -> f64 {
+    let area_u = universe.area();
+    let area_b = evidence.region.intersection_area(universe);
+    if area_u <= 0.0 || area_b <= 0.0 {
+        return 0.0;
+    }
+    let num = area_b * evidence.hit;
+    let den = num + evidence.false_positive * (area_u - area_b);
+    if den <= 0.0 {
+        return 0.0;
+    }
+    num / den
+}
+
+/// Equation 4: the paper's closed form for Case 1 (sensor 1 reports inner
+/// rectangle `A`, sensor 2 reports outer rectangle `B ⊇ A`) — the
+/// probability the person is in `B`.
+///
+/// ```text
+///            [p1·area_A + q1·(area_B − area_A)]·p2
+/// ───────────────────────────────────────────────────────────────
+/// [p1·area_A + q1·(area_B − area_A)]·p2 + q1·q2·(area_U − area_B)
+/// ```
+#[must_use]
+pub fn posterior_contained_outer(
+    inner: &SensorEvidence,
+    outer: &SensorEvidence,
+    universe: &Rect,
+) -> f64 {
+    let area_a = inner.region.area();
+    let area_b = outer.region.area();
+    let area_u = universe.area();
+    let reinforced = inner.hit * area_a + inner.false_positive * (area_b - area_a);
+    let num = reinforced * outer.hit;
+    let den = num + inner.false_positive * outer.false_positive * (area_u - area_b);
+    if den <= 0.0 {
+        return 0.0;
+    }
+    num / den
+}
+
+/// Equation 6: the paper's closed form for Case 2 (rectangles `A` and `B`
+/// intersect in `C`) — the probability the person is in `C`.
+///
+/// ```text
+///                         p1·p2·area_C
+/// ─────────────────────────────────────────────────────────────
+/// p1·p2·area_C + [p1·(area_A − area_C) + q1·(area_U − area_A)]
+///                ·[p2·(area_B − area_C) + q2·(area_U − area_B)]
+/// ```
+#[must_use]
+pub fn posterior_intersection(s1: &SensorEvidence, s2: &SensorEvidence, universe: &Rect) -> f64 {
+    let area_c = s1.region.intersection_area(&s2.region);
+    if area_c <= 0.0 {
+        return 0.0;
+    }
+    let area_a = s1.region.area();
+    let area_b = s2.region.area();
+    let area_u = universe.area();
+    let num = s1.hit * s2.hit * area_c;
+    let miss1 = s1.hit * (area_a - area_c) + s1.false_positive * (area_u - area_a);
+    let miss2 = s2.hit * (area_b - area_c) + s2.false_positive * (area_u - area_b);
+    let den = num + miss1 * miss2;
+    if den <= 0.0 {
+        return 0.0;
+    }
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mw_geometry::Point;
+
+    fn r(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    fn universe() -> Rect {
+        r(0.0, 0.0, 500.0, 100.0)
+    }
+
+    /// §4.1.2: "It can be verified that P(person_B | s1_A, s2_B) >
+    /// P(person_B | s2_B) if p1 > q1" — two sensors reinforce each other.
+    #[test]
+    fn contained_rectangles_reinforce_eq4() {
+        let inner = SensorEvidence::new(r(10.0, 10.0, 12.0, 12.0), 0.86, 0.01);
+        let outer = SensorEvidence::new(r(5.0, 5.0, 20.0, 20.0), 0.75, 0.05);
+        let both = posterior_contained_outer(&inner, &outer, &universe());
+        let alone = posterior_single(&outer, &universe());
+        assert!(
+            both > alone,
+            "reinforcement failed: both={both} alone={alone}"
+        );
+    }
+
+    #[test]
+    fn general_formula_reduces_to_eq5_for_single_sensor() {
+        let e = SensorEvidence::new(r(10.0, 10.0, 30.0, 30.0), 0.86, 0.05);
+        let general = posterior_general(std::slice::from_ref(&e), &e.region, &universe());
+        let eq5 = posterior_single(&e, &universe());
+        assert!((general - eq5).abs() < 1e-12, "general={general} eq5={eq5}");
+    }
+
+    #[test]
+    fn general_formula_reduces_to_eq4_for_nested_pair() {
+        let inner = SensorEvidence::new(r(10.0, 10.0, 12.0, 12.0), 0.86, 0.01);
+        let outer = SensorEvidence::new(r(5.0, 5.0, 20.0, 20.0), 0.75, 0.05);
+        let general = posterior_general(&[inner, outer], &outer.region, &universe());
+        let eq4 = posterior_contained_outer(&inner, &outer, &universe());
+        assert!((general - eq4).abs() < 1e-12, "general={general} eq4={eq4}");
+    }
+
+    #[test]
+    fn reinforcement_holds_for_general_formula() {
+        let inner = SensorEvidence::new(r(10.0, 10.0, 12.0, 12.0), 0.86, 0.01);
+        let outer = SensorEvidence::new(r(5.0, 5.0, 20.0, 20.0), 0.75, 0.05);
+        let region = outer.region;
+        let both = posterior_general(&[inner, outer], &region, &universe());
+        let alone = posterior_general(&[outer], &region, &universe());
+        assert!(both > alone, "reinforcement: both={both} alone={alone}");
+    }
+
+    #[test]
+    fn published_eq7_breaks_reinforcement_for_small_inner_regions() {
+        // Documents the paper-internal inconsistency: the published Eq. 7
+        // penalizes the outer region when a small confirming rectangle is
+        // added, because the area prior is multiplied once per sensor.
+        let inner = SensorEvidence::new(r(10.0, 10.0, 12.0, 12.0), 0.86, 0.01);
+        let outer = SensorEvidence::new(r(5.0, 5.0, 20.0, 20.0), 0.75, 0.05);
+        let region = outer.region;
+        let both = posterior_eq7_as_published(&[inner, outer], &region, &universe());
+        let alone = posterior_eq7_as_published(&[outer], &region, &universe());
+        assert!(
+            both < alone,
+            "expected the published Eq.7 anomaly: both={both} alone={alone}"
+        );
+    }
+
+    #[test]
+    fn published_eq7_matches_general_for_single_sensor_up_to_prior_slack() {
+        // For n = 1 the published formula differs from Eq. 5 only in using
+        // area_U instead of (area_U − area_R) in the outside term — a
+        // small-region approximation.
+        let e = SensorEvidence::new(r(10.0, 10.0, 30.0, 30.0), 0.86, 0.05);
+        let published =
+            posterior_eq7_as_published(std::slice::from_ref(&e), &e.region, &universe());
+        let eq5 = posterior_single(&e, &universe());
+        assert!(
+            (published - eq5).abs() < 0.01,
+            "published={published} eq5={eq5}"
+        );
+    }
+
+    #[test]
+    fn unreliable_inner_sensor_weakens_posterior() {
+        // If p1 < q1 the inner sensor is anti-correlated with truth and
+        // should *reduce* the outer posterior (contrapositive of the
+        // paper's verified claim).
+        let inner = SensorEvidence::new(r(10.0, 10.0, 12.0, 12.0), 0.01, 0.5);
+        let outer = SensorEvidence::new(r(5.0, 5.0, 20.0, 20.0), 0.75, 0.05);
+        let both = posterior_contained_outer(&inner, &outer, &universe());
+        let alone = posterior_single(&outer, &universe());
+        assert!(both < alone);
+        let both_general = posterior_general(&[inner, outer], &outer.region, &universe());
+        assert!(both_general < alone);
+    }
+
+    #[test]
+    fn single_sensor_posterior_monotone_in_hit_probability() {
+        let region = r(10.0, 10.0, 20.0, 20.0);
+        let lo = posterior_single(&SensorEvidence::new(region, 0.5, 0.05), &universe());
+        let hi = posterior_single(&SensorEvidence::new(region, 0.95, 0.05), &universe());
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn single_sensor_posterior_decreases_with_false_positive() {
+        let region = r(10.0, 10.0, 20.0, 20.0);
+        let lo_q = posterior_single(&SensorEvidence::new(region, 0.9, 0.01), &universe());
+        let hi_q = posterior_single(&SensorEvidence::new(region, 0.9, 0.5), &universe());
+        assert!(lo_q > hi_q);
+    }
+
+    #[test]
+    fn intersection_case_concentrates_probability() {
+        let s1 = SensorEvidence::new(r(0.0, 0.0, 20.0, 20.0), 0.86, 0.02);
+        let s2 = SensorEvidence::new(r(10.0, 10.0, 30.0, 30.0), 0.86, 0.02);
+        let c = s1.region.intersection(&s2.region).unwrap();
+        let p_c = posterior_general(&[s1, s2], &c, &universe());
+        let p_a = posterior_general(&[s1, s2], &s1.region, &universe());
+        let elsewhere = r(400.0, 40.0, 410.0, 50.0);
+        let p_far = posterior_general(&[s1, s2], &elsewhere, &universe());
+        assert!(p_c > p_far * 10.0, "p_c={p_c} p_far={p_far}");
+        assert!(p_a >= p_c - 1e-9);
+        // The intersection is far more probable per unit area.
+        assert!(p_c / c.area() > p_a / s1.region.area());
+    }
+
+    #[test]
+    fn closed_form_eq6_agrees_with_general_qualitatively() {
+        let s1 = SensorEvidence::new(r(0.0, 0.0, 20.0, 20.0), 0.86, 0.02);
+        let s2 = SensorEvidence::new(r(10.0, 10.0, 30.0, 30.0), 0.80, 0.03);
+        let c = s1.region.intersection(&s2.region).unwrap();
+        let closed = posterior_intersection(&s1, &s2, &universe());
+        let general = posterior_general(&[s1, s2], &c, &universe());
+        assert!(closed > 0.0 && closed <= 1.0);
+        assert!(general > 0.5, "general={general}");
+        // Eq. 6 as printed shares Eq. 7's per-sensor area weighting in the
+        // denominator, so its absolute value is far below the calibrated
+        // posterior — another facet of the paper-internal inconsistency.
+        assert!(closed < general);
+    }
+
+    #[test]
+    fn posterior_in_unit_interval_for_many_sensors() {
+        let evidence: Vec<SensorEvidence> = (0..6)
+            .map(|i| {
+                let off = i as f64 * 3.0;
+                SensorEvidence::new(r(off, off, off + 15.0, off + 15.0), 0.8, 0.05)
+            })
+            .collect();
+        for e in &evidence {
+            let p = posterior_general(&evidence, &e.region, &universe());
+            assert!((0.0..=1.0).contains(&p), "posterior {p} out of range");
+            let p7 = posterior_eq7_as_published(&evidence, &e.region, &universe());
+            assert!((0.0..=1.0).contains(&p7), "posterior {p7} out of range");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_zero() {
+        let e = SensorEvidence::new(r(0.0, 0.0, 1.0, 1.0), 0.9, 0.05);
+        assert_eq!(
+            posterior_general(&[], &r(0.0, 0.0, 1.0, 1.0), &universe()),
+            0.0
+        );
+        let degenerate = Rect::from_point(Point::new(5.0, 5.0));
+        assert_eq!(posterior_general(&[e], &degenerate, &universe()), 0.0);
+        let outside = r(1000.0, 1000.0, 1010.0, 1010.0);
+        assert_eq!(posterior_general(&[e], &outside, &universe()), 0.0);
+    }
+
+    #[test]
+    fn whole_universe_region_is_certain() {
+        let e = SensorEvidence::new(r(0.0, 0.0, 1.0, 1.0), 0.9, 0.05);
+        assert_eq!(posterior_general(&[e], &universe(), &universe()), 1.0);
+    }
+
+    #[test]
+    fn evidence_probabilities_are_clamped() {
+        let e = SensorEvidence::new(r(0.0, 0.0, 1.0, 1.0), 1.5, -0.3);
+        assert_eq!(e.hit, 1.0);
+        assert_eq!(e.false_positive, 0.0);
+    }
+
+    #[test]
+    fn disjoint_sensor_rectangle_suppresses_region() {
+        let here = SensorEvidence::new(r(10.0, 10.0, 20.0, 20.0), 0.9, 0.02);
+        let there = SensorEvidence::new(r(200.0, 50.0, 220.0, 70.0), 0.9, 0.02);
+        let region = here.region;
+        let with_conflict = posterior_general(&[here, there], &region, &universe());
+        let alone = posterior_general(&[here], &region, &universe());
+        assert!(with_conflict < alone);
+    }
+
+    #[test]
+    fn bigger_nested_region_has_bigger_posterior() {
+        let s = SensorEvidence::new(r(10.0, 10.0, 30.0, 30.0), 0.85, 0.03);
+        let small = r(15.0, 15.0, 25.0, 25.0);
+        let large = r(10.0, 10.0, 30.0, 30.0);
+        let p_small = posterior_general(&[s], &small, &universe());
+        let p_large = posterior_general(&[s], &large, &universe());
+        assert!(p_large >= p_small);
+    }
+
+    #[test]
+    fn exact_posterior_matches_eq5_for_single_sensor() {
+        let e = SensorEvidence::new(r(10.0, 10.0, 30.0, 30.0), 0.86, 0.05);
+        let exact = posterior_exact(std::slice::from_ref(&e), &e.region, &universe());
+        let eq5 = posterior_single(&e, &universe());
+        assert!((exact - eq5).abs() < 1e-9, "exact={exact} eq5={eq5}");
+    }
+
+    #[test]
+    fn exact_posterior_matches_eq4_for_nested_pair() {
+        let inner = SensorEvidence::new(r(10.0, 10.0, 12.0, 12.0), 0.86, 0.01);
+        let outer = SensorEvidence::new(r(5.0, 5.0, 20.0, 20.0), 0.75, 0.05);
+        let exact = posterior_exact(&[inner, outer], &outer.region, &universe());
+        let eq4 = posterior_contained_outer(&inner, &outer, &universe());
+        assert!((exact - eq4).abs() < 1e-9, "exact={exact} eq4={eq4}");
+    }
+
+    #[test]
+    fn exact_posterior_is_monotone_under_region_growth() {
+        // A configuration of the kind that trips the region-conditional
+        // approximation: overlapping sensors, growing query region.
+        let s1 = SensorEvidence::new(r(50.0, 15.0, 70.0, 30.0), 0.9, 0.01);
+        let s2 = SensorEvidence::new(r(60.0, 20.0, 90.0, 45.0), 0.8, 0.02);
+        let evidence = [s1, s2];
+        let mut prev = 0.0;
+        for grow in 0..20 {
+            let g = grow as f64;
+            let region = r(58.0 - g, 18.0 - g * 0.5, 72.0 + g, 32.0 + g * 0.5);
+            let p = posterior_exact(&evidence, &region, &universe());
+            assert!(
+                p >= prev - 1e-12,
+                "exact posterior shrank: {p} < {prev} at grow={grow}"
+            );
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn exact_and_general_agree_closely_in_typical_configs() {
+        let s1 = SensorEvidence::new(r(10.0, 10.0, 30.0, 30.0), 0.9, 0.005);
+        let s2 = SensorEvidence::new(r(18.0, 18.0, 22.0, 22.0), 0.95, 0.0005);
+        let evidence = [s1, s2];
+        for region in [s1.region, s2.region, r(15.0, 15.0, 25.0, 25.0)] {
+            let exact = posterior_exact(&evidence, &region, &universe());
+            let general = posterior_general(&evidence, &region, &universe());
+            assert!(
+                (exact - general).abs() < 0.1,
+                "region {region}: exact={exact} general={general}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_posterior_degenerate_inputs() {
+        let e = SensorEvidence::new(r(0.0, 0.0, 1.0, 1.0), 0.9, 0.05);
+        assert_eq!(
+            posterior_exact(&[], &r(0.0, 0.0, 1.0, 1.0), &universe()),
+            0.0
+        );
+        let degenerate = Rect::from_point(Point::new(5.0, 5.0));
+        assert_eq!(posterior_exact(&[e], &degenerate, &universe()), 0.0);
+        let outside = r(1000.0, 1000.0, 1010.0, 1010.0);
+        assert_eq!(posterior_exact(&[e], &outside, &universe()), 0.0);
+        assert!((posterior_exact(&[e], &universe(), &universe()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn carry_probability_dominates_absolute_confidence() {
+        // The paper plans user studies for the carry probability x; this
+        // test documents how strongly x drives the single-sensor
+        // posterior. x = 1 (biometric-like): near certainty. x = 0.9
+        // (badge sometimes left behind): the 1 sq ft sighting no longer
+        // pins the *person* down.
+        let region = r(10.0, 10.0, 11.0, 11.0);
+        // q for x = 1: essentially z only.
+        let certain = SensorEvidence::new(region, 0.95, 1e-6);
+        // q for x = 0.9: z + y(1−x) ≈ 0.095.
+        let loose = SensorEvidence::new(region, 0.86, 0.095);
+        let p_certain = posterior_single(&certain, &universe());
+        let p_loose = posterior_single(&loose, &universe());
+        assert!(p_certain > 0.9, "p_certain={p_certain}");
+        assert!(p_loose < 0.01, "p_loose={p_loose}");
+    }
+}

@@ -1,0 +1,352 @@
+//! Conflict detection and resolution (§4.1.2, Case 3 / Figure 4).
+//!
+//! "Disjoint rectangles imply that the sensors are giving conflicting
+//! information. This means that one of the sensor readings is wrong and
+//! should be discarded. We use a set of rules to decide which the wrong
+//! reading is:
+//!
+//! 1. If either of the rectangles is moving with time, then take that
+//!    reading and discard the other one …
+//! 2. else, if P(person_B | s2_B) < P(person_A | s1_A), then discard
+//!    reading B (or vice-versa)."
+//!
+//! We generalize from two rectangles to `n` by grouping the readings into
+//! connected components (rectangles that touch transitively reinforce each
+//! other) and applying the rules between components.
+
+use mw_geometry::Rect;
+use mw_sensors::SensorReading;
+
+use crate::bayes::{posterior_single, SensorEvidence};
+
+/// Which rule selected the surviving component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictRule {
+    /// No conflict: all rectangles formed a single connected component.
+    NoConflict,
+    /// Rule 1: a moving rectangle beat stationary ones.
+    MovingWins,
+    /// Rule 2: the component with the highest single-sensor posterior won.
+    HigherProbabilityWins,
+}
+
+/// The outcome of conflict resolution over one object's readings.
+#[derive(Debug, Clone)]
+pub struct ConflictOutcome {
+    /// Indices (into the input slice) of the surviving readings.
+    pub kept: Vec<usize>,
+    /// Indices of the discarded readings.
+    pub discarded: Vec<usize>,
+    /// Which rule decided.
+    pub rule: ConflictRule,
+}
+
+impl ConflictOutcome {
+    /// Returns `true` when any reading was discarded.
+    #[must_use]
+    pub fn had_conflict(&self) -> bool {
+        !self.discarded.is_empty()
+    }
+}
+
+/// Groups reading indices into connected components under rectangle
+/// intersection.
+fn connected_components(rects: &[Rect]) -> Vec<Vec<usize>> {
+    let n = rects.len();
+    let mut component = vec![usize::MAX; n];
+    let mut count = 0;
+    for start in 0..n {
+        if component[start] != usize::MAX {
+            continue;
+        }
+        let id = count;
+        count += 1;
+        let mut stack = vec![start];
+        component[start] = id;
+        while let Some(i) = stack.pop() {
+            for j in 0..n {
+                if component[j] == usize::MAX && rects[i].intersects(&rects[j]) {
+                    component[j] = id;
+                    stack.push(j);
+                }
+            }
+        }
+    }
+    let mut groups = vec![Vec::new(); count];
+    for (i, &c) in component.iter().enumerate() {
+        groups[c].push(i);
+    }
+    groups
+}
+
+/// Resolves conflicts among one object's readings at time `now`.
+///
+/// `universe` is the whole floor area used in the Equation-5 posteriors of
+/// rule 2. Readings must all concern the same mobile object; the function
+/// does not check this.
+#[must_use]
+pub fn resolve(
+    readings: &[SensorReading],
+    universe: &Rect,
+    now: mw_model::SimTime,
+) -> ConflictOutcome {
+    if readings.is_empty() {
+        return ConflictOutcome {
+            kept: Vec::new(),
+            discarded: Vec::new(),
+            rule: ConflictRule::NoConflict,
+        };
+    }
+    let rects: Vec<Rect> = readings.iter().map(|r| r.region).collect();
+    let groups = connected_components(&rects);
+    if groups.len() <= 1 {
+        return ConflictOutcome {
+            kept: (0..readings.len()).collect(),
+            discarded: Vec::new(),
+            rule: ConflictRule::NoConflict,
+        };
+    }
+
+    // Rule 1: prefer components containing a moving rectangle.
+    let moving_groups: Vec<usize> = groups
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| g.iter().any(|&i| readings[i].moving))
+        .map(|(gi, _)| gi)
+        .collect();
+    let (winner, rule) = if moving_groups.len() == 1 {
+        (moving_groups[0], ConflictRule::MovingWins)
+    } else {
+        // Rule 2 (also the tie-break when several components move):
+        // highest best single-sensor posterior wins.
+        let candidates: Vec<usize> = if moving_groups.is_empty() {
+            (0..groups.len()).collect()
+        } else {
+            moving_groups
+        };
+        let rule = if candidates.len() == groups.len() {
+            ConflictRule::HigherProbabilityWins
+        } else {
+            ConflictRule::MovingWins
+        };
+        let best = candidates
+            .into_iter()
+            .max_by(|&a, &b| {
+                let score = |g: &[usize]| -> f64 {
+                    g.iter()
+                        .map(|&i| {
+                            let e = SensorEvidence::new(
+                                readings[i].region,
+                                readings[i].hit_probability_at(now),
+                                readings[i].false_positive_probability(universe.area()),
+                            );
+                            posterior_single(&e, universe)
+                        })
+                        .fold(0.0, f64::max)
+                };
+                score(&groups[a]).total_cmp(&score(&groups[b]))
+            })
+            .expect("at least two groups");
+        (best, rule)
+    };
+
+    let mut kept = groups[winner].clone();
+    kept.sort_unstable();
+    let mut discarded: Vec<usize> = groups
+        .iter()
+        .enumerate()
+        .filter(|(gi, _)| *gi != winner)
+        .flat_map(|(_, g)| g.iter().copied())
+        .collect();
+    discarded.sort_unstable();
+    ConflictOutcome {
+        kept,
+        discarded,
+        rule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mw_geometry::Point;
+    use mw_model::{SimDuration, SimTime, TemporalDegradation};
+    use mw_sensors::SensorSpec;
+
+    fn r(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    fn universe() -> Rect {
+        r(0.0, 0.0, 500.0, 100.0)
+    }
+
+    fn reading(region: Rect, moving: bool, spec: SensorSpec) -> SensorReading {
+        SensorReading {
+            sensor_id: "s".into(),
+            spec,
+            object: "alice".into(),
+            glob_prefix: "SC/3".parse().unwrap(),
+            region,
+            detected_at: SimTime::ZERO,
+            time_to_live: SimDuration::from_secs(100.0),
+            tdf: TemporalDegradation::None,
+            moving,
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = resolve(&[], &universe(), SimTime::ZERO);
+        assert!(out.kept.is_empty());
+        assert!(!out.had_conflict());
+    }
+
+    #[test]
+    fn overlapping_readings_do_not_conflict() {
+        let readings = vec![
+            reading(r(0.0, 0.0, 20.0, 20.0), false, SensorSpec::ubisense(0.9)),
+            reading(
+                r(10.0, 10.0, 30.0, 30.0),
+                false,
+                SensorSpec::rfid_badge(0.8),
+            ),
+        ];
+        let out = resolve(&readings, &universe(), SimTime::ZERO);
+        assert_eq!(out.rule, ConflictRule::NoConflict);
+        assert_eq!(out.kept, vec![0, 1]);
+        assert!(!out.had_conflict());
+    }
+
+    #[test]
+    fn transitive_overlap_is_one_component() {
+        // A∩B and B∩C but not A∩C: still one component via B.
+        let readings = vec![
+            reading(r(0.0, 0.0, 10.0, 10.0), false, SensorSpec::ubisense(0.9)),
+            reading(r(8.0, 0.0, 20.0, 10.0), false, SensorSpec::ubisense(0.9)),
+            reading(r(18.0, 0.0, 30.0, 10.0), false, SensorSpec::ubisense(0.9)),
+        ];
+        let out = resolve(&readings, &universe(), SimTime::ZERO);
+        assert_eq!(out.rule, ConflictRule::NoConflict);
+        assert_eq!(out.kept.len(), 3);
+    }
+
+    #[test]
+    fn rule_one_moving_wins() {
+        // The paper's example: a badge moving through the building vs the
+        // badge's stale stationary reading in an office.
+        let readings = vec![
+            reading(
+                r(0.0, 0.0, 5.0, 5.0),
+                false,
+                SensorSpec::biometric_short_term(),
+            ),
+            reading(
+                r(100.0, 50.0, 105.0, 55.0),
+                true,
+                SensorSpec::rfid_badge(0.8),
+            ),
+        ];
+        let out = resolve(&readings, &universe(), SimTime::ZERO);
+        assert_eq!(out.rule, ConflictRule::MovingWins);
+        assert_eq!(out.kept, vec![1]);
+        assert_eq!(out.discarded, vec![0]);
+    }
+
+    #[test]
+    fn rule_two_higher_probability_wins() {
+        // Both stationary: the high-confidence biometric beats the RFID.
+        let readings = vec![
+            reading(
+                r(0.0, 0.0, 4.0, 4.0),
+                false,
+                SensorSpec::biometric_short_term(),
+            ),
+            reading(
+                r(100.0, 50.0, 130.0, 80.0),
+                false,
+                SensorSpec::rfid_badge(0.5),
+            ),
+        ];
+        let out = resolve(&readings, &universe(), SimTime::ZERO);
+        assert_eq!(out.rule, ConflictRule::HigherProbabilityWins);
+        assert_eq!(out.kept, vec![0]);
+        assert_eq!(out.discarded, vec![1]);
+    }
+
+    #[test]
+    fn two_moving_components_fall_back_to_probability() {
+        // Carried badge (x = 1): the Ubisense sighting has a tiny
+        // area-proportional q, so its Equation-5 posterior beats the weak
+        // RFID component despite the smaller rectangle.
+        let readings = vec![
+            reading(r(0.0, 0.0, 4.0, 4.0), true, SensorSpec::ubisense(1.0)),
+            reading(
+                r(100.0, 50.0, 130.0, 80.0),
+                true,
+                SensorSpec::rfid_badge(0.5),
+            ),
+        ];
+        let out = resolve(&readings, &universe(), SimTime::ZERO);
+        assert_eq!(out.kept.len(), 1);
+        assert_eq!(out.discarded.len(), 1);
+        assert_eq!(out.kept, vec![0]);
+    }
+
+    #[test]
+    fn moving_group_beats_probability() {
+        // Moving RFID (weak) vs stationary biometric (strong): rule 1
+        // applies before rule 2, so the mover wins despite lower
+        // confidence.
+        let readings = vec![
+            reading(
+                r(0.0, 0.0, 4.0, 4.0),
+                false,
+                SensorSpec::biometric_short_term(),
+            ),
+            reading(
+                r(100.0, 50.0, 130.0, 80.0),
+                true,
+                SensorSpec::rfid_badge(0.5),
+            ),
+        ];
+        let out = resolve(&readings, &universe(), SimTime::ZERO);
+        assert_eq!(out.rule, ConflictRule::MovingWins);
+        assert_eq!(out.kept, vec![1]);
+    }
+
+    #[test]
+    fn three_way_conflict_keeps_single_component() {
+        let readings = vec![
+            reading(r(0.0, 0.0, 10.0, 10.0), false, SensorSpec::rfid_badge(0.8)),
+            reading(
+                r(200.0, 0.0, 210.0, 10.0),
+                false,
+                SensorSpec::rfid_badge(0.8),
+            ),
+            reading(
+                r(400.0, 0.0, 410.0, 10.0),
+                false,
+                SensorSpec::biometric_short_term(),
+            ),
+        ];
+        let out = resolve(&readings, &universe(), SimTime::ZERO);
+        assert_eq!(out.kept.len(), 1);
+        assert_eq!(out.discarded.len(), 2);
+        assert_eq!(out.kept, vec![2]); // biometric has the best posterior
+    }
+
+    #[test]
+    fn expired_reading_loses_rule_two() {
+        // Same spec, but one reading has fully degraded by `now`.
+        let mut stale = reading(r(0.0, 0.0, 10.0, 10.0), false, SensorSpec::ubisense(0.9));
+        stale.tdf = TemporalDegradation::Linear {
+            lifetime: SimDuration::from_secs(10.0),
+        };
+        stale.detected_at = SimTime::ZERO;
+        let fresh = reading(r(200.0, 0.0, 210.0, 10.0), false, SensorSpec::ubisense(0.9));
+        let now = SimTime::from_secs(9.0);
+        let out = resolve(&[stale, fresh], &universe(), now);
+        assert_eq!(out.kept, vec![1]);
+    }
+}

@@ -1,0 +1,549 @@
+//! The fusion engine: the end-to-end pipeline of §4.1–§4.4 for one
+//! object's readings.
+
+use mw_geometry::Rect;
+use mw_model::SimTime;
+use mw_sensors::SensorReading;
+
+use crate::bayes::{posterior_general, SensorEvidence};
+use crate::conflict::{self, ConflictOutcome};
+use crate::lattice::RegionLattice;
+use crate::{BandThresholds, FusionError, NodeId, ProbabilityBand};
+
+/// A location estimate for one object: the most specific region the
+/// sensors support, with its posterior probability and band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// The estimated region (an MBR in universe coordinates).
+    pub region: Rect,
+    /// Equation-7 posterior that the object is inside `region`.
+    pub probability: f64,
+    /// The §4.4 qualitative band of `probability`.
+    pub band: ProbabilityBand,
+}
+
+/// The full result of fusing one object's readings.
+#[derive(Debug, Clone)]
+pub struct FusionResult {
+    lattice: RegionLattice,
+    conflict: ConflictOutcome,
+    thresholds: BandThresholds,
+}
+
+impl FusionResult {
+    /// The spatial probability lattice (Figures 5–6).
+    #[must_use]
+    pub fn lattice(&self) -> &RegionLattice {
+        &self.lattice
+    }
+
+    /// Mutable access to the lattice, e.g. for inserting query regions.
+    pub fn lattice_mut(&mut self) -> &mut RegionLattice {
+        &mut self.lattice
+    }
+
+    /// How the conflict-resolution rules were applied.
+    #[must_use]
+    pub fn conflict(&self) -> &ConflictOutcome {
+        &self.conflict
+    }
+
+    /// The probability-band thresholds derived from the contributing
+    /// sensors.
+    #[must_use]
+    pub fn thresholds(&self) -> &BandThresholds {
+        &self.thresholds
+    }
+
+    /// The single best estimate (§4.2): among the parents of Bottom (the
+    /// smallest regions), the one with the highest posterior. `None` when
+    /// no live readings exist.
+    #[must_use]
+    pub fn best_estimate(&self) -> Option<Estimate> {
+        let minimal = self.lattice.minimal_regions();
+        let best = minimal
+            .into_iter()
+            .filter(|&id| id != self.lattice.top())
+            .max_by(|&a, &b| {
+                let pa = self.lattice.probability(a).unwrap_or(0.0);
+                let pb = self.lattice.probability(b).unwrap_or(0.0);
+                pa.total_cmp(&pb)
+            })?;
+        if best == self.lattice.bottom() {
+            return None;
+        }
+        let probability = self.lattice.probability(best).ok()?;
+        let region = self.lattice.region(best).ok()?;
+        Some(Estimate {
+            region,
+            probability,
+            band: self.thresholds.classify(probability),
+        })
+    }
+
+    /// The §4.2 region-based query: the probability that the object is
+    /// inside `region`, by inserting its MBR into the lattice and
+    /// evaluating Equation 7.
+    pub fn region_probability(&mut self, region: Rect) -> Result<f64, FusionError> {
+        let id: NodeId = self.lattice.insert_query_region(region);
+        self.lattice.probability(id)
+    }
+
+    /// Like [`FusionResult::region_probability`] but classified into a
+    /// band.
+    pub fn region_band(&mut self, region: Rect) -> Result<ProbabilityBand, FusionError> {
+        let p = self.region_probability(region)?;
+        Ok(self.thresholds.classify(p))
+    }
+
+    /// Evaluates Equation 7 for `region` against the surviving evidence
+    /// *without* inserting the region into the lattice — the fast path
+    /// for trigger matching (§4.3), where thousands of watched regions
+    /// are checked per update.
+    #[must_use]
+    pub fn region_probability_fast(&self, region: &Rect) -> f64 {
+        posterior_general(self.lattice.evidence(), region, &self.lattice.universe())
+    }
+
+    /// The union MBR of the surviving sensor evidence, or `None` with no
+    /// live evidence. Trigger matching prunes watched regions against
+    /// this window.
+    #[must_use]
+    pub fn evidence_window(&self) -> Option<Rect> {
+        let mut rects = self.lattice.evidence().iter().map(|e| e.region);
+        let first = rects.next()?;
+        Some(rects.fold(first, |acc, r| acc.union(&r)))
+    }
+}
+
+/// The multi-sensor fusion engine for a deployment with a fixed universe
+/// (the whole floor/building area, `U` in the paper).
+#[derive(Debug, Clone)]
+pub struct FusionEngine {
+    universe: Rect,
+    /// Motion-model extension: ft/s by which aging readings' regions
+    /// grow. 0 disables (the paper's model).
+    aging_inflation_ft_per_s: f64,
+}
+
+impl FusionEngine {
+    /// Creates an engine for the given universe rectangle.
+    #[must_use]
+    pub fn new(universe: Rect) -> Self {
+        FusionEngine {
+            universe,
+            aging_inflation_ft_per_s: 0.0,
+        }
+    }
+
+    /// Enables the motion-model extension: every reading's rectangle is
+    /// inflated by `speed × age` before fusion, modeling that an aging
+    /// reading constrains the person to a *growing* region rather than a
+    /// stale point (see `EXPERIMENTS.md`, posterior-calibration section —
+    /// confidence decay alone cannot calibrate the mid-range). `0.0`
+    /// (the default) disables the extension; a typical walking speed is
+    /// 4 ft/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `speed` is negative or not finite.
+    #[must_use]
+    pub fn with_aging_inflation(mut self, speed_ft_per_s: f64) -> Self {
+        assert!(
+            speed_ft_per_s.is_finite() && speed_ft_per_s >= 0.0,
+            "inflation speed must be finite and non-negative"
+        );
+        self.aging_inflation_ft_per_s = speed_ft_per_s;
+        self
+    }
+
+    /// The universe area `U`.
+    #[must_use]
+    pub fn universe(&self) -> Rect {
+        self.universe
+    }
+
+    /// Applies the aging motion model to one reading's region.
+    fn aged_region(&self, reading: &SensorReading, now: SimTime) -> Rect {
+        if self.aging_inflation_ft_per_s <= 0.0 {
+            return reading.region;
+        }
+        let age = now.saturating_since(reading.detected_at).as_secs();
+        let grown = reading.region.inflated(self.aging_inflation_ft_per_s * age);
+        grown.intersection(&self.universe).unwrap_or(reading.region)
+    }
+
+    /// Runs the full pipeline over one object's readings at time `now`:
+    /// drops expired readings, resolves conflicts, builds the lattice and
+    /// computes all posteriors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine was constructed with a zero-area universe
+    /// (prevented by [`FusionEngine::new`] callers in this workspace).
+    #[must_use]
+    pub fn fuse(&self, readings: &[SensorReading], now: SimTime) -> FusionResult {
+        // 1. Keep only live readings, applying the aging motion model.
+        let live: Vec<&SensorReading> = readings
+            .iter()
+            .filter(|r| !r.is_expired(now) && r.hit_probability_at(now) > 0.0)
+            .collect();
+        let live_owned: Vec<SensorReading> = live
+            .iter()
+            .map(|r| {
+                let mut owned = (*r).clone();
+                owned.region = self.aged_region(r, now);
+                owned
+            })
+            .collect();
+
+        // 2. Conflict resolution between disjoint components.
+        let conflict = conflict::resolve(&live_owned, &self.universe, now);
+
+        // 3. Evidence for the survivors, with temporally degraded p_i.
+        let evidence: Vec<SensorEvidence> = conflict
+            .kept
+            .iter()
+            .map(|&i| {
+                let r = &live_owned[i];
+                SensorEvidence::new(
+                    r.region,
+                    r.hit_probability_at(now),
+                    r.false_positive_probability(self.universe.area()),
+                )
+            })
+            .collect();
+
+        // 4. Band thresholds from the (pre-degradation) sensor accuracies.
+        let ps: Vec<f64> = conflict
+            .kept
+            .iter()
+            .map(|&i| live_owned[i].spec.hit_probability())
+            .collect();
+        let thresholds = BandThresholds::from_sensor_accuracies(&ps);
+
+        let lattice = RegionLattice::build(self.universe, evidence)
+            .expect("engine universe has positive area");
+        FusionResult {
+            lattice,
+            conflict,
+            thresholds,
+        }
+    }
+
+    /// Direct Equation-7 evaluation without building a lattice — the fast
+    /// path used by trigger matching (§4.3).
+    #[must_use]
+    pub fn region_probability_direct(
+        &self,
+        readings: &[SensorReading],
+        region: &Rect,
+        now: SimTime,
+    ) -> f64 {
+        let evidence: Vec<SensorEvidence> = readings
+            .iter()
+            .filter(|r| !r.is_expired(now))
+            .map(|r| {
+                SensorEvidence::new(
+                    self.aged_region(r, now),
+                    r.hit_probability_at(now),
+                    r.false_positive_probability(self.universe.area()),
+                )
+            })
+            .collect();
+        posterior_general(&evidence, region, &self.universe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mw_geometry::Point;
+    use mw_model::{SimDuration, TemporalDegradation};
+    use mw_sensors::SensorSpec;
+
+    fn r(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    fn reading(region: Rect, moving: bool, spec: SensorSpec, at: f64, ttl: f64) -> SensorReading {
+        SensorReading {
+            sensor_id: "s".into(),
+            spec,
+            object: "alice".into(),
+            glob_prefix: "SC/3".parse().unwrap(),
+            region,
+            detected_at: SimTime::from_secs(at),
+            time_to_live: SimDuration::from_secs(ttl),
+            tdf: TemporalDegradation::None,
+            moving,
+        }
+    }
+
+    fn engine() -> FusionEngine {
+        FusionEngine::new(r(0.0, 0.0, 500.0, 100.0))
+    }
+
+    #[test]
+    fn no_readings_gives_no_estimate() {
+        let result = engine().fuse(&[], SimTime::ZERO);
+        assert!(result.best_estimate().is_none());
+    }
+
+    #[test]
+    fn single_reading_estimate() {
+        // Carried badge (x = 1): the posterior approaches the detection
+        // probability. (With x < 1 the paper's model caps the posterior
+        // far lower — see bayes::carry_probability_dominates… .)
+        let readings = vec![reading(
+            r(10.0, 10.0, 11.0, 11.0),
+            false,
+            SensorSpec::ubisense(1.0),
+            0.0,
+            60.0,
+        )];
+        let result = engine().fuse(&readings, SimTime::ZERO);
+        let est = result.best_estimate().unwrap();
+        assert_eq!(est.region, r(10.0, 10.0, 11.0, 11.0));
+        assert!(est.probability > 0.9, "p={}", est.probability);
+    }
+
+    #[test]
+    fn reinforcing_readings_narrow_the_estimate() {
+        let readings = vec![
+            reading(
+                r(10.0, 10.0, 30.0, 30.0),
+                false,
+                SensorSpec::rfid_badge(0.8),
+                0.0,
+                60.0,
+            ),
+            reading(
+                r(18.0, 18.0, 22.0, 22.0),
+                false,
+                SensorSpec::ubisense(0.9),
+                0.0,
+                60.0,
+            ),
+        ];
+        let result = engine().fuse(&readings, SimTime::ZERO);
+        let est = result.best_estimate().unwrap();
+        // The best estimate is the small Ubisense rectangle (inside RFID's).
+        assert_eq!(est.region, r(18.0, 18.0, 22.0, 22.0));
+        // And reinforcement beats a single Ubisense reading alone.
+        let single = engine().fuse(&readings[1..], SimTime::ZERO);
+        assert!(est.probability > single.best_estimate().unwrap().probability);
+    }
+
+    #[test]
+    fn expired_readings_are_ignored() {
+        let readings = vec![reading(
+            r(10.0, 10.0, 11.0, 11.0),
+            false,
+            SensorSpec::ubisense(0.9),
+            0.0,
+            5.0,
+        )];
+        let result = engine().fuse(&readings, SimTime::from_secs(10.0));
+        assert!(result.best_estimate().is_none());
+    }
+
+    #[test]
+    fn conflicting_readings_resolved_before_fusion() {
+        let readings = vec![
+            reading(
+                r(10.0, 10.0, 12.0, 12.0),
+                true,
+                SensorSpec::ubisense(0.9),
+                0.0,
+                60.0,
+            ),
+            reading(
+                r(400.0, 80.0, 420.0, 95.0),
+                false,
+                SensorSpec::rfid_badge(0.8),
+                0.0,
+                60.0,
+            ),
+        ];
+        let result = engine().fuse(&readings, SimTime::ZERO);
+        assert!(result.conflict().had_conflict());
+        let est = result.best_estimate().unwrap();
+        assert_eq!(est.region, r(10.0, 10.0, 12.0, 12.0)); // moving wins
+    }
+
+    #[test]
+    fn region_query_on_result() {
+        let readings = vec![
+            reading(
+                r(10.0, 10.0, 20.0, 20.0),
+                false,
+                SensorSpec::ubisense(1.0),
+                0.0,
+                60.0,
+            ),
+            reading(
+                r(8.0, 8.0, 18.0, 18.0),
+                false,
+                SensorSpec::biometric_short_term(),
+                0.0,
+                60.0,
+            ),
+        ];
+        let mut result = engine().fuse(&readings, SimTime::ZERO);
+        let p_near = result.region_probability(r(5.0, 5.0, 25.0, 25.0)).unwrap();
+        let p_far = result
+            .region_probability(r(300.0, 50.0, 320.0, 70.0))
+            .unwrap();
+        assert!(p_near > p_far);
+        assert!(p_near > 0.9, "p_near={p_near}");
+        let band = result.region_band(r(5.0, 5.0, 25.0, 25.0)).unwrap();
+        assert!(band >= ProbabilityBand::Medium, "band={band:?}");
+    }
+
+    #[test]
+    fn direct_region_probability_matches_lattice_query() {
+        let readings = vec![
+            reading(
+                r(10.0, 10.0, 30.0, 30.0),
+                false,
+                SensorSpec::rfid_badge(0.8),
+                0.0,
+                60.0,
+            ),
+            reading(
+                r(18.0, 18.0, 22.0, 22.0),
+                false,
+                SensorSpec::ubisense(0.9),
+                0.0,
+                60.0,
+            ),
+        ];
+        let e = engine();
+        let region = r(15.0, 15.0, 25.0, 25.0);
+        let direct = e.region_probability_direct(&readings, &region, SimTime::ZERO);
+        let mut result = e.fuse(&readings, SimTime::ZERO);
+        let via_lattice = result.region_probability(region).unwrap();
+        assert!((direct - via_lattice).abs() < 1e-12);
+    }
+
+    #[test]
+    fn band_classification_tracks_sensor_quality() {
+        // A strong sensor stack (both reliably carried): the estimate
+        // lands in at least the medium band despite the tiny region.
+        let readings = vec![
+            reading(
+                r(10.0, 10.0, 12.0, 12.0),
+                false,
+                SensorSpec::biometric_short_term(),
+                0.0,
+                60.0,
+            ),
+            reading(
+                r(9.0, 9.0, 13.0, 13.0),
+                false,
+                SensorSpec::ubisense(1.0),
+                0.0,
+                60.0,
+            ),
+        ];
+        let result = engine().fuse(&readings, SimTime::ZERO);
+        let est = result.best_estimate().unwrap();
+        assert!(est.probability > 0.9, "p={}", est.probability);
+        assert!(est.band >= ProbabilityBand::Medium, "band={:?}", est.band);
+        // A weak stack (badge often left behind): low band.
+        let weak = vec![reading(
+            r(10.0, 10.0, 12.0, 12.0),
+            false,
+            SensorSpec::rfid_badge(0.6),
+            0.0,
+            60.0,
+        )];
+        let weak_est = engine().fuse(&weak, SimTime::ZERO).best_estimate().unwrap();
+        assert!(
+            weak_est.band == ProbabilityBand::Low,
+            "band={:?}",
+            weak_est.band
+        );
+        assert!(weak_est.probability < est.probability);
+    }
+
+    #[test]
+    fn aging_inflation_grows_the_estimate() {
+        let mut r0 = reading(
+            r(100.0, 50.0, 102.0, 52.0),
+            false,
+            SensorSpec::ubisense(1.0),
+            0.0,
+            100.0,
+        );
+        r0.tdf = TemporalDegradation::None;
+        let plain = FusionEngine::new(r(0.0, 0.0, 500.0, 100.0));
+        let moving = FusionEngine::new(r(0.0, 0.0, 500.0, 100.0)).with_aging_inflation(4.0);
+        let now = SimTime::from_secs(10.0);
+        let est_plain = plain
+            .fuse(std::slice::from_ref(&r0), now)
+            .best_estimate()
+            .unwrap();
+        let est_moving = moving
+            .fuse(std::slice::from_ref(&r0), now)
+            .best_estimate()
+            .unwrap();
+        // 10 s × 4 ft/s = 40 ft of growth each side.
+        assert_eq!(est_plain.region, r0.region);
+        assert!(est_moving.region.contains_rect(&r0.region));
+        assert!(est_moving.region.width() > 80.0);
+        // At detection time the two engines agree exactly.
+        let at_zero_plain = plain.fuse(std::slice::from_ref(&r0), SimTime::ZERO);
+        let at_zero_moving = moving.fuse(std::slice::from_ref(&r0), SimTime::ZERO);
+        assert_eq!(
+            at_zero_plain.best_estimate().unwrap().region,
+            at_zero_moving.best_estimate().unwrap().region
+        );
+    }
+
+    #[test]
+    fn aging_inflation_clamps_to_universe() {
+        let universe = r(0.0, 0.0, 500.0, 100.0);
+        let mut r0 = reading(
+            r(1.0, 1.0, 3.0, 3.0),
+            false,
+            SensorSpec::ubisense(1.0),
+            0.0,
+            1e6,
+        );
+        r0.tdf = TemporalDegradation::None;
+        let engine = FusionEngine::new(universe).with_aging_inflation(10.0);
+        let est = engine
+            .fuse(std::slice::from_ref(&r0), SimTime::from_secs(1e5))
+            .best_estimate()
+            .unwrap();
+        assert!(universe.contains_rect(&est.region));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_inflation_rejected() {
+        let _ = FusionEngine::new(r(0.0, 0.0, 1.0, 1.0)).with_aging_inflation(-1.0);
+    }
+
+    #[test]
+    fn degraded_reading_weakens_estimate() {
+        let mut early = reading(
+            r(10.0, 10.0, 12.0, 12.0),
+            false,
+            SensorSpec::ubisense(0.9),
+            0.0,
+            100.0,
+        );
+        early.tdf = TemporalDegradation::Linear {
+            lifetime: SimDuration::from_secs(100.0),
+        };
+        let e = engine();
+        let fresh = e.fuse(std::slice::from_ref(&early), SimTime::ZERO);
+        let stale = e.fuse(std::slice::from_ref(&early), SimTime::from_secs(80.0));
+        let p_fresh = fresh.best_estimate().unwrap().probability;
+        let p_stale = stale.best_estimate().unwrap().probability;
+        assert!(p_stale < p_fresh);
+    }
+}

@@ -1,0 +1,45 @@
+use std::fmt;
+
+/// Errors produced by the fusion engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FusionError {
+    /// The universe rectangle has zero area, so the priors of §4.1.2
+    /// (`area_B / area_U`) are undefined.
+    DegenerateUniverse,
+    /// A referenced lattice node does not exist.
+    UnknownNode {
+        /// The missing node index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for FusionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FusionError::DegenerateUniverse => {
+                write!(f, "universe rectangle must have positive area")
+            }
+            FusionError::UnknownNode { index } => {
+                write!(f, "unknown lattice node {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FusionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(FusionError::DegenerateUniverse
+            .to_string()
+            .contains("universe"));
+        assert!(FusionError::UnknownNode { index: 3 }
+            .to_string()
+            .contains('3'));
+    }
+}

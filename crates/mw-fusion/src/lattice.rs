@@ -1,0 +1,617 @@
+//! The containment lattice of sensor rectangles (§4.1.2, Figures 5–6).
+//!
+//! "In order to efficiently combine different sensor readings, we
+//! construct a lattice of rectangles, where the lattice relationship is
+//! containment. The rectangles in the lattice are both sensor rectangles
+//! as well as any new rectangle regions that are formed due to the
+//! intersection of two rectangles."
+//!
+//! The lattice has a virtual **Top** (the universe) and **Bottom** (the
+//! empty region). The children of a node are the maximal regions strictly
+//! contained in it (a Hasse diagram). Object queries read the parents of
+//! Bottom — the smallest, most specific regions (§4.2).
+
+use std::collections::BTreeMap;
+
+use mw_geometry::Rect;
+
+use crate::bayes::{posterior_general, SensorEvidence};
+use crate::FusionError;
+
+/// Index of a node within a [`RegionLattice`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// What a lattice node represents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// The universe (everything): the lattice Top.
+    Top,
+    /// The empty region: the lattice Bottom.
+    Bottom,
+    /// A rectangle reported directly by the sensors with these evidence
+    /// indices (several sensors may report the identical rectangle).
+    Sensor(Vec<usize>),
+    /// A region formed by intersecting sensor rectangles.
+    Intersection,
+    /// A region inserted by a query or a trigger subscription (§4.2–4.3).
+    Query,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    region: Rect,
+    kind: NodeKind,
+    parents: Vec<NodeId>,
+    children: Vec<NodeId>,
+    probability: f64,
+}
+
+/// The containment lattice over sensor rectangles and their intersections.
+#[derive(Debug, Clone)]
+pub struct RegionLattice {
+    universe: Rect,
+    nodes: Vec<Node>,
+    evidence: Vec<SensorEvidence>,
+}
+
+/// Top is always node 0, Bottom node 1.
+const TOP: NodeId = NodeId(0);
+const BOTTOM: NodeId = NodeId(1);
+
+impl RegionLattice {
+    /// Builds the lattice for one object's sensor evidence.
+    ///
+    /// Adds every distinct sensor rectangle plus every distinct pairwise
+    /// intersection, wires the containment Hasse diagram, and computes
+    /// each region's Equation-7 posterior.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FusionError::DegenerateUniverse`] when `universe` has zero
+    /// area.
+    pub fn build(universe: Rect, evidence: Vec<SensorEvidence>) -> Result<Self, FusionError> {
+        if universe.area() <= 0.0 {
+            return Err(FusionError::DegenerateUniverse);
+        }
+        let mut lattice = RegionLattice {
+            universe,
+            nodes: vec![
+                Node {
+                    region: universe,
+                    kind: NodeKind::Top,
+                    parents: Vec::new(),
+                    children: Vec::new(),
+                    probability: 1.0,
+                },
+                Node {
+                    region: Rect::from_point(universe.min()),
+                    kind: NodeKind::Bottom,
+                    parents: Vec::new(),
+                    children: Vec::new(),
+                    probability: 0.0,
+                },
+            ],
+            evidence,
+        };
+
+        // Collect distinct rectangles: sensor rects first, then pairwise
+        // intersections that are new.
+        let mut region_nodes: BTreeMap<RectKey, NodeId> = BTreeMap::new();
+        for i in 0..lattice.evidence.len() {
+            let rect = lattice.evidence[i].region;
+            let key = RectKey::from(&rect);
+            match region_nodes.get(&key) {
+                Some(&id) => {
+                    if let NodeKind::Sensor(list) = &mut lattice.nodes[id.0].kind {
+                        list.push(i);
+                    }
+                }
+                None => {
+                    let id = lattice.push_node(rect, NodeKind::Sensor(vec![i]));
+                    region_nodes.insert(key, id);
+                }
+            }
+        }
+        let sensor_rects: Vec<Rect> = lattice
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Sensor(_)))
+            .map(|n| n.region)
+            .collect();
+        for (i, a) in sensor_rects.iter().enumerate() {
+            for b in sensor_rects.iter().skip(i + 1) {
+                if let Some(c) = a.intersection(b) {
+                    if c.area() > 0.0 {
+                        let key = RectKey::from(&c);
+                        region_nodes
+                            .entry(key)
+                            .or_insert_with(|| lattice.push_node(c, NodeKind::Intersection));
+                    }
+                }
+            }
+        }
+
+        lattice.rebuild_edges();
+        lattice.recompute_probabilities();
+        Ok(lattice)
+    }
+
+    /// The Top node (the universe).
+    #[must_use]
+    pub fn top(&self) -> NodeId {
+        TOP
+    }
+
+    /// The Bottom node (the empty region).
+    #[must_use]
+    pub fn bottom(&self) -> NodeId {
+        BOTTOM
+    }
+
+    /// The universe rectangle.
+    #[must_use]
+    pub fn universe(&self) -> Rect {
+        self.universe
+    }
+
+    /// Number of nodes, including Top and Bottom.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always `false`: Top and Bottom are always present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The evidence the lattice was built from.
+    #[must_use]
+    pub fn evidence(&self) -> &[SensorEvidence] {
+        &self.evidence
+    }
+
+    /// The node's rectangle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FusionError::UnknownNode`] for a stale id.
+    pub fn region(&self, id: NodeId) -> Result<Rect, FusionError> {
+        self.node(id).map(|n| n.region)
+    }
+
+    /// The node's kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FusionError::UnknownNode`] for a stale id.
+    pub fn kind(&self, id: NodeId) -> Result<&NodeKind, FusionError> {
+        self.node(id).map(|n| &n.kind)
+    }
+
+    /// The Equation-7 posterior of the node's region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FusionError::UnknownNode`] for a stale id.
+    pub fn probability(&self, id: NodeId) -> Result<f64, FusionError> {
+        self.node(id).map(|n| n.probability)
+    }
+
+    /// Direct parents in the Hasse diagram (immediately containing
+    /// regions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FusionError::UnknownNode`] for a stale id.
+    pub fn parents(&self, id: NodeId) -> Result<&[NodeId], FusionError> {
+        self.node(id).map(|n| n.parents.as_slice())
+    }
+
+    /// Direct children in the Hasse diagram (maximal contained regions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FusionError::UnknownNode`] for a stale id.
+    pub fn children(&self, id: NodeId) -> Result<&[NodeId], FusionError> {
+        self.node(id).map(|n| n.children.as_slice())
+    }
+
+    /// Ids of every real region node (excludes Top and Bottom).
+    pub fn region_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (2..self.nodes.len()).map(NodeId)
+    }
+
+    /// The parents of Bottom: the minimal (most specific) regions. §4.2
+    /// reads the object's location from these.
+    #[must_use]
+    pub fn minimal_regions(&self) -> Vec<NodeId> {
+        self.nodes[BOTTOM.0].parents.clone()
+    }
+
+    /// Inserts a query/trigger region into the lattice, wiring containment
+    /// edges and computing its posterior. Returns its node id.
+    ///
+    /// §4.2: "we approximate the region with a minimum bounding rectangle
+    /// and insert this into the lattice."
+    pub fn insert_query_region(&mut self, region: Rect) -> NodeId {
+        let id = self.push_node(region, NodeKind::Query);
+        self.rebuild_edges();
+        let p = posterior_general(&self.evidence, &region, &self.universe);
+        self.nodes[id.0].probability = p;
+        id
+    }
+
+    /// Removes a sensor rectangle (and re-derives edges and posteriors) —
+    /// used by conflict resolution when a reading is discarded: "S5 is
+    /// removed from the lattice."
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FusionError::UnknownNode`] for a stale id or for Top /
+    /// Bottom.
+    pub fn remove_region(&mut self, id: NodeId) -> Result<(), FusionError> {
+        if id.0 < 2 || id.0 >= self.nodes.len() {
+            return Err(FusionError::UnknownNode { index: id.0 });
+        }
+        // Drop any evidence that reported exactly this rectangle, then
+        // rebuild the whole lattice from the remaining evidence (stray
+        // intersection nodes of the removed rectangle disappear too).
+        // Query nodes are not preserved; callers re-insert them.
+        let region = self.nodes[id.0].region;
+        self.evidence.retain(|e| e.region != region);
+        let rebuilt = RegionLattice::build(self.universe, std::mem::take(&mut self.evidence))?;
+        *self = rebuilt;
+        Ok(())
+    }
+
+    /// The normalized spatial probability distribution over the minimal
+    /// regions ("The probabilities of all regions are finally
+    /// normalized").
+    ///
+    /// Returns `(node, weight)` pairs summing to 1 (empty when there are
+    /// no regions or all posteriors are zero).
+    #[must_use]
+    pub fn normalized_distribution(&self) -> Vec<(NodeId, f64)> {
+        // Only real regions: with no evidence, Bottom hangs directly off
+        // Top, which is not a location estimate.
+        let minimal: Vec<NodeId> = self
+            .minimal_regions()
+            .into_iter()
+            .filter(|id| id.0 >= 2)
+            .collect();
+        let total: f64 = minimal.iter().map(|id| self.nodes[id.0].probability).sum();
+        if total <= 0.0 {
+            return Vec::new();
+        }
+        minimal
+            .into_iter()
+            .map(|id| (id, self.nodes[id.0].probability / total))
+            .collect()
+    }
+
+    fn node(&self, id: NodeId) -> Result<&Node, FusionError> {
+        self.nodes
+            .get(id.0)
+            .ok_or(FusionError::UnknownNode { index: id.0 })
+    }
+
+    fn push_node(&mut self, region: Rect, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            region,
+            kind,
+            parents: Vec::new(),
+            children: Vec::new(),
+            probability: 0.0,
+        });
+        id
+    }
+
+    /// Recomputes the Hasse diagram from scratch.
+    ///
+    /// An edge `a → b` (a parent of b) exists when `b ⊂ a` strictly and no
+    /// region c satisfies `b ⊂ c ⊂ a`. Top contains every region; Bottom
+    /// is a child of every minimal region.
+    fn rebuild_edges(&mut self) {
+        let n = self.nodes.len();
+        for node in &mut self.nodes {
+            node.parents.clear();
+            node.children.clear();
+        }
+        let regions: Vec<Rect> = self.nodes.iter().map(|node| node.region).collect();
+        // Strict containment among the real regions. Identical rectangles
+        // are merged at build time, so ties cannot occur between sensor
+        // nodes; a query node may duplicate an existing rectangle, in
+        // which case area-equality breaks the tie by index order.
+        let contains = |a: usize, b: usize| -> bool {
+            if a == b {
+                return false;
+            }
+            if regions[a] == regions[b] {
+                // Tie: treat lower index as the container to keep the
+                // relation antisymmetric.
+                return a < b;
+            }
+            regions[a].contains_rect(&regions[b])
+        };
+        for b in 2..n {
+            // Candidate parents: all strict containers of b.
+            let containers: Vec<usize> = (2..n).filter(|&a| contains(a, b)).collect();
+            // Keep only immediate ones.
+            let mut immediate: Vec<usize> = Vec::new();
+            'outer: for &a in &containers {
+                for &c in &containers {
+                    if c != a && contains(a, c) {
+                        continue 'outer; // a contains c contains b: not immediate
+                    }
+                }
+                immediate.push(a);
+            }
+            if immediate.is_empty() {
+                // Directly under Top.
+                self.nodes[TOP.0].children.push(NodeId(b));
+                self.nodes[b].parents.push(TOP);
+            } else {
+                for a in immediate {
+                    self.nodes[a].children.push(NodeId(b));
+                    self.nodes[b].parents.push(NodeId(a));
+                }
+            }
+        }
+        // Bottom under every childless region.
+        for i in 2..n {
+            if self.nodes[i].children.is_empty() {
+                self.nodes[i].children.push(BOTTOM);
+                self.nodes[BOTTOM.0].parents.push(NodeId(i));
+            }
+        }
+        if n == 2 {
+            // Empty lattice: Bottom directly under Top.
+            self.nodes[TOP.0].children.push(BOTTOM);
+            self.nodes[BOTTOM.0].parents.push(TOP);
+        }
+    }
+
+    fn recompute_probabilities(&mut self) {
+        for i in 2..self.nodes.len() {
+            let region = self.nodes[i].region;
+            self.nodes[i].probability = posterior_general(&self.evidence, &region, &self.universe);
+        }
+        self.nodes[TOP.0].probability = 1.0;
+        self.nodes[BOTTOM.0].probability = 0.0;
+    }
+}
+
+/// Total-ordering key for rectangle deduplication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct RectKey([u64; 4]);
+
+impl From<&Rect> for RectKey {
+    fn from(r: &Rect) -> Self {
+        RectKey([
+            r.min().x.to_bits(),
+            r.min().y.to_bits(),
+            r.max().x.to_bits(),
+            r.max().y.to_bits(),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mw_geometry::Point;
+
+    fn r(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    fn ev(rect: Rect) -> SensorEvidence {
+        // A confident sensor whose misidentification probability is
+        // area-proportional (like the paper's Ubisense calibration), so
+        // small regions keep meaningful posteriors.
+        SensorEvidence::new(rect, 0.85, 0.001)
+    }
+
+    fn universe() -> Rect {
+        r(0.0, 0.0, 500.0, 100.0)
+    }
+
+    #[test]
+    fn empty_lattice_has_top_and_bottom() {
+        let l = RegionLattice::build(universe(), vec![]).unwrap();
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.children(l.top()).unwrap(), &[l.bottom()]);
+        assert_eq!(l.parents(l.bottom()).unwrap(), &[l.top()]);
+        assert_eq!(l.probability(l.top()).unwrap(), 1.0);
+        assert_eq!(l.probability(l.bottom()).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_universe_rejected() {
+        let e = RegionLattice::build(Rect::from_point(Point::ORIGIN), vec![]);
+        assert_eq!(e.unwrap_err(), FusionError::DegenerateUniverse);
+    }
+
+    #[test]
+    fn single_sensor_chain() {
+        let l = RegionLattice::build(universe(), vec![ev(r(10.0, 10.0, 20.0, 20.0))]).unwrap();
+        // Top -> sensor -> Bottom.
+        assert_eq!(l.len(), 3);
+        let minimal = l.minimal_regions();
+        assert_eq!(minimal.len(), 1);
+        assert_eq!(l.region(minimal[0]).unwrap(), r(10.0, 10.0, 20.0, 20.0));
+        assert!(l.probability(minimal[0]).unwrap() > 0.5);
+    }
+
+    #[test]
+    fn nested_rectangles_form_a_chain() {
+        let inner = r(12.0, 12.0, 14.0, 14.0);
+        let outer = r(10.0, 10.0, 20.0, 20.0);
+        let l = RegionLattice::build(universe(), vec![ev(inner), ev(outer)]).unwrap();
+        // Intersection of inner and outer is inner: deduplicated.
+        assert_eq!(l.len(), 4);
+        let minimal = l.minimal_regions();
+        assert_eq!(minimal.len(), 1);
+        assert_eq!(l.region(minimal[0]).unwrap(), inner);
+        // The chain: outer's parent is Top, inner's parent is outer.
+        let inner_id = minimal[0];
+        let outer_id = l.parents(inner_id).unwrap()[0];
+        assert_eq!(l.region(outer_id).unwrap(), outer);
+        assert_eq!(l.parents(outer_id).unwrap(), &[l.top()]);
+    }
+
+    #[test]
+    fn intersecting_rectangles_create_intersection_node() {
+        let a = r(0.0, 0.0, 20.0, 20.0);
+        let b = r(10.0, 10.0, 30.0, 30.0);
+        let l = RegionLattice::build(universe(), vec![ev(a), ev(b)]).unwrap();
+        // Top, Bottom, A, B, C=A∩B.
+        assert_eq!(l.len(), 5);
+        let minimal = l.minimal_regions();
+        assert_eq!(minimal.len(), 1);
+        let c = minimal[0];
+        assert_eq!(l.region(c).unwrap(), r(10.0, 10.0, 20.0, 20.0));
+        assert!(matches!(l.kind(c).unwrap(), NodeKind::Intersection));
+        // C has both A and B as parents.
+        assert_eq!(l.parents(c).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn paper_figure_5_and_6_lattice() {
+        // Five sensors as in Figure 5: S1 and S2 overlap (D), S2 and S3
+        // overlap (E), S3 overlaps S1? The paper's exact geometry is not
+        // given; we reconstruct one consistent with the Figure 6 lattice:
+        // intersections D = S1∩S2, E = S2∩S3, F = S1∩S3(within S1∩S2∩S3?)
+        // Simplified faithful version: three mutually overlapping large
+        // rectangles plus S4 contained in S1 and S5 disjoint.
+        let s1 = r(0.0, 0.0, 40.0, 40.0);
+        let s2 = r(20.0, 0.0, 60.0, 40.0);
+        let s3 = r(10.0, 20.0, 50.0, 60.0);
+        let s4 = r(5.0, 5.0, 15.0, 15.0); // inside S1
+        let s5 = r(200.0, 50.0, 240.0, 90.0); // disjoint from everything
+        let l =
+            RegionLattice::build(universe(), vec![ev(s1), ev(s2), ev(s3), ev(s4), ev(s5)]).unwrap();
+        // Distinct intersections: S1∩S2, S1∩S3, S2∩S3 (S4 = S1∩S4 dedup).
+        // Nodes: top, bottom, 5 sensors, 3 intersections = 10.
+        assert_eq!(l.len(), 10);
+        // S5 is minimal (its only content) and disjoint: parent of Bottom.
+        let minimal = l.minimal_regions();
+        let minimal_rects: Vec<Rect> = minimal.iter().map(|&id| l.region(id).unwrap()).collect();
+        assert!(minimal_rects.contains(&s5));
+        assert!(minimal_rects.contains(&s4));
+    }
+
+    #[test]
+    fn query_region_insertion() {
+        let a = r(0.0, 0.0, 20.0, 20.0);
+        let mut l = RegionLattice::build(universe(), vec![ev(a)]).unwrap();
+        let q = l.insert_query_region(r(5.0, 5.0, 10.0, 10.0));
+        assert!(matches!(l.kind(q).unwrap(), NodeKind::Query));
+        let p = l.probability(q).unwrap();
+        assert!(p > 0.0 && p < 1.0);
+        // The query region sits under the sensor rectangle.
+        let parent = l.parents(q).unwrap()[0];
+        assert_eq!(l.region(parent).unwrap(), a);
+    }
+
+    #[test]
+    fn remove_region_drops_evidence() {
+        let a = r(0.0, 0.0, 20.0, 20.0);
+        let b = r(200.0, 50.0, 220.0, 70.0);
+        let l = RegionLattice::build(universe(), vec![ev(a), ev(b)]).unwrap();
+        let b_id = l
+            .region_nodes()
+            .find(|&id| l.region(id).unwrap() == b)
+            .unwrap();
+        let p_a_before = {
+            let a_id = l
+                .region_nodes()
+                .find(|&id| l.region(id).unwrap() == a)
+                .unwrap();
+            l.probability(a_id).unwrap()
+        };
+        let mut l2 = l.clone();
+        l2.remove_region(b_id).unwrap();
+        assert_eq!(l2.evidence().len(), 1);
+        let a_id = l2
+            .region_nodes()
+            .find(|&id| l2.region(id).unwrap() == a)
+            .unwrap();
+        // Without the conflicting reading, A's posterior rises.
+        assert!(l2.probability(a_id).unwrap() > p_a_before);
+    }
+
+    #[test]
+    fn remove_top_bottom_rejected() {
+        let mut l = RegionLattice::build(universe(), vec![]).unwrap();
+        assert!(l.remove_region(l.top()).is_err());
+        assert!(l.remove_region(l.bottom()).is_err());
+    }
+
+    #[test]
+    fn normalized_distribution_sums_to_one() {
+        let l = RegionLattice::build(
+            universe(),
+            vec![
+                ev(r(0.0, 0.0, 20.0, 20.0)),
+                ev(r(10.0, 10.0, 30.0, 30.0)),
+                ev(r(100.0, 10.0, 130.0, 40.0)),
+            ],
+        )
+        .unwrap();
+        let dist = l.normalized_distribution();
+        assert!(!dist.is_empty());
+        let total: f64 = dist.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_sensor_rectangles_merge() {
+        let same = r(0.0, 0.0, 10.0, 10.0);
+        let l = RegionLattice::build(universe(), vec![ev(same), ev(same)]).unwrap();
+        assert_eq!(l.len(), 3);
+        let minimal = l.minimal_regions();
+        match l.kind(minimal[0]).unwrap() {
+            NodeKind::Sensor(list) => assert_eq!(list.len(), 2),
+            other => panic!("expected merged sensor node, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hasse_edges_skip_transitive_containment() {
+        // A ⊃ B ⊃ C: A must not be a direct parent of C.
+        let a = r(0.0, 0.0, 30.0, 30.0);
+        let b = r(5.0, 5.0, 25.0, 25.0);
+        let c = r(10.0, 10.0, 20.0, 20.0);
+        let l = RegionLattice::build(universe(), vec![ev(a), ev(b), ev(c)]).unwrap();
+        let c_id = l
+            .region_nodes()
+            .find(|&id| l.region(id).unwrap() == c)
+            .unwrap();
+        let parents = l.parents(c_id).unwrap();
+        assert_eq!(parents.len(), 1);
+        assert_eq!(l.region(parents[0]).unwrap(), b);
+    }
+
+    #[test]
+    fn stale_node_id_errors() {
+        let l = RegionLattice::build(universe(), vec![]).unwrap();
+        let bogus = NodeId(99);
+        assert!(matches!(
+            l.probability(bogus),
+            Err(FusionError::UnknownNode { index: 99 })
+        ));
+    }
+}

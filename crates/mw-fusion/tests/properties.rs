@@ -1,0 +1,276 @@
+//! Property-based tests for the fusion algorithm's invariants.
+
+use mw_fusion::bayes::{
+    posterior_contained_outer, posterior_eq7_as_published, posterior_general, posterior_single,
+    SensorEvidence,
+};
+use mw_fusion::{BandThresholds, FusionEngine, RegionLattice};
+use mw_geometry::{Point, Rect};
+use mw_model::{SimDuration, SimTime, TemporalDegradation};
+use mw_sensors::{SensorReading, SensorSpec};
+use proptest::prelude::*;
+
+fn universe() -> Rect {
+    Rect::new(Point::new(0.0, 0.0), Point::new(500.0, 100.0))
+}
+
+fn rect_in_universe() -> impl Strategy<Value = Rect> {
+    (0.0..480.0f64, 0.0..80.0f64, 1.0..20.0f64, 1.0..20.0f64)
+        .prop_map(|(x, y, w, h)| Rect::new(Point::new(x, y), Point::new(x + w, y + h)))
+}
+
+fn evidence() -> impl Strategy<Value = SensorEvidence> {
+    (rect_in_universe(), 0.5..1.0f64, 0.0001..0.1f64)
+        .prop_map(|(r, hit, fp)| SensorEvidence::new(r, hit, fp))
+}
+
+proptest! {
+    #[test]
+    fn posterior_always_in_unit_interval(
+        ev in proptest::collection::vec(evidence(), 1..8),
+        region in rect_in_universe(),
+    ) {
+        let p = posterior_general(&ev, &region, &universe());
+        prop_assert!((0.0..=1.0).contains(&p), "general {p}");
+        let p7 = posterior_eq7_as_published(&ev, &region, &universe());
+        prop_assert!((0.0..=1.0).contains(&p7), "published {p7}");
+    }
+
+    #[test]
+    fn general_reduces_to_eq5(e in evidence()) {
+        let general = posterior_general(std::slice::from_ref(&e), &e.region, &universe());
+        let eq5 = posterior_single(&e, &universe());
+        prop_assert!((general - eq5).abs() < 1e-9, "general={general} eq5={eq5}");
+    }
+
+    #[test]
+    fn general_reduces_to_eq4_for_nested(
+        outer in rect_in_universe(),
+        fx in 0.1..0.9f64, fy in 0.1..0.9f64, fw in 0.05..0.5f64,
+        hit1 in 0.5..1.0f64, fp1 in 0.0001..0.1f64,
+        hit2 in 0.5..1.0f64, fp2 in 0.0001..0.1f64,
+    ) {
+        // Construct an inner rectangle strictly inside `outer`.
+        let w = outer.width() * fw.min(1.0 - fx);
+        let h = outer.height() * fw.min(1.0 - fy);
+        let min = Point::new(outer.min().x + outer.width() * fx, outer.min().y + outer.height() * fy);
+        let inner_rect = Rect::new(min, Point::new(min.x + w, min.y + h));
+        prop_assume!(outer.contains_rect(&inner_rect) && inner_rect.area() > 0.0);
+        let inner = SensorEvidence::new(inner_rect, hit1, fp1);
+        let outer_e = SensorEvidence::new(outer, hit2, fp2);
+        let general = posterior_general(&[inner, outer_e], &outer, &universe());
+        let eq4 = posterior_contained_outer(&inner, &outer_e, &universe());
+        prop_assert!((general - eq4).abs() < 1e-9, "general={general} eq4={eq4}");
+    }
+
+    #[test]
+    fn posterior_monotone_under_region_growth(
+        e in evidence(),
+        grow in 0.1..30.0f64,
+    ) {
+        let small = e.region;
+        let large_unclipped = small.inflated(grow);
+        let large = large_unclipped.intersection(&universe()).unwrap_or(small);
+        prop_assume!(large.contains_rect(&small));
+        let p_small = posterior_general(std::slice::from_ref(&e), &small, &universe());
+        let p_large = posterior_general(std::slice::from_ref(&e), &large, &universe());
+        prop_assert!(p_large >= p_small - 1e-9, "small={p_small} large={p_large}");
+    }
+
+    #[test]
+    fn reinforcement_when_hit_exceeds_false_positive(
+        outer in rect_in_universe(),
+        hit1 in 0.6..1.0f64, fp1 in 0.0001..0.1f64,
+        hit2 in 0.5..1.0f64, fp2 in 0.0001..0.1f64,
+    ) {
+        // Inner rectangle: the center quarter of the outer one.
+        let c = outer.center();
+        let inner_rect = Rect::from_center(c, outer.width() / 2.0, outer.height() / 2.0);
+        prop_assume!(hit1 > fp1);
+        let inner = SensorEvidence::new(inner_rect, hit1, fp1);
+        let outer_e = SensorEvidence::new(outer, hit2, fp2);
+        let both = posterior_general(&[inner, outer_e], &outer, &universe());
+        let alone = posterior_general(&[outer_e], &outer, &universe());
+        prop_assert!(both >= alone - 1e-9, "both={both} alone={alone}");
+    }
+
+    #[test]
+    fn lattice_posteriors_respect_containment_order(
+        ev in proptest::collection::vec(evidence(), 1..6),
+    ) {
+        let lattice = RegionLattice::build(universe(), ev.clone()).unwrap();
+        // Every child region is contained in its parents. The *exact*
+        // posterior is monotone along containment edges; the lattice's
+        // stored posteriors use the paper's region-conditional
+        // approximation (its Equation 1 assumption), which is monotone in
+        // the single-sensor case but may deviate slightly for n >= 2 —
+        // see bayes.rs module docs.
+        for id in lattice.region_nodes() {
+            let region = lattice.region(id).unwrap();
+            let p = lattice.probability(id).unwrap();
+            prop_assert!((0.0..=1.0).contains(&p));
+            for &parent in lattice.parents(id).unwrap() {
+                if parent == lattice.top() {
+                    continue;
+                }
+                let parent_region = lattice.region(parent).unwrap();
+                prop_assert!(parent_region.contains_rect(&region));
+                // Exact Bayes is monotone.
+                let exact_child =
+                    mw_fusion::bayes::posterior_exact(&ev, &region, &universe());
+                let exact_parent =
+                    mw_fusion::bayes::posterior_exact(&ev, &parent_region, &universe());
+                prop_assert!(
+                    exact_parent >= exact_child - 1e-9,
+                    "exact parent {exact_parent} < child {exact_child}"
+                );
+                // Paper-faithful formula: monotone for one sensor.
+                if ev.len() == 1 {
+                    let pp = lattice.probability(parent).unwrap();
+                    prop_assert!(pp >= p - 1e-9, "parent {pp} < child {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_posterior_monotone_under_growth(
+        ev in proptest::collection::vec(evidence(), 1..6),
+        seed in rect_in_universe(),
+        grow in 1.0..50.0f64,
+    ) {
+        let small = seed;
+        let large = small.inflated(grow).intersection(&universe()).unwrap_or(small);
+        prop_assume!(large.contains_rect(&small));
+        let p_small = mw_fusion::bayes::posterior_exact(&ev, &small, &universe());
+        let p_large = mw_fusion::bayes::posterior_exact(&ev, &large, &universe());
+        prop_assert!(p_large >= p_small - 1e-9, "{p_large} < {p_small}");
+    }
+
+    #[test]
+    fn exact_and_general_posteriors_in_range_and_correlated(
+        ev in proptest::collection::vec(evidence(), 1..6),
+        region in rect_in_universe(),
+    ) {
+        let exact = mw_fusion::bayes::posterior_exact(&ev, &region, &universe());
+        let general = posterior_general(&ev, &region, &universe());
+        prop_assert!((0.0..=1.0).contains(&exact));
+        // Both near-zero or both non-trivial: they never disagree about
+        // impossibility.
+        if general < 1e-12 {
+            prop_assert!(exact < 1e-6, "general 0 but exact {exact}");
+        }
+    }
+
+    #[test]
+    fn lattice_minimal_regions_have_no_region_children(
+        ev in proptest::collection::vec(evidence(), 1..6),
+    ) {
+        let lattice = RegionLattice::build(universe(), ev).unwrap();
+        for id in lattice.minimal_regions() {
+            let children = lattice.children(id).unwrap();
+            prop_assert_eq!(children, &[lattice.bottom()]);
+        }
+    }
+
+    #[test]
+    fn normalized_distribution_sums_to_one_when_nonempty(
+        ev in proptest::collection::vec(evidence(), 1..6),
+    ) {
+        let lattice = RegionLattice::build(universe(), ev).unwrap();
+        let dist = lattice.normalized_distribution();
+        if !dist.is_empty() {
+            let total: f64 = dist.iter().map(|(_, w)| w).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            for (_, w) in dist {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn band_classification_total_and_monotone(
+        ps in proptest::collection::vec(0.0..=1.0f64, 0..6),
+        a in 0.0..=1.0f64,
+        b in 0.0..=1.0f64,
+    ) {
+        let t = BandThresholds::from_sensor_accuracies(&ps);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(t.classify(lo) <= t.classify(hi));
+    }
+
+    #[test]
+    fn engine_fuse_never_panics_and_estimate_is_minimal(
+        rects in proptest::collection::vec(rect_in_universe(), 0..6),
+        carried in proptest::bool::ANY,
+    ) {
+        let carry = if carried { 1.0 } else { 0.8 };
+        let readings: Vec<SensorReading> = rects
+            .iter()
+            .map(|&region| SensorReading {
+                sensor_id: "s".into(),
+                spec: SensorSpec::ubisense(carry),
+                object: "alice".into(),
+                glob_prefix: "SC/3".parse().unwrap(),
+                region,
+                detected_at: SimTime::ZERO,
+                time_to_live: SimDuration::from_secs(100.0),
+                tdf: TemporalDegradation::None,
+                moving: false,
+            })
+            .collect();
+        let engine = FusionEngine::new(universe());
+        let result = engine.fuse(&readings, SimTime::from_secs(1.0));
+        if let Some(est) = result.best_estimate() {
+            prop_assert!((0.0..=1.0).contains(&est.probability));
+            // The estimate's region is one of the lattice's minimal regions.
+            let minimal: Vec<Rect> = result
+                .lattice()
+                .minimal_regions()
+                .into_iter()
+                .map(|id| result.lattice().region(id).unwrap())
+                .collect();
+            prop_assert!(minimal.contains(&est.region));
+        } else {
+            prop_assert!(rects.is_empty());
+        }
+    }
+
+    #[test]
+    fn conflict_resolution_partitions_input(
+        rects in proptest::collection::vec(rect_in_universe(), 1..8),
+    ) {
+        let readings: Vec<SensorReading> = rects
+            .iter()
+            .map(|&region| SensorReading {
+                sensor_id: "s".into(),
+                spec: SensorSpec::rfid_badge(0.8),
+                object: "alice".into(),
+                glob_prefix: "SC/3".parse().unwrap(),
+                region,
+                detected_at: SimTime::ZERO,
+                time_to_live: SimDuration::from_secs(100.0),
+                tdf: TemporalDegradation::None,
+                moving: false,
+            })
+            .collect();
+        let out = mw_fusion::conflict::resolve(&readings, &universe(), SimTime::ZERO);
+        // kept and discarded partition the indices.
+        let mut all: Vec<usize> = out.kept.iter().chain(out.discarded.iter()).copied().collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..readings.len()).collect();
+        prop_assert_eq!(all, expected);
+        prop_assert!(!out.kept.is_empty());
+        // Survivors form one connected component: every kept rect
+        // intersects at least one other kept rect (unless alone).
+        if out.kept.len() > 1 {
+            for &i in &out.kept {
+                let touches = out
+                    .kept
+                    .iter()
+                    .any(|&j| j != i && readings[i].region.intersects(&readings[j].region));
+                prop_assert!(touches, "kept reading {i} is isolated");
+            }
+        }
+    }
+}

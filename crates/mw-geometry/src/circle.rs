@@ -1,0 +1,156 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Point, Rect};
+
+/// A disk: center plus radius.
+///
+/// Sensors with distance resolution report disks — e.g. Ubisense returns a
+/// location accurate to a 6-inch radius 95% of the time, GPS to its
+/// estimated accuracy radius (§6 of the paper). MiddleWhere immediately
+/// converts these to MBRs for the fusion lattice; [`Circle::mbr`] is that
+/// conversion.
+///
+/// # Example
+///
+/// ```
+/// use mw_geometry::{Circle, Point};
+///
+/// let reading = Circle::new(Point::new(41.0, 3.0), 0.5);
+/// let mbr = reading.mbr();
+/// assert_eq!(mbr.area(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Circle {
+    /// Center of the disk.
+    pub center: Point,
+    /// Radius (non-negative).
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a disk at `center` with `radius`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or not finite.
+    #[must_use]
+    pub fn new(center: Point, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "radius must be finite and non-negative"
+        );
+        Circle { center, radius }
+    }
+
+    /// Area of the disk.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// Minimum bounding rectangle: the square of side `2·radius` centered
+    /// on the disk.
+    #[must_use]
+    pub fn mbr(&self) -> Rect {
+        Rect::from_center(self.center, 2.0 * self.radius, 2.0 * self.radius)
+    }
+
+    /// Returns `true` when `p` is inside or on the disk.
+    #[must_use]
+    pub fn contains_point(&self, p: Point) -> bool {
+        self.center.distance_sq(p) <= self.radius * self.radius
+    }
+
+    /// Returns `true` when the disks share at least one point.
+    #[must_use]
+    pub fn intersects(&self, other: &Circle) -> bool {
+        let r = self.radius + other.radius;
+        self.center.distance_sq(other.center) <= r * r
+    }
+
+    /// Returns `true` when the disk and the rectangle share at least one
+    /// point.
+    #[must_use]
+    pub fn intersects_rect(&self, rect: &Rect) -> bool {
+        rect.distance_to_point(self.center) <= self.radius
+    }
+}
+
+impl fmt::Display for Circle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "circle({}, r={})", self.center, self.radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mbr_is_tight_square() {
+        let c = Circle::new(Point::new(10.0, 20.0), 3.0);
+        let m = c.mbr();
+        assert_eq!(m.min(), Point::new(7.0, 17.0));
+        assert_eq!(m.max(), Point::new(13.0, 23.0));
+        assert_eq!(m.area(), 36.0);
+    }
+
+    #[test]
+    fn mbr_area_exceeds_disk_area() {
+        // The MBR over-approximates by a factor 4/pi.
+        let c = Circle::new(Point::ORIGIN, 1.0);
+        assert!(c.mbr().area() > c.area());
+        assert!((c.mbr().area() / c.area() - 4.0 / std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment() {
+        let c = Circle::new(Point::ORIGIN, 5.0);
+        assert!(c.contains_point(Point::new(3.0, 4.0))); // on boundary
+        assert!(c.contains_point(Point::new(1.0, 1.0)));
+        assert!(!c.contains_point(Point::new(4.0, 4.0)));
+    }
+
+    #[test]
+    fn circle_circle_intersection() {
+        let a = Circle::new(Point::ORIGIN, 2.0);
+        let b = Circle::new(Point::new(3.0, 0.0), 1.0); // touching
+        assert!(a.intersects(&b));
+        let c = Circle::new(Point::new(4.0, 0.0), 1.0);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn circle_rect_intersection() {
+        let c = Circle::new(Point::new(0.0, 0.0), 1.0);
+        let near = Rect::new(Point::new(0.5, 0.5), Point::new(2.0, 2.0));
+        assert!(c.intersects_rect(&near));
+        let far = Rect::new(Point::new(2.0, 2.0), Point::new(3.0, 3.0));
+        assert!(!c.intersects_rect(&far));
+        // Diagonal gap: rect corner at (1,1), distance sqrt(2) > 1.
+        let corner = Rect::new(Point::new(1.0, 1.0), Point::new(2.0, 2.0));
+        assert!(!c.intersects_rect(&corner));
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn negative_radius_panics() {
+        let _ = Circle::new(Point::ORIGIN, -1.0);
+    }
+
+    #[test]
+    fn zero_radius_is_a_point() {
+        let c = Circle::new(Point::new(1.0, 1.0), 0.0);
+        assert!(c.contains_point(Point::new(1.0, 1.0)));
+        assert_eq!(c.area(), 0.0);
+        assert!(c.mbr().is_degenerate());
+    }
+
+    #[test]
+    fn display() {
+        let c = Circle::new(Point::new(1.0, 2.0), 3.0);
+        assert_eq!(c.to_string(), "circle((1, 2), r=3)");
+    }
+}

@@ -1,0 +1,74 @@
+use std::fmt;
+
+/// Errors produced by geometric constructions and conversions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GeometryError {
+    /// A polygon was constructed with fewer than three vertices.
+    DegeneratePolygon {
+        /// Number of vertices supplied.
+        vertices: usize,
+    },
+    /// A rectangle was constructed with non-finite or inverted bounds.
+    InvalidRect {
+        /// Human-readable description of the violation.
+        reason: &'static str,
+    },
+    /// A coordinate value was not finite.
+    NonFiniteCoordinate,
+    /// A coordinate frame referenced by id does not exist in the tree.
+    UnknownFrame {
+        /// The missing frame id.
+        id: u32,
+    },
+    /// Two frames do not belong to the same tree, so no conversion exists.
+    DisconnectedFrames {
+        /// Source frame id.
+        from: u32,
+        /// Destination frame id.
+        to: u32,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::DegeneratePolygon { vertices } => {
+                write!(f, "polygon needs at least 3 vertices, got {vertices}")
+            }
+            GeometryError::InvalidRect { reason } => {
+                write!(f, "invalid rectangle: {reason}")
+            }
+            GeometryError::NonFiniteCoordinate => {
+                write!(f, "coordinate value was not finite")
+            }
+            GeometryError::UnknownFrame { id } => {
+                write!(f, "unknown coordinate frame id {id}")
+            }
+            GeometryError::DisconnectedFrames { from, to } => {
+                write!(f, "no conversion path between frames {from} and {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = GeometryError::DegeneratePolygon { vertices: 2 };
+        let msg = err.to_string();
+        assert!(msg.contains("3 vertices"));
+        assert!(msg.contains('2'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeometryError>();
+    }
+}

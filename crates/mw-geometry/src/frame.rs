@@ -1,0 +1,508 @@
+//! Hierarchical coordinate frames.
+//!
+//! §3 of the paper: "Each building, floor and room has its own coordinate
+//! axes and a point of origin. Locations within a room can be expressed
+//! with respect to the coordinate system of the room, the floor or the
+//! building. MiddleWhere stores the relationships between the different
+//! coordinate axes, and hence coordinates can be easily converted from one
+//! system to another."
+//!
+//! A [`FrameTree`] holds frames in a rooted hierarchy (the root is usually
+//! a building or a campus). Every non-root frame carries a rigid
+//! [`Transform2`] mapping its local coordinates into its parent's
+//! coordinates. Conversion between any two frames walks up to the root.
+//!
+//! # Example
+//!
+//! ```
+//! use mw_geometry::{frame::{FrameTree, Transform2}, Point, Vec2};
+//!
+//! let mut tree = FrameTree::new("SC");
+//! let floor3 = tree.add_frame("3", tree.root(), Transform2::translation(Vec2::new(0.0, 0.0)))?;
+//! let room = tree.add_frame("3216", floor3, Transform2::translation(Vec2::new(45.0, 12.0)))?;
+//!
+//! // (12, 3) in the room is (57, 15) in building coordinates.
+//! let p = tree.convert(Point::new(12.0, 3.0), room, tree.root())?;
+//! assert_eq!(p, Point::new(57.0, 15.0));
+//! # Ok::<(), mw_geometry::GeometryError>(())
+//! ```
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GeometryError, Point, Rect, Vec2};
+
+/// Identifier of a frame within one [`FrameTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FrameId(pub(crate) u32);
+
+impl FrameId {
+    /// The raw index of the frame inside its tree.
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame#{}", self.0)
+    }
+}
+
+/// A rigid 2-D transform: rotation by `theta` followed by translation.
+///
+/// Maps a point `p` in the child frame to `R(theta)·p + t` in the parent
+/// frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transform2 {
+    /// Counter-clockwise rotation angle in radians.
+    pub rotation: f64,
+    /// Translation applied after the rotation.
+    pub translation: Vec2,
+}
+
+impl Transform2 {
+    /// The identity transform.
+    pub const IDENTITY: Transform2 = Transform2 {
+        rotation: 0.0,
+        translation: Vec2::ZERO,
+    };
+
+    /// Creates a transform with `rotation` (radians, counter-clockwise)
+    /// then `translation`.
+    #[must_use]
+    pub const fn new(rotation: f64, translation: Vec2) -> Self {
+        Transform2 {
+            rotation,
+            translation,
+        }
+    }
+
+    /// A pure translation.
+    #[must_use]
+    pub const fn translation(t: Vec2) -> Self {
+        Transform2::new(0.0, t)
+    }
+
+    /// A pure rotation.
+    #[must_use]
+    pub const fn rotation(radians: f64) -> Self {
+        Transform2::new(radians, Vec2::ZERO)
+    }
+
+    /// Applies the transform to a point.
+    #[must_use]
+    pub fn apply(&self, p: Point) -> Point {
+        let rotated = p.to_vec2().rotated(self.rotation);
+        Point::new(rotated.x, rotated.y) + self.translation
+    }
+
+    /// The inverse transform.
+    #[must_use]
+    pub fn inverse(&self) -> Transform2 {
+        let inv_rot = -self.rotation;
+        let t = (-self.translation).rotated(inv_rot);
+        Transform2::new(inv_rot, t)
+    }
+
+    /// Composition: `self.compose(other)` first applies `other`, then
+    /// `self`.
+    #[must_use]
+    pub fn compose(&self, other: &Transform2) -> Transform2 {
+        Transform2::new(
+            self.rotation + other.rotation,
+            other.translation.rotated(self.rotation) + self.translation,
+        )
+    }
+}
+
+impl Default for Transform2 {
+    fn default() -> Self {
+        Transform2::IDENTITY
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FrameNode {
+    name: String,
+    parent: Option<FrameId>,
+    /// Transform from this frame's coordinates to the parent's.
+    to_parent: Transform2,
+}
+
+/// A single coordinate frame, viewed through [`FrameTree::frame`].
+#[derive(Debug, Clone, Copy)]
+pub struct CoordinateFrame<'a> {
+    id: FrameId,
+    node: &'a FrameNode,
+}
+
+impl CoordinateFrame<'_> {
+    /// The frame's id.
+    #[must_use]
+    pub fn id(&self) -> FrameId {
+        self.id
+    }
+
+    /// The frame's name (e.g. a room number).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.node.name
+    }
+
+    /// The parent frame, or `None` for the root.
+    #[must_use]
+    pub fn parent(&self) -> Option<FrameId> {
+        self.node.parent
+    }
+
+    /// The transform into the parent frame (identity for the root).
+    #[must_use]
+    pub fn to_parent(&self) -> Transform2 {
+        self.node.to_parent
+    }
+}
+
+/// A rooted hierarchy of coordinate frames.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrameTree {
+    nodes: Vec<FrameNode>,
+}
+
+impl FrameTree {
+    /// Creates a tree with a single root frame named `root_name`.
+    #[must_use]
+    pub fn new(root_name: impl Into<String>) -> Self {
+        FrameTree {
+            nodes: vec![FrameNode {
+                name: root_name.into(),
+                parent: None,
+                to_parent: Transform2::IDENTITY,
+            }],
+        }
+    }
+
+    /// The root frame's id.
+    #[must_use]
+    pub fn root(&self) -> FrameId {
+        FrameId(0)
+    }
+
+    /// Number of frames in the tree.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always `false`: a tree has at least its root.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Adds a frame under `parent`; `to_parent` maps the new frame's local
+    /// coordinates into `parent` coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::UnknownFrame`] when `parent` does not exist.
+    pub fn add_frame(
+        &mut self,
+        name: impl Into<String>,
+        parent: FrameId,
+        to_parent: Transform2,
+    ) -> Result<FrameId, GeometryError> {
+        self.check(parent)?;
+        let id = FrameId(self.nodes.len() as u32);
+        self.nodes.push(FrameNode {
+            name: name.into(),
+            parent: Some(parent),
+            to_parent,
+        });
+        Ok(id)
+    }
+
+    /// Looks up a frame by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::UnknownFrame`] when the id does not exist.
+    pub fn frame(&self, id: FrameId) -> Result<CoordinateFrame<'_>, GeometryError> {
+        self.check(id)?;
+        Ok(CoordinateFrame {
+            id,
+            node: &self.nodes[id.0 as usize],
+        })
+    }
+
+    /// Finds the first frame with the given name (names need not be
+    /// globally unique; rooms are unique within their floor in practice).
+    #[must_use]
+    pub fn find_by_name(&self, name: &str) -> Option<FrameId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| FrameId(i as u32))
+    }
+
+    /// Transform mapping `from`-frame coordinates into `to`-frame
+    /// coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::UnknownFrame`] when either frame does not
+    /// exist.
+    pub fn transform_between(
+        &self,
+        from: FrameId,
+        to: FrameId,
+    ) -> Result<Transform2, GeometryError> {
+        let from_root = self.to_root_transform(from)?;
+        let to_root = self.to_root_transform(to)?;
+        Ok(to_root.inverse().compose(&from_root))
+    }
+
+    /// Converts a point from `from`-frame coordinates to `to`-frame
+    /// coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::UnknownFrame`] when either frame does not
+    /// exist.
+    pub fn convert(&self, p: Point, from: FrameId, to: FrameId) -> Result<Point, GeometryError> {
+        Ok(self.transform_between(from, to)?.apply(p))
+    }
+
+    /// Converts a rectangle between frames. For rotated frames the result
+    /// is the MBR of the transformed corners, consistent with the paper's
+    /// MBR-everywhere approach.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::UnknownFrame`] when either frame does not
+    /// exist.
+    pub fn convert_rect(
+        &self,
+        rect: &Rect,
+        from: FrameId,
+        to: FrameId,
+    ) -> Result<Rect, GeometryError> {
+        let t = self.transform_between(from, to)?;
+        let corners = rect.corners().map(|c| t.apply(c));
+        Ok(Rect::bounding(corners).expect("four corners"))
+    }
+
+    /// All ancestors of `id`, nearest first, ending with the root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::UnknownFrame`] when the id does not exist.
+    pub fn ancestors(&self, id: FrameId) -> Result<Vec<FrameId>, GeometryError> {
+        self.check(id)?;
+        let mut out = Vec::new();
+        let mut cur = self.nodes[id.0 as usize].parent;
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.nodes[p.0 as usize].parent;
+        }
+        Ok(out)
+    }
+
+    fn to_root_transform(&self, id: FrameId) -> Result<Transform2, GeometryError> {
+        self.check(id)?;
+        let mut t = Transform2::IDENTITY;
+        let mut cur = id;
+        loop {
+            let node = &self.nodes[cur.0 as usize];
+            t = node.to_parent.compose(&t);
+            match node.parent {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        Ok(t)
+    }
+
+    fn check(&self, id: FrameId) -> Result<(), GeometryError> {
+        if (id.0 as usize) < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(GeometryError::UnknownFrame { id: id.0 })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn close(a: Point, b: Point) -> bool {
+        (a.x - b.x).abs() < 1e-9 && (a.y - b.y).abs() < 1e-9
+    }
+
+    #[test]
+    fn transform_apply_and_inverse() {
+        let t = Transform2::new(FRAC_PI_2, Vec2::new(10.0, 0.0));
+        let p = Point::new(1.0, 0.0);
+        let q = t.apply(p);
+        assert!(close(q, Point::new(10.0, 1.0)));
+        assert!(close(t.inverse().apply(q), p));
+    }
+
+    #[test]
+    fn compose_order() {
+        let rot = Transform2::rotation(FRAC_PI_2);
+        let trans = Transform2::translation(Vec2::new(5.0, 0.0));
+        // compose: first translate, then rotate.
+        let t = rot.compose(&trans);
+        let q = t.apply(Point::new(0.0, 0.0));
+        assert!(close(q, Point::new(0.0, 5.0)));
+        // Other order: first rotate, then translate.
+        let u = trans.compose(&rot);
+        let q2 = u.apply(Point::new(0.0, 0.0));
+        assert!(close(q2, Point::new(5.0, 0.0)));
+    }
+
+    #[test]
+    fn building_floor_room_hierarchy() {
+        let mut tree = FrameTree::new("SC");
+        let floor = tree
+            .add_frame("3", tree.root(), Transform2::IDENTITY)
+            .unwrap();
+        let room = tree
+            .add_frame(
+                "3216",
+                floor,
+                Transform2::translation(Vec2::new(45.0, 12.0)),
+            )
+            .unwrap();
+        // Room-local (12, 3) -> building (57, 15).
+        let p = tree
+            .convert(Point::new(12.0, 3.0), room, tree.root())
+            .unwrap();
+        assert!(close(p, Point::new(57.0, 15.0)));
+        // And back.
+        let q = tree.convert(p, tree.root(), room).unwrap();
+        assert!(close(q, Point::new(12.0, 3.0)));
+    }
+
+    #[test]
+    fn sibling_conversion() {
+        let mut tree = FrameTree::new("floor");
+        let a = tree
+            .add_frame(
+                "roomA",
+                tree.root(),
+                Transform2::translation(Vec2::new(10.0, 0.0)),
+            )
+            .unwrap();
+        let b = tree
+            .add_frame(
+                "roomB",
+                tree.root(),
+                Transform2::translation(Vec2::new(30.0, 5.0)),
+            )
+            .unwrap();
+        // Origin of room A is (-20, -5) in room B coordinates.
+        let p = tree.convert(Point::ORIGIN, a, b).unwrap();
+        assert!(close(p, Point::new(-20.0, -5.0)));
+    }
+
+    #[test]
+    fn rotated_room() {
+        let mut tree = FrameTree::new("floor");
+        let room = tree
+            .add_frame(
+                "diag",
+                tree.root(),
+                Transform2::new(FRAC_PI_2, Vec2::new(100.0, 50.0)),
+            )
+            .unwrap();
+        let p = tree
+            .convert(Point::new(1.0, 0.0), room, tree.root())
+            .unwrap();
+        assert!(close(p, Point::new(100.0, 51.0)));
+    }
+
+    #[test]
+    fn rect_conversion_translation() {
+        let mut tree = FrameTree::new("b");
+        let f = tree
+            .add_frame(
+                "f",
+                tree.root(),
+                Transform2::translation(Vec2::new(5.0, 5.0)),
+            )
+            .unwrap();
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        let out = tree.convert_rect(&r, f, tree.root()).unwrap();
+        assert_eq!(out, Rect::new(Point::new(5.0, 5.0), Point::new(7.0, 7.0)));
+    }
+
+    #[test]
+    fn rect_conversion_rotation_gives_mbr() {
+        let mut tree = FrameTree::new("b");
+        let f = tree
+            .add_frame("f", tree.root(), Transform2::rotation(FRAC_PI_2))
+            .unwrap();
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(4.0, 2.0));
+        let out = tree.convert_rect(&r, f, tree.root()).unwrap();
+        // 90° rotation maps [0,4]x[0,2] to [-2,0]x[0,4].
+        assert!(close(out.min(), Point::new(-2.0, 0.0)));
+        assert!(close(out.max(), Point::new(0.0, 4.0)));
+    }
+
+    #[test]
+    fn unknown_frame_errors() {
+        let tree = FrameTree::new("b");
+        let bogus = FrameId(99);
+        assert!(matches!(
+            tree.frame(bogus),
+            Err(GeometryError::UnknownFrame { id: 99 })
+        ));
+        assert!(tree.convert(Point::ORIGIN, bogus, tree.root()).is_err());
+    }
+
+    #[test]
+    fn ancestors_chain() {
+        let mut tree = FrameTree::new("SC");
+        let f = tree
+            .add_frame("3", tree.root(), Transform2::IDENTITY)
+            .unwrap();
+        let r = tree.add_frame("3216", f, Transform2::IDENTITY).unwrap();
+        assert_eq!(tree.ancestors(r).unwrap(), vec![f, tree.root()]);
+        assert_eq!(tree.ancestors(tree.root()).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn find_by_name() {
+        let mut tree = FrameTree::new("SC");
+        let f = tree
+            .add_frame("3", tree.root(), Transform2::IDENTITY)
+            .unwrap();
+        assert_eq!(tree.find_by_name("3"), Some(f));
+        assert_eq!(tree.find_by_name("SC"), Some(tree.root()));
+        assert_eq!(tree.find_by_name("nope"), None);
+    }
+
+    #[test]
+    fn frame_accessors() {
+        let mut tree = FrameTree::new("SC");
+        let f = tree
+            .add_frame(
+                "3",
+                tree.root(),
+                Transform2::translation(Vec2::new(1.0, 2.0)),
+            )
+            .unwrap();
+        let view = tree.frame(f).unwrap();
+        assert_eq!(view.name(), "3");
+        assert_eq!(view.parent(), Some(tree.root()));
+        assert_eq!(view.to_parent().translation, Vec2::new(1.0, 2.0));
+        assert_eq!(view.id(), f);
+        assert_eq!(tree.len(), 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! Geometry substrate for the MiddleWhere reproduction.
+//!
+//! The paper models the physical world as points, lines and polygons stored
+//! in a spatial database (PostGIS in the original). This crate provides the
+//! geometric kernel that the rest of the workspace is built on:
+//!
+//! - [`Point`] / [`Point3`] — 2-D and 3-D coordinates,
+//! - [`Segment`] — line segments (doors, walls),
+//! - [`Rect`] — axis-aligned minimum bounding rectangles (MBRs), the
+//!   workhorse of the fusion algorithm (§4.1.2 of the paper),
+//! - [`Polygon`] — room/corridor outlines with exact predicates,
+//! - [`Circle`] — sensor coverage disks, convertible to MBRs,
+//! - [`frame`] — hierarchical coordinate frames (building/floor/room) with
+//!   conversions between them (§3 of the paper),
+//! - [`rtree`] — a Guttman R-tree (the paper's reference \[4\]) used by the
+//!   spatial database for window and nearest-neighbour queries.
+//!
+//! # Example
+//!
+//! ```
+//! use mw_geometry::{Point, Rect};
+//!
+//! let a = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+//! let b = Rect::new(Point::new(5.0, 5.0), Point::new(15.0, 15.0));
+//! let c = a.intersection(&b).expect("rectangles overlap");
+//! assert_eq!(c.area(), 25.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circle;
+mod error;
+pub mod frame;
+mod point;
+mod polygon;
+mod rect;
+pub mod rtree;
+mod segment;
+
+pub use circle::Circle;
+pub use error::GeometryError;
+pub use frame::{CoordinateFrame, FrameId, FrameTree, Transform2};
+pub use point::{Point, Point3, Vec2};
+pub use polygon::Polygon;
+pub use rect::Rect;
+pub use rtree::RTree;
+pub use segment::Segment;
+
+/// Tolerance used by approximate floating-point comparisons in this crate.
+pub const EPSILON: f64 = 1e-9;
+
+/// Returns `true` when two floating point values are within a relative
+/// [`EPSILON`] of each other.
+#[must_use]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPSILON * (1.0 + a.abs().max(b.abs()))
+}

@@ -1,0 +1,381 @@
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D point in some coordinate frame.
+///
+/// MiddleWhere reasons about the floor plane: sensor rectangles, room
+/// polygons and movement traces are all 2-D. Vertical information is kept at
+/// the model layer via [`Point3`].
+///
+/// # Example
+///
+/// ```
+/// use mw_geometry::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Euclidean distance to `other`.
+    #[must_use]
+    pub fn distance(self, other: Point) -> f64 {
+        (self - other).length()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root when
+    /// only comparisons are needed).
+    #[must_use]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let d = self - other;
+        d.dot(d)
+    }
+
+    /// Midpoint of the segment from `self` to `other`.
+    #[must_use]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Linear interpolation: `t = 0` gives `self`, `t = 1` gives `other`.
+    #[must_use]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Converts to a vector from the origin.
+    #[must_use]
+    pub fn to_vec2(self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Vec2;
+    fn sub(self, rhs: Point) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add<Vec2> for Point {
+    type Output = Point;
+    fn add(self, rhs: Vec2) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub<Vec2> for Point {
+    type Output = Point;
+    fn sub(self, rhs: Vec2) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+/// A 2-D displacement vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// Horizontal component.
+    pub x: f64,
+    /// Vertical component.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// Creates a vector `(x, y)`.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Dot product with `other`.
+    #[must_use]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (the z-component of the 3-D cross product). The
+    /// sign encodes orientation: positive when `other` is counter-clockwise
+    /// from `self`.
+    #[must_use]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean length.
+    #[must_use]
+    pub fn length(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Returns a vector with the same direction and unit length.
+    ///
+    /// Returns [`Vec2::ZERO`] for the zero vector.
+    #[must_use]
+    pub fn normalized(self) -> Vec2 {
+        let len = self.length();
+        if len == 0.0 {
+            Vec2::ZERO
+        } else {
+            self / len
+        }
+    }
+
+    /// Rotates the vector counter-clockwise by `radians`.
+    #[must_use]
+    pub fn rotated(self, radians: f64) -> Vec2 {
+        let (sin, cos) = radians.sin_cos();
+        Vec2::new(self.x * cos - self.y * sin, self.x * sin + self.y * cos)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}>", self.x, self.y)
+    }
+}
+
+/// A 3-D point, used by the location model for GLOB coordinates such as
+/// `SC/3/3216/(12,3,4)`.
+///
+/// The fusion algorithm projects everything onto the floor plane, so
+/// [`Point3::to_floor`] is the usual bridge back to [`Point`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point3 {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical (depth) coordinate.
+    pub y: f64,
+    /// Height above the floor.
+    pub z: f64,
+}
+
+impl Point3 {
+    /// Creates a point at `(x, y, z)`.
+    #[must_use]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// Projects onto the floor plane, discarding the height.
+    #[must_use]
+    pub fn to_floor(self) -> Point {
+        Point::new(self.x, self.y)
+    }
+
+    /// Euclidean distance to `other`.
+    #[must_use]
+    pub fn distance(self, other: Point3) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// Returns `true` when all coordinates are finite.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl fmt::Display for Point3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+impl From<Point> for Point3 {
+    fn from(p: Point) -> Self {
+        Point3::new(p.x, p.y, 0.0)
+    }
+}
+
+impl From<(f64, f64, f64)> for Point3 {
+    fn from((x, y, z): (f64, f64, f64)) -> Self {
+        Point3::new(x, y, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distance_345() {
+        assert_eq!(Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.5, -2.0);
+        let b = Point::new(-4.0, 7.25);
+        assert_eq!(a.distance(b), b.distance(a));
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let m = Point::new(0.0, 0.0).midpoint(Point::new(2.0, 6.0));
+        assert_eq!(m, Point::new(1.0, 3.0));
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(5.0, -2.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), a.midpoint(b));
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let v = Point::new(4.0, 6.0) - Point::new(1.0, 2.0);
+        assert_eq!(v, Vec2::new(3.0, 4.0));
+        assert_eq!(v.length(), 5.0);
+        assert_eq!(Point::new(1.0, 2.0) + v, Point::new(4.0, 6.0));
+        assert_eq!(-v, Vec2::new(-3.0, -4.0));
+        assert_eq!(v * 2.0, Vec2::new(6.0, 8.0));
+        assert_eq!(v / 2.0, Vec2::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn cross_sign_encodes_orientation() {
+        let east = Vec2::new(1.0, 0.0);
+        let north = Vec2::new(0.0, 1.0);
+        assert!(east.cross(north) > 0.0);
+        assert!(north.cross(east) < 0.0);
+        assert_eq!(east.cross(east), 0.0);
+    }
+
+    #[test]
+    fn normalized_has_unit_length() {
+        let v = Vec2::new(3.0, 4.0).normalized();
+        assert!((v.length() - 1.0).abs() < 1e-12);
+        assert_eq!(Vec2::ZERO.normalized(), Vec2::ZERO);
+    }
+
+    #[test]
+    fn rotation_quarter_turn() {
+        let v = Vec2::new(1.0, 0.0).rotated(std::f64::consts::FRAC_PI_2);
+        assert!((v.x).abs() < 1e-12);
+        assert!((v.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point3_projects_to_floor() {
+        let p = Point3::new(12.0, 3.0, 4.0);
+        assert_eq!(p.to_floor(), Point::new(12.0, 3.0));
+    }
+
+    #[test]
+    fn point3_distance() {
+        let d = Point3::new(0.0, 0.0, 0.0).distance(Point3::new(2.0, 3.0, 6.0));
+        assert_eq!(d, 7.0);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let p: Point = (1.0, 2.0).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (1.0, 2.0));
+        let q: Point3 = Point::new(5.0, 6.0).into();
+        assert_eq!(q, Point3::new(5.0, 6.0, 0.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Point::new(1.0, 2.5).to_string(), "(1, 2.5)");
+        assert_eq!(Point3::new(1.0, 2.0, 3.0).to_string(), "(1, 2, 3)");
+    }
+
+    #[test]
+    fn finiteness_checks() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 2.0).is_finite());
+        assert!(!Point3::new(1.0, f64::INFINITY, 0.0).is_finite());
+    }
+}

@@ -1,0 +1,447 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GeometryError, Point, Rect, Segment, EPSILON};
+
+/// A simple polygon given by its vertices in order (clockwise or
+/// counter-clockwise; the first vertex is not repeated at the end).
+///
+/// Rooms, corridors and floor outlines are polygons in MiddleWhere's
+/// spatial database (Table 1 of the paper). The fusion algorithm only works
+/// with their MBRs, but exact predicates (point-in-polygon, area) are used
+/// by the "more accurate processing" pass the paper describes in §5.1 and
+/// by the MBR-approximation ablation bench.
+///
+/// # Example
+///
+/// ```
+/// use mw_geometry::{Point, Polygon};
+///
+/// let room = Polygon::new(vec![
+///     Point::new(330.0, 0.0),
+///     Point::new(350.0, 0.0),
+///     Point::new(350.0, 30.0),
+///     Point::new(330.0, 30.0),
+/// ])?;
+/// assert_eq!(room.area(), 600.0);
+/// assert!(room.contains_point(Point::new(340.0, 15.0)));
+/// # Ok::<(), mw_geometry::GeometryError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Creates a polygon from at least three finite vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::DegeneratePolygon`] for fewer than three
+    /// vertices, and [`GeometryError::NonFiniteCoordinate`] when any vertex
+    /// is NaN or infinite.
+    pub fn new(vertices: Vec<Point>) -> Result<Self, GeometryError> {
+        if vertices.len() < 3 {
+            return Err(GeometryError::DegeneratePolygon {
+                vertices: vertices.len(),
+            });
+        }
+        if vertices.iter().any(|v| !v.is_finite()) {
+            return Err(GeometryError::NonFiniteCoordinate);
+        }
+        Ok(Polygon { vertices })
+    }
+
+    /// Creates the rectangle `rect` as a polygon.
+    #[must_use]
+    pub fn from_rect(rect: &Rect) -> Self {
+        Polygon {
+            vertices: rect.corners().to_vec(),
+        }
+    }
+
+    /// The vertices in order.
+    #[must_use]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Always `false`: a polygon has at least three vertices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterator over the boundary edges.
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// Signed area: positive for counter-clockwise vertex order.
+    #[must_use]
+    pub fn signed_area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut sum = 0.0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            sum += a.x * b.y - b.x * a.y;
+        }
+        sum / 2.0
+    }
+
+    /// Absolute area (shoelace formula).
+    ///
+    /// Meaningful for *simple* polygons; for a self-intersecting vertex
+    /// list the shoelace formula counts multiply-wound regions more than
+    /// once (constructors do not check simplicity — it is O(n²) — so
+    /// callers own this invariant).
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Perimeter length.
+    #[must_use]
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|e| e.length()).sum()
+    }
+
+    /// Area centroid.
+    ///
+    /// Falls back to the vertex average for (near-)zero-area polygons.
+    #[must_use]
+    pub fn centroid(&self) -> Point {
+        let a = self.signed_area();
+        if a.abs() <= EPSILON {
+            let n = self.vertices.len() as f64;
+            let (sx, sy) = self
+                .vertices
+                .iter()
+                .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+            return Point::new(sx / n, sy / n);
+        }
+        let n = self.vertices.len();
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let w = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+        }
+        Point::new(cx / (6.0 * a), cy / (6.0 * a))
+    }
+
+    /// Minimum bounding rectangle.
+    ///
+    /// This is the approximation MiddleWhere stores in the spatial database
+    /// for regions (§5.1).
+    #[must_use]
+    pub fn mbr(&self) -> Rect {
+        Rect::bounding(self.vertices.iter().copied()).expect("polygon has at least three vertices")
+    }
+
+    /// Point-in-polygon test (even-odd rule). Boundary points count as
+    /// inside.
+    #[must_use]
+    pub fn contains_point(&self, p: Point) -> bool {
+        // Boundary check first so edge/vertex hits are deterministic.
+        if self.edges().any(|e| e.distance_to_point(p) <= EPSILON) {
+            return true;
+        }
+        let mut inside = false;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let vi = self.vertices[i];
+            let vj = self.vertices[j];
+            if (vi.y > p.y) != (vj.y > p.y) {
+                let x_cross = vj.x + (p.y - vj.y) / (vi.y - vj.y) * (vi.x - vj.x);
+                if p.x < x_cross {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Returns `true` when the polygon is convex (no reflex vertices).
+    #[must_use]
+    pub fn is_convex(&self) -> bool {
+        let n = self.vertices.len();
+        let mut sign = 0i8;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            let c = self.vertices[(i + 2) % n];
+            let cross = (b - a).cross(c - b);
+            if cross.abs() <= EPSILON {
+                continue; // collinear run
+            }
+            let s = if cross > 0.0 { 1 } else { -1 };
+            if sign == 0 {
+                sign = s;
+            } else if sign != s {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` when any boundary edge of the two polygons intersects
+    /// or one polygon contains the other.
+    #[must_use]
+    pub fn intersects_polygon(&self, other: &Polygon) -> bool {
+        if !self.mbr().intersects(&other.mbr()) {
+            return false;
+        }
+        for e1 in self.edges() {
+            for e2 in other.edges() {
+                if e1.intersects(&e2) {
+                    return true;
+                }
+            }
+        }
+        self.contains_point(other.vertices[0]) || other.contains_point(self.vertices[0])
+    }
+
+    /// Returns `true` when any part of the polygon touches the rectangle.
+    #[must_use]
+    pub fn intersects_rect(&self, rect: &Rect) -> bool {
+        self.intersects_polygon(&Polygon::from_rect(rect))
+    }
+
+    /// Approximates the area of intersection with `rect` by uniform grid
+    /// sampling with `resolution`×`resolution` cells.
+    ///
+    /// Exact polygon clipping is not needed anywhere in MiddleWhere (the
+    /// fusion lattice works on MBRs); this sampled version supports the
+    /// MBR-approximation ablation study.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is zero.
+    #[must_use]
+    pub fn intersection_area_with_rect(&self, rect: &Rect, resolution: usize) -> f64 {
+        assert!(resolution > 0, "resolution must be positive");
+        let window = match self.mbr().intersection(rect) {
+            Some(w) => w,
+            None => return 0.0,
+        };
+        if window.area() == 0.0 {
+            return 0.0;
+        }
+        let nx = resolution;
+        let ny = resolution;
+        let dx = window.width() / nx as f64;
+        let dy = window.height() / ny as f64;
+        let mut hits = 0usize;
+        for i in 0..nx {
+            for j in 0..ny {
+                let p = Point::new(
+                    window.min().x + (i as f64 + 0.5) * dx,
+                    window.min().y + (j as f64 + 0.5) * dy,
+                );
+                if self.contains_point(p) {
+                    hits += 1;
+                }
+            }
+        }
+        window.area() * hits as f64 / (nx * ny) as f64
+    }
+}
+
+impl fmt::Display for Polygon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for v in &self.vertices {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ])
+        .unwrap()
+    }
+
+    fn l_shape() -> Polygon {
+        // An L: 2x2 square missing its top-right 1x1 quadrant.
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 2.0),
+            Point::new(0.0, 2.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate() {
+        let e = Polygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+        assert_eq!(e, Err(GeometryError::DegeneratePolygon { vertices: 2 }));
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let e = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(f64::NAN, 0.0),
+            Point::new(1.0, 1.0),
+        ]);
+        assert_eq!(e, Err(GeometryError::NonFiniteCoordinate));
+    }
+
+    #[test]
+    fn shoelace_area() {
+        assert_eq!(unit_square().area(), 1.0);
+        assert_eq!(l_shape().area(), 3.0);
+    }
+
+    #[test]
+    fn signed_area_orientation() {
+        assert!(unit_square().signed_area() > 0.0); // CCW
+        let cw = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 0.0),
+        ])
+        .unwrap();
+        assert!(cw.signed_area() < 0.0);
+        assert_eq!(cw.area(), 1.0);
+    }
+
+    #[test]
+    fn perimeter() {
+        assert_eq!(unit_square().perimeter(), 4.0);
+        assert_eq!(l_shape().perimeter(), 8.0);
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        let c = unit_square().centroid();
+        assert!((c.x - 0.5).abs() < 1e-12);
+        assert!((c.y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mbr_encloses() {
+        let m = l_shape().mbr();
+        assert_eq!(m, Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn point_in_polygon_convex() {
+        let p = unit_square();
+        assert!(p.contains_point(Point::new(0.5, 0.5)));
+        assert!(p.contains_point(Point::new(0.0, 0.0))); // vertex
+        assert!(p.contains_point(Point::new(0.5, 0.0))); // edge
+        assert!(!p.contains_point(Point::new(1.5, 0.5)));
+    }
+
+    #[test]
+    fn point_in_polygon_concave() {
+        let p = l_shape();
+        assert!(p.contains_point(Point::new(0.5, 1.5)));
+        assert!(p.contains_point(Point::new(1.5, 0.5)));
+        // The notch is outside, although it is inside the MBR.
+        assert!(!p.contains_point(Point::new(1.5, 1.5)));
+        assert!(p.mbr().contains_point(Point::new(1.5, 1.5)));
+    }
+
+    #[test]
+    fn convexity() {
+        assert!(unit_square().is_convex());
+        assert!(!l_shape().is_convex());
+    }
+
+    #[test]
+    fn polygon_intersection_tests() {
+        let a = unit_square();
+        let far = Polygon::new(vec![
+            Point::new(10.0, 10.0),
+            Point::new(11.0, 10.0),
+            Point::new(11.0, 11.0),
+        ])
+        .unwrap();
+        assert!(!a.intersects_polygon(&far));
+        // Contained polygon (no edge crossings).
+        let inner = Polygon::new(vec![
+            Point::new(0.25, 0.25),
+            Point::new(0.75, 0.25),
+            Point::new(0.75, 0.75),
+        ])
+        .unwrap();
+        assert!(a.intersects_polygon(&inner));
+        assert!(inner.intersects_polygon(&a));
+        // Edge-crossing polygon.
+        let cross = Polygon::new(vec![
+            Point::new(0.5, -0.5),
+            Point::new(1.5, 0.5),
+            Point::new(0.5, 1.5),
+        ])
+        .unwrap();
+        assert!(a.intersects_polygon(&cross));
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let p = l_shape();
+        let notch = Rect::new(Point::new(1.2, 1.2), Point::new(1.8, 1.8));
+        assert!(!p.intersects_rect(&notch));
+        let overlapping = Rect::new(Point::new(-0.5, -0.5), Point::new(0.5, 0.5));
+        assert!(p.intersects_rect(&overlapping));
+    }
+
+    #[test]
+    fn sampled_intersection_area() {
+        let p = unit_square();
+        let r = Rect::new(Point::new(0.5, 0.0), Point::new(1.5, 1.0));
+        let a = p.intersection_area_with_rect(&r, 64);
+        assert!((a - 0.5).abs() < 0.02, "sampled area {a} too far from 0.5");
+        let disjoint = Rect::new(Point::new(5.0, 5.0), Point::new(6.0, 6.0));
+        assert_eq!(p.intersection_area_with_rect(&disjoint, 16), 0.0);
+    }
+
+    #[test]
+    fn from_rect_roundtrip() {
+        let r = Rect::new(Point::new(1.0, 2.0), Point::new(3.0, 5.0));
+        let p = Polygon::from_rect(&r);
+        assert_eq!(p.area(), r.area());
+        assert_eq!(p.mbr(), r);
+    }
+
+    #[test]
+    fn edges_count() {
+        assert_eq!(unit_square().edges().count(), 4);
+        assert_eq!(l_shape().edges().count(), 6);
+    }
+}

@@ -1,0 +1,415 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GeometryError, Point, Vec2};
+
+/// An axis-aligned rectangle — the minimum bounding rectangle (MBR) of
+/// MiddleWhere's fusion algorithm.
+///
+/// The paper deliberately approximates every sensor region by its MBR
+/// (§4.1.2): "While approximating sensor regions with minimum bounding
+/// rectangles decreases the accuracy of location detection, the advantages
+/// in terms of performance and simplicity far outweigh the loss in
+/// accuracy." All lattice operations (intersection, area, containment) are
+/// O(1) on this type.
+///
+/// Invariants: `min.x <= max.x`, `min.y <= max.y`, all coordinates finite.
+/// A zero-area rectangle (a point or a horizontal/vertical segment) is
+/// valid.
+///
+/// # Example
+///
+/// ```
+/// use mw_geometry::{Point, Rect};
+///
+/// let room = Rect::new(Point::new(330.0, 0.0), Point::new(350.0, 30.0));
+/// assert_eq!(room.area(), 600.0);
+/// assert!(room.contains_point(Point::new(340.0, 10.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    min: Point,
+    max: Point,
+}
+
+impl Rect {
+    /// Creates the rectangle spanning `a` and `b` (any two opposite
+    /// corners, in any order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is not finite. Use [`Rect::try_new`] for a
+    /// fallible constructor.
+    #[must_use]
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect::try_new(a, b).expect("rectangle corners must be finite")
+    }
+
+    /// Fallible version of [`Rect::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::NonFiniteCoordinate`] when a coordinate is
+    /// NaN or infinite.
+    pub fn try_new(a: Point, b: Point) -> Result<Self, GeometryError> {
+        if !a.is_finite() || !b.is_finite() {
+            return Err(GeometryError::NonFiniteCoordinate);
+        }
+        Ok(Rect {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        })
+    }
+
+    /// Creates a rectangle from its center, width and height.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is negative or any value is non-finite.
+    #[must_use]
+    pub fn from_center(center: Point, width: f64, height: f64) -> Self {
+        assert!(
+            width >= 0.0 && height >= 0.0,
+            "width and height must be non-negative"
+        );
+        let half = Vec2::new(width / 2.0, height / 2.0);
+        Rect::new(center - half, center + half)
+    }
+
+    /// Creates a degenerate rectangle covering a single point.
+    #[must_use]
+    pub fn from_point(p: Point) -> Self {
+        Rect::new(p, p)
+    }
+
+    /// Smallest rectangle containing every point of `iter`, or `None` when
+    /// the iterator is empty.
+    pub fn bounding<I: IntoIterator<Item = Point>>(iter: I) -> Option<Self> {
+        let mut it = iter.into_iter();
+        let first = it.next()?;
+        let mut r = Rect::from_point(first);
+        for p in it {
+            r = r.expanded_to(p);
+        }
+        Some(r)
+    }
+
+    /// The corner with the smallest coordinates.
+    #[must_use]
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// The corner with the largest coordinates.
+    #[must_use]
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Width along the x axis.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along the y axis.
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area of the rectangle. Zero for degenerate rectangles.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Perimeter of the rectangle.
+    #[must_use]
+    pub fn perimeter(&self) -> f64 {
+        2.0 * (self.width() + self.height())
+    }
+
+    /// Center point.
+    #[must_use]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// The four corners in counter-clockwise order starting at `min`.
+    #[must_use]
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            self.min,
+            Point::new(self.max.x, self.min.y),
+            self.max,
+            Point::new(self.min.x, self.max.y),
+        ]
+    }
+
+    /// Returns `true` when `p` lies inside or on the boundary.
+    #[must_use]
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Returns `true` when `other` lies entirely inside (or equals) `self`.
+    #[must_use]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.min.x <= other.min.x
+            && self.min.y <= other.min.y
+            && self.max.x >= other.max.x
+            && self.max.y >= other.max.y
+    }
+
+    /// Returns `true` when `other` is strictly inside `self` (contained and
+    /// not equal).
+    #[must_use]
+    pub fn contains_rect_strict(&self, other: &Rect) -> bool {
+        self.contains_rect(other) && self != other
+    }
+
+    /// Returns `true` when the rectangles share at least one point
+    /// (touching edges count as intersecting).
+    #[must_use]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// Intersection rectangle, or `None` when the rectangles are disjoint.
+    ///
+    /// This is the `int()` function of the paper's Equation 7.
+    #[must_use]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            min: Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y)),
+            max: Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y)),
+        })
+    }
+
+    /// Area of the intersection with `other`; zero when disjoint.
+    ///
+    /// Convenience for `area_int(Ai, R)` terms in Equation 7.
+    #[must_use]
+    pub fn intersection_area(&self, other: &Rect) -> f64 {
+        self.intersection(other).map_or(0.0, |r| r.area())
+    }
+
+    /// Smallest rectangle containing both `self` and `other`.
+    #[must_use]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Smallest rectangle containing `self` and the point `p`.
+    #[must_use]
+    pub fn expanded_to(&self, p: Point) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.min(p.x), self.min.y.min(p.y)),
+            max: Point::new(self.max.x.max(p.x), self.max.y.max(p.y)),
+        }
+    }
+
+    /// Rectangle grown by `margin` on every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shrinking (`margin < 0`) would invert the rectangle.
+    #[must_use]
+    pub fn inflated(&self, margin: f64) -> Rect {
+        let m = Vec2::new(margin, margin);
+        Rect::new(self.min - m, self.max + m)
+    }
+
+    /// Rectangle translated by `delta`.
+    #[must_use]
+    pub fn translated(&self, delta: Vec2) -> Rect {
+        Rect {
+            min: self.min + delta,
+            max: self.max + delta,
+        }
+    }
+
+    /// Minimum Euclidean distance between the rectangles' boundaries; zero
+    /// when they intersect.
+    #[must_use]
+    pub fn distance_to_rect(&self, other: &Rect) -> f64 {
+        let dx = (other.min.x - self.max.x)
+            .max(self.min.x - other.max.x)
+            .max(0.0);
+        let dy = (other.min.y - self.max.y)
+            .max(self.min.y - other.max.y)
+            .max(0.0);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Minimum Euclidean distance from `p` to the rectangle; zero when the
+    /// point is inside.
+    #[must_use]
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        let dx = (self.min.x - p.x).max(p.x - self.max.x).max(0.0);
+        let dy = (self.min.y - p.y).max(p.y - self.max.y).max(0.0);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Returns `true` when the rectangle has zero area.
+    #[must_use]
+    pub fn is_degenerate(&self) -> bool {
+        self.width() == 0.0 || self.height() == 0.0
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    #[test]
+    fn corners_are_normalized() {
+        let a = Rect::new(Point::new(5.0, 7.0), Point::new(1.0, 2.0));
+        assert_eq!(a.min(), Point::new(1.0, 2.0));
+        assert_eq!(a.max(), Point::new(5.0, 7.0));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let err = Rect::try_new(Point::new(f64::NAN, 0.0), Point::new(1.0, 1.0));
+        assert_eq!(err, Err(GeometryError::NonFiniteCoordinate));
+    }
+
+    #[test]
+    fn area_and_perimeter() {
+        let a = r(0.0, 0.0, 4.0, 3.0);
+        assert_eq!(a.area(), 12.0);
+        assert_eq!(a.perimeter(), 14.0);
+        assert_eq!(a.center(), Point::new(2.0, 1.5));
+    }
+
+    #[test]
+    fn from_center_roundtrip() {
+        let a = Rect::from_center(Point::new(10.0, 20.0), 4.0, 6.0);
+        assert_eq!(a.center(), Point::new(10.0, 20.0));
+        assert_eq!(a.width(), 4.0);
+        assert_eq!(a.height(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn from_center_rejects_negative() {
+        let _ = Rect::from_center(Point::ORIGIN, -1.0, 1.0);
+    }
+
+    #[test]
+    fn containment_point() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        assert!(a.contains_point(Point::new(0.0, 0.0))); // boundary counts
+        assert!(a.contains_point(Point::new(10.0, 10.0)));
+        assert!(a.contains_point(Point::new(5.0, 5.0)));
+        assert!(!a.contains_point(Point::new(10.1, 5.0)));
+    }
+
+    #[test]
+    fn containment_rect() {
+        let outer = r(0.0, 0.0, 10.0, 10.0);
+        let inner = r(2.0, 2.0, 8.0, 8.0);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+        assert!(outer.contains_rect(&outer));
+        assert!(!outer.contains_rect_strict(&outer));
+        assert!(outer.contains_rect_strict(&inner));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        // Overlapping.
+        let b = r(5.0, 5.0, 15.0, 15.0);
+        assert_eq!(a.intersection(&b), Some(r(5.0, 5.0, 10.0, 10.0)));
+        assert_eq!(a.intersection_area(&b), 25.0);
+        // Touching edge: degenerate intersection.
+        let c = r(10.0, 0.0, 20.0, 10.0);
+        let i = a.intersection(&c).unwrap();
+        assert_eq!(i.area(), 0.0);
+        // Disjoint.
+        let d = r(20.0, 20.0, 30.0, 30.0);
+        assert_eq!(a.intersection(&d), None);
+        assert_eq!(a.intersection_area(&d), 0.0);
+    }
+
+    #[test]
+    fn intersection_is_commutative() {
+        let a = r(0.0, 0.0, 7.0, 7.0);
+        let b = r(3.0, -2.0, 12.0, 4.0);
+        assert_eq!(a.intersection(&b), b.intersection(&a));
+    }
+
+    #[test]
+    fn union_contains_both() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(5.0, 5.0, 6.0, 7.0);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert_eq!(u, r(0.0, 0.0, 6.0, 7.0));
+    }
+
+    #[test]
+    fn bounding_of_points() {
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 3.0),
+            Point::new(4.0, -1.0),
+        ];
+        let b = Rect::bounding(pts).unwrap();
+        assert_eq!(b, r(-2.0, -1.0, 4.0, 5.0));
+        assert_eq!(Rect::bounding(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn distances() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        let b = r(13.0, 14.0, 20.0, 20.0);
+        assert_eq!(a.distance_to_rect(&b), 5.0); // dx=3, dy=4
+        assert_eq!(a.distance_to_rect(&a), 0.0);
+        assert_eq!(a.distance_to_point(Point::new(13.0, 14.0)), 5.0);
+        assert_eq!(a.distance_to_point(Point::new(5.0, 5.0)), 0.0);
+    }
+
+    #[test]
+    fn inflate_translate() {
+        let a = r(2.0, 2.0, 4.0, 4.0);
+        assert_eq!(a.inflated(1.0), r(1.0, 1.0, 5.0, 5.0));
+        assert_eq!(a.translated(Vec2::new(1.0, -1.0)), r(3.0, 1.0, 5.0, 3.0));
+    }
+
+    #[test]
+    fn degenerate_rects() {
+        assert!(Rect::from_point(Point::new(1.0, 1.0)).is_degenerate());
+        assert!(r(0.0, 0.0, 5.0, 0.0).is_degenerate());
+        assert!(!r(0.0, 0.0, 1.0, 1.0).is_degenerate());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(r(0.0, 0.0, 1.0, 2.0).to_string(), "[(0, 0) .. (1, 2)]");
+    }
+}

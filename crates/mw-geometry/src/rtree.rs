@@ -1,0 +1,525 @@
+//! A Guttman R-tree with quadratic split.
+//!
+//! The paper's spatial database cites Guttman's R-tree (reference \[4\]) as
+//! the index structure behind efficient spatial queries. This module
+//! provides an in-memory R-tree keyed by [`Rect`] with arbitrary payloads:
+//! window queries, point queries, nearest-neighbour search and removal.
+//!
+//! # Example
+//!
+//! ```
+//! use mw_geometry::{Point, Rect, RTree};
+//!
+//! let mut tree = RTree::new();
+//! tree.insert(Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)), "room-a");
+//! tree.insert(Rect::new(Point::new(5.0, 5.0), Point::new(6.0, 6.0)), "room-b");
+//!
+//! let window = Rect::new(Point::new(0.5, 0.5), Point::new(2.0, 2.0));
+//! let hits: Vec<_> = tree.query_window(&window).map(|(_, v)| *v).collect();
+//! assert_eq!(hits, vec!["room-a"]);
+//! ```
+
+use crate::{Point, Rect};
+
+const MAX_ENTRIES: usize = 8;
+const MIN_ENTRIES: usize = 3;
+
+#[derive(Debug, Clone)]
+enum Node<T> {
+    Leaf(Vec<(Rect, T)>),
+    Inner(Vec<(Rect, Box<Node<T>>)>),
+}
+
+impl<T> Node<T> {
+    fn mbr(&self) -> Option<Rect> {
+        match self {
+            Node::Leaf(entries) => union_of(entries.iter().map(|(r, _)| *r)),
+            Node::Inner(children) => union_of(children.iter().map(|(r, _)| *r)),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Node::Leaf(e) => e.len(),
+            Node::Inner(c) => c.len(),
+        }
+    }
+}
+
+fn union_of<I: Iterator<Item = Rect>>(mut it: I) -> Option<Rect> {
+    let first = it.next()?;
+    Some(it.fold(first, |acc, r| acc.union(&r)))
+}
+
+/// An in-memory R-tree mapping rectangles to payloads.
+///
+/// Duplicate rectangles are allowed; they are distinct entries.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T> Default for RTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> RTree<T> {
+    /// Creates an empty tree.
+    #[must_use]
+    pub fn new() -> Self {
+        RTree {
+            root: Node::Leaf(Vec::new()),
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the tree holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bounding rectangle of all entries, or `None` when empty.
+    #[must_use]
+    pub fn mbr(&self) -> Option<Rect> {
+        self.root.mbr()
+    }
+
+    /// Inserts an entry with bounding rectangle `rect`.
+    pub fn insert(&mut self, rect: Rect, value: T) {
+        self.len += 1;
+        if let Some((r1, n1, r2, n2)) = insert_rec(&mut self.root, rect, value) {
+            // Root split: grow the tree by one level.
+            self.root = Node::Inner(vec![(r1, Box::new(n1)), (r2, Box::new(n2))]);
+        }
+    }
+
+    /// Iterates over entries whose rectangle intersects `window`.
+    pub fn query_window<'a>(&'a self, window: &Rect) -> impl Iterator<Item = (Rect, &'a T)> {
+        let mut out = Vec::new();
+        collect_window(&self.root, window, &mut out);
+        out.into_iter()
+    }
+
+    /// Iterates over entries whose rectangle contains the point `p`.
+    pub fn query_point(&self, p: Point) -> impl Iterator<Item = (Rect, &T)> {
+        self.query_window(&Rect::from_point(p))
+    }
+
+    /// Iterates over entries whose rectangle is fully contained in
+    /// `window`.
+    pub fn query_contained<'a>(&'a self, window: &Rect) -> impl Iterator<Item = (Rect, &'a T)> {
+        let w = *window;
+        self.query_window(window)
+            .filter(move |(r, _)| w.contains_rect(r))
+    }
+
+    /// The entry whose rectangle is nearest to `p` (by boundary distance;
+    /// containing rectangles have distance zero). Ties break arbitrarily.
+    #[must_use]
+    pub fn nearest(&self, p: Point) -> Option<(Rect, &T)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut best: Option<(f64, Rect, &T)> = None;
+        nearest_rec(&self.root, p, &mut best);
+        best.map(|(_, r, v)| (r, v))
+    }
+
+    /// Removes one entry matching `rect` exactly and for which `pred`
+    /// returns `true`. Returns the removed payload, or `None`.
+    pub fn remove_if<F: FnMut(&T) -> bool>(&mut self, rect: &Rect, mut pred: F) -> Option<T> {
+        let removed = remove_rec(&mut self.root, rect, &mut pred);
+        if removed.is_some() {
+            self.len -= 1;
+            // Condense: re-insert entries from underfull paths. Our simple
+            // variant rebuilds only when the root became a trivial chain.
+            self.collapse_root();
+        }
+        removed
+    }
+
+    /// Iterates over all entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Rect, &T)> {
+        let mut out = Vec::new();
+        collect_all(&self.root, &mut out);
+        out.into_iter()
+    }
+
+    fn collapse_root(&mut self) {
+        loop {
+            match &mut self.root {
+                Node::Inner(children) if children.len() == 1 => {
+                    let (_, only) = children.pop().expect("one child");
+                    self.root = *only;
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+fn collect_window<'a, T>(node: &'a Node<T>, window: &Rect, out: &mut Vec<(Rect, &'a T)>) {
+    match node {
+        Node::Leaf(entries) => {
+            for (r, v) in entries {
+                if r.intersects(window) {
+                    out.push((*r, v));
+                }
+            }
+        }
+        Node::Inner(children) => {
+            for (r, child) in children {
+                if r.intersects(window) {
+                    collect_window(child, window, out);
+                }
+            }
+        }
+    }
+}
+
+fn collect_all<'a, T>(node: &'a Node<T>, out: &mut Vec<(Rect, &'a T)>) {
+    match node {
+        Node::Leaf(entries) => out.extend(entries.iter().map(|(r, v)| (*r, v))),
+        Node::Inner(children) => {
+            for (_, child) in children {
+                collect_all(child, out);
+            }
+        }
+    }
+}
+
+fn nearest_rec<'a, T>(node: &'a Node<T>, p: Point, best: &mut Option<(f64, Rect, &'a T)>) {
+    match node {
+        Node::Leaf(entries) => {
+            for (r, v) in entries {
+                let d = r.distance_to_point(p);
+                if best.as_ref().is_none_or(|(bd, _, _)| d < *bd) {
+                    *best = Some((d, *r, v));
+                }
+            }
+        }
+        Node::Inner(children) => {
+            // Visit children in order of promise; prune by current best.
+            let mut order: Vec<_> = children
+                .iter()
+                .map(|(r, c)| (r.distance_to_point(p), c))
+                .collect();
+            order.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for (d, child) in order {
+                if best.as_ref().is_some_and(|(bd, _, _)| d > *bd) {
+                    break;
+                }
+                nearest_rec(child, p, best);
+            }
+        }
+    }
+}
+
+/// Recursive insert; returns `Some((mbr1, node1, mbr2, node2))` when the
+/// child split and the caller must replace it with two nodes.
+fn insert_rec<T>(
+    node: &mut Node<T>,
+    rect: Rect,
+    value: T,
+) -> Option<(Rect, Node<T>, Rect, Node<T>)> {
+    match node {
+        Node::Leaf(entries) => {
+            entries.push((rect, value));
+            if entries.len() > MAX_ENTRIES {
+                let (left, right) = split_leaf(std::mem::take(entries));
+                let r1 = union_of(left.iter().map(|(r, _)| *r)).expect("non-empty");
+                let r2 = union_of(right.iter().map(|(r, _)| *r)).expect("non-empty");
+                Some((r1, Node::Leaf(left), r2, Node::Leaf(right)))
+            } else {
+                None
+            }
+        }
+        Node::Inner(children) => {
+            // Choose subtree: least area enlargement, ties by smaller area.
+            let idx = children
+                .iter()
+                .enumerate()
+                .min_by(|(_, (r1, _)), (_, (r2, _))| {
+                    let e1 = r1.union(&rect).area() - r1.area();
+                    let e2 = r2.union(&rect).area() - r2.area();
+                    e1.total_cmp(&e2).then(r1.area().total_cmp(&r2.area()))
+                })
+                .map(|(i, _)| i)
+                .expect("inner node has children");
+            let split = insert_rec(&mut children[idx].1, rect, value);
+            children[idx].0 = children[idx].0.union(&rect);
+            if let Some((r1, n1, r2, n2)) = split {
+                children[idx] = (r1, Box::new(n1));
+                children.push((r2, Box::new(n2)));
+                if children.len() > MAX_ENTRIES {
+                    let (left, right) = split_inner(std::mem::take(children));
+                    let r1 = union_of(left.iter().map(|(r, _)| *r)).expect("non-empty");
+                    let r2 = union_of(right.iter().map(|(r, _)| *r)).expect("non-empty");
+                    return Some((r1, Node::Inner(left), r2, Node::Inner(right)));
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Quadratic split: pick the pair of seeds wasting the most area together,
+/// then greedily assign remaining entries by least enlargement.
+fn quadratic_partition<E, F: Fn(&E) -> Rect>(entries: Vec<E>, key: F) -> (Vec<E>, Vec<E>) {
+    debug_assert!(entries.len() >= 2);
+    // Seed selection.
+    let mut worst = (0usize, 1usize, f64::NEG_INFINITY);
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            let ri = key(&entries[i]);
+            let rj = key(&entries[j]);
+            let waste = ri.union(&rj).area() - ri.area() - rj.area();
+            if waste > worst.2 {
+                worst = (i, j, waste);
+            }
+        }
+    }
+    let mut left: Vec<E> = Vec::new();
+    let mut right: Vec<E> = Vec::new();
+    let mut left_mbr = key(&entries[worst.0]);
+    let mut right_mbr = key(&entries[worst.1]);
+    let mut rest = Vec::new();
+    for (idx, e) in entries.into_iter().enumerate() {
+        if idx == worst.0 {
+            left.push(e);
+        } else if idx == worst.1 {
+            right.push(e);
+        } else {
+            rest.push(e);
+        }
+    }
+    let total = rest.len() + 2;
+    for e in rest {
+        let r = key(&e);
+        // Force balance so both sides reach MIN_ENTRIES.
+        let remaining = total - left.len() - right.len();
+        let _ = remaining;
+        if left.len() + 1 < MIN_ENTRIES && right.len() >= MIN_ENTRIES {
+            left_mbr = left_mbr.union(&r);
+            left.push(e);
+            continue;
+        }
+        if right.len() + 1 < MIN_ENTRIES && left.len() >= MIN_ENTRIES {
+            right_mbr = right_mbr.union(&r);
+            right.push(e);
+            continue;
+        }
+        let grow_l = left_mbr.union(&r).area() - left_mbr.area();
+        let grow_r = right_mbr.union(&r).area() - right_mbr.area();
+        if grow_l <= grow_r {
+            left_mbr = left_mbr.union(&r);
+            left.push(e);
+        } else {
+            right_mbr = right_mbr.union(&r);
+            right.push(e);
+        }
+    }
+    (left, right)
+}
+
+/// A pair of entry lists produced by a node split.
+type SplitHalves<E> = (Vec<E>, Vec<E>);
+
+fn split_leaf<T>(entries: Vec<(Rect, T)>) -> SplitHalves<(Rect, T)> {
+    quadratic_partition(entries, |(r, _)| *r)
+}
+
+fn split_inner<T>(children: Vec<(Rect, Box<Node<T>>)>) -> SplitHalves<(Rect, Box<Node<T>>)> {
+    quadratic_partition(children, |(r, _)| *r)
+}
+
+fn remove_rec<T, F: FnMut(&T) -> bool>(node: &mut Node<T>, rect: &Rect, pred: &mut F) -> Option<T> {
+    match node {
+        Node::Leaf(entries) => {
+            let pos = entries.iter().position(|(r, v)| r == rect && pred(v))?;
+            Some(entries.remove(pos).1)
+        }
+        Node::Inner(children) => {
+            for (mbr, child) in children.iter_mut() {
+                if mbr.contains_rect(rect) || mbr.intersects(rect) {
+                    if let Some(v) = remove_rec(child, rect, pred) {
+                        if let Some(new_mbr) = child.mbr() {
+                            *mbr = new_mbr;
+                        }
+                        // Drop empty children.
+                        children.retain(|(_, c)| c.len() > 0);
+                        return Some(v);
+                    }
+                }
+            }
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    fn grid_tree(n: usize) -> RTree<usize> {
+        // n x n unit cells at integer offsets.
+        let mut t = RTree::new();
+        for i in 0..n {
+            for j in 0..n {
+                let cell = r(i as f64, j as f64, i as f64 + 1.0, j as f64 + 1.0);
+                t.insert(cell, i * n + j);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: RTree<i32> = RTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.mbr(), None);
+        assert!(t.nearest(Point::ORIGIN).is_none());
+        assert_eq!(t.query_window(&r(0.0, 0.0, 1.0, 1.0)).count(), 0);
+    }
+
+    #[test]
+    fn insert_and_query_small() {
+        let mut t = RTree::new();
+        t.insert(r(0.0, 0.0, 1.0, 1.0), "a");
+        t.insert(r(5.0, 5.0, 6.0, 6.0), "b");
+        assert_eq!(t.len(), 2);
+        let hits: Vec<_> = t
+            .query_window(&r(0.5, 0.5, 2.0, 2.0))
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(hits, vec!["a"]);
+    }
+
+    #[test]
+    fn window_query_matches_linear_scan() {
+        let t = grid_tree(12); // 144 entries, forces splits
+        assert_eq!(t.len(), 144);
+        let window = r(2.5, 3.5, 6.5, 7.5);
+        let mut from_tree: Vec<usize> = t.query_window(&window).map(|(_, v)| *v).collect();
+        let mut from_scan: Vec<usize> = t
+            .iter()
+            .filter(|(rect, _)| rect.intersects(&window))
+            .map(|(_, v)| *v)
+            .collect();
+        from_tree.sort_unstable();
+        from_scan.sort_unstable();
+        assert_eq!(from_tree, from_scan);
+        assert!(!from_tree.is_empty());
+    }
+
+    #[test]
+    fn contained_query() {
+        let t = grid_tree(6);
+        let window = r(1.0, 1.0, 4.0, 4.0);
+        let contained: Vec<_> = t.query_contained(&window).collect();
+        // Cells [1..3]x[1..3] fit fully: 3x3 = 9.
+        assert_eq!(contained.len(), 9);
+        for (rect, _) in contained {
+            assert!(window.contains_rect(&rect));
+        }
+    }
+
+    #[test]
+    fn point_query() {
+        let t = grid_tree(4);
+        // Interior point hits exactly one cell.
+        let hits: Vec<_> = t.query_point(Point::new(2.5, 3.5)).collect();
+        assert_eq!(hits.len(), 1);
+        // A lattice point touches up to four cells.
+        let corner_hits = t.query_point(Point::new(2.0, 2.0)).count();
+        assert_eq!(corner_hits, 4);
+    }
+
+    #[test]
+    fn nearest_neighbour() {
+        let t = grid_tree(10);
+        let (rect, _) = t.nearest(Point::new(-5.0, -5.0)).unwrap();
+        assert_eq!(rect, r(0.0, 0.0, 1.0, 1.0));
+        // Point inside a cell: that cell (distance 0).
+        let (rect2, _) = t.nearest(Point::new(7.5, 2.5)).unwrap();
+        assert!(rect2.contains_point(Point::new(7.5, 2.5)));
+    }
+
+    #[test]
+    fn mbr_tracks_entries() {
+        let t = grid_tree(5);
+        assert_eq!(t.mbr().unwrap(), r(0.0, 0.0, 5.0, 5.0));
+    }
+
+    #[test]
+    fn remove_entry() {
+        let mut t = grid_tree(8);
+        let n0 = t.len();
+        let cell = r(3.0, 3.0, 4.0, 4.0);
+        let removed = t.remove_if(&cell, |_| true);
+        assert_eq!(removed, Some(3 * 8 + 3));
+        assert_eq!(t.len(), n0 - 1);
+        // The cell no longer matches a point query in its interior only.
+        let hits = t.query_point(Point::new(3.5, 3.5)).count();
+        assert_eq!(hits, 0);
+        // Removing again fails.
+        assert_eq!(t.remove_if(&cell, |_| true), None);
+    }
+
+    #[test]
+    fn remove_respects_predicate() {
+        let mut t = RTree::new();
+        let same = r(0.0, 0.0, 1.0, 1.0);
+        t.insert(same, 1);
+        t.insert(same, 2);
+        assert_eq!(t.remove_if(&same, |v| *v == 2), Some(2));
+        assert_eq!(t.len(), 1);
+        let left: Vec<_> = t.iter().map(|(_, v)| *v).collect();
+        assert_eq!(left, vec![1]);
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let mut t = RTree::new();
+        let same = r(0.0, 0.0, 1.0, 1.0);
+        for i in 0..20 {
+            t.insert(same, i);
+        }
+        assert_eq!(t.len(), 20);
+        assert_eq!(t.query_window(&same).count(), 20);
+    }
+
+    #[test]
+    fn heavy_insert_then_drain() {
+        let mut t = grid_tree(15); // 225 entries
+        let all: Vec<(Rect, usize)> = t.iter().map(|(r, v)| (r, *v)).collect();
+        for (rect, v) in &all {
+            assert_eq!(t.remove_if(rect, |x| x == v), Some(*v));
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_everything() {
+        let t = grid_tree(9);
+        let mut vals: Vec<usize> = t.iter().map(|(_, v)| *v).collect();
+        vals.sort_unstable();
+        let expected: Vec<usize> = (0..81).collect();
+        assert_eq!(vals, expected);
+    }
+}

@@ -1,0 +1,264 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Point, Rect, EPSILON};
+
+/// A line segment between two points.
+///
+/// MiddleWhere uses line geometries for doors and non-enclosing walls
+/// (§5.1): a door is a symbolic line location such as
+/// `SC/3/3216/(1,3),(4,5)`.
+///
+/// # Example
+///
+/// ```
+/// use mw_geometry::{Point, Segment};
+///
+/// let door = Segment::new(Point::new(0.0, 0.0), Point::new(0.0, 3.0));
+/// assert_eq!(door.length(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// First endpoint.
+    pub a: Point,
+    /// Second endpoint.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment from `a` to `b`.
+    #[must_use]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Length of the segment.
+    #[must_use]
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// Midpoint of the segment.
+    #[must_use]
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// Minimum bounding rectangle of the segment.
+    #[must_use]
+    pub fn mbr(&self) -> Rect {
+        Rect::new(self.a, self.b)
+    }
+
+    /// Minimum distance from `p` to any point on the segment.
+    #[must_use]
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        p.distance(self.closest_point(p))
+    }
+
+    /// The point on the segment closest to `p`.
+    #[must_use]
+    pub fn closest_point(&self, p: Point) -> Point {
+        let ab = self.b - self.a;
+        let len_sq = ab.dot(ab);
+        if len_sq == 0.0 {
+            return self.a;
+        }
+        let t = ((p - self.a).dot(ab) / len_sq).clamp(0.0, 1.0);
+        self.a.lerp(self.b, t)
+    }
+
+    /// Returns `true` when `p` lies on the segment (within [`EPSILON`]).
+    #[must_use]
+    pub fn contains_point(&self, p: Point) -> bool {
+        self.distance_to_point(p) <= EPSILON
+    }
+
+    /// Returns `true` when the two segments share at least one point.
+    ///
+    /// Collinear overlapping segments count as intersecting.
+    #[must_use]
+    pub fn intersects(&self, other: &Segment) -> bool {
+        self.intersection(other).is_some() || self.collinear_overlap(other)
+    }
+
+    /// The intersection point when the segments cross at exactly one point
+    /// (properly or at an endpoint), or `None` for disjoint, parallel or
+    /// collinear-overlapping segments.
+    #[must_use]
+    pub fn intersection(&self, other: &Segment) -> Option<Point> {
+        let r = self.b - self.a;
+        let s = other.b - other.a;
+        let denom = r.cross(s);
+        let qp = other.a - self.a;
+        if denom.abs() <= EPSILON {
+            return None; // parallel or collinear
+        }
+        let t = qp.cross(s) / denom;
+        let u = qp.cross(r) / denom;
+        let tol = EPSILON;
+        if (-tol..=1.0 + tol).contains(&t) && (-tol..=1.0 + tol).contains(&u) {
+            Some(self.a.lerp(self.b, t.clamp(0.0, 1.0)))
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` when the segments are collinear and overlap over a
+    /// positive-length or single-point range.
+    #[must_use]
+    pub fn collinear_overlap(&self, other: &Segment) -> bool {
+        let r = self.b - self.a;
+        let s = other.b - other.a;
+        if r.cross(s).abs() > EPSILON {
+            return false;
+        }
+        if (other.a - self.a).cross(r).abs() > EPSILON {
+            return false; // parallel, not collinear
+        }
+        // Project onto the dominant axis and compare ranges.
+        let use_x = r.x.abs() >= r.y.abs();
+        let (a0, a1, b0, b1) = if use_x {
+            (self.a.x, self.b.x, other.a.x, other.b.x)
+        } else {
+            (self.a.y, self.b.y, other.a.y, other.b.y)
+        };
+        let (a_lo, a_hi) = (a0.min(a1), a0.max(a1));
+        let (b_lo, b_hi) = (b0.min(b1), b0.max(b1));
+        a_lo <= b_hi + EPSILON && b_lo <= a_hi + EPSILON
+    }
+
+    /// Returns `true` when any part of the segment lies inside or on the
+    /// rectangle.
+    #[must_use]
+    pub fn intersects_rect(&self, rect: &Rect) -> bool {
+        if rect.contains_point(self.a) || rect.contains_point(self.b) {
+            return true;
+        }
+        let c = rect.corners();
+        for i in 0..4 {
+            let edge = Segment::new(c[i], c[(i + 1) % 4]);
+            if self.intersects(&edge) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} - {}", self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn length_and_midpoint() {
+        let s = seg(0.0, 0.0, 3.0, 4.0);
+        assert_eq!(s.length(), 5.0);
+        assert_eq!(s.midpoint(), Point::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn closest_point_clamps_to_endpoints() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.closest_point(Point::new(-5.0, 3.0)), Point::new(0.0, 0.0));
+        assert_eq!(
+            s.closest_point(Point::new(15.0, 3.0)),
+            Point::new(10.0, 0.0)
+        );
+        assert_eq!(s.closest_point(Point::new(4.0, 3.0)), Point::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.distance_to_point(Point::new(5.0, 4.0)), 4.0);
+        assert_eq!(s.distance_to_point(Point::new(13.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn proper_crossing() {
+        let s1 = seg(0.0, 0.0, 10.0, 10.0);
+        let s2 = seg(0.0, 10.0, 10.0, 0.0);
+        let p = s1.intersection(&s2).unwrap();
+        assert!((p.x - 5.0).abs() < 1e-9 && (p.y - 5.0).abs() < 1e-9);
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn endpoint_touch_counts() {
+        let s1 = seg(0.0, 0.0, 5.0, 5.0);
+        let s2 = seg(5.0, 5.0, 10.0, 0.0);
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn parallel_disjoint() {
+        let s1 = seg(0.0, 0.0, 10.0, 0.0);
+        let s2 = seg(0.0, 1.0, 10.0, 1.0);
+        assert_eq!(s1.intersection(&s2), None);
+        assert!(!s1.intersects(&s2));
+    }
+
+    #[test]
+    fn collinear_overlap_detected() {
+        let s1 = seg(0.0, 0.0, 10.0, 0.0);
+        let s2 = seg(5.0, 0.0, 15.0, 0.0);
+        assert!(s1.collinear_overlap(&s2));
+        assert!(s1.intersects(&s2));
+        let s3 = seg(11.0, 0.0, 15.0, 0.0);
+        assert!(!s1.collinear_overlap(&s3));
+        assert!(!s1.intersects(&s3));
+    }
+
+    #[test]
+    fn vertical_collinear_overlap() {
+        let s1 = seg(2.0, 0.0, 2.0, 10.0);
+        let s2 = seg(2.0, 5.0, 2.0, 20.0);
+        assert!(s1.collinear_overlap(&s2));
+    }
+
+    #[test]
+    fn contains_point_on_segment() {
+        let s = seg(0.0, 0.0, 10.0, 10.0);
+        assert!(s.contains_point(Point::new(5.0, 5.0)));
+        assert!(!s.contains_point(Point::new(5.0, 6.0)));
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let rect = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        // Fully inside.
+        assert!(seg(1.0, 1.0, 2.0, 2.0).intersects_rect(&rect));
+        // Crossing through without endpoints inside.
+        assert!(seg(-5.0, 5.0, 15.0, 5.0).intersects_rect(&rect));
+        // Outside.
+        assert!(!seg(20.0, 20.0, 30.0, 30.0).intersects_rect(&rect));
+        // Touching a corner.
+        assert!(seg(10.0, 10.0, 20.0, 20.0).intersects_rect(&rect));
+    }
+
+    #[test]
+    fn mbr_covers_segment() {
+        let s = seg(3.0, 7.0, 1.0, 2.0);
+        let mbr = s.mbr();
+        assert!(mbr.contains_point(s.a));
+        assert!(mbr.contains_point(s.b));
+        assert_eq!(mbr, Rect::new(Point::new(1.0, 2.0), Point::new(3.0, 7.0)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(seg(0.0, 0.0, 1.0, 3.0).to_string(), "(0, 0) - (1, 3)");
+    }
+}

@@ -1,0 +1,206 @@
+//! Property-based tests for the geometric kernel.
+
+use mw_geometry::{
+    frame::{FrameTree, Transform2},
+    Point, Polygon, RTree, Rect, Segment, Vec2,
+};
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    -1000.0..1000.0f64
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (coord(), coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (point(), point()).prop_map(|(a, b)| Rect::new(a, b))
+}
+
+proptest! {
+    #[test]
+    fn rect_area_non_negative(r in rect()) {
+        prop_assert!(r.area() >= 0.0);
+    }
+
+    #[test]
+    fn intersection_contained_in_both(a in rect(), b in rect()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(i.area() <= a.area() + 1e-9);
+            prop_assert!(i.area() <= b.area() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn intersection_commutes(a in rect(), b in rect()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+    }
+
+    #[test]
+    fn union_contains_both(a in rect(), b in rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+        prop_assert!(u.area() + 1e-9 >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn containment_implies_intersection(a in rect(), b in rect()) {
+        if a.contains_rect(&b) {
+            prop_assert!(a.intersects(&b));
+            prop_assert_eq!(a.intersection(&b), Some(b));
+        }
+    }
+
+    #[test]
+    fn rect_distance_is_symmetric_and_zero_iff_intersecting(a in rect(), b in rect()) {
+        let d1 = a.distance_to_rect(&b);
+        let d2 = b.distance_to_rect(&a);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+        if a.intersects(&b) {
+            prop_assert_eq!(d1, 0.0);
+        } else {
+            prop_assert!(d1 > 0.0);
+        }
+    }
+
+    #[test]
+    fn rect_center_inside(r in rect()) {
+        prop_assert!(r.contains_point(r.center()));
+    }
+
+    #[test]
+    fn segment_closest_point_is_on_segment(a in point(), b in point(), p in point()) {
+        let s = Segment::new(a, b);
+        let c = s.closest_point(p);
+        // The closest point lies within the segment's MBR and on the line.
+        prop_assert!(s.mbr().inflated(1e-6).contains_point(c));
+        prop_assert!(s.distance_to_point(p) <= p.distance(a) + 1e-9);
+        prop_assert!(s.distance_to_point(p) <= p.distance(b) + 1e-9);
+    }
+
+    #[test]
+    fn polygon_mbr_contains_all_vertices(raw in proptest::collection::vec(point(), 3..12)) {
+        // Sort vertices by angle around the centroid so the polygon is
+        // simple (star-shaped): `Polygon` documents simple polygons, and
+        // the shoelace area of a self-intersecting polygon can legally
+        // exceed its MBR (double-counted winding regions).
+        let cx = raw.iter().map(|p| p.x).sum::<f64>() / raw.len() as f64;
+        let cy = raw.iter().map(|p| p.y).sum::<f64>() / raw.len() as f64;
+        let mut pts = raw;
+        pts.sort_by(|a, b| {
+            (a.y - cy).atan2(a.x - cx).total_cmp(&(b.y - cy).atan2(b.x - cx))
+        });
+        if let Ok(poly) = Polygon::new(pts.clone()) {
+            let mbr = poly.mbr();
+            for p in pts {
+                prop_assert!(mbr.contains_point(p));
+            }
+            prop_assert!(poly.area() <= mbr.area() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn polygon_contains_implies_mbr_contains(pts in proptest::collection::vec(point(), 3..10), q in point()) {
+        if let Ok(poly) = Polygon::new(pts) {
+            if poly.contains_point(q) {
+                prop_assert!(poly.mbr().inflated(1e-9).contains_point(q));
+            }
+        }
+    }
+
+    #[test]
+    fn transform_roundtrip(p in point(), angle in -6.3..6.3f64, tx in coord(), ty in coord()) {
+        let t = Transform2::new(angle, Vec2::new(tx, ty));
+        let q = t.inverse().apply(t.apply(p));
+        prop_assert!((q.x - p.x).abs() < 1e-6);
+        prop_assert!((q.y - p.y).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transform_compose_associates(p in point(), a1 in -3.2..3.2f64, a2 in -3.2..3.2f64, t1 in coord(), t2 in coord()) {
+        let f = Transform2::new(a1, Vec2::new(t1, -t1));
+        let g = Transform2::new(a2, Vec2::new(t2, t2 / 2.0));
+        let lhs = f.compose(&g).apply(p);
+        let rhs = f.apply(g.apply(p));
+        prop_assert!((lhs.x - rhs.x).abs() < 1e-6);
+        prop_assert!((lhs.y - rhs.y).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frame_tree_conversion_roundtrip(p in point(), off1 in coord(), off2 in coord(), ang in -3.0..3.0f64) {
+        let mut tree = FrameTree::new("b");
+        let floor = tree.add_frame("f", tree.root(), Transform2::new(0.0, Vec2::new(off1, off2))).unwrap();
+        let room = tree.add_frame("r", floor, Transform2::new(ang, Vec2::new(off2, off1))).unwrap();
+        let there = tree.convert(p, room, tree.root()).unwrap();
+        let back = tree.convert(there, tree.root(), room).unwrap();
+        prop_assert!((back.x - p.x).abs() < 1e-6);
+        prop_assert!((back.y - p.y).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rtree_window_query_equals_linear_scan(
+        rects in proptest::collection::vec(rect(), 1..60),
+        window in rect(),
+    ) {
+        let mut tree = RTree::new();
+        for (i, r) in rects.iter().enumerate() {
+            tree.insert(*r, i);
+        }
+        let mut from_tree: Vec<usize> = tree.query_window(&window).map(|(_, v)| *v).collect();
+        let mut from_scan: Vec<usize> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(&window))
+            .map(|(i, _)| i)
+            .collect();
+        from_tree.sort_unstable();
+        from_scan.sort_unstable();
+        prop_assert_eq!(from_tree, from_scan);
+    }
+
+    #[test]
+    fn rtree_nearest_equals_linear_scan(
+        rects in proptest::collection::vec(rect(), 1..40),
+        p in point(),
+    ) {
+        let mut tree = RTree::new();
+        for (i, r) in rects.iter().enumerate() {
+            tree.insert(*r, i);
+        }
+        let (nearest_rect, _) = tree.nearest(p).unwrap();
+        let best_scan = rects
+            .iter()
+            .map(|r| r.distance_to_point(p))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((nearest_rect.distance_to_point(p) - best_scan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rtree_len_tracks_inserts_and_removes(
+        rects in proptest::collection::vec(rect(), 1..30),
+    ) {
+        let mut tree = RTree::new();
+        for (i, r) in rects.iter().enumerate() {
+            tree.insert(*r, i);
+        }
+        prop_assert_eq!(tree.len(), rects.len());
+        // Remove every other entry.
+        let mut expected = rects.len();
+        for (i, r) in rects.iter().enumerate().step_by(2) {
+            prop_assert_eq!(tree.remove_if(r, |v| *v == i), Some(i));
+            expected -= 1;
+        }
+        prop_assert_eq!(tree.len(), expected);
+    }
+
+    #[test]
+    fn circle_mbr_contains_circle_points(cx in coord(), cy in coord(), rad in 0.0..100.0f64, ang in 0.0..6.3f64) {
+        let c = mw_geometry::Circle::new(Point::new(cx, cy), rad);
+        let boundary = Point::new(cx + rad * ang.cos(), cy + rad * ang.sin());
+        prop_assert!(c.mbr().inflated(1e-9).contains_point(boundary));
+    }
+}

@@ -1,0 +1,194 @@
+use std::fmt;
+use std::ops::Mul;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ModelError;
+
+/// A probability in `[0, 1]` — the *confidence* quality metric of §3.2.
+///
+/// "Confidence … is measured as the probability that the person is actually
+/// within a certain area returned by the sensor."
+///
+/// The newtype enforces the range invariant at construction so downstream
+/// Bayesian arithmetic never sees an out-of-range probability.
+///
+/// # Example
+///
+/// ```
+/// use mw_model::Confidence;
+///
+/// let c = Confidence::new(0.95)?;
+/// assert_eq!(c.value(), 0.95);
+/// assert_eq!((c * Confidence::new(0.5)?).value(), 0.475);
+/// # Ok::<(), mw_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Confidence(f64);
+
+impl Confidence {
+    /// Certainty (probability 1).
+    pub const CERTAIN: Confidence = Confidence(1.0);
+    /// Impossibility (probability 0).
+    pub const ZERO: Confidence = Confidence(0.0);
+
+    /// Creates a confidence value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ConfidenceOutOfRange`] when `value` is not in
+    /// `[0, 1]` or is NaN.
+    pub fn new(value: f64) -> Result<Self, ModelError> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Ok(Confidence(value))
+        } else {
+            Err(ModelError::ConfidenceOutOfRange { value })
+        }
+    }
+
+    /// Creates a confidence value, clamping into `[0, 1]`.
+    ///
+    /// NaN becomes 0.
+    #[must_use]
+    pub fn saturating(value: f64) -> Self {
+        if value.is_nan() {
+            Confidence(0.0)
+        } else {
+            Confidence(value.clamp(0.0, 1.0))
+        }
+    }
+
+    /// The underlying probability.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The complementary probability `1 - p`.
+    #[must_use]
+    pub fn complement(self) -> Confidence {
+        Confidence(1.0 - self.0)
+    }
+
+    /// Returns the larger of the two confidences.
+    #[must_use]
+    pub fn max(self, other: Confidence) -> Confidence {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of the two confidences.
+    #[must_use]
+    pub fn min(self, other: Confidence) -> Confidence {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Confidence {
+    /// Defaults to certainty, matching a reading with no uncertainty model.
+    fn default() -> Self {
+        Confidence::CERTAIN
+    }
+}
+
+impl Mul for Confidence {
+    type Output = Confidence;
+    /// Product of independent probabilities; stays in `[0, 1]`.
+    fn mul(self, rhs: Confidence) -> Confidence {
+        Confidence(self.0 * rhs.0)
+    }
+}
+
+impl TryFrom<f64> for Confidence {
+    type Error = ModelError;
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Confidence::new(value)
+    }
+}
+
+impl From<Confidence> for f64 {
+    fn from(c: Confidence) -> f64 {
+        c.0
+    }
+}
+
+impl fmt::Display for Confidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_range() {
+        assert!(Confidence::new(0.0).is_ok());
+        assert!(Confidence::new(1.0).is_ok());
+        assert!(Confidence::new(0.5).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Confidence::new(-0.01).is_err());
+        assert!(Confidence::new(1.01).is_err());
+        assert!(Confidence::new(f64::NAN).is_err());
+        assert!(Confidence::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn saturating_clamps() {
+        assert_eq!(Confidence::saturating(2.0).value(), 1.0);
+        assert_eq!(Confidence::saturating(-1.0).value(), 0.0);
+        assert_eq!(Confidence::saturating(f64::NAN).value(), 0.0);
+        assert_eq!(Confidence::saturating(0.7).value(), 0.7);
+    }
+
+    #[test]
+    fn complement() {
+        assert_eq!(Confidence::new(0.3).unwrap().complement().value(), 0.7);
+        assert_eq!(Confidence::CERTAIN.complement(), Confidence::ZERO);
+    }
+
+    #[test]
+    fn multiplication_stays_in_range() {
+        let a = Confidence::new(0.9).unwrap();
+        let b = Confidence::new(0.8).unwrap();
+        let c = a * b;
+        assert!((c.value() - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Confidence::new(0.2).unwrap();
+        let b = Confidence::new(0.8).unwrap();
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Confidence::new(0.2).unwrap() < Confidence::new(0.8).unwrap());
+    }
+
+    #[test]
+    fn display_three_decimals() {
+        assert_eq!(Confidence::new(0.12345).unwrap().to_string(), "0.123");
+    }
+
+    #[test]
+    fn conversion_roundtrip() {
+        let c = Confidence::try_from(0.4).unwrap();
+        let f: f64 = c.into();
+        assert_eq!(f, 0.4);
+    }
+}

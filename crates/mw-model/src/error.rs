@@ -1,0 +1,58 @@
+use std::fmt;
+
+/// Errors produced by the location model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A GLOB string could not be parsed.
+    ParseGlob {
+        /// The offending input (possibly truncated).
+        input: String,
+        /// What went wrong.
+        reason: &'static str,
+    },
+    /// A confidence value was outside `[0, 1]`.
+    ConfidenceOutOfRange {
+        /// The rejected value.
+        value: f64,
+    },
+    /// A duration or time value was negative or non-finite.
+    InvalidTime {
+        /// The rejected value in seconds.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ParseGlob { input, reason } => {
+                write!(f, "cannot parse glob {input:?}: {reason}")
+            }
+            ModelError::ConfidenceOutOfRange { value } => {
+                write!(f, "confidence {value} outside [0, 1]")
+            }
+            ModelError::InvalidTime { value } => {
+                write!(f, "invalid time value {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ModelError::ConfidenceOutOfRange { value: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+        let e = ModelError::ParseGlob {
+            input: "x//y".into(),
+            reason: "empty segment",
+        };
+        assert!(e.to_string().contains("empty segment"));
+    }
+}

@@ -1,0 +1,475 @@
+use std::fmt;
+use std::str::FromStr;
+
+use mw_geometry::Point3;
+use serde::{Deserialize, Serialize};
+
+use crate::ModelError;
+
+/// The coordinate payload optionally carried by the last segment of a
+/// [`Glob`].
+///
+/// §3.1 of the paper: a GLOB "can represent point, line or polygon
+/// regions" — one tuple is a point, two a line, three or more a polygon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GlobLeaf {
+    /// A single coordinate, e.g. `(12,3,4)`.
+    Point(Point3),
+    /// A line between two coordinates, e.g. a door `(1,3),(4,5)`.
+    Line(Point3, Point3),
+    /// A polygon given by three or more vertices.
+    Polygon(Vec<Point3>),
+}
+
+impl GlobLeaf {
+    /// All coordinates of the leaf, in order.
+    #[must_use]
+    pub fn points(&self) -> Vec<Point3> {
+        match self {
+            GlobLeaf::Point(p) => vec![*p],
+            GlobLeaf::Line(a, b) => vec![*a, *b],
+            GlobLeaf::Polygon(v) => v.clone(),
+        }
+    }
+}
+
+impl fmt::Display for GlobLeaf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_point = |p: &Point3| {
+            if p.z == 0.0 {
+                format!("({},{})", p.x, p.y)
+            } else {
+                format!("({},{},{})", p.x, p.y, p.z)
+            }
+        };
+        match self {
+            GlobLeaf::Point(p) => write!(f, "{}", fmt_point(p)),
+            GlobLeaf::Line(a, b) => write!(f, "{},{}", fmt_point(a), fmt_point(b)),
+            GlobLeaf::Polygon(v) => {
+                let parts: Vec<String> = v.iter().map(fmt_point).collect();
+                write!(f, "{}", parts.join(","))
+            }
+        }
+    }
+}
+
+/// A *Gaia LOcation Byte-string* — MiddleWhere's hierarchical location name
+/// (§3.1).
+///
+/// A GLOB is a `/`-separated path of symbolic segments, optionally
+/// terminated by a coordinate leaf expressed in the coordinate system of the
+/// last symbolic segment:
+///
+/// - `SC/3/3216/lightswitch1` — symbolic point location,
+/// - `SC/3/3216/(12,3,4)` — the same location in coordinates of room 3216,
+/// - `SC/3/3216/(1,3),(4,5)` — a door (line),
+/// - `SC/3/(45,12),(45,40),(65,40),(65,12)` — room 3216's polygon in floor
+///   coordinates.
+///
+/// # Example
+///
+/// ```
+/// use mw_model::Glob;
+///
+/// let g: Glob = "SC/3/3216/lightswitch1".parse()?;
+/// assert_eq!(g.segments(), ["SC", "3", "3216", "lightswitch1"]);
+/// assert!(g.leaf().is_none());
+///
+/// let c: Glob = "SC/3/3216/(12,3,4)".parse()?;
+/// assert!(c.leaf().is_some());
+/// assert!(g.parent().unwrap().is_prefix_of(&c));
+/// # Ok::<(), mw_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Glob {
+    segments: Vec<String>,
+    leaf: Option<GlobLeaf>,
+}
+
+impl Glob {
+    /// Creates a purely symbolic GLOB from path segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ParseGlob`] when any segment is empty or
+    /// contains `/` or parentheses.
+    pub fn symbolic<S: Into<String>, I: IntoIterator<Item = S>>(
+        segments: I,
+    ) -> Result<Self, ModelError> {
+        let segments: Vec<String> = segments.into_iter().map(Into::into).collect();
+        for s in &segments {
+            if s.is_empty() {
+                return Err(ModelError::ParseGlob {
+                    input: segments.join("/"),
+                    reason: "empty segment",
+                });
+            }
+            if s.contains('/') || s.contains('(') || s.contains(')') {
+                return Err(ModelError::ParseGlob {
+                    input: s.clone(),
+                    reason: "segment contains reserved character",
+                });
+            }
+        }
+        Ok(Glob {
+            segments,
+            leaf: None,
+        })
+    }
+
+    /// Creates a GLOB with a coordinate leaf under the symbolic prefix
+    /// `segments`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ParseGlob`] for invalid segments (see
+    /// [`Glob::symbolic`]).
+    pub fn with_leaf<S: Into<String>, I: IntoIterator<Item = S>>(
+        segments: I,
+        leaf: GlobLeaf,
+    ) -> Result<Self, ModelError> {
+        let mut g = Glob::symbolic(segments)?;
+        g.leaf = Some(leaf);
+        Ok(g)
+    }
+
+    /// The symbolic path segments.
+    #[must_use]
+    pub fn segments(&self) -> &[String] {
+        &self.segments
+    }
+
+    /// The coordinate leaf, if any.
+    #[must_use]
+    pub fn leaf(&self) -> Option<&GlobLeaf> {
+        self.leaf.as_ref()
+    }
+
+    /// Number of symbolic segments.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The last symbolic segment, e.g. the room number for
+    /// `SC/3/3216/(12,3,4)`.
+    #[must_use]
+    pub fn last_segment(&self) -> Option<&str> {
+        self.segments.last().map(String::as_str)
+    }
+
+    /// The GLOB with the last symbolic segment (and any leaf) removed, or
+    /// `None` for an empty or single-segment GLOB.
+    #[must_use]
+    pub fn parent(&self) -> Option<Glob> {
+        if self.segments.len() <= 1 {
+            return None;
+        }
+        Some(Glob {
+            segments: self.segments[..self.segments.len() - 1].to_vec(),
+            leaf: None,
+        })
+    }
+
+    /// A new GLOB with `segment` appended (drops any coordinate leaf).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ParseGlob`] for an invalid segment.
+    pub fn child(&self, segment: impl Into<String>) -> Result<Glob, ModelError> {
+        let mut segments = self.segments.clone();
+        segments.push(segment.into());
+        Glob::symbolic(segments)
+    }
+
+    /// Returns `true` when `self`'s symbolic path is a (non-strict) prefix
+    /// of `other`'s.
+    ///
+    /// This is the containment relation on the GLOB hierarchy: `SC/3` is a
+    /// prefix of `SC/3/3216/(12,3,4)`.
+    #[must_use]
+    pub fn is_prefix_of(&self, other: &Glob) -> bool {
+        other.segments.len() >= self.segments.len()
+            && self.segments[..] == other.segments[..self.segments.len()]
+    }
+
+    /// Truncates the GLOB to at most `depth` symbolic segments, dropping
+    /// the leaf when truncation occurs.
+    ///
+    /// §4.5 of the paper: "The lattice representation also allows
+    /// incorporating privacy constraints that specify that a user's location
+    /// can only be revealed upto a certain granularity (like a room or a
+    /// floor)." Truncating `SC/3/3216/desk1` to depth 2 reveals only
+    /// `SC/3`.
+    #[must_use]
+    pub fn truncated(&self, depth: usize) -> Glob {
+        if depth >= self.segments.len() {
+            return self.clone();
+        }
+        Glob {
+            segments: self.segments[..depth].to_vec(),
+            leaf: None,
+        }
+    }
+
+    /// The longest common symbolic prefix of two GLOBs.
+    #[must_use]
+    pub fn common_prefix(&self, other: &Glob) -> Glob {
+        let n = self
+            .segments
+            .iter()
+            .zip(other.segments.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        Glob {
+            segments: self.segments[..n].to_vec(),
+            leaf: None,
+        }
+    }
+}
+
+impl FromStr for Glob {
+    type Err = ModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ModelError::ParseGlob {
+                input: s.into(),
+                reason: "empty glob",
+            });
+        }
+        let mut segments = Vec::new();
+        let mut leaf = None;
+        let parts: Vec<&str> = s.split('/').collect();
+        for (i, part) in parts.iter().enumerate() {
+            if part.is_empty() {
+                return Err(ModelError::ParseGlob {
+                    input: s.into(),
+                    reason: "empty segment",
+                });
+            }
+            if part.starts_with('(') {
+                if i != parts.len() - 1 {
+                    return Err(ModelError::ParseGlob {
+                        input: s.into(),
+                        reason: "coordinates allowed only in the last segment",
+                    });
+                }
+                leaf = Some(parse_leaf(part, s)?);
+            } else {
+                segments.push((*part).to_string());
+            }
+        }
+        if segments.is_empty() && leaf.is_some() {
+            return Err(ModelError::ParseGlob {
+                input: s.into(),
+                reason: "coordinate leaf needs a symbolic prefix",
+            });
+        }
+        Ok(Glob { segments, leaf })
+    }
+}
+
+fn parse_leaf(text: &str, whole: &str) -> Result<GlobLeaf, ModelError> {
+    // Parse a run of `(a,b[,c])` tuples separated by commas.
+    let err = |reason: &'static str| ModelError::ParseGlob {
+        input: whole.into(),
+        reason,
+    };
+    let mut points = Vec::new();
+    let mut rest = text;
+    loop {
+        let open = rest.find('(').ok_or_else(|| err("expected '('"))?;
+        if open != 0 {
+            return Err(err("unexpected text before '('"));
+        }
+        let close = rest.find(')').ok_or_else(|| err("missing ')'"))?;
+        let inner = &rest[1..close];
+        let nums: Result<Vec<f64>, _> = inner.split(',').map(|n| n.trim().parse::<f64>()).collect();
+        let nums = nums.map_err(|_| err("invalid number in coordinates"))?;
+        let p = match nums.len() {
+            2 => Point3::new(nums[0], nums[1], 0.0),
+            3 => Point3::new(nums[0], nums[1], nums[2]),
+            _ => return Err(err("coordinate tuples must have 2 or 3 numbers")),
+        };
+        if !p.is_finite() {
+            return Err(err("non-finite coordinate"));
+        }
+        points.push(p);
+        rest = &rest[close + 1..];
+        if rest.is_empty() {
+            break;
+        }
+        rest = rest
+            .strip_prefix(',')
+            .ok_or_else(|| err("expected ',' between coordinate tuples"))?;
+        rest = rest.trim_start();
+    }
+    Ok(match points.len() {
+        0 => return Err(err("no coordinates")),
+        1 => GlobLeaf::Point(points[0]),
+        2 => GlobLeaf::Line(points[0], points[1]),
+        _ => GlobLeaf::Polygon(points),
+    })
+}
+
+impl fmt::Display for Glob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.segments.join("/"))?;
+        if let Some(leaf) = &self.leaf {
+            if !self.segments.is_empty() {
+                write!(f, "/")?;
+            }
+            write!(f, "{leaf}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_symbolic_point() {
+        let g: Glob = "SC/3/3216/lightswitch1".parse().unwrap();
+        assert_eq!(g.segments(), ["SC", "3", "3216", "lightswitch1"]);
+        assert_eq!(g.leaf(), None);
+        assert_eq!(g.depth(), 4);
+        assert_eq!(g.last_segment(), Some("lightswitch1"));
+    }
+
+    #[test]
+    fn parse_coordinate_point() {
+        let g: Glob = "SC/3/3216/(12,3,4)".parse().unwrap();
+        assert_eq!(g.segments(), ["SC", "3", "3216"]);
+        assert_eq!(
+            g.leaf(),
+            Some(&GlobLeaf::Point(Point3::new(12.0, 3.0, 4.0)))
+        );
+    }
+
+    #[test]
+    fn parse_line_leaf() {
+        let g: Glob = "SC/3/3216/(1,3),(4,5)".parse().unwrap();
+        assert_eq!(
+            g.leaf(),
+            Some(&GlobLeaf::Line(
+                Point3::new(1.0, 3.0, 0.0),
+                Point3::new(4.0, 5.0, 0.0)
+            ))
+        );
+    }
+
+    #[test]
+    fn parse_polygon_leaf() {
+        let g: Glob = "SC/3/(45,12),(45,40),(65,40),(65,12)".parse().unwrap();
+        assert_eq!(g.segments(), ["SC", "3"]);
+        match g.leaf() {
+            Some(GlobLeaf::Polygon(v)) => assert_eq!(v.len(), 4),
+            other => panic!("expected polygon, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_inputs() {
+        assert!("".parse::<Glob>().is_err());
+        assert!("SC//3".parse::<Glob>().is_err());
+        assert!("SC/(1,2)/3".parse::<Glob>().is_err()); // coords not last
+        assert!("(1,2)".parse::<Glob>().is_err()); // no prefix
+        assert!("SC/(1)".parse::<Glob>().is_err()); // 1-tuple
+        assert!("SC/(1,2,3,4)".parse::<Glob>().is_err()); // 4-tuple
+        assert!("SC/(a,b)".parse::<Glob>().is_err()); // not numbers
+        assert!("SC/(1,2".parse::<Glob>().is_err()); // missing )
+        assert!("SC/(1,2)(3,4)".parse::<Glob>().is_err()); // missing comma
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in [
+            "SC/3/3216/lightswitch1",
+            "SC/3/3216/(12,3,4)",
+            "SC/3/3216/(1,3),(4,5)",
+            "SC/3/(45,12),(45,40),(65,40),(65,12)",
+        ] {
+            let g: Glob = s.parse().unwrap();
+            let round: Glob = g.to_string().parse().unwrap();
+            assert_eq!(g, round, "roundtrip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let floor: Glob = "SC/3".parse().unwrap();
+        let room: Glob = "SC/3/3216".parse().unwrap();
+        let coord: Glob = "SC/3/3216/(12,3,4)".parse().unwrap();
+        assert!(floor.is_prefix_of(&room));
+        assert!(floor.is_prefix_of(&coord));
+        assert!(room.is_prefix_of(&coord));
+        assert!(!room.is_prefix_of(&floor));
+        assert!(floor.is_prefix_of(&floor));
+        let other: Glob = "SC/4".parse().unwrap();
+        assert!(!other.is_prefix_of(&room));
+    }
+
+    #[test]
+    fn parent_and_child() {
+        let room: Glob = "SC/3/3216".parse().unwrap();
+        assert_eq!(room.parent().unwrap().to_string(), "SC/3");
+        assert_eq!(room.child("desk1").unwrap().to_string(), "SC/3/3216/desk1");
+        let top: Glob = "SC".parse().unwrap();
+        assert_eq!(top.parent(), None);
+    }
+
+    #[test]
+    fn truncation_for_privacy() {
+        let fine: Glob = "SC/3/3216/(12,3,4)".parse().unwrap();
+        assert_eq!(fine.truncated(2).to_string(), "SC/3");
+        assert_eq!(fine.truncated(1).to_string(), "SC");
+        // Truncating beyond depth keeps everything including the leaf.
+        assert_eq!(fine.truncated(10), fine);
+    }
+
+    #[test]
+    fn common_prefix() {
+        let a: Glob = "SC/3/3216".parse().unwrap();
+        let b: Glob = "SC/3/3105".parse().unwrap();
+        assert_eq!(a.common_prefix(&b).to_string(), "SC/3");
+        let c: Glob = "EB/1".parse().unwrap();
+        assert_eq!(a.common_prefix(&c).depth(), 0);
+    }
+
+    #[test]
+    fn symbolic_constructor_validates() {
+        assert!(Glob::symbolic(["SC", "3"]).is_ok());
+        assert!(Glob::symbolic(["SC", ""]).is_err());
+        assert!(Glob::symbolic(["SC", "a/b"]).is_err());
+        assert!(Glob::symbolic(["SC", "(x)"]).is_err());
+    }
+
+    #[test]
+    fn with_leaf_constructor() {
+        let g = Glob::with_leaf(["SC", "3"], GlobLeaf::Point(Point3::new(1.0, 2.0, 0.0))).unwrap();
+        assert_eq!(g.to_string(), "SC/3/(1,2)");
+    }
+
+    #[test]
+    fn leaf_points() {
+        let line = GlobLeaf::Line(Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 1.0, 0.0));
+        assert_eq!(line.points().len(), 2);
+        let poly = GlobLeaf::Polygon(vec![
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(0.0, 1.0, 0.0),
+        ]);
+        assert_eq!(poly.points().len(), 3);
+    }
+
+    #[test]
+    fn display_3d_vs_2d_points() {
+        let g = Glob::with_leaf(["A"], GlobLeaf::Point(Point3::new(1.0, 2.0, 3.0))).unwrap();
+        assert_eq!(g.to_string(), "A/(1,2,3)");
+        let g2 = Glob::with_leaf(["A"], GlobLeaf::Point(Point3::new(1.0, 2.0, 0.0))).unwrap();
+        assert_eq!(g2.to_string(), "A/(1,2)");
+    }
+}

@@ -1,0 +1,34 @@
+//! Location model for the MiddleWhere reproduction.
+//!
+//! Implements §3 of the paper:
+//!
+//! - [`Glob`] — the hierarchical *Gaia LOcation Byte-string* that names both
+//!   symbolic locations (`SC/3/3216/lightswitch1`) and coordinate locations
+//!   (`SC/3/3216/(12,3,4)`),
+//! - [`LocationKind`] / [`Location`] — the hybrid symbolic + coordinate
+//!   model with point, line and polygon location types,
+//! - [`Confidence`], [`Resolution`], [`quality::QualityOfLocation`] — the
+//!   three quality metrics of §3.2 (resolution, confidence, freshness),
+//! - [`TemporalDegradation`] — the `tdf: conf × time → conf` family that
+//!   decays confidence as readings age,
+//! - [`time`] — a deterministic simulation clock ([`SimTime`],
+//!   [`SimDuration`]) so every experiment is reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod confidence;
+mod error;
+mod glob;
+mod location;
+pub mod quality;
+pub mod tdf;
+pub mod time;
+
+pub use confidence::Confidence;
+pub use error::ModelError;
+pub use glob::{Glob, GlobLeaf};
+pub use location::{Location, LocationKind};
+pub use quality::{QualityOfLocation, Resolution};
+pub use tdf::TemporalDegradation;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,210 @@
+use std::fmt;
+
+use mw_geometry::{Point, Polygon, Rect, Segment};
+use serde::{Deserialize, Serialize};
+
+use crate::{Glob, GlobLeaf, ModelError};
+
+/// The geometric type of a location (§3 of the paper).
+///
+/// "The location model defines three types of locations: points, lines and
+/// polygons" — a light switch is a point, a door a line, a room or a
+/// work-region a polygon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LocationKind {
+    /// A single coordinate (light switch, card reader).
+    Point,
+    /// A line segment (door, non-enclosing wall).
+    Line,
+    /// A polygonal region (room, corridor, table, usage region).
+    Polygon,
+}
+
+impl fmt::Display for LocationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LocationKind::Point => "point",
+            LocationKind::Line => "line",
+            LocationKind::Polygon => "polygon",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A location in MiddleWhere's hybrid model: either a symbolic name or a
+/// coordinate geometry, both expressed as a [`Glob`].
+///
+/// §3: "Location-sensitive applications can express locations either in
+/// terms of coordinates with respect to a certain axis of reference, or in
+/// terms of symbolic names."
+///
+/// # Example
+///
+/// ```
+/// use mw_model::{Location, LocationKind};
+///
+/// let sym = Location::parse("SC/3/3216/lightswitch1")?;
+/// assert!(sym.is_symbolic());
+///
+/// let coord = Location::parse("SC/3/3216/(12,3,4)")?;
+/// assert!(coord.is_coordinate());
+/// assert_eq!(coord.kind(), Some(LocationKind::Point));
+/// # Ok::<(), mw_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Location {
+    glob: Glob,
+}
+
+impl Location {
+    /// Parses a GLOB string into a location.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ParseGlob`] when the string is not a valid
+    /// GLOB.
+    pub fn parse(s: &str) -> Result<Self, ModelError> {
+        Ok(Location { glob: s.parse()? })
+    }
+
+    /// The underlying GLOB.
+    #[must_use]
+    pub fn glob(&self) -> &Glob {
+        &self.glob
+    }
+
+    /// Returns `true` for a purely symbolic location.
+    #[must_use]
+    pub fn is_symbolic(&self) -> bool {
+        self.glob.leaf().is_none()
+    }
+
+    /// Returns `true` for a coordinate location.
+    #[must_use]
+    pub fn is_coordinate(&self) -> bool {
+        self.glob.leaf().is_some()
+    }
+
+    /// The geometric kind for a coordinate location, or `None` for a
+    /// symbolic one.
+    #[must_use]
+    pub fn kind(&self) -> Option<LocationKind> {
+        self.glob.leaf().map(|leaf| match leaf {
+            GlobLeaf::Point(_) => LocationKind::Point,
+            GlobLeaf::Line(_, _) => LocationKind::Line,
+            GlobLeaf::Polygon(_) => LocationKind::Polygon,
+        })
+    }
+
+    /// Floor-plane MBR of a coordinate location (in the coordinate system
+    /// named by the GLOB prefix), or `None` for a symbolic location.
+    ///
+    /// The fusion algorithm converts every location to an MBR (§4.1.2);
+    /// this is that conversion for model-level locations.
+    #[must_use]
+    pub fn mbr(&self) -> Option<Rect> {
+        let leaf = self.glob.leaf()?;
+        Rect::bounding(leaf.points().into_iter().map(|p| p.to_floor()))
+    }
+
+    /// The floor-plane point of a point location.
+    #[must_use]
+    pub fn as_point(&self) -> Option<Point> {
+        match self.glob.leaf()? {
+            GlobLeaf::Point(p) => Some(p.to_floor()),
+            _ => None,
+        }
+    }
+
+    /// The floor-plane segment of a line location.
+    #[must_use]
+    pub fn as_segment(&self) -> Option<Segment> {
+        match self.glob.leaf()? {
+            GlobLeaf::Line(a, b) => Some(Segment::new(a.to_floor(), b.to_floor())),
+            _ => None,
+        }
+    }
+
+    /// The floor-plane polygon of a polygon location.
+    #[must_use]
+    pub fn as_polygon(&self) -> Option<Polygon> {
+        match self.glob.leaf()? {
+            GlobLeaf::Polygon(v) => Polygon::new(v.iter().map(|p| p.to_floor()).collect()).ok(),
+            _ => None,
+        }
+    }
+}
+
+impl From<Glob> for Location {
+    fn from(glob: Glob) -> Self {
+        Location { glob }
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.glob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbolic_has_no_geometry() {
+        let l = Location::parse("SC/3/3216/lightswitch1").unwrap();
+        assert!(l.is_symbolic());
+        assert!(!l.is_coordinate());
+        assert_eq!(l.kind(), None);
+        assert_eq!(l.mbr(), None);
+        assert_eq!(l.as_point(), None);
+    }
+
+    #[test]
+    fn point_location() {
+        let l = Location::parse("SC/3/3216/(12,3,4)").unwrap();
+        assert!(l.is_coordinate());
+        assert_eq!(l.kind(), Some(LocationKind::Point));
+        assert_eq!(l.as_point(), Some(Point::new(12.0, 3.0)));
+        let mbr = l.mbr().unwrap();
+        assert!(mbr.is_degenerate());
+        assert_eq!(mbr.center(), Point::new(12.0, 3.0));
+    }
+
+    #[test]
+    fn line_location() {
+        let l = Location::parse("SC/3/3216/(1,3),(4,5)").unwrap();
+        assert_eq!(l.kind(), Some(LocationKind::Line));
+        let seg = l.as_segment().unwrap();
+        assert_eq!(seg.a, Point::new(1.0, 3.0));
+        assert_eq!(seg.b, Point::new(4.0, 5.0));
+        assert_eq!(l.as_point(), None);
+        assert_eq!(l.as_polygon(), None);
+    }
+
+    #[test]
+    fn polygon_location() {
+        let l = Location::parse("SC/3/(45,12),(45,40),(65,40),(65,12)").unwrap();
+        assert_eq!(l.kind(), Some(LocationKind::Polygon));
+        let poly = l.as_polygon().unwrap();
+        assert_eq!(poly.area(), 20.0 * 28.0);
+        let mbr = l.mbr().unwrap();
+        assert_eq!(mbr.area(), 20.0 * 28.0);
+    }
+
+    #[test]
+    fn from_glob_and_display() {
+        let g: Glob = "SC/3/3105".parse().unwrap();
+        let l: Location = g.clone().into();
+        assert_eq!(l.glob(), &g);
+        assert_eq!(l.to_string(), "SC/3/3105");
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(LocationKind::Point.to_string(), "point");
+        assert_eq!(LocationKind::Line.to_string(), "line");
+        assert_eq!(LocationKind::Polygon.to_string(), "polygon");
+    }
+}

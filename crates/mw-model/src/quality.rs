@@ -1,0 +1,247 @@
+//! Quality of location information.
+//!
+//! §3.2 of the paper measures quality along three axes:
+//!
+//! 1. **Resolution** — the region the sensor says the object is in, either
+//!    a distance (GPS: "within 50 feet") or a symbolic region (card
+//!    reader: "somewhere inside this room").
+//! 2. **Confidence** — the probability the object really is in that region.
+//! 3. **Freshness** — how long ago the reading was taken; every reading has
+//!    an expiry time and a temporal degradation function.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Confidence, Glob, SimDuration, SimTime, TemporalDegradation};
+
+/// The resolution of a sensor reading (§3.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Resolution {
+    /// The object lies within this distance of the reported coordinate
+    /// (RF badges, GPS).
+    Distance(f64),
+    /// The object lies somewhere inside this symbolic region (card
+    /// readers, biometric logins).
+    Symbolic(Glob),
+}
+
+impl Resolution {
+    /// The error radius for distance resolutions, `None` for symbolic.
+    #[must_use]
+    pub fn radius(&self) -> Option<f64> {
+        match self {
+            Resolution::Distance(r) => Some(*r),
+            Resolution::Symbolic(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resolution::Distance(r) => write!(f, "±{r}"),
+            Resolution::Symbolic(g) => write!(f, "within {g}"),
+        }
+    }
+}
+
+/// The complete quality descriptor attached to a piece of location
+/// information.
+///
+/// # Example
+///
+/// ```
+/// use mw_model::{
+///     quality::{QualityOfLocation, Resolution},
+///     Confidence, SimDuration, SimTime, TemporalDegradation,
+/// };
+///
+/// let q = QualityOfLocation::new(
+///     Resolution::Distance(0.5),
+///     Confidence::new(0.95)?,
+///     SimTime::ZERO,
+///     SimDuration::from_secs(3.0),
+///     TemporalDegradation::Linear { lifetime: SimDuration::from_secs(3.0) },
+/// );
+/// assert!(!q.is_expired(SimTime::from_secs(2.0)));
+/// assert!(q.is_expired(SimTime::from_secs(3.5)));
+/// // Confidence decays with age.
+/// assert!(q.confidence_at(SimTime::from_secs(2.0)) < q.confidence_at(SimTime::ZERO));
+/// # Ok::<(), mw_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityOfLocation {
+    resolution: Resolution,
+    confidence: Confidence,
+    detected_at: SimTime,
+    time_to_live: SimDuration,
+    tdf: TemporalDegradation,
+}
+
+impl QualityOfLocation {
+    /// Creates a quality descriptor.
+    #[must_use]
+    pub fn new(
+        resolution: Resolution,
+        confidence: Confidence,
+        detected_at: SimTime,
+        time_to_live: SimDuration,
+        tdf: TemporalDegradation,
+    ) -> Self {
+        QualityOfLocation {
+            resolution,
+            confidence,
+            detected_at,
+            time_to_live,
+            tdf,
+        }
+    }
+
+    /// The reading's resolution.
+    #[must_use]
+    pub fn resolution(&self) -> &Resolution {
+        &self.resolution
+    }
+
+    /// The confidence at detection time, before any temporal degradation.
+    #[must_use]
+    pub fn base_confidence(&self) -> Confidence {
+        self.confidence
+    }
+
+    /// When the reading was taken.
+    #[must_use]
+    pub fn detected_at(&self) -> SimTime {
+        self.detected_at
+    }
+
+    /// How long the reading stays valid ("time-to-live" in Table 2's
+    /// companion sensor table).
+    #[must_use]
+    pub fn time_to_live(&self) -> SimDuration {
+        self.time_to_live
+    }
+
+    /// The temporal degradation function in force for this reading.
+    #[must_use]
+    pub fn tdf(&self) -> &TemporalDegradation {
+        &self.tdf
+    }
+
+    /// Age of the reading at `now`.
+    #[must_use]
+    pub fn freshness(&self, now: SimTime) -> SimDuration {
+        now.saturating_since(self.detected_at)
+    }
+
+    /// Returns `true` once the reading is older than its time-to-live.
+    ///
+    /// §5.2: "A card reader location value that is older than 10 seconds is
+    /// considered stale."
+    #[must_use]
+    pub fn is_expired(&self, now: SimTime) -> bool {
+        self.freshness(now) > self.time_to_live
+    }
+
+    /// Confidence after temporal degradation at `now`; zero once expired.
+    #[must_use]
+    pub fn confidence_at(&self, now: SimTime) -> Confidence {
+        if self.is_expired(now) {
+            return Confidence::ZERO;
+        }
+        self.tdf.apply(self.confidence, self.freshness(now))
+    }
+
+    /// Forces the reading to expire immediately (used by the biometric
+    /// adapter when a user manually logs out, §6).
+    pub fn expire_now(&mut self, now: SimTime) {
+        self.time_to_live = now.saturating_since(self.detected_at);
+        // Anything strictly after `now` counts as expired.
+        self.confidence = Confidence::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(ttl: f64) -> QualityOfLocation {
+        QualityOfLocation::new(
+            Resolution::Distance(1.0),
+            Confidence::new(0.9).unwrap(),
+            SimTime::from_secs(10.0),
+            SimDuration::from_secs(ttl),
+            TemporalDegradation::Linear {
+                lifetime: SimDuration::from_secs(ttl),
+            },
+        )
+    }
+
+    #[test]
+    fn freshness_counts_from_detection() {
+        let quality = q(60.0);
+        assert_eq!(
+            quality.freshness(SimTime::from_secs(25.0)),
+            SimDuration::from_secs(15.0)
+        );
+        // Before detection: clamped to zero.
+        assert_eq!(
+            quality.freshness(SimTime::from_secs(5.0)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn expiry() {
+        let quality = q(60.0);
+        assert!(!quality.is_expired(SimTime::from_secs(70.0)));
+        assert!(quality.is_expired(SimTime::from_secs(70.1)));
+    }
+
+    #[test]
+    fn confidence_decays_then_zeroes() {
+        let quality = q(100.0);
+        let at_detection = quality.confidence_at(SimTime::from_secs(10.0));
+        assert_eq!(at_detection.value(), 0.9);
+        let halfway = quality.confidence_at(SimTime::from_secs(60.0));
+        assert!((halfway.value() - 0.45).abs() < 1e-12);
+        let expired = quality.confidence_at(SimTime::from_secs(111.0));
+        assert_eq!(expired, Confidence::ZERO);
+    }
+
+    #[test]
+    fn expire_now_kills_reading() {
+        let mut quality = q(1000.0);
+        quality.expire_now(SimTime::from_secs(20.0));
+        assert!(quality.is_expired(SimTime::from_secs(20.1)));
+        assert_eq!(
+            quality.confidence_at(SimTime::from_secs(20.0)),
+            Confidence::ZERO
+        );
+    }
+
+    #[test]
+    fn resolution_radius() {
+        assert_eq!(Resolution::Distance(2.5).radius(), Some(2.5));
+        let sym = Resolution::Symbolic("SC/3/3105".parse().unwrap());
+        assert_eq!(sym.radius(), None);
+    }
+
+    #[test]
+    fn resolution_display() {
+        assert_eq!(Resolution::Distance(0.5).to_string(), "±0.5");
+        let sym = Resolution::Symbolic("SC/3/3105".parse().unwrap());
+        assert_eq!(sym.to_string(), "within SC/3/3105");
+    }
+
+    #[test]
+    fn accessors() {
+        let quality = q(60.0);
+        assert_eq!(quality.base_confidence().value(), 0.9);
+        assert_eq!(quality.detected_at(), SimTime::from_secs(10.0));
+        assert_eq!(quality.time_to_live(), SimDuration::from_secs(60.0));
+        assert!(matches!(quality.resolution(), Resolution::Distance(_)));
+        assert!(matches!(quality.tdf(), TemporalDegradation::Linear { .. }));
+    }
+}

@@ -1,0 +1,221 @@
+//! Temporal degradation functions.
+//!
+//! §3.2 of the paper: "our location model employs a temporal degradation
+//! function (tdf) that reduces the confidence of the location information
+//! from a particular sensor with time. `tdf_sensor-type : conf × time →
+//! conf`. The tdf may degrade the confidence in a continuous or in a
+//! discrete manner with time."
+//!
+//! A card-swipe reading is near-certain at swipe time and nearly worthless
+//! minutes later; a continuously-tracking UWB tag barely degrades between
+//! refreshes. Each sensor type picks the [`TemporalDegradation`] matching
+//! its physics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Confidence, SimDuration};
+
+/// A temporal degradation function `conf × time → conf`.
+///
+/// All variants are monotonically non-increasing in elapsed time and map a
+/// zero elapsed time to the original confidence.
+///
+/// # Example
+///
+/// ```
+/// use mw_model::{Confidence, SimDuration, TemporalDegradation};
+///
+/// let tdf = TemporalDegradation::ExponentialHalfLife {
+///     half_life: SimDuration::from_secs(60.0),
+/// };
+/// let c0 = Confidence::new(0.8)?;
+/// let c1 = tdf.apply(c0, SimDuration::from_secs(60.0));
+/// assert!((c1.value() - 0.4).abs() < 1e-12);
+/// # Ok::<(), mw_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+#[derive(Default)]
+pub enum TemporalDegradation {
+    /// No decay: the reading is as good as new until it expires.
+    #[default]
+    None,
+    /// Linear decay reaching zero at `lifetime`.
+    Linear {
+        /// Time at which confidence reaches zero.
+        lifetime: SimDuration,
+    },
+    /// Continuous exponential decay with the given half-life.
+    ExponentialHalfLife {
+        /// Time for confidence to halve.
+        half_life: SimDuration,
+    },
+    /// Discrete decay: multiply confidence by `factor` after each full
+    /// `step` elapsed.
+    Step {
+        /// Length of one step.
+        step: SimDuration,
+        /// Multiplier applied per step, in `[0, 1]`.
+        factor: f64,
+    },
+}
+
+impl TemporalDegradation {
+    /// Applies the degradation to `confidence` after `elapsed` time.
+    #[must_use]
+    pub fn apply(&self, confidence: Confidence, elapsed: SimDuration) -> Confidence {
+        let c = confidence.value();
+        let degraded = match self {
+            TemporalDegradation::None => c,
+            TemporalDegradation::Linear { lifetime } => {
+                if lifetime.as_secs() == 0.0 {
+                    if elapsed.as_secs() > 0.0 {
+                        0.0
+                    } else {
+                        c
+                    }
+                } else {
+                    c * (1.0 - (elapsed.as_secs() / lifetime.as_secs()).min(1.0))
+                }
+            }
+            TemporalDegradation::ExponentialHalfLife { half_life } => {
+                if half_life.as_secs() == 0.0 {
+                    if elapsed.as_secs() > 0.0 {
+                        0.0
+                    } else {
+                        c
+                    }
+                } else {
+                    c * 0.5f64.powf(elapsed.as_secs() / half_life.as_secs())
+                }
+            }
+            TemporalDegradation::Step { step, factor } => {
+                if step.as_secs() == 0.0 {
+                    c
+                } else {
+                    let steps = (elapsed.as_secs() / step.as_secs()).floor();
+                    c * factor.clamp(0.0, 1.0).powf(steps)
+                }
+            }
+        };
+        Confidence::saturating(degraded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(v: f64) -> Confidence {
+        Confidence::new(v).unwrap()
+    }
+
+    fn s(v: f64) -> SimDuration {
+        SimDuration::from_secs(v)
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let tdf = TemporalDegradation::None;
+        assert_eq!(tdf.apply(c(0.7), s(1e6)), c(0.7));
+    }
+
+    #[test]
+    fn zero_elapsed_is_identity_for_all() {
+        let tdfs = [
+            TemporalDegradation::None,
+            TemporalDegradation::Linear { lifetime: s(10.0) },
+            TemporalDegradation::ExponentialHalfLife { half_life: s(10.0) },
+            TemporalDegradation::Step {
+                step: s(10.0),
+                factor: 0.5,
+            },
+        ];
+        for tdf in tdfs {
+            assert_eq!(tdf.apply(c(0.9), SimDuration::ZERO), c(0.9), "{tdf:?}");
+        }
+    }
+
+    #[test]
+    fn linear_hits_zero_at_lifetime() {
+        let tdf = TemporalDegradation::Linear { lifetime: s(100.0) };
+        assert_eq!(tdf.apply(c(0.8), s(50.0)), c(0.4));
+        assert_eq!(tdf.apply(c(0.8), s(100.0)), c(0.0));
+        assert_eq!(tdf.apply(c(0.8), s(200.0)), c(0.0)); // clamped
+    }
+
+    #[test]
+    fn exponential_half_life() {
+        let tdf = TemporalDegradation::ExponentialHalfLife { half_life: s(30.0) };
+        let out = tdf.apply(c(1.0), s(30.0));
+        assert!((out.value() - 0.5).abs() < 1e-12);
+        let out2 = tdf.apply(c(1.0), s(60.0));
+        assert!((out2.value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_decay_is_discrete() {
+        let tdf = TemporalDegradation::Step {
+            step: s(10.0),
+            factor: 0.5,
+        };
+        // Within the first step: unchanged.
+        assert_eq!(tdf.apply(c(0.8), s(9.99)), c(0.8));
+        // After one full step: halved.
+        assert_eq!(tdf.apply(c(0.8), s(10.0)), c(0.4));
+        // After three steps: /8.
+        assert_eq!(tdf.apply(c(0.8), s(30.0)), c(0.1));
+    }
+
+    #[test]
+    fn monotone_non_increasing() {
+        let tdfs = [
+            TemporalDegradation::Linear { lifetime: s(50.0) },
+            TemporalDegradation::ExponentialHalfLife { half_life: s(20.0) },
+            TemporalDegradation::Step {
+                step: s(5.0),
+                factor: 0.8,
+            },
+        ];
+        for tdf in tdfs {
+            let mut prev = tdf.apply(c(1.0), SimDuration::ZERO);
+            for t in 1..100 {
+                let cur = tdf.apply(c(1.0), s(t as f64));
+                assert!(cur <= prev, "{tdf:?} increased at t={t}");
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_parameters_do_not_panic() {
+        let lin = TemporalDegradation::Linear {
+            lifetime: SimDuration::ZERO,
+        };
+        assert_eq!(lin.apply(c(0.9), s(1.0)), c(0.0));
+        assert_eq!(lin.apply(c(0.9), SimDuration::ZERO), c(0.9));
+        let exp = TemporalDegradation::ExponentialHalfLife {
+            half_life: SimDuration::ZERO,
+        };
+        assert_eq!(exp.apply(c(0.9), s(1.0)), c(0.0));
+        let step = TemporalDegradation::Step {
+            step: SimDuration::ZERO,
+            factor: 0.5,
+        };
+        assert_eq!(step.apply(c(0.9), s(1.0)), c(0.9));
+    }
+
+    #[test]
+    fn step_factor_is_clamped() {
+        let tdf = TemporalDegradation::Step {
+            step: s(1.0),
+            factor: 1.5, // invalid, clamped to 1.0
+        };
+        assert_eq!(tdf.apply(c(0.5), s(10.0)), c(0.5));
+    }
+
+    #[test]
+    fn default_is_none() {
+        assert_eq!(TemporalDegradation::default(), TemporalDegradation::None);
+    }
+}

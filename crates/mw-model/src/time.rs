@@ -1,0 +1,226 @@
+//! Deterministic simulation time.
+//!
+//! The paper's middleware stamps every sensor reading with a detection time
+//! and decays confidence as readings age (§3.2, §5.2). Real wall-clock time
+//! would make experiments irreproducible, so the whole workspace runs on an
+//! explicit simulated clock: [`SimTime`] is an instant, [`SimDuration`] an
+//! interval, both in seconds.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant on the simulation clock, in seconds since the start of the
+/// experiment.
+///
+/// # Example
+///
+/// ```
+/// use mw_model::{SimDuration, SimTime};
+///
+/// let t0 = SimTime::ZERO;
+/// let t1 = t0 + SimDuration::from_secs(30.0);
+/// assert_eq!(t1 - t0, SimDuration::from_secs(30.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The start of the experiment.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates an instant `secs` seconds after the start.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `secs` is not finite.
+    #[must_use]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite(), "time must be finite");
+        SimTime(secs)
+    }
+
+    /// Seconds since the start of the experiment.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Time elapsed since `earlier`; zero when `earlier` is in the future.
+    #[must_use]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration((self.0 - earlier.0).max(0.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    /// Signed difference is clamped at zero; simulation time only moves
+    /// forward.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.saturating_since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}s", self.0)
+    }
+}
+
+/// A non-negative interval on the simulation clock, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimDuration(f64);
+
+impl SimDuration {
+    /// The zero-length interval.
+    pub const ZERO: SimDuration = SimDuration(0.0);
+
+    /// Creates an interval of `secs` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `secs` is negative or not finite.
+    #[must_use]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and non-negative"
+        );
+        SimDuration(secs)
+    }
+
+    /// Creates an interval of `mins` minutes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mins` is negative or not finite.
+    #[must_use]
+    pub fn from_mins(mins: f64) -> Self {
+        SimDuration::from_secs(mins * 60.0)
+    }
+
+    /// Length in seconds.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    /// Saturating subtraction: never negative.
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration((self.0 * rhs).max(0.0))
+    }
+}
+
+impl Div<SimDuration> for SimDuration {
+    type Output = f64;
+    fn div(self, rhs: SimDuration) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10.0) + SimDuration::from_secs(5.0);
+        assert_eq!(t.as_secs(), 15.0);
+        assert_eq!(
+            SimTime::from_secs(20.0) - SimTime::from_secs(5.0),
+            SimDuration::from_secs(15.0)
+        );
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let d = SimTime::from_secs(5.0) - SimTime::from_secs(10.0);
+        assert_eq!(d, SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs(3.0) - SimDuration::from_secs(7.0),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn add_assign() {
+        let mut t = SimTime::ZERO;
+        t += SimDuration::from_secs(2.5);
+        t += SimDuration::from_secs(2.5);
+        assert_eq!(t.as_secs(), 5.0);
+    }
+
+    #[test]
+    fn from_mins() {
+        assert_eq!(SimDuration::from_mins(15.0).as_secs(), 900.0);
+    }
+
+    #[test]
+    fn duration_scaling_and_ratio() {
+        let d = SimDuration::from_secs(10.0);
+        assert_eq!((d * 0.5).as_secs(), 5.0);
+        assert_eq!(d / SimDuration::from_secs(4.0), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_panics() {
+        let _ = SimDuration::from_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_time_panics() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_secs(1.0) < SimTime::from_secs(2.0));
+        assert!(SimDuration::from_secs(1.0) < SimDuration::from_secs(2.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_secs(1.5).to_string(), "t=1.500s");
+        assert_eq!(SimDuration::from_secs(0.25).to_string(), "0.250s");
+    }
+}

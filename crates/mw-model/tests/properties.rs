@@ -1,0 +1,120 @@
+//! Property-based tests for the location model.
+
+use mw_model::{Confidence, Glob, Location, SimDuration, SimTime, TemporalDegradation};
+use proptest::prelude::*;
+
+fn segment_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_-]{0,8}"
+}
+
+fn glob_strategy() -> impl Strategy<Value = Glob> {
+    proptest::collection::vec(segment_strategy(), 1..6)
+        .prop_map(|segs| Glob::symbolic(segs).expect("valid segments"))
+}
+
+proptest! {
+    #[test]
+    fn glob_display_parse_roundtrip(g in glob_strategy()) {
+        let parsed: Glob = g.to_string().parse().unwrap();
+        prop_assert_eq!(g, parsed);
+    }
+
+    #[test]
+    fn glob_coordinate_roundtrip(
+        segs in proptest::collection::vec(segment_strategy(), 1..4),
+        x in -100i32..100, y in -100i32..100, z in -10i32..10,
+    ) {
+        // Integer coordinates survive float formatting exactly.
+        let s = format!("{}/({},{},{})", segs.join("/"), x, y, z);
+        let g: Glob = s.parse().unwrap();
+        let round: Glob = g.to_string().parse().unwrap();
+        prop_assert_eq!(g, round);
+    }
+
+    #[test]
+    fn truncation_is_prefix(g in glob_strategy(), depth in 0usize..8) {
+        let t = g.truncated(depth);
+        prop_assert!(t.is_prefix_of(&g));
+        prop_assert!(t.depth() <= g.depth());
+    }
+
+    #[test]
+    fn common_prefix_is_prefix_of_both(a in glob_strategy(), b in glob_strategy()) {
+        let c = a.common_prefix(&b);
+        if c.depth() > 0 {
+            prop_assert!(c.is_prefix_of(&a));
+            prop_assert!(c.is_prefix_of(&b));
+        }
+    }
+
+    #[test]
+    fn prefix_is_transitive(g in glob_strategy()) {
+        // Every ancestor chain member is a prefix of the full glob.
+        let mut cur = Some(g.clone());
+        while let Some(c) = cur {
+            prop_assert!(c.is_prefix_of(&g));
+            cur = c.parent();
+        }
+    }
+
+    #[test]
+    fn confidence_product_within_bounds(a in 0.0..=1.0f64, b in 0.0..=1.0f64) {
+        let p = Confidence::new(a).unwrap() * Confidence::new(b).unwrap();
+        prop_assert!((0.0..=1.0).contains(&p.value()));
+        prop_assert!(p.value() <= a && p.value() <= b);
+    }
+
+    #[test]
+    fn complement_involution(a in 0.0..=1.0f64) {
+        let c = Confidence::new(a).unwrap();
+        prop_assert!((c.complement().complement().value() - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tdf_output_in_range_and_monotone(
+        base in 0.0..=1.0f64,
+        life in 0.1..1000.0f64,
+        t1 in 0.0..2000.0f64,
+        dt in 0.0..500.0f64,
+    ) {
+        let tdfs = [
+            TemporalDegradation::None,
+            TemporalDegradation::Linear { lifetime: SimDuration::from_secs(life) },
+            TemporalDegradation::ExponentialHalfLife { half_life: SimDuration::from_secs(life) },
+            TemporalDegradation::Step { step: SimDuration::from_secs(life / 4.0), factor: 0.7 },
+        ];
+        let c = Confidence::new(base).unwrap();
+        for tdf in tdfs {
+            let early = tdf.apply(c, SimDuration::from_secs(t1));
+            let late = tdf.apply(c, SimDuration::from_secs(t1 + dt));
+            prop_assert!((0.0..=1.0).contains(&early.value()));
+            prop_assert!(late <= early, "{tdf:?} not monotone");
+            // Never exceeds the base confidence.
+            prop_assert!(early.value() <= base + 1e-12);
+        }
+    }
+
+    #[test]
+    fn sim_time_ordering_consistent(a in 0.0..1e6f64, b in 0.0..1e6f64) {
+        let ta = SimTime::from_secs(a);
+        let tb = SimTime::from_secs(b);
+        if a < b {
+            prop_assert!(ta < tb);
+            prop_assert_eq!((tb - ta).as_secs(), b - a);
+            prop_assert_eq!(ta - tb, SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn location_mbr_contains_all_leaf_points(
+        x0 in -50.0..50.0f64, y0 in -50.0..50.0f64,
+        x1 in -50.0..50.0f64, y1 in -50.0..50.0f64,
+    ) {
+        let s = format!("B/({x0},{y0}),({x1},{y1})");
+        let loc = Location::parse(&s).unwrap();
+        let mbr = loc.mbr().unwrap();
+        let seg = loc.as_segment().unwrap();
+        prop_assert!(mbr.contains_point(seg.a));
+        prop_assert!(mbr.contains_point(seg.b));
+    }
+}

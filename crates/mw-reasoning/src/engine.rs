@@ -1,0 +1,505 @@
+//! A composition-table inference engine for RCC-8 — the stand-in for the
+//! paper's XSB Prolog reasoner ("The Location Service reasons further
+//! about these relations using XSB Prolog").
+//!
+//! Facts are relations between named regions, asserted directly or
+//! computed from geometry. The engine runs the standard RCC-8
+//! *algebraic-closure* (path-consistency) algorithm: for every triple
+//! `(a, b, c)`, the possible relations of `(a, c)` are intersected with
+//! the composition of `(a, b)` and `(b, c)`, until a fixpoint. Empty sets
+//! signal contradictory facts.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use mw_geometry::Rect;
+
+use crate::{Rcc8, ReasoningError};
+
+/// A set of possible RCC-8 relations (a bitmask over [`Rcc8::ALL`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RelationSet(u8);
+
+impl RelationSet {
+    /// The empty set (a contradiction).
+    pub const EMPTY: RelationSet = RelationSet(0);
+    /// The full set (total ignorance).
+    pub const ALL: RelationSet = RelationSet(0xFF);
+
+    /// The singleton set for one relation.
+    #[must_use]
+    pub fn only(rel: Rcc8) -> Self {
+        RelationSet(1 << rel.index())
+    }
+
+    /// Builds a set from relations.
+    #[must_use]
+    pub fn from_relations(rels: &[Rcc8]) -> Self {
+        let mut s = RelationSet::EMPTY;
+        for &r in rels {
+            s.0 |= 1 << r.index();
+        }
+        s
+    }
+
+    /// Returns `true` when `rel` is possible.
+    #[must_use]
+    pub fn contains(self, rel: Rcc8) -> bool {
+        self.0 & (1 << rel.index()) != 0
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersect(self, other: RelationSet) -> RelationSet {
+        RelationSet(self.0 & other.0)
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: RelationSet) -> RelationSet {
+        RelationSet(self.0 | other.0)
+    }
+
+    /// Returns `true` for the empty (contradictory) set.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of possible relations.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// The single relation if exactly one remains.
+    #[must_use]
+    pub fn as_singleton(self) -> Option<Rcc8> {
+        if self.len() == 1 {
+            Rcc8::ALL.into_iter().find(|r| self.contains(*r))
+        } else {
+            None
+        }
+    }
+
+    /// The converse of every member.
+    #[must_use]
+    pub fn converse(self) -> RelationSet {
+        let mut out = RelationSet::EMPTY;
+        for r in Rcc8::ALL {
+            if self.contains(r) {
+                out.0 |= 1 << r.converse().index();
+            }
+        }
+        out
+    }
+
+    /// Iterates over the member relations.
+    pub fn iter(self) -> impl Iterator<Item = Rcc8> {
+        Rcc8::ALL.into_iter().filter(move |r| self.contains(*r))
+    }
+}
+
+impl fmt::Display for RelationSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for r in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{r}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Composition of two single relations per the standard RCC-8 table.
+#[must_use]
+pub(crate) fn compose(r1: Rcc8, r2: Rcc8) -> RelationSet {
+    use Rcc8::*;
+    // Shorthand sets.
+    let all = RelationSet::ALL;
+    let s = |rels: &[Rcc8]| RelationSet::from_relations(rels);
+    match (r1, r2) {
+        (Eq, x) => RelationSet::only(x),
+        (x, Eq) => RelationSet::only(x),
+
+        (Dc, Dc) => all,
+        (Dc, Ec) | (Dc, Po) | (Dc, Tpp) | (Dc, Ntpp) => s(&[Dc, Ec, Po, Tpp, Ntpp]),
+        (Dc, Tppi) | (Dc, Ntppi) => s(&[Dc]),
+
+        (Ec, Dc) => s(&[Dc, Ec, Po, Tppi, Ntppi]),
+        (Ec, Ec) => s(&[Dc, Ec, Po, Tpp, Tppi, Eq]),
+        (Ec, Po) => s(&[Dc, Ec, Po, Tpp, Ntpp]),
+        (Ec, Tpp) => s(&[Ec, Po, Tpp, Ntpp]),
+        (Ec, Ntpp) => s(&[Po, Tpp, Ntpp]),
+        (Ec, Tppi) => s(&[Dc, Ec]),
+        (Ec, Ntppi) => s(&[Dc]),
+
+        (Po, Dc) | (Po, Ec) => s(&[Dc, Ec, Po, Tppi, Ntppi]),
+        (Po, Po) => all,
+        (Po, Tpp) | (Po, Ntpp) => s(&[Po, Tpp, Ntpp]),
+        (Po, Tppi) | (Po, Ntppi) => s(&[Dc, Ec, Po, Tppi, Ntppi]),
+
+        (Tpp, Dc) => s(&[Dc]),
+        (Tpp, Ec) => s(&[Dc, Ec]),
+        (Tpp, Po) => s(&[Dc, Ec, Po, Tpp, Ntpp]),
+        (Tpp, Tpp) => s(&[Tpp, Ntpp]),
+        (Tpp, Ntpp) => s(&[Ntpp]),
+        (Tpp, Tppi) => s(&[Dc, Ec, Po, Tpp, Tppi, Eq]),
+        (Tpp, Ntppi) => s(&[Dc, Ec, Po, Tppi, Ntppi]),
+
+        (Ntpp, Dc) => s(&[Dc]),
+        (Ntpp, Ec) => s(&[Dc]),
+        (Ntpp, Po) => s(&[Dc, Ec, Po, Tpp, Ntpp]),
+        (Ntpp, Tpp) => s(&[Ntpp]),
+        (Ntpp, Ntpp) => s(&[Ntpp]),
+        (Ntpp, Tppi) => s(&[Dc, Ec, Po, Tpp, Ntpp]),
+        (Ntpp, Ntppi) => all,
+
+        (Tppi, Dc) => s(&[Dc, Ec, Po, Tppi, Ntppi]),
+        (Tppi, Ec) => s(&[Ec, Po, Tppi, Ntppi]),
+        (Tppi, Po) => s(&[Po, Tppi, Ntppi]),
+        (Tppi, Tpp) => s(&[Po, Tpp, Tppi, Eq]),
+        (Tppi, Ntpp) => s(&[Po, Tpp, Ntpp]),
+        (Tppi, Tppi) => s(&[Tppi, Ntppi]),
+        (Tppi, Ntppi) => s(&[Ntppi]),
+
+        (Ntppi, Dc) => s(&[Dc, Ec, Po, Tppi, Ntppi]),
+        (Ntppi, Ec) => s(&[Po, Tppi, Ntppi]),
+        (Ntppi, Po) => s(&[Po, Tppi, Ntppi]),
+        (Ntppi, Tpp) => s(&[Po, Tppi, Ntppi]),
+        (Ntppi, Ntpp) => s(&[Po, Tpp, Ntpp, Tppi, Ntppi, Eq]),
+        (Ntppi, Tppi) => s(&[Ntppi]),
+        (Ntppi, Ntppi) => s(&[Ntppi]),
+    }
+}
+
+/// Composition lifted to sets: union over member compositions.
+#[must_use]
+pub(crate) fn compose_sets(a: RelationSet, b: RelationSet) -> RelationSet {
+    let mut out = RelationSet::EMPTY;
+    for r1 in a.iter() {
+        for r2 in b.iter() {
+            out = out.union(compose(r1, r2));
+        }
+    }
+    out
+}
+
+/// The forward-chaining RCC-8 engine over named regions.
+#[derive(Debug, Clone, Default)]
+pub struct RccEngine {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+    /// Constraint matrix: `constraints[a][b]` is the set of possible
+    /// relations of `(a, b)`.
+    constraints: Vec<Vec<RelationSet>>,
+}
+
+impl RccEngine {
+    /// Creates an empty engine.
+    #[must_use]
+    pub fn new() -> Self {
+        RccEngine::default()
+    }
+
+    /// Declares a region (idempotent) and returns its internal index.
+    pub fn declare(&mut self, name: impl Into<String>) -> usize {
+        let name = name.into();
+        if let Some(&i) = self.index.get(&name) {
+            return i;
+        }
+        let i = self.names.len();
+        self.index.insert(name.clone(), i);
+        self.names.push(name);
+        for row in &mut self.constraints {
+            row.push(RelationSet::ALL);
+        }
+        self.constraints.push(vec![RelationSet::ALL; i + 1]);
+        self.constraints[i][i] = RelationSet::only(Rcc8::Eq);
+        i
+    }
+
+    /// Number of declared regions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` when no regions are declared.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Asserts that the relation of `(a, b)` is exactly `rel` (and `(b,
+    /// a)` its converse). Regions are declared on first use.
+    pub fn assert_fact(&mut self, a: &str, b: &str, rel: Rcc8) {
+        self.assert_possible(a, b, RelationSet::only(rel));
+    }
+
+    /// Asserts that the relation of `(a, b)` lies within `set`.
+    pub fn assert_possible(&mut self, a: &str, b: &str, set: RelationSet) {
+        let i = self.declare(a.to_string());
+        let j = self.declare(b.to_string());
+        self.constraints[i][j] = self.constraints[i][j].intersect(set);
+        self.constraints[j][i] = self.constraints[j][i].intersect(set.converse());
+    }
+
+    /// Declares a region with a rectangle, asserting exact relations to
+    /// every previously declared rectangle region.
+    pub fn declare_region(
+        &mut self,
+        name: impl Into<String>,
+        rect: Rect,
+        known: &[(String, Rect)],
+    ) {
+        let name = name.into();
+        self.declare(name.clone());
+        for (other, other_rect) in known {
+            let rel = Rcc8::of(&rect, other_rect);
+            self.assert_fact(&name, other, rel);
+        }
+    }
+
+    /// Runs algebraic closure to a fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReasoningError::Inconsistent`] when some pair's relation
+    /// set becomes empty.
+    pub fn close(&mut self) -> Result<(), ReasoningError> {
+        let n = self.names.len();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 0..n {
+                for a in 0..n {
+                    if a == b {
+                        continue;
+                    }
+                    for c in 0..n {
+                        if c == a || c == b {
+                            continue;
+                        }
+                        let composed = compose_sets(self.constraints[a][b], self.constraints[b][c]);
+                        let refined = self.constraints[a][c].intersect(composed);
+                        if refined != self.constraints[a][c] {
+                            if refined.is_empty() {
+                                return Err(ReasoningError::Inconsistent {
+                                    a: self.names[a].clone(),
+                                    b: self.names[c].clone(),
+                                });
+                            }
+                            self.constraints[a][c] = refined;
+                            self.constraints[c][a] = refined.converse();
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The possible relations between two regions (run [`RccEngine::close`]
+    /// first to get derived knowledge).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReasoningError::UnknownRegion`] for undeclared names.
+    pub fn query(&self, a: &str, b: &str) -> Result<RelationSet, ReasoningError> {
+        let i = *self
+            .index
+            .get(a)
+            .ok_or_else(|| ReasoningError::UnknownRegion { name: a.into() })?;
+        let j = *self
+            .index
+            .get(b)
+            .ok_or_else(|| ReasoningError::UnknownRegion { name: b.into() })?;
+        Ok(self.constraints[i][j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mw_geometry::Point;
+
+    fn r(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    #[test]
+    fn relation_set_basics() {
+        let s = RelationSet::from_relations(&[Rcc8::Dc, Rcc8::Ec]);
+        assert!(s.contains(Rcc8::Dc));
+        assert!(!s.contains(Rcc8::Po));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.union(RelationSet::only(Rcc8::Po)).len(), 3);
+        assert_eq!(
+            s.intersect(RelationSet::only(Rcc8::Ec)),
+            RelationSet::only(Rcc8::Ec)
+        );
+        assert_eq!(
+            RelationSet::only(Rcc8::Tpp).converse(),
+            RelationSet::only(Rcc8::Tppi)
+        );
+        assert_eq!(RelationSet::only(Rcc8::Dc).as_singleton(), Some(Rcc8::Dc));
+        assert_eq!(RelationSet::ALL.as_singleton(), None);
+        assert_eq!(s.to_string(), "{DC,EC}");
+    }
+
+    #[test]
+    fn composition_identity() {
+        for rel in Rcc8::ALL {
+            assert_eq!(compose(Rcc8::Eq, rel), RelationSet::only(rel));
+            assert_eq!(compose(rel, Rcc8::Eq), RelationSet::only(rel));
+        }
+    }
+
+    #[test]
+    fn composition_table_is_sound_for_rectangles() {
+        // Exhaustive-ish check: for a pool of rectangles, the observed
+        // relation of (a, c) must always be in compose(of(a,b), of(b,c)).
+        let pool = [
+            r(0.0, 0.0, 10.0, 10.0),
+            r(2.0, 2.0, 8.0, 8.0),
+            r(0.0, 2.0, 5.0, 8.0),
+            r(5.0, 5.0, 15.0, 15.0),
+            r(10.0, 0.0, 20.0, 10.0),
+            r(30.0, 30.0, 40.0, 40.0),
+            r(0.0, 0.0, 10.0, 10.0), // duplicate -> EQ pairs
+            r(4.0, 4.0, 6.0, 6.0),
+            r(0.0, 0.0, 40.0, 40.0),
+        ];
+        for a in &pool {
+            for b in &pool {
+                for c in &pool {
+                    let r1 = Rcc8::of(a, b);
+                    let r2 = Rcc8::of(b, c);
+                    let r3 = Rcc8::of(a, c);
+                    let allowed = compose(r1, r2);
+                    assert!(
+                        allowed.contains(r3),
+                        "table unsound: {r1} ∘ {r2} = {allowed} but observed {r3}\n a={a} b={b} c={c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn converse_consistency_of_table() {
+        // compose(r1, r2).converse() == compose(r2.conv, r1.conv).
+        for r1 in Rcc8::ALL {
+            for r2 in Rcc8::ALL {
+                let lhs = compose(r1, r2).converse();
+                let rhs = compose(r2.converse(), r1.converse());
+                assert_eq!(lhs, rhs, "converse mismatch for {r1}, {r2}");
+            }
+        }
+    }
+
+    #[test]
+    fn transitive_containment_is_derived() {
+        let mut e = RccEngine::new();
+        // desk NTPP room, room NTPP floor ⊢ desk NTPP floor.
+        e.assert_fact("desk", "room", Rcc8::Ntpp);
+        e.assert_fact("room", "floor", Rcc8::Ntpp);
+        e.close().unwrap();
+        assert_eq!(
+            e.query("desk", "floor").unwrap().as_singleton(),
+            Some(Rcc8::Ntpp)
+        );
+        // And the converse direction.
+        assert_eq!(
+            e.query("floor", "desk").unwrap().as_singleton(),
+            Some(Rcc8::Ntppi)
+        );
+    }
+
+    #[test]
+    fn disjoint_rooms_imply_disjoint_contents() {
+        let mut e = RccEngine::new();
+        e.assert_fact("printer", "roomA", Rcc8::Ntpp);
+        e.assert_fact("roomA", "roomB", Rcc8::Dc);
+        e.close().unwrap();
+        assert_eq!(
+            e.query("printer", "roomB").unwrap().as_singleton(),
+            Some(Rcc8::Dc)
+        );
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        let mut e = RccEngine::new();
+        e.assert_fact("a", "b", Rcc8::Ntpp);
+        e.assert_fact("b", "c", Rcc8::Ntpp);
+        e.assert_fact("a", "c", Rcc8::Dc); // contradicts derived NTPP
+        let err = e.close().unwrap_err();
+        assert!(matches!(err, ReasoningError::Inconsistent { .. }));
+    }
+
+    #[test]
+    fn declare_region_computes_geometry_facts() {
+        let mut e = RccEngine::new();
+        let floor = r(0.0, 0.0, 100.0, 100.0);
+        let room = r(10.0, 10.0, 30.0, 30.0);
+        let desk = r(12.0, 12.0, 16.0, 16.0);
+        let known = vec![("floor".to_string(), floor)];
+        e.declare_region("floor", floor, &[]);
+        e.declare_region("room", room, &known);
+        // desk only compared against the room…
+        let known2 = vec![("room".to_string(), room)];
+        e.declare_region("desk", desk, &known2);
+        e.close().unwrap();
+        // …but closure derives desk NTPP floor anyway.
+        assert_eq!(
+            e.query("desk", "floor").unwrap().as_singleton(),
+            Some(Rcc8::Ntpp)
+        );
+    }
+
+    #[test]
+    fn unknown_region_query_errors() {
+        let e = RccEngine::new();
+        assert!(matches!(
+            e.query("nope", "nada"),
+            Err(ReasoningError::UnknownRegion { .. })
+        ));
+    }
+
+    #[test]
+    fn declare_is_idempotent() {
+        let mut e = RccEngine::new();
+        let i1 = e.declare("room");
+        let i2 = e.declare("room");
+        assert_eq!(i1, i2);
+        assert_eq!(e.len(), 1);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn self_relation_is_eq() {
+        let mut e = RccEngine::new();
+        e.declare("a");
+        assert_eq!(e.query("a", "a").unwrap().as_singleton(), Some(Rcc8::Eq));
+    }
+
+    #[test]
+    fn partial_knowledge_stays_partial() {
+        let mut e = RccEngine::new();
+        e.assert_fact("a", "b", Rcc8::Ec);
+        e.assert_fact("b", "c", Rcc8::Ec);
+        e.close().unwrap();
+        let possible = e.query("a", "c").unwrap();
+        // EC ∘ EC leaves several possibilities open.
+        assert!(possible.len() > 1);
+        assert!(possible.contains(Rcc8::Dc));
+        assert!(possible.contains(Rcc8::Eq));
+    }
+}

@@ -1,0 +1,52 @@
+use std::fmt;
+
+/// Errors produced by the reasoning engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ReasoningError {
+    /// A region name was used before being declared.
+    UnknownRegion {
+        /// The missing region name.
+        name: String,
+    },
+    /// A route-graph node id does not exist.
+    UnknownNode {
+        /// The missing node index.
+        index: usize,
+    },
+    /// The asserted facts are contradictory (a pair's relation set became
+    /// empty during closure).
+    Inconsistent {
+        /// First region of the contradictory pair.
+        a: String,
+        /// Second region of the contradictory pair.
+        b: String,
+    },
+}
+
+impl fmt::Display for ReasoningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReasoningError::UnknownRegion { name } => write!(f, "unknown region {name:?}"),
+            ReasoningError::UnknownNode { index } => write!(f, "unknown route node {index}"),
+            ReasoningError::Inconsistent { a, b } => {
+                write!(f, "contradictory facts about regions {a:?} and {b:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReasoningError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ReasoningError::UnknownRegion {
+            name: "3105".into(),
+        };
+        assert!(e.to_string().contains("3105"));
+    }
+}

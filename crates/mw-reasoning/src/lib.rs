@@ -1,0 +1,31 @@
+//! Spatial reasoning for the MiddleWhere reproduction (§4.6.1, Figure 7).
+//!
+//! The paper grounds region-to-region relationships in the Region
+//! Connection Calculus (RCC-8) and extends the external-connection
+//! relation with passage information:
+//!
+//! - [`Rcc8`] — the eight base relations (DC, EC, PO, TPP, NTPP, TPPi,
+//!   NTPPi, EQ), computed in O(1) from rectangle vertices,
+//! - [`Passage`] / [`ec_refinement`] — the ECFP / ECRP / ECNP refinements
+//!   ("free passage", "restricted passage", "no passage") driven by door
+//!   and wall data,
+//! - [`RccEngine`] — a composition-table forward-chaining engine standing
+//!   in for the paper's XSB Prolog: derives possible relations between
+//!   regions that were never compared directly,
+//! - [`RouteGraph`] — rooms and corridors connected by portals; computes
+//!   the paper's *path-distance* (Dijkstra) alongside Euclidean distance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+mod passage;
+mod rcc;
+mod route;
+
+pub use engine::{RccEngine, RelationSet};
+pub use error::ReasoningError;
+pub use passage::{ec_refinement, EcKind, Passage, PassageKind};
+pub use rcc::Rcc8;
+pub use route::{RouteGraph, RouteNodeId};

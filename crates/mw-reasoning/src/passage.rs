@@ -1,0 +1,200 @@
+//! Passage-aware refinement of external connection (§4.6.1).
+//!
+//! "If two regions are externally connected, it means that it may be
+//! possible to go from one region to another. … However two adjacent
+//! rooms that just have a wall (with no door) in between are also
+//! externally connected. To make this distinction, we define three
+//! additional relations: ECFP (free passage), ECRP (restricted passage)
+//! and ECNP (no passage)."
+
+use mw_geometry::{Rect, Segment};
+
+use crate::Rcc8;
+
+/// How a passage can be traversed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PassageKind {
+    /// An always-open doorway or opening.
+    Free,
+    /// A door requiring a card swipe or key ("a door that is normally
+    /// locked and which requires either a card swipe or a key to open").
+    Restricted,
+}
+
+/// A passage (door, archway) in the building, as a line geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Passage {
+    /// The door's line segment in building coordinates.
+    pub segment: Segment,
+    /// Whether the passage is free or restricted.
+    pub kind: PassageKind,
+}
+
+impl Passage {
+    /// Creates a free passage along `segment`.
+    #[must_use]
+    pub fn free(segment: Segment) -> Self {
+        Passage {
+            segment,
+            kind: PassageKind::Free,
+        }
+    }
+
+    /// Creates a restricted passage along `segment`.
+    #[must_use]
+    pub fn restricted(segment: Segment) -> Self {
+        Passage {
+            segment,
+            kind: PassageKind::Restricted,
+        }
+    }
+
+    /// Returns `true` when the passage connects regions `a` and `b`: the
+    /// door segment touches both rectangles.
+    #[must_use]
+    pub fn connects(&self, a: &Rect, b: &Rect) -> bool {
+        // Inflate slightly so a door lying exactly on the shared wall
+        // registers against both rooms despite floating-point edges.
+        let a2 = a.inflated(1e-9);
+        let b2 = b.inflated(1e-9);
+        self.segment.intersects_rect(&a2) && self.segment.intersects_rect(&b2)
+    }
+}
+
+/// The refined external-connection relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EcKind {
+    /// `ECFP(a,b)`: externally connected with a free passage.
+    FreePassage,
+    /// `ECRP(a,b)`: externally connected with a restricted passage.
+    RestrictedPassage,
+    /// `ECNP(a,b)`: externally connected with no passage (a plain wall).
+    NoPassage,
+}
+
+/// Refines an EC relation between `a` and `b` using the building's
+/// passages. Returns `None` when `a` and `b` are not externally connected
+/// at all.
+///
+/// "the relations ECFP, ECRP and ECNP are evaluated by checking if there
+/// is a door or an obstruction like a wall between the regions." A free
+/// passage wins over a restricted one when both exist.
+#[must_use]
+pub fn ec_refinement(a: &Rect, b: &Rect, passages: &[Passage]) -> Option<EcKind> {
+    if Rcc8::of(a, b) != Rcc8::Ec {
+        return None;
+    }
+    let mut best: Option<EcKind> = None;
+    for p in passages {
+        if !p.connects(a, b) {
+            continue;
+        }
+        match p.kind {
+            PassageKind::Free => return Some(EcKind::FreePassage),
+            PassageKind::Restricted => best = Some(EcKind::RestrictedPassage),
+        }
+    }
+    Some(best.unwrap_or(EcKind::NoPassage))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mw_geometry::Point;
+
+    fn r(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    fn door(x0: f64, y0: f64, x1: f64, y1: f64, kind: PassageKind) -> Passage {
+        Passage {
+            segment: Segment::new(Point::new(x0, y0), Point::new(x1, y1)),
+            kind,
+        }
+    }
+
+    #[test]
+    fn rooms_with_door_are_ecfp() {
+        let room = r(330.0, 0.0, 350.0, 30.0);
+        let corridor = r(310.0, 0.0, 330.0, 30.0);
+        // A doorway on the shared wall x = 330.
+        let passages = vec![door(330.0, 10.0, 330.0, 14.0, PassageKind::Free)];
+        assert_eq!(
+            ec_refinement(&room, &corridor, &passages),
+            Some(EcKind::FreePassage)
+        );
+    }
+
+    #[test]
+    fn locked_door_is_ecrp() {
+        let room = r(330.0, 0.0, 350.0, 30.0);
+        let corridor = r(310.0, 0.0, 330.0, 30.0);
+        let passages = vec![door(330.0, 10.0, 330.0, 14.0, PassageKind::Restricted)];
+        assert_eq!(
+            ec_refinement(&room, &corridor, &passages),
+            Some(EcKind::RestrictedPassage)
+        );
+    }
+
+    #[test]
+    fn plain_wall_is_ecnp() {
+        let room = r(330.0, 0.0, 350.0, 30.0);
+        let corridor = r(310.0, 0.0, 330.0, 30.0);
+        assert_eq!(
+            ec_refinement(&room, &corridor, &[]),
+            Some(EcKind::NoPassage)
+        );
+    }
+
+    #[test]
+    fn free_passage_beats_restricted() {
+        let room = r(330.0, 0.0, 350.0, 30.0);
+        let corridor = r(310.0, 0.0, 330.0, 30.0);
+        let passages = vec![
+            door(330.0, 2.0, 330.0, 5.0, PassageKind::Restricted),
+            door(330.0, 20.0, 330.0, 24.0, PassageKind::Free),
+        ];
+        assert_eq!(
+            ec_refinement(&room, &corridor, &passages),
+            Some(EcKind::FreePassage)
+        );
+    }
+
+    #[test]
+    fn door_elsewhere_does_not_connect() {
+        let room = r(330.0, 0.0, 350.0, 30.0);
+        let corridor = r(310.0, 0.0, 330.0, 30.0);
+        // A door on the far wall of the room (x = 350) does not connect
+        // the pair.
+        let passages = vec![door(350.0, 10.0, 350.0, 14.0, PassageKind::Free)];
+        assert_eq!(
+            ec_refinement(&room, &corridor, &passages),
+            Some(EcKind::NoPassage)
+        );
+    }
+
+    #[test]
+    fn non_ec_regions_have_no_refinement() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        let far = r(100.0, 0.0, 110.0, 10.0);
+        assert_eq!(ec_refinement(&a, &far, &[]), None);
+        let overlapping = r(5.0, 0.0, 15.0, 10.0);
+        assert_eq!(ec_refinement(&a, &overlapping, &[]), None);
+    }
+
+    #[test]
+    fn passage_connects_is_symmetric() {
+        let room = r(330.0, 0.0, 350.0, 30.0);
+        let corridor = r(310.0, 0.0, 330.0, 30.0);
+        let p = door(330.0, 10.0, 330.0, 14.0, PassageKind::Free);
+        assert!(p.connects(&room, &corridor));
+        assert!(p.connects(&corridor, &room));
+    }
+
+    #[test]
+    fn constructors() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(0.0, 3.0));
+        assert_eq!(Passage::free(s).kind, PassageKind::Free);
+        assert_eq!(Passage::restricted(s).kind, PassageKind::Restricted);
+    }
+}

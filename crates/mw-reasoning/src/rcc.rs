@@ -1,0 +1,234 @@
+use std::fmt;
+
+use mw_geometry::{Rect, EPSILON};
+
+/// The eight base relations of the Region Connection Calculus (RCC-8),
+/// the paper's reference \[2\] and Figure 7.
+///
+/// "Any two regions are related by exactly one of these relations."
+///
+/// Regions are the paper's MBRs; all predicates are O(1) on rectangle
+/// vertices ("Evaluating the relation between 2 regions is just O(1)
+/// given the vertices of the two regions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rcc8 {
+    /// Dis-Connected: the regions share no point.
+    Dc,
+    /// Externally Connected: boundaries touch, interiors disjoint.
+    Ec,
+    /// Partial Overlap: interiors intersect, neither contains the other.
+    Po,
+    /// Tangential Proper Part: `a ⊂ b`, touching `b`'s boundary.
+    Tpp,
+    /// Non-Tangential Proper Part: `a ⊂ b`, away from `b`'s boundary.
+    Ntpp,
+    /// Inverse of [`Rcc8::Tpp`]: `b ⊂ a`, touching `a`'s boundary.
+    Tppi,
+    /// Inverse of [`Rcc8::Ntpp`]: `b ⊂ a`, away from `a`'s boundary.
+    Ntppi,
+    /// Equality.
+    Eq,
+}
+
+impl Rcc8 {
+    /// All eight relations, in a fixed order.
+    pub const ALL: [Rcc8; 8] = [
+        Rcc8::Dc,
+        Rcc8::Ec,
+        Rcc8::Po,
+        Rcc8::Tpp,
+        Rcc8::Ntpp,
+        Rcc8::Tppi,
+        Rcc8::Ntppi,
+        Rcc8::Eq,
+    ];
+
+    /// Computes the unique RCC-8 relation between rectangles `a` and `b`.
+    #[must_use]
+    pub fn of(a: &Rect, b: &Rect) -> Rcc8 {
+        if a == b {
+            return Rcc8::Eq;
+        }
+        if !a.intersects(b) {
+            return Rcc8::Dc;
+        }
+        let overlap = a.intersection(b).expect("rectangles intersect");
+        if overlap.area() <= 0.0 {
+            // Touching along an edge or at a corner.
+            return Rcc8::Ec;
+        }
+        if b.contains_rect_strict(a) {
+            return if touches_boundary(a, b) {
+                Rcc8::Tpp
+            } else {
+                Rcc8::Ntpp
+            };
+        }
+        if a.contains_rect_strict(b) {
+            return if touches_boundary(b, a) {
+                Rcc8::Tppi
+            } else {
+                Rcc8::Ntppi
+            };
+        }
+        Rcc8::Po
+    }
+
+    /// The converse relation: `of(a, b).converse() == of(b, a)`.
+    #[must_use]
+    pub fn converse(self) -> Rcc8 {
+        match self {
+            Rcc8::Tpp => Rcc8::Tppi,
+            Rcc8::Tppi => Rcc8::Tpp,
+            Rcc8::Ntpp => Rcc8::Ntppi,
+            Rcc8::Ntppi => Rcc8::Ntpp,
+            other => other,
+        }
+    }
+
+    /// Returns `true` for relations implying `a` is inside `b` (the
+    /// paper's *containment* object–region relation uses these).
+    #[must_use]
+    pub fn is_part_of(self) -> bool {
+        matches!(self, Rcc8::Tpp | Rcc8::Ntpp | Rcc8::Eq)
+    }
+
+    /// Returns `true` when the regions share at least one point.
+    #[must_use]
+    pub fn is_connected(self) -> bool {
+        self != Rcc8::Dc
+    }
+
+    /// Index of the relation within [`Rcc8::ALL`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Rcc8::Dc => 0,
+            Rcc8::Ec => 1,
+            Rcc8::Po => 2,
+            Rcc8::Tpp => 3,
+            Rcc8::Ntpp => 4,
+            Rcc8::Tppi => 5,
+            Rcc8::Ntppi => 6,
+            Rcc8::Eq => 7,
+        }
+    }
+}
+
+/// Does the inner rectangle (strictly contained in `outer`) touch
+/// `outer`'s boundary?
+fn touches_boundary(inner: &Rect, outer: &Rect) -> bool {
+    (inner.min().x - outer.min().x).abs() <= EPSILON
+        || (inner.min().y - outer.min().y).abs() <= EPSILON
+        || (inner.max().x - outer.max().x).abs() <= EPSILON
+        || (inner.max().y - outer.max().y).abs() <= EPSILON
+}
+
+impl fmt::Display for Rcc8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rcc8::Dc => "DC",
+            Rcc8::Ec => "EC",
+            Rcc8::Po => "PO",
+            Rcc8::Tpp => "TPP",
+            Rcc8::Ntpp => "NTPP",
+            Rcc8::Tppi => "TPPi",
+            Rcc8::Ntppi => "NTPPi",
+            Rcc8::Eq => "EQ",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mw_geometry::Point;
+
+    fn r(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    #[test]
+    fn figure_7_witnesses() {
+        let base = r(0.0, 0.0, 10.0, 10.0);
+        // DC: far away.
+        assert_eq!(Rcc8::of(&r(20.0, 0.0, 30.0, 10.0), &base), Rcc8::Dc);
+        // EC: sharing an edge.
+        assert_eq!(Rcc8::of(&r(10.0, 0.0, 20.0, 10.0), &base), Rcc8::Ec);
+        // PO: overlapping.
+        assert_eq!(Rcc8::of(&r(5.0, 5.0, 15.0, 15.0), &base), Rcc8::Po);
+        // TPP: inside touching the boundary.
+        assert_eq!(Rcc8::of(&r(0.0, 2.0, 5.0, 8.0), &base), Rcc8::Tpp);
+        // NTPP: strictly inside.
+        assert_eq!(Rcc8::of(&r(2.0, 2.0, 8.0, 8.0), &base), Rcc8::Ntpp);
+        // TPPi / NTPPi: the inverses.
+        assert_eq!(Rcc8::of(&base, &r(0.0, 2.0, 5.0, 8.0)), Rcc8::Tppi);
+        assert_eq!(Rcc8::of(&base, &r(2.0, 2.0, 8.0, 8.0)), Rcc8::Ntppi);
+        // EQ.
+        assert_eq!(Rcc8::of(&base, &base.clone()), Rcc8::Eq);
+    }
+
+    #[test]
+    fn corner_touch_is_ec() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        let b = r(10.0, 10.0, 20.0, 20.0);
+        assert_eq!(Rcc8::of(&a, &b), Rcc8::Ec);
+    }
+
+    #[test]
+    fn converse_is_involutive_and_correct() {
+        let pairs = [
+            (r(0.0, 0.0, 10.0, 10.0), r(20.0, 0.0, 30.0, 10.0)),
+            (r(0.0, 0.0, 10.0, 10.0), r(10.0, 0.0, 20.0, 10.0)),
+            (r(0.0, 0.0, 10.0, 10.0), r(5.0, 5.0, 15.0, 15.0)),
+            (r(0.0, 2.0, 5.0, 8.0), r(0.0, 0.0, 10.0, 10.0)),
+            (r(2.0, 2.0, 8.0, 8.0), r(0.0, 0.0, 10.0, 10.0)),
+            (r(0.0, 0.0, 10.0, 10.0), r(0.0, 0.0, 10.0, 10.0)),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(Rcc8::of(&a, &b).converse(), Rcc8::of(&b, &a));
+            assert_eq!(Rcc8::of(&a, &b).converse().converse(), Rcc8::of(&a, &b));
+        }
+    }
+
+    #[test]
+    fn relations_are_exhaustive_and_exclusive() {
+        // Every pair gets exactly one relation (by construction of `of`,
+        // but verify index() covers ALL).
+        for (i, rel) in Rcc8::ALL.iter().enumerate() {
+            assert_eq!(rel.index(), i);
+        }
+    }
+
+    #[test]
+    fn part_of_classification() {
+        assert!(Rcc8::Tpp.is_part_of());
+        assert!(Rcc8::Ntpp.is_part_of());
+        assert!(Rcc8::Eq.is_part_of());
+        assert!(!Rcc8::Po.is_part_of());
+        assert!(!Rcc8::Tppi.is_part_of());
+    }
+
+    #[test]
+    fn connectivity_classification() {
+        assert!(!Rcc8::Dc.is_connected());
+        for rel in Rcc8::ALL.iter().skip(1) {
+            assert!(rel.is_connected(), "{rel} should be connected");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Rcc8::Ntppi.to_string(), "NTPPi");
+        assert_eq!(Rcc8::Dc.to_string(), "DC");
+    }
+
+    #[test]
+    fn adjacent_rooms_sharing_wall_are_ec() {
+        // Rooms 3105 and LabCorridor from Table 1 share the x=330 wall.
+        let room_3105 = r(330.0, 0.0, 350.0, 30.0);
+        let corridor = r(310.0, 0.0, 330.0, 30.0);
+        assert_eq!(Rcc8::of(&room_3105, &corridor), Rcc8::Ec);
+    }
+}

@@ -1,0 +1,385 @@
+//! Route graph and path distance (§4.6.1).
+//!
+//! "Two kinds of distance measures are used: Euclidean, which is the
+//! shortest straight line distance between the centers of the regions,
+//! and path-distance, which is the length of a path from the center of
+//! one region to the center of the other region."
+//!
+//! Rooms and corridors become graph nodes; passages (doors) become edges.
+//! An edge's length is center → door-midpoint → center, so the path
+//! distance follows the actual walkable route. The paper's route-finding
+//! applications run on this graph.
+
+use std::collections::BinaryHeap;
+
+use mw_geometry::{Point, Rect};
+
+use crate::{Passage, PassageKind, ReasoningError};
+
+/// Identifier of a node (region) in a [`RouteGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RouteNodeId(usize);
+
+impl RouteNodeId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RouteNode {
+    name: String,
+    region: Rect,
+    /// `(neighbour, door midpoint, edge length, restricted)`.
+    edges: Vec<(RouteNodeId, Point, f64, bool)>,
+}
+
+/// A graph of walkable regions connected by passages.
+#[derive(Debug, Clone, Default)]
+pub struct RouteGraph {
+    nodes: Vec<RouteNode>,
+}
+
+impl RouteGraph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        RouteGraph::default()
+    }
+
+    /// Adds a region (room or corridor) and returns its node id.
+    pub fn add_region(&mut self, name: impl Into<String>, region: Rect) -> RouteNodeId {
+        let id = RouteNodeId(self.nodes.len());
+        self.nodes.push(RouteNode {
+            name: name.into(),
+            region,
+            edges: Vec::new(),
+        });
+        id
+    }
+
+    /// Number of regions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` when the graph has no regions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Looks up a region by name.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<RouteNodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(RouteNodeId)
+    }
+
+    /// The region rectangle of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReasoningError::UnknownNode`] for a stale id.
+    pub fn region(&self, id: RouteNodeId) -> Result<Rect, ReasoningError> {
+        self.node(id).map(|n| n.region)
+    }
+
+    /// The region name of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReasoningError::UnknownNode`] for a stale id.
+    pub fn name(&self, id: RouteNodeId) -> Result<&str, ReasoningError> {
+        self.node(id).map(|n| n.name.as_str())
+    }
+
+    /// The node containing point `p`, if any (first match wins).
+    #[must_use]
+    pub fn locate(&self, p: Point) -> Option<RouteNodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.region.contains_point(p))
+            .map(RouteNodeId)
+    }
+
+    /// Connects two regions through `passage`. The edge length is the
+    /// walking distance center → door midpoint → center.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReasoningError::UnknownNode`] for stale ids.
+    pub fn connect(
+        &mut self,
+        a: RouteNodeId,
+        b: RouteNodeId,
+        passage: &Passage,
+    ) -> Result<(), ReasoningError> {
+        let ra = self.node(a)?.region;
+        let rb = self.node(b)?.region;
+        let door = passage.segment.midpoint();
+        let length = ra.center().distance(door) + door.distance(rb.center());
+        let restricted = passage.kind == PassageKind::Restricted;
+        self.nodes[a.0].edges.push((b, door, length, restricted));
+        self.nodes[b.0].edges.push((a, door, length, restricted));
+        Ok(())
+    }
+
+    /// Straight-line distance between two regions' centers (the paper's
+    /// Euclidean distance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReasoningError::UnknownNode`] for stale ids.
+    pub fn euclidean_distance(
+        &self,
+        a: RouteNodeId,
+        b: RouteNodeId,
+    ) -> Result<f64, ReasoningError> {
+        Ok(self
+            .node(a)?
+            .region
+            .center()
+            .distance(self.node(b)?.region.center()))
+    }
+
+    /// Shortest walkable distance between two regions' centers (the
+    /// paper's path-distance), optionally traversing restricted passages.
+    ///
+    /// Returns `None` when no route exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReasoningError::UnknownNode`] for stale ids.
+    pub fn path_distance(
+        &self,
+        from: RouteNodeId,
+        to: RouteNodeId,
+        allow_restricted: bool,
+    ) -> Result<Option<f64>, ReasoningError> {
+        Ok(self
+            .shortest_path(from, to, allow_restricted)?
+            .map(|(d, _)| d))
+    }
+
+    /// Dijkstra over the passage graph; returns the total distance and
+    /// the region sequence, or `None` when unreachable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReasoningError::UnknownNode`] for stale ids.
+    pub fn shortest_path(
+        &self,
+        from: RouteNodeId,
+        to: RouteNodeId,
+        allow_restricted: bool,
+    ) -> Result<Option<(f64, Vec<RouteNodeId>)>, ReasoningError> {
+        self.node(from)?;
+        self.node(to)?;
+        let n = self.nodes.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![usize::MAX; n];
+        dist[from.0] = 0.0;
+        // Max-heap on negated distance.
+        let mut heap: BinaryHeap<(std::cmp::Reverse<OrderedF64>, usize)> = BinaryHeap::new();
+        heap.push((std::cmp::Reverse(OrderedF64(0.0)), from.0));
+        while let Some((std::cmp::Reverse(OrderedF64(d)), u)) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            if u == to.0 {
+                break;
+            }
+            for &(v, _, len, restricted) in &self.nodes[u].edges {
+                if restricted && !allow_restricted {
+                    continue;
+                }
+                let nd = d + len;
+                if nd < dist[v.0] {
+                    dist[v.0] = nd;
+                    prev[v.0] = u;
+                    heap.push((std::cmp::Reverse(OrderedF64(nd)), v.0));
+                }
+            }
+        }
+        if dist[to.0].is_infinite() {
+            return Ok(None);
+        }
+        let mut path = vec![to.0];
+        let mut cur = to.0;
+        while cur != from.0 {
+            cur = prev[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Ok(Some((
+            dist[to.0],
+            path.into_iter().map(RouteNodeId).collect(),
+        )))
+    }
+
+    fn node(&self, id: RouteNodeId) -> Result<&RouteNode, ReasoningError> {
+        self.nodes
+            .get(id.0)
+            .ok_or(ReasoningError::UnknownNode { index: id.0 })
+    }
+}
+
+/// f64 wrapper with a total order for the heap (no NaNs enter the graph).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mw_geometry::Segment;
+
+    fn r(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    fn door_at(x: f64, y0: f64, y1: f64, kind: PassageKind) -> Passage {
+        Passage {
+            segment: Segment::new(Point::new(x, y0), Point::new(x, y1)),
+            kind,
+        }
+    }
+
+    /// Three rooms along a corridor:
+    /// roomA (0..20) | roomB (20..40) | roomC (40..60), all 0..20 in y.
+    fn corridor_graph() -> (RouteGraph, RouteNodeId, RouteNodeId, RouteNodeId) {
+        let mut g = RouteGraph::new();
+        let a = g.add_region("roomA", r(0.0, 0.0, 20.0, 20.0));
+        let b = g.add_region("roomB", r(20.0, 0.0, 40.0, 20.0));
+        let c = g.add_region("roomC", r(40.0, 0.0, 60.0, 20.0));
+        g.connect(a, b, &door_at(20.0, 8.0, 12.0, PassageKind::Free))
+            .unwrap();
+        g.connect(b, c, &door_at(40.0, 8.0, 12.0, PassageKind::Free))
+            .unwrap();
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn euclidean_vs_path_distance() {
+        let (g, a, _, c) = corridor_graph();
+        let euclid = g.euclidean_distance(a, c).unwrap();
+        assert_eq!(euclid, 40.0); // centers at (10,10) and (50,10)
+        let path = g.path_distance(a, c, false).unwrap().unwrap();
+        // a-center(10,10) → door(20,10) → b-center(30,10) → door(40,10)
+        // → c-center(50,10): 10 + 10 + 10 + 10 = 40.
+        assert_eq!(path, 40.0);
+        // With an off-center door the path is longer than Euclidean.
+        let mut g2 = RouteGraph::new();
+        let a2 = g2.add_region("a", r(0.0, 0.0, 20.0, 20.0));
+        let b2 = g2.add_region("b", r(20.0, 0.0, 40.0, 20.0));
+        g2.connect(a2, b2, &door_at(20.0, 18.0, 20.0, PassageKind::Free))
+            .unwrap();
+        let path2 = g2.path_distance(a2, b2, false).unwrap().unwrap();
+        assert!(path2 > g2.euclidean_distance(a2, b2).unwrap());
+    }
+
+    #[test]
+    fn shortest_path_sequence() {
+        let (g, a, b, c) = corridor_graph();
+        let (_, path) = g.shortest_path(a, c, false).unwrap().unwrap();
+        assert_eq!(path, vec![a, b, c]);
+    }
+
+    #[test]
+    fn unreachable_room() {
+        let mut g = RouteGraph::new();
+        let a = g.add_region("a", r(0.0, 0.0, 10.0, 10.0));
+        let b = g.add_region("b", r(100.0, 0.0, 110.0, 10.0));
+        assert_eq!(g.path_distance(a, b, true).unwrap(), None);
+        assert!(g.shortest_path(a, b, true).unwrap().is_none());
+    }
+
+    #[test]
+    fn restricted_passage_gating() {
+        let mut g = RouteGraph::new();
+        let a = g.add_region("lobby", r(0.0, 0.0, 20.0, 20.0));
+        let b = g.add_region("lab", r(20.0, 0.0, 40.0, 20.0));
+        g.connect(a, b, &door_at(20.0, 8.0, 12.0, PassageKind::Restricted))
+            .unwrap();
+        // Without a key there is no route.
+        assert_eq!(g.path_distance(a, b, false).unwrap(), None);
+        // With a card swipe the door opens.
+        assert!(g.path_distance(a, b, true).unwrap().is_some());
+    }
+
+    #[test]
+    fn restricted_detour_vs_free_long_way() {
+        // Square of rooms: a-b locked direct door; a-c-b free but longer.
+        let mut g = RouteGraph::new();
+        let a = g.add_region("a", r(0.0, 0.0, 10.0, 10.0));
+        let b = g.add_region("b", r(10.0, 0.0, 20.0, 10.0));
+        let c = g.add_region("c", r(0.0, 10.0, 20.0, 20.0));
+        g.connect(a, b, &door_at(10.0, 4.0, 6.0, PassageKind::Restricted))
+            .unwrap();
+        let top_door_a = Passage::free(Segment::new(Point::new(4.0, 10.0), Point::new(6.0, 10.0)));
+        let top_door_b =
+            Passage::free(Segment::new(Point::new(14.0, 10.0), Point::new(16.0, 10.0)));
+        g.connect(a, c, &top_door_a).unwrap();
+        g.connect(c, b, &top_door_b).unwrap();
+        let without_key = g.path_distance(a, b, false).unwrap().unwrap();
+        let with_key = g.path_distance(a, b, true).unwrap().unwrap();
+        assert!(with_key < without_key);
+        let (_, path) = g.shortest_path(a, b, false).unwrap().unwrap();
+        assert_eq!(path, vec![a, c, b]);
+    }
+
+    #[test]
+    fn locate_point() {
+        let (g, a, b, _) = corridor_graph();
+        assert_eq!(g.locate(Point::new(5.0, 5.0)), Some(a));
+        assert_eq!(g.locate(Point::new(25.0, 5.0)), Some(b));
+        assert_eq!(g.locate(Point::new(500.0, 500.0)), None);
+    }
+
+    #[test]
+    fn find_by_name_and_accessors() {
+        let (g, a, _, _) = corridor_graph();
+        assert_eq!(g.find("roomA"), Some(a));
+        assert_eq!(g.find("nope"), None);
+        assert_eq!(g.name(a).unwrap(), "roomA");
+        assert_eq!(g.region(a).unwrap(), r(0.0, 0.0, 20.0, 20.0));
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn stale_id_errors() {
+        let g = RouteGraph::new();
+        let bogus = RouteNodeId(7);
+        assert!(g.region(bogus).is_err());
+        assert!(g.euclidean_distance(bogus, bogus).is_err());
+    }
+
+    #[test]
+    fn path_to_self_is_zero() {
+        let (g, a, _, _) = corridor_graph();
+        assert_eq!(g.path_distance(a, a, false).unwrap(), Some(0.0));
+        let (d, path) = g.shortest_path(a, a, false).unwrap().unwrap();
+        assert_eq!(d, 0.0);
+        assert_eq!(path, vec![a]);
+    }
+}

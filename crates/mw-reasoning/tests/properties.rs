@@ -1,0 +1,147 @@
+//! Property-based tests for RCC-8 and the route graph.
+
+use mw_geometry::{Point, Rect, Segment};
+use mw_reasoning::{ec_refinement, EcKind, Passage, Rcc8, RccEngine, RouteGraph};
+use proptest::prelude::*;
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (0.0..90.0f64, 0.0..90.0f64, 1.0..30.0f64, 1.0..30.0f64)
+        .prop_map(|(x, y, w, h)| Rect::new(Point::new(x, y), Point::new(x + w, y + h)))
+}
+
+/// Rectangles snapped to an integer grid so touching configurations (EC,
+/// TPP) actually occur.
+fn grid_rect() -> impl Strategy<Value = Rect> {
+    (0i32..10, 0i32..10, 1i32..6, 1i32..6).prop_map(|(x, y, w, h)| {
+        Rect::new(
+            Point::new(x as f64, y as f64),
+            Point::new((x + w) as f64, (y + h) as f64),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn rcc8_converse_law(a in rect(), b in rect()) {
+        prop_assert_eq!(Rcc8::of(&a, &b).converse(), Rcc8::of(&b, &a));
+    }
+
+    #[test]
+    fn rcc8_self_relation_is_eq(a in rect()) {
+        prop_assert_eq!(Rcc8::of(&a, &a), Rcc8::Eq);
+    }
+
+    #[test]
+    fn rcc8_part_of_agrees_with_containment(a in grid_rect(), b in grid_rect()) {
+        let rel = Rcc8::of(&a, &b);
+        if rel.is_part_of() {
+            prop_assert!(b.contains_rect(&a));
+        }
+        if rel == Rcc8::Dc {
+            prop_assert!(!a.intersects(&b));
+        } else {
+            prop_assert!(a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn composition_table_sound_on_grid(a in grid_rect(), b in grid_rect(), c in grid_rect()) {
+        // Whatever geometry says about (a, c) must be allowed by the
+        // composition of (a, b) and (b, c).
+        let mut engine = RccEngine::new();
+        engine.assert_fact("a", "b", Rcc8::of(&a, &b));
+        engine.assert_fact("b", "c", Rcc8::of(&b, &c));
+        engine.close().unwrap();
+        let derived = engine.query("a", "c").unwrap();
+        prop_assert!(
+            derived.contains(Rcc8::of(&a, &c)),
+            "derived {derived} does not allow observed {}",
+            Rcc8::of(&a, &c)
+        );
+    }
+
+    #[test]
+    fn closure_of_full_geometry_is_consistent(
+        rects in proptest::collection::vec(grid_rect(), 2..7),
+    ) {
+        // Asserting the exact relation of every pair must never yield a
+        // contradiction: geometry is a model of RCC-8.
+        let mut engine = RccEngine::new();
+        for (i, a) in rects.iter().enumerate() {
+            for (j, b) in rects.iter().enumerate() {
+                if i < j {
+                    engine.assert_fact(&format!("r{i}"), &format!("r{j}"), Rcc8::of(a, b));
+                }
+            }
+        }
+        prop_assert!(engine.close().is_ok());
+        // After closure every asserted pair is still a singleton matching
+        // geometry.
+        for (i, a) in rects.iter().enumerate() {
+            for (j, b) in rects.iter().enumerate() {
+                if i < j {
+                    let got = engine.query(&format!("r{i}"), &format!("r{j}")).unwrap();
+                    prop_assert_eq!(got.as_singleton(), Some(Rcc8::of(a, b)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ec_refinement_only_for_ec(a in grid_rect(), b in grid_rect()) {
+        let refined = ec_refinement(&a, &b, &[]);
+        if Rcc8::of(&a, &b) == Rcc8::Ec {
+            prop_assert_eq!(refined, Some(EcKind::NoPassage));
+        } else {
+            prop_assert_eq!(refined, None);
+        }
+    }
+
+    #[test]
+    fn path_distance_at_least_euclidean(
+        doors_y in proptest::collection::vec(2.0..18.0f64, 1..4),
+    ) {
+        // A row of rooms, each connected to the next by one door.
+        let mut g = RouteGraph::new();
+        let n = doors_y.len() + 1;
+        let ids: Vec<_> = (0..n)
+            .map(|i| {
+                let x0 = i as f64 * 20.0;
+                g.add_region(format!("room{i}"), Rect::new(Point::new(x0, 0.0), Point::new(x0 + 20.0, 20.0)))
+            })
+            .collect();
+        for (i, &y) in doors_y.iter().enumerate() {
+            let x = (i + 1) as f64 * 20.0;
+            let door = Passage::free(Segment::new(Point::new(x, y - 1.0), Point::new(x, y + 1.0)));
+            g.connect(ids[i], ids[i + 1], &door).unwrap();
+        }
+        let first = ids[0];
+        let last = ids[n - 1];
+        let path = g.path_distance(first, last, false).unwrap().unwrap();
+        let euclid = g.euclidean_distance(first, last).unwrap();
+        prop_assert!(path >= euclid - 1e-9, "path {path} < euclid {euclid}");
+        // The path visits every room in order.
+        let (_, seq) = g.shortest_path(first, last, false).unwrap().unwrap();
+        prop_assert_eq!(seq, ids);
+    }
+
+    #[test]
+    fn path_distance_symmetric(doors_y in proptest::collection::vec(2.0..18.0f64, 1..4)) {
+        let mut g = RouteGraph::new();
+        let n = doors_y.len() + 1;
+        let ids: Vec<_> = (0..n)
+            .map(|i| {
+                let x0 = i as f64 * 20.0;
+                g.add_region(format!("room{i}"), Rect::new(Point::new(x0, 0.0), Point::new(x0 + 20.0, 20.0)))
+            })
+            .collect();
+        for (i, &y) in doors_y.iter().enumerate() {
+            let x = (i + 1) as f64 * 20.0;
+            let door = Passage::free(Segment::new(Point::new(x, y - 1.0), Point::new(x, y + 1.0)));
+            g.connect(ids[i], ids[i + 1], &door).unwrap();
+        }
+        let d1 = g.path_distance(ids[0], ids[n - 1], false).unwrap().unwrap();
+        let d2 = g.path_distance(ids[n - 1], ids[0], false).unwrap().unwrap();
+        prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+}

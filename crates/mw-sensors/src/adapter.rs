@@ -1,0 +1,195 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use mw_geometry::Point;
+use mw_model::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::{MobileObjectId, SensorId, SensorReading, SensorType};
+
+/// Identifier of an adapter instance.
+///
+/// §6: "Every adapter has an *adapter ID* and an *adapter type*. The
+/// adapter ID uniquely identifies a particular adapter. The adapter type
+/// classifies adapter objects based on the location technology they wrap."
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AdapterId(String);
+
+impl AdapterId {
+    /// Creates an adapter id.
+    #[must_use]
+    pub fn new(id: impl Into<String>) -> Self {
+        AdapterId(id.into())
+    }
+
+    /// The id string.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for AdapterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for AdapterId {
+    fn from(s: &str) -> Self {
+        AdapterId::new(s)
+    }
+}
+
+/// A request to drop previously-reported location information.
+///
+/// §6: when a user logs out of a biometric device, "the adapter also
+/// forces all location information relating to that user and obtained from
+/// the same device to expire immediately."
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Revocation {
+    /// The sensor whose earlier readings must be dropped.
+    pub sensor_id: SensorId,
+    /// The object whose readings are revoked.
+    pub object: MobileObjectId,
+}
+
+/// What an adapter emits for one native event: zero or more readings plus
+/// zero or more revocations of earlier readings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdapterOutput {
+    /// New readings in the common representation.
+    pub readings: Vec<SensorReading>,
+    /// Earlier readings to expire immediately.
+    pub revocations: Vec<Revocation>,
+}
+
+impl AdapterOutput {
+    /// An output with no readings or revocations.
+    #[must_use]
+    pub fn empty() -> Self {
+        AdapterOutput::default()
+    }
+
+    /// An output carrying exactly one reading.
+    #[must_use]
+    pub fn single(reading: SensorReading) -> Self {
+        AdapterOutput {
+            readings: vec![reading],
+            revocations: Vec::new(),
+        }
+    }
+}
+
+/// A location adapter: the device-driver-like wrapper that translates one
+/// technology's native events into the common [`SensorReading`] format.
+///
+/// The original system implements adapters as CORBA client wrappers; the
+/// translation logic — calibration of `p`/`q`, region construction, TTL
+/// and degradation policy — is what this trait captures.
+pub trait Adapter {
+    /// The native event type of the wrapped technology.
+    type Event;
+
+    /// The unique id of this adapter instance.
+    fn adapter_id(&self) -> &AdapterId;
+
+    /// The technology this adapter wraps.
+    fn sensor_type(&self) -> SensorType;
+
+    /// Translates one native event into common-format output.
+    fn translate(&mut self, event: Self::Event, now: SimTime) -> AdapterOutput;
+}
+
+/// Tracks whether a mobile object's reported position is moving over time.
+///
+/// The conflict-resolution rule of §4.1.2 prefers moving rectangles ("a
+/// moving rectangle implies that the person is carrying a location device").
+/// Adapters feed each report's center into the tracker and tag readings
+/// with the verdict.
+#[derive(Debug, Clone, Default)]
+pub struct MovementTracker {
+    threshold: f64,
+    last: HashMap<MobileObjectId, Point>,
+}
+
+impl MovementTracker {
+    /// Creates a tracker that deems an object moving when consecutive
+    /// reports differ by more than `threshold` distance units.
+    #[must_use]
+    pub fn new(threshold: f64) -> Self {
+        MovementTracker {
+            threshold,
+            last: HashMap::new(),
+        }
+    }
+
+    /// Records a report of `object` at `center`; returns `true` when the
+    /// object moved more than the threshold since its previous report.
+    /// The first report of an object is not "moving".
+    pub fn observe(&mut self, object: &MobileObjectId, center: Point) -> bool {
+        let moving = self
+            .last
+            .get(object)
+            .is_some_and(|prev| prev.distance(center) > self.threshold);
+        self.last.insert(object.clone(), center);
+        moving
+    }
+
+    /// Forgets an object's history (e.g. after a logout).
+    pub fn forget(&mut self, object: &MobileObjectId) {
+        self.last.remove(object);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn movement_tracker_detects_motion() {
+        let mut t = MovementTracker::new(0.5);
+        let obj: MobileObjectId = "alice-badge".into();
+        // First observation: not moving.
+        assert!(!t.observe(&obj, Point::new(0.0, 0.0)));
+        // Small jitter below threshold: not moving.
+        assert!(!t.observe(&obj, Point::new(0.2, 0.0)));
+        // Real displacement: moving.
+        assert!(t.observe(&obj, Point::new(3.0, 0.0)));
+        // Stationary again.
+        assert!(!t.observe(&obj, Point::new(3.0, 0.0)));
+    }
+
+    #[test]
+    fn movement_tracker_is_per_object() {
+        let mut t = MovementTracker::new(0.1);
+        let a: MobileObjectId = "a".into();
+        let b: MobileObjectId = "b".into();
+        t.observe(&a, Point::new(0.0, 0.0));
+        // b's first report is independent of a's history.
+        assert!(!t.observe(&b, Point::new(100.0, 100.0)));
+        assert!(t.observe(&a, Point::new(5.0, 5.0)));
+    }
+
+    #[test]
+    fn forget_resets_history() {
+        let mut t = MovementTracker::new(0.1);
+        let a: MobileObjectId = "a".into();
+        t.observe(&a, Point::new(0.0, 0.0));
+        t.forget(&a);
+        assert!(!t.observe(&a, Point::new(50.0, 50.0)));
+    }
+
+    #[test]
+    fn adapter_output_constructors() {
+        assert!(AdapterOutput::empty().readings.is_empty());
+        assert!(AdapterOutput::empty().revocations.is_empty());
+    }
+
+    #[test]
+    fn adapter_id_display() {
+        let id: AdapterId = "rf-adapter-1".into();
+        assert_eq!(id.to_string(), "rf-adapter-1");
+        assert_eq!(id.as_str(), "rf-adapter-1");
+    }
+}

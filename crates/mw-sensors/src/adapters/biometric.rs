@@ -1,0 +1,255 @@
+use mw_geometry::{Circle, Point, Rect};
+use mw_model::{Glob, SimDuration, SimTime, TemporalDegradation};
+
+use crate::{
+    Adapter, AdapterId, AdapterOutput, MobileObjectId, Revocation, SensorId, SensorReading,
+    SensorSpec, SensorType,
+};
+
+/// Radius of the short-term presence region around a biometric device:
+/// "define a small area (in our case, a circle centered at the device
+/// position with a radius of 2 feet)".
+pub const BIOMETRIC_SHORT_RADIUS_FT: f64 = 2.0;
+
+/// Expiry of the short-term login reading (30 s per §6).
+pub const BIOMETRIC_SHORT_TTL_SECS: f64 = 30.0;
+
+/// Expiry of the long-term login reading: "T = 15 minutes is reasonable".
+pub const BIOMETRIC_LONG_TTL_SECS: f64 = 15.0 * 60.0;
+
+/// Expiry of the logout reading (15 s per §6).
+pub const BIOMETRIC_LOGOUT_TTL_SECS: f64 = 15.0;
+
+/// A native biometric event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BiometricEvent {
+    /// A user authenticated at the device.
+    Login {
+        /// The identified user.
+        user: MobileObjectId,
+    },
+    /// A user manually logged out: "a clear indication that the user is in
+    /// the room now, but he is leaving soon."
+    Logout {
+        /// The user logging out.
+        user: MobileObjectId,
+    },
+}
+
+/// Adapter wrapping a fingerprint reader or other biometric login device.
+///
+/// Per §6 a login produces **two** readings:
+///
+/// 1. a *short-term* reading — 30 s expiry, 2 ft radius around the device,
+///    `y = 0.99`, `z = 0.01`, `x = 1` (physical presence is required), and
+/// 2. a *long-term* reading — 15 min expiry, the whole room as the region,
+///    `z` = the probability of leaving the room before `T` without a
+///    manual logout.
+///
+/// A logout produces a 15 s short reading plus revocation of the user's
+/// earlier readings from this device.
+#[derive(Debug)]
+pub struct BiometricAdapter {
+    id: AdapterId,
+    sensor_id: SensorId,
+    glob_prefix: Glob,
+    device_position: Point,
+    room_region: Rect,
+    short_spec: SensorSpec,
+    long_spec: SensorSpec,
+}
+
+impl BiometricAdapter {
+    /// Creates an adapter for a device at `device_position` inside the
+    /// room covering `room_region` (building coordinates).
+    /// `leave_probability` is the chance a user leaves the room before the
+    /// long-term expiry without logging out.
+    #[must_use]
+    pub fn with_parts(
+        id: AdapterId,
+        sensor_id: SensorId,
+        glob_prefix: Glob,
+        device_position: Point,
+        room_region: Rect,
+        leave_probability: f64,
+    ) -> Self {
+        BiometricAdapter {
+            id,
+            sensor_id,
+            glob_prefix,
+            device_position,
+            room_region,
+            short_spec: SensorSpec::biometric_short_term(),
+            long_spec: SensorSpec::biometric_long_term(leave_probability),
+        }
+    }
+
+    fn short_region(&self) -> Rect {
+        Circle::new(self.device_position, BIOMETRIC_SHORT_RADIUS_FT).mbr()
+    }
+
+    fn short_reading(&self, user: MobileObjectId, now: SimTime, ttl: SimDuration) -> SensorReading {
+        SensorReading {
+            sensor_id: self.sensor_id.clone(),
+            spec: self.short_spec,
+            object: user,
+            glob_prefix: self.glob_prefix.clone(),
+            region: self.short_region(),
+            detected_at: now,
+            time_to_live: ttl,
+            tdf: TemporalDegradation::Linear { lifetime: ttl },
+            moving: false,
+        }
+    }
+}
+
+impl Adapter for BiometricAdapter {
+    type Event = BiometricEvent;
+
+    fn adapter_id(&self) -> &AdapterId {
+        &self.id
+    }
+
+    fn sensor_type(&self) -> SensorType {
+        SensorType::Biometric
+    }
+
+    fn translate(&mut self, event: BiometricEvent, now: SimTime) -> AdapterOutput {
+        match event {
+            BiometricEvent::Login { user } => {
+                let short = self.short_reading(
+                    user.clone(),
+                    now,
+                    SimDuration::from_secs(BIOMETRIC_SHORT_TTL_SECS),
+                );
+                let long_ttl = SimDuration::from_secs(BIOMETRIC_LONG_TTL_SECS);
+                let long = SensorReading {
+                    sensor_id: self.sensor_id.clone(),
+                    spec: self.long_spec,
+                    object: user,
+                    glob_prefix: self.glob_prefix.clone(),
+                    region: self.room_region,
+                    detected_at: now,
+                    time_to_live: long_ttl,
+                    // "confidence will degrade with time anyway": halve
+                    // roughly every third of the long window.
+                    tdf: TemporalDegradation::ExponentialHalfLife {
+                        half_life: long_ttl * (1.0 / 3.0),
+                    },
+                    moving: false,
+                };
+                AdapterOutput {
+                    readings: vec![short, long],
+                    revocations: Vec::new(),
+                }
+            }
+            BiometricEvent::Logout { user } => {
+                let short = self.short_reading(
+                    user.clone(),
+                    now,
+                    SimDuration::from_secs(BIOMETRIC_LOGOUT_TTL_SECS),
+                );
+                AdapterOutput {
+                    readings: vec![short],
+                    revocations: vec![Revocation {
+                        sensor_id: self.sensor_id.clone(),
+                        object: user,
+                    }],
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adapter() -> BiometricAdapter {
+        BiometricAdapter::with_parts(
+            "bio-adapter-1".into(),
+            "Fp-3".into(),
+            "SC/Floor3/3105".parse().unwrap(),
+            Point::new(335.0, 5.0),
+            Rect::new(Point::new(330.0, 0.0), Point::new(350.0, 30.0)),
+            0.2,
+        )
+    }
+
+    #[test]
+    fn login_produces_short_and_long_reading() {
+        let mut a = adapter();
+        let out = a.translate(
+            BiometricEvent::Login {
+                user: "alice".into(),
+            },
+            SimTime::from_secs(100.0),
+        );
+        assert_eq!(out.readings.len(), 2);
+        assert!(out.revocations.is_empty());
+        let short = &out.readings[0];
+        let long = &out.readings[1];
+        // Short: 2 ft radius square around the device, 30 s TTL, x = 1.
+        assert_eq!(short.region.width(), 4.0);
+        assert_eq!(short.region.center(), Point::new(335.0, 5.0));
+        assert_eq!(short.time_to_live, SimDuration::from_secs(30.0));
+        assert_eq!(short.spec.carry_probability(), 1.0);
+        // Long: the whole room, 15 min TTL.
+        assert_eq!(long.region.width(), 20.0);
+        assert_eq!(long.time_to_live, SimDuration::from_secs(900.0));
+    }
+
+    #[test]
+    fn short_reading_is_high_confidence() {
+        let mut a = adapter();
+        let out = a.translate(
+            BiometricEvent::Login {
+                user: "alice".into(),
+            },
+            SimTime::ZERO,
+        );
+        let short = &out.readings[0];
+        assert!((short.spec.hit_probability() - 0.99).abs() < 1e-12);
+        assert!((short.spec.false_positive_probability(1.0, 1e6) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logout_revokes_and_emits_short_reading() {
+        let mut a = adapter();
+        let out = a.translate(
+            BiometricEvent::Logout {
+                user: "alice".into(),
+            },
+            SimTime::from_secs(500.0),
+        );
+        assert_eq!(out.readings.len(), 1);
+        assert_eq!(out.readings[0].time_to_live, SimDuration::from_secs(15.0));
+        assert_eq!(out.revocations.len(), 1);
+        assert_eq!(out.revocations[0].object, "alice".into());
+        assert_eq!(out.revocations[0].sensor_id, "Fp-3".into());
+    }
+
+    #[test]
+    fn long_reading_confidence_degrades() {
+        let mut a = adapter();
+        let out = a.translate(
+            BiometricEvent::Login {
+                user: "alice".into(),
+            },
+            SimTime::ZERO,
+        );
+        let long = &out.readings[1];
+        let fresh = long.hit_probability_at(SimTime::ZERO);
+        let later = long.hit_probability_at(SimTime::from_secs(600.0));
+        assert!(later < fresh);
+        assert!(later > 0.0);
+        assert_eq!(long.hit_probability_at(SimTime::from_secs(901.0)), 0.0);
+    }
+
+    #[test]
+    fn metadata() {
+        let a = adapter();
+        assert_eq!(a.sensor_type(), SensorType::Biometric);
+        assert_eq!(a.adapter_id().as_str(), "bio-adapter-1");
+    }
+}

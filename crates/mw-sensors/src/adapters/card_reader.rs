@@ -1,0 +1,131 @@
+use mw_geometry::Rect;
+use mw_model::{Glob, SimDuration, SimTime, TemporalDegradation};
+
+use crate::{
+    Adapter, AdapterId, AdapterOutput, MobileObjectId, SensorId, SensorReading, SensorSpec,
+    SensorType,
+};
+
+/// Time-to-live of a card-swipe reading. §5.2: "a card reader has a
+/// time-to-live value of 10 seconds."
+pub const CARD_READER_TTL_SECS: f64 = 10.0;
+
+/// A native card-swipe event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CardSwipe {
+    /// The badge holder who swiped.
+    pub user: MobileObjectId,
+}
+
+/// Adapter wrapping a card reader at a room entrance.
+///
+/// §1.1's motivating example: "people in our building have to swipe their
+/// ID cards on a card reader whenever they enter certain rooms. Hence, at
+/// the time of swiping their card, their location is known with high
+/// confidence. With the passage of time, however, this location data
+/// becomes less reliable, since they might have left the room." The
+/// reported region is the whole room (symbolic resolution).
+#[derive(Debug)]
+pub struct CardReaderAdapter {
+    id: AdapterId,
+    sensor_id: SensorId,
+    glob_prefix: Glob,
+    room_region: Rect,
+    spec: SensorSpec,
+    ttl: SimDuration,
+}
+
+impl CardReaderAdapter {
+    /// Creates an adapter guarding the room covering `room_region`.
+    #[must_use]
+    pub fn with_parts(
+        id: AdapterId,
+        sensor_id: SensorId,
+        glob_prefix: Glob,
+        room_region: Rect,
+    ) -> Self {
+        CardReaderAdapter {
+            id,
+            sensor_id,
+            glob_prefix,
+            room_region,
+            spec: SensorSpec::card_reader(),
+            ttl: SimDuration::from_secs(CARD_READER_TTL_SECS),
+        }
+    }
+
+    /// Overrides the default 10 s time-to-live.
+    pub fn set_time_to_live(&mut self, ttl: SimDuration) {
+        self.ttl = ttl;
+    }
+}
+
+impl Adapter for CardReaderAdapter {
+    type Event = CardSwipe;
+
+    fn adapter_id(&self) -> &AdapterId {
+        &self.id
+    }
+
+    fn sensor_type(&self) -> SensorType {
+        SensorType::CardReader
+    }
+
+    fn translate(&mut self, event: CardSwipe, now: SimTime) -> AdapterOutput {
+        AdapterOutput::single(SensorReading {
+            sensor_id: self.sensor_id.clone(),
+            spec: self.spec,
+            object: event.user,
+            glob_prefix: self.glob_prefix.clone(),
+            region: self.room_region,
+            detected_at: now,
+            time_to_live: self.ttl,
+            // Swipes age fast: the user may walk straight through.
+            tdf: TemporalDegradation::Linear { lifetime: self.ttl },
+            moving: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mw_geometry::Point;
+
+    fn adapter() -> CardReaderAdapter {
+        CardReaderAdapter::with_parts(
+            "card-adapter-1".into(),
+            "Card-7".into(),
+            "SC/Floor3/3105".parse().unwrap(),
+            Rect::new(Point::new(330.0, 0.0), Point::new(350.0, 30.0)),
+        )
+    }
+
+    #[test]
+    fn swipe_reports_whole_room() {
+        let mut a = adapter();
+        let out = a.translate(CardSwipe { user: "bob".into() }, SimTime::from_secs(5.0));
+        let r = &out.readings[0];
+        assert_eq!(r.region.area(), 600.0);
+        assert_eq!(r.time_to_live, SimDuration::from_secs(10.0));
+        assert_eq!(r.spec.carry_probability(), 1.0);
+    }
+
+    #[test]
+    fn reading_goes_stale_quickly() {
+        let mut a = adapter();
+        let out = a.translate(CardSwipe { user: "bob".into() }, SimTime::ZERO);
+        let r = &out.readings[0];
+        assert!(
+            r.hit_probability_at(SimTime::from_secs(5.0)) < r.hit_probability_at(SimTime::ZERO)
+        );
+        assert!(r.is_expired(SimTime::from_secs(10.5)));
+    }
+
+    #[test]
+    fn metadata() {
+        let a = adapter();
+        assert_eq!(a.sensor_type(), SensorType::CardReader);
+        assert_eq!(a.adapter_id().as_str(), "card-adapter-1");
+    }
+}

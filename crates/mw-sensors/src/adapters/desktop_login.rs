@@ -1,0 +1,177 @@
+use mw_geometry::{Circle, Point};
+use mw_model::{Glob, SimDuration, SimTime, TemporalDegradation};
+
+use crate::{
+    Adapter, AdapterId, AdapterOutput, MobileObjectId, Revocation, SensorId, SensorReading,
+    SensorSpec, SensorType,
+};
+
+/// Radius of the presence region around a logged-in desktop (feet).
+pub const DESKTOP_RADIUS_FT: f64 = 3.0;
+
+/// Default time-to-live of a desktop session reading: sessions linger, so
+/// we keep the reading alive for 5 minutes and let degradation do the rest.
+pub const DESKTOP_TTL_SECS: f64 = 5.0 * 60.0;
+
+/// A native desktop session event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesktopSessionEvent {
+    /// A user logged into the machine.
+    Login {
+        /// The user who authenticated.
+        user: MobileObjectId,
+    },
+    /// Periodic activity (keyboard/mouse) refreshing presence.
+    Activity {
+        /// The active user.
+        user: MobileObjectId,
+    },
+    /// The user logged out or the session locked.
+    Logout {
+        /// The user whose session ended.
+        user: MobileObjectId,
+    },
+}
+
+/// Adapter wrapping login sessions on a fixed desktop workstation
+/// ("login information on desktops", §1.1).
+#[derive(Debug)]
+pub struct DesktopLoginAdapter {
+    id: AdapterId,
+    sensor_id: SensorId,
+    glob_prefix: Glob,
+    machine_position: Point,
+    spec: SensorSpec,
+    ttl: SimDuration,
+}
+
+impl DesktopLoginAdapter {
+    /// Creates an adapter for a workstation at `machine_position`.
+    #[must_use]
+    pub fn with_parts(
+        id: AdapterId,
+        sensor_id: SensorId,
+        glob_prefix: Glob,
+        machine_position: Point,
+    ) -> Self {
+        DesktopLoginAdapter {
+            id,
+            sensor_id,
+            glob_prefix,
+            machine_position,
+            spec: SensorSpec::desktop_login(),
+            ttl: SimDuration::from_secs(DESKTOP_TTL_SECS),
+        }
+    }
+
+    fn reading(&self, user: MobileObjectId, now: SimTime) -> SensorReading {
+        SensorReading {
+            sensor_id: self.sensor_id.clone(),
+            spec: self.spec,
+            object: user,
+            glob_prefix: self.glob_prefix.clone(),
+            region: Circle::new(self.machine_position, DESKTOP_RADIUS_FT).mbr(),
+            detected_at: now,
+            time_to_live: self.ttl,
+            tdf: TemporalDegradation::ExponentialHalfLife {
+                half_life: self.ttl * 0.25,
+            },
+            moving: false,
+        }
+    }
+}
+
+impl Adapter for DesktopLoginAdapter {
+    type Event = DesktopSessionEvent;
+
+    fn adapter_id(&self) -> &AdapterId {
+        &self.id
+    }
+
+    fn sensor_type(&self) -> SensorType {
+        SensorType::DesktopLogin
+    }
+
+    fn translate(&mut self, event: DesktopSessionEvent, now: SimTime) -> AdapterOutput {
+        match event {
+            DesktopSessionEvent::Login { user } | DesktopSessionEvent::Activity { user } => {
+                AdapterOutput::single(self.reading(user, now))
+            }
+            DesktopSessionEvent::Logout { user } => AdapterOutput {
+                readings: Vec::new(),
+                revocations: vec![Revocation {
+                    sensor_id: self.sensor_id.clone(),
+                    object: user,
+                }],
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adapter() -> DesktopLoginAdapter {
+        DesktopLoginAdapter::with_parts(
+            "desk-adapter-1".into(),
+            "Desk-9".into(),
+            "SC/Floor3/NetLab".parse().unwrap(),
+            Point::new(370.0, 10.0),
+        )
+    }
+
+    #[test]
+    fn login_and_activity_produce_presence() {
+        let mut a = adapter();
+        for event in [
+            DesktopSessionEvent::Login {
+                user: "carol".into(),
+            },
+            DesktopSessionEvent::Activity {
+                user: "carol".into(),
+            },
+        ] {
+            let out = a.translate(event, SimTime::ZERO);
+            assert_eq!(out.readings.len(), 1);
+            assert_eq!(out.readings[0].region.center(), Point::new(370.0, 10.0));
+            assert_eq!(out.readings[0].region.width(), 6.0);
+        }
+    }
+
+    #[test]
+    fn logout_only_revokes() {
+        let mut a = adapter();
+        let out = a.translate(
+            DesktopSessionEvent::Logout {
+                user: "carol".into(),
+            },
+            SimTime::from_secs(10.0),
+        );
+        assert!(out.readings.is_empty());
+        assert_eq!(out.revocations.len(), 1);
+        assert_eq!(out.revocations[0].sensor_id, "Desk-9".into());
+    }
+
+    #[test]
+    fn presence_decays_while_session_lives() {
+        let mut a = adapter();
+        let out = a.translate(
+            DesktopSessionEvent::Login {
+                user: "carol".into(),
+            },
+            SimTime::ZERO,
+        );
+        let r = &out.readings[0];
+        let early = r.hit_probability_at(SimTime::from_secs(10.0));
+        let later = r.hit_probability_at(SimTime::from_secs(200.0));
+        assert!(later < early);
+    }
+
+    #[test]
+    fn metadata() {
+        let a = adapter();
+        assert_eq!(a.sensor_type(), SensorType::DesktopLogin);
+        assert_eq!(a.adapter_id().as_str(), "desk-adapter-1");
+    }
+}

@@ -1,0 +1,177 @@
+use mw_geometry::{Circle, Point};
+use mw_model::{Glob, SimDuration, SimTime, TemporalDegradation};
+
+use crate::{
+    Adapter, AdapterId, AdapterOutput, MobileObjectId, MovementTracker, SensorId, SensorReading,
+    SensorSpec, SensorType,
+};
+
+/// Default time-to-live for a GPS fix.
+pub const GPS_TTL_SECS: f64 = 10.0;
+
+/// A native GPS fix, already projected into the shared coordinate system
+/// by the receiver driver ("the adapter should be able to translate
+/// longitude, latitude, and altitude information into a coordinate
+/// location that matches MiddleWhere's coordinate system", §6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpsFix {
+    /// The GPS device (and therefore its carrier).
+    pub device: MobileObjectId,
+    /// Projected position in shared coordinates (feet).
+    pub position: Point,
+    /// The receiver's own accuracy estimate, in feet. "Unlike the above
+    /// technologies, GPS can give an estimation of its accuracy."
+    pub accuracy: f64,
+}
+
+/// Adapter wrapping a GPS receiver.
+///
+/// Calibration per §6: area A is a disk of the receiver-estimated accuracy
+/// radius, `y = 0.99`, `z = 0.01` (trusting the estimate), and `x` is the
+/// probability of the person carrying the device.
+#[derive(Debug)]
+pub struct GpsAdapter {
+    id: AdapterId,
+    sensor_id: SensorId,
+    glob_prefix: Glob,
+    spec: SensorSpec,
+    ttl: SimDuration,
+    tracker: MovementTracker,
+}
+
+impl GpsAdapter {
+    /// Creates an adapter instance covering outdoor space `glob_prefix`.
+    #[must_use]
+    pub fn with_parts(
+        id: AdapterId,
+        sensor_id: SensorId,
+        glob_prefix: Glob,
+        carry_probability: f64,
+    ) -> Self {
+        GpsAdapter {
+            id,
+            sensor_id,
+            glob_prefix,
+            spec: SensorSpec::gps(carry_probability),
+            ttl: SimDuration::from_secs(GPS_TTL_SECS),
+            tracker: MovementTracker::new(3.0),
+        }
+    }
+
+    /// Overrides the default time-to-live.
+    pub fn set_time_to_live(&mut self, ttl: SimDuration) {
+        self.ttl = ttl;
+    }
+}
+
+impl Adapter for GpsAdapter {
+    type Event = GpsFix;
+
+    fn adapter_id(&self) -> &AdapterId {
+        &self.id
+    }
+
+    fn sensor_type(&self) -> SensorType {
+        SensorType::Gps
+    }
+
+    fn translate(&mut self, event: GpsFix, now: SimTime) -> AdapterOutput {
+        if !event.accuracy.is_finite() || event.accuracy <= 0.0 {
+            // No satellite lock / garbage accuracy: drop the fix.
+            return AdapterOutput::empty();
+        }
+        let moving = self.tracker.observe(&event.device, event.position);
+        let region = Circle::new(event.position, event.accuracy).mbr();
+        AdapterOutput::single(SensorReading {
+            sensor_id: self.sensor_id.clone(),
+            spec: self.spec,
+            object: event.device,
+            glob_prefix: self.glob_prefix.clone(),
+            region,
+            detected_at: now,
+            time_to_live: self.ttl,
+            tdf: TemporalDegradation::Linear { lifetime: self.ttl },
+            moving,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adapter() -> GpsAdapter {
+        GpsAdapter::with_parts(
+            "gps-adapter-1".into(),
+            "Gps-1".into(),
+            "Campus".parse().unwrap(),
+            0.7,
+        )
+    }
+
+    #[test]
+    fn region_tracks_accuracy_estimate() {
+        let mut a = adapter();
+        let out = a.translate(
+            GpsFix {
+                device: "van-gps".into(),
+                position: Point::new(1000.0, 2000.0),
+                accuracy: 15.0,
+            },
+            SimTime::ZERO,
+        );
+        let r = &out.readings[0];
+        assert_eq!(r.region.width(), 30.0);
+        assert_eq!(r.region.center(), Point::new(1000.0, 2000.0));
+        assert!(
+            (r.spec.hit_probability() - (1.0 - ((1.0 - 0.99) * 0.7 + (1.0 - 0.01) * 0.3))).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn bad_accuracy_drops_fix() {
+        let mut a = adapter();
+        for acc in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let out = a.translate(
+                GpsFix {
+                    device: "van-gps".into(),
+                    position: Point::ORIGIN,
+                    accuracy: acc,
+                },
+                SimTime::ZERO,
+            );
+            assert!(out.readings.is_empty(), "accuracy {acc} should be dropped");
+        }
+    }
+
+    #[test]
+    fn movement_across_fixes() {
+        let mut a = adapter();
+        let dev: MobileObjectId = "van-gps".into();
+        let _ = a.translate(
+            GpsFix {
+                device: dev.clone(),
+                position: Point::new(0.0, 0.0),
+                accuracy: 10.0,
+            },
+            SimTime::ZERO,
+        );
+        let out = a.translate(
+            GpsFix {
+                device: dev,
+                position: Point::new(50.0, 0.0),
+                accuracy: 10.0,
+            },
+            SimTime::from_secs(1.0),
+        );
+        assert!(out.readings[0].moving);
+    }
+
+    #[test]
+    fn metadata() {
+        let a = adapter();
+        assert_eq!(a.sensor_type(), SensorType::Gps);
+        assert_eq!(a.adapter_id().as_str(), "gps-adapter-1");
+    }
+}

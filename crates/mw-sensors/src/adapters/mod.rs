@@ -1,0 +1,24 @@
+//! Concrete location adapters for the technologies the paper deployed
+//! (§6), plus the card-reader and desktop-login variants sketched in §1.1.
+//!
+//! All distances are in feet, matching the paper's floor plans (6 inches =
+//! 0.5 ft, RFID range 15 ft, and so on).
+
+mod biometric;
+mod card_reader;
+mod desktop_login;
+mod gps;
+mod rfid;
+mod ubisense;
+
+pub use biometric::{
+    BiometricAdapter, BiometricEvent, BIOMETRIC_LOGOUT_TTL_SECS, BIOMETRIC_LONG_TTL_SECS,
+    BIOMETRIC_SHORT_RADIUS_FT, BIOMETRIC_SHORT_TTL_SECS,
+};
+pub use card_reader::{CardReaderAdapter, CardSwipe, CARD_READER_TTL_SECS};
+pub use desktop_login::{
+    DesktopLoginAdapter, DesktopSessionEvent, DESKTOP_RADIUS_FT, DESKTOP_TTL_SECS,
+};
+pub use gps::{GpsAdapter, GpsFix, GPS_TTL_SECS};
+pub use rfid::{BadgeSighting, RfidBadgeAdapter, RFID_RANGE_FT, RFID_TTL_SECS};
+pub use ubisense::{UbisenseAdapter, UbisenseSighting, UBISENSE_RADIUS_FT, UBISENSE_TTL_SECS};

@@ -1,0 +1,48 @@
+use std::fmt;
+
+/// Errors produced by sensor specifications and adapters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SensorError {
+    /// A probability parameter was outside `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// Which parameter (`"x"`, `"y"` or `"z"`).
+        parameter: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A geometric parameter (radius, area) was invalid.
+    InvalidGeometry {
+        /// What was wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for SensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SensorError::ProbabilityOutOfRange { parameter, value } => {
+                write!(f, "sensor parameter {parameter}={value} outside [0, 1]")
+            }
+            SensorError::InvalidGeometry { reason } => {
+                write!(f, "invalid sensor geometry: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SensorError::ProbabilityOutOfRange {
+            parameter: "y",
+            value: 1.2,
+        };
+        assert!(e.to_string().contains("y=1.2"));
+    }
+}

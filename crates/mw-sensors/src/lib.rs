@@ -1,0 +1,33 @@
+//! Sensor technologies and adapters for the MiddleWhere reproduction.
+//!
+//! Implements §4.1.1 (the sensor error model) and §6 (location sensors and
+//! adapters) of the paper:
+//!
+//! - [`SensorSpec`] — the `x`/`y`/`z` probabilities of a sensing technology
+//!   and the derived error probabilities `p` and `q` used by the Bayesian
+//!   fusion algorithm,
+//! - [`SensorReading`] — the common representation every adapter produces
+//!   (the row format of the paper's Table 2),
+//! - [`Adapter`] — the plug-and-play adapter trait: each location
+//!   technology is wrapped by an adapter that translates native events into
+//!   readings (the paper's CORBA "location adapter"),
+//! - [`adapters`] — the four technologies the paper deployed: Ubisense
+//!   UWB, RFID badges, biometric logins and GPS.
+//!
+//! The original system talks to real hardware; here the native events are
+//! produced by the `mw-sim` simulator, but the adapter layer is identical:
+//! it never sees ground truth, only technology-shaped events.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adapter;
+pub mod adapters;
+mod error;
+mod reading;
+mod spec;
+
+pub use adapter::{Adapter, AdapterId, AdapterOutput, MovementTracker, Revocation};
+pub use error::SensorError;
+pub use reading::{MobileObjectId, SensorId, SensorReading};
+pub use spec::{MisidentModel, SensorSpec, SensorType};

@@ -1,0 +1,188 @@
+use std::fmt;
+
+use mw_geometry::Rect;
+use mw_model::{Confidence, Glob, SimDuration, SimTime, TemporalDegradation};
+use serde::{Deserialize, Serialize};
+
+use crate::SensorSpec;
+
+/// Identifier of a physical sensor instance (e.g. `RF-12`, `Ubi-18` in the
+/// paper's Table 2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SensorId(String);
+
+impl SensorId {
+    /// Creates a sensor id.
+    #[must_use]
+    pub fn new(id: impl Into<String>) -> Self {
+        SensorId(id.into())
+    }
+
+    /// The id string.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for SensorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for SensorId {
+    fn from(s: &str) -> Self {
+        SensorId::new(s)
+    }
+}
+
+/// Identifier of a tracked mobile object — a person or the device they
+/// carry (e.g. `tom-pda`, `ralph-bat` in Table 2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MobileObjectId(String);
+
+impl MobileObjectId {
+    /// Creates a mobile object id.
+    #[must_use]
+    pub fn new(id: impl Into<String>) -> Self {
+        MobileObjectId(id.into())
+    }
+
+    /// The id string.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for MobileObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for MobileObjectId {
+    fn from(s: &str) -> Self {
+        MobileObjectId::new(s)
+    }
+}
+
+/// A sensor reading in the common representation every adapter emits —
+/// one row of the paper's sensor-information table (Table 2), plus the
+/// probabilistic calibration the fusion algorithm needs.
+///
+/// The reported region is already converted to a minimum bounding
+/// rectangle in the shared (building) coordinate system, per §4.1.2: "The
+/// first step in our algorithm is to get all the sensor data in a common
+/// format."
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorReading {
+    /// Which physical sensor produced the reading.
+    pub sensor_id: SensorId,
+    /// Calibration of the producing technology.
+    pub spec: SensorSpec,
+    /// The mobile object the reading is about.
+    pub object: MobileObjectId,
+    /// GLOB prefix naming the space the reading was taken in (Table 2's
+    /// `Glob Prefix` column), e.g. `SC/Floor3/3105`.
+    pub glob_prefix: Glob,
+    /// Reported region as an MBR in building coordinates.
+    pub region: Rect,
+    /// When the reading was taken (Table 2's `Detection Time`).
+    pub detected_at: SimTime,
+    /// How long the reading stays valid.
+    pub time_to_live: SimDuration,
+    /// Decay of confidence with age.
+    pub tdf: TemporalDegradation,
+    /// Whether the reporting adapter has observed this object's region
+    /// moving over recent readings. Used by the conflict-resolution rule
+    /// of §4.1.2: "If either of the rectangles is moving with time, then
+    /// take that reading and discard the other one."
+    pub moving: bool,
+}
+
+impl SensorReading {
+    /// Returns `true` once the reading is older than its time-to-live.
+    #[must_use]
+    pub fn is_expired(&self, now: SimTime) -> bool {
+        now.saturating_since(self.detected_at) > self.time_to_live
+    }
+
+    /// The §4.1.2 hit probability `p_i` after temporal degradation at
+    /// `now` ("all p_i's are net probabilities obtained after applying the
+    /// temporal degradation function").
+    #[must_use]
+    pub fn hit_probability_at(&self, now: SimTime) -> f64 {
+        if self.is_expired(now) {
+            return 0.0;
+        }
+        let base = Confidence::saturating(self.spec.hit_probability());
+        let elapsed = now.saturating_since(self.detected_at);
+        self.tdf.apply(base, elapsed).value()
+    }
+
+    /// The false-positive probability `q_i` given the universe area
+    /// `area_u` (the whole floor in the paper's setting).
+    #[must_use]
+    pub fn false_positive_probability(&self, area_u: f64) -> f64 {
+        self.spec
+            .false_positive_probability(self.region.area(), area_u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mw_geometry::Point;
+
+    fn reading() -> SensorReading {
+        SensorReading {
+            sensor_id: "Ubi-18".into(),
+            spec: SensorSpec::ubisense(0.9),
+            object: "ralph-bat".into(),
+            glob_prefix: "SC/Floor3/3102".parse().unwrap(),
+            region: Rect::from_center(Point::new(41.0, 3.0), 1.0, 1.0),
+            detected_at: SimTime::from_secs(100.0),
+            time_to_live: SimDuration::from_secs(3.0),
+            tdf: TemporalDegradation::Linear {
+                lifetime: SimDuration::from_secs(3.0),
+            },
+            moving: false,
+        }
+    }
+
+    #[test]
+    fn expiry_follows_ttl() {
+        let r = reading();
+        assert!(!r.is_expired(SimTime::from_secs(102.9)));
+        assert!(r.is_expired(SimTime::from_secs(103.1)));
+    }
+
+    #[test]
+    fn hit_probability_degrades_and_zeroes() {
+        let r = reading();
+        let fresh = r.hit_probability_at(SimTime::from_secs(100.0));
+        assert!((fresh - r.spec.hit_probability()).abs() < 1e-12);
+        let stale = r.hit_probability_at(SimTime::from_secs(101.5));
+        assert!(stale < fresh && stale > 0.0);
+        assert_eq!(r.hit_probability_at(SimTime::from_secs(104.0)), 0.0);
+    }
+
+    #[test]
+    fn false_positive_uses_region_area() {
+        let r = reading();
+        let q_small_universe = r.false_positive_probability(10.0);
+        let q_large_universe = r.false_positive_probability(100_000.0);
+        assert!(q_small_universe > q_large_universe);
+    }
+
+    #[test]
+    fn id_conversions() {
+        let s: SensorId = "RF-12".into();
+        assert_eq!(s.as_str(), "RF-12");
+        assert_eq!(s.to_string(), "RF-12");
+        let m: MobileObjectId = "tom-pda".into();
+        assert_eq!(m.as_str(), "tom-pda");
+    }
+}

@@ -1,0 +1,420 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::SensorError;
+
+/// The location-sensing technologies known to this deployment.
+///
+/// §6 of the paper integrates four technologies (Ubisense, RFID badges,
+/// biometric logins, GPS); §1.1 also mentions card swipes and desktop
+/// logins, which we model as variants of the same framework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SensorType {
+    /// Ubisense ultra-wideband tags: 6-inch resolution, 95% detection.
+    Ubisense,
+    /// Active RF identification badges: ~15 ft base-station range.
+    RfidBadge,
+    /// Fingerprint readers and other biometric logins.
+    Biometric,
+    /// Satellite positioning (outdoor).
+    Gps,
+    /// Card swipe readers at room entrances.
+    CardReader,
+    /// Login sessions on fixed desktops.
+    DesktopLogin,
+}
+
+impl fmt::Display for SensorType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SensorType::Ubisense => "ubisense",
+            SensorType::RfidBadge => "rfid-badge",
+            SensorType::Biometric => "biometric",
+            SensorType::Gps => "gps",
+            SensorType::CardReader => "card-reader",
+            SensorType::DesktopLogin => "desktop-login",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How a technology's misidentification probability `z` is modelled.
+///
+/// §4.1.1: for Ubisense, `z = 0.05 · area(A)/area(U)` — the probability
+/// that a wrong detection lands inside the reported region A is
+/// proportional to A's share of the coverage area U. Biometric devices use
+/// a fixed (tiny) `z`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MisidentModel {
+    /// `z` is a constant.
+    Fixed(f64),
+    /// `z = factor · area(A)/area(U)`.
+    AreaProportional {
+        /// The device's raw misdetection rate (e.g. `0.05` for Ubisense).
+        factor: f64,
+    },
+}
+
+/// The probabilistic specification of a sensing technology (§4.1.1).
+///
+/// Three primitive probabilities:
+///
+/// - `x` — probability the person is carrying the device (1 for
+///   biometrics),
+/// - `y` — `P(sensor says device is in A | device is in A)`,
+/// - `z` — `P(sensor says device is in A | device is not in A)`.
+///
+/// Two derived error probabilities used by fusion:
+///
+/// - `p = P(sensor says person is NOT in A | person IS in A)
+///      = (1-y)·x + (1-z)·(1-x)`,
+/// - `q = P(sensor says person IS in A | person is NOT in A)
+///      = z·x + (y+z)·(1-x) = z + y·(1-x)`.
+///
+/// Note the paper's `p` is a *miss* probability; the fusion equations use
+/// the *hit* probability `P(sensor says in A | person in A)`, which the
+/// paper also calls `p_i` in §4.1.2. [`SensorSpec::hit_probability`]
+/// returns that value (`1 - p_miss`); [`SensorSpec::miss_probability`]
+/// returns the §4.1.1 `p`.
+///
+/// # Example
+///
+/// ```
+/// use mw_sensors::{MisidentModel, SensorSpec, SensorType};
+///
+/// // Ubisense: y = 0.95, z = 0.05·area(A)/area(U), x from user studies.
+/// let spec = SensorSpec::new(
+///     SensorType::Ubisense,
+///     0.9,
+///     0.95,
+///     MisidentModel::AreaProportional { factor: 0.05 },
+/// )?;
+/// let area_a = 1.0;
+/// let area_u = 50_000.0;
+/// assert!(spec.hit_probability() > 0.8);
+/// assert!(spec.false_positive_probability(area_a, area_u) < 0.2);
+/// # Ok::<(), mw_sensors::SensorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorSpec {
+    sensor_type: SensorType,
+    carry_probability: f64,
+    detection_probability: f64,
+    misident: MisidentModel,
+}
+
+fn check_probability(parameter: &'static str, value: f64) -> Result<(), SensorError> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(SensorError::ProbabilityOutOfRange { parameter, value })
+    }
+}
+
+impl SensorSpec {
+    /// Creates a specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::ProbabilityOutOfRange`] when `x`, `y` or the
+    /// misidentification factor are outside `[0, 1]`.
+    pub fn new(
+        sensor_type: SensorType,
+        carry_probability: f64,
+        detection_probability: f64,
+        misident: MisidentModel,
+    ) -> Result<Self, SensorError> {
+        check_probability("x", carry_probability)?;
+        check_probability("y", detection_probability)?;
+        match misident {
+            MisidentModel::Fixed(z) => check_probability("z", z)?,
+            MisidentModel::AreaProportional { factor } => check_probability("z", factor)?,
+        }
+        Ok(SensorSpec {
+            sensor_type,
+            carry_probability,
+            detection_probability,
+            misident,
+        })
+    }
+
+    /// The technology this spec describes.
+    #[must_use]
+    pub fn sensor_type(&self) -> SensorType {
+        self.sensor_type
+    }
+
+    /// `x`: probability the person carries the device.
+    #[must_use]
+    pub fn carry_probability(&self) -> f64 {
+        self.carry_probability
+    }
+
+    /// `y`: probability the device is detected when and where present.
+    #[must_use]
+    pub fn detection_probability(&self) -> f64 {
+        self.detection_probability
+    }
+
+    /// The misidentification model for `z`.
+    #[must_use]
+    pub fn misident_model(&self) -> MisidentModel {
+        self.misident
+    }
+
+    /// `z` for a reported region of `area_a` within coverage `area_u`.
+    ///
+    /// For [`MisidentModel::Fixed`] the areas are ignored. For
+    /// [`MisidentModel::AreaProportional`] the ratio is clamped to 1.
+    #[must_use]
+    pub fn misident_probability(&self, area_a: f64, area_u: f64) -> f64 {
+        match self.misident {
+            MisidentModel::Fixed(z) => z,
+            MisidentModel::AreaProportional { factor } => {
+                if area_u <= 0.0 {
+                    factor
+                } else {
+                    factor * (area_a / area_u).clamp(0.0, 1.0)
+                }
+            }
+        }
+    }
+
+    /// The §4.1.1 miss probability
+    /// `p = (1-y)·x + (1-z)·(1-x)`
+    /// evaluated with `z` from the misidentification model.
+    #[must_use]
+    pub fn miss_probability_for(&self, area_a: f64, area_u: f64) -> f64 {
+        let x = self.carry_probability;
+        let y = self.detection_probability;
+        let z = self.misident_probability(area_a, area_u);
+        (1.0 - y) * x + (1.0 - z) * (1.0 - x)
+    }
+
+    /// The §4.1.1 miss probability with `z` taken as the raw
+    /// misidentification factor (area-independent form).
+    #[must_use]
+    pub fn miss_probability(&self) -> f64 {
+        let z = match self.misident {
+            MisidentModel::Fixed(z) => z,
+            MisidentModel::AreaProportional { factor } => factor,
+        };
+        let x = self.carry_probability;
+        let y = self.detection_probability;
+        (1.0 - y) * x + (1.0 - z) * (1.0 - x)
+    }
+
+    /// The detection ("hit") probability used as `p_i` in the fusion
+    /// equations of §4.1.2: the probability the sensor reports the person
+    /// in A given the person is in A, `1 - miss`.
+    #[must_use]
+    pub fn hit_probability(&self) -> f64 {
+        1.0 - self.miss_probability()
+    }
+
+    /// The §4.1.1 false-positive probability
+    /// `q = z·x + (y+z)·(1-x) = z + y·(1-x)`
+    /// for a reported region of `area_a` within coverage `area_u`.
+    #[must_use]
+    pub fn false_positive_probability(&self, area_a: f64, area_u: f64) -> f64 {
+        let x = self.carry_probability;
+        let y = self.detection_probability;
+        let z = self.misident_probability(area_a, area_u);
+        (z + y * (1.0 - x)).clamp(0.0, 1.0)
+    }
+}
+
+impl SensorSpec {
+    /// The paper's Ubisense calibration: detects a badge within 6 inches
+    /// 95% of the time; `z = 0.05·area(A)/area(U)`; `x` from user studies
+    /// (we default to 0.9).
+    #[must_use]
+    pub fn ubisense(carry_probability: f64) -> Self {
+        SensorSpec::new(
+            SensorType::Ubisense,
+            carry_probability,
+            0.95,
+            MisidentModel::AreaProportional { factor: 0.05 },
+        )
+        .expect("constants are valid")
+    }
+
+    /// The paper's RFID badge calibration: `y = 0.75`,
+    /// `z = 0.25·area(A)/area(U)`.
+    #[must_use]
+    pub fn rfid_badge(carry_probability: f64) -> Self {
+        SensorSpec::new(
+            SensorType::RfidBadge,
+            carry_probability,
+            0.75,
+            MisidentModel::AreaProportional { factor: 0.25 },
+        )
+        .expect("constants are valid")
+    }
+
+    /// The paper's biometric short-term calibration: `y = 0.99`,
+    /// `z = 0.01`, `x = 1` (a finger cannot be left at home).
+    #[must_use]
+    pub fn biometric_short_term() -> Self {
+        SensorSpec::new(SensorType::Biometric, 1.0, 0.99, MisidentModel::Fixed(0.01))
+            .expect("constants are valid")
+    }
+
+    /// The paper's biometric long-term calibration: region is the whole
+    /// room; `z` is the probability the user left the room before `T`
+    /// without logging out (paper estimate used here: 0.2).
+    #[must_use]
+    pub fn biometric_long_term(leave_probability: f64) -> Self {
+        SensorSpec::new(
+            SensorType::Biometric,
+            1.0,
+            0.99,
+            MisidentModel::Fixed(leave_probability.clamp(0.0, 1.0)),
+        )
+        .expect("constants are valid")
+    }
+
+    /// The paper's GPS calibration: `y = 0.99`, `z = 0.01` (trusting the
+    /// receiver's accuracy estimate), `x` = probability of carrying the
+    /// GPS device.
+    #[must_use]
+    pub fn gps(carry_probability: f64) -> Self {
+        SensorSpec::new(
+            SensorType::Gps,
+            carry_probability,
+            0.99,
+            MisidentModel::Fixed(0.01),
+        )
+        .expect("constants are valid")
+    }
+
+    /// A card reader: physical presence needed to swipe (`x = 1`), high
+    /// detection, low misidentification (stolen cards).
+    #[must_use]
+    pub fn card_reader() -> Self {
+        SensorSpec::new(
+            SensorType::CardReader,
+            1.0,
+            0.98,
+            MisidentModel::Fixed(0.02),
+        )
+        .expect("constants are valid")
+    }
+
+    /// A desktop login: presence at the machine very likely, shared
+    /// accounts introduce misidentification.
+    #[must_use]
+    pub fn desktop_login() -> Self {
+        SensorSpec::new(
+            SensorType::DesktopLogin,
+            1.0,
+            0.95,
+            MisidentModel::Fixed(0.05),
+        )
+        .expect("constants are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_matches_paper_formulas() {
+        // Pick x=0.9, y=0.95, z=0.05.
+        let spec =
+            SensorSpec::new(SensorType::Ubisense, 0.9, 0.95, MisidentModel::Fixed(0.05)).unwrap();
+        // p = (1-y)x + (1-z)(1-x) = 0.05*0.9 + 0.95*0.1 = 0.045 + 0.095 = 0.14.
+        assert!((spec.miss_probability() - 0.14).abs() < 1e-12);
+        assert!((spec.hit_probability() - 0.86).abs() < 1e-12);
+        // q = z + y(1-x) = 0.05 + 0.95*0.1 = 0.145.
+        assert!((spec.false_positive_probability(1.0, 1.0) - 0.145).abs() < 1e-12);
+    }
+
+    #[test]
+    fn biometric_assumptions() {
+        // x = 1 ⇒ p = 1-y, q = z.
+        let spec = SensorSpec::biometric_short_term();
+        assert!((spec.miss_probability() - 0.01).abs() < 1e-12);
+        assert!((spec.false_positive_probability(1.0, 100.0) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_proportional_z() {
+        let spec = SensorSpec::ubisense(0.9);
+        // Small region in a big coverage: tiny z.
+        let z_small = spec.misident_probability(1.0, 50_000.0);
+        assert!((z_small - 0.05 / 50_000.0).abs() < 1e-12);
+        // Region as big as coverage: z = factor.
+        let z_full = spec.misident_probability(50_000.0, 50_000.0);
+        assert!((z_full - 0.05).abs() < 1e-12);
+        // Ratio clamps at 1 even for bogus inputs.
+        let z_over = spec.misident_probability(100_000.0, 50_000.0);
+        assert!((z_over - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_beats_false_positive_for_sane_sensors() {
+        for spec in [
+            SensorSpec::ubisense(0.9),
+            SensorSpec::rfid_badge(0.8),
+            SensorSpec::biometric_short_term(),
+            SensorSpec::gps(0.7),
+            SensorSpec::card_reader(),
+            SensorSpec::desktop_login(),
+        ] {
+            let p = spec.hit_probability();
+            let q = spec.false_positive_probability(10.0, 50_000.0);
+            assert!(
+                p > q,
+                "{:?}: hit {p} should exceed false positive {q}",
+                spec.sensor_type()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_probabilities() {
+        assert!(SensorSpec::new(SensorType::Gps, 1.5, 0.9, MisidentModel::Fixed(0.0)).is_err());
+        assert!(SensorSpec::new(SensorType::Gps, 0.5, -0.1, MisidentModel::Fixed(0.0)).is_err());
+        assert!(
+            SensorSpec::new(SensorType::Gps, 0.5, 0.9, MisidentModel::Fixed(f64::NAN)).is_err()
+        );
+    }
+
+    #[test]
+    fn zero_coverage_area_falls_back_to_factor() {
+        let spec = SensorSpec::ubisense(1.0);
+        assert_eq!(spec.misident_probability(5.0, 0.0), 0.05);
+    }
+
+    #[test]
+    fn never_carrying_device() {
+        // x = 0: p = 1-z (sensor almost always misses the person),
+        // q = z + y (someone else's device may be misread as theirs).
+        let spec =
+            SensorSpec::new(SensorType::RfidBadge, 0.0, 0.75, MisidentModel::Fixed(0.1)).unwrap();
+        assert!((spec.miss_probability() - 0.9).abs() < 1e-12);
+        assert!((spec.false_positive_probability(1.0, 1.0) - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SensorType::Ubisense.to_string(), "ubisense");
+        assert_eq!(SensorType::CardReader.to_string(), "card-reader");
+    }
+
+    #[test]
+    fn accessors() {
+        let spec = SensorSpec::ubisense(0.85);
+        assert_eq!(spec.sensor_type(), SensorType::Ubisense);
+        assert_eq!(spec.carry_probability(), 0.85);
+        assert_eq!(spec.detection_probability(), 0.95);
+        assert!(matches!(
+            spec.misident_model(),
+            MisidentModel::AreaProportional { .. }
+        ));
+    }
+}

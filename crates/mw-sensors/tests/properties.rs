@@ -1,0 +1,122 @@
+//! Property-based tests for the sensor error model and adapters.
+
+use mw_geometry::Point;
+use mw_model::{Glob, SimTime};
+use mw_sensors::adapters::{UbisenseAdapter, UbisenseSighting};
+use mw_sensors::{Adapter, MisidentModel, SensorSpec, SensorType};
+use proptest::prelude::*;
+
+fn probability() -> impl Strategy<Value = f64> {
+    0.0..=1.0f64
+}
+
+proptest! {
+    #[test]
+    fn derived_probabilities_stay_in_range(
+        x in probability(),
+        y in probability(),
+        z in probability(),
+        area_a in 0.0..1000.0f64,
+        area_u in 1.0..100_000.0f64,
+    ) {
+        for misident in [MisidentModel::Fixed(z), MisidentModel::AreaProportional { factor: z }] {
+            let spec = SensorSpec::new(SensorType::Ubisense, x, y, misident).unwrap();
+            let p_miss = spec.miss_probability_for(area_a, area_u);
+            let p_hit = spec.hit_probability();
+            let q = spec.false_positive_probability(area_a, area_u);
+            prop_assert!((0.0..=1.0).contains(&p_miss), "p_miss {p_miss}");
+            prop_assert!((0.0..=1.0).contains(&p_hit), "p_hit {p_hit}");
+            prop_assert!((0.0..=1.0).contains(&q), "q {q}");
+        }
+    }
+
+    #[test]
+    fn paper_formulas_hold_exactly(
+        x in probability(),
+        y in probability(),
+        z in probability(),
+    ) {
+        let spec = SensorSpec::new(SensorType::Gps, x, y, MisidentModel::Fixed(z)).unwrap();
+        // p = (1-y)x + (1-z)(1-x).
+        let expected_p = (1.0 - y) * x + (1.0 - z) * (1.0 - x);
+        prop_assert!((spec.miss_probability() - expected_p).abs() < 1e-12);
+        // q = z + y(1-x), clamped.
+        let expected_q = (z + y * (1.0 - x)).clamp(0.0, 1.0);
+        prop_assert!((spec.false_positive_probability(1.0, 1.0) - expected_q).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_proportional_z_is_monotone_in_area(
+        factor in probability(),
+        a1 in 0.0..1000.0f64,
+        da in 0.0..1000.0f64,
+        area_u in 1.0..100_000.0f64,
+    ) {
+        let spec = SensorSpec::new(
+            SensorType::RfidBadge,
+            0.9,
+            0.75,
+            MisidentModel::AreaProportional { factor },
+        )
+        .unwrap();
+        let z_small = spec.misident_probability(a1, area_u);
+        let z_large = spec.misident_probability(a1 + da, area_u);
+        prop_assert!(z_large >= z_small - 1e-12);
+        prop_assert!(z_large <= factor + 1e-12); // clamped at the factor
+    }
+
+    #[test]
+    fn rejects_out_of_range_parameters(bad in 1.0001..10.0f64) {
+        prop_assert!(SensorSpec::new(SensorType::Gps, bad, 0.5, MisidentModel::Fixed(0.0)).is_err());
+        prop_assert!(SensorSpec::new(SensorType::Gps, 0.5, bad, MisidentModel::Fixed(0.0)).is_err());
+        prop_assert!(SensorSpec::new(SensorType::Gps, 0.5, 0.5, MisidentModel::Fixed(bad)).is_err());
+        prop_assert!(SensorSpec::new(SensorType::Gps, -bad, 0.5, MisidentModel::Fixed(0.0)).is_err());
+    }
+
+    #[test]
+    fn ubisense_readings_center_on_sightings(
+        x in 0.0..500.0f64,
+        y in 0.0..100.0f64,
+        t in 0.0..1000.0f64,
+    ) {
+        let glob: Glob = "CS/Floor3".parse().unwrap();
+        let mut adapter =
+            UbisenseAdapter::with_parts("a".into(), "Ubi".into(), glob, 1.0);
+        let out = adapter.translate(
+            UbisenseSighting {
+                tag: "tag".into(),
+                position: Point::new(x, y),
+            },
+            SimTime::from_secs(t),
+        );
+        prop_assert_eq!(out.readings.len(), 1);
+        let r = &out.readings[0];
+        // Centered up to floating-point rounding of (x ± 0.5).
+        prop_assert!(r.region.center().distance(Point::new(x, y)) < 1e-9);
+        prop_assert!((r.region.width() - 1.0).abs() < 1e-9); // 6-inch radius square
+        prop_assert_eq!(r.detected_at, SimTime::from_secs(t));
+        prop_assert!(!r.is_expired(SimTime::from_secs(t)));
+    }
+
+    #[test]
+    fn hit_probability_never_increases_with_age(
+        x in probability(),
+        age1 in 0.0..100.0f64,
+        dt in 0.0..100.0f64,
+    ) {
+        let glob: Glob = "CS/Floor3".parse().unwrap();
+        let mut adapter = UbisenseAdapter::with_parts("a".into(), "Ubi".into(), glob, x);
+        let out = adapter.translate(
+            UbisenseSighting {
+                tag: "tag".into(),
+                position: Point::new(10.0, 10.0),
+            },
+            SimTime::ZERO,
+        );
+        let r = &out.readings[0];
+        let early = r.hit_probability_at(SimTime::from_secs(age1));
+        let late = r.hit_probability_at(SimTime::from_secs(age1 + dt));
+        prop_assert!(late <= early + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&early));
+    }
+}

@@ -1,0 +1,344 @@
+//! Building models: the paper's floor (Figure 8 / Table 1) and synthetic
+//! floors for scaling experiments.
+
+use mw_geometry::{Point, Polygon, Rect, Segment};
+use mw_model::Glob;
+use mw_spatial_db::{Geometry, ObjectType, SpatialDatabase, SpatialObject};
+
+/// A floor plan: the populated spatial database plus handy handles to the
+/// rooms.
+#[derive(Debug, Clone)]
+pub struct FloorPlan {
+    /// The populated spatial database (rooms, corridors, doors).
+    pub db: SpatialDatabase,
+    /// The fusion universe (the whole floor outline).
+    pub universe: Rect,
+    /// Walkable rooms and corridors as `(full glob string, rect)`.
+    pub rooms: Vec<(String, Rect)>,
+}
+
+fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+    Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+}
+
+fn room_object(identifier: &str, prefix: &Glob, r: Rect, t: ObjectType) -> SpatialObject {
+    SpatialObject::new(
+        identifier,
+        prefix.clone(),
+        t,
+        Geometry::Polygon(Polygon::from_rect(&r)),
+    )
+}
+
+fn door_object(identifier: &str, prefix: &Glob, a: Point, b: Point) -> SpatialObject {
+    SpatialObject::new(
+        identifier,
+        prefix.clone(),
+        ObjectType::Door,
+        Geometry::Line(Segment::new(a, b)),
+    )
+}
+
+/// The paper's floor model — Table 1's rows (Figure 8), with doors added
+/// so the route graph is connected. The HCILab polygon is blank in the
+/// paper's table; we place it next to NetLab.
+///
+/// Rooms open onto `LabCorridor`, which spans the strip between them for
+/// walkability.
+#[must_use]
+pub fn paper_floor() -> FloorPlan {
+    let mut db = SpatialDatabase::new();
+    let cs: Glob = "CS".parse().expect("valid glob");
+    let floor3: Glob = "CS/Floor3".parse().expect("valid glob");
+
+    let floor_rect = rect(0.0, 0.0, 500.0, 100.0);
+    db.insert_object(room_object("Floor3", &cs, floor_rect, ObjectType::Floor))
+        .expect("fresh database");
+
+    // Table 1 rows (HCILab placed beside NetLab; the paper leaves its
+    // points blank).
+    let rooms = [
+        ("3105", rect(330.0, 0.0, 350.0, 30.0), ObjectType::Room),
+        ("NetLab", rect(360.0, 0.0, 380.0, 30.0), ObjectType::Room),
+        ("HCILab", rect(390.0, 0.0, 410.0, 30.0), ObjectType::Room),
+        (
+            "LabCorridor",
+            rect(310.0, 0.0, 330.0, 30.0),
+            ObjectType::Corridor,
+        ),
+        // A connecting strip so every lab opens onto walkable space.
+        (
+            "MainCorridor",
+            rect(310.0, 30.0, 500.0, 50.0),
+            ObjectType::Corridor,
+        ),
+    ];
+    for (name, r, t) in rooms {
+        db.insert_object(room_object(name, &floor3, r, t))
+            .expect("unique room names");
+    }
+
+    // Doors: each room onto the corridor network.
+    let doors = [
+        ("Door3105", Point::new(330.0, 10.0), Point::new(330.0, 14.0)),
+        (
+            "DoorNetLab",
+            Point::new(368.0, 30.0),
+            Point::new(372.0, 30.0),
+        ),
+        (
+            "DoorHCILab",
+            Point::new(398.0, 30.0),
+            Point::new(402.0, 30.0),
+        ),
+        (
+            "DoorLabCorridor",
+            Point::new(318.0, 30.0),
+            Point::new(322.0, 30.0),
+        ),
+        // 3105 also opens onto the main corridor.
+        (
+            "Door3105North",
+            Point::new(338.0, 30.0),
+            Point::new(342.0, 30.0),
+        ),
+    ];
+    for (name, a, b) in doors {
+        db.insert_object(door_object(name, &floor3, a, b))
+            .expect("unique door names");
+    }
+
+    let rooms = walkable_rooms(&db);
+    FloorPlan {
+        db,
+        universe: floor_rect,
+        rooms,
+    }
+}
+
+/// A synthetic floor for scaling experiments: `rooms_per_side` rooms on
+/// each side of a central corridor, every room with a door onto it.
+///
+/// Each room is 20×30 ft; the corridor is 20 ft wide. The floor grows
+/// horizontally with the room count, keeping the paper's proportions.
+///
+/// # Panics
+///
+/// Panics when `rooms_per_side` is zero.
+#[must_use]
+pub fn synthetic_floor(rooms_per_side: usize) -> FloorPlan {
+    assert!(rooms_per_side > 0, "need at least one room per side");
+    let mut db = SpatialDatabase::new();
+    let cs: Glob = "CS".parse().expect("valid glob");
+    let floor: Glob = "CS/FloorS".parse().expect("valid glob");
+
+    let room_w = 20.0;
+    let room_h = 30.0;
+    let corridor_h = 20.0;
+    let width = rooms_per_side as f64 * room_w;
+    let height = 2.0 * room_h + corridor_h;
+    let floor_rect = rect(0.0, 0.0, width, height);
+    db.insert_object(room_object("FloorS", &cs, floor_rect, ObjectType::Floor))
+        .expect("fresh database");
+
+    db.insert_object(room_object(
+        "Corridor",
+        &floor,
+        rect(0.0, room_h, width, room_h + corridor_h),
+        ObjectType::Corridor,
+    ))
+    .expect("unique");
+
+    for i in 0..rooms_per_side {
+        let x0 = i as f64 * room_w;
+        // South room row.
+        let south = rect(x0, 0.0, x0 + room_w, room_h);
+        db.insert_object(room_object(
+            &format!("S{i}"),
+            &floor,
+            south,
+            ObjectType::Room,
+        ))
+        .expect("unique");
+        db.insert_object(door_object(
+            &format!("DoorS{i}"),
+            &floor,
+            Point::new(x0 + 8.0, room_h),
+            Point::new(x0 + 12.0, room_h),
+        ))
+        .expect("unique");
+        // North room row.
+        let north = rect(x0, room_h + corridor_h, x0 + room_w, height);
+        db.insert_object(room_object(
+            &format!("N{i}"),
+            &floor,
+            north,
+            ObjectType::Room,
+        ))
+        .expect("unique");
+        db.insert_object(door_object(
+            &format!("DoorN{i}"),
+            &floor,
+            Point::new(x0 + 8.0, room_h + corridor_h),
+            Point::new(x0 + 12.0, room_h + corridor_h),
+        ))
+        .expect("unique");
+    }
+
+    let rooms = walkable_rooms(&db);
+    FloorPlan {
+        db,
+        universe: floor_rect,
+        rooms,
+    }
+}
+
+/// A campus model for outdoor (GPS) experiments: a large outdoor quad
+/// with two small buildings opening onto it.
+///
+/// §3: "Outdoor environments can be hierarchically divided … MiddleWhere
+/// views location in a hierarchical manner, which makes it suitable for
+/// both outdoor and indoor environments." The quad is modeled as a
+/// walkable corridor-typed region so the movement model works unchanged;
+/// GPS deployments cover it.
+#[must_use]
+pub fn campus() -> FloorPlan {
+    let mut db = SpatialDatabase::new();
+    let uni: Glob = "Campus".parse().expect("valid glob");
+    let quad_glob: Glob = "Campus".parse().expect("valid glob");
+
+    let campus_rect = rect(0.0, 0.0, 1000.0, 400.0);
+    db.insert_object(room_object("Grounds", &uni, campus_rect, ObjectType::Floor))
+        .expect("fresh database");
+    // The outdoor quad occupies the middle band.
+    db.insert_object(room_object(
+        "Quad",
+        &quad_glob,
+        rect(0.0, 100.0, 1000.0, 300.0),
+        ObjectType::Corridor,
+    ))
+    .expect("unique");
+    // Two buildings (single-room footprints for the movement model).
+    db.insert_object(room_object(
+        "SiebelLobby",
+        &quad_glob,
+        rect(100.0, 0.0, 300.0, 100.0),
+        ObjectType::Room,
+    ))
+    .expect("unique");
+    db.insert_object(room_object(
+        "LibraryLobby",
+        &quad_glob,
+        rect(600.0, 300.0, 800.0, 400.0),
+        ObjectType::Room,
+    ))
+    .expect("unique");
+    db.insert_object(door_object(
+        "SiebelDoor",
+        &quad_glob,
+        Point::new(195.0, 100.0),
+        Point::new(205.0, 100.0),
+    ))
+    .expect("unique");
+    db.insert_object(door_object(
+        "LibraryDoor",
+        &quad_glob,
+        Point::new(695.0, 300.0),
+        Point::new(705.0, 300.0),
+    ))
+    .expect("unique");
+
+    let rooms = walkable_rooms(&db);
+    FloorPlan {
+        db,
+        universe: campus_rect,
+        rooms,
+    }
+}
+
+fn walkable_rooms(db: &SpatialDatabase) -> Vec<(String, Rect)> {
+    let mut rooms: Vec<(String, Rect)> = db
+        .objects()
+        .iter()
+        .filter(|o| matches!(o.object_type, ObjectType::Room | ObjectType::Corridor))
+        .map(|o| (o.glob().to_string(), o.mbr()))
+        .collect();
+    rooms.sort_by(|a, b| a.0.cmp(&b.0));
+    rooms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mw_core::WorldModel;
+
+    #[test]
+    fn paper_floor_matches_table_1() {
+        let plan = paper_floor();
+        assert_eq!(plan.universe, rect(0.0, 0.0, 500.0, 100.0));
+        let room = plan.db.objects().get("CS/Floor3:3105").unwrap();
+        assert_eq!(room.mbr(), rect(330.0, 0.0, 350.0, 30.0));
+        let corridor = plan.db.objects().get("CS/Floor3:LabCorridor").unwrap();
+        assert_eq!(corridor.mbr(), rect(310.0, 0.0, 330.0, 30.0));
+        assert_eq!(plan.rooms.len(), 5);
+    }
+
+    #[test]
+    fn paper_floor_is_fully_connected() {
+        let plan = paper_floor();
+        let world = WorldModel::from_database(&plan.db);
+        // Every walkable room can reach every other.
+        for (a, _) in &plan.rooms {
+            for (b, _) in &plan.rooms {
+                assert!(
+                    world.path_distance(a, b, true).unwrap().is_some(),
+                    "no route {a} -> {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_floor_scales() {
+        for n in [1, 3, 10] {
+            let plan = synthetic_floor(n);
+            // 2n rooms + corridor.
+            assert_eq!(plan.rooms.len(), 2 * n + 1);
+            assert_eq!(plan.universe.width(), n as f64 * 20.0);
+        }
+    }
+
+    #[test]
+    fn synthetic_floor_is_fully_connected() {
+        let plan = synthetic_floor(5);
+        let world = WorldModel::from_database(&plan.db);
+        for (a, _) in &plan.rooms {
+            for (b, _) in &plan.rooms {
+                assert!(
+                    world.path_distance(a, b, false).unwrap().is_some(),
+                    "no route {a} -> {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one room")]
+    fn zero_rooms_rejected() {
+        let _ = synthetic_floor(0);
+    }
+
+    #[test]
+    fn campus_is_connected_through_the_quad() {
+        let plan = campus();
+        assert_eq!(plan.rooms.len(), 3); // quad + two lobbies
+        let world = WorldModel::from_database(&plan.db);
+        assert!(world
+            .path_distance("Campus/SiebelLobby", "Campus/LibraryLobby", false)
+            .unwrap()
+            .is_some());
+        // The walk crosses the quad.
+        let quad = world.region_rect("Campus/Quad").unwrap();
+        assert!(quad.contains_point(Point::new(500.0, 200.0)));
+    }
+}

@@ -1,0 +1,225 @@
+//! Parameter estimation — the paper's stated future work (§11):
+//!
+//! "We also plan to conduct user studies to get accurate values of
+//! various parameters of our system like the probability of carrying
+//! location devices and the temporal degradation function. These
+//! probability values can then be used by the middleware and
+//! location-aware applications to improve their reliability and
+//! accuracy."
+//!
+//! The simulator can play the role of the user study: ground truth is
+//! known, so the estimators below can be validated end-to-end before
+//! being pointed at real observation logs.
+
+use mw_model::{SimDuration, TemporalDegradation};
+
+/// Estimates the badge-carrying probability `x` from detection trials.
+///
+/// Each trial is one polling opportunity where ground truth (or an
+/// independent observer, in a real user study) says the person was inside
+/// the sensor's coverage; `detected` says whether the sensor reported
+/// them. With the technology's detection probability `y` known from its
+/// specification, `x ≈ detection_rate / y`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CarryProbabilityEstimator {
+    trials: usize,
+    detections: usize,
+}
+
+impl CarryProbabilityEstimator {
+    /// Creates an empty estimator.
+    #[must_use]
+    pub fn new() -> Self {
+        CarryProbabilityEstimator::default()
+    }
+
+    /// Records one in-coverage polling opportunity.
+    pub fn observe(&mut self, detected: bool) {
+        self.trials += 1;
+        if detected {
+            self.detections += 1;
+        }
+    }
+
+    /// Number of recorded trials.
+    #[must_use]
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// The raw detection rate `x·y`.
+    #[must_use]
+    pub fn detection_rate(&self) -> f64 {
+        if self.trials == 0 {
+            return f64::NAN;
+        }
+        self.detections as f64 / self.trials as f64
+    }
+
+    /// The carry probability `x` given the technology's `y`, clamped to
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn estimate(&self, detection_probability_y: f64) -> f64 {
+        if detection_probability_y <= 0.0 {
+            return f64::NAN;
+        }
+        (self.detection_rate() / detection_probability_y).clamp(0.0, 1.0)
+    }
+}
+
+/// An empirically fitted temporal degradation function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FittedTdf {
+    /// `(age bucket midpoint seconds, empirical P(reading still valid))`.
+    pub empirical: Vec<(f64, f64)>,
+    /// Exponential half-life fitted by log-linear regression, `None` when
+    /// the data never decays (or is too sparse).
+    pub half_life: Option<SimDuration>,
+}
+
+impl FittedTdf {
+    /// The fitted function as a [`TemporalDegradation`]: exponential when
+    /// a half-life was found, otherwise no decay.
+    #[must_use]
+    pub fn as_tdf(&self) -> TemporalDegradation {
+        match self.half_life {
+            Some(hl) => TemporalDegradation::ExponentialHalfLife { half_life: hl },
+            None => TemporalDegradation::None,
+        }
+    }
+}
+
+/// Fits a temporal degradation function from validity samples.
+///
+/// Each sample is `(age seconds, still_valid)`: at `age` after a reading
+/// (e.g. a card swipe), was the person in fact still where the reading
+/// said? Samples are bucketed by `bucket_secs`, the empirical survival
+/// curve computed, and an exponential half-life fitted by least squares
+/// on `ln(p)` (buckets with `p = 0` or no data are skipped).
+#[must_use]
+pub fn fit_tdf(samples: &[(f64, bool)], bucket_secs: f64) -> FittedTdf {
+    assert!(bucket_secs > 0.0, "bucket width must be positive");
+    let mut buckets: std::collections::BTreeMap<u64, (usize, usize)> = Default::default();
+    for &(age, valid) in samples {
+        if !age.is_finite() || age < 0.0 {
+            continue;
+        }
+        let b = (age / bucket_secs).floor() as u64;
+        let e = buckets.entry(b).or_insert((0, 0));
+        e.0 += 1;
+        if valid {
+            e.1 += 1;
+        }
+    }
+    let empirical: Vec<(f64, f64)> = buckets
+        .iter()
+        .map(|(&b, &(n, k))| ((b as f64 + 0.5) * bucket_secs, k as f64 / n as f64))
+        .collect();
+
+    // Least squares on ln(p) = -lambda * t  (through the origin, since
+    // p(0) = 1 by construction of a fresh reading).
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &(t, p) in &empirical {
+        if p > 0.0 && p < 1.0 {
+            num += t * p.ln();
+            den += t * t;
+        }
+    }
+    let half_life = if den > 0.0 && num < 0.0 {
+        let lambda = -num / den;
+        Some(SimDuration::from_secs(std::f64::consts::LN_2 / lambda))
+    } else {
+        None
+    };
+    FittedTdf {
+        empirical,
+        half_life,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn carry_probability_recovers_truth() {
+        // Simulated study: x = 0.8, y = 0.95.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut est = CarryProbabilityEstimator::new();
+        for _ in 0..20_000 {
+            let carrying = rng.gen_bool(0.8);
+            let detected = carrying && rng.gen_bool(0.95);
+            est.observe(detected);
+        }
+        let x = est.estimate(0.95);
+        assert!((x - 0.8).abs() < 0.02, "estimated x = {x}");
+        assert_eq!(est.trials(), 20_000);
+    }
+
+    #[test]
+    fn carry_probability_edge_cases() {
+        let est = CarryProbabilityEstimator::new();
+        assert!(est.detection_rate().is_nan());
+        assert!(est.estimate(0.0).is_nan());
+        let mut est = CarryProbabilityEstimator::new();
+        for _ in 0..10 {
+            est.observe(true);
+        }
+        // Rate above y clamps to 1.
+        assert_eq!(est.estimate(0.5), 1.0);
+    }
+
+    #[test]
+    fn tdf_fit_recovers_half_life() {
+        // Ground truth: exponential survival with half-life 60 s.
+        let mut rng = StdRng::seed_from_u64(7);
+        let hl = 60.0;
+        let samples: Vec<(f64, bool)> = (0..50_000)
+            .map(|_| {
+                let age = rng.gen_range(0.0..240.0);
+                let p = 0.5f64.powf(age / hl);
+                (age, rng.gen_bool(p))
+            })
+            .collect();
+        let fit = fit_tdf(&samples, 15.0);
+        let estimated = fit.half_life.expect("decay detected").as_secs();
+        assert!(
+            (estimated - hl).abs() < 10.0,
+            "estimated half-life {estimated}"
+        );
+        // The empirical curve is monotone-ish decreasing.
+        assert!(fit.empirical.first().unwrap().1 > fit.empirical.last().unwrap().1);
+        assert!(matches!(
+            fit.as_tdf(),
+            TemporalDegradation::ExponentialHalfLife { .. }
+        ));
+    }
+
+    #[test]
+    fn tdf_fit_without_decay() {
+        let samples: Vec<(f64, bool)> = (0..100).map(|i| (i as f64, true)).collect();
+        let fit = fit_tdf(&samples, 10.0);
+        assert_eq!(fit.half_life, None);
+        assert_eq!(fit.as_tdf(), TemporalDegradation::None);
+        for (_, p) in fit.empirical {
+            assert_eq!(p, 1.0);
+        }
+    }
+
+    #[test]
+    fn tdf_fit_ignores_garbage_samples() {
+        let samples = vec![(f64::NAN, true), (-5.0, false), (10.0, true), (10.0, false)];
+        let fit = fit_tdf(&samples, 10.0);
+        assert_eq!(fit.empirical.len(), 1);
+        assert_eq!(fit.empirical[0].1, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket")]
+    fn zero_bucket_rejected() {
+        let _ = fit_tdf(&[], 0.0);
+    }
+}

@@ -1,0 +1,800 @@
+//! Simulated sensor installations.
+//!
+//! Each deployed sensor watches the ground truth, produces *native*
+//! events with the error characteristics of §6 (missed detections with
+//! probability `1 − y`, misidentification with probability `z`,
+//! badge-carrying with probability `x`), and feeds them through the real
+//! `mw-sensors` adapters — so the middleware under test never sees ground
+//! truth, only what the hardware would have reported.
+
+use mw_geometry::{Circle, Point, Rect};
+use mw_model::{Glob, SimDuration, SimTime, TemporalDegradation};
+use mw_sensors::adapters::{
+    BadgeSighting, BiometricAdapter, BiometricEvent, CardReaderAdapter, CardSwipe,
+    DesktopLoginAdapter, DesktopSessionEvent, GpsAdapter, GpsFix, RfidBadgeAdapter,
+    UbisenseAdapter, UbisenseSighting,
+};
+use mw_sensors::{Adapter, AdapterOutput, MobileObjectId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::Person;
+
+/// Configuration of a simulated deployment over a floor plan.
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    /// Probability a person carries their badge (the paper's `x`).
+    pub carry_probability: f64,
+    /// Ubisense polling period, seconds (continuous tracking).
+    pub ubisense_period: f64,
+    /// RFID base-station polling period, seconds.
+    pub rfid_period: f64,
+    /// Rooms (by index into the plan's room list) covered by Ubisense.
+    pub ubisense_rooms: Vec<usize>,
+    /// Rooms with an RFID base station at their center.
+    pub rfid_rooms: Vec<usize>,
+    /// Rooms with a fingerprint reader (biometric login) at their center.
+    pub biometric_rooms: Vec<usize>,
+    /// Rooms guarded by a card reader at their entrance: entering the
+    /// room produces a swipe (the §1.1 motivating example).
+    pub card_reader_rooms: Vec<usize>,
+    /// Rooms with a login workstation at their center.
+    pub desktop_rooms: Vec<usize>,
+    /// Outdoor regions with GPS coverage (satellite fixes for everyone
+    /// carrying a receiver), with the receiver's accuracy estimate in ft.
+    pub gps_regions: Vec<usize>,
+    /// GPS polling period, seconds.
+    pub gps_period: f64,
+    /// GPS accuracy estimate in feet (the paper's example uses 15 ft).
+    pub gps_accuracy_ft: f64,
+    /// Ubisense reading time-to-live (default: the paper's 3 s).
+    pub ubisense_ttl_secs: f64,
+    /// Override of the Ubisense temporal degradation function, e.g. an
+    /// empirically fitted one (`None` keeps the default linear-to-TTL).
+    pub ubisense_tdf: Option<TemporalDegradation>,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        DeploymentConfig {
+            carry_probability: 0.9,
+            ubisense_period: 1.0,
+            rfid_period: 5.0,
+            ubisense_rooms: vec![0],
+            rfid_rooms: vec![1],
+            biometric_rooms: vec![2],
+            card_reader_rooms: vec![],
+            desktop_rooms: vec![],
+            gps_regions: vec![],
+            gps_period: 2.0,
+            gps_accuracy_ft: 15.0,
+            ubisense_ttl_secs: mw_sensors::adapters::UBISENSE_TTL_SECS,
+            ubisense_tdf: None,
+        }
+    }
+}
+
+enum Installed {
+    Ubisense {
+        adapter: UbisenseAdapter,
+        coverage: Rect,
+        period: f64,
+        next_due: f64,
+    },
+    Rfid {
+        adapter: RfidBadgeAdapter,
+        station: Point,
+        range: f64,
+        period: f64,
+        next_due: f64,
+    },
+    Biometric {
+        adapter: BiometricAdapter,
+        device: Point,
+        /// People currently logged in (so we emit logouts when they leave).
+        logged_in: Vec<MobileObjectId>,
+        room: Rect,
+    },
+    CardReader {
+        adapter: CardReaderAdapter,
+        room: Rect,
+        /// People known to be inside (a swipe fires on the transition in).
+        inside: Vec<MobileObjectId>,
+    },
+    Desktop {
+        adapter: DesktopLoginAdapter,
+        machine: Point,
+        logged_in: Vec<MobileObjectId>,
+        room: Rect,
+    },
+    Gps {
+        adapter: GpsAdapter,
+        coverage: Rect,
+        accuracy: f64,
+        period: f64,
+        next_due: f64,
+    },
+}
+
+impl std::fmt::Debug for Installed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Installed::Ubisense { coverage, .. } => {
+                write!(f, "Ubisense({coverage})")
+            }
+            Installed::Rfid { station, range, .. } => {
+                write!(f, "Rfid({station}, r={range})")
+            }
+            Installed::Biometric { device, .. } => write!(f, "Biometric({device})"),
+            Installed::CardReader { room, .. } => write!(f, "CardReader({room})"),
+            Installed::Desktop { machine, .. } => write!(f, "Desktop({machine})"),
+            Installed::Gps { coverage, .. } => write!(f, "Gps({coverage})"),
+        }
+    }
+}
+
+/// The set of simulated sensors installed on a floor.
+#[derive(Debug)]
+pub struct Deployment {
+    sensors: Vec<Installed>,
+    carry_probability: f64,
+}
+
+impl Deployment {
+    /// Installs sensors on `rooms` (the plan's walkable-room list) per the
+    /// config. Out-of-range room indices are ignored.
+    #[must_use]
+    pub fn install(config: &DeploymentConfig, rooms: &[(String, Rect)]) -> Self {
+        let mut sensors = Vec::new();
+        for (k, &idx) in config.ubisense_rooms.iter().enumerate() {
+            let Some((name, rect)) = rooms.get(idx) else {
+                continue;
+            };
+            let glob: Glob = name.parse().expect("room names are globs");
+            let mut adapter = UbisenseAdapter::with_parts(
+                format!("ubi-adapter-{k}").as_str().into(),
+                format!("Ubi-{k}").as_str().into(),
+                glob,
+                config.carry_probability,
+            );
+            adapter.set_time_to_live(SimDuration::from_secs(config.ubisense_ttl_secs));
+            if let Some(tdf) = &config.ubisense_tdf {
+                adapter.set_tdf(tdf.clone());
+            }
+            sensors.push(Installed::Ubisense {
+                adapter,
+                coverage: *rect,
+                period: config.ubisense_period,
+                next_due: 0.0,
+            });
+        }
+        for (k, &idx) in config.rfid_rooms.iter().enumerate() {
+            let Some((name, rect)) = rooms.get(idx) else {
+                continue;
+            };
+            let glob: Glob = name.parse().expect("room names are globs");
+            sensors.push(Installed::Rfid {
+                adapter: RfidBadgeAdapter::with_parts(
+                    format!("rf-adapter-{k}").as_str().into(),
+                    format!("RF-{k}").as_str().into(),
+                    glob,
+                    rect.center(),
+                    config.carry_probability,
+                ),
+                station: rect.center(),
+                range: mw_sensors::adapters::RFID_RANGE_FT,
+                period: config.rfid_period,
+                next_due: 0.0,
+            });
+        }
+        for (k, &idx) in config.biometric_rooms.iter().enumerate() {
+            let Some((name, rect)) = rooms.get(idx) else {
+                continue;
+            };
+            let glob: Glob = name.parse().expect("room names are globs");
+            sensors.push(Installed::Biometric {
+                adapter: BiometricAdapter::with_parts(
+                    format!("bio-adapter-{k}").as_str().into(),
+                    format!("Fp-{k}").as_str().into(),
+                    glob,
+                    rect.center(),
+                    *rect,
+                    0.2,
+                ),
+                device: rect.center(),
+                logged_in: Vec::new(),
+                room: *rect,
+            });
+        }
+        for (k, &idx) in config.card_reader_rooms.iter().enumerate() {
+            let Some((name, rect)) = rooms.get(idx) else {
+                continue;
+            };
+            let glob: Glob = name.parse().expect("room names are globs");
+            sensors.push(Installed::CardReader {
+                adapter: CardReaderAdapter::with_parts(
+                    format!("card-adapter-{k}").as_str().into(),
+                    format!("Card-{k}").as_str().into(),
+                    glob,
+                    *rect,
+                ),
+                room: *rect,
+                inside: Vec::new(),
+            });
+        }
+        for (k, &idx) in config.desktop_rooms.iter().enumerate() {
+            let Some((name, rect)) = rooms.get(idx) else {
+                continue;
+            };
+            let glob: Glob = name.parse().expect("room names are globs");
+            sensors.push(Installed::Desktop {
+                adapter: DesktopLoginAdapter::with_parts(
+                    format!("desk-adapter-{k}").as_str().into(),
+                    format!("Desk-{k}").as_str().into(),
+                    glob,
+                    rect.center(),
+                ),
+                machine: rect.center(),
+                logged_in: Vec::new(),
+                room: *rect,
+            });
+        }
+        for (k, &idx) in config.gps_regions.iter().enumerate() {
+            let Some((name, rect)) = rooms.get(idx) else {
+                continue;
+            };
+            let glob: Glob = name.parse().expect("room names are globs");
+            sensors.push(Installed::Gps {
+                adapter: GpsAdapter::with_parts(
+                    format!("gps-adapter-{k}").as_str().into(),
+                    format!("Gps-{k}").as_str().into(),
+                    glob,
+                    config.carry_probability,
+                ),
+                coverage: *rect,
+                accuracy: config.gps_accuracy_ft,
+                period: config.gps_period,
+                next_due: 0.0,
+            });
+        }
+        Deployment {
+            sensors,
+            carry_probability: config.carry_probability,
+        }
+    }
+
+    /// The carry probability people should be sampled with.
+    #[must_use]
+    pub fn carry_probability(&self) -> f64 {
+        self.carry_probability
+    }
+
+    /// Number of installed sensors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// Returns `true` when nothing is installed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sensors.is_empty()
+    }
+
+    /// Polls every due sensor against the ground truth at `now`; returns
+    /// the adapter outputs to ingest.
+    pub fn poll(
+        &mut self,
+        people: &[Person],
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> Vec<AdapterOutput> {
+        let mut outputs = Vec::new();
+        let t = now.as_secs();
+        for sensor in &mut self.sensors {
+            match sensor {
+                Installed::Ubisense {
+                    adapter,
+                    coverage,
+                    period,
+                    next_due,
+                } => {
+                    if t + 1e-9 < *next_due {
+                        continue;
+                    }
+                    *next_due = t + *period;
+                    for person in people {
+                        if !person.carries_badge || !coverage.contains_point(person.position) {
+                            continue;
+                        }
+                        // Detected with probability y = 0.95; position
+                        // jittered within the 6-inch resolution.
+                        if rng.gen_bool(0.95) {
+                            let jitter = Point::new(
+                                person.position.x + rng.gen_range(-0.5..0.5),
+                                person.position.y + rng.gen_range(-0.5..0.5),
+                            );
+                            outputs.push(adapter.translate(
+                                UbisenseSighting {
+                                    tag: person.id.clone(),
+                                    position: jitter,
+                                },
+                                now,
+                            ));
+                        } else if rng.gen_bool(0.05) {
+                            // Misdetection: wildly wrong position inside
+                            // the coverage area.
+                            let wild = Point::new(
+                                rng.gen_range(coverage.min().x..coverage.max().x),
+                                rng.gen_range(coverage.min().y..coverage.max().y),
+                            );
+                            outputs.push(adapter.translate(
+                                UbisenseSighting {
+                                    tag: person.id.clone(),
+                                    position: wild,
+                                },
+                                now,
+                            ));
+                        }
+                    }
+                }
+                Installed::Rfid {
+                    adapter,
+                    station,
+                    range,
+                    period,
+                    next_due,
+                } => {
+                    if t + 1e-9 < *next_due {
+                        continue;
+                    }
+                    *next_due = t + *period;
+                    let disk = Circle::new(*station, *range);
+                    for person in people {
+                        if !person.carries_badge || !disk.contains_point(person.position) {
+                            continue;
+                        }
+                        // Detected with probability y = 0.75.
+                        if rng.gen_bool(0.75) {
+                            outputs.push(adapter.translate(
+                                BadgeSighting {
+                                    badge: person.id.clone(),
+                                },
+                                now,
+                            ));
+                        }
+                    }
+                }
+                Installed::CardReader {
+                    adapter,
+                    room,
+                    inside,
+                } => {
+                    for person in people {
+                        let now_inside = room.contains_point(person.position);
+                        let was_inside = inside.contains(&person.id);
+                        if now_inside && !was_inside {
+                            inside.push(person.id.clone());
+                            // Swiping requires the card; the person's ID
+                            // badge is assumed on hand at the door (x = 1
+                            // in the paper's card-reader model), but the
+                            // reader misreads occasionally (y = 0.98).
+                            if rng.gen_bool(0.98) {
+                                outputs.push(adapter.translate(
+                                    CardSwipe {
+                                        user: person.id.clone(),
+                                    },
+                                    now,
+                                ));
+                            }
+                        } else if !now_inside && was_inside {
+                            inside.retain(|id| id != &person.id);
+                        }
+                    }
+                }
+                Installed::Desktop {
+                    adapter,
+                    machine,
+                    logged_in,
+                    room,
+                } => {
+                    for person in people {
+                        let near = person.position.distance(*machine) <= 3.0;
+                        let in_room = room.contains_point(person.position);
+                        let is_logged_in = logged_in.contains(&person.id);
+                        if near && !is_logged_in && rng.gen_bool(0.3) {
+                            logged_in.push(person.id.clone());
+                            outputs.push(adapter.translate(
+                                DesktopSessionEvent::Login {
+                                    user: person.id.clone(),
+                                },
+                                now,
+                            ));
+                        } else if near && is_logged_in {
+                            // Activity keep-alives while working.
+                            outputs.push(adapter.translate(
+                                DesktopSessionEvent::Activity {
+                                    user: person.id.clone(),
+                                },
+                                now,
+                            ));
+                        } else if !in_room && is_logged_in {
+                            logged_in.retain(|id| id != &person.id);
+                            // Sessions lock on departure (screensaver).
+                            outputs.push(adapter.translate(
+                                DesktopSessionEvent::Logout {
+                                    user: person.id.clone(),
+                                },
+                                now,
+                            ));
+                        }
+                    }
+                }
+                Installed::Gps {
+                    adapter,
+                    coverage,
+                    accuracy,
+                    period,
+                    next_due,
+                } => {
+                    if t + 1e-9 < *next_due {
+                        continue;
+                    }
+                    *next_due = t + *period;
+                    for person in people {
+                        if !person.carries_badge || !coverage.contains_point(person.position) {
+                            continue;
+                        }
+                        // A fix succeeds with the GPS spec's y = 0.99;
+                        // position error within the accuracy estimate.
+                        if rng.gen_bool(0.99) {
+                            let err = *accuracy;
+                            let jitter = Point::new(
+                                person.position.x + rng.gen_range(-err..err) * 0.5,
+                                person.position.y + rng.gen_range(-err..err) * 0.5,
+                            );
+                            outputs.push(adapter.translate(
+                                GpsFix {
+                                    device: person.id.clone(),
+                                    position: jitter,
+                                    accuracy: err,
+                                },
+                                now,
+                            ));
+                        }
+                    }
+                }
+                Installed::Biometric {
+                    adapter,
+                    device,
+                    logged_in,
+                    room,
+                } => {
+                    // Logins: a person near the device who is not logged
+                    // in authenticates with some probability (they came to
+                    // use the machine).
+                    for person in people {
+                        let near = person.position.distance(*device) <= 2.0;
+                        let inside = room.contains_point(person.position);
+                        let is_logged_in = logged_in.contains(&person.id);
+                        if near && !is_logged_in && rng.gen_bool(0.5) {
+                            logged_in.push(person.id.clone());
+                            outputs.push(adapter.translate(
+                                BiometricEvent::Login {
+                                    user: person.id.clone(),
+                                },
+                                now,
+                            ));
+                        } else if !inside && is_logged_in {
+                            // Left the room: 50% chance they remembered to
+                            // log out (the paper: "people often forget").
+                            logged_in.retain(|id| id != &person.id);
+                            if rng.gen_bool(0.5) {
+                                outputs.push(adapter.translate(
+                                    BiometricEvent::Logout {
+                                        user: person.id.clone(),
+                                    },
+                                    now,
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::building::paper_floor;
+    use rand::SeedableRng;
+
+    fn people_at(positions: &[(f64, f64)]) -> Vec<Person> {
+        positions
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| {
+                Person::new(format!("p{i}").as_str().into(), Point::new(x, y), true)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn install_default_deployment() {
+        let plan = paper_floor();
+        let d = Deployment::install(&DeploymentConfig::default(), &plan.rooms);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.carry_probability(), 0.9);
+    }
+
+    #[test]
+    fn out_of_range_rooms_ignored() {
+        let plan = paper_floor();
+        let config = DeploymentConfig {
+            ubisense_rooms: vec![999],
+            rfid_rooms: vec![999],
+            biometric_rooms: vec![999],
+            ..DeploymentConfig::default()
+        };
+        let d = Deployment::install(&config, &plan.rooms);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn ubisense_sees_person_in_coverage() {
+        let plan = paper_floor();
+        // Room list is sorted by name; index 0 is "CS/Floor3/3105".
+        assert_eq!(plan.rooms[0].0, "CS/Floor3/3105");
+        let config = DeploymentConfig {
+            ubisense_rooms: vec![0],
+            rfid_rooms: vec![],
+            biometric_rooms: vec![],
+            ..DeploymentConfig::default()
+        };
+        let mut d = Deployment::install(&config, &plan.rooms);
+        let mut rng = StdRng::seed_from_u64(1);
+        let people = people_at(&[(340.0, 15.0)]); // inside 3105
+        let mut total = 0;
+        for step in 0..20 {
+            let outs = d.poll(&people, SimTime::from_secs(step as f64), &mut rng);
+            total += outs.iter().map(|o| o.readings.len()).sum::<usize>();
+        }
+        // y = 0.95: nearly every poll produces a reading.
+        assert!(total >= 15, "only {total} readings in 20 polls");
+    }
+
+    #[test]
+    fn person_without_badge_is_invisible_to_badge_sensors() {
+        let plan = paper_floor();
+        let config = DeploymentConfig {
+            ubisense_rooms: vec![0],
+            rfid_rooms: vec![0],
+            biometric_rooms: vec![],
+            ..DeploymentConfig::default()
+        };
+        let mut d = Deployment::install(&config, &plan.rooms);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut person = Person::new("noband".into(), Point::new(340.0, 15.0), true);
+        person.carries_badge = false;
+        let outs = d.poll(std::slice::from_ref(&person), SimTime::ZERO, &mut rng);
+        assert!(outs.iter().all(|o| o.readings.is_empty()));
+    }
+
+    #[test]
+    fn polling_respects_period() {
+        let plan = paper_floor();
+        let config = DeploymentConfig {
+            ubisense_rooms: vec![0],
+            rfid_rooms: vec![],
+            biometric_rooms: vec![],
+            ubisense_period: 10.0,
+            ..DeploymentConfig::default()
+        };
+        let mut d = Deployment::install(&config, &plan.rooms);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Many people in coverage so a fully-empty poll is (0.05)^20-rare.
+        let positions: Vec<(f64, f64)> =
+            (0..20).map(|i| (331.0 + (i as f64) * 0.9, 15.0)).collect();
+        let people = people_at(&positions);
+        // First poll at t=0 fires; t=1..9 must be quiet.
+        let first = d.poll(&people, SimTime::ZERO, &mut rng);
+        assert!(!first.is_empty());
+        for t in 1..10 {
+            let outs = d.poll(&people, SimTime::from_secs(t as f64), &mut rng);
+            assert!(outs.is_empty(), "unexpected poll at t={t}");
+        }
+        let again = d.poll(&people, SimTime::from_secs(10.0), &mut rng);
+        assert!(!again.is_empty());
+    }
+
+    #[test]
+    fn card_reader_fires_on_entry_only() {
+        let plan = paper_floor();
+        let config = DeploymentConfig {
+            ubisense_rooms: vec![],
+            rfid_rooms: vec![],
+            biometric_rooms: vec![],
+            card_reader_rooms: vec![0], // CS/Floor3/3105
+            ..DeploymentConfig::default()
+        };
+        let mut d = Deployment::install(&config, &plan.rooms);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut person = Person::new("alice".into(), Point::new(320.0, 15.0), true); // corridor
+                                                                                     // Outside: nothing.
+        let outs = d.poll(std::slice::from_ref(&person), SimTime::ZERO, &mut rng);
+        assert!(outs.is_empty());
+        // Enter the room: one swipe (y = 0.98, seed 8 passes).
+        person.position = Point::new(340.0, 15.0);
+        let outs = d.poll(
+            std::slice::from_ref(&person),
+            SimTime::from_secs(1.0),
+            &mut rng,
+        );
+        let readings: usize = outs.iter().map(|o| o.readings.len()).sum();
+        assert_eq!(readings, 1);
+        // Dwelling inside: no repeat swipe.
+        let outs = d.poll(
+            std::slice::from_ref(&person),
+            SimTime::from_secs(2.0),
+            &mut rng,
+        );
+        assert!(outs.is_empty());
+        // Leave and re-enter: swipes again (eventually; allow misreads).
+        person.position = Point::new(320.0, 15.0);
+        let _ = d.poll(
+            std::slice::from_ref(&person),
+            SimTime::from_secs(3.0),
+            &mut rng,
+        );
+        person.position = Point::new(340.0, 15.0);
+        let outs = d.poll(
+            std::slice::from_ref(&person),
+            SimTime::from_secs(4.0),
+            &mut rng,
+        );
+        let readings: usize = outs.iter().map(|o| o.readings.len()).sum();
+        assert!(readings <= 1);
+    }
+
+    #[test]
+    fn desktop_session_lifecycle() {
+        let plan = paper_floor();
+        let config = DeploymentConfig {
+            ubisense_rooms: vec![],
+            rfid_rooms: vec![],
+            biometric_rooms: vec![],
+            desktop_rooms: vec![0],
+            ..DeploymentConfig::default()
+        };
+        let mut d = Deployment::install(&config, &plan.rooms);
+        let mut rng = StdRng::seed_from_u64(4);
+        let machine = plan.rooms[0].1.center();
+        let mut person = Person::new("carol".into(), machine, true);
+        // Poll until login (p = 0.3 per poll).
+        let mut logged_in = false;
+        for t in 0..30 {
+            let outs = d.poll(
+                std::slice::from_ref(&person),
+                SimTime::from_secs(t as f64),
+                &mut rng,
+            );
+            if outs.iter().any(|o| !o.readings.is_empty()) {
+                logged_in = true;
+                break;
+            }
+        }
+        assert!(logged_in, "no desktop login in 30 polls");
+        // Leaving the room locks the session (a revocation).
+        person.position = Point::new(10.0, 90.0);
+        let outs = d.poll(
+            std::slice::from_ref(&person),
+            SimTime::from_secs(60.0),
+            &mut rng,
+        );
+        assert!(outs.iter().any(|o| !o.revocations.is_empty()));
+    }
+
+    #[test]
+    fn gps_covers_the_campus_quad() {
+        let plan = crate::building::campus();
+        // Rooms sorted: LibraryLobby, Quad, SiebelLobby.
+        let quad_idx = plan
+            .rooms
+            .iter()
+            .position(|(n, _)| n.ends_with("Quad"))
+            .unwrap();
+        let config = DeploymentConfig {
+            ubisense_rooms: vec![],
+            rfid_rooms: vec![],
+            biometric_rooms: vec![],
+            gps_regions: vec![quad_idx],
+            carry_probability: 1.0,
+            ..DeploymentConfig::default()
+        };
+        let mut d = Deployment::install(&config, &plan.rooms);
+        let mut rng = StdRng::seed_from_u64(2);
+        // Outdoors: fixes arrive.
+        let outdoor = Person::new("van".into(), Point::new(500.0, 200.0), true);
+        let outs = d.poll(std::slice::from_ref(&outdoor), SimTime::ZERO, &mut rng);
+        let fixes: usize = outs.iter().map(|o| o.readings.len()).sum();
+        assert_eq!(fixes, 1);
+        // The fix's region is the accuracy square (2×15 ft wide).
+        assert_eq!(outs[0].readings[0].region.width(), 30.0);
+        // Indoors: no satellite lock.
+        let indoor = Person::new("desk".into(), Point::new(200.0, 50.0), true);
+        let outs = d.poll(
+            std::slice::from_ref(&indoor),
+            SimTime::from_secs(10.0),
+            &mut rng,
+        );
+        assert!(outs.iter().all(|o| o.readings.is_empty()));
+    }
+
+    #[test]
+    fn biometric_login_and_logout_cycle() {
+        let plan = paper_floor();
+        // Index 2 is "CS/Floor3/HCILab" after sorting? Order:
+        // 3105, HCILab, LabCorridor, MainCorridor, NetLab.
+        assert_eq!(plan.rooms[1].0, "CS/Floor3/HCILab");
+        let config = DeploymentConfig {
+            ubisense_rooms: vec![],
+            rfid_rooms: vec![],
+            biometric_rooms: vec![1],
+            ..DeploymentConfig::default()
+        };
+        let mut d = Deployment::install(&config, &plan.rooms);
+        let mut rng = StdRng::seed_from_u64(3);
+        let device = plan.rooms[1].1.center();
+        let mut person = Person::new("alice".into(), device, true);
+        // Poll until a login occurs (gen_bool(0.5) per poll).
+        let mut login_seen = false;
+        for t in 0..20 {
+            let outs = d.poll(
+                std::slice::from_ref(&person),
+                SimTime::from_secs(t as f64),
+                &mut rng,
+            );
+            if outs.iter().any(|o| o.readings.len() == 2) {
+                login_seen = true;
+                break;
+            }
+        }
+        assert!(login_seen, "no login in 20 polls");
+        // Move far away: a logout (or silent departure) occurs.
+        person.position = Point::new(10.0, 90.0);
+        let mut revocation_or_nothing = false;
+        for t in 20..40 {
+            let outs = d.poll(
+                std::slice::from_ref(&person),
+                SimTime::from_secs(t as f64),
+                &mut rng,
+            );
+            if outs.iter().any(|o| !o.revocations.is_empty()) {
+                revocation_or_nothing = true;
+                break;
+            }
+        }
+        // Either they logged out (revocation) or forgot (nothing) — both
+        // valid; but the logged_in list must have been cleared, so a
+        // re-approach can log in again.
+        let _ = revocation_or_nothing;
+        person.position = device;
+        let mut relogin = false;
+        for t in 40..80 {
+            let outs = d.poll(
+                std::slice::from_ref(&person),
+                SimTime::from_secs(t as f64),
+                &mut rng,
+            );
+            if outs.iter().any(|o| o.readings.len() == 2) {
+                relogin = true;
+                break;
+            }
+        }
+        assert!(relogin, "person could not log in again");
+    }
+}

@@ -1,0 +1,37 @@
+//! Deterministic simulator for the MiddleWhere reproduction.
+//!
+//! The paper evaluates MiddleWhere on a real deployment: Ubisense, RFID
+//! badges, fingerprint readers and GPS sensing real people on the third
+//! floor of the Siebel Center. This crate replaces the physical world with
+//! a seeded simulation that exercises exactly the same code paths:
+//!
+//! - [`building`] — the paper's floor plan (Figure 8 / Table 1) and
+//!   parameterized synthetic floors for scaling experiments,
+//! - [`Person`] — ground-truth people doing random-waypoint movement
+//!   through the route graph (rooms, doors, corridors),
+//! - [`Deployment`] — simulated sensor installations that observe people
+//!   with the error characteristics of §6 and feed native events through
+//!   the real `mw-sensors` adapters,
+//! - [`Simulation`] — the orchestrator: advances the clock, moves people,
+//!   polls sensors, ingests readings into a real [`LocationService`], and
+//!   keeps ground truth around so experiments can score accuracy.
+//!
+//! Everything is driven by a single `u64` seed; the same seed reproduces
+//! the same experiment bit-for-bit.
+//!
+//! [`LocationService`]: mw_core::LocationService
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod building;
+pub mod calibration;
+mod deployment;
+mod person;
+mod simulation;
+
+pub use building::FloorPlan;
+pub use calibration::{fit_tdf, CarryProbabilityEstimator, FittedTdf};
+pub use deployment::{Deployment, DeploymentConfig};
+pub use person::Person;
+pub use simulation::{AccuracyStats, CalibrationBucket, SimConfig, Simulation};

@@ -1,0 +1,214 @@
+use std::collections::VecDeque;
+
+use mw_core::WorldModel;
+use mw_geometry::Point;
+use mw_model::SimDuration;
+use mw_sensors::MobileObjectId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Typical indoor walking speed, in ft/s.
+pub const WALKING_SPEED_FT_S: f64 = 4.0;
+
+/// A ground-truth person doing random-waypoint movement through the route
+/// graph: pick a random room, walk to it through the doors, dwell, repeat.
+#[derive(Debug, Clone)]
+pub struct Person {
+    /// The person's badge/tag identity as sensors see it.
+    pub id: MobileObjectId,
+    /// Ground-truth position (building coordinates, feet).
+    pub position: Point,
+    /// Whether the person is carrying their badge today (sampled once per
+    /// person from the deployment's carry probability; the paper's `x`).
+    pub carries_badge: bool,
+    speed: f64,
+    waypoints: VecDeque<Point>,
+    dwell_remaining: f64,
+}
+
+impl Person {
+    /// Creates a person standing at `position`.
+    #[must_use]
+    pub fn new(id: MobileObjectId, position: Point, carries_badge: bool) -> Self {
+        Person {
+            id,
+            position,
+            carries_badge,
+            speed: WALKING_SPEED_FT_S,
+            waypoints: VecDeque::new(),
+            dwell_remaining: 0.0,
+        }
+    }
+
+    /// Returns `true` while the person is between waypoints.
+    #[must_use]
+    pub fn is_walking(&self) -> bool {
+        !self.waypoints.is_empty()
+    }
+
+    /// Advances the person by `dt`: dwell, or walk along the current
+    /// waypoint chain; picks a new destination when idle.
+    pub fn step(
+        &mut self,
+        dt: SimDuration,
+        world: &WorldModel,
+        rooms: &[(String, mw_geometry::Rect)],
+        rng: &mut StdRng,
+    ) {
+        let mut remaining = dt.as_secs();
+        while remaining > 0.0 {
+            if self.dwell_remaining > 0.0 {
+                let pause = self.dwell_remaining.min(remaining);
+                self.dwell_remaining -= pause;
+                remaining -= pause;
+                continue;
+            }
+            match self.waypoints.front() {
+                None => {
+                    self.plan_trip(world, rooms, rng);
+                    if self.waypoints.is_empty() {
+                        // Nowhere to go (single-room world): dwell.
+                        self.dwell_remaining = 5.0;
+                    }
+                }
+                Some(&target) => {
+                    let dist = self.position.distance(target);
+                    let step = self.speed * remaining;
+                    if step >= dist {
+                        self.position = target;
+                        self.waypoints.pop_front();
+                        remaining -= if self.speed > 0.0 {
+                            dist / self.speed
+                        } else {
+                            remaining
+                        };
+                        if self.waypoints.is_empty() {
+                            // Arrived: dwell 10–60 s before the next trip.
+                            self.dwell_remaining = rng.gen_range(10.0..60.0);
+                        }
+                    } else {
+                        let t = step / dist;
+                        self.position = self.position.lerp(target, t);
+                        remaining = 0.0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Plans a walk to a uniformly random room through the route graph.
+    fn plan_trip(
+        &mut self,
+        world: &WorldModel,
+        rooms: &[(String, mw_geometry::Rect)],
+        rng: &mut StdRng,
+    ) {
+        if rooms.is_empty() {
+            return;
+        }
+        let graph = world.route_graph();
+        let Some(here) = graph.locate(self.position) else {
+            // Off the map (shouldn't happen): jump to the first room.
+            self.position = rooms[0].1.center();
+            return;
+        };
+        let (target_name, target_rect) = &rooms[rng.gen_range(0..rooms.len())];
+        let Some(target_node) = graph.find(target_name) else {
+            return;
+        };
+        let Ok(Some((_dist, path))) = graph.shortest_path(here, target_node, true) else {
+            return;
+        };
+        // Waypoints: door midpoints between consecutive rooms, then a
+        // random point inside the destination.
+        let mut waypoints = VecDeque::new();
+        for window in path.windows(2) {
+            let ra = graph.region(window[0]).expect("path node");
+            let rb = graph.region(window[1]).expect("path node");
+            // The door between ra and rb: the passage touching both.
+            if let Some(door) = world.passages().iter().find(|p| p.connects(&ra, &rb)) {
+                waypoints.push_back(door.segment.midpoint());
+            } else {
+                waypoints.push_back(ra.center().midpoint(rb.center()));
+            }
+        }
+        let inside = Point::new(
+            rng.gen_range(target_rect.min().x + 1.0..target_rect.max().x - 1.0),
+            rng.gen_range(target_rect.min().y + 1.0..target_rect.max().y - 1.0),
+        );
+        waypoints.push_back(inside);
+        self.waypoints = waypoints;
+        self.dwell_remaining = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::building::paper_floor;
+    use rand::SeedableRng;
+
+    fn setup() -> (WorldModel, Vec<(String, mw_geometry::Rect)>, StdRng) {
+        let plan = paper_floor();
+        let world = WorldModel::from_database(&plan.db);
+        (world, plan.rooms, StdRng::seed_from_u64(42))
+    }
+
+    #[test]
+    fn person_moves_deterministically() {
+        let (world, rooms, _) = setup();
+        let start = Point::new(340.0, 15.0); // inside 3105
+        let mut rng1 = StdRng::seed_from_u64(7);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let mut p1 = Person::new("alice".into(), start, true);
+        let mut p2 = Person::new("alice".into(), start, true);
+        for _ in 0..100 {
+            p1.step(SimDuration::from_secs(1.0), &world, &rooms, &mut rng1);
+            p2.step(SimDuration::from_secs(1.0), &world, &rooms, &mut rng2);
+        }
+        assert_eq!(p1.position, p2.position);
+    }
+
+    #[test]
+    fn person_eventually_changes_rooms() {
+        let (world, rooms, mut rng) = setup();
+        let start = Point::new(340.0, 15.0);
+        let mut p = Person::new("alice".into(), start, true);
+        let mut visited = std::collections::BTreeSet::new();
+        for _ in 0..2000 {
+            p.step(SimDuration::from_secs(1.0), &world, &rooms, &mut rng);
+            if let Some(g) = world.symbolic_at(p.position) {
+                visited.insert(g.to_string());
+            }
+        }
+        assert!(
+            visited.len() >= 2,
+            "person never left the room: {visited:?}"
+        );
+    }
+
+    #[test]
+    fn person_stays_on_the_floor() {
+        let (world, rooms, mut rng) = setup();
+        let universe = mw_geometry::Rect::new(Point::new(0.0, 0.0), Point::new(500.0, 100.0));
+        let mut p = Person::new("bob".into(), Point::new(320.0, 15.0), true);
+        for _ in 0..1000 {
+            p.step(SimDuration::from_secs(0.5), &world, &rooms, &mut rng);
+            assert!(
+                universe.contains_point(p.position),
+                "escaped to {}",
+                p.position
+            );
+        }
+    }
+
+    #[test]
+    fn speed_is_plausible() {
+        let (world, rooms, mut rng) = setup();
+        let mut p = Person::new("carol".into(), Point::new(340.0, 15.0), true);
+        let before = p.position;
+        p.step(SimDuration::from_secs(1.0), &world, &rooms, &mut rng);
+        // In one second a walker covers at most speed + epsilon.
+        assert!(p.position.distance(before) <= WALKING_SPEED_FT_S + 1e-9);
+    }
+}

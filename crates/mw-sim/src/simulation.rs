@@ -1,0 +1,571 @@
+use std::sync::Arc;
+
+use mw_bus::Broker;
+use mw_core::{LocationService, Notification, WorldModel};
+use mw_geometry::Point;
+use mw_model::{SimDuration, SimTime};
+use mw_sensors::MobileObjectId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::building::FloorPlan;
+use crate::{Deployment, DeploymentConfig, Person};
+
+/// Configuration of an end-to-end simulation.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Seed driving every random decision (movement, sensor noise).
+    pub seed: u64,
+    /// Number of simulated people.
+    pub people: usize,
+    /// The sensor deployment.
+    pub deployment: DeploymentConfig,
+    /// Fusion-engine motion model: ft/s by which aging readings' regions
+    /// grow (0 = the paper's model, no growth).
+    pub aging_inflation_ft_per_s: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 42,
+            people: 3,
+            deployment: DeploymentConfig::default(),
+            aging_inflation_ft_per_s: 0.0,
+        }
+    }
+}
+
+/// An end-to-end simulation: ground-truth people + simulated sensors +
+/// the real Location Service.
+///
+/// # Example
+///
+/// ```
+/// use mw_sim::{building, SimConfig, Simulation};
+/// use mw_model::SimDuration;
+///
+/// let mut sim = Simulation::new(building::paper_floor(), SimConfig::default());
+/// for _ in 0..10 {
+///     sim.step(SimDuration::from_secs(1.0));
+/// }
+/// // Everyone who carries a badge near a sensor eventually gets located.
+/// let located = sim.people().iter().filter(|p| {
+///     sim.service().locate(&p.id, sim.clock()).is_ok()
+/// }).count();
+/// let _ = located;
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    service: Arc<LocationService>,
+    broker: Broker,
+    world: WorldModel,
+    rooms: Vec<(String, mw_geometry::Rect)>,
+    people: Vec<Person>,
+    deployment: Deployment,
+    clock: SimTime,
+    rng: StdRng,
+}
+
+impl Simulation {
+    /// Builds a simulation over `plan` with `config`.
+    #[must_use]
+    pub fn new(plan: FloorPlan, config: SimConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let broker = Broker::new();
+        let world = WorldModel::from_database(&plan.db);
+        let deployment = Deployment::install(&config.deployment, &plan.rooms);
+        let engine = mw_fusion::FusionEngine::new(plan.universe)
+            .with_aging_inflation(config.aging_inflation_ft_per_s);
+        let service = LocationService::new_with_engine(plan.db, engine, &broker);
+
+        // Spawn people in random rooms.
+        let mut people = Vec::with_capacity(config.people);
+        for i in 0..config.people {
+            let (_, room) = &plan.rooms[rng.gen_range(0..plan.rooms.len())];
+            let position = Point::new(
+                rng.gen_range(room.min().x + 1.0..room.max().x - 1.0),
+                rng.gen_range(room.min().y + 1.0..room.max().y - 1.0),
+            );
+            let carries = rng.gen_bool(config.deployment.carry_probability.clamp(0.0, 1.0));
+            people.push(Person::new(
+                format!("person-{i}").as_str().into(),
+                position,
+                carries,
+            ));
+        }
+
+        Simulation {
+            service,
+            broker,
+            world,
+            rooms: plan.rooms,
+            people,
+            deployment,
+            clock: SimTime::ZERO,
+            rng,
+        }
+    }
+
+    /// The Location Service under test.
+    #[must_use]
+    pub fn service(&self) -> &Arc<LocationService> {
+        &self.service
+    }
+
+    /// The bus (subscribe to [`mw_core::NOTIFICATION_TOPIC`] for push
+    /// notifications).
+    #[must_use]
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+
+    /// The simulation clock.
+    #[must_use]
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Ground-truth people.
+    #[must_use]
+    pub fn people(&self) -> &[Person] {
+        &self.people
+    }
+
+    /// The walkable rooms of the plan.
+    #[must_use]
+    pub fn rooms(&self) -> &[(String, mw_geometry::Rect)] {
+        &self.rooms
+    }
+
+    /// Ground truth for one person.
+    #[must_use]
+    pub fn ground_truth(&self, id: &MobileObjectId) -> Option<Point> {
+        self.people.iter().find(|p| &p.id == id).map(|p| p.position)
+    }
+
+    /// Advances the simulation by `dt`: moves people, polls sensors, and
+    /// ingests the outputs. Returns all notifications fired during the
+    /// step.
+    pub fn step(&mut self, dt: SimDuration) -> Vec<Notification> {
+        self.clock += dt;
+        for person in &mut self.people {
+            person.step(dt, &self.world, &self.rooms, &mut self.rng);
+        }
+        let outputs = self
+            .deployment
+            .poll(&self.people, self.clock, &mut self.rng);
+        let mut fired = Vec::new();
+        for output in outputs {
+            fired.extend(self.service.ingest(output, self.clock));
+        }
+        fired
+    }
+
+    /// Runs a simulated *user study* of room-dwell behaviour (the paper's
+    /// §11 future work): whenever ground truth shows a person entering a
+    /// walkable room, samples whether they are still inside `probe_ages`
+    /// seconds later. The samples feed [`crate::fit_tdf`] to derive an
+    /// empirical temporal degradation function for swipe-style readings.
+    pub fn run_dwell_study(
+        &mut self,
+        steps: usize,
+        dt: SimDuration,
+        probe_ages: &[f64],
+    ) -> Vec<(f64, bool)> {
+        use std::collections::HashMap;
+        // (person, room index) -> entry time, plus a positional log.
+        let mut inside: HashMap<(usize, usize), SimTime> = HashMap::new();
+        let mut entries: Vec<(usize, usize, SimTime)> = Vec::new();
+        let mut log: Vec<Vec<Point>> = vec![Vec::new(); self.people.len()];
+
+        for _ in 0..steps {
+            self.step(dt);
+            for (pi, person) in self.people.iter().enumerate() {
+                log[pi].push(person.position);
+                for (ri, (_, rect)) in self.rooms.iter().enumerate() {
+                    let key = (pi, ri);
+                    let is_in = rect.contains_point(person.position);
+                    match (inside.contains_key(&key), is_in) {
+                        (false, true) => {
+                            inside.insert(key, self.clock);
+                            entries.push((pi, ri, self.clock));
+                        }
+                        (true, false) => {
+                            inside.remove(&key);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        // Resolve the probes against the positional log.
+        let mut samples = Vec::new();
+        let step_secs = dt.as_secs();
+        for (pi, ri, entered) in entries {
+            let rect = self.rooms[ri].1;
+            for &age in probe_ages {
+                let probe_time = entered.as_secs() + age;
+                let idx = (probe_time / step_secs).round() as usize;
+                if idx == 0 || idx > log[pi].len() {
+                    continue; // probe beyond the simulated horizon
+                }
+                let pos = log[pi][idx - 1];
+                samples.push((age, rect.contains_point(pos)));
+            }
+        }
+        samples
+    }
+
+    /// Runs `steps` steps of `dt` each, scoring localization accuracy:
+    /// for every person the service can locate, measures the distance
+    /// between the estimate's center and ground truth, and whether the
+    /// ground truth actually lies inside the estimate.
+    pub fn run_accuracy_trial(&mut self, steps: usize, dt: SimDuration) -> AccuracyStats {
+        let mut stats = AccuracyStats::default();
+        for _ in 0..steps {
+            self.step(dt);
+            for person in &self.people {
+                let Ok(fix) = self.service.locate(&person.id, self.clock) else {
+                    stats.unlocated += 1;
+                    continue;
+                };
+                stats.located += 1;
+                stats.total_error += fix.region.center().distance(person.position);
+                if fix.region.contains_point(person.position) {
+                    stats.contained += 1;
+                }
+                stats.total_probability += fix.probability;
+            }
+        }
+        stats
+    }
+
+    /// Posterior-calibration study: are the fusion probabilities *honest*?
+    /// For every room-probability query, records the predicted probability
+    /// bucket against whether the ground truth actually was in the room;
+    /// a well-calibrated posterior makes the empirical rate track the
+    /// bucket midpoint.
+    ///
+    /// Returns one [`CalibrationBucket`] per non-empty probability decile.
+    pub fn run_posterior_calibration(
+        &mut self,
+        steps: usize,
+        dt: SimDuration,
+    ) -> Vec<CalibrationBucket> {
+        let mut hits = [0usize; 10];
+        let mut totals = [0usize; 10];
+        let mut prob_sums = [0.0f64; 10];
+        let rooms: Vec<(String, mw_geometry::Rect)> = self.rooms.clone();
+        for _ in 0..steps {
+            self.step(dt);
+            for person in self.people.clone() {
+                for (_, rect) in &rooms {
+                    let p = self
+                        .service
+                        .probability_in_rect(&person.id, rect, self.clock);
+                    if p <= 0.0 {
+                        continue; // untracked or impossible: skip
+                    }
+                    let bucket = ((p * 10.0).floor() as usize).min(9);
+                    totals[bucket] += 1;
+                    prob_sums[bucket] += p;
+                    if rect.contains_point(person.position) {
+                        hits[bucket] += 1;
+                    }
+                }
+            }
+        }
+        (0..10)
+            .filter(|&b| totals[b] > 0)
+            .map(|b| CalibrationBucket {
+                predicted_mean: prob_sums[b] / totals[b] as f64,
+                empirical_rate: hits[b] as f64 / totals[b] as f64,
+                samples: totals[b],
+            })
+            .collect()
+    }
+}
+
+/// One probability decile of [`Simulation::run_posterior_calibration`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationBucket {
+    /// Mean predicted probability of the queries in this decile.
+    pub predicted_mean: f64,
+    /// Fraction of those queries where ground truth was actually inside.
+    pub empirical_rate: f64,
+    /// Number of queries in the decile.
+    pub samples: usize,
+}
+
+/// Accuracy statistics from [`Simulation::run_accuracy_trial`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AccuracyStats {
+    /// Person-steps where the service produced a fix.
+    pub located: usize,
+    /// Person-steps with no live location information.
+    pub unlocated: usize,
+    /// Fixes whose region contained the ground truth.
+    pub contained: usize,
+    /// Sum of center-to-truth distances over located person-steps.
+    pub total_error: f64,
+    /// Sum of fix probabilities over located person-steps.
+    pub total_probability: f64,
+}
+
+impl AccuracyStats {
+    /// Mean center-to-truth distance (feet).
+    #[must_use]
+    pub fn mean_error(&self) -> f64 {
+        if self.located == 0 {
+            f64::NAN
+        } else {
+            self.total_error / self.located as f64
+        }
+    }
+
+    /// Fraction of fixes whose region contained the ground truth.
+    #[must_use]
+    pub fn containment_rate(&self) -> f64 {
+        if self.located == 0 {
+            f64::NAN
+        } else {
+            self.contained as f64 / self.located as f64
+        }
+    }
+
+    /// Fraction of person-steps with a fix at all.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        let total = self.located + self.unlocated;
+        if total == 0 {
+            f64::NAN
+        } else {
+            self.located as f64 / total as f64
+        }
+    }
+
+    /// Mean posterior over located person-steps.
+    #[must_use]
+    pub fn mean_probability(&self) -> f64 {
+        if self.located == 0 {
+            f64::NAN
+        } else {
+            self.total_probability / self.located as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::building;
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let run = |seed: u64| {
+            let mut sim = Simulation::new(
+                building::paper_floor(),
+                SimConfig {
+                    seed,
+                    people: 3,
+                    deployment: DeploymentConfig::default(),
+                    aging_inflation_ft_per_s: 0.0,
+                },
+            );
+            let mut trace = Vec::new();
+            for _ in 0..60 {
+                sim.step(SimDuration::from_secs(1.0));
+                for p in sim.people() {
+                    trace.push((p.id.clone(), p.position));
+                }
+            }
+            trace
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn sensors_eventually_locate_people() {
+        let mut sim = Simulation::new(
+            building::paper_floor(),
+            SimConfig {
+                seed: 42,
+                people: 4,
+                // Cover every room with Ubisense for this test.
+                deployment: DeploymentConfig {
+                    ubisense_rooms: vec![0, 1, 2, 3, 4],
+                    rfid_rooms: vec![],
+                    biometric_rooms: vec![],
+                    carry_probability: 1.0,
+                    ..DeploymentConfig::default()
+                },
+                aging_inflation_ft_per_s: 0.0,
+            },
+        );
+        for _ in 0..30 {
+            sim.step(SimDuration::from_secs(1.0));
+        }
+        let located = sim
+            .people()
+            .iter()
+            .filter(|p| sim.service().locate(&p.id, sim.clock()).is_ok())
+            .count();
+        assert!(located >= 3, "only {located}/4 located");
+    }
+
+    #[test]
+    fn accuracy_trial_reports_sane_numbers() {
+        let mut sim = Simulation::new(
+            building::paper_floor(),
+            SimConfig {
+                seed: 1,
+                people: 3,
+                deployment: DeploymentConfig {
+                    ubisense_rooms: vec![0, 1, 2, 3, 4],
+                    rfid_rooms: vec![],
+                    biometric_rooms: vec![],
+                    carry_probability: 1.0,
+                    ..DeploymentConfig::default()
+                },
+                aging_inflation_ft_per_s: 0.0,
+            },
+        );
+        let stats = sim.run_accuracy_trial(60, SimDuration::from_secs(1.0));
+        assert!(stats.located > 0);
+        assert!(stats.coverage() > 0.5, "coverage {}", stats.coverage());
+        // Ubisense everywhere: mean error within a few feet (movement
+        // between the reading and the query step adds walking distance).
+        assert!(
+            stats.mean_error() < 10.0,
+            "mean error {}",
+            stats.mean_error()
+        );
+        assert!(stats.mean_probability() > 0.3);
+    }
+
+    #[test]
+    fn notifications_fire_during_simulation() {
+        let mut sim = Simulation::new(
+            building::paper_floor(),
+            SimConfig {
+                seed: 5,
+                people: 5,
+                deployment: DeploymentConfig {
+                    ubisense_rooms: vec![0, 1, 2, 3, 4],
+                    rfid_rooms: vec![],
+                    biometric_rooms: vec![],
+                    carry_probability: 1.0,
+                    ..DeploymentConfig::default()
+                },
+                aging_inflation_ft_per_s: 0.0,
+            },
+        );
+        // Watch the corridor with a low threshold.
+        let corridor = sim
+            .rooms()
+            .iter()
+            .find(|(n, _)| n.ends_with("MainCorridor"))
+            .unwrap()
+            .1;
+        let _id = sim
+            .service()
+            .subscribe(mw_core::SubscriptionSpec::region_entry(corridor, 0.3));
+        let mut fired = 0;
+        for _ in 0..600 {
+            fired += sim.step(SimDuration::from_secs(1.0)).len();
+        }
+        assert!(fired > 0, "no notifications in 10 simulated minutes");
+    }
+
+    #[test]
+    fn dwell_study_produces_decaying_samples() {
+        let mut sim = Simulation::new(
+            building::paper_floor(),
+            SimConfig {
+                seed: 31,
+                people: 6,
+                deployment: DeploymentConfig {
+                    ubisense_rooms: vec![],
+                    rfid_rooms: vec![],
+                    biometric_rooms: vec![],
+                    ..DeploymentConfig::default()
+                },
+                aging_inflation_ft_per_s: 0.0,
+            },
+        );
+        let samples = sim.run_dwell_study(
+            1200,
+            SimDuration::from_secs(1.0),
+            &[5.0, 30.0, 120.0, 300.0],
+        );
+        assert!(samples.len() > 20, "only {} samples", samples.len());
+        let rate_at = |age: f64| {
+            let subset: Vec<bool> = samples
+                .iter()
+                .filter(|(a, _)| (*a - age).abs() < 1e-9)
+                .map(|(_, v)| *v)
+                .collect();
+            subset.iter().filter(|v| **v).count() as f64 / subset.len().max(1) as f64
+        };
+        // Dwell probability decays with age (people wander off): the
+        // 5-second validity beats the 5-minute validity.
+        assert!(
+            rate_at(5.0) > rate_at(300.0),
+            "5s {} vs 300s {}",
+            rate_at(5.0),
+            rate_at(300.0)
+        );
+        // And the fitted TDF picks up the decay.
+        let fit = crate::fit_tdf(&samples, 60.0);
+        assert!(fit.half_life.is_some());
+    }
+
+    #[test]
+    fn posterior_calibration_curve_shape() {
+        let plan = building::paper_floor();
+        let rooms = plan.rooms.len();
+        let mut sim = Simulation::new(
+            plan,
+            SimConfig {
+                seed: 2024,
+                people: 4,
+                deployment: DeploymentConfig {
+                    ubisense_rooms: (0..rooms).collect(),
+                    rfid_rooms: vec![],
+                    biometric_rooms: vec![],
+                    carry_probability: 1.0,
+                    ..DeploymentConfig::default()
+                },
+                aging_inflation_ft_per_s: 0.0,
+            },
+        );
+        let buckets = sim.run_posterior_calibration(120, SimDuration::from_secs(1.0));
+        assert!(!buckets.is_empty());
+        for b in &buckets {
+            assert!((0.0..=1.0).contains(&b.predicted_mean));
+            assert!((0.0..=1.0).contains(&b.empirical_rate));
+            assert!(b.samples > 0);
+        }
+        // The extreme buckets are well calibrated: near-zero predictions
+        // are near-zero empirically, near-one predictions near one.
+        let lowest = buckets.first().unwrap();
+        if lowest.predicted_mean < 0.05 && lowest.samples > 100 {
+            assert!(lowest.empirical_rate < 0.1, "low bucket {lowest:?}");
+        }
+        let highest = buckets.last().unwrap();
+        if highest.predicted_mean > 0.9 && highest.samples > 100 {
+            assert!(highest.empirical_rate > 0.9, "high bucket {highest:?}");
+        }
+    }
+
+    #[test]
+    fn ground_truth_lookup() {
+        let sim = Simulation::new(building::paper_floor(), SimConfig::default());
+        let first = &sim.people()[0];
+        assert_eq!(sim.ground_truth(&first.id), Some(first.position));
+        assert_eq!(sim.ground_truth(&"ghost".into()), None);
+    }
+}

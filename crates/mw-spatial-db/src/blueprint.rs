@@ -1,0 +1,225 @@
+//! Blueprint import/export.
+//!
+//! §4.6.1: "The vertices of all the rooms and corridors in the building
+//! are obtained from the blueprints of the building." This module loads
+//! and saves the physical-space model (the Table-1 rows) as a JSON
+//! document, so deployments can be authored outside the program — the
+//! role the building blueprints played for the original system.
+//!
+//! The format is a stable, versioned JSON object:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "objects": [
+//!     {
+//!       "identifier": "3105",
+//!       "glob_prefix": "CS/Floor3",
+//!       "object_type": "Room",
+//!       "geometry": { "Polygon": { ... } },
+//!       "attributes": { "power-outlets": "true" }
+//!     }
+//!   ]
+//! }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DbError, SpatialDatabase, SpatialObject};
+
+/// Current blueprint format version.
+pub const BLUEPRINT_VERSION: u32 = 1;
+
+/// The on-disk blueprint document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Blueprint {
+    /// Format version (currently always [`BLUEPRINT_VERSION`]).
+    pub version: u32,
+    /// Every physical-space row.
+    pub objects: Vec<SpatialObject>,
+}
+
+/// Errors produced by blueprint loading.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BlueprintError {
+    /// The JSON was malformed or did not match the schema.
+    Parse(serde_json::Error),
+    /// The document's version is not supported.
+    UnsupportedVersion {
+        /// The version found in the document.
+        found: u32,
+    },
+    /// Two objects share a combined key.
+    Duplicate(DbError),
+}
+
+impl std::fmt::Display for BlueprintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlueprintError::Parse(e) => write!(f, "malformed blueprint: {e}"),
+            BlueprintError::UnsupportedVersion { found } => {
+                write!(f, "unsupported blueprint version {found}")
+            }
+            BlueprintError::Duplicate(e) => write!(f, "duplicate object: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BlueprintError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BlueprintError::Parse(e) => Some(e),
+            BlueprintError::Duplicate(e) => Some(e),
+            BlueprintError::UnsupportedVersion { .. } => None,
+        }
+    }
+}
+
+impl SpatialDatabase {
+    /// Serializes the physical-space table as a blueprint JSON document.
+    ///
+    /// Sensor readings and triggers are runtime state and are not part of
+    /// a blueprint.
+    #[must_use]
+    pub fn export_blueprint(&self) -> String {
+        let mut objects: Vec<SpatialObject> = self.objects().iter().cloned().collect();
+        objects.sort_by_key(SpatialObject::key);
+        let doc = Blueprint {
+            version: BLUEPRINT_VERSION,
+            objects,
+        };
+        serde_json::to_string_pretty(&doc).expect("spatial objects serialize")
+    }
+
+    /// Loads a blueprint document into a fresh database.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlueprintError`] for malformed JSON, an unsupported
+    /// version, or duplicate object keys.
+    pub fn from_blueprint(json: &str) -> Result<SpatialDatabase, BlueprintError> {
+        let doc: Blueprint = serde_json::from_str(json).map_err(BlueprintError::Parse)?;
+        if doc.version != BLUEPRINT_VERSION {
+            return Err(BlueprintError::UnsupportedVersion { found: doc.version });
+        }
+        let mut db = SpatialDatabase::new();
+        for object in doc.objects {
+            db.insert_object(object)
+                .map_err(BlueprintError::Duplicate)?;
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Geometry, ObjectType};
+    use mw_geometry::{Point, Polygon, Rect, Segment};
+
+    fn sample_db() -> SpatialDatabase {
+        let mut db = SpatialDatabase::new();
+        db.insert_object(
+            SpatialObject::new(
+                "3105",
+                "CS/Floor3".parse().unwrap(),
+                ObjectType::Room,
+                Geometry::Polygon(Polygon::from_rect(&Rect::new(
+                    Point::new(330.0, 0.0),
+                    Point::new(350.0, 30.0),
+                ))),
+            )
+            .with_attribute("power-outlets", "true"),
+        )
+        .unwrap();
+        db.insert_object(SpatialObject::new(
+            "Door3105",
+            "CS/Floor3".parse().unwrap(),
+            ObjectType::Door,
+            Geometry::Line(Segment::new(
+                Point::new(330.0, 10.0),
+                Point::new(330.0, 14.0),
+            )),
+        ))
+        .unwrap();
+        db.insert_object(SpatialObject::new(
+            "switch",
+            "CS/Floor3/3105".parse().unwrap(),
+            ObjectType::Other("lightswitch".into()),
+            Geometry::Point(Point::new(331.0, 1.0)),
+        ))
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let db = sample_db();
+        let json = db.export_blueprint();
+        let restored = SpatialDatabase::from_blueprint(&json).unwrap();
+        assert_eq!(restored.objects().len(), db.objects().len());
+        let room = restored.objects().get("CS/Floor3:3105").unwrap();
+        assert_eq!(room.object_type, ObjectType::Room);
+        assert_eq!(room.attribute("power-outlets"), Some("true"));
+        assert_eq!(
+            room.mbr(),
+            Rect::new(Point::new(330.0, 0.0), Point::new(350.0, 30.0))
+        );
+        let switch = restored.objects().get("CS/Floor3/3105:switch").unwrap();
+        assert_eq!(switch.object_type, ObjectType::Other("lightswitch".into()));
+        // Exported form is stable.
+        assert_eq!(restored.export_blueprint(), json);
+    }
+
+    #[test]
+    fn paper_floor_blueprint_roundtrip() {
+        // The full simulator floor survives a roundtrip.
+        let db = sample_db();
+        let json = db.export_blueprint();
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("3105"));
+        let restored = SpatialDatabase::from_blueprint(&json).unwrap();
+        assert_eq!(restored.world_mbr(), db.world_mbr());
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(matches!(
+            SpatialDatabase::from_blueprint("{not json"),
+            Err(BlueprintError::Parse(_))
+        ));
+        assert!(matches!(
+            SpatialDatabase::from_blueprint("{\"version\":1}"),
+            Err(BlueprintError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let doc = "{\"version\": 99, \"objects\": []}";
+        assert!(matches!(
+            SpatialDatabase::from_blueprint(doc),
+            Err(BlueprintError::UnsupportedVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_objects_rejected() {
+        let db = sample_db();
+        let mut doc: Blueprint = serde_json::from_str(&db.export_blueprint()).unwrap();
+        let dup = doc.objects[0].clone();
+        doc.objects.push(dup);
+        let json = serde_json::to_string(&doc).unwrap();
+        assert!(matches!(
+            SpatialDatabase::from_blueprint(&json),
+            Err(BlueprintError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn empty_blueprint_is_valid() {
+        let db = SpatialDatabase::from_blueprint("{\"version\":1,\"objects\":[]}").unwrap();
+        assert!(db.objects().is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+use std::fmt;
+
+/// Errors produced by the spatial database.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DbError {
+    /// Insert would overwrite an existing object with the same combined
+    /// key (GlobPrefix + ObjectIdentifier).
+    DuplicateObject {
+        /// The offending combined key.
+        key: String,
+    },
+    /// No object with the given combined key exists.
+    UnknownObject {
+        /// The missing combined key.
+        key: String,
+    },
+    /// No trigger with the given id exists.
+    UnknownTrigger {
+        /// The missing trigger id.
+        id: u64,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::DuplicateObject { key } => write!(f, "object {key:?} already exists"),
+            DbError::UnknownObject { key } => write!(f, "unknown object {key:?}"),
+            DbError::UnknownTrigger { id } => write!(f, "unknown trigger {id}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = DbError::DuplicateObject {
+            key: "CS/Floor3:3105".into(),
+        };
+        assert!(e.to_string().contains("3105"));
+    }
+}

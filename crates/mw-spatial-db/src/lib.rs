@@ -1,0 +1,37 @@
+//! The spatial database of the MiddleWhere reproduction (§5).
+//!
+//! The original system stores its world model in PostGIS/PostgreSQL; this
+//! crate is an in-memory engine exposing the same capabilities:
+//!
+//! - [`SpatialObject`] / [`SpatialTable`] — the physical-space model of
+//!   Table 1 (ObjectIdentifier, GlobPrefix, ObjectType, GeometryType,
+//!   Points), indexed by a Guttman R-tree for window / point / nearest
+//!   queries, with free-form attributes so queries like *"the nearest
+//!   region with power outlets"* work (§5.1),
+//! - [`SensorReadingTable`] — the sensor-information table of Table 2,
+//!   holding the latest reading per (sensor, mobile object) with
+//!   detection-time bookkeeping and expiry,
+//! - [`SensorMetaTable`] — the per-sensor confidence / time-to-live table
+//!   (§5.2's second table),
+//! - [`TriggerManager`] — database triggers on spatial conditions (§5.3):
+//!   inserting a reading that intersects a trigger region fires an event,
+//! - [`SpatialDatabase`] — the façade combining all of the above.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blueprint;
+mod db;
+mod error;
+mod object;
+mod sensor_table;
+mod table;
+mod trigger;
+
+pub use blueprint::{Blueprint, BlueprintError, BLUEPRINT_VERSION};
+pub use db::SpatialDatabase;
+pub use error::DbError;
+pub use object::{Geometry, ObjectType, SpatialObject};
+pub use sensor_table::{SensorMetaRow, SensorMetaTable, SensorReadingTable};
+pub use table::SpatialTable;
+pub use trigger::{TriggerEvent, TriggerId, TriggerManager, TriggerSpec};

@@ -1,0 +1,245 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mw_geometry::{Point, Polygon, Rect, Segment};
+use mw_model::Glob;
+use serde::{Deserialize, Serialize};
+
+/// The semantic type of a spatial object (Table 1's `ObjectType` column).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ObjectType {
+    /// A whole floor.
+    Floor,
+    /// A room.
+    Room,
+    /// A corridor.
+    Corridor,
+    /// A door (line geometry).
+    Door,
+    /// A wall without passage (line geometry).
+    Wall,
+    /// A table or desk.
+    Table,
+    /// A wall-mounted or desktop display.
+    Display,
+    /// An application-defined usage region (§4.6.2).
+    UsageRegion,
+    /// An application-defined symbolic region such as "East wing of the
+    /// building" or "work region inside a room" (§4.5).
+    NamedRegion,
+    /// Anything else ("chair, table, etc.").
+    Other(String),
+}
+
+impl fmt::Display for ObjectType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectType::Floor => f.write_str("Floor"),
+            ObjectType::Room => f.write_str("Room"),
+            ObjectType::Corridor => f.write_str("Corridor"),
+            ObjectType::Door => f.write_str("Door"),
+            ObjectType::Wall => f.write_str("Wall"),
+            ObjectType::Table => f.write_str("Table"),
+            ObjectType::Display => f.write_str("Display"),
+            ObjectType::UsageRegion => f.write_str("UsageRegion"),
+            ObjectType::NamedRegion => f.write_str("NamedRegion"),
+            ObjectType::Other(s) => f.write_str(s),
+        }
+    }
+}
+
+/// The geometry of a spatial object (Table 1's `GeometryType` + `Points`
+/// columns). Everything is in building/floor coordinates (feet).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Geometry {
+    /// A point object (light switch, sensor position).
+    Point(Point),
+    /// A line object (door, non-enclosing wall).
+    Line(Segment),
+    /// A polygonal region (room, corridor, table top).
+    Polygon(Polygon),
+}
+
+impl Geometry {
+    /// The geometry's minimum bounding rectangle — the representation the
+    /// database indexes and reasons on (§5.1).
+    #[must_use]
+    pub fn mbr(&self) -> Rect {
+        match self {
+            Geometry::Point(p) => Rect::from_point(*p),
+            Geometry::Line(s) => s.mbr(),
+            Geometry::Polygon(p) => p.mbr(),
+        }
+    }
+
+    /// Exact containment test ("more accurate processing … taking the
+    /// actual region boundaries", §5.1).
+    #[must_use]
+    pub fn contains_point(&self, p: Point) -> bool {
+        match self {
+            Geometry::Point(q) => q == &p,
+            Geometry::Line(s) => s.contains_point(p),
+            Geometry::Polygon(poly) => poly.contains_point(p),
+        }
+    }
+
+    /// The geometry-type name as the paper's table prints it.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Geometry::Point(_) => "Point",
+            Geometry::Line(_) => "Line",
+            Geometry::Polygon(_) => "Polygon",
+        }
+    }
+}
+
+/// One row of the physical-space table (Table 1), plus free-form
+/// attributes supporting queries such as *"Where is the nearest region
+/// that has power outlets and high Bluetooth signal?"*.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpatialObject {
+    /// Unique name within the namespace of `glob_prefix` (Table 1's
+    /// `ObjectIdentifier`).
+    pub identifier: String,
+    /// The enclosing space (Table 1's `GlobPrefix`), e.g. `CS/Floor3`.
+    pub glob_prefix: Glob,
+    /// Semantic type.
+    pub object_type: ObjectType,
+    /// The geometry.
+    pub geometry: Geometry,
+    /// Spatial and semantic attributes ("location, dimension, orientation,
+    /// etc." plus amenities).
+    pub attributes: BTreeMap<String, String>,
+}
+
+impl SpatialObject {
+    /// Creates an object with no extra attributes.
+    #[must_use]
+    pub fn new(
+        identifier: impl Into<String>,
+        glob_prefix: Glob,
+        object_type: ObjectType,
+        geometry: Geometry,
+    ) -> Self {
+        SpatialObject {
+            identifier: identifier.into(),
+            glob_prefix,
+            object_type,
+            geometry,
+            attributes: BTreeMap::new(),
+        }
+    }
+
+    /// Adds an attribute, builder style.
+    #[must_use]
+    pub fn with_attribute(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.insert(key.into(), value.into());
+        self
+    }
+
+    /// The combined key `GlobPrefix:ObjectIdentifier` — "GlobPrefix and
+    /// ObjectIdentifier make up the combined key for the spatial table."
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!("{}:{}", self.glob_prefix, self.identifier)
+    }
+
+    /// The object's full GLOB (prefix extended by its identifier).
+    #[must_use]
+    pub fn glob(&self) -> Glob {
+        self.glob_prefix
+            .child(self.identifier.clone())
+            .unwrap_or_else(|_| self.glob_prefix.clone())
+    }
+
+    /// The indexed MBR.
+    #[must_use]
+    pub fn mbr(&self) -> Rect {
+        self.geometry.mbr()
+    }
+
+    /// Attribute lookup.
+    #[must_use]
+    pub fn attribute(&self, key: &str) -> Option<&str> {
+        self.attributes.get(key).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn room_3105() -> SpatialObject {
+        let poly = Polygon::new(vec![
+            Point::new(330.0, 0.0),
+            Point::new(350.0, 0.0),
+            Point::new(350.0, 30.0),
+            Point::new(330.0, 30.0),
+        ])
+        .unwrap();
+        SpatialObject::new(
+            "3105",
+            "CS/Floor3".parse().unwrap(),
+            ObjectType::Room,
+            Geometry::Polygon(poly),
+        )
+    }
+
+    #[test]
+    fn combined_key_matches_paper_schema() {
+        assert_eq!(room_3105().key(), "CS/Floor3:3105");
+    }
+
+    #[test]
+    fn glob_extends_prefix() {
+        assert_eq!(room_3105().glob().to_string(), "CS/Floor3/3105");
+    }
+
+    #[test]
+    fn mbr_of_polygon_room() {
+        let mbr = room_3105().mbr();
+        assert_eq!(
+            mbr,
+            Rect::new(Point::new(330.0, 0.0), Point::new(350.0, 30.0))
+        );
+    }
+
+    #[test]
+    fn geometry_type_names() {
+        assert_eq!(Geometry::Point(Point::ORIGIN).type_name(), "Point");
+        let seg = Segment::new(Point::ORIGIN, Point::new(1.0, 0.0));
+        assert_eq!(Geometry::Line(seg).type_name(), "Line");
+        assert_eq!(room_3105().geometry.type_name(), "Polygon");
+    }
+
+    #[test]
+    fn geometry_exact_containment() {
+        let g = room_3105().geometry;
+        assert!(g.contains_point(Point::new(340.0, 15.0)));
+        assert!(!g.contains_point(Point::new(300.0, 15.0)));
+        let p = Geometry::Point(Point::new(1.0, 1.0));
+        assert!(p.contains_point(Point::new(1.0, 1.0)));
+        assert!(!p.contains_point(Point::new(1.0, 1.1)));
+        let l = Geometry::Line(Segment::new(Point::ORIGIN, Point::new(10.0, 0.0)));
+        assert!(l.contains_point(Point::new(5.0, 0.0)));
+        assert!(!l.contains_point(Point::new(5.0, 1.0)));
+    }
+
+    #[test]
+    fn attributes() {
+        let obj = room_3105()
+            .with_attribute("power-outlets", "true")
+            .with_attribute("bluetooth-signal", "high");
+        assert_eq!(obj.attribute("power-outlets"), Some("true"));
+        assert_eq!(obj.attribute("bluetooth-signal"), Some("high"));
+        assert_eq!(obj.attribute("wifi"), None);
+    }
+
+    #[test]
+    fn object_type_display() {
+        assert_eq!(ObjectType::Room.to_string(), "Room");
+        assert_eq!(ObjectType::Other("chair".into()).to_string(), "chair");
+    }
+}

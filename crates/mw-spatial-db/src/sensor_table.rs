@@ -1,0 +1,264 @@
+use std::collections::HashMap;
+
+use mw_model::{SimDuration, SimTime};
+use mw_sensors::{MobileObjectId, SensorId, SensorReading};
+
+/// The sensor-information table of §5.2 (Table 2).
+///
+/// "Sensor information is stored in a separate table in the spatial
+/// database. … The table contains temporal information indicating the
+/// time when the sensor reading was obtained."
+///
+/// The table keeps the latest reading per `(sensor, mobile object)` pair —
+/// a fresh report from the same sensor supersedes its previous one — and
+/// prunes expired rows lazily.
+#[derive(Debug, Clone, Default)]
+pub struct SensorReadingTable {
+    rows: HashMap<(SensorId, MobileObjectId), SensorReading>,
+}
+
+impl SensorReadingTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        SensorReadingTable::default()
+    }
+
+    /// Number of stored readings (including possibly expired ones not yet
+    /// pruned).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when no readings are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a reading, superseding the previous reading of the same
+    /// `(sensor, object)` pair. Returns the superseded reading, if any.
+    pub fn insert(&mut self, reading: SensorReading) -> Option<SensorReading> {
+        self.rows
+            .insert((reading.sensor_id.clone(), reading.object.clone()), reading)
+    }
+
+    /// Drops all readings from `sensor` about `object` — the §6 logout
+    /// revocation ("forces all location information relating to that user
+    /// and obtained from the same device to expire immediately").
+    ///
+    /// Returns how many rows were dropped.
+    pub fn revoke(&mut self, sensor: &SensorId, object: &MobileObjectId) -> usize {
+        let before = self.rows.len();
+        self.rows.retain(|(s, o), _| !(s == sensor && o == object));
+        before - self.rows.len()
+    }
+
+    /// All live (unexpired) readings about `object` at `now`.
+    pub fn readings_for<'a>(
+        &'a self,
+        object: &'a MobileObjectId,
+        now: SimTime,
+    ) -> impl Iterator<Item = &'a SensorReading> {
+        self.rows
+            .iter()
+            .filter(move |((_, o), r)| o == object && !r.is_expired(now))
+            .map(|(_, r)| r)
+    }
+
+    /// All live readings at `now`, any object.
+    pub fn live_readings(&self, now: SimTime) -> impl Iterator<Item = &SensorReading> {
+        self.rows.values().filter(move |r| !r.is_expired(now))
+    }
+
+    /// The distinct objects with at least one live reading at `now`.
+    #[must_use]
+    pub fn tracked_objects(&self, now: SimTime) -> Vec<MobileObjectId> {
+        let mut out: Vec<MobileObjectId> =
+            self.live_readings(now).map(|r| r.object.clone()).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Removes expired rows; returns how many were pruned.
+    pub fn prune_expired(&mut self, now: SimTime) -> usize {
+        let before = self.rows.len();
+        self.rows.retain(|_, r| !r.is_expired(now));
+        before - self.rows.len()
+    }
+}
+
+/// One row of the per-sensor metadata table of §5.2: "This table contains
+/// the confidence with which a sensor can detect the location of an
+/// object and the time-to-live information of the sensor data."
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorMetaRow {
+    /// The sensor.
+    pub sensor_id: SensorId,
+    /// Empirical confidence, in percent (e.g. 72 for RF-12 in the paper).
+    pub confidence_percent: f64,
+    /// Reading time-to-live.
+    pub time_to_live: SimDuration,
+}
+
+/// The per-sensor metadata table (§5.2's second table).
+#[derive(Debug, Clone, Default)]
+pub struct SensorMetaTable {
+    rows: HashMap<SensorId, SensorMetaRow>,
+}
+
+impl SensorMetaTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        SensorMetaTable::default()
+    }
+
+    /// Inserts or updates a sensor's metadata.
+    pub fn upsert(&mut self, row: SensorMetaRow) {
+        self.rows.insert(row.sensor_id.clone(), row);
+    }
+
+    /// Looks up a sensor's metadata.
+    #[must_use]
+    pub fn get(&self, sensor: &SensorId) -> Option<&SensorMetaRow> {
+        self.rows.get(sensor)
+    }
+
+    /// Number of registered sensors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when no sensors are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates over all rows in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &SensorMetaRow> {
+        self.rows.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mw_geometry::{Point, Rect};
+    use mw_model::TemporalDegradation;
+    use mw_sensors::SensorSpec;
+
+    fn reading(sensor: &str, object: &str, at: f64, ttl: f64) -> SensorReading {
+        SensorReading {
+            sensor_id: sensor.into(),
+            spec: SensorSpec::ubisense(0.9),
+            object: object.into(),
+            glob_prefix: "SC/Floor3".parse().unwrap(),
+            region: Rect::from_center(Point::new(10.0, 10.0), 1.0, 1.0),
+            detected_at: SimTime::from_secs(at),
+            time_to_live: SimDuration::from_secs(ttl),
+            tdf: TemporalDegradation::None,
+            moving: false,
+        }
+    }
+
+    #[test]
+    fn insert_supersedes_same_pair() {
+        let mut t = SensorReadingTable::new();
+        assert!(t.insert(reading("Ubi-18", "alice", 0.0, 3.0)).is_none());
+        let old = t.insert(reading("Ubi-18", "alice", 1.0, 3.0)).unwrap();
+        assert_eq!(old.detected_at, SimTime::from_secs(0.0));
+        assert_eq!(t.len(), 1);
+        // Different sensor, same object: separate row.
+        t.insert(reading("RF-12", "alice", 1.0, 60.0));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn readings_for_filters_expired() {
+        let mut t = SensorReadingTable::new();
+        t.insert(reading("Ubi-18", "alice", 0.0, 3.0));
+        t.insert(reading("RF-12", "alice", 0.0, 60.0));
+        t.insert(reading("RF-12", "bob", 0.0, 60.0));
+        let alice: MobileObjectId = "alice".into();
+        let at5: Vec<_> = t.readings_for(&alice, SimTime::from_secs(5.0)).collect();
+        assert_eq!(at5.len(), 1); // Ubisense expired
+        assert_eq!(at5[0].sensor_id, "RF-12".into());
+        let at1: Vec<_> = t.readings_for(&alice, SimTime::from_secs(1.0)).collect();
+        assert_eq!(at1.len(), 2);
+    }
+
+    #[test]
+    fn revoke_drops_pair_only() {
+        let mut t = SensorReadingTable::new();
+        t.insert(reading("Fp-3", "alice", 0.0, 900.0));
+        t.insert(reading("RF-12", "alice", 0.0, 60.0));
+        t.insert(reading("Fp-3", "bob", 0.0, 900.0));
+        assert_eq!(t.revoke(&"Fp-3".into(), &"alice".into()), 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.revoke(&"Fp-3".into(), &"alice".into()), 0);
+    }
+
+    #[test]
+    fn tracked_objects_dedupes() {
+        let mut t = SensorReadingTable::new();
+        t.insert(reading("Ubi-18", "alice", 0.0, 100.0));
+        t.insert(reading("RF-12", "alice", 0.0, 100.0));
+        t.insert(reading("RF-12", "bob", 0.0, 100.0));
+        let objs = t.tracked_objects(SimTime::from_secs(1.0));
+        assert_eq!(objs.len(), 2);
+    }
+
+    #[test]
+    fn prune_expired() {
+        let mut t = SensorReadingTable::new();
+        t.insert(reading("Ubi-18", "alice", 0.0, 3.0));
+        t.insert(reading("RF-12", "alice", 0.0, 60.0));
+        assert_eq!(t.prune_expired(SimTime::from_secs(10.0)), 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.prune_expired(SimTime::from_secs(10.0)), 0);
+    }
+
+    #[test]
+    fn meta_table_matches_paper_rows() {
+        // The paper's sample: RF-12 (72%, 60 s), Ubisense-18 (93%, 3 s).
+        let mut t = SensorMetaTable::new();
+        t.upsert(SensorMetaRow {
+            sensor_id: "RF-12".into(),
+            confidence_percent: 72.0,
+            time_to_live: SimDuration::from_secs(60.0),
+        });
+        t.upsert(SensorMetaRow {
+            sensor_id: "Ubisense-18".into(),
+            confidence_percent: 93.0,
+            time_to_live: SimDuration::from_secs(3.0),
+        });
+        assert_eq!(t.len(), 2);
+        let rf = t.get(&"RF-12".into()).unwrap();
+        assert_eq!(rf.confidence_percent, 72.0);
+        assert_eq!(rf.time_to_live, SimDuration::from_secs(60.0));
+        assert!(t.get(&"Gps-1".into()).is_none());
+        assert_eq!(t.iter().count(), 2);
+    }
+
+    #[test]
+    fn upsert_overwrites() {
+        let mut t = SensorMetaTable::new();
+        t.upsert(SensorMetaRow {
+            sensor_id: "RF-12".into(),
+            confidence_percent: 72.0,
+            time_to_live: SimDuration::from_secs(60.0),
+        });
+        t.upsert(SensorMetaRow {
+            sensor_id: "RF-12".into(),
+            confidence_percent: 80.0,
+            time_to_live: SimDuration::from_secs(30.0),
+        });
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&"RF-12".into()).unwrap().confidence_percent, 80.0);
+    }
+}

@@ -1,0 +1,315 @@
+use std::collections::HashMap;
+
+use mw_geometry::{Point, RTree, Rect};
+
+use crate::{DbError, ObjectType, SpatialObject};
+
+/// The physical-space table of §5.1 (Table 1), indexed by an R-tree.
+///
+/// # Example
+///
+/// ```
+/// use mw_geometry::{Point, Polygon};
+/// use mw_spatial_db::{Geometry, ObjectType, SpatialObject, SpatialTable};
+///
+/// let mut table = SpatialTable::new();
+/// let room = Polygon::new(vec![
+///     Point::new(330.0, 0.0),
+///     Point::new(350.0, 0.0),
+///     Point::new(350.0, 30.0),
+///     Point::new(330.0, 30.0),
+/// ])?;
+/// table.insert(SpatialObject::new(
+///     "3105",
+///     "CS/Floor3".parse()?,
+///     ObjectType::Room,
+///     Geometry::Polygon(room),
+/// ))?;
+/// let hit = table.objects_at_point(Point::new(340.0, 10.0)).next().unwrap();
+/// assert_eq!(hit.identifier, "3105");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SpatialTable {
+    rows: HashMap<String, SpatialObject>,
+    index: RTree<String>,
+}
+
+impl SpatialTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        SpatialTable::default()
+    }
+
+    /// Number of objects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table holds no objects.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::DuplicateObject`] when the combined key already
+    /// exists.
+    pub fn insert(&mut self, object: SpatialObject) -> Result<(), DbError> {
+        let key = object.key();
+        if self.rows.contains_key(&key) {
+            return Err(DbError::DuplicateObject { key });
+        }
+        self.index.insert(object.mbr(), key.clone());
+        self.rows.insert(key, object);
+        Ok(())
+    }
+
+    /// Removes an object by combined key, returning it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownObject`] when the key does not exist.
+    pub fn remove(&mut self, key: &str) -> Result<SpatialObject, DbError> {
+        let object = self
+            .rows
+            .remove(key)
+            .ok_or_else(|| DbError::UnknownObject { key: key.into() })?;
+        self.index.remove_if(&object.mbr(), |k| k == key);
+        Ok(object)
+    }
+
+    /// Looks up an object by combined key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&SpatialObject> {
+        self.rows.get(key)
+    }
+
+    /// Iterates over all objects in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &SpatialObject> {
+        self.rows.values()
+    }
+
+    /// Objects whose MBR intersects `window`.
+    pub fn objects_in_window<'a>(
+        &'a self,
+        window: &Rect,
+    ) -> impl Iterator<Item = &'a SpatialObject> {
+        self.index
+            .query_window(window)
+            .filter_map(move |(_, key)| self.rows.get(key))
+    }
+
+    /// Objects whose *exact geometry* contains the point (MBR pre-filter
+    /// via the index, then the accurate pass of §5.1).
+    pub fn objects_at_point(&self, p: Point) -> impl Iterator<Item = &SpatialObject> {
+        self.index
+            .query_point(p)
+            .filter_map(move |(_, key)| self.rows.get(key))
+            .filter(move |o| o.geometry.contains_point(p))
+    }
+
+    /// Objects of a given type.
+    pub fn objects_of_type<'a>(
+        &'a self,
+        object_type: &'a ObjectType,
+    ) -> impl Iterator<Item = &'a SpatialObject> {
+        self.rows
+            .values()
+            .filter(move |o| &o.object_type == object_type)
+    }
+
+    /// The object nearest to `p` (by MBR distance) satisfying `pred` —
+    /// supports §5.1's example query *"Where is the nearest region that
+    /// has power outlets and high Bluetooth signal?"*.
+    #[must_use]
+    pub fn nearest_matching<F>(&self, p: Point, mut pred: F) -> Option<&SpatialObject>
+    where
+        F: FnMut(&SpatialObject) -> bool,
+    {
+        // The R-tree nearest() gives only the single nearest entry; the
+        // predicate may reject it, so scan candidates ordered by distance.
+        let mut candidates: Vec<&SpatialObject> = self.rows.values().filter(|o| pred(o)).collect();
+        candidates.sort_by(|a, b| {
+            a.mbr()
+                .distance_to_point(p)
+                .total_cmp(&b.mbr().distance_to_point(p))
+        });
+        candidates.into_iter().next()
+    }
+
+    /// The innermost region (smallest-area Room/Corridor/Floor polygon)
+    /// whose exact geometry contains `p` — used to map coordinates to
+    /// symbolic locations (§4.5).
+    #[must_use]
+    pub fn enclosing_region(&self, p: Point) -> Option<&SpatialObject> {
+        self.objects_at_point(p)
+            .filter(|o| {
+                matches!(
+                    o.object_type,
+                    ObjectType::Room | ObjectType::Corridor | ObjectType::Floor
+                )
+            })
+            .min_by(|a, b| a.mbr().area().total_cmp(&b.mbr().area()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Geometry;
+    use mw_geometry::Polygon;
+
+    fn rect_poly(x0: f64, y0: f64, x1: f64, y1: f64) -> Polygon {
+        Polygon::from_rect(&Rect::new(Point::new(x0, y0), Point::new(x1, y1)))
+    }
+
+    /// Builds the paper's Table 1 floor model.
+    fn floor_table() -> SpatialTable {
+        let mut t = SpatialTable::new();
+        let prefix: mw_model::Glob = "CS/Floor3".parse().unwrap();
+        t.insert(SpatialObject::new(
+            "Floor3",
+            "CS".parse().unwrap(),
+            ObjectType::Floor,
+            Geometry::Polygon(rect_poly(0.0, 0.0, 500.0, 100.0)),
+        ))
+        .unwrap();
+        t.insert(SpatialObject::new(
+            "3105",
+            prefix.clone(),
+            ObjectType::Room,
+            Geometry::Polygon(rect_poly(330.0, 0.0, 350.0, 30.0)),
+        ))
+        .unwrap();
+        t.insert(SpatialObject::new(
+            "NetLab",
+            prefix.clone(),
+            ObjectType::Room,
+            Geometry::Polygon(rect_poly(360.0, 0.0, 380.0, 30.0)),
+        ))
+        .unwrap();
+        t.insert(SpatialObject::new(
+            "LabCorridor",
+            prefix,
+            ObjectType::Corridor,
+            Geometry::Polygon(rect_poly(310.0, 0.0, 330.0, 30.0)),
+        ))
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = floor_table();
+        assert_eq!(t.len(), 4);
+        let obj = t.get("CS/Floor3:3105").unwrap();
+        assert_eq!(obj.identifier, "3105");
+        let removed = t.remove("CS/Floor3:3105").unwrap();
+        assert_eq!(removed.identifier, "3105");
+        assert_eq!(t.len(), 3);
+        assert!(t.get("CS/Floor3:3105").is_none());
+        assert!(matches!(
+            t.remove("CS/Floor3:3105"),
+            Err(DbError::UnknownObject { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mut t = floor_table();
+        let dup = SpatialObject::new(
+            "3105",
+            "CS/Floor3".parse().unwrap(),
+            ObjectType::Room,
+            Geometry::Polygon(rect_poly(0.0, 0.0, 1.0, 1.0)),
+        );
+        assert!(matches!(
+            t.insert(dup),
+            Err(DbError::DuplicateObject { .. })
+        ));
+    }
+
+    #[test]
+    fn point_query_uses_exact_geometry() {
+        let t = floor_table();
+        let hits: Vec<&str> = t
+            .objects_at_point(Point::new(340.0, 10.0))
+            .map(|o| o.identifier.as_str())
+            .collect();
+        // Both the floor and room 3105 contain the point.
+        assert!(hits.contains(&"3105"));
+        assert!(hits.contains(&"Floor3"));
+        assert!(!hits.contains(&"NetLab"));
+    }
+
+    #[test]
+    fn window_query() {
+        let t = floor_table();
+        let window = Rect::new(Point::new(325.0, 0.0), Point::new(365.0, 30.0));
+        let hits: Vec<&str> = t
+            .objects_in_window(&window)
+            .map(|o| o.identifier.as_str())
+            .collect();
+        assert!(hits.contains(&"3105"));
+        assert!(hits.contains(&"NetLab"));
+        assert!(hits.contains(&"LabCorridor"));
+    }
+
+    #[test]
+    fn enclosing_region_prefers_smallest() {
+        let t = floor_table();
+        let region = t.enclosing_region(Point::new(340.0, 10.0)).unwrap();
+        assert_eq!(region.identifier, "3105"); // room beats floor
+        let corridor = t.enclosing_region(Point::new(320.0, 10.0)).unwrap();
+        assert_eq!(corridor.identifier, "LabCorridor");
+        // A point only on the floor.
+        let floor = t.enclosing_region(Point::new(100.0, 80.0)).unwrap();
+        assert_eq!(floor.identifier, "Floor3");
+    }
+
+    #[test]
+    fn nearest_matching_attribute_query() {
+        let mut t = floor_table();
+        t.insert(
+            SpatialObject::new(
+                "PowerNook",
+                "CS/Floor3".parse().unwrap(),
+                ObjectType::Room,
+                Geometry::Polygon(rect_poly(400.0, 0.0, 420.0, 30.0)),
+            )
+            .with_attribute("power-outlets", "true")
+            .with_attribute("bluetooth-signal", "high"),
+        )
+        .unwrap();
+        // The paper's query, from inside room 3105.
+        let from = Point::new(340.0, 10.0);
+        let found = t
+            .nearest_matching(from, |o| {
+                o.attribute("power-outlets") == Some("true")
+                    && o.attribute("bluetooth-signal") == Some("high")
+            })
+            .unwrap();
+        assert_eq!(found.identifier, "PowerNook");
+        // No match: None.
+        assert!(t
+            .nearest_matching(from, |o| o.attribute("teleporter") == Some("yes"))
+            .is_none());
+    }
+
+    #[test]
+    fn objects_of_type() {
+        let t = floor_table();
+        let rooms: Vec<&str> = t
+            .objects_of_type(&ObjectType::Room)
+            .map(|o| o.identifier.as_str())
+            .collect();
+        assert_eq!(rooms.len(), 2);
+        assert!(rooms.contains(&"3105") && rooms.contains(&"NetLab"));
+    }
+}

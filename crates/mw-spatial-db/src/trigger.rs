@@ -1,0 +1,280 @@
+//! Location triggers (§5.3).
+//!
+//! "Location triggers are events that are generated when a certain spatial
+//! condition is satisfied. … MiddleWhere interprets these conditions into
+//! appropriate database triggers and creates these triggers in the
+//! database. When a condition is satisfied, the spatial database generates
+//! the corresponding trigger."
+//!
+//! At the database layer a trigger is geometric: it fires when an inserted
+//! sensor reading's rectangle intersects the trigger region (optionally
+//! filtered to one mobile object). The Location Service layers the
+//! probability threshold of §4.3 on top.
+
+use std::fmt;
+
+use mw_geometry::{RTree, Rect};
+use mw_model::SimTime;
+use mw_sensors::{MobileObjectId, SensorReading};
+
+use crate::DbError;
+
+/// Identifier of a registered trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TriggerId(u64);
+
+impl TriggerId {
+    /// The raw id.
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TriggerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trigger#{}", self.0)
+    }
+}
+
+/// A trigger registration: fire when a reading about `object` (or any
+/// object) intersects `region`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggerSpec {
+    /// The watched region (an MBR in building coordinates).
+    pub region: Rect,
+    /// Restrict to one mobile object, or `None` for any.
+    pub object: Option<MobileObjectId>,
+}
+
+/// A fired trigger event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggerEvent {
+    /// Which trigger fired.
+    pub trigger: TriggerId,
+    /// The object whose reading satisfied the condition.
+    pub object: MobileObjectId,
+    /// The reading's region.
+    pub reading_region: Rect,
+    /// When the triggering reading was inserted.
+    pub at: SimTime,
+}
+
+/// The database trigger engine: an R-tree of trigger regions matched
+/// against every inserted reading.
+#[derive(Debug, Clone, Default)]
+pub struct TriggerManager {
+    next_id: u64,
+    index: RTree<(TriggerId, Option<MobileObjectId>)>,
+    regions: Vec<(TriggerId, TriggerSpec)>,
+}
+
+impl TriggerManager {
+    /// Creates an empty manager.
+    #[must_use]
+    pub fn new() -> Self {
+        TriggerManager::default()
+    }
+
+    /// Number of registered triggers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Returns `true` when no triggers are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Registers a trigger and returns its id.
+    pub fn register(&mut self, spec: TriggerSpec) -> TriggerId {
+        let id = TriggerId(self.next_id);
+        self.next_id += 1;
+        self.index.insert(spec.region, (id, spec.object.clone()));
+        self.regions.push((id, spec));
+        id
+    }
+
+    /// Unregisters a trigger.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownTrigger`] when the id does not exist.
+    pub fn unregister(&mut self, id: TriggerId) -> Result<(), DbError> {
+        let pos = self
+            .regions
+            .iter()
+            .position(|(tid, _)| *tid == id)
+            .ok_or(DbError::UnknownTrigger { id: id.0 })?;
+        let (_, spec) = self.regions.remove(pos);
+        self.index.remove_if(&spec.region, |(tid, _)| *tid == id);
+        Ok(())
+    }
+
+    /// Matches an inserted reading against all triggers; returns the fired
+    /// events. This is the hot path measured by the paper's Figure 9 —
+    /// the R-tree makes it (nearly) independent of the number of
+    /// registered triggers.
+    #[must_use]
+    pub fn on_insert(&self, reading: &SensorReading, now: SimTime) -> Vec<TriggerEvent> {
+        self.index
+            .query_window(&reading.region)
+            .filter(|(_, (_, object))| object.as_ref().is_none_or(|o| o == &reading.object))
+            .map(|(_, (id, _))| TriggerEvent {
+                trigger: *id,
+                object: reading.object.clone(),
+                reading_region: reading.region,
+                at: now,
+            })
+            .collect()
+    }
+
+    /// The spec of a registered trigger.
+    #[must_use]
+    pub fn get(&self, id: TriggerId) -> Option<&TriggerSpec> {
+        self.regions
+            .iter()
+            .find(|(tid, _)| *tid == id)
+            .map(|(_, spec)| spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mw_geometry::Point;
+    use mw_model::{SimDuration, TemporalDegradation};
+    use mw_sensors::SensorSpec;
+
+    fn r(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    fn reading(object: &str, region: Rect) -> SensorReading {
+        SensorReading {
+            sensor_id: "Ubi-18".into(),
+            spec: SensorSpec::ubisense(0.9),
+            object: object.into(),
+            glob_prefix: "SC/Floor3".parse().unwrap(),
+            region,
+            detected_at: SimTime::ZERO,
+            time_to_live: SimDuration::from_secs(10.0),
+            tdf: TemporalDegradation::None,
+            moving: false,
+        }
+    }
+
+    #[test]
+    fn trigger_fires_on_intersecting_reading() {
+        let mut m = TriggerManager::new();
+        let id = m.register(TriggerSpec {
+            region: r(0.0, 0.0, 10.0, 10.0),
+            object: None,
+        });
+        let events = m.on_insert(&reading("alice", r(5.0, 5.0, 6.0, 6.0)), SimTime::ZERO);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].trigger, id);
+        assert_eq!(events[0].object, "alice".into());
+    }
+
+    #[test]
+    fn trigger_does_not_fire_outside() {
+        let mut m = TriggerManager::new();
+        m.register(TriggerSpec {
+            region: r(0.0, 0.0, 10.0, 10.0),
+            object: None,
+        });
+        let events = m.on_insert(&reading("alice", r(50.0, 50.0, 51.0, 51.0)), SimTime::ZERO);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn object_filter() {
+        let mut m = TriggerManager::new();
+        m.register(TriggerSpec {
+            region: r(0.0, 0.0, 10.0, 10.0),
+            object: Some("alice".into()),
+        });
+        assert_eq!(
+            m.on_insert(&reading("alice", r(1.0, 1.0, 2.0, 2.0)), SimTime::ZERO)
+                .len(),
+            1
+        );
+        assert!(m
+            .on_insert(&reading("bob", r(1.0, 1.0, 2.0, 2.0)), SimTime::ZERO)
+            .is_empty());
+    }
+
+    #[test]
+    fn multiple_triggers_can_fire() {
+        let mut m = TriggerManager::new();
+        let a = m.register(TriggerSpec {
+            region: r(0.0, 0.0, 10.0, 10.0),
+            object: None,
+        });
+        let b = m.register(TriggerSpec {
+            region: r(5.0, 5.0, 15.0, 15.0),
+            object: None,
+        });
+        let events = m.on_insert(&reading("alice", r(6.0, 6.0, 7.0, 7.0)), SimTime::ZERO);
+        let mut fired: Vec<TriggerId> = events.iter().map(|e| e.trigger).collect();
+        fired.sort();
+        assert_eq!(fired, vec![a, b]);
+    }
+
+    #[test]
+    fn unregister_stops_firing() {
+        let mut m = TriggerManager::new();
+        let id = m.register(TriggerSpec {
+            region: r(0.0, 0.0, 10.0, 10.0),
+            object: None,
+        });
+        assert_eq!(m.len(), 1);
+        m.unregister(id).unwrap();
+        assert!(m.is_empty());
+        assert!(m
+            .on_insert(&reading("alice", r(1.0, 1.0, 2.0, 2.0)), SimTime::ZERO)
+            .is_empty());
+        assert!(matches!(
+            m.unregister(id),
+            Err(DbError::UnknownTrigger { .. })
+        ));
+    }
+
+    #[test]
+    fn many_triggers_fire_only_matching_ones() {
+        let mut m = TriggerManager::new();
+        // A 10x10 grid of 5x5 trigger cells.
+        for i in 0..10 {
+            for j in 0..10 {
+                m.register(TriggerSpec {
+                    region: r(
+                        i as f64 * 5.0,
+                        j as f64 * 5.0,
+                        i as f64 * 5.0 + 5.0,
+                        j as f64 * 5.0 + 5.0,
+                    ),
+                    object: None,
+                });
+            }
+        }
+        assert_eq!(m.len(), 100);
+        // A reading inside one cell, touching no boundary, fires exactly 1.
+        let events = m.on_insert(&reading("alice", r(1.0, 1.0, 2.0, 2.0)), SimTime::ZERO);
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn get_returns_spec() {
+        let mut m = TriggerManager::new();
+        let id = m.register(TriggerSpec {
+            region: r(0.0, 0.0, 1.0, 1.0),
+            object: Some("alice".into()),
+        });
+        let spec = m.get(id).unwrap();
+        assert_eq!(spec.object, Some("alice".into()));
+        assert!(m.get(TriggerId(999)).is_none());
+    }
+}

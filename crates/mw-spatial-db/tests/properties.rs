@@ -1,0 +1,171 @@
+//! Property-based tests for the spatial database.
+
+use mw_geometry::{Point, Polygon, Rect};
+use mw_model::{SimDuration, SimTime, TemporalDegradation};
+use mw_sensors::{SensorReading, SensorSpec};
+use mw_spatial_db::{
+    Geometry, ObjectType, SensorReadingTable, SpatialObject, SpatialTable, TriggerManager,
+    TriggerSpec,
+};
+use proptest::prelude::*;
+
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    (0.0..450.0f64, 0.0..80.0f64, 1.0..50.0f64, 1.0..20.0f64)
+        .prop_map(|(x, y, w, h)| Rect::new(Point::new(x, y), Point::new(x + w, y + h)))
+}
+
+fn reading(object: &str, region: Rect, at: f64, ttl: f64) -> SensorReading {
+    SensorReading {
+        sensor_id: "S".into(),
+        spec: SensorSpec::ubisense(0.9),
+        object: object.into(),
+        glob_prefix: "CS/Floor3".parse().unwrap(),
+        region,
+        detected_at: SimTime::from_secs(at),
+        time_to_live: SimDuration::from_secs(ttl),
+        tdf: TemporalDegradation::None,
+        moving: false,
+    }
+}
+
+proptest! {
+    #[test]
+    fn window_queries_match_linear_scan(
+        rects in proptest::collection::vec(rect_strategy(), 1..40),
+        window in rect_strategy(),
+    ) {
+        let mut table = SpatialTable::new();
+        for (i, r) in rects.iter().enumerate() {
+            table
+                .insert(SpatialObject::new(
+                    format!("obj{i}"),
+                    "CS/Floor3".parse().unwrap(),
+                    ObjectType::Room,
+                    Geometry::Polygon(Polygon::from_rect(r)),
+                ))
+                .unwrap();
+        }
+        let mut from_index: Vec<String> = table
+            .objects_in_window(&window)
+            .map(|o| o.identifier.clone())
+            .collect();
+        let mut from_scan: Vec<String> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(&window))
+            .map(|(i, _)| format!("obj{i}"))
+            .collect();
+        from_index.sort();
+        from_scan.sort();
+        prop_assert_eq!(from_index, from_scan);
+    }
+
+    #[test]
+    fn point_queries_respect_exact_geometry(
+        rects in proptest::collection::vec(rect_strategy(), 1..20),
+        px in 0.0..500.0f64,
+        py in 0.0..100.0f64,
+    ) {
+        let p = Point::new(px, py);
+        let mut table = SpatialTable::new();
+        for (i, r) in rects.iter().enumerate() {
+            table
+                .insert(SpatialObject::new(
+                    format!("obj{i}"),
+                    "CS/Floor3".parse().unwrap(),
+                    ObjectType::Room,
+                    Geometry::Polygon(Polygon::from_rect(r)),
+                ))
+                .unwrap();
+        }
+        let hits = table.objects_at_point(p).count();
+        let expected = rects.iter().filter(|r| r.contains_point(p)).count();
+        prop_assert_eq!(hits, expected);
+    }
+
+    #[test]
+    fn enclosing_region_is_smallest_container(
+        rects in proptest::collection::vec(rect_strategy(), 1..15),
+        px in 0.0..500.0f64,
+        py in 0.0..100.0f64,
+    ) {
+        let p = Point::new(px, py);
+        let mut table = SpatialTable::new();
+        for (i, r) in rects.iter().enumerate() {
+            table
+                .insert(SpatialObject::new(
+                    format!("obj{i}"),
+                    "CS/Floor3".parse().unwrap(),
+                    ObjectType::Room,
+                    Geometry::Polygon(Polygon::from_rect(r)),
+                ))
+                .unwrap();
+        }
+        let enclosing = table.enclosing_region(p);
+        let best = rects
+            .iter()
+            .filter(|r| r.contains_point(p))
+            .map(|r| r.area())
+            .fold(f64::INFINITY, f64::min);
+        match enclosing {
+            Some(obj) => prop_assert!((obj.mbr().area() - best).abs() < 1e-9),
+            None => prop_assert!(best.is_infinite()),
+        }
+    }
+
+    #[test]
+    fn triggers_fire_iff_intersecting(
+        trigger_rects in proptest::collection::vec(rect_strategy(), 1..30),
+        reading_rect in rect_strategy(),
+    ) {
+        let mut manager = TriggerManager::new();
+        for r in &trigger_rects {
+            manager.register(TriggerSpec {
+                region: *r,
+                object: None,
+            });
+        }
+        let fired = manager.on_insert(&reading("alice", reading_rect, 0.0, 10.0), SimTime::ZERO);
+        let expected = trigger_rects
+            .iter()
+            .filter(|r| r.intersects(&reading_rect))
+            .count();
+        prop_assert_eq!(fired.len(), expected);
+    }
+
+    #[test]
+    fn reading_table_keeps_latest_per_pair(
+        times in proptest::collection::vec(0.0..100.0f64, 1..20),
+    ) {
+        let mut table = SensorReadingTable::new();
+        for &t in &times {
+            table.insert(reading("alice", Rect::from_center(Point::new(10.0, 10.0), 2.0, 2.0), t, 1000.0));
+        }
+        prop_assert_eq!(table.len(), 1);
+        let alice: mw_sensors::MobileObjectId = "alice".into();
+        let stored: Vec<&SensorReading> = table
+            .readings_for(&alice, SimTime::from_secs(100.0))
+            .collect();
+        prop_assert_eq!(stored.len(), 1);
+        prop_assert_eq!(stored[0].detected_at, SimTime::from_secs(*times.last().unwrap()));
+    }
+
+    #[test]
+    fn prune_removes_exactly_expired(
+        ttls in proptest::collection::vec(1.0..100.0f64, 1..20),
+        now in 0.0..150.0f64,
+    ) {
+        let mut table = SensorReadingTable::new();
+        for (i, &ttl) in ttls.iter().enumerate() {
+            let mut r = reading(&format!("p{i}"), Rect::from_center(Point::new(5.0, 5.0), 1.0, 1.0), 0.0, ttl);
+            r.sensor_id = format!("S{i}").as_str().into();
+            table.insert(r);
+        }
+        let now_t = SimTime::from_secs(now);
+        let expected_live = ttls.iter().filter(|&&ttl| now <= ttl).count();
+        prop_assert_eq!(table.live_readings(now_t).count(), expected_live);
+        let pruned = table.prune_expired(now_t);
+        prop_assert_eq!(pruned, ttls.len() - expected_live);
+        prop_assert_eq!(table.len(), expected_live);
+    }
+}

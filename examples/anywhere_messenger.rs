@@ -1,0 +1,154 @@
+//! The paper's *Anywhere Instant Messaging* application (§8.2).
+//!
+//! "This application allows a user to receive instant messages from a
+//! designated list of 'buddies' on whichever display is closest to him. A
+//! user can customize the application by … configuring the system to
+//! display private messages only if the location accuracy is 'high' and
+//! other users are not in the immediate vicinity!"
+//!
+//! Run with `cargo run --example anywhere_messenger`.
+
+use middlewhere::core::LocationService;
+use middlewhere::fusion::ProbabilityBand;
+use middlewhere::geometry::Point;
+use middlewhere::model::{SimDuration, SimTime};
+use middlewhere::sensors::adapters::{UbisenseAdapter, UbisenseSighting};
+use middlewhere::sensors::{Adapter, MobileObjectId};
+use mw_bus::Broker;
+use mw_sim::building::paper_floor;
+
+struct Message {
+    from: &'static str,
+    to: &'static str,
+    body: &'static str,
+    private: bool,
+}
+
+/// Fixed wall displays around the floor.
+const DISPLAYS: &[(&str, Point)] = &[
+    ("display-3105", Point::new(336.0, 4.0)),
+    ("display-netlab", Point::new(366.0, 4.0)),
+    ("display-corridor", Point::new(400.0, 40.0)),
+];
+
+fn nearest_display(
+    service: &LocationService,
+    user: &MobileObjectId,
+    now: SimTime,
+) -> Option<(&'static str, f64)> {
+    let fix = service.locate(user, now).ok()?;
+    DISPLAYS
+        .iter()
+        .map(|(name, pos)| (*name, fix.region.distance_to_point(*pos)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+fn main() {
+    let plan = paper_floor();
+    let broker = Broker::new();
+    let service = LocationService::new(plan.db, plan.universe, &broker);
+
+    let mut ubi = UbisenseAdapter::with_parts(
+        "ubi-adapter-1".into(),
+        "Ubi-1".into(),
+        "CS/Floor3".parse().expect("glob"),
+        1.0,
+    );
+
+    // Alice works in room 3105; Bob lurks nearby in the same room; Carol
+    // is far away in the NetLab.
+    let mut clock = SimTime::ZERO;
+    let people = [
+        ("alice", Point::new(337.0, 6.0)),
+        ("bob", Point::new(339.0, 8.0)),
+        ("carol", Point::new(368.0, 12.0)),
+    ];
+    clock += SimDuration::from_secs(1.0);
+    for (name, pos) in people {
+        service.ingest(
+            ubi.translate(
+                UbisenseSighting {
+                    tag: name.into(),
+                    position: pos,
+                },
+                clock,
+            ),
+            clock,
+        );
+    }
+    let now = clock + SimDuration::from_secs(1.0);
+
+    let inbox = [
+        Message {
+            from: "carol",
+            to: "alice",
+            body: "lunch at noon?",
+            private: false,
+        },
+        Message {
+            from: "hr",
+            to: "alice",
+            body: "your salary review is ready",
+            private: true,
+        },
+        Message {
+            from: "alice",
+            to: "carol",
+            body: "be there in five",
+            private: false,
+        },
+        Message {
+            from: "hr",
+            to: "carol",
+            body: "confidential: offer letter",
+            private: true,
+        },
+    ];
+
+    for msg in inbox {
+        let to: MobileObjectId = msg.to.into();
+        let Some((display, _)) = nearest_display(&service, &to, now) else {
+            println!("[{}] offline — message queued: {:?}", msg.to, msg.body);
+            continue;
+        };
+        if msg.private {
+            // Privacy gate 1: the location must be known with high
+            // accuracy.
+            let fix = service.locate(&to, now).expect("already located");
+            let accurate = fix.band >= ProbabilityBand::Medium && fix.probability > 0.8;
+            // Privacy gate 2: nobody else within 6 ft.
+            let bystanders: Vec<String> = people
+                .iter()
+                .map(|(n, _)| *n)
+                .filter(|n| *n != msg.to)
+                .filter(|n| {
+                    service
+                        .proximity(&to, &(*n).into(), 6.0, now)
+                        .map(|rel| rel.holds && rel.probability > 0.25)
+                        .unwrap_or(false)
+                })
+                .map(str::to_string)
+                .collect();
+            if !accurate {
+                println!(
+                    "[{}] private message from {} withheld (accuracy {} / p={:.2})",
+                    msg.to, msg.from, fix.band, fix.probability
+                );
+                continue;
+            }
+            if !bystanders.is_empty() {
+                println!(
+                    "[{}] private message from {} withheld ({} nearby)",
+                    msg.to,
+                    msg.from,
+                    bystanders.join(", ")
+                );
+                continue;
+            }
+        }
+        println!(
+            "[{}] showing message from {} on {}: {:?}",
+            msg.to, msg.from, display, msg.body
+        );
+    }
+}

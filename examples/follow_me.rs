@@ -1,0 +1,144 @@
+//! The paper's *Follow Me* application (§8.1): a user's session follows
+//! them from display to display.
+//!
+//! "If a user moves out of the vicinity of the display he is using, the
+//! application will automatically suspend the session. When a user is
+//! detected in the vicinity of any other display or workstation, the
+//! session is automatically migrated and resumed at that machine."
+//!
+//! A *user proxy* subscribes to the display usage regions and reacts to
+//! MiddleWhere notifications. Run with `cargo run --example follow_me`.
+
+use middlewhere::core::{LocationService, SubscriptionSpec};
+use middlewhere::geometry::{Point, Polygon, Rect};
+use middlewhere::model::{SimDuration, SimTime};
+use middlewhere::sensors::adapters::{UbisenseAdapter, UbisenseSighting};
+use middlewhere::sensors::Adapter;
+use middlewhere::spatial_db::{Geometry, ObjectType, SpatialObject};
+use mw_bus::Broker;
+use mw_sim::building::paper_floor;
+
+/// The user proxy: manages which display currently hosts the session.
+struct UserProxy {
+    user: String,
+    active_display: Option<String>,
+}
+
+impl UserProxy {
+    fn on_enter_usage_region(&mut self, display: &str) {
+        match &self.active_display {
+            Some(current) if current == display => {}
+            Some(current) => {
+                println!("[proxy] suspending session on {current}");
+                println!(
+                    "[proxy] migrating + resuming session of {} on {display}",
+                    self.user
+                );
+                self.active_display = Some(display.to_string());
+            }
+            None => {
+                println!("[proxy] resuming session of {} on {display}", self.user);
+                self.active_display = Some(display.to_string());
+            }
+        }
+    }
+
+    fn on_left_all_displays(&mut self) {
+        if let Some(current) = self.active_display.take() {
+            println!("[proxy] user away — suspending session on {current}");
+        }
+    }
+}
+
+fn main() {
+    let plan = paper_floor();
+    let broker = Broker::new();
+    let service = LocationService::new(plan.db, plan.universe, &broker);
+
+    // Two wall displays with usage regions (§4.6.2b): one in room 3105,
+    // one in the NetLab.
+    let displays = [
+        (
+            "display-3105",
+            Rect::new(Point::new(332.0, 0.0), Point::new(342.0, 8.0)),
+        ),
+        (
+            "display-netlab",
+            Rect::new(Point::new(362.0, 0.0), Point::new(372.0, 8.0)),
+        ),
+    ];
+    for (name, usage) in &displays {
+        service
+            .add_object(
+                SpatialObject::new(
+                    format!("usage-{name}"),
+                    "CS/Floor3".parse().expect("glob"),
+                    ObjectType::UsageRegion,
+                    Geometry::Polygon(Polygon::from_rect(usage)),
+                )
+                .with_attribute("usage-for", *name),
+            )
+            .expect("unique usage regions");
+        // Subscribe: notify when alice is in the usage region with at
+        // least even odds.
+        let _ = service
+            .subscribe(SubscriptionSpec::region_entry(*usage, 0.5).for_object("alice".into()));
+    }
+
+    let mut proxy = UserProxy {
+        user: "alice".into(),
+        active_display: None,
+    };
+
+    // Alice walks from room 3105's display to the NetLab's, tracked by
+    // Ubisense.
+    let mut ubi = UbisenseAdapter::with_parts(
+        "ubi-adapter-1".into(),
+        "Ubi-1".into(),
+        "CS/Floor3".parse().expect("glob"),
+        1.0,
+    );
+    let waypoints = [
+        Point::new(336.0, 4.0),  // at the 3105 display
+        Point::new(338.0, 20.0), // wandering the room
+        Point::new(340.0, 35.0), // out in the corridor
+        Point::new(366.0, 40.0), // corridor, approaching NetLab
+        Point::new(368.0, 10.0), // inside NetLab
+        Point::new(366.0, 4.0),  // at the NetLab display
+    ];
+
+    let mut clock = SimTime::ZERO;
+    for position in waypoints {
+        clock += SimDuration::from_secs(5.0);
+        println!("t={:>5.1}s  alice at {position}", clock.as_secs());
+        service.ingest(
+            ubi.translate(
+                UbisenseSighting {
+                    tag: "alice".into(),
+                    position,
+                },
+                clock,
+            ),
+            clock,
+        );
+
+        // The proxy checks which display (if any) alice can use now.
+        let mut using = None;
+        for (name, _) in &displays {
+            if let Ok(rel) = service.can_use(&"alice".into(), name, clock) {
+                if rel.holds && rel.probability > 0.5 {
+                    using = Some(*name);
+                }
+            }
+        }
+        match using {
+            Some(display) => proxy.on_enter_usage_region(display),
+            None => proxy.on_left_all_displays(),
+        }
+    }
+
+    println!(
+        "final: session hosted on {:?}",
+        proxy.active_display.as_deref().unwrap_or("<nowhere>")
+    );
+}

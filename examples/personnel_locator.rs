@@ -1,0 +1,141 @@
+//! The paper's *Vocal Personnel Locator* application (§8.4), with the
+//! speech interface replaced by a command grammar (the original used a
+//! voice front-end; the middleware interaction is identical).
+//!
+//! "A user asks the computer to locate a person or an object using a
+//! speech interface. The application then queries the spatial database
+//! for the required info, and replies verbally."
+//!
+//! Run with `cargo run --example personnel_locator`.
+
+use middlewhere::core::LocationService;
+use middlewhere::geometry::Point;
+use middlewhere::model::{SimDuration, SimTime};
+use middlewhere::sensors::adapters::{
+    BiometricAdapter, BiometricEvent, UbisenseAdapter, UbisenseSighting,
+};
+use middlewhere::sensors::Adapter;
+use mw_bus::Broker;
+use mw_sim::building::paper_floor;
+
+/// Answers a "where is X" query in prose, like the voice interface did.
+fn answer_where(service: &LocationService, who: &str, now: SimTime) -> String {
+    match service.locate(&who.into(), now) {
+        Ok(fix) => {
+            let place = fix
+                .symbolic
+                .map_or_else(|| "an unknown area".to_string(), |g| format!("{g}"));
+            let confidence = match fix.band {
+                middlewhere::fusion::ProbabilityBand::VeryHigh => "certainly",
+                middlewhere::fusion::ProbabilityBand::High => "most likely",
+                middlewhere::fusion::ProbabilityBand::Medium => "probably",
+                middlewhere::fusion::ProbabilityBand::Low => "possibly",
+            };
+            format!(
+                "{who} is {confidence} in {place} (p = {:.2}).",
+                fix.probability
+            )
+        }
+        Err(_) => format!("I have no recent location information about {who}."),
+    }
+}
+
+/// Answers "who is in <room>".
+fn answer_who_in(service: &LocationService, room: &str, now: SimTime) -> String {
+    match service.objects_in_region(room, 0.5, now) {
+        Ok(list) if list.is_empty() => format!("Nobody is in {room} right now."),
+        Ok(list) => {
+            let names: Vec<String> = list.iter().map(|(o, p)| format!("{o} ({p:.2})")).collect();
+            format!("In {room}: {}.", names.join(", "))
+        }
+        Err(_) => format!("I do not know a region called {room}."),
+    }
+}
+
+/// Answers "how far from <a> to <b>" using the paper's path distance.
+fn answer_distance(service: &LocationService, a: &str, b: &str) -> String {
+    service.with_world(|world| match world.path_distance(a, b, true) {
+        Ok(Some(d)) => format!("Walking from {a} to {b} is about {d:.0} feet."),
+        Ok(None) => format!("There is no walkable route from {a} to {b}."),
+        Err(_) => "I do not know one of those places.".to_string(),
+    })
+}
+
+fn main() {
+    let plan = paper_floor();
+    let broker = Broker::new();
+    let service = LocationService::new(plan.db, plan.universe, &broker);
+
+    // Seed the floor with some activity.
+    let mut ubi = UbisenseAdapter::with_parts(
+        "ubi-adapter-1".into(),
+        "Ubi-1".into(),
+        "CS/Floor3".parse().expect("glob"),
+        1.0,
+    );
+    let netlab_rect =
+        middlewhere::geometry::Rect::new(Point::new(360.0, 0.0), Point::new(380.0, 30.0));
+    let mut fingerprint = BiometricAdapter::with_parts(
+        "bio-adapter-1".into(),
+        "Fp-1".into(),
+        "CS/Floor3/NetLab".parse().expect("glob"),
+        netlab_rect.center(),
+        netlab_rect,
+        0.2,
+    );
+
+    let mut clock = SimTime::ZERO;
+    clock += SimDuration::from_secs(1.0);
+    service.ingest(
+        ubi.translate(
+            UbisenseSighting {
+                tag: "ranganathan".into(),
+                position: Point::new(341.0, 12.0), // room 3105
+            },
+            clock,
+        ),
+        clock,
+    );
+    service.ingest(
+        fingerprint.translate(
+            BiometricEvent::Login {
+                user: "campbell".into(),
+            },
+            clock,
+        ),
+        clock,
+    );
+    // Privacy: mickunas reveals his location only to floor granularity.
+    service.ingest(
+        ubi.translate(
+            UbisenseSighting {
+                tag: "mickunas".into(),
+                position: Point::new(398.0, 12.0), // HCILab
+            },
+            clock,
+        ),
+        clock,
+    );
+    service.set_privacy("mickunas".into(), 2);
+
+    let now = clock + SimDuration::from_secs(1.0);
+    let queries = [
+        "where is ranganathan",
+        "where is campbell",
+        "where is mickunas",
+        "where is almuhtadi",
+        "who is in CS/Floor3/3105",
+        "who is in CS/Floor3/NetLab",
+        "distance CS/Floor3/3105 CS/Floor3/HCILab",
+    ];
+    for query in queries {
+        let words: Vec<&str> = query.split_whitespace().collect();
+        let reply = match words.as_slice() {
+            ["where", "is", who] => answer_where(&service, who, now),
+            ["who", "is", "in", room] => answer_who_in(&service, room, now),
+            ["distance", a, b] => answer_distance(&service, a, b),
+            _ => "Sorry, I did not understand.".to_string(),
+        };
+        println!("> {query}\n  {reply}");
+    }
+}

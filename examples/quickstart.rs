@@ -1,0 +1,104 @@
+//! Quickstart: stand up MiddleWhere on the paper's floor plan, feed it a
+//! couple of sensor readings through real adapters, and ask where people
+//! are.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use middlewhere::core::LocationService;
+use middlewhere::geometry::Point;
+use middlewhere::model::SimTime;
+use middlewhere::sensors::adapters::{
+    BadgeSighting, RfidBadgeAdapter, UbisenseAdapter, UbisenseSighting,
+};
+use middlewhere::sensors::Adapter;
+use mw_bus::Broker;
+use mw_sim::building::paper_floor;
+
+fn main() {
+    // 1. The world model: the paper's third-floor plan (Figure 8 /
+    //    Table 1) loaded into the spatial database.
+    let plan = paper_floor();
+    let broker = Broker::new();
+    let service = LocationService::new(plan.db, plan.universe, &broker);
+
+    // 2. Two location technologies wrapped by adapters.
+    let mut ubisense = UbisenseAdapter::with_parts(
+        "ubi-adapter-1".into(),
+        "Ubi-18".into(),
+        "CS/Floor3/3105".parse().expect("valid glob"),
+        1.0, // everyone carries their tag today
+    );
+    let mut rfid = RfidBadgeAdapter::with_parts(
+        "rf-adapter-1".into(),
+        "RF-12".into(),
+        "CS/Floor3/NetLab".parse().expect("valid glob"),
+        Point::new(370.0, 15.0), // base station in the NetLab
+        1.0,
+    );
+
+    // 3. Native sensor events arrive and are translated to the common
+    //    reading format.
+    let t0 = SimTime::ZERO;
+    service.ingest(
+        ubisense.translate(
+            UbisenseSighting {
+                tag: "ralph-bat".into(),
+                position: Point::new(341.0, 12.0),
+            },
+            t0,
+        ),
+        t0,
+    );
+    service.ingest(
+        rfid.translate(
+            BadgeSighting {
+                badge: "tom-pda".into(),
+            },
+            t0,
+        ),
+        t0,
+    );
+
+    // 4. Object-based queries: "where is X?"
+    let now = SimTime::from_secs(1.0);
+    for object in ["ralph-bat", "tom-pda"] {
+        match service.locate(&object.into(), now) {
+            Ok(fix) => println!(
+                "{object:10} -> {} (p = {:.3}, band = {}, region = {})",
+                fix.symbolic
+                    .as_ref()
+                    .map_or_else(|| "<no symbolic region>".to_string(), ToString::to_string),
+                fix.probability,
+                fix.band,
+                fix.region,
+            ),
+            Err(e) => println!("{object:10} -> {e}"),
+        }
+    }
+
+    // 5. A region-based query: "who is in room 3105?"
+    let in_room = service
+        .objects_in_region("CS/Floor3/3105", 0.5, now)
+        .expect("room exists");
+    println!(
+        "room 3105 occupants (p >= 0.5): {:?}",
+        in_room
+            .iter()
+            .map(|(o, p)| format!("{o} ({p:.2})"))
+            .collect::<Vec<_>>()
+    );
+
+    // 6. A spatial relationship: how do the room and the corridor relate?
+    let relation = service
+        .region_relation("CS/Floor3/3105", "CS/Floor3/LabCorridor")
+        .expect("regions exist");
+    println!("3105 vs LabCorridor: {relation:?}");
+    let path = service.with_world(|w| {
+        w.path_distance("CS/Floor3/3105", "CS/Floor3/NetLab", true)
+            .expect("rooms exist")
+    });
+    println!(
+        "walking distance 3105 -> NetLab: {:.1} ft",
+        path.unwrap_or(f64::NAN)
+    );
+}

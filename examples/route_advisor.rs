@@ -1,0 +1,98 @@
+//! A route-finding application (§4.6.1): "The various relations between
+//! regions are useful for a number of applications such as route-finding
+//! applications."
+//!
+//! Uses the ECFP/ECRP/ECNP refinements and the route graph: find the
+//! person, then direct them to a destination, respecting locked doors
+//! unless they hold a keycard.
+//!
+//! Run with `cargo run --example route_advisor`.
+
+use middlewhere::core::LocationService;
+use middlewhere::geometry::Point;
+use middlewhere::model::SimTime;
+use middlewhere::reasoning::EcKind;
+use middlewhere::sensors::adapters::{UbisenseAdapter, UbisenseSighting};
+use middlewhere::sensors::Adapter;
+use middlewhere::spatial_db::{Geometry, ObjectType, SpatialObject};
+use mw_bus::Broker;
+use mw_sim::building::paper_floor;
+
+fn main() {
+    let plan = paper_floor();
+    let broker = Broker::new();
+    let service = LocationService::new(plan.db, plan.universe, &broker);
+
+    // Add a card-protected machine room off the main corridor.
+    service
+        .add_object(SpatialObject::new(
+            "MachineRoom",
+            "CS/Floor3".parse().expect("glob"),
+            ObjectType::Room,
+            Geometry::Polygon(middlewhere::geometry::Polygon::from_rect(
+                &middlewhere::geometry::Rect::new(Point::new(440.0, 0.0), Point::new(470.0, 30.0)),
+            )),
+        ))
+        .expect("unique");
+    service
+        .add_object(
+            SpatialObject::new(
+                "MachineRoomDoor",
+                "CS/Floor3".parse().expect("glob"),
+                ObjectType::Door,
+                Geometry::Line(middlewhere::geometry::Segment::new(
+                    Point::new(453.0, 30.0),
+                    Point::new(457.0, 30.0),
+                )),
+            )
+            .with_attribute("passage", "restricted"),
+        )
+        .expect("unique");
+
+    // Locate the visitor via Ubisense.
+    let mut ubi = UbisenseAdapter::with_parts(
+        "ubi-adapter-1".into(),
+        "Ubi-1".into(),
+        "CS/Floor3".parse().expect("glob"),
+        1.0,
+    );
+    service.ingest(
+        ubi.translate(
+            UbisenseSighting {
+                tag: "visitor".into(),
+                position: Point::new(340.0, 15.0), // room 3105
+            },
+            SimTime::ZERO,
+        ),
+        SimTime::ZERO,
+    );
+    let now = SimTime::from_secs(1.0);
+    let fix = service.locate(&"visitor".into(), now).expect("located");
+    let here = fix.symbolic.expect("symbolic").to_string();
+    println!("visitor is in {here} (p = {:.2})", fix.probability);
+
+    for destination in ["CS/Floor3/NetLab", "CS/Floor3/MachineRoom"] {
+        println!("\nroute {here} -> {destination}:");
+        // What kind of boundary connects the destination to its corridor?
+        let rel = service
+            .region_relation(destination, "CS/Floor3/MainCorridor")
+            .expect("regions known");
+        println!("  boundary to the corridor: {rel:?}");
+        for (label, keycard) in [("without keycard", false), ("with keycard", true)] {
+            let distance = service.with_world(|w| {
+                w.path_distance(&here, destination, keycard)
+                    .expect("regions known")
+            });
+            match distance {
+                Some(d) => println!("  {label}: walkable, about {d:.0} ft"),
+                None => println!("  {label}: no route (locked door in the way)"),
+            }
+        }
+        if matches!(
+            rel,
+            middlewhere::core::RegionRelation::ExternallyConnected(EcKind::RestrictedPassage)
+        ) {
+            println!("  advice: bring your badge — the door needs a card swipe");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # MiddleWhere
+//!
+//! A reproduction of *MiddleWhere: A Middleware for Location Awareness in
+//! Ubiquitous Computing Applications* (MIDDLEWARE 2004).
+//!
+//! This facade crate re-exports the public API of the workspace crates so a
+//! downstream application can depend on a single crate:
+//!
+//! ```
+//! use middlewhere::prelude::*;
+//! ```
+//!
+//! See the workspace `README.md` for an architecture overview and
+//! `DESIGN.md` for the full system inventory.
+
+pub use mw_bus as bus;
+pub use mw_core as core;
+pub use mw_fusion as fusion;
+pub use mw_geometry as geometry;
+pub use mw_model as model;
+pub use mw_reasoning as reasoning;
+pub use mw_sensors as sensors;
+pub use mw_sim as sim;
+pub use mw_spatial_db as spatial_db;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use mw_geometry::{Point, Polygon, Rect, Segment};
+    pub use mw_model::{Confidence, Glob, LocationKind};
+    pub use mw_sensors::{SensorSpec, SensorType};
+}

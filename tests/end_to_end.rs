@@ -1,0 +1,304 @@
+//! End-to-end integration: adapters → bus → spatial database → fusion →
+//! queries and notifications, over the paper's floor plan.
+
+use std::sync::Arc;
+
+use middlewhere::core::{
+    LocationRequest, LocationResponse, LocationService, Notification, SubscriptionSpec,
+    LOCATION_SERVICE_NAME, NOTIFICATION_TOPIC,
+};
+use middlewhere::geometry::{Point, Rect};
+use middlewhere::model::{SimDuration, SimTime};
+use middlewhere::sensors::adapters::{
+    BiometricAdapter, BiometricEvent, RfidBadgeAdapter, UbisenseAdapter, UbisenseSighting,
+};
+use middlewhere::sensors::Adapter;
+use mw_bus::Broker;
+use mw_sim::building::paper_floor;
+
+fn service_on_paper_floor() -> (Arc<LocationService>, Broker) {
+    let plan = paper_floor();
+    let broker = Broker::new();
+    let service = LocationService::new(plan.db, plan.universe, &broker);
+    (service, broker)
+}
+
+#[test]
+fn ubisense_reading_flows_to_symbolic_fix() {
+    let (service, _broker) = service_on_paper_floor();
+    let mut adapter = UbisenseAdapter::with_parts(
+        "ubi-adapter-1".into(),
+        "Ubi-18".into(),
+        "CS/Floor3/3105".parse().unwrap(),
+        1.0,
+    );
+    let out = adapter.translate(
+        UbisenseSighting {
+            tag: "ralph-bat".into(),
+            position: Point::new(340.0, 15.0),
+        },
+        SimTime::ZERO,
+    );
+    service.ingest(out, SimTime::ZERO);
+
+    let fix = service
+        .locate(&"ralph-bat".into(), SimTime::from_secs(1.0))
+        .unwrap();
+    assert_eq!(fix.symbolic.unwrap().to_string(), "CS/Floor3/3105");
+    assert!(fix.probability > 0.8, "p={}", fix.probability);
+    assert!(fix.region.contains_point(Point::new(340.0, 15.0)));
+}
+
+#[test]
+fn multi_technology_fusion_narrows_location() {
+    let (service, _broker) = service_on_paper_floor();
+    let now = SimTime::ZERO;
+    let query_at = SimTime::from_secs(1.0);
+    let room: Rect = Rect::new(Point::new(330.0, 0.0), Point::new(350.0, 30.0));
+
+    // RFID puts tom somewhere within 15 ft of the room center.
+    let mut rfid = RfidBadgeAdapter::with_parts(
+        "rf-adapter-1".into(),
+        "RF-12".into(),
+        "CS/Floor3/3105".parse().unwrap(),
+        room.center(),
+        1.0,
+    );
+    service.ingest(
+        rfid.translate(
+            middlewhere::sensors::adapters::BadgeSighting {
+                badge: "tom-pda".into(),
+            },
+            now,
+        ),
+        now,
+    );
+    let coarse = service.locate(&"tom-pda".into(), query_at).unwrap();
+
+    // A Ubisense sighting pins him down to six inches.
+    let mut ubi = UbisenseAdapter::with_parts(
+        "ubi-adapter-1".into(),
+        "Ubi-18".into(),
+        "CS/Floor3/3105".parse().unwrap(),
+        1.0,
+    );
+    service.ingest(
+        ubi.translate(
+            UbisenseSighting {
+                tag: "tom-pda".into(),
+                position: Point::new(341.0, 12.0),
+            },
+            now,
+        ),
+        now,
+    );
+    let fine = service.locate(&"tom-pda".into(), query_at).unwrap();
+
+    assert!(fine.region.area() < coarse.region.area());
+    assert!(
+        fine.probability > coarse.probability,
+        "fusion should reinforce: fine={} coarse={}",
+        fine.probability,
+        coarse.probability
+    );
+}
+
+#[test]
+fn biometric_logout_revokes_location() {
+    let (service, _broker) = service_on_paper_floor();
+    let room = Rect::new(Point::new(360.0, 0.0), Point::new(380.0, 30.0));
+    let mut bio = BiometricAdapter::with_parts(
+        "bio-adapter-1".into(),
+        "Fp-3".into(),
+        "CS/Floor3/NetLab".parse().unwrap(),
+        room.center(),
+        room,
+        0.2,
+    );
+    // Login at t = 0: locatable for a long time thanks to the long-term
+    // reading.
+    service.ingest(
+        bio.translate(
+            BiometricEvent::Login {
+                user: "alice".into(),
+            },
+            SimTime::ZERO,
+        ),
+        SimTime::ZERO,
+    );
+    assert!(service
+        .locate(&"alice".into(), SimTime::from_secs(300.0))
+        .is_ok());
+
+    // Manual logout at t = 300: old readings revoked; only the 15 s
+    // logout reading remains.
+    service.ingest(
+        bio.translate(
+            BiometricEvent::Logout {
+                user: "alice".into(),
+            },
+            SimTime::from_secs(300.0),
+        ),
+        SimTime::from_secs(300.0),
+    );
+    assert!(service
+        .locate(&"alice".into(), SimTime::from_secs(310.0))
+        .is_ok());
+    assert!(service
+        .locate(&"alice".into(), SimTime::from_secs(320.0))
+        .is_err());
+}
+
+#[test]
+fn push_notifications_reach_bus_subscribers() {
+    let (service, broker) = service_on_paper_floor();
+    let inbox = broker.topic::<Notification>(NOTIFICATION_TOPIC).subscribe();
+    let room = Rect::new(Point::new(330.0, 0.0), Point::new(350.0, 30.0));
+    let id = service.subscribe(SubscriptionSpec::region_entry(room, 0.5));
+
+    let mut ubi = UbisenseAdapter::with_parts(
+        "ubi-adapter-1".into(),
+        "Ubi-18".into(),
+        "CS/Floor3/3105".parse().unwrap(),
+        1.0,
+    );
+    service.ingest(
+        ubi.translate(
+            UbisenseSighting {
+                tag: "tom-pda".into(),
+                position: Point::new(340.0, 15.0),
+            },
+            SimTime::ZERO,
+        ),
+        SimTime::ZERO,
+    );
+
+    let n = inbox
+        .recv_timeout(std::time::Duration::from_millis(500))
+        .expect("notification");
+    assert_eq!(n.subscription, id);
+    assert_eq!(n.object, "tom-pda".into());
+    assert!(n.probability > 0.5);
+}
+
+#[test]
+fn rpc_pull_mode_over_bus() {
+    let (service, broker) = service_on_paper_floor();
+    let _server = service.serve_on(&broker).unwrap();
+
+    let mut ubi = UbisenseAdapter::with_parts(
+        "ubi-adapter-1".into(),
+        "Ubi-18".into(),
+        "CS/Floor3/3105".parse().unwrap(),
+        1.0,
+    );
+    service.ingest(
+        ubi.translate(
+            UbisenseSighting {
+                tag: "tom-pda".into(),
+                position: Point::new(340.0, 15.0),
+            },
+            SimTime::ZERO,
+        ),
+        SimTime::ZERO,
+    );
+
+    // An application discovers the service and queries it, CORBA-style.
+    assert!(broker
+        .service_names()
+        .contains(&LOCATION_SERVICE_NAME.to_string()));
+    let client = broker
+        .lookup::<LocationRequest, LocationResponse>(LOCATION_SERVICE_NAME)
+        .unwrap();
+    let response = client
+        .call(LocationRequest::RegionProbability {
+            object: "tom-pda".into(),
+            region: "CS/Floor3/3105".into(),
+            now: SimTime::from_secs(1.0),
+        })
+        .unwrap();
+    match response {
+        LocationResponse::Probability(p) => assert!(p > 0.8, "p={p}"),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn temporal_degradation_weakens_stale_fixes() {
+    let (service, _broker) = service_on_paper_floor();
+    let mut ubi = UbisenseAdapter::with_parts(
+        "ubi-adapter-1".into(),
+        "Ubi-18".into(),
+        "CS/Floor3/3105".parse().unwrap(),
+        1.0,
+    );
+    ubi.set_time_to_live(SimDuration::from_secs(100.0));
+    service.ingest(
+        ubi.translate(
+            UbisenseSighting {
+                tag: "tom-pda".into(),
+                position: Point::new(340.0, 15.0),
+            },
+            SimTime::ZERO,
+        ),
+        SimTime::ZERO,
+    );
+    let fresh = service
+        .locate(&"tom-pda".into(), SimTime::from_secs(1.0))
+        .unwrap();
+    let stale = service
+        .locate(&"tom-pda".into(), SimTime::from_secs(90.0))
+        .unwrap();
+    assert!(stale.probability < fresh.probability);
+    assert!(service
+        .locate(&"tom-pda".into(), SimTime::from_secs(101.0))
+        .is_err());
+}
+
+#[test]
+fn conflicting_sensors_resolved_by_movement() {
+    let (service, _broker) = service_on_paper_floor();
+    // A stationary biometric long-term reading says alice is in NetLab...
+    let netlab = Rect::new(Point::new(360.0, 0.0), Point::new(380.0, 30.0));
+    let mut bio = BiometricAdapter::with_parts(
+        "bio-adapter-1".into(),
+        "Fp-3".into(),
+        "CS/Floor3/NetLab".parse().unwrap(),
+        netlab.center(),
+        netlab,
+        0.2,
+    );
+    service.ingest(
+        bio.translate(
+            BiometricEvent::Login {
+                user: "alice".into(),
+            },
+            SimTime::ZERO,
+        ),
+        SimTime::ZERO,
+    );
+    // ...but her Ubisense tag is moving through room 3105.
+    let mut ubi = UbisenseAdapter::with_parts(
+        "ubi-adapter-1".into(),
+        "Ubi-18".into(),
+        "CS/Floor3/3105".parse().unwrap(),
+        1.0,
+    );
+    for (t, x) in [(60.0, 335.0), (61.0, 338.0), (62.0, 341.0)] {
+        service.ingest(
+            ubi.translate(
+                UbisenseSighting {
+                    tag: "alice".into(),
+                    position: Point::new(x, 15.0),
+                },
+                SimTime::from_secs(t),
+            ),
+            SimTime::from_secs(t),
+        );
+    }
+    let fix = service
+        .locate(&"alice".into(), SimTime::from_secs(62.5))
+        .unwrap();
+    // Rule 1: the moving rectangle wins; alice is reported in 3105.
+    assert_eq!(fix.symbolic.unwrap().to_string(), "CS/Floor3/3105");
+}

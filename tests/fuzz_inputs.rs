@@ -1,0 +1,50 @@
+//! Fuzz-style input robustness: public parsers and constructors must
+//! reject garbage gracefully — never panic.
+
+use middlewhere::model::{Glob, Location};
+use middlewhere::spatial_db::SpatialDatabase;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn glob_parsing_never_panics(input in "\\PC{0,60}") {
+        // Any parse outcome is fine; panics are not.
+        let _ = input.parse::<Glob>();
+    }
+
+    #[test]
+    fn glob_parse_display_roundtrip_when_accepted(input in "[A-Za-z0-9/(),. -]{1,40}") {
+        if let Ok(g) = input.parse::<Glob>() {
+            // Whatever was accepted must round-trip through Display.
+            let shown = g.to_string();
+            let again: Glob = shown.parse().unwrap_or_else(|e| {
+                panic!("display form {shown:?} of accepted input {input:?} failed to reparse: {e}")
+            });
+            prop_assert_eq!(g, again);
+        }
+    }
+
+    #[test]
+    fn location_parsing_never_panics(input in "\\PC{0,60}") {
+        let _ = Location::parse(&input);
+    }
+
+    #[test]
+    fn blueprint_parsing_never_panics(input in "\\PC{0,200}") {
+        let _ = SpatialDatabase::from_blueprint(&input);
+    }
+
+    #[test]
+    fn blueprint_parsing_survives_jsonish_garbage(
+        version in 0u32..5,
+        key in "[a-z]{1,10}",
+        value in "[a-zA-Z0-9]{0,20}",
+    ) {
+        let doc = format!("{{\"version\":{version},\"objects\":[],\"{key}\":\"{value}\"}}");
+        let _ = SpatialDatabase::from_blueprint(&doc);
+        let doc2 = format!("{{\"version\":{version},\"objects\":[{{\"{key}\":\"{value}\"}}]}}");
+        let _ = SpatialDatabase::from_blueprint(&doc2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Outdoor (GPS) integration: the paper frames GPS as "the de facto
+//! location technology for wide outdoor areas; however it does not work
+//! in covered areas or indoors" (§1). The campus model exercises the
+//! indoor/outdoor handoff: GPS covers the quad, Ubisense covers a lobby.
+
+use middlewhere::model::SimDuration;
+use mw_sim::{building, DeploymentConfig, SimConfig, Simulation};
+
+fn campus_sim(seed: u64) -> Simulation {
+    let plan = building::campus();
+    let quad = plan
+        .rooms
+        .iter()
+        .position(|(n, _)| n.ends_with("Quad"))
+        .expect("quad exists");
+    let siebel = plan
+        .rooms
+        .iter()
+        .position(|(n, _)| n.ends_with("SiebelLobby"))
+        .expect("lobby exists");
+    Simulation::new(
+        plan,
+        SimConfig {
+            seed,
+            people: 4,
+            deployment: DeploymentConfig {
+                ubisense_rooms: vec![siebel],
+                rfid_rooms: vec![],
+                biometric_rooms: vec![],
+                gps_regions: vec![quad],
+                carry_probability: 1.0,
+                ..DeploymentConfig::default()
+            },
+            aging_inflation_ft_per_s: 0.0,
+        },
+    )
+}
+
+#[test]
+fn people_are_tracked_outdoors_by_gps() {
+    let mut sim = campus_sim(55);
+    let mut outdoor_fixes = 0usize;
+    for _ in 0..300 {
+        sim.step(SimDuration::from_secs(1.0));
+        for person in sim.people().to_vec() {
+            let Some(truth) = sim.ground_truth(&person.id) else {
+                continue;
+            };
+            // Is the person on the quad right now?
+            let on_quad = (100.0..300.0).contains(&truth.y);
+            if !on_quad {
+                continue;
+            }
+            if let Ok(fix) = sim.service().locate(&person.id, sim.clock()) {
+                outdoor_fixes += 1;
+                // GPS accuracy is 15 ft; allow that plus a second of
+                // walking.
+                let err = fix.region.center().distance(truth);
+                assert!(err < 40.0, "outdoor error {err} ft");
+            }
+        }
+    }
+    assert!(outdoor_fixes > 50, "only {outdoor_fixes} outdoor fixes");
+}
+
+#[test]
+fn indoor_outdoor_handoff() {
+    let mut sim = campus_sim(77);
+    let mut indoor_located = 0usize;
+    let mut outdoor_located = 0usize;
+    for _ in 0..900 {
+        sim.step(SimDuration::from_secs(1.0));
+        for person in sim.people().to_vec() {
+            let Some(truth) = sim.ground_truth(&person.id) else {
+                continue;
+            };
+            let Ok(fix) = sim.service().locate(&person.id, sim.clock()) else {
+                continue;
+            };
+            let in_siebel = truth.y < 100.0 && (100.0..300.0).contains(&truth.x);
+            let on_quad = (100.0..300.0).contains(&truth.y);
+            if in_siebel {
+                indoor_located += 1;
+                // Indoors the Ubisense estimate is tight.
+                assert!(
+                    fix.region.width() <= 2.0,
+                    "indoor width {}",
+                    fix.region.width()
+                );
+            } else if on_quad {
+                outdoor_located += 1;
+                // Outdoors the GPS estimate is the 30 ft accuracy square
+                // (or a recent tighter indoor reading still alive).
+                assert!(fix.region.width() <= 31.0);
+            }
+        }
+    }
+    assert!(indoor_located > 0, "no indoor fixes at all");
+    assert!(outdoor_located > 0, "no outdoor fixes at all");
+}
+
+#[test]
+fn gps_resolution_is_symbolically_meaningful() {
+    let mut sim = campus_sim(99);
+    for _ in 0..200 {
+        sim.step(SimDuration::from_secs(1.0));
+        for person in sim.people().to_vec() {
+            let Ok(fix) = sim.service().locate(&person.id, sim.clock()) else {
+                continue;
+            };
+            if let Some(symbolic) = fix.symbolic {
+                // Every resolution names a campus region.
+                let name = symbolic.to_string();
+                assert!(
+                    name.starts_with("Campus"),
+                    "unexpected symbolic region {name}"
+                );
+            }
+        }
+    }
+}

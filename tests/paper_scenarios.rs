@@ -1,0 +1,330 @@
+//! Reproductions of the paper's worked examples: the GLOB examples of
+//! §3.1, the sensor calibrations of §6, the fusion cases of §4.1.2
+//! (Figures 2–4), the five-sensor lattice of Figures 5–6, the RCC-8
+//! relations of Figure 7 and the tables of §5.
+
+use middlewhere::fusion::bayes::{
+    posterior_contained_outer, posterior_general, posterior_single, SensorEvidence,
+};
+use middlewhere::fusion::conflict;
+use middlewhere::fusion::{NodeKind, RegionLattice};
+use middlewhere::geometry::{Point, Rect};
+use middlewhere::model::{Glob, SimDuration, SimTime, TemporalDegradation};
+use middlewhere::reasoning::Rcc8;
+use middlewhere::sensors::{SensorReading, SensorSpec};
+use middlewhere::spatial_db::{SensorMetaRow, SensorReadingTable};
+
+fn r(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+    Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+}
+
+fn universe() -> Rect {
+    r(0.0, 0.0, 500.0, 100.0)
+}
+
+#[test]
+fn section_3_1_glob_examples() {
+    // The four GLOB examples from §3.1, verbatim.
+    let light: Glob = "SC/3/3216/lightswitch1".parse().unwrap();
+    assert_eq!(light.depth(), 4);
+    let coord: Glob = "SC/3/3216/(12,3,4)".parse().unwrap();
+    assert!(coord.leaf().is_some());
+    let door: Glob = "SC/3/3216/(1,3),(4,5)".parse().unwrap();
+    assert!(matches!(
+        door.leaf(),
+        Some(middlewhere::model::GlobLeaf::Line(_, _))
+    ));
+    let room: Glob = "SC/3/(45,12),(45,40),(65,40),(65,12)".parse().unwrap();
+    match room.leaf() {
+        Some(middlewhere::model::GlobLeaf::Polygon(v)) => assert_eq!(v.len(), 4),
+        other => panic!("expected polygon leaf, got {other:?}"),
+    }
+    // The room prefix contains the light switch's.
+    let room_sym: Glob = "SC/3/3216".parse().unwrap();
+    assert!(room_sym.is_prefix_of(&light));
+    assert!(room_sym.is_prefix_of(&coord));
+}
+
+#[test]
+fn section_4_1_1_error_probability_derivation() {
+    // p = (1-y)x + (1-z)(1-x), q = z + y(1-x), spot-checked by hand.
+    for (x, y, z) in [(1.0, 0.95, 0.05), (0.9, 0.75, 0.25), (0.5, 0.99, 0.01)] {
+        let spec = SensorSpec::new(
+            middlewhere::sensors::SensorType::Ubisense,
+            x,
+            y,
+            middlewhere::sensors::MisidentModel::Fixed(z),
+        )
+        .unwrap();
+        let expected_p = (1.0 - y) * x + (1.0 - z) * (1.0 - x);
+        let expected_q = z + y * (1.0 - x);
+        assert!((spec.miss_probability() - expected_p).abs() < 1e-12);
+        assert!((spec.false_positive_probability(1.0, 1.0) - expected_q).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn figure_2_case_1_contained_rectangles() {
+    // Sensor 1 reports inner rectangle A, sensor 2 outer rectangle B.
+    // Equation 4's reinforcement: P(B | s1, s2) > P(B | s2) when p1 > q1.
+    let a = r(338.0, 12.0, 342.0, 16.0);
+    let b = r(330.0, 0.0, 350.0, 30.0);
+    let s1 = SensorEvidence::new(a, 0.95, 0.001);
+    let s2 = SensorEvidence::new(b, 0.75, 0.01);
+    let with_both = posterior_contained_outer(&s1, &s2, &universe());
+    let alone = posterior_single(&s2, &universe());
+    assert!(with_both > alone);
+    // And the paper's inequality direction flips when p1 < q1.
+    let bad_s1 = SensorEvidence::new(a, 0.001, 0.5);
+    assert!(posterior_contained_outer(&bad_s1, &s2, &universe()) < alone);
+}
+
+#[test]
+fn figure_3_case_2_intersecting_rectangles() {
+    // The intersection region C collects the posterior mass per unit
+    // area.
+    let a = r(330.0, 0.0, 345.0, 20.0);
+    let b = r(338.0, 10.0, 355.0, 30.0);
+    let c = a.intersection(&b).unwrap();
+    let s1 = SensorEvidence::new(a, 0.85, 0.004);
+    let s2 = SensorEvidence::new(b, 0.85, 0.004);
+    let evidence = [s1, s2];
+    let p_c = posterior_general(&evidence, &c, &universe());
+    let p_a = posterior_general(&evidence, &a, &universe());
+    let p_b = posterior_general(&evidence, &b, &universe());
+    // Density in C beats density in A or B.
+    assert!(p_c / c.area() > p_a / a.area());
+    assert!(p_c / c.area() > p_b / b.area());
+}
+
+#[test]
+fn figure_4_case_3_disjoint_rectangles_conflict() {
+    let make = |region: Rect, moving: bool, spec: SensorSpec| SensorReading {
+        sensor_id: "s".into(),
+        spec,
+        object: "alice".into(),
+        glob_prefix: "CS/Floor3".parse().unwrap(),
+        region,
+        detected_at: SimTime::ZERO,
+        time_to_live: SimDuration::from_secs(60.0),
+        tdf: TemporalDegradation::None,
+        moving,
+    };
+    // Rule 1: the moving rectangle wins regardless of confidence.
+    let readings = vec![
+        make(
+            r(330.0, 0.0, 350.0, 30.0),
+            false,
+            SensorSpec::biometric_short_term(),
+        ),
+        make(
+            r(100.0, 50.0, 102.0, 52.0),
+            true,
+            SensorSpec::rfid_badge(0.7),
+        ),
+    ];
+    let outcome = conflict::resolve(&readings, &universe(), SimTime::ZERO);
+    assert_eq!(outcome.rule, conflict::ConflictRule::MovingWins);
+    assert_eq!(outcome.kept, vec![1]);
+
+    // Rule 2: both stationary — higher Equation-5 posterior wins.
+    let readings = vec![
+        make(
+            r(330.0, 0.0, 350.0, 30.0),
+            false,
+            SensorSpec::biometric_short_term(),
+        ),
+        make(
+            r(100.0, 50.0, 102.0, 52.0),
+            false,
+            SensorSpec::rfid_badge(0.7),
+        ),
+    ];
+    let outcome = conflict::resolve(&readings, &universe(), SimTime::ZERO);
+    assert_eq!(outcome.rule, conflict::ConflictRule::HigherProbabilityWins);
+    assert_eq!(outcome.kept, vec![0]);
+}
+
+#[test]
+fn figures_5_and_6_five_sensor_lattice() {
+    // Five sensors: S1, S2, S3 mutually overlapping, S4 inside S1, S5
+    // disjoint — the qualitative structure of Figure 5.
+    let s1 = r(0.0, 0.0, 40.0, 40.0);
+    let s2 = r(20.0, 0.0, 60.0, 40.0);
+    let s3 = r(10.0, 20.0, 50.0, 60.0);
+    let s4 = r(5.0, 5.0, 15.0, 15.0);
+    let s5 = r(200.0, 50.0, 240.0, 90.0);
+    let ev = |rect| SensorEvidence::new(rect, 0.85, 0.002);
+    let lattice =
+        RegionLattice::build(universe(), vec![ev(s1), ev(s2), ev(s3), ev(s4), ev(s5)]).unwrap();
+
+    // Sensor nodes + pairwise intersections (D = S1∩S2, E = S1∩S3,
+    // F = S2∩S3) + Top + Bottom.
+    assert_eq!(lattice.len(), 10);
+    let intersections = lattice
+        .region_nodes()
+        .filter(|&id| matches!(lattice.kind(id).unwrap(), NodeKind::Intersection))
+        .count();
+    assert_eq!(intersections, 3);
+
+    // "The probability associated with any node in the lattice is
+    // influenced by all sensor rectangles that contain it, intersect it
+    // or are contained within it": D = S1∩S2 gets reinforced mass, S5
+    // (conflicting, alone) ends up with low posterior relative to its
+    // size.
+    let d = s1.intersection(&s2).unwrap();
+    let d_id = lattice
+        .region_nodes()
+        .find(|&id| lattice.region(id).unwrap() == d)
+        .unwrap();
+    let s5_id = lattice
+        .region_nodes()
+        .find(|&id| lattice.region(id).unwrap() == s5)
+        .unwrap();
+    let p_d = lattice.probability(d_id).unwrap();
+    let p_s5 = lattice.probability(s5_id).unwrap();
+    assert!(
+        p_d / d.area() > p_s5 / s5.area(),
+        "reinforced intersection should out-dense the lone conflict: {} vs {}",
+        p_d / d.area(),
+        p_s5 / s5.area()
+    );
+
+    // The minimal regions (parents of Bottom) include S4 and S5.
+    let minimal: Vec<Rect> = lattice
+        .minimal_regions()
+        .into_iter()
+        .map(|id| lattice.region(id).unwrap())
+        .collect();
+    assert!(minimal.contains(&s4));
+    assert!(minimal.contains(&s5));
+}
+
+#[test]
+fn figure_7_rcc8_relations() {
+    // One witness pair per relation, as in the figure.
+    let base = r(0.0, 0.0, 10.0, 10.0);
+    let cases = [
+        (r(20.0, 0.0, 30.0, 10.0), Rcc8::Dc),
+        (r(10.0, 0.0, 20.0, 10.0), Rcc8::Ec),
+        (r(5.0, 5.0, 15.0, 15.0), Rcc8::Po),
+        (r(0.0, 2.0, 5.0, 8.0), Rcc8::Tpp),
+        (r(2.0, 2.0, 8.0, 8.0), Rcc8::Ntpp),
+        (base, Rcc8::Eq),
+    ];
+    for (other, expected) in cases {
+        assert_eq!(Rcc8::of(&other, &base), expected);
+        assert_eq!(Rcc8::of(&base, &other), expected.converse());
+    }
+}
+
+#[test]
+fn table_1_floor_contents() {
+    // The spatial table regenerated by the simulator matches Table 1's
+    // rows.
+    let plan = mw_sim::building::paper_floor();
+    let expectations = [
+        ("CS:Floor3", "Floor", r(0.0, 0.0, 500.0, 100.0)),
+        ("CS/Floor3:3105", "Room", r(330.0, 0.0, 350.0, 30.0)),
+        ("CS/Floor3:NetLab", "Room", r(360.0, 0.0, 380.0, 30.0)),
+        (
+            "CS/Floor3:LabCorridor",
+            "Corridor",
+            r(310.0, 0.0, 330.0, 30.0),
+        ),
+    ];
+    for (key, type_name, rect) in expectations {
+        let obj = plan
+            .db
+            .objects()
+            .get(key)
+            .unwrap_or_else(|| panic!("missing {key}"));
+        assert_eq!(obj.object_type.to_string(), type_name);
+        assert_eq!(obj.mbr(), rect, "geometry mismatch for {key}");
+        assert_eq!(obj.geometry.type_name(), "Polygon");
+    }
+}
+
+#[test]
+fn table_2_sensor_reading_rows() {
+    // Reproduce the two sample rows: RF-12 sees tom-pda at (5,22,9) with a
+    // 30 ft radius; Ubi-18 sees ralph-bat at (41,3,9) with 6 in radius.
+    let mut table = SensorReadingTable::new();
+    let rf_region = middlewhere::geometry::Circle::new(Point::new(5.0, 22.0), 30.0).mbr();
+    table.insert(SensorReading {
+        sensor_id: "RF-12".into(),
+        spec: SensorSpec::rfid_badge(0.9),
+        object: "tom-pda".into(),
+        glob_prefix: "SC/Floor3/3105".parse().unwrap(),
+        region: rf_region,
+        detected_at: SimTime::from_secs(42755.0), // 11:52:35
+        time_to_live: SimDuration::from_secs(60.0),
+        tdf: TemporalDegradation::None,
+        moving: false,
+    });
+    let ubi_region = middlewhere::geometry::Circle::new(Point::new(41.0, 3.0), 0.5).mbr();
+    table.insert(SensorReading {
+        sensor_id: "Ubi-18".into(),
+        spec: SensorSpec::ubisense(0.9),
+        object: "ralph-bat".into(),
+        glob_prefix: "SC/Floor3/3102".parse().unwrap(),
+        region: ubi_region,
+        detected_at: SimTime::from_secs(42682.0), // 11:51:22
+        time_to_live: SimDuration::from_secs(3.0),
+        tdf: TemporalDegradation::None,
+        moving: false,
+    });
+    assert_eq!(table.len(), 2);
+    // The RF reading outlives the Ubisense one, per the TTL table.
+    let now = SimTime::from_secs(42765.0);
+    let tom: middlewhere::sensors::MobileObjectId = "tom-pda".into();
+    let ralph: middlewhere::sensors::MobileObjectId = "ralph-bat".into();
+    assert_eq!(table.readings_for(&tom, now).count(), 1);
+    assert_eq!(table.readings_for(&ralph, now).count(), 0);
+}
+
+#[test]
+fn table_2_sensor_meta_rows() {
+    // RF-12: 72% confidence, 60 s TTL; Ubisense-18: 93%, 3 s.
+    let row_rf = SensorMetaRow {
+        sensor_id: "RF-12".into(),
+        confidence_percent: 72.0,
+        time_to_live: SimDuration::from_secs(60.0),
+    };
+    let row_ubi = SensorMetaRow {
+        sensor_id: "Ubisense-18".into(),
+        confidence_percent: 93.0,
+        time_to_live: SimDuration::from_secs(3.0),
+    };
+    let mut table = middlewhere::spatial_db::SensorMetaTable::new();
+    table.upsert(row_rf.clone());
+    table.upsert(row_ubi);
+    assert_eq!(table.get(&"RF-12".into()), Some(&row_rf));
+}
+
+#[test]
+fn section_6_biometric_reading_parameters() {
+    use middlewhere::sensors::adapters::{
+        BIOMETRIC_LOGOUT_TTL_SECS, BIOMETRIC_LONG_TTL_SECS, BIOMETRIC_SHORT_RADIUS_FT,
+        BIOMETRIC_SHORT_TTL_SECS,
+    };
+    // The paper's calibration constants, verbatim.
+    assert_eq!(BIOMETRIC_SHORT_TTL_SECS, 30.0);
+    assert_eq!(BIOMETRIC_LONG_TTL_SECS, 900.0); // T = 15 min
+    assert_eq!(BIOMETRIC_LOGOUT_TTL_SECS, 15.0);
+    assert_eq!(BIOMETRIC_SHORT_RADIUS_FT, 2.0);
+    let spec = SensorSpec::biometric_short_term();
+    assert_eq!(spec.carry_probability(), 1.0); // x = 1
+    assert_eq!(spec.detection_probability(), 0.99); // y = 0.99
+}
+
+#[test]
+fn section_4_4_probability_band_edges() {
+    use middlewhere::fusion::{BandThresholds, ProbabilityBand};
+    // Deployed sensors with p_i = 0.6, 0.8, 0.95: the §4.4 scheme.
+    let t = BandThresholds::from_sensor_accuracies(&[0.6, 0.8, 0.95]);
+    assert_eq!(t.classify(0.55), ProbabilityBand::Low); // ≤ min
+    assert_eq!(t.classify(0.75), ProbabilityBand::Medium); // ≤ median
+    assert_eq!(t.classify(0.9), ProbabilityBand::High); // ≤ max
+    assert_eq!(t.classify(0.99), ProbabilityBand::VeryHigh); // > max
+}

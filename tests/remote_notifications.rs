@@ -1,0 +1,113 @@
+//! Cross-process-style delivery: Location Service notifications crossing
+//! the TCP bridge to a remote subscriber, the way CORBA carried them to
+//! remote Gaia applications.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use middlewhere::core::{LocationService, Notification, SubscriptionSpec, NOTIFICATION_TOPIC};
+use middlewhere::geometry::{Point, Rect};
+use middlewhere::model::{SimDuration, SimTime, TemporalDegradation};
+use middlewhere::sensors::{SensorReading, SensorSpec};
+use mw_bus::remote::{remote_subscribe, RemoteTopicServer};
+use mw_bus::Broker;
+use mw_sim::building::paper_floor;
+
+fn service() -> (Arc<LocationService>, Broker) {
+    let plan = paper_floor();
+    let broker = Broker::new();
+    let svc = LocationService::new(plan.db, plan.universe, &broker);
+    (svc, broker)
+}
+
+fn reading(object: &str, center: Point, at: f64) -> SensorReading {
+    SensorReading {
+        sensor_id: "Ubi-remote".into(),
+        spec: SensorSpec::ubisense(1.0),
+        object: object.into(),
+        glob_prefix: "CS/Floor3".parse().unwrap(),
+        region: Rect::from_center(center, 2.0, 2.0),
+        detected_at: SimTime::from_secs(at),
+        time_to_live: SimDuration::from_secs(100.0),
+        tdf: TemporalDegradation::None,
+        moving: false,
+    }
+}
+
+#[test]
+fn notifications_cross_the_tcp_bridge() {
+    let (svc, broker) = service();
+    let topic = broker.topic::<Notification>(NOTIFICATION_TOPIC);
+    let server = RemoteTopicServer::bind("127.0.0.1:0", topic).unwrap();
+    let remote_inbox = remote_subscribe::<Notification>(server.local_addr()).unwrap();
+    // Give the bridge a moment to register the client.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let room = Rect::new(Point::new(330.0, 0.0), Point::new(350.0, 30.0));
+    let id = svc.subscribe(SubscriptionSpec::region_entry(room, 0.5));
+    svc.ingest_reading(
+        reading("alice", Point::new(340.0, 15.0), 0.0),
+        SimTime::ZERO,
+    );
+
+    let n = remote_inbox
+        .recv_timeout(Duration::from_secs(5))
+        .expect("remote notification");
+    assert_eq!(n.subscription, id);
+    assert_eq!(n.object, "alice".into());
+    assert!(n.probability > 0.5);
+    assert_eq!(n.region, room);
+}
+
+#[test]
+fn remote_and_local_subscribers_see_the_same_stream() {
+    let (svc, broker) = service();
+    let topic = broker.topic::<Notification>(NOTIFICATION_TOPIC);
+    let local_inbox = topic.subscribe();
+    let server = RemoteTopicServer::bind("127.0.0.1:0", topic).unwrap();
+    let remote_inbox = remote_subscribe::<Notification>(server.local_addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    let room = Rect::new(Point::new(360.0, 0.0), Point::new(380.0, 30.0));
+    let _id = svc.subscribe(SubscriptionSpec::region_entry(room, 0.5));
+    // Three entries by three people.
+    for (i, name) in ["a", "b", "c"].iter().enumerate() {
+        svc.ingest_reading(
+            reading(name, Point::new(370.0, 15.0), i as f64),
+            SimTime::from_secs(i as f64),
+        );
+    }
+
+    let mut local = Vec::new();
+    let mut remote = Vec::new();
+    for _ in 0..3 {
+        local.push(
+            local_inbox
+                .recv_timeout(Duration::from_secs(2))
+                .expect("local"),
+        );
+        remote.push(
+            remote_inbox
+                .recv_timeout(Duration::from_secs(5))
+                .expect("remote"),
+        );
+    }
+    assert_eq!(local, remote);
+}
+
+#[test]
+fn location_fix_serializes_for_the_wire() {
+    // LocationFix itself can be shipped over the same bridge (a remote
+    // "where is X" cache, for example).
+    let (svc, _broker) = service();
+    svc.ingest_reading(
+        reading("alice", Point::new(340.0, 15.0), 0.0),
+        SimTime::ZERO,
+    );
+    let fix = svc
+        .locate(&"alice".into(), SimTime::from_secs(1.0))
+        .unwrap();
+    let json = serde_json::to_string(&fix).unwrap();
+    let back: middlewhere::core::LocationFix = serde_json::from_str(&json).unwrap();
+    assert_eq!(fix, back);
+}

@@ -1,0 +1,271 @@
+//! Failure-injection and robustness tests: the middleware must stay sane
+//! under garbage readings, pathological subscriptions and concurrent use.
+
+use std::sync::Arc;
+
+use middlewhere::core::{LocationService, SubscriptionSpec};
+use middlewhere::geometry::{Point, Rect};
+use middlewhere::model::{SimDuration, SimTime, TemporalDegradation};
+use middlewhere::sensors::{AdapterOutput, Revocation, SensorReading, SensorSpec};
+use mw_bus::Broker;
+use mw_sim::building::paper_floor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn service() -> (Arc<LocationService>, Broker) {
+    let plan = paper_floor();
+    let broker = Broker::new();
+    let service = LocationService::new(plan.db, plan.universe, &broker);
+    (service, broker)
+}
+
+fn base_reading(object: &str, region: Rect, at: f64, ttl: f64) -> SensorReading {
+    SensorReading {
+        sensor_id: "S".into(),
+        // Carried badge (x = 1): posteriors track detection probability;
+        // the carry-probability sensitivity is covered in mw-fusion tests.
+        spec: SensorSpec::ubisense(1.0),
+        object: object.into(),
+        glob_prefix: "CS/Floor3".parse().unwrap(),
+        region,
+        detected_at: SimTime::from_secs(at),
+        time_to_live: SimDuration::from_secs(ttl),
+        tdf: TemporalDegradation::None,
+        moving: false,
+    }
+}
+
+#[test]
+fn zero_area_and_degenerate_readings_do_not_panic() {
+    let (svc, _b) = service();
+    let degenerate = [
+        Rect::from_point(Point::new(100.0, 50.0)), // point
+        Rect::new(Point::new(0.0, 10.0), Point::new(50.0, 10.0)), // line
+        Rect::new(Point::new(499.9, 99.9), Point::new(500.0, 100.0)), // sliver at the edge
+    ];
+    for (i, region) in degenerate.iter().enumerate() {
+        svc.ingest_reading(
+            base_reading(&format!("p{i}"), *region, 0.0, 100.0),
+            SimTime::ZERO,
+        );
+        // Locating may or may not succeed, but must not panic and any
+        // probability must be in range.
+        if let Ok(fix) = svc.locate(&format!("p{i}").as_str().into(), SimTime::from_secs(1.0)) {
+            assert!((0.0..=1.0).contains(&fix.probability));
+        }
+    }
+}
+
+#[test]
+fn readings_outside_the_universe_are_harmless() {
+    let (svc, _b) = service();
+    let outside = Rect::new(Point::new(2000.0, 2000.0), Point::new(2010.0, 2010.0));
+    svc.ingest_reading(base_reading("ghost", outside, 0.0, 100.0), SimTime::ZERO);
+    // The region has no overlap with the universe, so the posterior is 0
+    // and there is no meaningful estimate — either outcome is fine, just
+    // no panic and sane numbers.
+    if let Ok(fix) = svc.locate(&"ghost".into(), SimTime::from_secs(1.0)) {
+        assert!((0.0..=1.0).contains(&fix.probability));
+    }
+    let p = svc.probability_in_rect(&"ghost".into(), &outside, SimTime::from_secs(1.0));
+    assert!((0.0..=1.0).contains(&p));
+}
+
+#[test]
+fn already_expired_and_future_readings() {
+    let (svc, _b) = service();
+    // Expired before ingest.
+    svc.ingest_reading(
+        base_reading(
+            "stale",
+            Rect::from_center(Point::new(100.0, 50.0), 2.0, 2.0),
+            0.0,
+            1.0,
+        ),
+        SimTime::from_secs(100.0),
+    );
+    assert!(svc
+        .locate(&"stale".into(), SimTime::from_secs(100.0))
+        .is_err());
+    // Detected "in the future" relative to the query: freshness clamps.
+    svc.ingest_reading(
+        base_reading(
+            "tachyon",
+            Rect::from_center(Point::new(100.0, 50.0), 2.0, 2.0),
+            500.0,
+            10.0,
+        ),
+        SimTime::from_secs(100.0),
+    );
+    if let Ok(fix) = svc.locate(&"tachyon".into(), SimTime::from_secs(100.0)) {
+        assert!((0.0..=1.0).contains(&fix.probability));
+    }
+}
+
+#[test]
+fn revoking_unknown_pairs_is_a_noop() {
+    let (svc, _b) = service();
+    let fired = svc.ingest(
+        AdapterOutput {
+            readings: vec![],
+            revocations: vec![Revocation {
+                sensor_id: "NoSuchSensor".into(),
+                object: "nobody".into(),
+            }],
+        },
+        SimTime::ZERO,
+    );
+    assert!(fired.is_empty());
+}
+
+#[test]
+fn extreme_subscription_thresholds() {
+    let (svc, _b) = service();
+    let room = Rect::new(Point::new(330.0, 0.0), Point::new(350.0, 30.0));
+    // Threshold 0: fires on any sliver of probability once per entry.
+    let zero = svc.subscribe(SubscriptionSpec::region_entry(room, 0.0).for_object("a".into()));
+    // Threshold 1: (almost) never fires.
+    let one = svc.subscribe(SubscriptionSpec::region_entry(room, 1.0).for_object("a".into()));
+    let fired = svc.ingest_reading(
+        base_reading(
+            "a",
+            Rect::from_center(Point::new(340.0, 15.0), 2.0, 2.0),
+            0.0,
+            100.0,
+        ),
+        SimTime::ZERO,
+    );
+    let ids: Vec<_> = fired.iter().map(|n| n.subscription).collect();
+    assert!(ids.contains(&zero));
+    assert!(!ids.contains(&one));
+}
+
+#[test]
+fn sensor_flood_keeps_latest_and_stays_fast() {
+    let (svc, _b) = service();
+    // 10k readings from one sensor about one object: the table keeps the
+    // latest; queries stay correct.
+    for i in 0..10_000 {
+        let t = i as f64 * 0.01;
+        svc.ingest_reading(
+            base_reading(
+                "busy",
+                Rect::from_center(Point::new(340.0, 15.0), 2.0, 2.0),
+                t,
+                100.0,
+            ),
+            SimTime::from_secs(t),
+        );
+    }
+    let fix = svc
+        .locate(&"busy".into(), SimTime::from_secs(100.0))
+        .unwrap();
+    assert!(fix.region.contains_point(Point::new(340.0, 15.0)));
+    svc.with_db(|db| assert_eq!(db.readings().len(), 1));
+}
+
+#[test]
+fn concurrent_ingest_and_queries() {
+    let (svc, _b) = service();
+    let mut handles = Vec::new();
+    // 4 writer threads, 4 reader threads.
+    for w in 0..4u64 {
+        let svc = Arc::clone(&svc);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(w);
+            for i in 0..500 {
+                let p = Point::new(rng.gen_range(5.0..495.0), rng.gen_range(5.0..95.0));
+                let t = i as f64;
+                svc.ingest_reading(
+                    base_reading(&format!("w{w}"), Rect::from_center(p, 2.0, 2.0), t, 1000.0),
+                    SimTime::from_secs(t),
+                );
+            }
+        }));
+    }
+    for r in 0..4u64 {
+        let svc = Arc::clone(&svc);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..500 {
+                let object = format!("w{}", r);
+                let now = SimTime::from_secs(i as f64);
+                if let Ok(fix) = svc.locate(&object.as_str().into(), now) {
+                    assert!((0.0..=1.0).contains(&fix.probability));
+                }
+                let _ = svc.objects_in_region("CS/Floor3/3105", 0.5, now);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("no thread panicked");
+    }
+}
+
+#[test]
+fn unsubscribe_mid_stream() {
+    let (svc, _b) = service();
+    let room = Rect::new(Point::new(330.0, 0.0), Point::new(350.0, 30.0));
+    let id = svc.subscribe(SubscriptionSpec::region_entry(room, 0.5));
+    let fired = svc.ingest_reading(
+        base_reading(
+            "a",
+            Rect::from_center(Point::new(340.0, 15.0), 2.0, 2.0),
+            0.0,
+            100.0,
+        ),
+        SimTime::ZERO,
+    );
+    assert_eq!(fired.len(), 1);
+    svc.unsubscribe(id).unwrap();
+    // Leaving and re-entering fires nothing.
+    let _ = svc.ingest_reading(
+        base_reading(
+            "a",
+            Rect::from_center(Point::new(100.0, 80.0), 2.0, 2.0),
+            10.0,
+            100.0,
+        ),
+        SimTime::from_secs(10.0),
+    );
+    let fired = svc.ingest_reading(
+        base_reading(
+            "a",
+            Rect::from_center(Point::new(340.0, 15.0), 2.0, 2.0),
+            20.0,
+            100.0,
+        ),
+        SimTime::from_secs(20.0),
+    );
+    assert!(fired.is_empty());
+}
+
+#[test]
+fn many_objects_many_subscriptions() {
+    let (svc, _b) = service();
+    let mut rng = StdRng::seed_from_u64(77);
+    // 200 random subscriptions.
+    for _ in 0..200 {
+        let x = rng.gen_range(0.0..450.0);
+        let y = rng.gen_range(0.0..80.0);
+        let _ = svc.subscribe(SubscriptionSpec::region_entry(
+            Rect::new(Point::new(x, y), Point::new(x + 30.0, y + 15.0)),
+            0.4,
+        ));
+    }
+    // 50 objects wandering for 20 steps.
+    let mut total = 0usize;
+    for step in 0..20 {
+        let t = step as f64 * 5.0;
+        for o in 0..50 {
+            let p = Point::new(rng.gen_range(5.0..495.0), rng.gen_range(5.0..95.0));
+            total += svc
+                .ingest_reading(
+                    base_reading(&format!("o{o}"), Rect::from_center(p, 2.0, 2.0), t, 6.0),
+                    SimTime::from_secs(t),
+                )
+                .len();
+        }
+    }
+    // Plenty of notifications fired, and every one is well-formed.
+    assert!(total > 0);
+}

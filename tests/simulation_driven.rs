@@ -1,0 +1,186 @@
+//! Simulation-driven integration tests: the whole stack under a seeded
+//! synthetic deployment, scored against ground truth.
+
+use middlewhere::model::SimDuration;
+use mw_sim::{building, DeploymentConfig, SimConfig, Simulation};
+
+fn full_coverage_config(carry: f64) -> DeploymentConfig {
+    DeploymentConfig {
+        ubisense_rooms: vec![0, 1, 2, 3, 4],
+        rfid_rooms: vec![],
+        biometric_rooms: vec![],
+        carry_probability: carry,
+        ..DeploymentConfig::default()
+    }
+}
+
+#[test]
+fn localization_accuracy_with_full_ubisense_coverage() {
+    let mut sim = Simulation::new(
+        building::paper_floor(),
+        SimConfig {
+            seed: 11,
+            people: 4,
+            deployment: full_coverage_config(1.0),
+            aging_inflation_ft_per_s: 0.0,
+        },
+    );
+    let stats = sim.run_accuracy_trial(120, SimDuration::from_secs(1.0));
+    assert!(stats.coverage() > 0.8, "coverage {}", stats.coverage());
+    // Ubisense's 6-inch resolution + up to one second of walking (4 ft/s)
+    // between reading and query.
+    assert!(
+        stats.mean_error() < 8.0,
+        "mean error {}",
+        stats.mean_error()
+    );
+    assert!(
+        stats.mean_probability() > 0.4,
+        "mean probability {}",
+        stats.mean_probability()
+    );
+}
+
+#[test]
+fn sparser_coverage_degrades_gracefully() {
+    let full = {
+        let mut sim = Simulation::new(
+            building::paper_floor(),
+            SimConfig {
+                seed: 13,
+                people: 4,
+                deployment: full_coverage_config(1.0),
+                aging_inflation_ft_per_s: 0.0,
+            },
+        );
+        sim.run_accuracy_trial(120, SimDuration::from_secs(1.0))
+    };
+    let sparse = {
+        let mut sim = Simulation::new(
+            building::paper_floor(),
+            SimConfig {
+                seed: 13,
+                people: 4,
+                deployment: DeploymentConfig {
+                    ubisense_rooms: vec![0],
+                    rfid_rooms: vec![],
+                    biometric_rooms: vec![],
+                    carry_probability: 1.0,
+                    ..DeploymentConfig::default()
+                },
+                aging_inflation_ft_per_s: 0.0,
+            },
+        );
+        sim.run_accuracy_trial(120, SimDuration::from_secs(1.0))
+    };
+    assert!(
+        sparse.coverage() < full.coverage(),
+        "sparse {} vs full {}",
+        sparse.coverage(),
+        full.coverage()
+    );
+}
+
+#[test]
+fn badge_carry_probability_limits_coverage() {
+    // The paper plans user studies for x; the simulation shows why: people
+    // without their badge are invisible to badge-based sensing.
+    let carried = {
+        let mut sim = Simulation::new(
+            building::paper_floor(),
+            SimConfig {
+                seed: 17,
+                people: 8,
+                deployment: full_coverage_config(1.0),
+                aging_inflation_ft_per_s: 0.0,
+            },
+        );
+        sim.run_accuracy_trial(60, SimDuration::from_secs(1.0))
+    };
+    let forgetful = {
+        let mut sim = Simulation::new(
+            building::paper_floor(),
+            SimConfig {
+                seed: 17,
+                people: 8,
+                deployment: full_coverage_config(0.3),
+                aging_inflation_ft_per_s: 0.0,
+            },
+        );
+        sim.run_accuracy_trial(60, SimDuration::from_secs(1.0))
+    };
+    assert!(
+        forgetful.coverage() < carried.coverage(),
+        "forgetful {} vs carried {}",
+        forgetful.coverage(),
+        carried.coverage()
+    );
+}
+
+#[test]
+fn synthetic_floor_scales_to_many_rooms_and_people() {
+    let plan = building::synthetic_floor(12); // 25 walkable regions
+    let n_rooms = plan.rooms.len();
+    let mut sim = Simulation::new(
+        plan,
+        SimConfig {
+            seed: 23,
+            people: 20,
+            deployment: DeploymentConfig {
+                ubisense_rooms: (0..n_rooms).collect(),
+                rfid_rooms: vec![],
+                biometric_rooms: vec![],
+                carry_probability: 1.0,
+                ..DeploymentConfig::default()
+            },
+            aging_inflation_ft_per_s: 0.0,
+        },
+    );
+    let stats = sim.run_accuracy_trial(60, SimDuration::from_secs(1.0));
+    assert!(stats.located > 500, "located {}", stats.located);
+    assert!(
+        stats.mean_error() < 10.0,
+        "mean error {}",
+        stats.mean_error()
+    );
+}
+
+#[test]
+fn region_queries_agree_with_ground_truth_majority() {
+    let mut sim = Simulation::new(
+        building::paper_floor(),
+        SimConfig {
+            seed: 29,
+            people: 4,
+            deployment: full_coverage_config(1.0),
+            aging_inflation_ft_per_s: 0.0,
+        },
+    );
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for _ in 0..120 {
+        sim.step(SimDuration::from_secs(1.0));
+        let rooms: Vec<(String, middlewhere::geometry::Rect)> = sim.rooms().to_vec();
+        for (name, rect) in &rooms {
+            let Ok(in_room) = sim.service().objects_in_region(name, 0.5, sim.clock()) else {
+                continue;
+            };
+            for (object, _) in in_room {
+                total += 1;
+                if let Some(truth) = sim.ground_truth(&object) {
+                    // Allow slack at room borders: the estimate lags the
+                    // walker by up to one step.
+                    if rect.inflated(6.0).contains_point(truth) {
+                        agree += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(total > 0);
+    let rate = agree as f64 / total as f64;
+    assert!(
+        rate > 0.8,
+        "region-query agreement {rate} ({agree}/{total})"
+    );
+}
