@@ -1,0 +1,68 @@
+//! End-to-end demo of the remote bridge surviving injected faults.
+//!
+//! Run with: `cargo run --release --example chaos_demo`
+//!
+//! Binds a real TCP server, subscribes through a fault injector that
+//! resets and corrupts the connection mid-stream, and prints the
+//! delivery accounting both sides kept.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mw_bus::fault::{FaultAction, FaultInjector, FaultPlan};
+use mw_bus::remote::{remote_subscribe_with_transport, RemoteTopicServer, SubscribeOptions};
+use mw_bus::transport::TcpFrameTransport;
+use mw_bus::Broker;
+
+fn main() {
+    let broker = Broker::new();
+    let topic = broker.topic::<u64>("demo");
+    let server = RemoteTopicServer::bind("127.0.0.1:0", topic.clone()).expect("bind");
+    let addr = server.local_addr();
+    println!("server listening on {addr}");
+
+    // Reset the connection after the 6th frame received and corrupt the
+    // 15th; the client must reconnect, resume from its last sequence
+    // number, and still deliver every message exactly once, in order.
+    let plan = Arc::new(
+        FaultPlan::scripted()
+            .on_recv(6, FaultAction::Reset)
+            .on_recv(15, FaultAction::Corrupt),
+    );
+    let dial_plan = Arc::clone(&plan);
+    let inbox = remote_subscribe_with_transport::<u64, _>(
+        move || {
+            TcpFrameTransport::connect(addr)
+                .map(|t| Box::new(FaultInjector::new(t, Arc::clone(&dial_plan))) as Box<_>)
+        },
+        SubscribeOptions {
+            initial_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(50),
+            ..SubscribeOptions::default()
+        },
+    )
+    .expect("subscribe");
+
+    for i in 0..30u64 {
+        topic.publish(i);
+    }
+
+    let mut got = Vec::new();
+    while got.len() < 30 {
+        match inbox.recv_timeout(Duration::from_secs(5)) {
+            Some(v) => got.push(v),
+            None => break,
+        }
+    }
+    println!("delivered {} messages: {:?}", got.len(), got);
+    println!("faults injected by plan: {}", plan.injected());
+    println!("client stats: {:?}", inbox.stats());
+    println!("server stats: {:?}", server.stats());
+
+    let ordered = got == (0..30).collect::<Vec<_>>();
+    println!(
+        "exactly-once, in-order delivery under faults: {}",
+        if ordered { "OK" } else { "BROKEN" }
+    );
+    assert!(ordered);
+}

@@ -1,0 +1,59 @@
+//! Adversarial probes against a live `RemoteTopicServer` using raw TCP
+//! sockets (not the library client): garbage handshakes, an oversized
+//! length prefix, and a peer that vanishes without a word. The server
+//! must shrug all of it off and keep serving legitimate subscribers.
+//!
+//! Run with: `cargo run --release -p mw-bus --example probe_server`
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use mw_bus::remote::{remote_subscribe, RemoteTopicServer};
+use mw_bus::Broker;
+
+fn main() {
+    let broker = Broker::new();
+    let topic = broker.topic::<u64>("probed");
+    let server = RemoteTopicServer::bind("127.0.0.1:0", topic.clone()).expect("bind");
+    let addr = server.local_addr();
+    println!("server listening on {addr}");
+
+    // Probe 1: pure garbage instead of a Hello frame.
+    let mut garbage = TcpStream::connect(addr).unwrap();
+    garbage.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    drop(garbage);
+
+    // Probe 2: a syntactically valid header claiming a 1 GiB payload.
+    let mut huge = TcpStream::connect(addr).unwrap();
+    let mut frame = vec![0u8; 17];
+    frame[0] = 0; // Hello
+    frame[9..13].copy_from_slice(&(1u32 << 30).to_be_bytes());
+    huge.write_all(&frame).unwrap();
+    drop(huge);
+
+    // Probe 3: connect and vanish without sending anything.
+    drop(TcpStream::connect(addr).unwrap());
+
+    // Give the server a moment to time the silent peer out.
+    std::thread::sleep(Duration::from_millis(1500));
+    println!("after abuse: {:?}", server.stats());
+
+    // A legitimate subscriber must be entirely unaffected.
+    let inbox = remote_subscribe::<u64>(addr).expect("legit subscribe");
+    for i in 0..10u64 {
+        topic.publish(i);
+    }
+    let mut got = Vec::new();
+    while got.len() < 10 {
+        match inbox.recv_timeout(Duration::from_secs(5)) {
+            Some(v) => got.push(v),
+            None => break,
+        }
+    }
+    println!("legit subscriber received: {got:?}");
+    println!("final server stats: {:?}", server.stats());
+    assert_eq!(got, (0..10).collect::<Vec<_>>());
+    assert!(server.stats().handshake_failures >= 3);
+    println!("server survived all probes: OK");
+}

@@ -66,6 +66,33 @@ impl Broker {
         Ok(server)
     }
 
+    /// [`Broker::register_service`] with a bounded request queue: at most
+    /// `capacity` requests may be pending before callers get
+    /// [`BusError::Overloaded`] instead of queueing without limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::DuplicateService`] when a service with the same
+    /// name and request/reply types already exists.
+    pub fn register_service_bounded<Req, Rep>(
+        &self,
+        name: &str,
+        capacity: usize,
+    ) -> Result<RpcServer<Req, Rep>, BusError>
+    where
+        Req: Send + 'static,
+        Rep: Send + 'static,
+    {
+        let key = (name.to_string(), TypeId::of::<Req>(), TypeId::of::<Rep>());
+        let mut reg = self.inner.lock();
+        if reg.services.contains_key(&key) {
+            return Err(BusError::DuplicateService { name: name.into() });
+        }
+        let (server, client) = rpc::channel_with_capacity::<Req, Rep>(name, capacity);
+        reg.services.insert(key, Box::new(client));
+        Ok(server)
+    }
+
     /// Discovers a service by name (the Space Repository query); returns a
     /// client handle.
     ///
@@ -191,6 +218,22 @@ mod tests {
         let _a = broker.register_service::<u32, u32>("location").unwrap();
         let _b = broker.register_service::<u32, u32>("presence").unwrap();
         assert_eq!(broker.service_names(), vec!["location", "presence"]);
+    }
+
+    #[test]
+    fn bounded_service_registration() {
+        let broker = Broker::new();
+        let server = broker
+            .register_service_bounded::<u32, u32>("limited", 2)
+            .unwrap();
+        let client = broker.lookup::<u32, u32>("limited").unwrap();
+        // Normal operation is unchanged while the server keeps up.
+        std::thread::spawn(move || {
+            while let Some((req, reply)) = server.next_request() {
+                reply(req + 1);
+            }
+        });
+        assert_eq!(client.call(1).unwrap(), 2);
     }
 
     #[test]

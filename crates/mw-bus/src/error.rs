@@ -21,6 +21,12 @@ pub enum BusError {
         /// The called service name.
         name: String,
     },
+    /// The service's bounded request queue is full (only for services
+    /// registered with an explicit capacity).
+    Overloaded {
+        /// The called service name.
+        name: String,
+    },
 }
 
 impl fmt::Display for BusError {
@@ -32,6 +38,9 @@ impl fmt::Display for BusError {
             }
             BusError::CallFailed { name } => {
                 write!(f, "call to service {name:?} failed or timed out")
+            }
+            BusError::Overloaded { name } => {
+                write!(f, "service {name:?} request queue is full")
             }
         }
     }

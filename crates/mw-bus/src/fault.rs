@@ -1,0 +1,428 @@
+//! Deterministic fault injection for the frame transport.
+//!
+//! A [`FaultPlan`] is a schedule of faults keyed by frame index —
+//! "corrupt the 3rd frame received", "reset the connection before the
+//! 10th" — either scripted explicitly or drawn from a seeded RNG so a
+//! chaos run is random *and* exactly reproducible. A [`FaultInjector`]
+//! wraps any [`FrameTransport`] and applies the plan at the wire level:
+//! corruption flips payload bits and leaves the stale checksum in place,
+//! so the regular verification path rejects the frame exactly as it
+//! would a real bit flip. Nothing in the production code path knows the
+//! fault layer exists.
+//!
+//! Frame indices count per direction over the whole life of the plan,
+//! **across reconnects**: if the plan resets the connection at recv
+//! index 5, the injector wrapped around the *next* connection continues
+//! counting at 6. That is what makes multi-connection chaos scenarios
+//! scriptable.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::transport::{FrameTransport, WireFrame};
+
+/// One fault applied to one frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Silently discard the frame (the peer believes it was delivered).
+    DropFrame,
+    /// Deliver the frame, then deliver an identical copy.
+    Duplicate,
+    /// Flip payload bits (or a checksum bit for empty payloads) without
+    /// fixing the checksum; verification downstream will reject it.
+    Corrupt,
+    /// Sever the connection: this and every later operation on the same
+    /// connection fails with `ConnectionReset`.
+    Reset,
+    /// Sleep before delivering the frame.
+    Delay(Duration),
+}
+
+/// Which half of the transport a fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Frames written by this endpoint.
+    Send,
+    /// Frames read by this endpoint.
+    Recv,
+}
+
+/// Randomized fault probabilities for [`FaultPlan::seeded`], evaluated
+/// per frame. All values are probabilities in `[0, 1]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultRates {
+    /// Chance a received frame is silently dropped.
+    pub drop: f64,
+    /// Chance a received frame is delivered twice.
+    pub duplicate: f64,
+    /// Chance a received frame is corrupted.
+    pub corrupt: f64,
+    /// Chance the connection is reset at a frame boundary.
+    pub reset: f64,
+}
+
+enum Mode {
+    Scripted(HashMap<(Direction, u64), FaultAction>),
+    Seeded {
+        rng: Mutex<StdRng>,
+        rates: FaultRates,
+    },
+}
+
+/// A reusable, thread-safe schedule of faults. Share one plan (via
+/// [`Arc`]) across the injectors of successive reconnect attempts so
+/// frame indices keep counting across connections.
+pub struct FaultPlan {
+    mode: Mode,
+    send_index: AtomicU64,
+    recv_index: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("send_index", &self.send_index.load(Ordering::Relaxed))
+            .field("recv_index", &self.recv_index.load(Ordering::Relaxed))
+            .field("injected", &self.injected.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl FaultPlan {
+    /// An empty scripted plan: no faults until some are added.
+    #[must_use]
+    pub fn scripted() -> Self {
+        FaultPlan {
+            mode: Mode::Scripted(HashMap::new()),
+            send_index: AtomicU64::new(0),
+            recv_index: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// A plan that draws faults from a seeded RNG: the same seed and the
+    /// same frame order reproduce the same faults exactly.
+    #[must_use]
+    pub fn seeded(seed: u64, rates: FaultRates) -> Self {
+        FaultPlan {
+            mode: Mode::Seeded {
+                rng: Mutex::new(StdRng::seed_from_u64(seed)),
+                rates,
+            },
+            send_index: AtomicU64::new(0),
+            recv_index: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Schedules `action` for the `index`-th frame received (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a seeded plan.
+    #[must_use]
+    pub fn on_recv(self, index: u64, action: FaultAction) -> Self {
+        self.on(Direction::Recv, index, action)
+    }
+
+    /// Schedules `action` for the `index`-th frame sent (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a seeded plan.
+    #[must_use]
+    pub fn on_send(self, index: u64, action: FaultAction) -> Self {
+        self.on(Direction::Send, index, action)
+    }
+
+    fn on(mut self, direction: Direction, index: u64, action: FaultAction) -> Self {
+        match &mut self.mode {
+            Mode::Scripted(map) => {
+                map.insert((direction, index), action);
+            }
+            Mode::Seeded { .. } => panic!("cannot script actions on a seeded FaultPlan"),
+        }
+        self
+    }
+
+    /// Total number of faults the plan has injected so far.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Draws the action for the next frame in `direction`, advancing the
+    /// frame counter.
+    fn next_action(&self, direction: Direction) -> Option<FaultAction> {
+        let counter = match direction {
+            Direction::Send => &self.send_index,
+            Direction::Recv => &self.recv_index,
+        };
+        let index = counter.fetch_add(1, Ordering::Relaxed);
+        let action = match &self.mode {
+            Mode::Scripted(map) => map.get(&(direction, index)).copied(),
+            Mode::Seeded { rng, rates } => {
+                let mut rng = rng.lock();
+                // Evaluated in fixed order so the RNG stream is stable.
+                if rng.gen_bool(rates.reset) {
+                    Some(FaultAction::Reset)
+                } else if rng.gen_bool(rates.corrupt) {
+                    Some(FaultAction::Corrupt)
+                } else if rng.gen_bool(rates.drop) {
+                    Some(FaultAction::DropFrame)
+                } else if rng.gen_bool(rates.duplicate) {
+                    Some(FaultAction::Duplicate)
+                } else {
+                    None
+                }
+            }
+        };
+        if action.is_some() {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        action
+    }
+}
+
+fn reset_error() -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::ConnectionReset,
+        "connection reset by fault plan",
+    )
+}
+
+/// Flips bits so the frame no longer matches its checksum.
+fn corrupt(wire: &mut WireFrame) {
+    if wire.payload.is_empty() {
+        wire.checksum ^= 0x0000_0100;
+    } else {
+        let mid = wire.payload.len() / 2;
+        wire.payload[mid] ^= 0x55;
+    }
+}
+
+/// Wraps a [`FrameTransport`] and applies a [`FaultPlan`] to the frames
+/// crossing it.
+pub struct FaultInjector<T> {
+    inner: T,
+    plan: Arc<FaultPlan>,
+    /// Duplicated inbound frames waiting to be delivered again.
+    pending_recv: VecDeque<WireFrame>,
+    /// Once a `Reset` fires, every later operation fails.
+    dead: bool,
+}
+
+impl<T> FaultInjector<T> {
+    /// Wraps `inner`, applying `plan`.
+    pub fn new(inner: T, plan: Arc<FaultPlan>) -> Self {
+        FaultInjector {
+            inner,
+            plan,
+            pending_recv: VecDeque::new(),
+            dead: false,
+        }
+    }
+}
+
+impl<T: FrameTransport> FrameTransport for FaultInjector<T> {
+    fn send_wire(&mut self, wire: &WireFrame) -> std::io::Result<()> {
+        if self.dead {
+            return Err(reset_error());
+        }
+        match self.plan.next_action(Direction::Send) {
+            None => self.inner.send_wire(wire),
+            Some(FaultAction::DropFrame) => Ok(()), // pretend it went out
+            Some(FaultAction::Duplicate) => {
+                self.inner.send_wire(wire)?;
+                self.inner.send_wire(wire)
+            }
+            Some(FaultAction::Corrupt) => {
+                let mut bad = wire.clone();
+                corrupt(&mut bad);
+                self.inner.send_wire(&bad)
+            }
+            Some(FaultAction::Reset) => {
+                self.dead = true;
+                Err(reset_error())
+            }
+            Some(FaultAction::Delay(d)) => {
+                std::thread::sleep(d);
+                self.inner.send_wire(wire)
+            }
+        }
+    }
+
+    fn recv_wire(&mut self) -> std::io::Result<Option<WireFrame>> {
+        if self.dead {
+            return Err(reset_error());
+        }
+        if let Some(wire) = self.pending_recv.pop_front() {
+            return Ok(Some(wire));
+        }
+        loop {
+            let Some(mut wire) = self.inner.recv_wire()? else {
+                return Ok(None);
+            };
+            match self.plan.next_action(Direction::Recv) {
+                None => return Ok(Some(wire)),
+                Some(FaultAction::DropFrame) => continue,
+                Some(FaultAction::Duplicate) => {
+                    self.pending_recv.push_back(wire.clone());
+                    return Ok(Some(wire));
+                }
+                Some(FaultAction::Corrupt) => {
+                    corrupt(&mut wire);
+                    return Ok(Some(wire));
+                }
+                Some(FaultAction::Reset) => {
+                    self.dead = true;
+                    return Err(reset_error());
+                }
+                Some(FaultAction::Delay(d)) => {
+                    std::thread::sleep(d);
+                    return Ok(Some(wire));
+                }
+            }
+        }
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.inner.set_read_timeout(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{Frame, FrameKind};
+
+    /// In-memory transport: everything sent is queued for receive.
+    #[derive(Default)]
+    struct Loopback {
+        queue: VecDeque<WireFrame>,
+    }
+
+    impl FrameTransport for Loopback {
+        fn send_wire(&mut self, wire: &WireFrame) -> std::io::Result<()> {
+            self.queue.push_back(wire.clone());
+            Ok(())
+        }
+
+        fn recv_wire(&mut self) -> std::io::Result<Option<WireFrame>> {
+            Ok(self.queue.pop_front())
+        }
+
+        fn set_read_timeout(&mut self, _: Option<Duration>) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn data(seq: u64) -> Frame {
+        Frame::data(seq, &seq).unwrap()
+    }
+
+    #[test]
+    fn scripted_drop_and_duplicate() {
+        let plan = Arc::new(
+            FaultPlan::scripted()
+                .on_recv(1, FaultAction::DropFrame)
+                .on_recv(2, FaultAction::Duplicate),
+        );
+        let mut t = FaultInjector::new(Loopback::default(), Arc::clone(&plan));
+        for seq in 0..4 {
+            t.send(&data(seq)).unwrap();
+        }
+        let mut seen = Vec::new();
+        while let Some(frame) = t.recv().unwrap() {
+            seen.push(frame.seq);
+        }
+        // Frame 1 dropped, frame 2 delivered twice.
+        assert_eq!(seen, vec![0, 2, 2, 3]);
+        assert_eq!(plan.injected(), 2);
+    }
+
+    #[test]
+    fn corrupt_frame_fails_verification() {
+        let plan = Arc::new(FaultPlan::scripted().on_recv(0, FaultAction::Corrupt));
+        let mut t = FaultInjector::new(Loopback::default(), plan);
+        t.send(&data(1)).unwrap();
+        let err = t.recv().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn corrupt_control_frame_fails_verification() {
+        let plan = Arc::new(FaultPlan::scripted().on_recv(0, FaultAction::Corrupt));
+        let mut t = FaultInjector::new(Loopback::default(), plan);
+        t.send(&Frame::control(FrameKind::Heartbeat, 0)).unwrap();
+        assert!(t.recv().is_err());
+    }
+
+    #[test]
+    fn reset_kills_the_connection_permanently() {
+        let plan = Arc::new(FaultPlan::scripted().on_recv(1, FaultAction::Reset));
+        let mut t = FaultInjector::new(Loopback::default(), plan);
+        for seq in 0..3 {
+            t.send(&data(seq)).unwrap();
+        }
+        assert_eq!(t.recv().unwrap().unwrap().seq, 0);
+        assert_eq!(
+            t.recv().unwrap_err().kind(),
+            std::io::ErrorKind::ConnectionReset
+        );
+        // Still dead afterwards, for both directions.
+        assert!(t.recv().is_err());
+        assert!(t.send(&data(9)).is_err());
+    }
+
+    #[test]
+    fn indices_continue_across_injectors_sharing_a_plan() {
+        let plan = Arc::new(FaultPlan::scripted().on_recv(3, FaultAction::DropFrame));
+        // First "connection" consumes recv indices 0 and 1.
+        let mut a = FaultInjector::new(Loopback::default(), Arc::clone(&plan));
+        a.send(&data(0)).unwrap();
+        a.send(&data(1)).unwrap();
+        assert!(a.recv().unwrap().is_some());
+        assert!(a.recv().unwrap().is_some());
+        // Second connection: indices 2 (delivered) and 3 (dropped).
+        let mut b = FaultInjector::new(Loopback::default(), plan);
+        b.send(&data(2)).unwrap();
+        b.send(&data(3)).unwrap();
+        assert_eq!(b.recv().unwrap().unwrap().seq, 2);
+        assert!(b.recv().unwrap().is_none()); // 3 dropped, then EOF
+    }
+
+    #[test]
+    fn seeded_plans_replay_identically() {
+        let trace = |seed: u64| {
+            let plan = Arc::new(FaultPlan::seeded(
+                seed,
+                FaultRates {
+                    drop: 0.2,
+                    duplicate: 0.2,
+                    corrupt: 0.0,
+                    reset: 0.0,
+                },
+            ));
+            let mut t = FaultInjector::new(Loopback::default(), plan);
+            for seq in 0..50 {
+                t.send(&data(seq)).unwrap();
+            }
+            let mut seen = Vec::new();
+            while let Some(frame) = t.recv().unwrap() {
+                seen.push(frame.seq);
+            }
+            seen
+        };
+        assert_eq!(trace(7), trace(7));
+        assert_ne!(trace(7), trace(8), "different seeds should differ");
+    }
+}

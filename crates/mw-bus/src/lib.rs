@@ -11,7 +11,10 @@
 //!   … by querying the Gaia Space Repository service"),
 //! - **RPC** (the pull model): typed request/reply with a timeout,
 //! - **pub/sub topics** (the push model): trigger notifications are
-//!   published to a topic and fan out to all subscribers.
+//!   published to a topic and fan out to all subscribers,
+//! - a **TCP bridge** ([`remote`]) for cross-process delivery, with a
+//!   checksummed, sequence-numbered frame protocol ([`transport`]) and a
+//!   deterministic fault-injection layer ([`fault`]) for chaos testing.
 //!
 //! Transport identity is irrelevant to the paper's algorithms; latency
 //! numbers in the benchmarks are re-based on this bus (shape over
@@ -22,11 +25,13 @@
 
 mod broker;
 mod error;
+pub mod fault;
 pub mod remote;
 mod rpc;
 mod topic;
+pub mod transport;
 
 pub use broker::Broker;
 pub use error::BusError;
 pub use rpc::{RpcClient, RpcServer};
-pub use topic::{Publisher, Subscription};
+pub use topic::{OverflowPolicy, Publisher, Subscription};

@@ -1,6 +1,6 @@
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 
 use crate::BusError;
 
@@ -95,14 +95,19 @@ impl<Req, Rep> RpcClient<Req, Rep> {
     /// # Errors
     ///
     /// Returns [`BusError::CallFailed`] when the server is gone or does
-    /// not reply within the timeout.
+    /// not reply within the timeout, and [`BusError::Overloaded`] when a
+    /// bounded service's request queue is full (requests are never
+    /// queued unboundedly nor silently dropped).
     pub fn call(&self, request: Req) -> Result<Rep, BusError> {
         let (reply_tx, reply_rx) = bounded(1);
-        self.tx
-            .send((request, reply_tx))
-            .map_err(|_| BusError::CallFailed {
+        self.tx.try_send((request, reply_tx)).map_err(|e| match e {
+            TrySendError::Full(_) => BusError::Overloaded {
                 name: self.name.clone(),
-            })?;
+            },
+            TrySendError::Disconnected(_) => BusError::CallFailed {
+                name: self.name.clone(),
+            },
+        })?;
         reply_rx
             .recv_timeout(self.timeout)
             .map_err(|_| BusError::CallFailed {
@@ -114,6 +119,24 @@ impl<Req, Rep> RpcClient<Req, Rep> {
 /// Creates a connected server/client pair (used by the broker).
 pub(crate) fn channel<Req, Rep>(name: &str) -> (RpcServer<Req, Rep>, RpcClient<Req, Rep>) {
     let (tx, rx) = unbounded();
+    pair(name, tx, rx)
+}
+
+/// [`channel`] with a bounded request queue: at most `capacity` requests
+/// may be pending before callers get [`BusError::Overloaded`].
+pub(crate) fn channel_with_capacity<Req, Rep>(
+    name: &str,
+    capacity: usize,
+) -> (RpcServer<Req, Rep>, RpcClient<Req, Rep>) {
+    let (tx, rx) = bounded(capacity);
+    pair(name, tx, rx)
+}
+
+fn pair<Req, Rep>(
+    name: &str,
+    tx: Sender<Envelope<Req, Rep>>,
+    rx: Receiver<Envelope<Req, Rep>>,
+) -> (RpcServer<Req, Rep>, RpcClient<Req, Rep>) {
     (
         RpcServer {
             name: name.to_string(),
@@ -196,6 +219,27 @@ mod tests {
         assert_eq!(client.call(1).unwrap(), 2);
         assert_eq!(c2.call(2).unwrap(), 3);
         t.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_service_rejects_excess_requests() {
+        let (server, client) = channel_with_capacity::<u32, u32>("busy", 1);
+        // One request fits; a second, while the first is still queued,
+        // is rejected instead of growing the queue.
+        let c2 = client.clone();
+        let t = std::thread::spawn(move || c2.call(1));
+        // Wait until the first request occupies the queue slot.
+        while server.rx.try_recv().is_err() {
+            std::thread::yield_now();
+        }
+        // The queue slot is free again; fill it without a server read.
+        let mut client_nb = client.clone();
+        client_nb.set_timeout(Duration::from_millis(10));
+        assert!(client_nb.call(2).is_err()); // occupies the slot, times out
+        let err = client.call(3).unwrap_err();
+        assert!(matches!(err, BusError::Overloaded { .. }), "{err:?}");
+        drop(server);
+        let _ = t.join();
     }
 
     #[test]

@@ -1,7 +1,44 @@
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+
+/// What a bounded subscription does with a new message when its queue is
+/// full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Evict the oldest queued message to make room — the subscriber
+    /// keeps up with the present and loses the past.
+    DropOldest,
+    /// Discard the incoming message — the subscriber keeps the past and
+    /// misses the present.
+    DropNewest,
+}
+
+/// Queue behind a bounded subscription.
+#[derive(Debug)]
+struct BoundedQueue<T> {
+    queue: Mutex<VecDeque<T>>,
+    capacity: usize,
+    policy: OverflowPolicy,
+    /// Messages lost to the overflow policy.
+    lagged: AtomicU64,
+    /// Set when the subscription side is dropped so the publisher can
+    /// prune this queue.
+    closed: AtomicBool,
+}
+
+/// The sender half of one subscription.
+#[derive(Debug)]
+enum SubscriberTx<T> {
+    /// Unbounded channel plus a flag the receiver sets on drop, so
+    /// liveness is observable without publishing a message.
+    Channel(Sender<T>, Arc<AtomicBool>),
+    Bounded(Arc<BoundedQueue<T>>),
+}
 
 /// The publisher end of a pub/sub topic.
 ///
@@ -9,7 +46,7 @@ use parking_lot::Mutex;
 /// per subscriber; subscribers that were dropped are pruned lazily.
 #[derive(Debug, Clone)]
 pub struct Publisher<T> {
-    subscribers: Arc<Mutex<Vec<Sender<T>>>>,
+    subscribers: Arc<Mutex<Vec<SubscriberTx<T>>>>,
 }
 
 impl<T: Clone> Publisher<T> {
@@ -22,26 +59,106 @@ impl<T: Clone> Publisher<T> {
     }
 
     /// Subscribes to the topic; every message published afterwards is
-    /// delivered to the returned subscription.
+    /// delivered to the returned subscription. The queue is unbounded —
+    /// a subscriber that never drains it grows it without limit; use
+    /// [`Publisher::subscribe_bounded`] where that matters.
     #[must_use]
     pub fn subscribe(&self) -> Subscription<T> {
         let (tx, rx) = unbounded();
-        self.subscribers.lock().push(tx);
-        Subscription { rx }
+        let closed = Arc::new(AtomicBool::new(false));
+        self.subscribers
+            .lock()
+            .push(SubscriberTx::Channel(tx, Arc::clone(&closed)));
+        Subscription {
+            rx: SubscriptionRx::Channel(rx, closed),
+        }
+    }
+
+    /// Subscribes with a queue bounded at `capacity` messages. When the
+    /// subscriber falls behind, `policy` decides which message is lost;
+    /// every loss increments the subscription's
+    /// [lag counter](Subscription::lag_count).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    #[must_use]
+    pub fn subscribe_bounded(&self, capacity: usize, policy: OverflowPolicy) -> Subscription<T> {
+        assert!(capacity > 0, "bounded subscription needs capacity >= 1");
+        let queue = Arc::new(BoundedQueue {
+            queue: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            policy,
+            lagged: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        });
+        self.subscribers
+            .lock()
+            .push(SubscriberTx::Bounded(Arc::clone(&queue)));
+        Subscription {
+            rx: SubscriptionRx::Bounded {
+                queue,
+                publisher_alive: Arc::downgrade(&self.subscribers),
+            },
+        }
     }
 
     /// Publishes a message to all current subscribers. Returns the number
-    /// of subscribers that received it.
+    /// of subscribers the message was enqueued to (a bounded subscriber
+    /// whose overflow policy discarded this message is not counted, but
+    /// stays subscribed).
     pub fn publish(&self, message: T) -> usize {
         let mut subs = self.subscribers.lock();
-        subs.retain(|tx| tx.send(message.clone()).is_ok());
-        subs.len()
+        let mut delivered = 0;
+        subs.retain(|tx| match tx {
+            SubscriberTx::Channel(tx, closed) => {
+                if !closed.load(Ordering::Acquire) && tx.send(message.clone()).is_ok() {
+                    delivered += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            SubscriberTx::Bounded(q) => {
+                if q.closed.load(Ordering::Acquire) {
+                    return false;
+                }
+                let mut queue = q.queue.lock();
+                if queue.len() >= q.capacity {
+                    q.lagged.fetch_add(1, Ordering::Relaxed);
+                    match q.policy {
+                        OverflowPolicy::DropOldest => {
+                            queue.pop_front();
+                        }
+                        OverflowPolicy::DropNewest => return true,
+                    }
+                }
+                queue.push_back(message.clone());
+                delivered += 1;
+                true
+            }
+        });
+        delivered
     }
 
     /// Number of live subscribers (after pruning on the last publish).
     #[must_use]
     pub fn subscriber_count(&self) -> usize {
         self.subscribers.lock().len()
+    }
+
+    /// Number of subscribers that have not been dropped, pruning the
+    /// dropped ones. Unlike [`Publisher::subscriber_count`] this is
+    /// accurate without an intervening publish, which lets a forwarder
+    /// notice on an *idle* topic that nobody is listening any more.
+    #[must_use]
+    pub fn live_subscriber_count(&self) -> usize {
+        let mut subs = self.subscribers.lock();
+        subs.retain(|tx| match tx {
+            SubscriberTx::Channel(_, closed) => !closed.load(Ordering::Acquire),
+            SubscriberTx::Bounded(q) => !q.closed.load(Ordering::Acquire),
+        });
+        subs.len()
     }
 }
 
@@ -51,26 +168,79 @@ impl<T: Clone> Default for Publisher<T> {
     }
 }
 
+/// The receiver half of one subscription.
+#[derive(Debug)]
+enum SubscriptionRx<T> {
+    Channel(Receiver<T>, Arc<AtomicBool>),
+    Bounded {
+        queue: Arc<BoundedQueue<T>>,
+        /// Dead once every publisher handle is gone, ending blocking
+        /// receives.
+        publisher_alive: Weak<Mutex<Vec<SubscriberTx<T>>>>,
+    },
+}
+
 /// The subscriber end of a pub/sub topic.
 #[derive(Debug)]
 pub struct Subscription<T> {
-    rx: Receiver<T>,
+    rx: SubscriptionRx<T>,
 }
+
+/// Poll interval for bounded-queue blocking receives.
+const BOUNDED_POLL: Duration = Duration::from_micros(500);
 
 impl<T> Subscription<T> {
     /// Blocks until the next message (or the publisher is dropped).
     pub fn recv(&self) -> Option<T> {
-        self.rx.recv().ok()
+        match &self.rx {
+            SubscriptionRx::Channel(rx, _) => rx.recv().ok(),
+            SubscriptionRx::Bounded {
+                queue,
+                publisher_alive,
+            } => loop {
+                if let Some(v) = queue.queue.lock().pop_front() {
+                    return Some(v);
+                }
+                if publisher_alive.upgrade().is_none() {
+                    // Publisher gone; drain whatever raced in.
+                    return queue.queue.lock().pop_front();
+                }
+                std::thread::sleep(BOUNDED_POLL);
+            },
+        }
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<T> {
-        self.rx.try_recv().ok()
+        match &self.rx {
+            SubscriptionRx::Channel(rx, _) => rx.try_recv().ok(),
+            SubscriptionRx::Bounded { queue, .. } => queue.queue.lock().pop_front(),
+        }
     }
 
     /// Blocks up to `timeout` for the next message.
-    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<T> {
-        self.rx.recv_timeout(timeout).ok()
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<T> {
+        match &self.rx {
+            SubscriptionRx::Channel(rx, _) => rx.recv_timeout(timeout).ok(),
+            SubscriptionRx::Bounded {
+                queue,
+                publisher_alive,
+            } => {
+                let deadline = Instant::now() + timeout;
+                loop {
+                    if let Some(v) = queue.queue.lock().pop_front() {
+                        return Some(v);
+                    }
+                    if publisher_alive.upgrade().is_none() {
+                        return queue.queue.lock().pop_front();
+                    }
+                    if Instant::now() >= deadline {
+                        return None;
+                    }
+                    std::thread::sleep(BOUNDED_POLL);
+                }
+            }
+        }
     }
 
     /// Drains everything currently queued.
@@ -80,6 +250,27 @@ impl<T> Subscription<T> {
             out.push(v);
         }
         out
+    }
+
+    /// How many messages this subscription has lost to its overflow
+    /// policy. Always zero for unbounded subscriptions.
+    #[must_use]
+    pub fn lag_count(&self) -> u64 {
+        match &self.rx {
+            SubscriptionRx::Channel(..) => 0,
+            SubscriptionRx::Bounded { queue, .. } => queue.lagged.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<T> Drop for Subscription<T> {
+    fn drop(&mut self) {
+        match &self.rx {
+            SubscriptionRx::Channel(_, closed) => closed.store(true, Ordering::Release),
+            SubscriptionRx::Bounded { queue, .. } => {
+                queue.closed.store(true, Ordering::Release);
+            }
+        }
     }
 }
 
@@ -157,11 +348,126 @@ mod tests {
     fn recv_timeout_elapses() {
         let topic: Publisher<u32> = Publisher::new();
         let s = topic.subscribe();
-        assert_eq!(s.recv_timeout(std::time::Duration::from_millis(10)), None);
+        assert_eq!(s.recv_timeout(Duration::from_millis(10)), None);
         topic.publish(7);
-        assert_eq!(
-            s.recv_timeout(std::time::Duration::from_millis(100)),
-            Some(7)
-        );
+        assert_eq!(s.recv_timeout(Duration::from_millis(100)), Some(7));
+    }
+
+    #[test]
+    fn recv_returns_none_after_publisher_drop() {
+        let topic: Publisher<u32> = Publisher::new();
+        let s = topic.subscribe();
+        topic.publish(1);
+        drop(topic);
+        // Queued message still delivered, then a clean end-of-stream.
+        assert_eq!(s.recv(), Some(1));
+        assert_eq!(s.recv(), None);
+        assert_eq!(s.recv_timeout(Duration::from_millis(50)), None);
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_publisher_drop() {
+        let topic: Publisher<u32> = Publisher::new();
+        let s = topic.subscribe();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            drop(topic);
+        });
+        // Blocks with nothing queued, then unblocks with None.
+        assert_eq!(s.recv(), None);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_publishers_lose_nothing() {
+        let topic: Publisher<u64> = Publisher::new();
+        let s = topic.subscribe();
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let topic = topic.clone();
+                std::thread::spawn(move || {
+                    for i in 0..250u64 {
+                        topic.publish(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut got = s.drain();
+        assert_eq!(got.len(), 1000);
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 1000, "duplicates or losses under contention");
+        // Per-publisher order is preserved even though threads interleave.
+        drop(topic);
+    }
+
+    #[test]
+    fn bounded_drop_oldest_keeps_the_newest() {
+        let topic: Publisher<u32> = Publisher::new();
+        let s = topic.subscribe_bounded(3, OverflowPolicy::DropOldest);
+        for i in 0..10 {
+            topic.publish(i);
+        }
+        assert_eq!(s.lag_count(), 7);
+        assert_eq!(s.drain(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn bounded_drop_newest_keeps_the_oldest() {
+        let topic: Publisher<u32> = Publisher::new();
+        let s = topic.subscribe_bounded(3, OverflowPolicy::DropNewest);
+        let mut delivered = 0;
+        for i in 0..10 {
+            delivered += usize::from(topic.publish(i) == 1);
+        }
+        assert_eq!(delivered, 3, "only the first three fit");
+        assert_eq!(s.lag_count(), 7);
+        assert_eq!(s.drain(), vec![0, 1, 2]);
+        // Still subscribed: new messages flow once there is room again.
+        topic.publish(42);
+        assert_eq!(s.recv_timeout(Duration::from_millis(100)), Some(42));
+    }
+
+    #[test]
+    fn bounded_subscriber_that_keeps_up_sees_everything() {
+        let topic: Publisher<u32> = Publisher::new();
+        let s = topic.subscribe_bounded(64, OverflowPolicy::DropOldest);
+        // Publish in bursts no larger than the capacity and drain fully
+        // between bursts: a subscriber that keeps up loses nothing.
+        let mut got = Vec::new();
+        for batch in 0..20u32 {
+            for i in 0..50 {
+                topic.publish(batch * 50 + i);
+            }
+            for _ in 0..50 {
+                got.push(s.recv_timeout(Duration::from_secs(2)).unwrap());
+            }
+        }
+        assert_eq!(got, (0..1000).collect::<Vec<_>>());
+        assert_eq!(s.lag_count(), 0);
+    }
+
+    #[test]
+    fn live_subscriber_count_sees_drops_without_a_publish() {
+        let topic: Publisher<u32> = Publisher::new();
+        let a = topic.subscribe();
+        let b = topic.subscribe_bounded(4, OverflowPolicy::DropOldest);
+        assert_eq!(topic.live_subscriber_count(), 2);
+        drop(a);
+        assert_eq!(topic.live_subscriber_count(), 1, "no publish needed");
+        drop(b);
+        assert_eq!(topic.live_subscriber_count(), 0);
+    }
+
+    #[test]
+    fn dropped_bounded_subscriber_is_pruned() {
+        let topic: Publisher<u32> = Publisher::new();
+        let s = topic.subscribe_bounded(4, OverflowPolicy::DropOldest);
+        drop(s);
+        assert_eq!(topic.publish(1), 0);
+        assert_eq!(topic.subscriber_count(), 0);
     }
 }

@@ -1,0 +1,111 @@
+//! Property tests for the frame wire format: any frame survives an
+//! encode/decode round trip, and malformed streams (oversized length
+//! prefixes, truncation) are rejected instead of misparsed.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+
+use mw_bus::transport::{
+    encode_frame, encode_wire, read_frame, read_wire_frame, Frame, FrameKind, WireFrame,
+    FRAME_HEADER_BYTES, MAX_FRAME_BYTES,
+};
+
+fn kind_from_index(i: u8) -> FrameKind {
+    match i % 4 {
+        0 => FrameKind::Hello,
+        1 => FrameKind::HelloAck,
+        2 => FrameKind::Data,
+        _ => FrameKind::Heartbeat,
+    }
+}
+
+proptest! {
+    /// A checksummed frame with an arbitrary binary payload decodes back
+    /// to exactly the frame that was sent.
+    #[test]
+    fn verified_roundtrip_arbitrary_payload(
+        kind_index in 0u8..4,
+        seq in 0u64..=u64::MAX,
+        payload in proptest::collection::vec(0u8..=255, 0..512),
+    ) {
+        let frame = Frame { kind: kind_from_index(kind_index), seq, payload };
+        let encoded = encode_frame(&frame);
+        let mut cursor = Cursor::new(encoded.to_vec());
+        let back = read_frame(&mut cursor).unwrap().unwrap();
+        prop_assert_eq!(back, frame);
+        // Exactly one frame: the stream then ends cleanly.
+        prop_assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    /// The unverified wire layer preserves even frames with junk kind
+    /// bytes and wrong checksums byte-for-byte (the fault injector
+    /// depends on this).
+    #[test]
+    fn wire_roundtrip_preserves_invalid_frames(
+        kind in 0u8..=255,
+        seq in 0u64..=u64::MAX,
+        checksum in 0u32..=u32::MAX,
+        payload in proptest::collection::vec(0u8..=255, 0..512),
+    ) {
+        let wire = WireFrame { kind, seq, checksum, payload };
+        let encoded = encode_wire(&wire);
+        let back = read_wire_frame(&mut Cursor::new(encoded.to_vec()))
+            .unwrap()
+            .unwrap();
+        prop_assert_eq!(back, wire);
+    }
+
+    /// Any length prefix beyond `MAX_FRAME_BYTES` is rejected before a
+    /// buffer of that size is allocated.
+    #[test]
+    fn oversized_length_prefix_rejected(
+        seq in 0u64..=u64::MAX,
+        excess in 1u32..=1024,
+    ) {
+        let mut bytes = encode_frame(&Frame::control(FrameKind::Data, seq)).to_vec();
+        let len = u32::try_from(MAX_FRAME_BYTES).unwrap() + excess;
+        bytes[9..13].copy_from_slice(&len.to_be_bytes());
+        let err = read_frame(&mut Cursor::new(bytes)).unwrap_err();
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    /// Cutting an encoded frame anywhere produces `UnexpectedEof` (cut
+    /// mid-frame) — never a bogus successful parse, and never a clean
+    /// EOF unless the cut removed the whole frame.
+    #[test]
+    fn truncation_never_misparses(
+        payload in proptest::collection::vec(0u8..=255, 1..128),
+        cut_selector in 0usize..=1_000_000,
+    ) {
+        let frame = Frame { kind: FrameKind::Data, seq: 3, payload };
+        let full = encode_frame(&frame).to_vec();
+        let cut = 1 + cut_selector % (full.len() - 1); // 1..full.len()
+        let result = read_frame(&mut Cursor::new(full[..cut].to_vec()));
+        let err = result.unwrap_err();
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    /// A truncated *length prefix* itself (cut inside the fixed header)
+    /// is always `UnexpectedEof`.
+    #[test]
+    fn truncated_header_rejected(cut in 1usize..FRAME_HEADER_BYTES) {
+        let full = encode_frame(&Frame::control(FrameKind::Heartbeat, 1)).to_vec();
+        let err = read_frame(&mut Cursor::new(full[..cut].to_vec())).unwrap_err();
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    /// Two different payloads (or sequence numbers) never share a
+    /// checksum collision *and* equal encodings.
+    #[test]
+    fn distinct_frames_encode_distinctly(
+        seq_a in 0u64..1024,
+        seq_b in 0u64..1024,
+        payload in proptest::collection::vec(0u8..=255, 0..64),
+    ) {
+        prop_assume!(seq_a != seq_b);
+        let a = Frame { kind: FrameKind::Data, seq: seq_a, payload: payload.clone() };
+        let b = Frame { kind: FrameKind::Data, seq: seq_b, payload };
+        prop_assert!(encode_frame(&a).to_vec() != encode_frame(&b).to_vec());
+    }
+}

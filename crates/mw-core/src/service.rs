@@ -520,6 +520,22 @@ impl LocationService {
         self.subs.read().len()
     }
 
+    /// Subscribes to the notification topic with a bounded inbox: a
+    /// consumer that falls more than `capacity` notifications behind
+    /// loses the oldest ones (observable via
+    /// [`mw_bus::Subscription::lag_count`]) instead of growing an
+    /// unbounded queue inside the middleware. Trigger notifications are
+    /// freshness-sensitive — a stale "alice entered 3105" is worthless —
+    /// so dropping the oldest is the right policy for slow consumers.
+    #[must_use]
+    pub fn subscribe_notifications_bounded(
+        &self,
+        capacity: usize,
+    ) -> mw_bus::Subscription<Notification> {
+        self.notifications
+            .subscribe_bounded(capacity, mw_bus::OverflowPolicy::DropOldest)
+    }
+
     fn evaluate_subscriptions(&self, object: &MobileObjectId, now: SimTime) -> Vec<Notification> {
         if self.subs.read().len() == 0 {
             return Vec::new();
@@ -960,6 +976,31 @@ mod tests {
             SimTime::from_secs(6.0),
         );
         assert!(fired.is_empty());
+    }
+
+    #[test]
+    fn bounded_notification_subscriber_lags_instead_of_growing() {
+        let (svc, _broker) = service();
+        let inbox = svc.subscribe_notifications_bounded(2);
+        let room = rect(330.0, 0.0, 350.0, 30.0);
+        let _id =
+            svc.subscribe(SubscriptionSpec::region_entry(room, 0.5).for_object("alice".into()));
+        // Alice enters and leaves the room repeatedly; each entry fires
+        // (edge-triggered re-arm on exit), but the inbox holds only 2.
+        for i in 0..4 {
+            let t = f64::from(i) * 20.0;
+            svc.ingest_reading(
+                reading("alice", rect(339.0, 9.0, 341.0, 11.0), t),
+                SimTime::from_secs(t),
+            );
+            svc.ingest_reading(
+                reading("alice", rect(319.0, 9.0, 321.0, 11.0), t + 10.0),
+                SimTime::from_secs(t + 10.0),
+            );
+        }
+        let backlog = inbox.drain();
+        assert_eq!(backlog.len(), 2, "inbox stays at its bound");
+        assert_eq!(inbox.lag_count(), 2, "older entries were shed, visibly");
     }
 
     #[test]

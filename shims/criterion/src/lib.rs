@@ -1,0 +1,151 @@
+//! Offline stand-in for `criterion`: runs each benchmark a fixed number
+//! of iterations and prints mean wall-clock time per iteration. No
+//! statistics, warm-up, or HTML reports — just enough to keep
+//! `cargo bench` compiling and producing comparable numbers offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Label for one parameterised benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter(p: impl fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    pub fn new(name: impl Into<String>, p: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), p))
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the hot loop.
+pub struct Bencher {
+    samples: usize,
+    /// Mean time per iteration over all samples, filled in by `iter`.
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One untimed pass to touch caches/lazy state.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.mean = Some(start.elapsed() / self.samples as u32);
+    }
+}
+
+fn run_bench(name: &str, samples: usize, routine: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        mean: None,
+    };
+    routine(&mut b);
+    match b.mean {
+        Some(mean) => println!("bench {name:<48} {mean:>12.2?}/iter ({samples} iters)"),
+        None => println!("bench {name:<48} (no iter() call)"),
+    }
+}
+
+/// Top-level handle, mirrors `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+const DEFAULT_SAMPLES: usize = 100;
+
+impl Criterion {
+    pub fn bench_function(&mut self, name: &str, routine: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_bench(name, DEFAULT_SAMPLES, routine);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: DEFAULT_SAMPLES,
+            _parent: self,
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        routine: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.0);
+        run_bench(&name, self.samples, |b| routine(b, input));
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, routine: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.samples, routine);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut group = c.benchmark_group("demo");
+            group.sample_size(10);
+            group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>());
+                ran += 1;
+            });
+            group.finish();
+        }
+        c.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,488 @@
+//! Offline stand-in for `proptest`: a deterministic random-testing
+//! harness with the macro/strategy surface the repo's property tests
+//! use. No shrinking — a failing case reports its seed and inputs via
+//! the assertion message instead.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SampleRange, SeedableRng};
+
+/// Outcome of a single generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the run aborts with this message.
+    Fail(String),
+    /// A `prop_assume!` precondition did not hold; the case is retried
+    /// with fresh inputs and does not count toward the case budget.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl std::fmt::Display) -> Self {
+        TestCaseError::Fail(message.to_string())
+    }
+
+    pub fn reject(message: impl std::fmt::Display) -> Self {
+        TestCaseError::Reject(message.to_string())
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration. Only `cases` is configurable, matching the one
+/// knob the repo sets (`ProptestConfig::with_cases(n)`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Generates values from a deterministic RNG. Unlike real proptest there
+/// is no value tree / shrinking; `generate` returns the value directly.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    std::ops::Range<T>: SampleRange<Output = T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.clone().sample(rng)
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    std::ops::RangeInclusive<T>: SampleRange<Output = T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.clone().sample(rng)
+    }
+}
+
+/// String literals act as regex-subset strategies, e.g.
+/// `"[A-Za-z][A-Za-z0-9_-]{0,8}"`.
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        regex_generate(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($( ($($s:ident $idx:tt),+) )*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+pub mod bool {
+    //! Boolean strategies (`proptest::bool::ANY`).
+
+    use super::{RngCore, StdRng, Strategy};
+
+    /// Uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use super::{SampleRange, StdRng, Strategy};
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.len.start + 1 == self.len.end {
+                self.len.start
+            } else {
+                self.len.clone().sample(rng)
+            };
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+// --- regex-subset string generation ----------------------------------------
+
+/// Generates a string matching a small regex subset: literal characters,
+/// `[...]` classes with ranges, and `{n}` / `{m,n}` / `?` / `*` / `+`
+/// quantifiers (unbounded ones capped at 8 repeats). Anything else
+/// panics — the shim supports what the repo's tests use, loudly.
+fn regex_generate(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let (choices, next) = match chars[i] {
+            '[' => parse_class(&chars, i + 1),
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}"));
+                (vec![c], i + 2)
+            }
+            '(' | ')' | '|' | '.' | '^' | '$' => {
+                panic!(
+                    "regex feature {:?} not supported by the proptest shim",
+                    chars[i]
+                )
+            }
+            c => (vec![c], i + 1),
+        };
+        let (min, max, next) = parse_quantifier(&chars, next, pattern);
+        let count = if min == max {
+            min
+        } else {
+            (min..=max).sample(rng)
+        };
+        for _ in 0..count {
+            let pick = (0..choices.len()).sample(rng);
+            out.push(choices[pick]);
+        }
+        i = next;
+    }
+    out
+}
+
+/// Parses the body of a `[...]` class starting just past the `[`;
+/// returns the expanded choice set and the index past the `]`.
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut choices = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        if chars[i] == '\\' {
+            choices.push(chars[i + 1]);
+            i += 2;
+        } else if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+            assert!(lo <= hi, "inverted range in character class");
+            choices.extend((lo..=hi).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            choices.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unterminated character class");
+    (choices, i + 1)
+}
+
+/// Parses an optional quantifier at `i`; returns (min, max, next index).
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|off| i + off)
+                .unwrap_or_else(|| panic!("unterminated quantifier in regex {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("quantifier min"),
+                    n.trim().parse().expect("quantifier max"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            };
+            (min, max, close + 1)
+        }
+        Some('?') => (0, 1, i + 1),
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        _ => (1, 1, i),
+    }
+}
+
+// --- runner -----------------------------------------------------------------
+
+/// FNV-1a, used to derive a per-test seed from the test name so every
+/// test sees a distinct but reproducible stream.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Drives one property: runs `body` for `config.cases` generated cases,
+/// retrying rejected cases (bounded) and panicking on the first failure
+/// with enough seed information to reproduce it.
+pub fn run_proptest(
+    config: &ProptestConfig,
+    name: &str,
+    mut body: impl FnMut(&mut StdRng) -> TestCaseResult,
+) {
+    // Fixed base seed: runs are fully deterministic, which the chaos and
+    // CI suites rely on. Override with PROPTEST_SEED to explore.
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x6d77_5f70_726f_7031); // "mw_prop1"
+    let seed = base ^ fnv1a(name.as_bytes());
+
+    let max_rejects = (config.cases as u64) * 256;
+    let mut rejects = 0u64;
+    let mut case = 0u32;
+    let mut stream = 0u64;
+    while case < config.cases {
+        let case_seed = seed.wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        stream += 1;
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        match body(&mut rng) {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                if rejects > max_rejects {
+                    panic!(
+                        "proptest {name}: too many prop_assume rejections \
+                         ({rejects}) — precondition almost never holds"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest {name} failed at case {case} (seed {case_seed:#x}): {msg}");
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob import the repo's tests use.
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy};
+}
+
+pub mod test_runner {
+    //! Mirror of `proptest::test_runner` for error types.
+    pub use crate::{TestCaseError, TestCaseResult};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*),
+            l,
+            r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($config:expr)
+      $(
+          $(#[doc = $doc:expr])*
+          #[test]
+          fn $name:ident ( $( $arg:pat in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[doc = $doc])*
+            #[test]
+            fn $name() {
+                let __config = $config;
+                $crate::run_proptest(&__config, stringify!($name), |__rng| {
+                    $( let $arg = $crate::Strategy::generate(&($strat), __rng); )+
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let s = regex_generate("[A-Za-z][A-Za-z0-9_-]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_alphabetic(), "{s:?}");
+            assert!(
+                cs.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'),
+                "{s:?}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples_compose(
+            x in 0usize..10,
+            (a, b) in (1.0..2.0f64, -5i32..5),
+            flips in crate::collection::vec(crate::bool::ANY, 1..12),
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!((1.0..2.0).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!(!flips.is_empty() && flips.len() < 12);
+        }
+
+        #[test]
+        fn prop_map_applies(v in (0u32..5).prop_map(|n| n * 2)) {
+            prop_assert_eq!(v % 2, 0);
+            prop_assert!(v < 10);
+        }
+
+        #[test]
+        fn assume_retries_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0, "assume should have filtered {}", n);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_seed() {
+        let result = std::panic::catch_unwind(|| {
+            run_proptest(&ProptestConfig::with_cases(10), "always_fails", |_| {
+                Err(TestCaseError::fail("nope"))
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(
+            msg.contains("always_fails") && msg.contains("seed"),
+            "{msg}"
+        );
+    }
+}

@@ -1,0 +1,415 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of serde's visitor architecture, serialization goes through an
+//! owned [`Value`] tree: `Serialize` renders a value into the tree and
+//! `Deserialize` reads one back out. The `serde_json` shim prints and
+//! parses that tree. The derive macros (re-exported from the
+//! `serde_derive` shim) generate impls against these traits, using
+//! serde_json's conventions: structs become maps, newtypes are
+//! transparent, enums are externally tagged.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing data tree — the interchange format between
+/// `Serialize`, `Deserialize`, and the `serde_json` shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Insertion-ordered map (JSON object).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Error(message.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` into a [`Value`] tree.
+pub trait Serialize {
+    fn serialize(&self) -> Value;
+}
+
+/// Rebuilds `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+
+    /// What a missing struct field deserializes to (`None` = required).
+    /// Overridden by `Option<T>` so optional fields may be omitted.
+    fn deserialize_missing() -> Option<Self> {
+        None
+    }
+}
+
+pub mod de {
+    //! Mirror of `serde::de` for the one import the repo uses.
+    pub use crate::Deserialize as DeserializeOwned;
+}
+
+/// Looks up struct field `name` in a map and deserializes it; used by
+/// derived `Deserialize` impls.
+pub fn field<T: Deserialize>(map: &[(String, Value)], name: &str) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::deserialize(v),
+        None => {
+            T::deserialize_missing().ok_or_else(|| Error::custom(format!("missing field {name:?}")))
+        }
+    }
+}
+
+// --- primitive impls --------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = match value {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected unsigned integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = match value {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of i64 range")))?,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::F64(f) => Ok(*f as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    other => Err(Error::custom(format!(
+                        "expected number, got {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::custom("expected single-char string"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+// --- composite impls --------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+
+    fn deserialize_missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::custom(format!("expected sequence, got {}", value.kind())))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Seq(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value.as_seq() {
+            Some([a, b]) => Ok((A::deserialize(a)?, B::deserialize(b)?)),
+            _ => Err(Error::custom("expected 2-element sequence")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Value {
+        Value::Seq(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value.as_seq() {
+            Some([a, b, c]) => Ok((A::deserialize(a)?, B::deserialize(b)?, C::deserialize(c)?)),
+            _ => Err(Error::custom("expected 3-element sequence")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_map()
+            .ok_or_else(|| Error::custom(format!("expected map, got {}", value.kind())))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize(&self) -> Value {
+        // Sorted for stable output, as serde_json users usually rely on
+        // with BTreeMap; HashMap order would be nondeterministic.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_map()
+            .ok_or_else(|| Error::custom(format!("expected map, got {}", value.kind())))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}

@@ -1,0 +1,301 @@
+//! Deterministic chaos suite for the TCP bridge (the CORBA stand-in).
+//!
+//! Every scenario runs against a real `RemoteTopicServer` with faults
+//! injected by a seeded or scripted `FaultPlan` wrapped around the
+//! client's transport. Seeds are fixed, so a failure here reproduces
+//! with plain `cargo test --test chaos`.
+//!
+//! Regenerate / re-run: `cargo test --test chaos -- --nocapture`
+//! (seeds are constants below; change `CHAOS_SEED` to explore).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mw_bus::fault::{FaultAction, FaultInjector, FaultPlan, FaultRates};
+use mw_bus::remote::{
+    remote_subscribe, remote_subscribe_with, remote_subscribe_with_transport, RemoteTopicServer,
+    ServerOptions, SubscribeOptions,
+};
+use mw_bus::transport::{FrameTransport, TcpFrameTransport};
+use mw_bus::Broker;
+
+/// Fixed seed for the randomized scenarios; CI runs exactly this
+/// schedule.
+const CHAOS_SEED: u64 = 0x00c0_ffee_0bad;
+
+fn fast_options() -> SubscribeOptions {
+    SubscribeOptions {
+        initial_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(20),
+        liveness_timeout: Duration::from_millis(800),
+        max_redial_failures: 50,
+        ..SubscribeOptions::default()
+    }
+}
+
+/// Subscribes through a fault injector sharing `plan` across reconnects.
+fn faulty_subscribe(
+    server: &RemoteTopicServer,
+    plan: &Arc<FaultPlan>,
+) -> mw_bus::remote::RemoteSubscription<u64> {
+    let addr = server.local_addr();
+    let dial_plan = Arc::clone(plan);
+    remote_subscribe_with_transport::<u64, _>(
+        move || {
+            TcpFrameTransport::connect(addr)
+                .map(|t| Box::new(FaultInjector::new(t, Arc::clone(&dial_plan))) as Box<_>)
+        },
+        fast_options(),
+    )
+    .expect("initial connect")
+}
+
+fn collect(inbox: &mw_bus::Subscription<u64>, n: usize) -> Vec<u64> {
+    let mut got = Vec::with_capacity(n);
+    while got.len() < n {
+        match inbox.recv_timeout(Duration::from_secs(5)) {
+            Some(v) => got.push(v),
+            None => break,
+        }
+    }
+    got
+}
+
+#[test]
+fn mid_stream_reset_recovers_the_full_ordered_stream() {
+    let broker = Broker::new();
+    let topic = broker.topic::<u64>("chaos-reset");
+    let server = RemoteTopicServer::bind("127.0.0.1:0", topic.clone()).unwrap();
+    // HelloAck is recv index 0; kill the connection mid-stream, twice
+    // (the plan's frame counter spans reconnects).
+    let plan = Arc::new(
+        FaultPlan::scripted()
+            .on_recv(8, FaultAction::Reset)
+            .on_recv(30, FaultAction::Reset),
+    );
+    let inbox = faulty_subscribe(&server, &plan);
+    for i in 0..100u64 {
+        topic.publish(i);
+    }
+    let got = collect(&inbox, 100);
+    assert_eq!(got, (0..100).collect::<Vec<_>>(), "{:?}", inbox.stats());
+    let stats = inbox.stats();
+    assert!(stats.reconnects >= 2, "{stats:?}");
+    assert_eq!(stats.frames_lost, 0, "{stats:?}");
+    assert_eq!(plan.injected(), 2);
+}
+
+#[test]
+fn corrupt_frames_do_not_kill_server_or_other_subscribers() {
+    let broker = Broker::new();
+    let topic = broker.topic::<u64>("chaos-corrupt");
+    let server = RemoteTopicServer::bind("127.0.0.1:0", topic.clone()).unwrap();
+    let plan = Arc::new(
+        FaultPlan::scripted()
+            .on_recv(3, FaultAction::Corrupt)
+            .on_recv(9, FaultAction::Corrupt),
+    );
+    let victim = faulty_subscribe(&server, &plan);
+    // A clean subscriber on the same server.
+    let clean = remote_subscribe::<u64>(server.local_addr()).unwrap();
+    for i in 0..40u64 {
+        topic.publish(i);
+    }
+    let expected: Vec<u64> = (0..40).collect();
+    assert_eq!(collect(&clean, 40), expected, "clean subscriber unaffected");
+    assert_eq!(collect(&victim, 40), expected, "victim recovers everything");
+    let stats = victim.stats();
+    assert!(stats.corrupt_frames >= 2, "{stats:?}");
+    // The server only ever saw reconnects, not crashes.
+    assert_eq!(server.stats().handshake_failures, 0);
+    assert!(server.stats().clients_connected >= 4);
+}
+
+#[test]
+fn duplicated_and_dropped_frames_yield_exactly_once_delivery() {
+    let broker = Broker::new();
+    let topic = broker.topic::<u64>("chaos-dupdrop");
+    let server = RemoteTopicServer::bind("127.0.0.1:0", topic.clone()).unwrap();
+    let plan = Arc::new(
+        FaultPlan::scripted()
+            .on_recv(2, FaultAction::Duplicate)
+            .on_recv(5, FaultAction::DropFrame)
+            .on_recv(11, FaultAction::Duplicate)
+            .on_recv(15, FaultAction::DropFrame),
+    );
+    let inbox = faulty_subscribe(&server, &plan);
+    for i in 0..60u64 {
+        topic.publish(i);
+    }
+    let got = collect(&inbox, 60);
+    assert_eq!(got, (0..60).collect::<Vec<_>>(), "{:?}", inbox.stats());
+    let stats = inbox.stats();
+    assert!(stats.duplicates_discarded >= 2, "{stats:?}");
+    assert!(stats.gaps_detected >= 2, "{stats:?}");
+    assert_eq!(stats.frames_lost, 0, "{stats:?}");
+}
+
+#[test]
+fn seeded_fault_storm_is_survivable_and_reproducible() {
+    let rates = FaultRates {
+        drop: 0.05,
+        duplicate: 0.05,
+        corrupt: 0.02,
+        reset: 0.02,
+    };
+    let run = |seed: u64| -> (Vec<u64>, u64) {
+        let broker = Broker::new();
+        let topic = broker.topic::<u64>("chaos-storm");
+        // Heartbeats fire on wall-clock idleness, which would consume
+        // RNG draws at nondeterministic points; silence them so the
+        // fault schedule depends only on the seed and the frame order.
+        let server = RemoteTopicServer::bind_with(
+            "127.0.0.1:0",
+            topic.clone(),
+            ServerOptions {
+                heartbeat_interval: Duration::from_secs(60),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let plan = Arc::new(FaultPlan::seeded(seed, rates));
+        let inbox = faulty_subscribe(&server, &plan);
+        for i in 0..200u64 {
+            topic.publish(i);
+        }
+        (collect(&inbox, 200), plan.injected())
+    };
+    let (got, injected) = run(CHAOS_SEED);
+    assert_eq!(
+        got,
+        (0..200).collect::<Vec<_>>(),
+        "every message survives the storm, in order"
+    );
+    assert!(injected > 0, "the storm actually injected faults");
+    // Determinism: the same seed injects the same number of faults.
+    // (The exact count depends only on the seed and the frame schedule
+    // up to each fault, which the resume protocol makes repeatable.)
+    let (got2, injected2) = run(CHAOS_SEED);
+    assert_eq!(got2, got);
+    assert_eq!(injected2, injected, "same seed, same fault schedule");
+}
+
+#[test]
+fn slow_subscriber_is_bounded_and_does_not_stall_the_fast_one() {
+    let broker = Broker::new();
+    let topic = broker.topic::<u64>("chaos-slow");
+    let server = RemoteTopicServer::bind_with(
+        "127.0.0.1:0",
+        topic.clone(),
+        ServerOptions {
+            client_queue_capacity: 16,
+            replay_capacity: 16,
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+    // The stalled client handshakes and then never reads again.
+    let mut stalled = TcpFrameTransport::connect(server.local_addr()).unwrap();
+    stalled
+        .send(&mw_bus::transport::Frame::control(
+            mw_bus::transport::FrameKind::Hello,
+            0,
+        ))
+        .unwrap();
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    assert!(matches!(
+        stalled.recv().unwrap().map(|f| f.kind),
+        Some(mw_bus::transport::FrameKind::HelloAck)
+    ));
+    let fast = remote_subscribe_with::<u64>(server.local_addr(), fast_options()).unwrap();
+    // Phase 1 — paced: bursts smaller than the queue bound, drained
+    // between bursts. A subscriber that keeps up loses nothing.
+    let mut got = Vec::new();
+    for batch in 0..30u64 {
+        for i in 0..10 {
+            topic.publish(batch * 10 + i);
+        }
+        got.extend(collect(&fast, 10));
+    }
+    assert_eq!(got, (0..300).collect::<Vec<_>>());
+    assert_eq!(fast.stats().frames_lost, 0);
+    // Phase 2 — burst: 500 messages at once. The forwarder enqueues far
+    // faster than the per-frame TCP writes drain, so the 16-slot queues
+    // shed load instead of growing without bound.
+    for i in 300..800u64 {
+        topic.publish(i);
+    }
+    let mut tail = Vec::new();
+    loop {
+        match fast.recv_timeout(Duration::from_secs(5)) {
+            Some(v) => {
+                tail.push(v);
+                if v == 799 {
+                    break;
+                }
+            }
+            None => panic!("stream never reached 799; got {} values", tail.len()),
+        }
+    }
+    // Exactly-once, in order: strictly increasing, and every message is
+    // either delivered or explicitly accounted as lost to the bound.
+    assert!(
+        tail.windows(2).all(|w| w[0] < w[1]),
+        "out of order: {tail:?}"
+    );
+    let lost = fast.stats().frames_lost;
+    assert_eq!(tail.len() as u64 + lost, 500, "{:?}", fast.stats());
+    // The stalled client's queue was shed at the bound.
+    let stats = server.stats();
+    assert!(stats.frames_dropped > 0, "no shedding observed: {stats:?}");
+}
+
+#[test]
+fn dead_peer_is_evicted_by_heartbeat_writes() {
+    let broker = Broker::new();
+    let topic = broker.topic::<u64>("chaos-evict");
+    let server = RemoteTopicServer::bind_with(
+        "127.0.0.1:0",
+        topic.clone(),
+        ServerOptions {
+            heartbeat_interval: Duration::from_millis(20),
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+    let doomed = remote_subscribe::<u64>(server.local_addr()).unwrap();
+    drop(doomed);
+    // No traffic at all: eviction must come from heartbeat writes.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.stats().clients_evicted < 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "dead peer never evicted: {:?}",
+            server.stats()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.active_clients(), 0);
+}
+
+#[test]
+fn delayed_frames_only_slow_things_down() {
+    let broker = Broker::new();
+    let topic = broker.topic::<u64>("chaos-delay");
+    let server = RemoteTopicServer::bind("127.0.0.1:0", topic.clone()).unwrap();
+    let plan = Arc::new(
+        FaultPlan::scripted()
+            .on_recv(2, FaultAction::Delay(Duration::from_millis(50)))
+            .on_recv(4, FaultAction::Delay(Duration::from_millis(50))),
+    );
+    let inbox = faulty_subscribe(&server, &plan);
+    for i in 0..20u64 {
+        topic.publish(i);
+    }
+    assert_eq!(collect(&inbox, 20), (0..20).collect::<Vec<_>>());
+    let stats = inbox.stats();
+    assert_eq!(stats.reconnects, 0, "delays alone never force a reconnect");
+    assert_eq!(stats.frames_lost, 0);
+}

@@ -39,9 +39,9 @@ fn notifications_cross_the_tcp_bridge() {
     let (svc, broker) = service();
     let topic = broker.topic::<Notification>(NOTIFICATION_TOPIC);
     let server = RemoteTopicServer::bind("127.0.0.1:0", topic).unwrap();
+    // The subscribe handshake completes before this returns: no sleep
+    // needed before publishing.
     let remote_inbox = remote_subscribe::<Notification>(server.local_addr()).unwrap();
-    // Give the bridge a moment to register the client.
-    std::thread::sleep(Duration::from_millis(100));
 
     let room = Rect::new(Point::new(330.0, 0.0), Point::new(350.0, 30.0));
     let id = svc.subscribe(SubscriptionSpec::region_entry(room, 0.5));
@@ -66,7 +66,6 @@ fn remote_and_local_subscribers_see_the_same_stream() {
     let local_inbox = topic.subscribe();
     let server = RemoteTopicServer::bind("127.0.0.1:0", topic).unwrap();
     let remote_inbox = remote_subscribe::<Notification>(server.local_addr()).unwrap();
-    std::thread::sleep(Duration::from_millis(100));
 
     let room = Rect::new(Point::new(360.0, 0.0), Point::new(380.0, 30.0));
     let _id = svc.subscribe(SubscriptionSpec::region_entry(room, 0.5));
