@@ -1,0 +1,109 @@
+//! Observability overhead benchmark and smoke run.
+//!
+//! Drives an instrumented ingest→fusion→query pipeline and an identical
+//! uninstrumented one, reports the per-reading overhead of the metrics
+//! layer, and dumps the final registry [`Snapshot`] to `BENCH_obs.json`
+//! (in `CARGO_TARGET_DIR`'s parent, i.e. the workspace root under CI).
+//!
+//! Run with: `cargo bench -p mw-bench --bench obs`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mw_bench::ubisense_reading;
+use mw_bus::Broker;
+use mw_core::{LocationQuery, LocationService, SubscriptionSpec};
+use mw_geometry::Point;
+use mw_model::SimTime;
+use mw_obs::MetricsRegistry;
+use mw_sim::building::paper_floor;
+
+const READINGS: u64 = 20_000;
+
+/// Ingests `READINGS` readings (alternating between two rooms so the
+/// trigger fires regularly) and issues a facade query every 100
+/// readings. Returns elapsed seconds.
+fn drive(service: &Arc<LocationService>) -> f64 {
+    let room = Point::new(340.0, 10.0);
+    let corridor = Point::new(320.0, 12.0);
+    let start = Instant::now();
+    for i in 0..READINGS {
+        let t = SimTime::from_secs(i as f64 * 0.05);
+        let at = if i % 2 == 0 { corridor } else { room };
+        service.ingest_reading(ubisense_reading("bench-obs", at, t), t);
+        if i % 100 == 99 {
+            let _ = service.query(LocationQuery::of("bench-obs").in_rect(room_rect()).at(t));
+        }
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn room_rect() -> mw_geometry::Rect {
+    mw_geometry::Rect::new(Point::new(330.0, 0.0), Point::new(350.0, 30.0))
+}
+
+fn build(registry: Option<&MetricsRegistry>) -> Arc<LocationService> {
+    let plan = paper_floor();
+    let broker = Broker::new();
+    let service = match registry {
+        Some(r) => LocationService::new_with_obs(plan.db, plan.universe, &broker, r),
+        None => LocationService::new(plan.db, plan.universe, &broker),
+    };
+    let _ = service.subscribe(
+        SubscriptionSpec::builder()
+            .region(room_rect())
+            .min_probability(0.5)
+            .build()
+            .expect("valid spec"),
+    );
+    service
+}
+
+fn main() {
+    // Warm-up + baseline: the uninstrumented pipeline.
+    let bare = build(None);
+    let _ = drive(&bare);
+    let bare_secs = drive(&build(None));
+
+    // Instrumented pipeline sharing one registry across all layers.
+    let registry = MetricsRegistry::new();
+    let obs_secs = drive(&build(Some(&registry)));
+
+    let per_reading_ns = |secs: f64| secs * 1e9 / READINGS as f64;
+    println!("ingest+query path, {READINGS} readings:");
+    println!(
+        "  uninstrumented: {:8.1} ns/reading",
+        per_reading_ns(bare_secs)
+    );
+    println!(
+        "  instrumented:   {:8.1} ns/reading",
+        per_reading_ns(obs_secs)
+    );
+    println!(
+        "  overhead:       {:8.1} ns/reading ({:+.1}%)",
+        per_reading_ns(obs_secs - bare_secs),
+        (obs_secs / bare_secs - 1.0) * 100.0
+    );
+
+    let snapshot = registry.snapshot();
+    assert_eq!(
+        snapshot.counter("core.ingest.readings"),
+        Some(READINGS),
+        "every reading was counted"
+    );
+    assert!(
+        snapshot
+            .histogram("core.ingest.latency_us")
+            .map(|h| h.count)
+            .unwrap_or(0)
+            >= READINGS,
+        "ingest latency histogram populated"
+    );
+    assert!(snapshot.counter("fusion.fuse.count").unwrap_or(0) > 0);
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_obs.json");
+    std::fs::write(&path, snapshot.to_json_pretty()).expect("write BENCH_obs.json");
+    println!("wrote snapshot to {}", path.display());
+}

@@ -10,14 +10,27 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use mw_bus::fault::{FaultAction, FaultInjector, FaultPlan};
-use mw_bus::remote::{remote_subscribe_with_transport, RemoteTopicServer, SubscribeOptions};
+use mw_bus::remote::{
+    remote_subscribe_with_transport, RemoteTopicServer, ServerOptions, SubscribeOptions,
+};
 use mw_bus::transport::TcpFrameTransport;
 use mw_bus::Broker;
+use mw_obs::MetricsRegistry;
 
 fn main() {
+    // Every layer of the demo feeds one registry, dumped at the end.
+    let registry = MetricsRegistry::new();
     let broker = Broker::new();
     let topic = broker.topic::<u64>("demo");
-    let server = RemoteTopicServer::bind("127.0.0.1:0", topic.clone()).expect("bind");
+    let server = RemoteTopicServer::bind_with(
+        "127.0.0.1:0",
+        topic.clone(),
+        ServerOptions {
+            metrics: Some(registry.clone()),
+            ..ServerOptions::default()
+        },
+    )
+    .expect("bind");
     let addr = server.local_addr();
     println!("server listening on {addr}");
 
@@ -27,7 +40,8 @@ fn main() {
     let plan = Arc::new(
         FaultPlan::scripted()
             .on_recv(6, FaultAction::Reset)
-            .on_recv(15, FaultAction::Corrupt),
+            .on_recv(15, FaultAction::Corrupt)
+            .with_metrics(&registry),
     );
     let dial_plan = Arc::clone(&plan);
     let inbox = remote_subscribe_with_transport::<u64, _>(
@@ -38,6 +52,7 @@ fn main() {
         SubscribeOptions {
             initial_backoff: Duration::from_millis(5),
             max_backoff: Duration::from_millis(50),
+            metrics: Some(registry.clone()),
             ..SubscribeOptions::default()
         },
     )
@@ -65,4 +80,14 @@ fn main() {
         if ordered { "OK" } else { "BROKEN" }
     );
     assert!(ordered);
+
+    // The same story, told by the shared metrics registry.
+    let snapshot = registry.snapshot();
+    println!("\n--- metrics snapshot ---");
+    println!("{}", snapshot.to_json_pretty());
+    assert_eq!(
+        snapshot.counter("bus.fault.injected"),
+        Some(plan.injected())
+    );
+    assert!(snapshot.counter("bus.client.reconnects").unwrap_or(0) >= 2);
 }

@@ -83,7 +83,7 @@ pub struct FaultPlan {
     mode: Mode,
     send_index: AtomicU64,
     recv_index: AtomicU64,
-    injected: AtomicU64,
+    injected: mw_obs::Counter,
 }
 
 impl std::fmt::Debug for FaultPlan {
@@ -91,7 +91,7 @@ impl std::fmt::Debug for FaultPlan {
         f.debug_struct("FaultPlan")
             .field("send_index", &self.send_index.load(Ordering::Relaxed))
             .field("recv_index", &self.recv_index.load(Ordering::Relaxed))
-            .field("injected", &self.injected.load(Ordering::Relaxed))
+            .field("injected", &self.injected.get())
             .finish()
     }
 }
@@ -104,7 +104,7 @@ impl FaultPlan {
             mode: Mode::Scripted(HashMap::new()),
             send_index: AtomicU64::new(0),
             recv_index: AtomicU64::new(0),
-            injected: AtomicU64::new(0),
+            injected: mw_obs::Counter::detached(),
         }
     }
 
@@ -119,8 +119,20 @@ impl FaultPlan {
             },
             send_index: AtomicU64::new(0),
             recv_index: AtomicU64::new(0),
-            injected: AtomicU64::new(0),
+            injected: mw_obs::Counter::detached(),
         }
+    }
+
+    /// Publishes the plan's injected-fault count to `registry` as the
+    /// `bus.fault.injected` counter, so chaos runs can check delivery
+    /// accounting against injected faults in one [`mw_obs::Snapshot`].
+    /// Faults injected before this call are carried over.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: &mw_obs::MetricsRegistry) -> Self {
+        let counter = registry.counter("bus.fault.injected");
+        counter.add(self.injected.get());
+        self.injected = counter;
+        self
     }
 
     /// Schedules `action` for the `index`-th frame received (0-based).
@@ -156,7 +168,7 @@ impl FaultPlan {
     /// Total number of faults the plan has injected so far.
     #[must_use]
     pub fn injected(&self) -> u64 {
-        self.injected.load(Ordering::Relaxed)
+        self.injected.get()
     }
 
     /// Draws the action for the next frame in `direction`, advancing the
@@ -186,7 +198,7 @@ impl FaultPlan {
             }
         };
         if action.is_some() {
-            self.injected.fetch_add(1, Ordering::Relaxed);
+            self.injected.inc();
         }
         action
     }

@@ -28,6 +28,7 @@ mod error;
 pub mod fault;
 pub mod remote;
 mod rpc;
+pub mod stats;
 mod topic;
 pub mod transport;
 

@@ -56,7 +56,7 @@
 
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -86,6 +86,10 @@ pub struct ServerOptions {
     pub replay_capacity: usize,
     /// How long a freshly accepted connection may take to send `Hello`.
     pub handshake_timeout: Duration,
+    /// Registry the server's counters are published to (under
+    /// `bus.server.*`). `None` keeps them private to
+    /// [`RemoteTopicServer::stats`].
+    pub metrics: Option<mw_obs::MetricsRegistry>,
 }
 
 impl Default for ServerOptions {
@@ -95,6 +99,7 @@ impl Default for ServerOptions {
             client_queue_capacity: 256,
             replay_capacity: 1024,
             handshake_timeout: Duration::from_secs(1),
+            metrics: None,
         }
     }
 }
@@ -119,23 +124,40 @@ pub struct ServerStats {
 
 #[derive(Debug, Default)]
 struct ServerCounters {
-    clients_connected: AtomicU64,
-    clients_evicted: AtomicU64,
-    frames_published: AtomicU64,
-    frames_dropped: AtomicU64,
-    heartbeats_sent: AtomicU64,
-    handshake_failures: AtomicU64,
+    clients_connected: mw_obs::Counter,
+    clients_evicted: mw_obs::Counter,
+    frames_published: mw_obs::Counter,
+    frames_dropped: mw_obs::Counter,
+    heartbeats_sent: mw_obs::Counter,
+    handshake_failures: mw_obs::Counter,
 }
 
 impl ServerCounters {
+    /// Counters backed by `registry` under `bus.server.*`, so one
+    /// [`mw_obs::Snapshot`] covers the bridge alongside the rest of the
+    /// pipeline. Detached (`Default`) counters are used otherwise.
+    fn new(registry: Option<&mw_obs::MetricsRegistry>) -> Self {
+        match registry {
+            None => ServerCounters::default(),
+            Some(reg) => ServerCounters {
+                clients_connected: reg.counter("bus.server.clients_connected"),
+                clients_evicted: reg.counter("bus.server.clients_evicted"),
+                frames_published: reg.counter("bus.server.frames_published"),
+                frames_dropped: reg.counter("bus.server.frames_dropped"),
+                heartbeats_sent: reg.counter("bus.server.heartbeats_sent"),
+                handshake_failures: reg.counter("bus.server.handshake_failures"),
+            },
+        }
+    }
+
     fn snapshot(&self) -> ServerStats {
         ServerStats {
-            clients_connected: self.clients_connected.load(Ordering::Relaxed),
-            clients_evicted: self.clients_evicted.load(Ordering::Relaxed),
-            frames_published: self.frames_published.load(Ordering::Relaxed),
-            frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
-            heartbeats_sent: self.heartbeats_sent.load(Ordering::Relaxed),
-            handshake_failures: self.handshake_failures.load(Ordering::Relaxed),
+            clients_connected: self.clients_connected.get(),
+            clients_evicted: self.clients_evicted.get(),
+            frames_published: self.frames_published.get(),
+            frames_dropped: self.frames_dropped.get(),
+            heartbeats_sent: self.heartbeats_sent.get(),
+            handshake_failures: self.handshake_failures.get(),
         }
     }
 }
@@ -209,7 +231,7 @@ impl RemoteTopicServer {
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let counters = Arc::new(ServerCounters::default());
+        let counters = Arc::new(ServerCounters::new(options.metrics.as_ref()));
         let shared = Arc::new(Mutex::new(ServerShared::new()));
 
         // Subscribe before spawning anything so no published message can
@@ -273,12 +295,12 @@ impl RemoteTopicServer {
                     let mut queue = client.queue.lock();
                     if queue.len() >= options.client_queue_capacity {
                         queue.pop_front();
-                        counters.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                        counters.frames_dropped.inc();
                     }
                     queue.push_back(Arc::clone(&frame));
                 }
                 drop(state);
-                counters.frames_published.fetch_add(1, Ordering::Relaxed);
+                counters.frames_published.inc();
             });
         }
 
@@ -334,7 +356,7 @@ fn serve_client(
         .set_read_timeout(Some(options.handshake_timeout))
         .is_err()
     {
-        counters.handshake_failures.fetch_add(1, Ordering::Relaxed);
+        counters.handshake_failures.inc();
         return;
     }
     // A corrupt or missing Hello kills only this connection; the
@@ -342,7 +364,7 @@ fn serve_client(
     let resume_from = match transport.recv() {
         Ok(Some(frame)) if frame.kind == FrameKind::Hello => frame.seq,
         _ => {
-            counters.handshake_failures.fetch_add(1, Ordering::Relaxed);
+            counters.handshake_failures.inc();
             return;
         }
     };
@@ -377,10 +399,10 @@ fn serve_client(
         .is_err()
     {
         unregister(shared, &handle);
-        counters.handshake_failures.fetch_add(1, Ordering::Relaxed);
+        counters.handshake_failures.inc();
         return;
     }
-    counters.clients_connected.fetch_add(1, Ordering::Relaxed);
+    counters.clients_connected.inc();
 
     // Writer loop: drain the queue; heartbeat when idle; evict on any
     // write failure.
@@ -407,7 +429,7 @@ fn serve_client(
                     {
                         break true;
                     }
-                    counters.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
+                    counters.heartbeats_sent.inc();
                     last_write = Instant::now();
                 } else {
                     std::thread::sleep(Duration::from_millis(1));
@@ -417,7 +439,7 @@ fn serve_client(
     };
     unregister(shared, &handle);
     if evicted {
-        counters.clients_evicted.fetch_add(1, Ordering::Relaxed);
+        counters.clients_evicted.inc();
     }
 }
 
@@ -451,6 +473,10 @@ pub struct SubscribeOptions {
     /// presumed dead and the client reconnects. Must exceed the server's
     /// heartbeat interval.
     pub liveness_timeout: Duration,
+    /// Registry the client's counters are published to (under
+    /// `bus.client.*`). `None` keeps them private to
+    /// [`RemoteSubscription::stats`].
+    pub metrics: Option<mw_obs::MetricsRegistry>,
 }
 
 impl Default for SubscribeOptions {
@@ -463,6 +489,7 @@ impl Default for SubscribeOptions {
             max_redial_failures: 10,
             handshake_timeout: Duration::from_secs(1),
             liveness_timeout: Duration::from_secs(2),
+            metrics: None,
         }
     }
 }
@@ -489,23 +516,39 @@ pub struct ClientStats {
 
 #[derive(Debug, Default)]
 struct ClientCounters {
-    reconnects: AtomicU64,
-    duplicates_discarded: AtomicU64,
-    gaps_detected: AtomicU64,
-    corrupt_frames: AtomicU64,
-    heartbeats_received: AtomicU64,
-    frames_lost: AtomicU64,
+    reconnects: mw_obs::Counter,
+    duplicates_discarded: mw_obs::Counter,
+    gaps_detected: mw_obs::Counter,
+    corrupt_frames: mw_obs::Counter,
+    heartbeats_received: mw_obs::Counter,
+    frames_lost: mw_obs::Counter,
 }
 
 impl ClientCounters {
+    /// Counters backed by `registry` under `bus.client.*`; detached
+    /// (`Default`) counters otherwise.
+    fn new(registry: Option<&mw_obs::MetricsRegistry>) -> Self {
+        match registry {
+            None => ClientCounters::default(),
+            Some(reg) => ClientCounters {
+                reconnects: reg.counter("bus.client.reconnects"),
+                duplicates_discarded: reg.counter("bus.client.duplicates_discarded"),
+                gaps_detected: reg.counter("bus.client.gaps_detected"),
+                corrupt_frames: reg.counter("bus.client.corrupt_frames"),
+                heartbeats_received: reg.counter("bus.client.heartbeats_received"),
+                frames_lost: reg.counter("bus.client.frames_lost"),
+            },
+        }
+    }
+
     fn snapshot(&self) -> ClientStats {
         ClientStats {
-            reconnects: self.reconnects.load(Ordering::Relaxed),
-            duplicates_discarded: self.duplicates_discarded.load(Ordering::Relaxed),
-            gaps_detected: self.gaps_detected.load(Ordering::Relaxed),
-            corrupt_frames: self.corrupt_frames.load(Ordering::Relaxed),
-            heartbeats_received: self.heartbeats_received.load(Ordering::Relaxed),
-            frames_lost: self.frames_lost.load(Ordering::Relaxed),
+            reconnects: self.reconnects.get(),
+            duplicates_discarded: self.duplicates_discarded.get(),
+            gaps_detected: self.gaps_detected.get(),
+            corrupt_frames: self.corrupt_frames.get(),
+            heartbeats_received: self.heartbeats_received.get(),
+            frames_lost: self.frames_lost.get(),
         }
     }
 }
@@ -594,7 +637,7 @@ where
     T: Clone + DeserializeOwned + Send + 'static,
     D: FnMut() -> std::io::Result<Box<dyn FrameTransport>> + Send + 'static,
 {
-    let counters = Arc::new(ClientCounters::default());
+    let counters = Arc::new(ClientCounters::new(options.metrics.as_ref()));
     let mut backoff = Backoff::new(&options);
 
     // Initial connect, synchronous: the caller gets an error (not a
@@ -628,20 +671,18 @@ where
                         Ok(Some(frame)) => match frame.kind {
                             FrameKind::Data => {
                                 if frame.seq <= last_seq {
-                                    counters
-                                        .duplicates_discarded
-                                        .fetch_add(1, Ordering::Relaxed);
+                                    counters.duplicates_discarded.inc();
                                     continue;
                                 }
                                 if frame.seq > last_seq + 1 {
                                     // A frame went missing (dropped in
                                     // transit or evicted from our queue):
                                     // reconnect and refill from replay.
-                                    counters.gaps_detected.fetch_add(1, Ordering::Relaxed);
+                                    counters.gaps_detected.inc();
                                     break;
                                 }
                                 let Ok(message) = frame.decode::<T>() else {
-                                    counters.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                                    counters.corrupt_frames.inc();
                                     break;
                                 };
                                 if publisher.publish(message) == 0 {
@@ -650,7 +691,7 @@ where
                                 last_seq = frame.seq;
                             }
                             FrameKind::Heartbeat => {
-                                counters.heartbeats_received.fetch_add(1, Ordering::Relaxed);
+                                counters.heartbeats_received.inc();
                                 // The liveness check publishing provides
                                 // for free, on an idle topic: stop (and
                                 // close the connection) once the local
@@ -664,7 +705,7 @@ where
                         Ok(None) => break, // server closed cleanly
                         Err(e) => {
                             if e.kind() == std::io::ErrorKind::InvalidData {
-                                counters.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                                counters.corrupt_frames.inc();
                             }
                             break;
                         }
@@ -677,16 +718,14 @@ where
             if publisher.live_subscriber_count() == 0 {
                 return;
             }
-            counters.reconnects.fetch_add(1, Ordering::Relaxed);
+            counters.reconnects.inc();
             let mut failures = 0;
             loop {
                 backoff.sleep();
                 match establish(&mut dial, last_seq + 1, &options) {
                     Ok((t, resumed_at)) => {
                         if resumed_at > last_seq + 1 {
-                            counters
-                                .frames_lost
-                                .fetch_add(resumed_at - (last_seq + 1), Ordering::Relaxed);
+                            counters.frames_lost.add(resumed_at - (last_seq + 1));
                             last_seq = resumed_at - 1;
                         }
                         transport = t;

@@ -1,0 +1,183 @@
+//! The stats service: exposes a [`MetricsRegistry`] over the bus.
+//!
+//! Two delivery modes, mirroring the location service's pull/push
+//! split:
+//!
+//! - **RPC (pull):** [`serve_stats`] registers a
+//!   [`StatsRequest`] → [`StatsResponse`] service under
+//!   [`STATS_SERVICE_NAME`]; any component holding the broker (or a
+//!   probe tool) calls [`fetch_snapshot`] to get a point-in-time
+//!   [`Snapshot`] of every metric in the pipeline.
+//! - **Topic (push):** [`SnapshotPublisher`] publishes a snapshot to
+//!   the typed [`SNAPSHOT_TOPIC`] on a fixed interval, for dashboards
+//!   or loggers that prefer a feed over polling.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mw_obs::{MetricsRegistry, Snapshot};
+
+use crate::{Broker, BusError};
+
+/// Service name the stats RPC endpoint registers under.
+pub const STATS_SERVICE_NAME: &str = "middlewhere.stats";
+
+/// Topic name periodic snapshots are published on (type:
+/// [`Snapshot`]).
+pub const SNAPSHOT_TOPIC: &str = "middlewhere.stats.snapshots";
+
+/// Requests understood by the stats service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsRequest {
+    /// Ask for a point-in-time snapshot of every metric.
+    Snapshot,
+}
+
+/// Replies from the stats service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsResponse {
+    /// The requested snapshot.
+    Snapshot(Snapshot),
+}
+
+/// Registers the stats service on `broker` and serves snapshots of
+/// `registry` from a background thread (which runs for the life of the
+/// process, like the location service's RPC thread).
+///
+/// # Errors
+///
+/// Returns [`BusError::DuplicateService`] when a stats service is
+/// already registered on this broker.
+pub fn serve_stats(broker: &Broker, registry: MetricsRegistry) -> Result<JoinHandle<()>, BusError> {
+    let server = broker.register_service::<StatsRequest, StatsResponse>(STATS_SERVICE_NAME)?;
+    Ok(std::thread::spawn(move || {
+        while let Some((request, reply)) = server.next_request() {
+            match request {
+                StatsRequest::Snapshot => reply(StatsResponse::Snapshot(registry.snapshot())),
+            }
+        }
+    }))
+}
+
+/// Looks up the stats service on `broker` and fetches one snapshot.
+///
+/// # Errors
+///
+/// Returns [`BusError::UnknownService`] when no stats service is
+/// registered, or the RPC error when the call fails.
+pub fn fetch_snapshot(broker: &Broker) -> Result<Snapshot, BusError> {
+    let client = broker.lookup::<StatsRequest, StatsResponse>(STATS_SERVICE_NAME)?;
+    let StatsResponse::Snapshot(snapshot) = client.call(StatsRequest::Snapshot)?;
+    Ok(snapshot)
+}
+
+/// Publishes a [`Snapshot`] of a registry to [`SNAPSHOT_TOPIC`] on a
+/// fixed interval, starting immediately. Stops (and joins its thread)
+/// on [`SnapshotPublisher::stop`] or drop.
+#[derive(Debug)]
+pub struct SnapshotPublisher {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl SnapshotPublisher {
+    /// Starts the periodic publisher. The first snapshot is published
+    /// right away; later ones every `interval`.
+    #[must_use]
+    pub fn spawn(broker: &Broker, registry: MetricsRegistry, interval: Duration) -> Self {
+        let topic = broker.topic::<Snapshot>(SNAPSHOT_TOPIC);
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !flag.load(Ordering::Relaxed) {
+                topic.publish(registry.snapshot());
+                // Sleep in short steps so stop() is responsive even
+                // with a long interval.
+                let step = Duration::from_millis(10);
+                let mut slept = Duration::ZERO;
+                while slept < interval && !flag.load(Ordering::Relaxed) {
+                    let nap = step.min(interval - slept);
+                    std::thread::sleep(nap);
+                    slept += nap;
+                }
+            }
+        });
+        SnapshotPublisher {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the publisher and waits for its thread to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SnapshotPublisher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpc_round_trip() {
+        let broker = Broker::new();
+        let registry = MetricsRegistry::new();
+        registry.counter("bus.test.requests").add(7);
+        let _server = serve_stats(&broker, registry.clone()).expect("serve");
+        let snap = fetch_snapshot(&broker).expect("fetch");
+        assert_eq!(snap.counter("bus.test.requests"), Some(7));
+        // A later fetch sees later increments.
+        registry.counter("bus.test.requests").inc();
+        let snap = fetch_snapshot(&broker).expect("fetch again");
+        assert_eq!(snap.counter("bus.test.requests"), Some(8));
+    }
+
+    #[test]
+    fn fetch_without_service_is_unknown() {
+        let broker = Broker::new();
+        assert!(matches!(
+            fetch_snapshot(&broker),
+            Err(BusError::UnknownService { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_serve_is_rejected() {
+        let broker = Broker::new();
+        let registry = MetricsRegistry::new();
+        let _first = serve_stats(&broker, registry.clone()).expect("serve");
+        assert!(matches!(
+            serve_stats(&broker, registry),
+            Err(BusError::DuplicateService { .. })
+        ));
+    }
+
+    #[test]
+    fn periodic_snapshots_arrive_on_the_topic() {
+        let broker = Broker::new();
+        let registry = MetricsRegistry::new();
+        registry.gauge("fusion.lattice.size").set(10.0);
+        let inbox = broker.topic::<Snapshot>(SNAPSHOT_TOPIC).subscribe();
+        let publisher = SnapshotPublisher::spawn(&broker, registry, Duration::from_millis(20));
+        let first = inbox.recv_timeout(Duration::from_secs(2)).expect("first");
+        assert_eq!(first.gauge("fusion.lattice.size"), Some(10.0));
+        let second = inbox.recv_timeout(Duration::from_secs(2)).expect("second");
+        assert_eq!(second.gauge("fusion.lattice.size"), Some(10.0));
+        publisher.stop();
+    }
+}

@@ -5,6 +5,36 @@ use mw_reasoning::ReasoningError;
 use mw_spatial_db::DbError;
 
 /// Errors produced by the Location Service.
+///
+/// # Error contract
+///
+/// Every fallible `LocationService` operation returns
+/// `Result<_, CoreError>`; no query silently degrades an error into a
+/// value. The facade entry point
+/// [`query`](crate::LocationService::query) follows these rules:
+///
+/// - **Unknown names are errors, not zeros.** A region name the world
+///   model cannot resolve yields [`CoreError::UnknownRegion`], never a
+///   probability of `0.0`.
+/// - **Untracked objects are errors, not zeros.** Asking anything about
+///   an object with no live readings yields [`CoreError::NoLocation`].
+///   A probability of `0.0` always means "tracked, and the evidence says
+///   it is not there".
+/// - **Malformed requests fail at construction.**
+///   [`SubscriptionSpec::builder`](crate::SubscriptionSpec::builder)
+///   validates eagerly and returns [`CoreError::InvalidSubscription`];
+///   a built spec is always accepted by `subscribe`.
+/// - **Stale handles are errors.** Cancelling an unknown subscription id
+///   yields [`CoreError::UnknownSubscription`].
+/// - **Substrate failures are wrapped, not flattened.** Database, fusion
+///   and reasoning errors surface as [`CoreError::Db`],
+///   [`CoreError::Fusion`] and [`CoreError::Reasoning`] with the
+///   original error available through
+///   [`std::error::Error::source`].
+///
+/// The deprecated pre-facade methods (`probability_in_rect` returning a
+/// bare `f64`) keep their historical lossy behaviour for compatibility;
+/// new code should use the facade.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum CoreError {
@@ -23,6 +53,11 @@ pub enum CoreError {
         /// The missing subscription id.
         id: u64,
     },
+    /// A subscription spec failed validation at build time.
+    InvalidSubscription {
+        /// What was wrong with it.
+        reason: String,
+    },
     /// An error bubbled up from the spatial database.
     Db(DbError),
     /// An error bubbled up from the fusion engine.
@@ -39,6 +74,9 @@ impl fmt::Display for CoreError {
                 write!(f, "no live location information for {object:?}")
             }
             CoreError::UnknownSubscription { id } => write!(f, "unknown subscription {id}"),
+            CoreError::InvalidSubscription { reason } => {
+                write!(f, "invalid subscription: {reason}")
+            }
             CoreError::Db(e) => write!(f, "spatial database: {e}"),
             CoreError::Fusion(e) => write!(f, "fusion: {e}"),
             CoreError::Reasoning(e) => write!(f, "reasoning: {e}"),

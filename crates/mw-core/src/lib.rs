@@ -25,6 +25,7 @@
 
 mod error;
 mod fix;
+mod query;
 mod relations;
 mod service;
 mod subscription;
@@ -33,9 +34,12 @@ mod world;
 
 pub use error::CoreError;
 pub use fix::{LocationFix, Notification};
+pub use query::{LocationQuery, QueryAnswer, QueryTarget};
 pub use relations::{CoLocation, ObjectRelation, RegionRelation};
 pub use service::{LocationRequest, LocationResponse, LocationService};
-pub use subscription::{SubscriptionId, SubscriptionSpec};
+pub use subscription::{
+    DeliveryPolicy, SubscriptionId, SubscriptionSpec, SubscriptionSpecBuilder, SubscriptionTrigger,
+};
 pub use symbolic::SymbolicLattice;
 pub use world::WorldModel;
 

@@ -1,0 +1,199 @@
+//! The coherent query facade over the Location Service's pull mode.
+//!
+//! The service historically grew one method per question
+//! (`probability_in_region`, `probability_in_rect`, `band_in_region`,
+//! `location_distribution`, …) with inconsistent error behaviour. The
+//! facade collapses them behind one entry point:
+//!
+//! ```text
+//! service.query(LocationQuery::of("alice").in_region("3105").at(now))?
+//! ```
+//!
+//! Every query is `Result`-returning under the contract documented on
+//! [`CoreError`](crate::CoreError): unknown regions and untracked objects
+//! are errors, never silent zeros.
+
+use mw_fusion::ProbabilityBand;
+use mw_geometry::Rect;
+use mw_model::SimTime;
+use mw_sensors::MobileObjectId;
+
+use crate::LocationFix;
+
+/// What the query should compute about the object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryTarget {
+    /// The best single estimate ("where is X?").
+    Fix,
+    /// The full normalized spatial probability distribution.
+    Distribution,
+    /// The probability (and band) that the object is in a named region.
+    Region(String),
+    /// The probability (and band) that the object is in an explicit
+    /// rectangle (building coordinates).
+    Rect(Rect),
+}
+
+/// A pull-mode question about one object, built fluently:
+/// `LocationQuery::of("alice").in_region("3105").at(now)`.
+///
+/// Without a target modifier the query asks for the best fix; without
+/// [`at`](LocationQuery::at) it evaluates at [`SimTime::ZERO`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocationQuery {
+    /// The object being asked about.
+    pub object: MobileObjectId,
+    /// What to compute.
+    pub target: QueryTarget,
+    /// Evaluation time.
+    pub now: SimTime,
+}
+
+impl LocationQuery {
+    /// Starts a query about `object` (defaults: best fix, time zero).
+    #[must_use]
+    pub fn of(object: impl Into<MobileObjectId>) -> Self {
+        LocationQuery {
+            object: object.into(),
+            target: QueryTarget::Fix,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Asks for the probability that the object is in the named region.
+    #[must_use]
+    pub fn in_region(mut self, glob: impl Into<String>) -> Self {
+        self.target = QueryTarget::Region(glob.into());
+        self
+    }
+
+    /// Asks for the probability that the object is in an explicit
+    /// rectangle.
+    #[must_use]
+    pub fn in_rect(mut self, rect: Rect) -> Self {
+        self.target = QueryTarget::Rect(rect);
+        self
+    }
+
+    /// Asks for the full spatial probability distribution.
+    #[must_use]
+    pub fn distribution(mut self) -> Self {
+        self.target = QueryTarget::Distribution;
+        self
+    }
+
+    /// Asks for the best single estimate (the default).
+    #[must_use]
+    pub fn fix(mut self) -> Self {
+        self.target = QueryTarget::Fix;
+        self
+    }
+
+    /// Sets the evaluation time.
+    #[must_use]
+    pub fn at(mut self, now: SimTime) -> Self {
+        self.now = now;
+        self
+    }
+}
+
+/// The answer to a [`LocationQuery`], shaped by its target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryAnswer {
+    /// Answer to a fix query.
+    Fix(LocationFix),
+    /// Answer to a region/rect probability query: the raw probability and
+    /// its §4.4 band under the deployment's sensor-derived thresholds.
+    Probability {
+        /// The probability the object is in the asked region.
+        probability: f64,
+        /// The band the probability falls into.
+        band: ProbabilityBand,
+    },
+    /// Answer to a distribution query: minimal lattice regions with
+    /// normalized weights summing to 1.
+    Distribution(Vec<(Rect, f64)>),
+}
+
+impl QueryAnswer {
+    /// The fix, when the query asked for one.
+    #[must_use]
+    pub fn fix(&self) -> Option<&LocationFix> {
+        match self {
+            QueryAnswer::Fix(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The probability, when the query asked for one.
+    #[must_use]
+    pub fn probability(&self) -> Option<f64> {
+        match self {
+            QueryAnswer::Probability { probability, .. } => Some(*probability),
+            _ => None,
+        }
+    }
+
+    /// The band, when the query asked for a probability.
+    #[must_use]
+    pub fn band(&self) -> Option<ProbabilityBand> {
+        match self {
+            QueryAnswer::Probability { band, .. } => Some(*band),
+            _ => None,
+        }
+    }
+
+    /// The distribution, when the query asked for one.
+    #[must_use]
+    pub fn distribution(&self) -> Option<&[(Rect, f64)]> {
+        match self {
+            QueryAnswer::Distribution(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mw_geometry::Point;
+
+    #[test]
+    fn builder_defaults_and_modifiers() {
+        let q = LocationQuery::of("alice");
+        assert_eq!(q.object, "alice".into());
+        assert_eq!(q.target, QueryTarget::Fix);
+        assert_eq!(q.now, SimTime::ZERO);
+
+        let rect = Rect::new(Point::new(0.0, 0.0), Point::new(5.0, 5.0));
+        let q = LocationQuery::of("bob")
+            .in_rect(rect)
+            .at(SimTime::from_secs(3.0));
+        assert_eq!(q.target, QueryTarget::Rect(rect));
+        assert_eq!(q.now, SimTime::from_secs(3.0));
+
+        let q = LocationQuery::of("bob").in_region("3105").distribution();
+        assert_eq!(q.target, QueryTarget::Distribution);
+        let q = q.fix();
+        assert_eq!(q.target, QueryTarget::Fix);
+    }
+
+    #[test]
+    fn answer_accessors() {
+        let p = QueryAnswer::Probability {
+            probability: 0.75,
+            band: ProbabilityBand::High,
+        };
+        assert_eq!(p.probability(), Some(0.75));
+        assert_eq!(p.band(), Some(ProbabilityBand::High));
+        assert!(p.fix().is_none());
+        assert!(p.distribution().is_none());
+
+        let d = QueryAnswer::Distribution(vec![(
+            Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            1.0,
+        )]);
+        assert_eq!(d.distribution().unwrap().len(), 1);
+        assert!(d.probability().is_none());
+    }
+}

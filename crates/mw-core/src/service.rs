@@ -5,6 +5,7 @@ use mw_bus::{Broker, Publisher};
 use mw_fusion::{BandThresholds, FusionEngine, ProbabilityBand};
 use mw_geometry::Rect;
 use mw_model::SimTime;
+use mw_obs::MetricsRegistry;
 use mw_sensors::{AdapterOutput, MobileObjectId, SensorReading};
 use mw_spatial_db::{SpatialDatabase, SpatialObject};
 use parking_lot::RwLock;
@@ -14,7 +15,8 @@ use crate::subscription::SubscriptionManager;
 use crate::symbolic::SymbolicLattice;
 use crate::world::WorldModel;
 use crate::{
-    CoreError, LocationFix, Notification, SubscriptionId, SubscriptionSpec, LOCATION_SERVICE_NAME,
+    CoreError, DeliveryPolicy, LocationFix, LocationQuery, Notification, QueryAnswer, QueryTarget,
+    SubscriptionId, SubscriptionSpec, SubscriptionSpecBuilder, LOCATION_SERVICE_NAME,
     NOTIFICATION_TOPIC,
 };
 
@@ -82,6 +84,38 @@ pub enum LocationResponse {
     Error(String),
 }
 
+/// Handles on every `core.*` metric, resolved once at construction.
+#[derive(Debug)]
+struct CoreMetrics {
+    registry: MetricsRegistry,
+    ingest_latency: mw_obs::Histogram,
+    ingest_readings: mw_obs::Counter,
+    locate_latency: mw_obs::Histogram,
+    query_latency: mw_obs::Histogram,
+    query_count: mw_obs::Counter,
+    match_latency: mw_obs::Histogram,
+    notifications_published: mw_obs::Counter,
+    notification_fanout: mw_obs::Counter,
+    subscriptions_active: mw_obs::Gauge,
+}
+
+impl CoreMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        CoreMetrics {
+            registry: registry.clone(),
+            ingest_latency: registry.histogram("core.ingest.latency_us"),
+            ingest_readings: registry.counter("core.ingest.readings"),
+            locate_latency: registry.histogram("core.locate.latency_us"),
+            query_latency: registry.histogram("core.query.latency_us"),
+            query_count: registry.counter("core.query.count"),
+            match_latency: registry.histogram("core.subscriptions.match_latency_us"),
+            notifications_published: registry.counter("core.notifications.published"),
+            notification_fanout: registry.counter("core.notifications.fanout"),
+            subscriptions_active: registry.gauge("core.subscriptions.active"),
+        }
+    }
+}
+
 /// The Location Service (§4): fusion, queries, notifications, spatial
 /// relationships and privacy, over the spatial database and the bus.
 #[derive(Debug)]
@@ -99,6 +133,7 @@ pub struct LocationService {
     /// contributing to one reading.
     sensor_accuracies: RwLock<Vec<f64>>,
     notifications: Publisher<Notification>,
+    metrics: Option<CoreMetrics>,
 }
 
 impl LocationService {
@@ -119,6 +154,47 @@ impl LocationService {
         engine: FusionEngine,
         broker: &Broker,
     ) -> Arc<Self> {
+        Self::build(db, engine, broker, None)
+    }
+
+    /// Creates an observable service: the database, fusion engine and the
+    /// service itself publish their `db.*`, `fusion.*` and `core.*`
+    /// metrics to `registry`, retrievable via
+    /// [`metrics_registry`](LocationService::metrics_registry) or served
+    /// over the bus with [`mw_bus::stats::serve_stats`].
+    #[must_use]
+    pub fn new_with_obs(
+        db: SpatialDatabase,
+        universe: Rect,
+        broker: &Broker,
+        registry: &MetricsRegistry,
+    ) -> Arc<Self> {
+        Self::new_with_engine_and_obs(db, FusionEngine::new(universe), broker, registry)
+    }
+
+    /// [`new_with_engine`](LocationService::new_with_engine) plus the
+    /// observability wiring of
+    /// [`new_with_obs`](LocationService::new_with_obs).
+    #[must_use]
+    pub fn new_with_engine_and_obs(
+        db: SpatialDatabase,
+        engine: FusionEngine,
+        broker: &Broker,
+        registry: &MetricsRegistry,
+    ) -> Arc<Self> {
+        Self::build(db, engine, broker, Some(registry))
+    }
+
+    fn build(
+        mut db: SpatialDatabase,
+        mut engine: FusionEngine,
+        broker: &Broker,
+        registry: Option<&MetricsRegistry>,
+    ) -> Arc<Self> {
+        if let Some(registry) = registry {
+            db.bind_metrics(registry);
+            engine.bind_metrics(registry);
+        }
         let world = WorldModel::from_database(&db);
         let symbolic = SymbolicLattice::from_database(&db);
         Arc::new(LocationService {
@@ -130,7 +206,15 @@ impl LocationService {
             privacy: RwLock::new(HashMap::new()),
             sensor_accuracies: RwLock::new(Vec::new()),
             notifications: broker.topic::<Notification>(NOTIFICATION_TOPIC),
+            metrics: registry.map(CoreMetrics::new),
         })
+    }
+
+    /// The metrics registry this service publishes to, when constructed
+    /// with observability enabled.
+    #[must_use]
+    pub fn metrics_registry(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref().map(|m| &m.registry)
     }
 
     /// The fusion universe.
@@ -242,6 +326,8 @@ impl LocationService {
     /// subscriptions for the affected objects. Fired notifications are
     /// published on the bus topic and returned.
     pub fn ingest(&self, output: AdapterOutput, now: SimTime) -> Vec<Notification> {
+        let started = std::time::Instant::now();
+        let reading_count = output.readings.len() as u64;
         let mut affected: Vec<MobileObjectId> = Vec::new();
         {
             let mut db = self.db.write();
@@ -273,8 +359,15 @@ impl LocationService {
         for object in affected {
             fired.extend(self.evaluate_subscriptions(&object, now));
         }
+        let mut delivered = 0usize;
         for n in &fired {
-            self.notifications.publish(n.clone());
+            delivered += self.notifications.publish(n.clone());
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.ingest_readings.add(reading_count);
+            metrics.notifications_published.add(fired.len() as u64);
+            metrics.notification_fanout.add(delivered as u64);
+            metrics.ingest_latency.observe(started.elapsed());
         }
         fired
     }
@@ -314,6 +407,10 @@ impl LocationService {
     ///
     /// Returns [`CoreError::NoLocation`] when no live readings exist.
     pub fn locate(&self, object: &MobileObjectId, now: SimTime) -> Result<LocationFix, CoreError> {
+        let _timer = self
+            .metrics
+            .as_ref()
+            .map(|m| m.locate_latency.start_timer());
         let readings = self.db.read().live_readings_for(object, now);
         let result = self.engine.fuse(&readings, now);
         let estimate = result
@@ -358,7 +455,16 @@ impl LocationService {
     ///
     /// Returns [`CoreError::NoLocation`] when the object has no live
     /// readings.
+    #[deprecated(note = "use LocationService::query with LocationQuery::of(..).distribution()")]
     pub fn location_distribution(
+        &self,
+        object: &MobileObjectId,
+        now: SimTime,
+    ) -> Result<Vec<(Rect, f64)>, CoreError> {
+        self.distribution_internal(object, now)
+    }
+
+    fn distribution_internal(
         &self,
         object: &MobileObjectId,
         now: SimTime,
@@ -379,12 +485,77 @@ impl LocationService {
         Ok(dist)
     }
 
+    /// Answers a [`LocationQuery`] — the single pull-mode entry point
+    /// behind which the older per-question methods are folded.
+    ///
+    /// ```text
+    /// service.query(LocationQuery::of("alice").in_region("CS/Floor3/3105").at(now))?
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Follows the contract on [`CoreError`]: [`CoreError::UnknownRegion`]
+    /// for unresolvable region names, [`CoreError::NoLocation`] for
+    /// objects without live readings (never a silent `0.0`), and
+    /// [`CoreError::Fusion`] when the fusion lattice rejects the region.
+    pub fn query(&self, q: LocationQuery) -> Result<QueryAnswer, CoreError> {
+        let _timer = self.metrics.as_ref().map(|m| {
+            m.query_count.inc();
+            m.query_latency.start_timer()
+        });
+        match q.target {
+            QueryTarget::Fix => self.locate(&q.object, q.now).map(QueryAnswer::Fix),
+            QueryTarget::Distribution => self
+                .distribution_internal(&q.object, q.now)
+                .map(QueryAnswer::Distribution),
+            QueryTarget::Region(ref name) => {
+                let rect = self.world.read().region_rect(name)?;
+                self.rect_answer(&q.object, &rect, q.now)
+            }
+            QueryTarget::Rect(rect) => self.rect_answer(&q.object, &rect, q.now),
+        }
+    }
+
+    fn rect_answer(
+        &self,
+        object: &MobileObjectId,
+        rect: &Rect,
+        now: SimTime,
+    ) -> Result<QueryAnswer, CoreError> {
+        let p = self.rect_probability(object, rect, now)?;
+        Ok(QueryAnswer::Probability {
+            probability: p,
+            band: self.band_thresholds().classify(p),
+        })
+    }
+
+    /// The `Result`-returning probability core: untracked objects are
+    /// [`CoreError::NoLocation`], not `0.0`.
+    fn rect_probability(
+        &self,
+        object: &MobileObjectId,
+        rect: &Rect,
+        now: SimTime,
+    ) -> Result<f64, CoreError> {
+        let readings = self.db.read().live_readings_for(object, now);
+        if readings.is_empty() {
+            return Err(CoreError::NoLocation {
+                object: object.to_string(),
+            });
+        }
+        let mut result = self.engine.fuse(&readings, now);
+        Ok(result.region_probability(*rect)?)
+    }
+
     /// The probability that `object` is inside the named region (§4.2's
     /// region-based query on one object).
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::UnknownRegion`] for unknown names.
+    /// Returns [`CoreError::UnknownRegion`] for unknown names. Untracked
+    /// objects yield `Ok(0.0)` (the historical lossy behaviour; the
+    /// facade reports [`CoreError::NoLocation`] instead).
+    #[deprecated(note = "use LocationService::query with LocationQuery::of(..).in_region(..)")]
     pub fn probability_in_region(
         &self,
         object: &MobileObjectId,
@@ -392,22 +563,25 @@ impl LocationService {
         now: SimTime,
     ) -> Result<f64, CoreError> {
         let rect = self.world.read().region_rect(region)?;
-        Ok(self.probability_in_rect(object, &rect, now))
+        Ok(self.rect_probability(object, &rect, now).unwrap_or(0.0))
     }
 
     /// The probability that `object` is inside an explicit rectangle.
+    /// Errors (including "object not tracked") silently collapse to
+    /// `0.0`; the facade reports them.
+    #[deprecated(note = "use LocationService::query with LocationQuery::of(..).in_rect(..)")]
     #[must_use]
     pub fn probability_in_rect(&self, object: &MobileObjectId, rect: &Rect, now: SimTime) -> f64 {
-        let readings = self.db.read().live_readings_for(object, now);
-        let mut result = self.engine.fuse(&readings, now);
-        result.region_probability(*rect).unwrap_or(0.0)
+        self.rect_probability(object, rect, now).unwrap_or(0.0)
     }
 
-    /// The §4.4 band of [`LocationService::probability_in_region`].
+    /// The §4.4 band of the probability that `object` is in the named
+    /// region.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::UnknownRegion`] for unknown names.
+    #[deprecated(note = "use LocationService::query; QueryAnswer::Probability carries the band")]
     pub fn band_in_region(
         &self,
         object: &MobileObjectId,
@@ -415,7 +589,7 @@ impl LocationService {
         now: SimTime,
     ) -> Result<ProbabilityBand, CoreError> {
         let rect = self.world.read().region_rect(region)?;
-        let p = self.probability_in_rect(object, &rect, now);
+        let p = self.rect_probability(object, &rect, now).unwrap_or(0.0);
         Ok(self.band_thresholds().classify(p))
     }
 
@@ -464,7 +638,7 @@ impl LocationService {
         let objects = self.db.read().readings().tracked_objects(now);
         let mut out = Vec::new();
         for object in objects {
-            let p = self.probability_in_rect(&object, &rect, now);
+            let p = self.rect_probability(&object, &rect, now).unwrap_or(0.0);
             if p >= min_probability {
                 out.push((object, p));
             }
@@ -476,29 +650,63 @@ impl LocationService {
     // --- subscriptions (push mode) ------------------------------------------
 
     /// Registers a region-based notification (§4.3); returns its id.
+    /// Build specs with [`SubscriptionSpec::builder`].
     #[must_use]
     pub fn subscribe(&self, spec: SubscriptionSpec) -> SubscriptionId {
-        self.subs.write().add(spec)
+        let id = self.subs.write().add(spec);
+        self.update_subscription_gauge();
+        id
     }
 
-    /// Subscribes using a model-level [`mw_model::Location`] (symbolic
-    /// name or room-local coordinates) instead of a raw rectangle,
-    /// resolving through the world model (§3's hybrid flexibility).
+    /// Builds and registers a subscription whose watched region comes
+    /// from a model-level [`mw_model::Location`] (symbolic name or
+    /// room-local coordinates), resolved through the world model (§3's
+    /// hybrid flexibility). The builder's region, if any, is replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRegion`] when the location cannot be
+    /// resolved and [`CoreError::InvalidSubscription`] when the builder
+    /// fails validation.
+    pub fn subscribe_at(
+        &self,
+        location: &mw_model::Location,
+        builder: SubscriptionSpecBuilder,
+    ) -> Result<SubscriptionId, CoreError> {
+        let region = self.resolve_location(location)?;
+        let spec = builder.region(region).build()?;
+        Ok(self.subscribe(spec))
+    }
+
+    /// Registers `spec` and returns an inbox on the notification topic
+    /// configured by the spec's [`DeliveryPolicy`].
+    #[must_use]
+    pub fn subscribe_with_inbox(
+        &self,
+        spec: SubscriptionSpec,
+    ) -> (SubscriptionId, mw_bus::Subscription<Notification>) {
+        let inbox = self.subscribe_notifications(spec.delivery);
+        (self.subscribe(spec), inbox)
+    }
+
+    /// Subscribes using positional arguments.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::UnknownRegion`] when the location cannot be
     /// resolved.
+    #[deprecated(note = "use SubscriptionSpec::builder() with LocationService::subscribe_at")]
     pub fn subscribe_location(
         &self,
         location: &mw_model::Location,
         min_probability: f64,
         object: Option<MobileObjectId>,
     ) -> Result<SubscriptionId, CoreError> {
-        let region = self.resolve_location(location)?;
-        let mut spec = SubscriptionSpec::region_entry(region, min_probability);
-        spec.object = object;
-        Ok(self.subscribe(spec))
+        let mut builder = SubscriptionSpec::builder().min_probability(min_probability);
+        if let Some(object) = object {
+            builder = builder.object(object);
+        }
+        self.subscribe_at(location, builder)
     }
 
     /// Cancels a subscription.
@@ -507,11 +715,20 @@ impl LocationService {
     ///
     /// Returns [`CoreError::UnknownSubscription`] for stale ids.
     pub fn unsubscribe(&self, id: SubscriptionId) -> Result<(), CoreError> {
-        self.subs
-            .write()
-            .remove(id)
+        let removed = self.subs.write().remove(id);
+        self.update_subscription_gauge();
+        removed
             .map(|_| ())
             .ok_or(CoreError::UnknownSubscription { id: id.value() })
+    }
+
+    fn update_subscription_gauge(&self) {
+        if let Some(metrics) = &self.metrics {
+            #[allow(clippy::cast_precision_loss)]
+            metrics
+                .subscriptions_active
+                .set(self.subs.read().len() as f64);
+        }
     }
 
     /// Number of registered subscriptions.
@@ -527,19 +744,39 @@ impl LocationService {
     /// unbounded queue inside the middleware. Trigger notifications are
     /// freshness-sensitive — a stale "alice entered 3105" is worthless —
     /// so dropping the oldest is the right policy for slow consumers.
+    #[deprecated(
+        note = "use LocationService::subscribe_notifications with DeliveryPolicy::Bounded"
+    )]
     #[must_use]
     pub fn subscribe_notifications_bounded(
         &self,
         capacity: usize,
     ) -> mw_bus::Subscription<Notification> {
-        self.notifications
-            .subscribe_bounded(capacity, mw_bus::OverflowPolicy::DropOldest)
+        self.subscribe_notifications(DeliveryPolicy::Bounded {
+            capacity,
+            overflow: mw_bus::OverflowPolicy::DropOldest,
+        })
+    }
+
+    /// An inbox on the notification topic, queued per `policy`.
+    #[must_use]
+    pub fn subscribe_notifications(
+        &self,
+        policy: DeliveryPolicy,
+    ) -> mw_bus::Subscription<Notification> {
+        match policy {
+            DeliveryPolicy::Unbounded => self.notifications.subscribe(),
+            DeliveryPolicy::Bounded { capacity, overflow } => {
+                self.notifications.subscribe_bounded(capacity, overflow)
+            }
+        }
     }
 
     fn evaluate_subscriptions(&self, object: &MobileObjectId, now: SimTime) -> Vec<Notification> {
         if self.subs.read().len() == 0 {
             return Vec::new();
         }
+        let _timer = self.metrics.as_ref().map(|m| m.match_latency.start_timer());
         let readings = self.db.read().live_readings_for(object, now);
         let result = self.engine.fuse(&readings, now);
         // Candidates: subscriptions whose region intersects the surviving
@@ -558,13 +795,14 @@ impl LocationService {
             return Vec::new();
         }
         let thresholds = self.band_thresholds();
+        let position = result.best_estimate().map(|e| e.region.center());
         let mut fired = Vec::new();
         for (id, spec) in candidates {
             let p = result.region_probability_fast(&spec.region);
             let band = thresholds.classify(p);
             let satisfied =
                 p >= spec.min_probability && spec.min_band.is_none_or(|min| band >= min);
-            if self.subs.write().record(id, object, satisfied) {
+            if self.subs.write().record(id, object, satisfied, position) {
                 fired.push(Notification {
                     subscription: id,
                     object: object.clone(),
@@ -790,8 +1028,11 @@ impl LocationService {
                 object,
                 region,
                 now,
-            } => match self.probability_in_region(&object, &region, now) {
-                Ok(p) => LocationResponse::Probability(p),
+            } => match self.query(LocationQuery::of(object).in_region(region).at(now)) {
+                Ok(answer) => LocationResponse::Probability(answer.probability().unwrap_or(0.0)),
+                // Wire compatibility: an untracked object has always
+                // reported probability 0, not an error.
+                Err(CoreError::NoLocation { .. }) => LocationResponse::Probability(0.0),
                 Err(e) => LocationResponse::Error(e.to_string()),
             },
             LocationRequest::ObjectsInRegion {
@@ -808,9 +1049,16 @@ impl LocationService {
                 object,
             } => match self.with_world(|w| w.region_rect(&region)) {
                 Ok(rect) => {
-                    let mut spec = SubscriptionSpec::region_entry(rect, min_probability);
-                    spec.object = object;
-                    LocationResponse::Subscribed(self.subscribe(spec))
+                    let mut builder = SubscriptionSpec::builder()
+                        .region(rect)
+                        .min_probability(min_probability);
+                    if let Some(object) = object {
+                        builder = builder.object(object);
+                    }
+                    match builder.build() {
+                        Ok(spec) => LocationResponse::Subscribed(self.subscribe(spec)),
+                        Err(e) => LocationResponse::Error(e.to_string()),
+                    }
                 }
                 Err(e) => LocationResponse::Error(e.to_string()),
             },
@@ -927,11 +1175,23 @@ mod tests {
         );
         let now = SimTime::from_secs(1.0);
         let p_room = svc
-            .probability_in_region(&"alice".into(), "CS/Floor3/3105", now)
+            .query(
+                LocationQuery::of("alice")
+                    .in_region("CS/Floor3/3105")
+                    .at(now),
+            )
+            .unwrap()
+            .probability()
             .unwrap();
         assert!(p_room > 0.8);
         let p_corridor = svc
-            .probability_in_region(&"alice".into(), "CS/Floor3/LabCorridor", now)
+            .query(
+                LocationQuery::of("alice")
+                    .in_region("CS/Floor3/LabCorridor")
+                    .at(now),
+            )
+            .unwrap()
+            .probability()
             .unwrap();
         assert!(p_corridor < 0.1);
         // Region-based: who is in the room?
@@ -939,9 +1199,144 @@ mod tests {
         assert_eq!(in_room.len(), 1);
         assert_eq!(in_room[0].0, "alice".into());
         // Unknown region.
-        assert!(svc
-            .probability_in_region(&"alice".into(), "Nope", now)
-            .is_err());
+        assert!(matches!(
+            svc.query(LocationQuery::of("alice").in_region("Nope").at(now)),
+            Err(CoreError::UnknownRegion { .. })
+        ));
+        // Untracked object: an error, not a silent zero.
+        assert!(matches!(
+            svc.query(
+                LocationQuery::of("ghost")
+                    .in_region("CS/Floor3/3105")
+                    .at(now)
+            ),
+            Err(CoreError::NoLocation { .. })
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn query_facade_matches_legacy_methods() {
+        let (svc, _broker) = service();
+        svc.ingest_reading(
+            reading("alice", rect(339.0, 9.0, 341.0, 11.0), 0.0),
+            SimTime::ZERO,
+        );
+        let now = SimTime::from_secs(1.0);
+        let room = "CS/Floor3/3105";
+        let legacy_p = svc
+            .probability_in_region(&"alice".into(), room, now)
+            .unwrap();
+        let facade = svc
+            .query(LocationQuery::of("alice").in_region(room).at(now))
+            .unwrap();
+        assert_eq!(facade.probability(), Some(legacy_p));
+        assert_eq!(
+            facade.band(),
+            Some(svc.band_in_region(&"alice".into(), room, now).unwrap())
+        );
+        let rect = svc.with_world(|w| w.region_rect(room)).unwrap();
+        assert_eq!(
+            svc.query(LocationQuery::of("alice").in_rect(rect).at(now))
+                .unwrap()
+                .probability(),
+            Some(svc.probability_in_rect(&"alice".into(), &rect, now))
+        );
+        assert_eq!(
+            svc.query(LocationQuery::of("alice").distribution().at(now))
+                .unwrap()
+                .distribution()
+                .unwrap(),
+            svc.location_distribution(&"alice".into(), now)
+                .unwrap()
+                .as_slice()
+        );
+        let legacy_fix = svc.locate(&"alice".into(), now).unwrap();
+        assert_eq!(
+            svc.query(LocationQuery::of("alice").at(now))
+                .unwrap()
+                .fix()
+                .unwrap(),
+            &legacy_fix
+        );
+        // Legacy lossy path: untracked object is 0.0 there, an error here.
+        assert_eq!(svc.probability_in_rect(&"ghost".into(), &rect, now), 0.0);
+    }
+
+    #[test]
+    fn core_metrics_populate_through_the_pipeline() {
+        let broker = Broker::new();
+        let registry = MetricsRegistry::new();
+        let svc = LocationService::new_with_obs(
+            sample_db(),
+            rect(0.0, 0.0, 500.0, 100.0),
+            &broker,
+            &registry,
+        );
+        assert!(svc.metrics_registry().is_some());
+        let room = rect(330.0, 0.0, 350.0, 30.0);
+        let id = svc.subscribe(SubscriptionSpec::region_entry(room, 0.5));
+        svc.ingest_reading(
+            reading("alice", rect(339.0, 9.0, 341.0, 11.0), 0.0),
+            SimTime::ZERO,
+        );
+        let now = SimTime::from_secs(1.0);
+        let _ = svc
+            .query(
+                LocationQuery::of("alice")
+                    .in_region("CS/Floor3/3105")
+                    .at(now),
+            )
+            .unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("core.ingest.readings"), Some(1));
+        assert_eq!(snap.counter("core.query.count"), Some(1));
+        assert_eq!(snap.counter("core.notifications.published"), Some(1));
+        assert!(snap.histogram("core.ingest.latency_us").unwrap().count >= 1);
+        assert!(snap.histogram("core.query.latency_us").unwrap().count >= 1);
+        assert!(
+            snap.histogram("core.subscriptions.match_latency_us")
+                .unwrap()
+                .count
+                >= 1
+        );
+        assert_eq!(snap.gauge("core.subscriptions.active"), Some(1.0));
+        // The shared registry also carries the bound db.* and fusion.*
+        // layers.
+        assert_eq!(snap.counter("db.readings_inserted"), Some(1));
+        assert!(snap.counter("fusion.fuse.count").unwrap_or(0) >= 1);
+        svc.unsubscribe(id).unwrap();
+        assert_eq!(
+            registry.snapshot().gauge("core.subscriptions.active"),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn exit_subscription_fires_through_service() {
+        let (svc, _broker) = service();
+        let room = rect(330.0, 0.0, 350.0, 30.0);
+        let _id = svc.subscribe(
+            SubscriptionSpec::builder()
+                .region(room)
+                .object("alice")
+                .min_probability(0.5)
+                .on_exit()
+                .build()
+                .unwrap(),
+        );
+        // Entering fires nothing for an on-exit subscription.
+        let fired = svc.ingest_reading(
+            reading("alice", rect(339.0, 9.0, 341.0, 11.0), 0.0),
+            SimTime::ZERO,
+        );
+        assert!(fired.is_empty());
+        // Moving to the corridor is the falling edge.
+        let fired = svc.ingest_reading(
+            reading("alice", rect(319.0, 9.0, 321.0, 11.0), 5.0),
+            SimTime::from_secs(5.0),
+        );
+        assert_eq!(fired.len(), 1);
     }
 
     #[test]
@@ -981,7 +1376,10 @@ mod tests {
     #[test]
     fn bounded_notification_subscriber_lags_instead_of_growing() {
         let (svc, _broker) = service();
-        let inbox = svc.subscribe_notifications_bounded(2);
+        let inbox = svc.subscribe_notifications(DeliveryPolicy::Bounded {
+            capacity: 2,
+            overflow: mw_bus::OverflowPolicy::DropOldest,
+        });
         let room = rect(330.0, 0.0, 350.0, 30.0);
         let _id =
             svc.subscribe(SubscriptionSpec::region_entry(room, 0.5).for_object("alice".into()));
@@ -1334,7 +1732,12 @@ mod tests {
         // Subscribe using room-local coordinates: a 10x10 zone in 3105.
         let loc = mw_model::Location::parse("CS/Floor3/3105/(2,2),(12,2),(12,12),(2,12)").unwrap();
         let id = svc
-            .subscribe_location(&loc, 0.5, Some("alice".into()))
+            .subscribe_at(
+                &loc,
+                SubscriptionSpec::builder()
+                    .min_probability(0.5)
+                    .object("alice"),
+            )
             .unwrap();
         // Alice appears inside that zone (building coords ~ (335, 5)).
         let fired = svc.ingest_reading(
@@ -1345,7 +1748,14 @@ mod tests {
         assert_eq!(fired[0].subscription, id);
         // Unknown prefix errors.
         let bad = mw_model::Location::parse("CS/Nowhere/(1,1)").unwrap();
-        assert!(svc.subscribe_location(&bad, 0.5, None).is_err());
+        assert!(svc
+            .subscribe_at(&bad, SubscriptionSpec::builder().min_probability(0.5))
+            .is_err());
+        // The deprecated positional path routes through the same builder.
+        #[allow(deprecated)]
+        {
+            assert!(svc.subscribe_location(&bad, 0.5, None).is_err());
+        }
     }
 
     #[test]
@@ -1359,12 +1769,17 @@ mod tests {
         svc.ingest_reading(r1, SimTime::ZERO);
         svc.ingest_reading(r2, SimTime::ZERO);
         let dist = svc
-            .location_distribution(&"alice".into(), SimTime::from_secs(1.0))
+            .query(
+                LocationQuery::of("alice")
+                    .distribution()
+                    .at(SimTime::from_secs(1.0)),
+            )
             .unwrap();
+        let dist = dist.distribution().unwrap();
         let total: f64 = dist.iter().map(|(_, w)| w).sum();
         assert!((total - 1.0).abs() < 1e-9, "total {total}");
         assert!(svc
-            .location_distribution(&"ghost".into(), SimTime::ZERO)
+            .query(LocationQuery::of("ghost").distribution())
             .is_err());
     }
 

@@ -2,9 +2,11 @@ use std::collections::HashMap;
 use std::fmt;
 
 use mw_fusion::ProbabilityBand;
-use mw_geometry::Rect;
+use mw_geometry::{Point, Rect};
 use mw_sensors::MobileObjectId;
 use serde::{Deserialize, Serialize};
+
+use crate::CoreError;
 
 /// Identifier of a registered subscription.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -24,6 +26,46 @@ impl fmt::Display for SubscriptionId {
     }
 }
 
+/// When a subscription fires relative to its condition's truth value.
+///
+/// The paper's §4.3 triggers are entry-edge ("notify me when Alice enters
+/// 3105"); applications also asked for the mirror image (leaving) and for
+/// movement tracking while inside (the Follow-Me proxy re-homes a session
+/// when the user moves far enough within the covered area).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum SubscriptionTrigger {
+    /// Fire on the rising edge: the condition was false and became true.
+    #[default]
+    OnEnter,
+    /// Fire on the falling edge: the condition was true and became false.
+    OnExit,
+    /// Fire on entry, then again every time the object's best estimate
+    /// moves at least `threshold` building units from the position at the
+    /// last firing, while the condition holds.
+    OnMove {
+        /// Minimum displacement (building units) between firings.
+        threshold: f64,
+    },
+}
+
+/// How notifications should be queued for a consumer created alongside a
+/// subscription (see
+/// [`LocationService::subscribe_with_inbox`](crate::LocationService::subscribe_with_inbox)).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DeliveryPolicy {
+    /// An unbounded inbox: nothing is ever dropped, memory grows with lag.
+    #[default]
+    Unbounded,
+    /// A bounded inbox of `capacity` messages; `overflow` decides which
+    /// end of the queue loses when the consumer falls behind.
+    Bounded {
+        /// Maximum queued notifications.
+        capacity: usize,
+        /// Eviction policy when full.
+        overflow: mw_bus::OverflowPolicy,
+    },
+}
+
 /// What an application subscribes to (§4.3): notify when an object is in
 /// a region with sufficient probability.
 ///
@@ -31,6 +73,10 @@ impl fmt::Display for SubscriptionId {
 /// person is known with low, medium, high or very high probability.
 /// Alternatively, an application can explicitly ask for the probability"
 /// — so the threshold is either a raw probability or a band.
+///
+/// Construct with [`SubscriptionSpec::builder`]; the
+/// [`region_entry`](SubscriptionSpec::region_entry) shorthand remains for
+/// the common any-object/on-enter case.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SubscriptionSpec {
     /// The watched region (an MBR in building coordinates).
@@ -42,11 +88,24 @@ pub struct SubscriptionSpec {
     /// Alternatively/additionally, a minimum band (evaluated against the
     /// fusion result's sensor-derived thresholds).
     pub min_band: Option<ProbabilityBand>,
+    /// Which condition edge fires a notification.
+    pub trigger: SubscriptionTrigger,
+    /// Inbox policy for consumers created with the subscription.
+    pub delivery: DeliveryPolicy,
 }
 
 impl SubscriptionSpec {
+    /// Starts building a subscription. The region is mandatory; everything
+    /// else defaults (any object, probability ≥ 0, on-enter, unbounded
+    /// delivery).
+    #[must_use]
+    pub fn builder() -> SubscriptionSpecBuilder {
+        SubscriptionSpecBuilder::default()
+    }
+
     /// A subscription for any object entering `region` with probability at
-    /// least `min_probability`.
+    /// least `min_probability`. Shorthand for
+    /// `builder().region(region).min_probability(p).build()`.
     #[must_use]
     pub fn region_entry(region: Rect, min_probability: f64) -> Self {
         SubscriptionSpec {
@@ -54,6 +113,8 @@ impl SubscriptionSpec {
             object: None,
             min_probability,
             min_band: None,
+            trigger: SubscriptionTrigger::OnEnter,
+            delivery: DeliveryPolicy::Unbounded,
         }
     }
 
@@ -72,6 +133,139 @@ impl SubscriptionSpec {
     }
 }
 
+/// Builder for [`SubscriptionSpec`] — the one construction path every
+/// subscription API routes through.
+///
+/// ```
+/// use mw_core::{SubscriptionSpec, SubscriptionTrigger};
+/// use mw_geometry::{Point, Rect};
+///
+/// let room = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+/// let spec = SubscriptionSpec::builder()
+///     .region(room)
+///     .object("alice")
+///     .min_probability(0.5)
+///     .on_exit()
+///     .build()
+///     .unwrap();
+/// assert_eq!(spec.trigger, SubscriptionTrigger::OnExit);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SubscriptionSpecBuilder {
+    region: Option<Rect>,
+    object: Option<MobileObjectId>,
+    min_probability: f64,
+    min_band: Option<ProbabilityBand>,
+    trigger: SubscriptionTrigger,
+    delivery: DeliveryPolicy,
+}
+
+impl SubscriptionSpecBuilder {
+    /// Sets the watched region (mandatory).
+    #[must_use]
+    pub fn region(mut self, region: Rect) -> Self {
+        self.region = Some(region);
+        self
+    }
+
+    /// Restricts to a single object.
+    #[must_use]
+    pub fn object(mut self, object: impl Into<MobileObjectId>) -> Self {
+        self.object = Some(object.into());
+        self
+    }
+
+    /// Minimum raw probability to fire (default 0).
+    #[must_use]
+    pub fn min_probability(mut self, p: f64) -> Self {
+        self.min_probability = p;
+        self
+    }
+
+    /// Minimum §4.4 band to fire.
+    #[must_use]
+    pub fn min_band(mut self, band: ProbabilityBand) -> Self {
+        self.min_band = Some(band);
+        self
+    }
+
+    /// Fire on the rising edge (the default).
+    #[must_use]
+    pub fn on_enter(mut self) -> Self {
+        self.trigger = SubscriptionTrigger::OnEnter;
+        self
+    }
+
+    /// Fire on the falling edge.
+    #[must_use]
+    pub fn on_exit(mut self) -> Self {
+        self.trigger = SubscriptionTrigger::OnExit;
+        self
+    }
+
+    /// Fire on entry and then per `threshold` building units of movement.
+    #[must_use]
+    pub fn on_move(mut self, threshold: f64) -> Self {
+        self.trigger = SubscriptionTrigger::OnMove { threshold };
+        self
+    }
+
+    /// Sets a bounded inbox for consumers created with the subscription.
+    #[must_use]
+    pub fn bounded(mut self, capacity: usize, overflow: mw_bus::OverflowPolicy) -> Self {
+        self.delivery = DeliveryPolicy::Bounded { capacity, overflow };
+        self
+    }
+
+    /// Sets the delivery policy directly.
+    #[must_use]
+    pub fn delivery(mut self, policy: DeliveryPolicy) -> Self {
+        self.delivery = policy;
+        self
+    }
+
+    /// Validates and builds the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSubscription`] when the region is
+    /// missing, `min_probability` is outside `[0, 1]`, an on-move
+    /// threshold is not a positive finite number, or a bounded delivery
+    /// capacity is zero.
+    pub fn build(self) -> Result<SubscriptionSpec, CoreError> {
+        let region = self.region.ok_or_else(|| CoreError::InvalidSubscription {
+            reason: "a watched region is required".to_string(),
+        })?;
+        if !(0.0..=1.0).contains(&self.min_probability) {
+            return Err(CoreError::InvalidSubscription {
+                reason: format!("min_probability {} is outside [0, 1]", self.min_probability),
+            });
+        }
+        if let SubscriptionTrigger::OnMove { threshold } = self.trigger {
+            if !(threshold.is_finite() && threshold > 0.0) {
+                return Err(CoreError::InvalidSubscription {
+                    reason: format!("on-move threshold {threshold} must be positive and finite"),
+                });
+            }
+        }
+        if let DeliveryPolicy::Bounded { capacity, .. } = self.delivery {
+            if capacity == 0 {
+                return Err(CoreError::InvalidSubscription {
+                    reason: "bounded delivery needs capacity >= 1".to_string(),
+                });
+            }
+        }
+        Ok(SubscriptionSpec {
+            region,
+            object: self.object,
+            min_probability: self.min_probability,
+            min_band: self.min_band,
+            trigger: self.trigger,
+            delivery: self.delivery,
+        })
+    }
+}
+
 /// Internal: subscription bookkeeping with edge-triggering state.
 ///
 /// Watched regions live in an R-tree so an update only evaluates the
@@ -86,6 +280,9 @@ pub(crate) struct SubscriptionManager {
     /// Per object: the subscriptions whose condition held on the last
     /// evaluation (needed so leaving a region re-arms the edge trigger).
     currently_true: HashMap<MobileObjectId, Vec<SubscriptionId>>,
+    /// For on-move subscriptions: where the object was when the
+    /// subscription last fired.
+    fired_at: HashMap<(SubscriptionId, MobileObjectId), Point>,
 }
 
 impl SubscriptionManager {
@@ -103,12 +300,14 @@ impl SubscriptionManager {
         for set in self.currently_true.values_mut() {
             set.retain(|sid| *sid != id);
         }
+        self.fired_at.retain(|(sid, _), _| *sid != id);
         Some(spec)
     }
 
     /// The subscriptions worth evaluating for `object` given the evidence
     /// window: R-tree hits (could newly fire) plus currently-true ones
-    /// (could need re-arming), filtered by object.
+    /// (could need re-arming, firing on exit, or firing on movement),
+    /// filtered by object.
     pub(crate) fn candidates(
         &self,
         object: &MobileObjectId,
@@ -131,26 +330,48 @@ impl SubscriptionManager {
         out
     }
 
-    /// Records the evaluation of `(id, object)`; returns `true` when this
-    /// is a rising edge (condition newly true).
+    /// Records the evaluation of `(id, object)`; returns `true` when the
+    /// subscription's trigger fires on this transition. `position` is the
+    /// object's best-estimate center, used by on-move triggers.
     pub(crate) fn record(
         &mut self,
         id: SubscriptionId,
         object: &MobileObjectId,
         satisfied: bool,
+        position: Option<Point>,
     ) -> bool {
+        let trigger = self.subs.get(&id).map(|s| s.trigger).unwrap_or_default();
         let set = self.currently_true.entry(object.clone()).or_default();
         let was = set.contains(&id);
-        match (was, satisfied) {
-            (false, true) => {
-                set.push(id);
-                true
+        if satisfied && !was {
+            set.push(id);
+        } else if !satisfied && was {
+            set.retain(|sid| *sid != id);
+        }
+        match trigger {
+            SubscriptionTrigger::OnEnter => satisfied && !was,
+            SubscriptionTrigger::OnExit => !satisfied && was,
+            SubscriptionTrigger::OnMove { threshold } => {
+                if !satisfied {
+                    self.fired_at.remove(&(id, object.clone()));
+                    return false;
+                }
+                let Some(here) = position else {
+                    // Entry without a position still fires once.
+                    return !was;
+                };
+                match self.fired_at.get(&(id, object.clone())) {
+                    None => {
+                        self.fired_at.insert((id, object.clone()), here);
+                        true
+                    }
+                    Some(anchor) if anchor.distance(here) >= threshold => {
+                        self.fired_at.insert((id, object.clone()), here);
+                        true
+                    }
+                    Some(_) => false,
+                }
             }
-            (true, false) => {
-                set.retain(|sid| *sid != id);
-                false
-            }
-            _ => false,
         }
     }
 
@@ -176,6 +397,66 @@ mod tests {
         assert_eq!(spec.object, Some("alice".into()));
         assert_eq!(spec.min_band, Some(ProbabilityBand::High));
         assert_eq!(spec.min_probability, 0.5);
+        assert_eq!(spec.trigger, SubscriptionTrigger::OnEnter);
+        assert_eq!(spec.delivery, DeliveryPolicy::Unbounded);
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(matches!(
+            SubscriptionSpec::builder().build(),
+            Err(CoreError::InvalidSubscription { .. })
+        ));
+        assert!(matches!(
+            SubscriptionSpec::builder()
+                .region(region())
+                .min_probability(1.5)
+                .build(),
+            Err(CoreError::InvalidSubscription { .. })
+        ));
+        assert!(matches!(
+            SubscriptionSpec::builder()
+                .region(region())
+                .on_move(0.0)
+                .build(),
+            Err(CoreError::InvalidSubscription { .. })
+        ));
+        assert!(matches!(
+            SubscriptionSpec::builder()
+                .region(region())
+                .bounded(0, mw_bus::OverflowPolicy::DropOldest)
+                .build(),
+            Err(CoreError::InvalidSubscription { .. })
+        ));
+        let ok = SubscriptionSpec::builder()
+            .region(region())
+            .object("alice")
+            .min_probability(0.4)
+            .min_band(ProbabilityBand::Medium)
+            .on_move(2.0)
+            .bounded(8, mw_bus::OverflowPolicy::DropNewest)
+            .build()
+            .unwrap();
+        assert_eq!(ok.object, Some("alice".into()));
+        assert_eq!(ok.trigger, SubscriptionTrigger::OnMove { threshold: 2.0 });
+        assert_eq!(
+            ok.delivery,
+            DeliveryPolicy::Bounded {
+                capacity: 8,
+                overflow: mw_bus::OverflowPolicy::DropNewest
+            }
+        );
+    }
+
+    #[test]
+    fn region_entry_matches_builder() {
+        let shorthand = SubscriptionSpec::region_entry(region(), 0.5);
+        let built = SubscriptionSpec::builder()
+            .region(region())
+            .min_probability(0.5)
+            .build()
+            .unwrap();
+        assert_eq!(shorthand, built);
     }
 
     #[test]
@@ -184,37 +465,83 @@ mod tests {
         let id = m.add(SubscriptionSpec::region_entry(region(), 0.5));
         let alice: MobileObjectId = "alice".into();
         // False → no edge.
-        assert!(!m.record(id, &alice, false));
+        assert!(!m.record(id, &alice, false, None));
         // Rising edge.
-        assert!(m.record(id, &alice, true));
+        assert!(m.record(id, &alice, true, None));
         // Still true → no new notification.
-        assert!(!m.record(id, &alice, true));
+        assert!(!m.record(id, &alice, true, None));
         // Falls, then rises again.
-        assert!(!m.record(id, &alice, false));
-        assert!(m.record(id, &alice, true));
+        assert!(!m.record(id, &alice, false, None));
+        assert!(m.record(id, &alice, true, None));
+    }
+
+    #[test]
+    fn exit_triggering() {
+        let mut m = SubscriptionManager::default();
+        let id = m.add(
+            SubscriptionSpec::builder()
+                .region(region())
+                .on_exit()
+                .build()
+                .unwrap(),
+        );
+        let alice: MobileObjectId = "alice".into();
+        // Entering fires nothing.
+        assert!(!m.record(id, &alice, true, None));
+        assert!(!m.record(id, &alice, true, None));
+        // Leaving is the edge.
+        assert!(m.record(id, &alice, false, None));
+        // Staying out fires nothing; re-entering re-arms.
+        assert!(!m.record(id, &alice, false, None));
+        assert!(!m.record(id, &alice, true, None));
+        assert!(m.record(id, &alice, false, None));
+    }
+
+    #[test]
+    fn move_triggering() {
+        let mut m = SubscriptionManager::default();
+        let id = m.add(
+            SubscriptionSpec::builder()
+                .region(region())
+                .on_move(3.0)
+                .build()
+                .unwrap(),
+        );
+        let alice: MobileObjectId = "alice".into();
+        let p = Point::new(1.0, 1.0);
+        // Entry fires and anchors.
+        assert!(m.record(id, &alice, true, Some(p)));
+        // Sub-threshold jiggle: silent.
+        assert!(!m.record(id, &alice, true, Some(Point::new(2.0, 1.0))));
+        // Past the threshold from the anchor: fires and re-anchors.
+        assert!(m.record(id, &alice, true, Some(Point::new(4.5, 1.0))));
+        assert!(!m.record(id, &alice, true, Some(Point::new(5.0, 1.0))));
+        // Leaving clears the anchor; re-entry fires afresh.
+        assert!(!m.record(id, &alice, false, Some(Point::new(50.0, 50.0))));
+        assert!(m.record(id, &alice, true, Some(Point::new(5.0, 1.0))));
     }
 
     #[test]
     fn state_is_per_object() {
         let mut m = SubscriptionManager::default();
         let id = m.add(SubscriptionSpec::region_entry(region(), 0.5));
-        assert!(m.record(id, &"alice".into(), true));
+        assert!(m.record(id, &"alice".into(), true, None));
         // Bob's first satisfaction is its own edge.
-        assert!(m.record(id, &"bob".into(), true));
+        assert!(m.record(id, &"bob".into(), true, None));
     }
 
     #[test]
     fn remove_clears_state() {
         let mut m = SubscriptionManager::default();
         let id = m.add(SubscriptionSpec::region_entry(region(), 0.5));
-        m.record(id, &"alice".into(), true);
+        m.record(id, &"alice".into(), true, None);
         assert!(m.remove(id).is_some());
         assert_eq!(m.len(), 0);
         assert!(m.remove(id).is_none());
         // Re-adding gets a fresh id and fresh state.
         let id2 = m.add(SubscriptionSpec::region_entry(region(), 0.5));
         assert_ne!(id, id2);
-        assert!(m.record(id2, &"alice".into(), true));
+        assert!(m.record(id2, &"alice".into(), true, None));
     }
 
     #[test]

@@ -3,12 +3,60 @@
 
 use mw_geometry::Rect;
 use mw_model::SimTime;
+use mw_obs::MetricsRegistry;
 use mw_sensors::SensorReading;
 
 use crate::bayes::{posterior_general, SensorEvidence};
-use crate::conflict::{self, ConflictOutcome};
+use crate::conflict::{self, ConflictOutcome, ConflictRule};
 use crate::lattice::RegionLattice;
 use crate::{BandThresholds, FusionError, NodeId, ProbabilityBand};
+
+/// Metric handles updated by [`FusionEngine::fuse`], resolved once at
+/// [`FusionEngine::with_metrics`] time (names under `fusion.*`, see
+/// `DESIGN.md` §8).
+#[derive(Debug, Clone)]
+struct FusionMetrics {
+    fuse_count: mw_obs::Counter,
+    fuse_latency: mw_obs::Histogram,
+    lattice_size: mw_obs::Gauge,
+    lattice_size_hist: mw_obs::Histogram,
+    evidence_kept: mw_obs::Gauge,
+    conflict_none: mw_obs::Counter,
+    conflict_moving_wins: mw_obs::Counter,
+    conflict_higher_probability_wins: mw_obs::Counter,
+}
+
+impl FusionMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        FusionMetrics {
+            fuse_count: registry.counter("fusion.fuse.count"),
+            fuse_latency: registry.histogram("fusion.fuse.latency_us"),
+            lattice_size: registry.gauge("fusion.lattice.size"),
+            lattice_size_hist: registry.histogram("fusion.lattice.size_hist"),
+            evidence_kept: registry.gauge("fusion.evidence.kept"),
+            conflict_none: registry.counter("fusion.conflict.none"),
+            conflict_moving_wins: registry.counter("fusion.conflict.moving_wins"),
+            conflict_higher_probability_wins: registry
+                .counter("fusion.conflict.higher_probability_wins"),
+        }
+    }
+
+    fn record(&self, result: &FusionResult, elapsed: std::time::Duration) {
+        self.fuse_count.inc();
+        self.fuse_latency.observe(elapsed);
+        let size = result.lattice.len() as u64;
+        #[allow(clippy::cast_precision_loss)]
+        self.lattice_size.set(size as f64);
+        self.lattice_size_hist.record(size);
+        #[allow(clippy::cast_precision_loss)]
+        self.evidence_kept.set(result.conflict.kept.len() as f64);
+        match result.conflict.rule {
+            ConflictRule::NoConflict => self.conflict_none.inc(),
+            ConflictRule::MovingWins => self.conflict_moving_wins.inc(),
+            ConflictRule::HigherProbabilityWins => self.conflict_higher_probability_wins.inc(),
+        }
+    }
+}
 
 /// A location estimate for one object: the most specific region the
 /// sensors support, with its posterior probability and band.
@@ -124,6 +172,8 @@ pub struct FusionEngine {
     /// Motion-model extension: ft/s by which aging readings' regions
     /// grow. 0 disables (the paper's model).
     aging_inflation_ft_per_s: f64,
+    /// Observability handles; `None` keeps fusion unmeasured.
+    metrics: Option<FusionMetrics>,
 }
 
 impl FusionEngine {
@@ -133,7 +183,22 @@ impl FusionEngine {
         FusionEngine {
             universe,
             aging_inflation_ft_per_s: 0.0,
+            metrics: None,
         }
+    }
+
+    /// Publishes fusion metrics (`fusion.*`: fuse count/latency,
+    /// lattice sizes, surviving-evidence gauge, conflict-rule counters)
+    /// to `registry` on every [`FusionEngine::fuse`].
+    #[must_use]
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.bind_metrics(registry);
+        self
+    }
+
+    /// In-place variant of [`FusionEngine::with_metrics`].
+    pub fn bind_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(FusionMetrics::new(registry));
     }
 
     /// Enables the motion-model extension: every reading's rectangle is
@@ -183,6 +248,7 @@ impl FusionEngine {
     /// (prevented by [`FusionEngine::new`] callers in this workspace).
     #[must_use]
     pub fn fuse(&self, readings: &[SensorReading], now: SimTime) -> FusionResult {
+        let started = std::time::Instant::now();
         // 1. Keep only live readings, applying the aging motion model.
         let live: Vec<&SensorReading> = readings
             .iter()
@@ -224,11 +290,15 @@ impl FusionEngine {
 
         let lattice = RegionLattice::build(self.universe, evidence)
             .expect("engine universe has positive area");
-        FusionResult {
+        let result = FusionResult {
             lattice,
             conflict,
             thresholds,
+        };
+        if let Some(metrics) = &self.metrics {
+            metrics.record(&result, started.elapsed());
         }
+        result
     }
 
     /// Direct Equation-7 evaluation without building a lattice — the fast
@@ -525,6 +595,44 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_inflation_rejected() {
         let _ = FusionEngine::new(r(0.0, 0.0, 1.0, 1.0)).with_aging_inflation(-1.0);
+    }
+
+    #[test]
+    fn fuse_records_metrics() {
+        let registry = MetricsRegistry::new();
+        let e = engine().with_metrics(&registry);
+        let readings = vec![
+            reading(
+                r(10.0, 10.0, 12.0, 12.0),
+                true,
+                SensorSpec::ubisense(0.9),
+                0.0,
+                60.0,
+            ),
+            reading(
+                r(400.0, 80.0, 420.0, 95.0),
+                false,
+                SensorSpec::rfid_badge(0.8),
+                0.0,
+                60.0,
+            ),
+        ];
+        let result = e.fuse(&readings, SimTime::ZERO);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("fusion.fuse.count"), Some(1));
+        #[allow(clippy::cast_precision_loss)]
+        let expected_size = result.lattice().len() as f64;
+        assert_eq!(snap.gauge("fusion.lattice.size"), Some(expected_size));
+        assert_eq!(snap.gauge("fusion.evidence.kept"), Some(1.0));
+        assert_eq!(snap.counter("fusion.conflict.moving_wins"), Some(1));
+        assert_eq!(snap.counter("fusion.conflict.none"), Some(0));
+        assert_eq!(snap.histogram("fusion.fuse.latency_us").unwrap().count, 1);
+        assert_eq!(snap.histogram("fusion.lattice.size_hist").unwrap().count, 1);
+        // A second fuse with clean readings hits the no-conflict counter.
+        let _ = e.fuse(&readings[..1], SimTime::ZERO);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("fusion.fuse.count"), Some(2));
+        assert_eq!(snap.counter("fusion.conflict.none"), Some(1));
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Observability layer for the MiddleWhere pipeline: metrics + tracing.
+//!
+//! The middleware sits between many sensors and many applications
+//! (paper §2, Figure 1), which makes it exactly the component whose
+//! ingest latency, fusion cost, and subscription fan-out must be
+//! measurable before it can be scaled. This crate provides that
+//! measurement layer with **zero external dependencies** beyond the
+//! workspace shims:
+//!
+//! - [`MetricsRegistry`] — a cheap-to-clone handle to a named set of
+//!   [`Counter`]s, [`Gauge`]s, and fixed-bucket latency [`Histogram`]s.
+//!   Handles are resolved once at component construction and then
+//!   updated lock-free on the hot path.
+//! - [`Tracer`] — a lightweight `span!`-style tracing facade with a
+//!   bounded ring-buffer event sink and pluggable [`TraceSubscriber`]s.
+//! - [`Snapshot`] — a point-in-time, deterministic (sorted) view of a
+//!   registry, serializable through the `serde_json` shim so it can be
+//!   answered over a stats RPC, published on a topic, or dumped to a
+//!   `BENCH_*.json` file.
+//!
+//! # Metric naming scheme
+//!
+//! Names are dotted, lowercase, coarse-to-fine:
+//! `<layer>.<component>.<metric>[_<unit>]` — e.g.
+//! `core.ingest.latency_us`, `fusion.lattice.size`,
+//! `bus.client.duplicates_discarded`. Durations are always recorded in
+//! microseconds and suffixed `_us`. See `DESIGN.md` §8 for the full
+//! taxonomy.
+//!
+//! # Example
+//!
+//! ```
+//! use mw_obs::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new();
+//! let ingested = registry.counter("core.ingest.readings");
+//! let latency = registry.histogram("core.ingest.latency_us");
+//!
+//! ingested.inc();
+//! {
+//!     let _timer = latency.start_timer(); // records on drop
+//! }
+//!
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("core.ingest.readings"), Some(1));
+//! assert_eq!(snap.histogram("core.ingest.latency_us").unwrap().count, 1);
+//! let json = snap.to_json_pretty();
+//! assert!(json.contains("core.ingest.readings"));
+//! ```
+
+pub mod metrics;
+pub mod snapshot;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramTimer, MetricsRegistry};
+pub use snapshot::{BucketCount, CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot};
+pub use trace::{SpanGuard, TraceEvent, TraceSubscriber, Tracer};

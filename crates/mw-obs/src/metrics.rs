@@ -1,0 +1,406 @@
+//! Atomic counters, gauges, and fixed-bucket histograms behind a
+//! cheap-to-clone registry.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`-backed:
+//! resolve them once by name at component construction, then update
+//! them on the hot path without touching the registry's maps again.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+
+use crate::snapshot::{BucketCount, CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot};
+use crate::trace::Tracer;
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (useful as a field
+    /// default; swap in a registry-backed one to publish it).
+    #[must_use]
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge storing an `f64`.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (`0.0` if never set).
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Upper bounds (inclusive) of the histogram buckets, in the recorded
+/// unit (microseconds for `_us` histograms). A 1-2-5 ladder from 1 µs
+/// to 1 s; values above the last bound land in an implicit overflow
+/// bucket whose count is `count - Σ buckets`.
+pub const BUCKET_BOUNDS: [u64; 19] = [
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+    200_000, 500_000, 1_000_000,
+];
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; BUCKET_BOUNDS.len()],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-bucket histogram with p50/p95/p99 summaries.
+///
+/// Designed for latencies in microseconds but unit-agnostic: any
+/// non-negative integer series whose interesting range fits the
+/// [1, 1 000 000] 1-2-5 ladder works (lattice sizes, fan-out counts).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// A histogram not attached to any registry.
+    #[must_use]
+    pub fn detached() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        let core = &*self.0;
+        if let Some(i) = BUCKET_BOUNDS.iter().position(|&le| value <= le) {
+            core.buckets[i].fetch_add(1, Ordering::Relaxed);
+        }
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(value, Ordering::Relaxed);
+        core.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in microseconds.
+    pub fn observe(&self, elapsed: Duration) {
+        self.record(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Starts a timer that records its elapsed microseconds on drop.
+    #[must_use]
+    pub fn start_timer(&self) -> HistogramTimer {
+        HistogramTimer {
+            histogram: self.clone(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Estimates the `q`-quantile (`0 < q <= 1`) as the upper bound of
+    /// the bucket holding the target rank; values past the ladder
+    /// report the exact observed maximum.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let core = &*self.0;
+        let count = core.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0;
+        for (i, bucket) in core.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= target {
+                return BUCKET_BOUNDS[i];
+            }
+        }
+        core.max.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let core = &*self.0;
+        let buckets = BUCKET_BOUNDS
+            .iter()
+            .zip(core.buckets.iter())
+            .map(|(&le, count)| BucketCount {
+                le,
+                count: count.load(Ordering::Relaxed),
+            })
+            .filter(|b| b.count > 0)
+            .collect();
+        HistogramSnapshot {
+            name: name.to_string(),
+            count: core.count.load(Ordering::Relaxed),
+            sum: core.sum.load(Ordering::Relaxed),
+            max: core.max.load(Ordering::Relaxed),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            buckets,
+        }
+    }
+}
+
+/// A guard that records the time since its creation into a histogram
+/// when dropped.
+#[derive(Debug)]
+pub struct HistogramTimer {
+    histogram: Histogram,
+    start: Instant,
+}
+
+impl HistogramTimer {
+    /// Stops the timer early, recording now instead of at drop.
+    pub fn stop(self) {}
+}
+
+impl Drop for HistogramTimer {
+    fn drop(&mut self) {
+        self.histogram.observe(self.start.elapsed());
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    histograms: RwLock<BTreeMap<String, Histogram>>,
+    tracer: Tracer,
+}
+
+/// A named family of metrics. Cloning is cheap and every clone sees
+/// the same metrics, so one registry can be threaded through the
+/// whole pipeline (sensors → fusion → core → bus) and snapshotted
+/// from anywhere.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on
+    /// first use. Repeated calls with the same name return handles to
+    /// the same underlying value.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.inner.counters.read().get(name) {
+            return c.clone();
+        }
+        self.inner
+            .counters
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.inner.gauges.read().get(name) {
+            return g.clone();
+        }
+        self.inner
+            .gauges
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the histogram registered under `name`, creating it on
+    /// first use.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(h) = self.inner.histograms.read().get(name) {
+            return h.clone();
+        }
+        self.inner
+            .histograms
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The tracer attached to this registry.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
+    /// A deterministic (name-sorted) point-in-time view of every
+    /// metric in the registry.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .inner
+            .counters
+            .read()
+            .iter()
+            .map(|(name, c)| CounterSnapshot {
+                name: name.clone(),
+                value: c.get(),
+            })
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .read()
+            .iter()
+            .map(|(name, g)| GaugeSnapshot {
+                name: name.clone(),
+                value: g.get(),
+            })
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .read()
+            .iter()
+            .map(|(name, h)| h.snapshot(name))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_state() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("x").get(), 3);
+    }
+
+    #[test]
+    fn gauge_stores_last_value() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("depth");
+        assert_eq!(g.get(), 0.0);
+        g.set(4.5);
+        assert_eq!(reg.gauge("depth").get(), 4.5);
+    }
+
+    #[test]
+    fn histogram_quantiles_use_bucket_bounds() {
+        let h = Histogram::detached();
+        // 90 fast (≤10) and 10 slow (≤1000) observations.
+        for _ in 0..90 {
+            h.record(7);
+        }
+        for _ in 0..10 {
+            h.record(900);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.50), 10);
+        assert_eq!(h.quantile(0.95), 1_000);
+        assert_eq!(h.quantile(0.99), 1_000);
+    }
+
+    #[test]
+    fn histogram_overflow_reports_observed_max() {
+        let h = Histogram::detached();
+        h.record(5);
+        h.record(2_000_000); // beyond the ladder
+        assert_eq!(h.quantile(1.0), 2_000_000);
+        let snap = h.snapshot("t");
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.max, 2_000_000);
+        let bucketed: u64 = snap.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(snap.count - bucketed, 1, "one value in the overflow bucket");
+    }
+
+    #[test]
+    fn timer_records_on_drop() {
+        let h = Histogram::detached();
+        {
+            let _t = h.start_timer();
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Histogram::detached();
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.two").inc();
+        reg.counter("a.one").add(5);
+        reg.gauge("z.gauge").set(1.25);
+        reg.histogram("m.hist").record(42);
+        let snap = reg.snapshot();
+        let names: Vec<_> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["a.one", "b.two"]);
+        assert_eq!(snap.counter("a.one"), Some(5));
+        assert_eq!(snap.gauge("z.gauge"), Some(1.25));
+        assert_eq!(snap.histogram("m.hist").unwrap().count, 1);
+        assert_eq!(snap.counter("missing"), None);
+    }
+}

@@ -1,0 +1,182 @@
+//! Serializable point-in-time views of a [`MetricsRegistry`].
+//!
+//! A [`Snapshot`] is plain data: `Vec`s of small named structs, sorted
+//! by name, so two snapshots of the same state serialize identically.
+//! It round-trips through the `serde_json` shim, which is how it
+//! travels over the stats RPC, the snapshot topic, and into
+//! `BENCH_*.json` files.
+//!
+//! [`MetricsRegistry`]: crate::MetricsRegistry
+
+use serde::{Deserialize, Serialize};
+
+/// One counter's name and value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Dotted metric name (see the crate docs for the scheme).
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// One gauge's name and value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Dotted metric name.
+    pub name: String,
+    /// Value at snapshot time (`0.0` if never set).
+    pub value: f64,
+}
+
+/// Count of observations at or below `le` (one histogram bucket).
+/// Empty buckets are omitted; observations above the last ladder bound
+/// live in an implicit overflow bucket of size `count - Σ buckets`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Inclusive upper bound of the bucket, in the recorded unit.
+    pub le: u64,
+    /// Observations that fell at or below `le` but above the previous
+    /// bound.
+    pub count: u64,
+}
+
+/// One histogram's summary and (non-empty) buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Dotted metric name; `_us` suffix means microseconds.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value (exact, even past the bucket ladder).
+    pub max: u64,
+    /// Median estimate (upper bound of the median's bucket).
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// Non-empty buckets in ascending `le` order.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, or `0.0` with no observations.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.sum as f64 / self.count as f64
+            }
+        }
+    }
+}
+
+/// A point-in-time view of every metric in a registry, sorted by name.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// All counters, name-sorted.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, name-sorted.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, name-sorted.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Value of the counter named `name`, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Value of the gauge named `name`, if present.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// The histogram named `name`, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Compact JSON encoding.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_default()
+    }
+
+    /// Pretty-printed JSON encoding (the `BENCH_*.json` format).
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+
+    /// Parses a snapshot back from its JSON encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns the shim's deserialization error when `json` is not a
+    /// snapshot.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("bus.client.reconnects").add(3);
+        reg.gauge("fusion.lattice.size").set(10.0);
+        let h = reg.histogram("core.ingest.latency_us");
+        for v in [3, 8, 8, 40, 700] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let parsed = Snapshot::from_json(&snap.to_json()).expect("parse");
+        assert_eq!(parsed, snap);
+        let pretty = Snapshot::from_json(&snap.to_json_pretty()).expect("parse pretty");
+        assert_eq!(pretty, snap);
+    }
+
+    #[test]
+    fn lookups_on_empty_snapshot() {
+        let snap = Snapshot::default();
+        assert_eq!(snap.counter("x"), None);
+        assert_eq!(snap.gauge("x"), None);
+        assert!(snap.histogram("x").is_none());
+    }
+
+    #[test]
+    fn mean_of_histogram_snapshot() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h");
+        h.record(10);
+        h.record(30);
+        let snap = reg.snapshot();
+        let hs = snap.histogram("h").unwrap();
+        assert_eq!(hs.mean(), 20.0);
+        assert_eq!(
+            HistogramSnapshot {
+                count: 0,
+                ..hs.clone()
+            }
+            .mean(),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! A lightweight `span!`-style tracing facade.
+//!
+//! A [`Tracer`] records [`TraceEvent`]s into a bounded ring buffer
+//! (oldest events are evicted first) and fans each event out to any
+//! registered [`TraceSubscriber`]s. Spans are RAII guards: [`span!`]
+//! or [`Tracer::span`] opens one, and dropping the guard records the
+//! span's duration.
+//!
+//! Span names follow the same dotted taxonomy as metric names
+//! (`core.ingest`, `fusion.fuse`, `bus.frame.recv`, …); see
+//! `DESIGN.md` §8.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+
+/// One recorded trace event: an instant annotation or a closed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number, unique per tracer.
+    pub seq: u64,
+    /// Dotted span name (`core.ingest`, `fusion.fuse`, …).
+    pub span: String,
+    /// Free-form detail, empty for bare spans.
+    pub detail: String,
+    /// Span duration in microseconds; `0` for instant events.
+    pub elapsed_us: u64,
+}
+
+/// Receives every event a [`Tracer`] records, in order.
+pub trait TraceSubscriber: Send + Sync {
+    /// Called synchronously from the recording thread.
+    fn on_event(&self, event: &TraceEvent);
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    ring: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+    seq: AtomicU64,
+    enabled: AtomicBool,
+    subscribers: RwLock<Vec<Arc<dyn TraceSubscriber>>>,
+}
+
+impl std::fmt::Debug for dyn TraceSubscriber {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TraceSubscriber")
+    }
+}
+
+/// Default ring-buffer capacity.
+pub const DEFAULT_RING_CAPACITY: usize = 256;
+
+/// Records trace events into a ring buffer and fans them out to
+/// subscribers. Cloning is cheap; clones share the same sink.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl Tracer {
+    /// A tracer whose ring buffer keeps the last `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "tracer ring buffer needs capacity >= 1");
+        Tracer {
+            inner: Arc::new(TracerInner {
+                ring: Mutex::new(VecDeque::with_capacity(capacity)),
+                capacity,
+                seq: AtomicU64::new(0),
+                enabled: AtomicBool::new(true),
+                subscribers: RwLock::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Turns recording on or off; a disabled tracer drops events and
+    /// spans without touching the ring buffer or subscribers.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether events are currently recorded.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Registers a subscriber; it sees every event recorded after this
+    /// call.
+    pub fn subscribe(&self, subscriber: Arc<dyn TraceSubscriber>) {
+        self.inner.subscribers.write().push(subscriber);
+    }
+
+    /// Records an instant event.
+    pub fn event(&self, span: &str, detail: impl Into<String>) {
+        self.record(span, detail.into(), 0);
+    }
+
+    /// Opens a span; dropping the returned guard records its duration.
+    #[must_use]
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.span_with(name, String::new())
+    }
+
+    /// Opens a span carrying a free-form detail string.
+    #[must_use]
+    pub fn span_with(&self, name: &str, detail: impl Into<String>) -> SpanGuard {
+        SpanGuard {
+            tracer: self.clone(),
+            name: name.to_string(),
+            detail: detail.into(),
+            start: Instant::now(),
+        }
+    }
+
+    /// The buffered events, oldest first. At most `capacity` events
+    /// are retained.
+    #[must_use]
+    pub fn recent(&self) -> Vec<TraceEvent> {
+        self.inner.ring.lock().iter().cloned().collect()
+    }
+
+    /// Total events recorded since creation (including evicted ones).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.inner.seq.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, span: &str, detail: String, elapsed_us: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let event = TraceEvent {
+            seq: self.inner.seq.fetch_add(1, Ordering::Relaxed),
+            span: span.to_string(),
+            detail,
+            elapsed_us,
+        };
+        {
+            let mut ring = self.inner.ring.lock();
+            if ring.len() == self.inner.capacity {
+                ring.pop_front();
+            }
+            ring.push_back(event.clone());
+        }
+        for sub in self.inner.subscribers.read().iter() {
+            sub.on_event(&event);
+        }
+    }
+}
+
+/// RAII guard for an open span; records the span on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    tracer: Tracer,
+    name: String,
+    detail: String,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Closes the span now instead of at end of scope.
+    pub fn close(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.tracer
+            .record(&self.name, std::mem::take(&mut self.detail), elapsed);
+    }
+}
+
+/// Opens a span on a tracer: `span!(tracer, "core.ingest")` or, with a
+/// formatted detail, `span!(tracer, "core.ingest", "object={id}")`.
+/// The span closes (and records) when the returned guard drops.
+#[macro_export]
+macro_rules! span {
+    ($tracer:expr, $name:expr) => {
+        $tracer.span($name)
+    };
+    ($tracer:expr, $name:expr, $($fmt:tt)+) => {
+        $tracer.span_with($name, format!($($fmt)+))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_and_spans_land_in_the_ring() {
+        let tracer = Tracer::new(8);
+        tracer.event("core.ingest", "reading accepted");
+        {
+            let _span = tracer.span("fusion.fuse");
+        }
+        let events = tracer.recent();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].span, "core.ingest");
+        assert_eq!(events[0].detail, "reading accepted");
+        assert_eq!(events[0].elapsed_us, 0);
+        assert_eq!(events[1].span, "fusion.fuse");
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let tracer = Tracer::new(3);
+        for i in 0..5 {
+            tracer.event("e", format!("{i}"));
+        }
+        let events = tracer.recent();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].detail, "2");
+        assert_eq!(events[2].detail, "4");
+        assert_eq!(tracer.recorded(), 5);
+    }
+
+    #[test]
+    fn subscribers_see_every_event() {
+        struct Collect(Mutex<Vec<String>>);
+        impl TraceSubscriber for Collect {
+            fn on_event(&self, event: &TraceEvent) {
+                self.0.lock().push(event.span.clone());
+            }
+        }
+        let tracer = Tracer::new(4);
+        let sink = Arc::new(Collect(Mutex::new(Vec::new())));
+        tracer.subscribe(Arc::clone(&sink) as Arc<dyn TraceSubscriber>);
+        tracer.event("a", "");
+        {
+            let _s = span!(tracer, "b", "obj={}", 7);
+        }
+        assert_eq!(*sink.0.lock(), vec!["a".to_string(), "b".to_string()]);
+        let events = tracer.recent();
+        assert_eq!(events[1].detail, "obj=7");
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::new(4);
+        tracer.set_enabled(false);
+        tracer.event("a", "");
+        {
+            let _s = tracer.span("b");
+        }
+        assert!(tracer.recent().is_empty());
+        assert_eq!(tracer.recorded(), 0);
+        tracer.set_enabled(true);
+        tracer.event("c", "");
+        assert_eq!(tracer.recent().len(), 1);
+    }
+}

@@ -24,10 +24,12 @@
 mod adapter;
 pub mod adapters;
 mod error;
+mod instrument;
 mod reading;
 mod spec;
 
 pub use adapter::{Adapter, AdapterId, AdapterOutput, MovementTracker, Revocation};
 pub use error::SensorError;
+pub use instrument::InstrumentedAdapter;
 pub use reading::{MobileObjectId, SensorId, SensorReading};
 pub use spec::{MisidentModel, SensorSpec, SensorType};

@@ -264,7 +264,14 @@ impl Simulation {
                 for (_, rect) in &rooms {
                     let p = self
                         .service
-                        .probability_in_rect(&person.id, rect, self.clock);
+                        .query(
+                            mw_core::LocationQuery::of(person.id.clone())
+                                .in_rect(*rect)
+                                .at(self.clock),
+                        )
+                        .ok()
+                        .and_then(|a| a.probability())
+                        .unwrap_or(0.0);
                     if p <= 0.0 {
                         continue; // untracked or impossible: skip
                     }

@@ -33,6 +33,33 @@ pub struct SpatialDatabase {
     readings: SensorReadingTable,
     sensor_meta: SensorMetaTable,
     triggers: TriggerManager,
+    metrics: Option<DbMetrics>,
+}
+
+/// Metric handles updated by database operations, resolved once at
+/// [`SpatialDatabase::bind_metrics`] time (names under `db.*`, see
+/// `DESIGN.md` §8).
+#[derive(Debug, Clone)]
+struct DbMetrics {
+    readings_inserted: mw_obs::Counter,
+    readings_revoked: mw_obs::Counter,
+    readings_pruned: mw_obs::Counter,
+    live_queries: mw_obs::Counter,
+    triggers_fired: mw_obs::Counter,
+    objects: mw_obs::Gauge,
+}
+
+impl DbMetrics {
+    fn new(registry: &mw_obs::MetricsRegistry) -> Self {
+        DbMetrics {
+            readings_inserted: registry.counter("db.readings_inserted"),
+            readings_revoked: registry.counter("db.readings_revoked"),
+            readings_pruned: registry.counter("db.readings_pruned"),
+            live_queries: registry.counter("db.live_queries"),
+            triggers_fired: registry.counter("db.triggers_fired"),
+            objects: registry.gauge("db.objects"),
+        }
+    }
 }
 
 impl SpatialDatabase {
@@ -40,6 +67,16 @@ impl SpatialDatabase {
     #[must_use]
     pub fn new() -> Self {
         SpatialDatabase::default()
+    }
+
+    /// Publishes database metrics (`db.*`: reading insert/revoke/prune
+    /// counters, live-reading query counts, trigger firings, object
+    /// gauge) to `registry`. Unmeasured until called.
+    pub fn bind_metrics(&mut self, registry: &mw_obs::MetricsRegistry) {
+        let metrics = DbMetrics::new(registry);
+        #[allow(clippy::cast_precision_loss)]
+        metrics.objects.set(self.objects.len() as f64);
+        self.metrics = Some(metrics);
     }
 
     // --- physical space -------------------------------------------------
@@ -50,7 +87,12 @@ impl SpatialDatabase {
     ///
     /// Returns [`DbError::DuplicateObject`] when the combined key exists.
     pub fn insert_object(&mut self, object: SpatialObject) -> Result<(), DbError> {
-        self.objects.insert(object)
+        self.objects.insert(object)?;
+        if let Some(metrics) = &self.metrics {
+            #[allow(clippy::cast_precision_loss)]
+            metrics.objects.set(self.objects.len() as f64);
+        }
+        Ok(())
     }
 
     /// Removes a spatial object by combined key.
@@ -59,7 +101,12 @@ impl SpatialDatabase {
     ///
     /// Returns [`DbError::UnknownObject`] when the key does not exist.
     pub fn remove_object(&mut self, key: &str) -> Result<SpatialObject, DbError> {
-        self.objects.remove(key)
+        let removed = self.objects.remove(key)?;
+        if let Some(metrics) = &self.metrics {
+            #[allow(clippy::cast_precision_loss)]
+            metrics.objects.set(self.objects.len() as f64);
+        }
+        Ok(removed)
     }
 
     /// Read access to the physical-space table.
@@ -81,13 +128,21 @@ impl SpatialDatabase {
     pub fn insert_reading(&mut self, reading: SensorReading, now: SimTime) -> Vec<TriggerEvent> {
         let events = self.triggers.on_insert(&reading, now);
         self.readings.insert(reading);
+        if let Some(metrics) = &self.metrics {
+            metrics.readings_inserted.inc();
+            metrics.triggers_fired.add(events.len() as u64);
+        }
         events
     }
 
     /// Revokes all readings from `sensor` about `object` (logout
     /// semantics). Returns how many rows were dropped.
     pub fn revoke_readings(&mut self, sensor: &SensorId, object: &MobileObjectId) -> usize {
-        self.readings.revoke(sensor, object)
+        let revoked = self.readings.revoke(sensor, object);
+        if let Some(metrics) = &self.metrics {
+            metrics.readings_revoked.add(revoked as u64);
+        }
+        revoked
     }
 
     /// Read access to the sensor-reading table.
@@ -98,7 +153,11 @@ impl SpatialDatabase {
 
     /// Prunes expired readings.
     pub fn prune_expired(&mut self, now: SimTime) -> usize {
-        self.readings.prune_expired(now)
+        let pruned = self.readings.prune_expired(now);
+        if let Some(metrics) = &self.metrics {
+            metrics.readings_pruned.add(pruned as u64);
+        }
+        pruned
     }
 
     // --- sensor metadata ---------------------------------------------------
@@ -145,6 +204,9 @@ impl SpatialDatabase {
     /// All live readings about one object at `now` (the fusion input).
     #[must_use]
     pub fn live_readings_for(&self, object: &MobileObjectId, now: SimTime) -> Vec<SensorReading> {
+        if let Some(metrics) = &self.metrics {
+            metrics.live_queries.inc();
+        }
         self.readings.readings_for(object, now).cloned().collect()
     }
 
@@ -218,6 +280,36 @@ mod tests {
         assert_eq!(events[0].trigger, id);
         // Readings are stored.
         assert_eq!(db.readings().len(), 1);
+    }
+
+    #[test]
+    fn metrics_track_database_operations() {
+        let registry = mw_obs::MetricsRegistry::new();
+        let mut db = db_with_floor();
+        db.bind_metrics(&registry);
+        assert_eq!(registry.snapshot().gauge("db.objects"), Some(2.0));
+
+        db.register_trigger(TriggerSpec {
+            region: r(330.0, 0.0, 350.0, 30.0),
+            object: Some("alice".into()),
+        });
+        db.insert_reading(
+            reading("alice", r(340.0, 10.0, 341.0, 11.0), 0.0),
+            SimTime::ZERO,
+        );
+        db.insert_reading(reading("bob", r(5.0, 5.0, 6.0, 6.0), 0.0), SimTime::ZERO);
+        let _ = db.live_readings_for(&"alice".into(), SimTime::from_secs(1.0));
+        let revoked = db.revoke_readings(&"Ubi-18".into(), &"bob".into());
+        assert_eq!(revoked, 1);
+        let pruned = db.prune_expired(SimTime::from_secs(20.0));
+        assert_eq!(pruned, 1);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("db.readings_inserted"), Some(2));
+        assert_eq!(snap.counter("db.triggers_fired"), Some(1));
+        assert_eq!(snap.counter("db.live_queries"), Some(1));
+        assert_eq!(snap.counter("db.readings_revoked"), Some(1));
+        assert_eq!(snap.counter("db.readings_pruned"), Some(1));
     }
 
     #[test]

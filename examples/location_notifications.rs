@@ -11,7 +11,7 @@
 
 use std::collections::BTreeSet;
 
-use middlewhere::core::{Notification, SubscriptionSpec, NOTIFICATION_TOPIC};
+use middlewhere::core::{LocationQuery, Notification, SubscriptionSpec, NOTIFICATION_TOPIC};
 use middlewhere::model::SimDuration;
 use mw_sim::{building, DeploymentConfig, SimConfig, Simulation};
 
@@ -75,7 +75,10 @@ fn main() {
         let now = sim.clock();
         roster.retain(|person| {
             sim.service()
-                .probability_in_rect(&person.as_str().into(), &netlab, now)
+                .query(LocationQuery::of(person.as_str()).in_rect(netlab).at(now))
+                .ok()
+                .and_then(|a| a.probability())
+                .unwrap_or(0.0)
                 > 0.3
         });
     }

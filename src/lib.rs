@@ -18,6 +18,7 @@ pub use mw_core as core;
 pub use mw_fusion as fusion;
 pub use mw_geometry as geometry;
 pub use mw_model as model;
+pub use mw_obs as obs;
 pub use mw_reasoning as reasoning;
 pub use mw_sensors as sensors;
 pub use mw_sim as sim;

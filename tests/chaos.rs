@@ -18,6 +18,7 @@ use mw_bus::remote::{
 };
 use mw_bus::transport::{FrameTransport, TcpFrameTransport};
 use mw_bus::Broker;
+use mw_obs::MetricsRegistry;
 
 /// Fixed seed for the randomized scenarios; CI runs exactly this
 /// schedule.
@@ -133,6 +134,143 @@ fn duplicated_and_dropped_frames_yield_exactly_once_delivery() {
     assert!(stats.duplicates_discarded >= 2, "{stats:?}");
     assert!(stats.gaps_detected >= 2, "{stats:?}");
     assert_eq!(stats.frames_lost, 0, "{stats:?}");
+}
+
+#[test]
+fn metrics_counters_match_the_scripted_chaos_exactly() {
+    // The same scenario as above, but observed through a shared
+    // `MetricsRegistry`: every counter in the snapshot must agree with
+    // the scripted fault schedule and with the stats structs both sides
+    // kept. Fixed script, so these are invariants, not bounds.
+    let registry = MetricsRegistry::new();
+    let broker = Broker::new();
+    let topic = broker.topic::<u64>("chaos-metrics");
+    let server = RemoteTopicServer::bind_with(
+        "127.0.0.1:0",
+        topic.clone(),
+        ServerOptions {
+            // Quiesce heartbeats so frame counts are exactly scripted.
+            heartbeat_interval: Duration::from_secs(60),
+            metrics: Some(registry.clone()),
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+    let plan = Arc::new(
+        FaultPlan::scripted()
+            .on_recv(2, FaultAction::Duplicate)
+            .on_recv(5, FaultAction::DropFrame)
+            .on_recv(11, FaultAction::Duplicate)
+            .with_metrics(&registry),
+    );
+    let addr = server.local_addr();
+    let dial_plan = Arc::clone(&plan);
+    let inbox = remote_subscribe_with_transport::<u64, _>(
+        move || {
+            TcpFrameTransport::connect(addr)
+                .map(|t| Box::new(FaultInjector::new(t, Arc::clone(&dial_plan))) as Box<_>)
+        },
+        SubscribeOptions {
+            metrics: Some(registry.clone()),
+            ..fast_options()
+        },
+    )
+    .expect("initial connect");
+    for i in 0..40u64 {
+        topic.publish(i);
+    }
+    let got = collect(&inbox, 40);
+    assert_eq!(got, (0..40).collect::<Vec<_>>(), "{:?}", inbox.stats());
+
+    let snapshot = registry.snapshot();
+    // The plan fired every scripted fault (all indices are reachable in
+    // a 40-frame stream) and the registry counted each injection.
+    assert_eq!(plan.injected(), 3);
+    assert_eq!(snapshot.counter("bus.fault.injected"), Some(3));
+    // Client-side counters mirror `ClientStats` exactly.
+    let stats = inbox.stats();
+    assert_eq!(
+        snapshot.counter("bus.client.duplicates_discarded"),
+        Some(stats.duplicates_discarded)
+    );
+    assert_eq!(
+        snapshot.counter("bus.client.gaps_detected"),
+        Some(stats.gaps_detected)
+    );
+    assert_eq!(
+        snapshot.counter("bus.client.reconnects"),
+        Some(stats.reconnects)
+    );
+    assert_eq!(stats.duplicates_discarded, 2, "{stats:?}");
+    assert_eq!(stats.gaps_detected, 1, "{stats:?}");
+    assert_eq!(snapshot.counter("bus.client.frames_lost"), Some(0));
+    // Server-side counters mirror `ServerStats`.
+    let server_stats = server.stats();
+    assert_eq!(
+        snapshot.counter("bus.server.frames_published"),
+        Some(server_stats.frames_published)
+    );
+    assert_eq!(
+        snapshot.counter("bus.server.clients_connected"),
+        Some(server_stats.clients_connected)
+    );
+    assert_eq!(snapshot.counter("bus.server.handshake_failures"), Some(0));
+}
+
+#[test]
+fn seeded_storm_metrics_are_reproducible() {
+    // Under the seeded storm the counter *values* are schedule-dependent,
+    // but with a fixed seed the whole snapshot is reproducible run to
+    // run, and internally consistent with the plan's own accounting.
+    let rates = FaultRates {
+        drop: 0.05,
+        duplicate: 0.05,
+        corrupt: 0.02,
+        reset: 0.02,
+    };
+    let run = || -> (u64, u64, u64) {
+        let registry = MetricsRegistry::new();
+        let broker = Broker::new();
+        let topic = broker.topic::<u64>("chaos-storm-metrics");
+        let server = RemoteTopicServer::bind_with(
+            "127.0.0.1:0",
+            topic.clone(),
+            ServerOptions {
+                heartbeat_interval: Duration::from_secs(60),
+                metrics: Some(registry.clone()),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let plan = Arc::new(FaultPlan::seeded(CHAOS_SEED, rates).with_metrics(&registry));
+        let addr = server.local_addr();
+        let dial_plan = Arc::clone(&plan);
+        let inbox = remote_subscribe_with_transport::<u64, _>(
+            move || {
+                TcpFrameTransport::connect(addr)
+                    .map(|t| Box::new(FaultInjector::new(t, Arc::clone(&dial_plan))) as Box<_>)
+            },
+            SubscribeOptions {
+                metrics: Some(registry.clone()),
+                ..fast_options()
+            },
+        )
+        .expect("initial connect");
+        for i in 0..200u64 {
+            topic.publish(i);
+        }
+        assert_eq!(collect(&inbox, 200), (0..200).collect::<Vec<_>>());
+        let snapshot = registry.snapshot();
+        let injected = snapshot.counter("bus.fault.injected").unwrap();
+        assert_eq!(injected, plan.injected(), "registry mirrors the plan");
+        assert!(injected > 0, "the storm actually injected faults");
+        (
+            injected,
+            snapshot.counter("bus.client.duplicates_discarded").unwrap(),
+            snapshot.counter("bus.client.reconnects").unwrap(),
+        )
+    };
+    assert_eq!(run(), run(), "same seed, same counters");
 }
 
 #[test]

@@ -201,6 +201,103 @@ fn figures_5_and_6_five_sensor_lattice() {
 }
 
 #[test]
+fn figures_5_and_6_facade_matches_legacy_query_methods() {
+    // The same five-sensor scenario as above, but driven end-to-end
+    // through `LocationService`: the new `query()` facade must agree
+    // exactly with the deprecated per-shape methods it replaces.
+    use middlewhere::bus::Broker;
+    use middlewhere::core::{LocationQuery, LocationService};
+
+    let s1 = r(0.0, 0.0, 40.0, 40.0);
+    let s2 = r(20.0, 0.0, 60.0, 40.0);
+    let s3 = r(10.0, 20.0, 50.0, 60.0);
+    let s4 = r(5.0, 5.0, 15.0, 15.0);
+    let s5 = r(200.0, 50.0, 240.0, 90.0);
+
+    let plan = mw_sim::building::paper_floor();
+    let broker = Broker::new();
+    let svc = LocationService::new(plan.db, plan.universe, &broker);
+    // Name the sensor rectangles so the symbolic (glob) paths get
+    // exercised too.
+    for (name, rect) in [("S1", s1), ("S2", s2), ("S3", s3), ("S4", s4), ("S5", s5)] {
+        svc.define_region(&format!("CS/Floor3/{name}").parse().unwrap(), rect)
+            .unwrap();
+    }
+    for (i, rect) in [s1, s2, s3, s4, s5].iter().enumerate() {
+        svc.ingest_reading(
+            SensorReading {
+                sensor_id: format!("fig5-{i}").as_str().into(),
+                spec: SensorSpec::ubisense(1.0),
+                object: "alice".into(),
+                glob_prefix: "CS/Floor3".parse().unwrap(),
+                region: *rect,
+                detected_at: SimTime::ZERO,
+                time_to_live: SimDuration::from_secs(60.0),
+                tdf: TemporalDegradation::None,
+                moving: false,
+            },
+            SimTime::ZERO,
+        );
+    }
+
+    let alice: middlewhere::sensors::MobileObjectId = "alice".into();
+    let now = SimTime::from_secs(1.0);
+    #[allow(deprecated)]
+    for name in ["S1", "S2", "S3", "S4", "S5", "3105"] {
+        let glob = format!("CS/Floor3/{name}");
+        let legacy_p = svc.probability_in_region(&alice, &glob, now).unwrap();
+        let legacy_band = svc.band_in_region(&alice, &glob, now).unwrap();
+        let answer = svc
+            .query(LocationQuery::of("alice").in_region(&glob).at(now))
+            .unwrap();
+        assert_eq!(answer.probability(), Some(legacy_p), "{glob}");
+        assert_eq!(answer.band(), Some(legacy_band), "{glob}");
+    }
+    #[allow(deprecated)]
+    for rect in [s1, s4, s5, s1.intersection(&s2).unwrap()] {
+        let legacy_p = svc.probability_in_rect(&alice, &rect, now);
+        let answer = svc
+            .query(LocationQuery::of("alice").in_rect(rect).at(now))
+            .unwrap();
+        assert_eq!(answer.probability(), Some(legacy_p), "{rect:?}");
+    }
+    #[allow(deprecated)]
+    {
+        let legacy = svc.location_distribution(&alice, now).unwrap();
+        let answer = svc
+            .query(LocationQuery::of("alice").distribution().at(now))
+            .unwrap();
+        assert_eq!(answer.distribution(), Some(legacy.as_slice()));
+        // And the facade's default target is the plain fix.
+        let fix = svc.locate(&alice, now).unwrap();
+        let facade_fix = svc
+            .query(LocationQuery::of("alice").at(now))
+            .unwrap()
+            .fix()
+            .cloned()
+            .unwrap();
+        assert_eq!(facade_fix.region, fix.region);
+        assert_eq!(facade_fix.probability, fix.probability);
+    }
+    // Where the two APIs intentionally differ: an untracked object is a
+    // silent 0.0 through the legacy method, an explicit error through
+    // the facade.
+    #[allow(deprecated)]
+    {
+        let ghost: middlewhere::sensors::MobileObjectId = "ghost".into();
+        assert_eq!(
+            svc.probability_in_region(&ghost, "CS/Floor3/S1", now)
+                .unwrap(),
+            0.0
+        );
+    }
+    assert!(matches!(
+        svc.query(LocationQuery::of("ghost").in_region("CS/Floor3/S1").at(now)),
+        Err(middlewhere::core::CoreError::NoLocation { .. })
+    ));
+}
+
+#[test]
 fn figure_7_rcc8_relations() {
     // One witness pair per relation, as in the figure.
     let base = r(0.0, 0.0, 10.0, 10.0);
