@@ -26,6 +26,14 @@ use mw_spatial_db::DbError;
 ///   a built spec is always accepted by `subscribe`.
 /// - **Stale handles are errors.** Cancelling an unknown subscription id
 ///   yields [`CoreError::UnknownSubscription`].
+/// - **Degradation is explicit, never silent.** On a supervised service
+///   (see `LocationService::new_supervised`) an answer computed from less
+///   than the full evidence carries `AnswerQuality::Partial` or
+///   `AnswerQuality::LastKnownGood`; when every sensor for an object is
+///   quarantined and no last-known-good fix exists the query yields
+///   [`CoreError::SensorsQuarantined`], and a query whose deadline budget
+///   is exhausted with no cached fallback yields
+///   [`CoreError::DeadlineExceeded`].
 /// - **Substrate failures are wrapped, not flattened.** Database, fusion
 ///   and reasoning errors surface as [`CoreError::Db`],
 ///   [`CoreError::Fusion`] and [`CoreError::Reasoning`] with the
@@ -58,6 +66,18 @@ pub enum CoreError {
         /// What was wrong with it.
         reason: String,
     },
+    /// A query's deadline budget ran out before an answer (even a
+    /// degraded one) could be produced.
+    DeadlineExceeded {
+        /// The object queried.
+        object: String,
+    },
+    /// Live readings exist for the object, but every sensor that produced
+    /// them is quarantined and no last-known-good fix is available.
+    SensorsQuarantined {
+        /// The object queried.
+        object: String,
+    },
     /// An error bubbled up from the spatial database.
     Db(DbError),
     /// An error bubbled up from the fusion engine.
@@ -76,6 +96,15 @@ impl fmt::Display for CoreError {
             CoreError::UnknownSubscription { id } => write!(f, "unknown subscription {id}"),
             CoreError::InvalidSubscription { reason } => {
                 write!(f, "invalid subscription: {reason}")
+            }
+            CoreError::DeadlineExceeded { object } => {
+                write!(f, "deadline exceeded answering query about {object:?}")
+            }
+            CoreError::SensorsQuarantined { object } => {
+                write!(
+                    f,
+                    "all sensors with live readings for {object:?} are quarantined"
+                )
             }
             CoreError::Db(e) => write!(f, "spatial database: {e}"),
             CoreError::Fusion(e) => write!(f, "fusion: {e}"),

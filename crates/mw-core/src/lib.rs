@@ -34,9 +34,9 @@ mod world;
 
 pub use error::CoreError;
 pub use fix::{LocationFix, Notification};
-pub use query::{LocationQuery, QueryAnswer, QueryTarget};
+pub use query::{AnswerQuality, LocationQuery, QueryAnswer, QueryTarget};
 pub use relations::{CoLocation, ObjectRelation, RegionRelation};
-pub use service::{LocationRequest, LocationResponse, LocationService};
+pub use service::{DegradationPolicy, LocationRequest, LocationResponse, LocationService};
 pub use subscription::{
     DeliveryPolicy, SubscriptionId, SubscriptionSpec, SubscriptionSpecBuilder, SubscriptionTrigger,
 };

@@ -38,7 +38,8 @@ pub enum QueryTarget {
 /// `LocationQuery::of("alice").in_region("3105").at(now)`.
 ///
 /// Without a target modifier the query asks for the best fix; without
-/// [`at`](LocationQuery::at) it evaluates at [`SimTime::ZERO`].
+/// [`at`](LocationQuery::at) it evaluates at [`SimTime::ZERO`]; without
+/// [`within`](LocationQuery::within) it has no deadline budget.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LocationQuery {
     /// The object being asked about.
@@ -47,17 +48,33 @@ pub struct LocationQuery {
     pub target: QueryTarget,
     /// Evaluation time.
     pub now: SimTime,
+    /// Wall-clock budget for answering. On a supervised service, a query
+    /// whose budget is exhausted before fusion starts skips straight to
+    /// the last-known-good rung of the degradation ladder instead of
+    /// paying for a fusion it can no longer afford (and errors with
+    /// [`CoreError::DeadlineExceeded`](crate::CoreError::DeadlineExceeded)
+    /// when no cached fix exists). `None` disables the budget.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl LocationQuery {
-    /// Starts a query about `object` (defaults: best fix, time zero).
+    /// Starts a query about `object` (defaults: best fix, time zero, no
+    /// deadline).
     #[must_use]
     pub fn of(object: impl Into<MobileObjectId>) -> Self {
         LocationQuery {
             object: object.into(),
             target: QueryTarget::Fix,
             now: SimTime::ZERO,
+            deadline: None,
         }
+    }
+
+    /// Sets the wall-clock budget for answering.
+    #[must_use]
+    pub fn within(mut self, budget: std::time::Duration) -> Self {
+        self.deadline = Some(budget);
+        self
     }
 
     /// Asks for the probability that the object is in the named region.
@@ -97,9 +114,32 @@ impl LocationQuery {
     }
 }
 
-/// The answer to a [`LocationQuery`], shaped by its target.
+/// How good an answer is — which rung of the degradation ladder produced
+/// it. The service never silently hands back worse numbers: any answer
+/// computed from less than the full evidence says so here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnswerQuality {
+    /// Full fusion over every live reading.
+    Full,
+    /// Partial fusion: one or more sensors were quarantined by the
+    /// supervision layer and their live readings were excluded.
+    Partial,
+    /// No usable live evidence; the answer is the object's last-known-good
+    /// fix with TDF-widened confidence and region.
+    LastKnownGood,
+}
+
+impl AnswerQuality {
+    /// `true` for [`AnswerQuality::Full`].
+    #[must_use]
+    pub fn is_full(self) -> bool {
+        self == AnswerQuality::Full
+    }
+}
+
+/// The payload of a [`QueryAnswer`], shaped by the query's target.
 #[derive(Debug, Clone, PartialEq)]
-pub enum QueryAnswer {
+enum AnswerBody {
     /// Answer to a fix query.
     Fix(LocationFix),
     /// Answer to a region/rect probability query: the raw probability and
@@ -115,12 +155,58 @@ pub enum QueryAnswer {
     Distribution(Vec<(Rect, f64)>),
 }
 
+/// The answer to a [`LocationQuery`]: a target-shaped payload plus the
+/// [`AnswerQuality`] rung that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAnswer {
+    body: AnswerBody,
+    quality: AnswerQuality,
+}
+
 impl QueryAnswer {
+    /// An answer to a fix query.
+    #[must_use]
+    pub fn from_fix(fix: LocationFix, quality: AnswerQuality) -> Self {
+        QueryAnswer {
+            body: AnswerBody::Fix(fix),
+            quality,
+        }
+    }
+
+    /// An answer to a region/rect probability query.
+    #[must_use]
+    pub fn from_probability(
+        probability: f64,
+        band: ProbabilityBand,
+        quality: AnswerQuality,
+    ) -> Self {
+        QueryAnswer {
+            body: AnswerBody::Probability { probability, band },
+            quality,
+        }
+    }
+
+    /// An answer to a distribution query.
+    #[must_use]
+    pub fn from_distribution(distribution: Vec<(Rect, f64)>, quality: AnswerQuality) -> Self {
+        QueryAnswer {
+            body: AnswerBody::Distribution(distribution),
+            quality,
+        }
+    }
+
+    /// Which rung of the degradation ladder produced this answer.
+    /// Always [`AnswerQuality::Full`] on an unsupervised service.
+    #[must_use]
+    pub fn quality(&self) -> AnswerQuality {
+        self.quality
+    }
+
     /// The fix, when the query asked for one.
     #[must_use]
     pub fn fix(&self) -> Option<&LocationFix> {
-        match self {
-            QueryAnswer::Fix(f) => Some(f),
+        match &self.body {
+            AnswerBody::Fix(f) => Some(f),
             _ => None,
         }
     }
@@ -128,8 +214,8 @@ impl QueryAnswer {
     /// The probability, when the query asked for one.
     #[must_use]
     pub fn probability(&self) -> Option<f64> {
-        match self {
-            QueryAnswer::Probability { probability, .. } => Some(*probability),
+        match &self.body {
+            AnswerBody::Probability { probability, .. } => Some(*probability),
             _ => None,
         }
     }
@@ -137,8 +223,8 @@ impl QueryAnswer {
     /// The band, when the query asked for a probability.
     #[must_use]
     pub fn band(&self) -> Option<ProbabilityBand> {
-        match self {
-            QueryAnswer::Probability { band, .. } => Some(*band),
+        match &self.body {
+            AnswerBody::Probability { band, .. } => Some(*band),
             _ => None,
         }
     }
@@ -146,8 +232,8 @@ impl QueryAnswer {
     /// The distribution, when the query asked for one.
     #[must_use]
     pub fn distribution(&self) -> Option<&[(Rect, f64)]> {
-        match self {
-            QueryAnswer::Distribution(d) => Some(d),
+        match &self.body {
+            AnswerBody::Distribution(d) => Some(d),
             _ => None,
         }
     }
@@ -164,13 +250,16 @@ mod tests {
         assert_eq!(q.object, "alice".into());
         assert_eq!(q.target, QueryTarget::Fix);
         assert_eq!(q.now, SimTime::ZERO);
+        assert_eq!(q.deadline, None);
 
         let rect = Rect::new(Point::new(0.0, 0.0), Point::new(5.0, 5.0));
         let q = LocationQuery::of("bob")
             .in_rect(rect)
-            .at(SimTime::from_secs(3.0));
+            .at(SimTime::from_secs(3.0))
+            .within(std::time::Duration::from_millis(5));
         assert_eq!(q.target, QueryTarget::Rect(rect));
         assert_eq!(q.now, SimTime::from_secs(3.0));
+        assert_eq!(q.deadline, Some(std::time::Duration::from_millis(5)));
 
         let q = LocationQuery::of("bob").in_region("3105").distribution();
         assert_eq!(q.target, QueryTarget::Distribution);
@@ -180,20 +269,21 @@ mod tests {
 
     #[test]
     fn answer_accessors() {
-        let p = QueryAnswer::Probability {
-            probability: 0.75,
-            band: ProbabilityBand::High,
-        };
+        let p = QueryAnswer::from_probability(0.75, ProbabilityBand::High, AnswerQuality::Full);
         assert_eq!(p.probability(), Some(0.75));
         assert_eq!(p.band(), Some(ProbabilityBand::High));
+        assert_eq!(p.quality(), AnswerQuality::Full);
+        assert!(p.quality().is_full());
         assert!(p.fix().is_none());
         assert!(p.distribution().is_none());
 
-        let d = QueryAnswer::Distribution(vec![(
-            Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
-            1.0,
-        )]);
+        let d = QueryAnswer::from_distribution(
+            vec![(Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)), 1.0)],
+            AnswerQuality::Partial,
+        );
         assert_eq!(d.distribution().unwrap().len(), 1);
+        assert_eq!(d.quality(), AnswerQuality::Partial);
+        assert!(!d.quality().is_full());
         assert!(d.probability().is_none());
     }
 }

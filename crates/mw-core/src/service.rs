@@ -2,11 +2,11 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use mw_bus::{Broker, Publisher};
-use mw_fusion::{BandThresholds, FusionEngine, ProbabilityBand};
+use mw_fusion::{BandThresholds, FusionEngine, FusionResult, ProbabilityBand};
 use mw_geometry::Rect;
-use mw_model::SimTime;
+use mw_model::{Confidence, SimDuration, SimTime, TemporalDegradation};
 use mw_obs::MetricsRegistry;
-use mw_sensors::{AdapterOutput, MobileObjectId, SensorReading};
+use mw_sensors::{AdapterOutput, MobileObjectId, SensorReading, SharedSupervisor};
 use mw_spatial_db::{SpatialDatabase, SpatialObject};
 use parking_lot::RwLock;
 
@@ -15,10 +15,38 @@ use crate::subscription::SubscriptionManager;
 use crate::symbolic::SymbolicLattice;
 use crate::world::WorldModel;
 use crate::{
-    CoreError, DeliveryPolicy, LocationFix, LocationQuery, Notification, QueryAnswer, QueryTarget,
-    SubscriptionId, SubscriptionSpec, SubscriptionSpecBuilder, LOCATION_SERVICE_NAME,
-    NOTIFICATION_TOPIC,
+    AnswerQuality, CoreError, DeliveryPolicy, LocationFix, LocationQuery, Notification,
+    QueryAnswer, QueryTarget, SubscriptionId, SubscriptionSpec, SubscriptionSpecBuilder,
+    LOCATION_SERVICE_NAME, NOTIFICATION_TOPIC,
 };
+
+/// How a supervised service degrades when fusion has nothing to work
+/// with: the last-known-good rung of the ladder
+/// (see [`LocationService::new_supervised`]).
+#[derive(Debug, Clone)]
+pub struct DegradationPolicy {
+    /// Temporal degradation applied to a cached fix's probability by its
+    /// age when served as last-known-good.
+    pub lkg_tdf: TemporalDegradation,
+    /// ft/s by which a cached fix's region widens per second of age — a
+    /// person keeps moving after the sensors stop reporting.
+    pub lkg_inflation_ft_per_s: f64,
+    /// A cached fix older than this is never served; the original error
+    /// (e.g. [`CoreError::NoLocation`]) surfaces instead.
+    pub lkg_max_age: SimDuration,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        DegradationPolicy {
+            lkg_tdf: TemporalDegradation::ExponentialHalfLife {
+                half_life: SimDuration::from_secs(60.0),
+            },
+            lkg_inflation_ft_per_s: 4.0,
+            lkg_max_age: SimDuration::from_secs(600.0),
+        }
+    }
+}
 
 /// Requests handled by the Location Service's bus endpoint (the pull
 /// model of §7).
@@ -134,6 +162,32 @@ pub struct LocationService {
     sensor_accuracies: RwLock<Vec<f64>>,
     notifications: Publisher<Notification>,
     metrics: Option<CoreMetrics>,
+    /// Sensor supervision (quarantine, sanity gates, staleness
+    /// watchdogs). `None` keeps the pre-supervision behaviour exactly.
+    supervisor: Option<SharedSupervisor>,
+    /// Last successful fix per object, serving the last-known-good rung
+    /// of the degradation ladder. Only populated when supervised.
+    last_good: RwLock<HashMap<MobileObjectId, LocationFix>>,
+    degradation: DegradationPolicy,
+}
+
+/// One fusion pass plus the bookkeeping the degradation ladder needs.
+struct FuseAttempt {
+    result: FusionResult,
+    /// Live readings the database held for the object.
+    total: usize,
+    /// Of those, readings from non-quarantined sensors.
+    used: usize,
+}
+
+impl FuseAttempt {
+    fn quality(&self) -> AnswerQuality {
+        if self.used < self.total {
+            AnswerQuality::Partial
+        } else {
+            AnswerQuality::Full
+        }
+    }
 }
 
 impl LocationService {
@@ -154,7 +208,7 @@ impl LocationService {
         engine: FusionEngine,
         broker: &Broker,
     ) -> Arc<Self> {
-        Self::build(db, engine, broker, None)
+        Self::build(db, engine, broker, None, None)
     }
 
     /// Creates an observable service: the database, fusion engine and the
@@ -182,7 +236,35 @@ impl LocationService {
         broker: &Broker,
         registry: &MetricsRegistry,
     ) -> Arc<Self> {
-        Self::build(db, engine, broker, Some(registry))
+        Self::build(db, engine, broker, Some(registry), None)
+    }
+
+    /// Creates a *supervised* observable service: every ingested reading
+    /// passes the supervisor's sanity gates, quarantined sensors are
+    /// excluded from fusion, and `query` walks the degradation ladder
+    /// (full fusion → partial fusion over surviving sensors →
+    /// last-known-good fix with TDF-widened confidence), reporting the
+    /// rung in [`QueryAnswer::quality`]. The supervisor publishes its
+    /// `health.*` metrics to `registry`.
+    #[must_use]
+    pub fn new_supervised(
+        db: SpatialDatabase,
+        universe: Rect,
+        broker: &Broker,
+        registry: &MetricsRegistry,
+        supervisor: SharedSupervisor,
+    ) -> Arc<Self> {
+        supervisor
+            .lock()
+            .expect("supervisor lock poisoned")
+            .bind_metrics(registry);
+        Self::build(
+            db,
+            FusionEngine::new(universe),
+            broker,
+            Some(registry),
+            Some(supervisor),
+        )
     }
 
     fn build(
@@ -190,6 +272,7 @@ impl LocationService {
         mut engine: FusionEngine,
         broker: &Broker,
         registry: Option<&MetricsRegistry>,
+        supervisor: Option<SharedSupervisor>,
     ) -> Arc<Self> {
         if let Some(registry) = registry {
             db.bind_metrics(registry);
@@ -207,7 +290,32 @@ impl LocationService {
             sensor_accuracies: RwLock::new(Vec::new()),
             notifications: broker.topic::<Notification>(NOTIFICATION_TOPIC),
             metrics: registry.map(CoreMetrics::new),
+            supervisor,
+            last_good: RwLock::new(HashMap::new()),
+            degradation: DegradationPolicy::default(),
         })
+    }
+
+    /// Overrides the last-known-good policy (supervised services only;
+    /// harmless otherwise). Call right after construction, before
+    /// queries flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the service handle is already shared (construction
+    /// returns the sole handle, so calling this first never panics).
+    #[must_use]
+    pub fn with_degradation_policy(self: Arc<Self>, policy: DegradationPolicy) -> Arc<Self> {
+        let mut service = Arc::into_inner(self).expect("service handle already shared");
+        service.degradation = policy;
+        Arc::new(service)
+    }
+
+    /// The attached sensor supervisor, when constructed with
+    /// [`new_supervised`](LocationService::new_supervised).
+    #[must_use]
+    pub fn supervisor(&self) -> Option<&SharedSupervisor> {
+        self.supervisor.as_ref()
     }
 
     /// The metrics registry this service publishes to, when constructed
@@ -325,6 +433,12 @@ impl LocationService {
     /// database triggers), applies revocations, then evaluates
     /// subscriptions for the affected objects. Fired notifications are
     /// published on the bus topic and returned.
+    ///
+    /// On a supervised service every reading first passes the
+    /// supervisor's sanity gates ([`mw_sensors::SensorSupervisor::admit`]):
+    /// rejected readings (and readings from sensors in closed quarantine)
+    /// never reach the database, future timestamps are clamped to `now`
+    /// before storage, and the staleness watchdog ticks once per ingest.
     pub fn ingest(&self, output: AdapterOutput, now: SimTime) -> Vec<Notification> {
         let started = std::time::Instant::now();
         let reading_count = output.readings.len() as u64;
@@ -337,7 +451,16 @@ impl LocationService {
                     affected.push(revocation.object.clone());
                 }
             }
-            for reading in output.readings {
+            for mut reading in output.readings {
+                if let Some(supervisor) = &self.supervisor {
+                    let decision = supervisor
+                        .lock()
+                        .expect("supervisor lock poisoned")
+                        .admit(&mut reading, now);
+                    if !decision.is_admitted() {
+                        continue;
+                    }
+                }
                 if !affected.contains(&reading.object) {
                     affected.push(reading.object.clone());
                 }
@@ -354,6 +477,12 @@ impl LocationService {
                 // events remain available to database-level users.
                 let _ = db.insert_reading(reading, now);
             }
+        }
+        if let Some(supervisor) = &self.supervisor {
+            supervisor
+                .lock()
+                .expect("supervisor lock poisoned")
+                .tick(now);
         }
         let mut fired = Vec::new();
         for object in affected {
@@ -400,19 +529,72 @@ impl LocationService {
 
     // --- object-based queries ----------------------------------------------
 
+    /// One supervised fusion pass: live readings, minus quarantined
+    /// sensors, with conflict outcomes fed back to the supervisor as
+    /// chronic-loss / survivor signals. Unsupervised services fuse
+    /// everything, exactly as before.
+    fn fuse_live(&self, object: &MobileObjectId, now: SimTime) -> FuseAttempt {
+        let readings = self.db.read().live_readings_for(object, now);
+        let total = readings.len();
+        let (result, used) = match &self.supervisor {
+            Some(supervisor) => {
+                let excluded = supervisor
+                    .lock()
+                    .expect("supervisor lock poisoned")
+                    .excluded();
+                let used = readings
+                    .iter()
+                    .filter(|r| !excluded.contains(&r.sensor_id))
+                    .count();
+                let result = self.engine.fuse_excluding(&readings, now, &excluded);
+                let mut guard = supervisor.lock().expect("supervisor lock poisoned");
+                for sensor in result.discarded_sensors() {
+                    guard.record_conflict_loss(sensor, now);
+                }
+                for sensor in result.kept_sensors() {
+                    guard.record_conflict_survivor(sensor);
+                }
+                (result, used)
+            }
+            None => (self.engine.fuse(&readings, now), total),
+        };
+        FuseAttempt {
+            result,
+            total,
+            used,
+        }
+    }
+
     /// "Where is person X?" — fuses the object's live readings and returns
     /// the best estimate with symbolic resolution and privacy applied.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::NoLocation`] when no live readings exist.
+    /// Returns [`CoreError::NoLocation`] when no live readings exist, and
+    /// (supervised services only) [`CoreError::SensorsQuarantined`] when
+    /// readings exist but every producing sensor is quarantined.
     pub fn locate(&self, object: &MobileObjectId, now: SimTime) -> Result<LocationFix, CoreError> {
+        self.locate_graded(object, now).map(|(fix, _)| fix)
+    }
+
+    /// [`locate`](LocationService::locate) plus the [`AnswerQuality`]
+    /// rung (always [`AnswerQuality::Full`] on an unsupervised service).
+    fn locate_graded(
+        &self,
+        object: &MobileObjectId,
+        now: SimTime,
+    ) -> Result<(LocationFix, AnswerQuality), CoreError> {
         let _timer = self
             .metrics
             .as_ref()
             .map(|m| m.locate_latency.start_timer());
-        let readings = self.db.read().live_readings_for(object, now);
-        let result = self.engine.fuse(&readings, now);
+        let attempt = self.fuse_live(object, now);
+        if attempt.total > 0 && attempt.used == 0 {
+            return Err(CoreError::SensorsQuarantined {
+                object: object.to_string(),
+            });
+        }
+        let result = &attempt.result;
         let estimate = result
             .best_estimate()
             .ok_or_else(|| CoreError::NoLocation {
@@ -435,14 +617,82 @@ impl LocationService {
                 region = self.engine.universe();
             }
         }
-        Ok(LocationFix {
+        let fix = LocationFix {
             object: object.clone(),
             region,
             probability: estimate.probability,
             band: self.band_thresholds().classify(estimate.probability),
             symbolic,
             at: now,
-        })
+        };
+        if self.supervisor.is_some() {
+            self.last_good.write().insert(object.clone(), fix.clone());
+        }
+        Ok((fix, attempt.quality()))
+    }
+
+    /// Serves `q` from the object's cached last-known-good fix, widened
+    /// by its age: probability degraded through the policy's TDF, region
+    /// inflated by `lkg_inflation_ft_per_s × age` (clamped to the
+    /// universe). `None` when no cached fix exists or it is older than
+    /// `lkg_max_age`.
+    fn last_known_answer(&self, q: &LocationQuery) -> Option<QueryAnswer> {
+        let cached = self.last_good.read().get(&q.object).cloned()?;
+        let age = q.now.saturating_since(cached.at);
+        if age > self.degradation.lkg_max_age {
+            return None;
+        }
+        let probability = self
+            .degradation
+            .lkg_tdf
+            .apply(Confidence::saturating(cached.probability), age)
+            .value();
+        let widened = cached
+            .region
+            .inflated(self.degradation.lkg_inflation_ft_per_s * age.as_secs())
+            .intersection(&self.universe())
+            .unwrap_or(cached.region);
+        let quality = AnswerQuality::LastKnownGood;
+        match &q.target {
+            QueryTarget::Fix => Some(QueryAnswer::from_fix(
+                LocationFix {
+                    object: q.object.clone(),
+                    region: widened,
+                    probability,
+                    band: self.band_thresholds().classify(probability),
+                    symbolic: cached.symbolic.clone(),
+                    at: cached.at,
+                },
+                quality,
+            )),
+            QueryTarget::Distribution => Some(QueryAnswer::from_distribution(
+                vec![(widened, 1.0)],
+                quality,
+            )),
+            QueryTarget::Region(name) => {
+                let rect = self.world.read().region_rect(name).ok()?;
+                Some(self.last_known_probability(probability, &widened, &rect, quality))
+            }
+            QueryTarget::Rect(rect) => {
+                Some(self.last_known_probability(probability, &widened, rect, quality))
+            }
+        }
+    }
+
+    /// The probability that the object is in `rect`, assuming it is
+    /// uniformly distributed over the widened last-known-good region.
+    fn last_known_probability(
+        &self,
+        probability: f64,
+        widened: &Rect,
+        rect: &Rect,
+        quality: AnswerQuality,
+    ) -> QueryAnswer {
+        let overlap = widened
+            .intersection(rect)
+            .map_or(0.0, |i| i.area() / widened.area().max(f64::MIN_POSITIVE));
+        let p = probability * overlap.clamp(0.0, 1.0);
+        QueryAnswer::from_probability(p, self.band_thresholds().classify(p), quality)
     }
 
     /// The full spatial probability distribution of one object (§4.1.2:
@@ -461,17 +711,21 @@ impl LocationService {
         object: &MobileObjectId,
         now: SimTime,
     ) -> Result<Vec<(Rect, f64)>, CoreError> {
-        self.distribution_internal(object, now)
+        self.distribution_internal(object, now).map(|(d, _)| d)
     }
 
     fn distribution_internal(
         &self,
         object: &MobileObjectId,
         now: SimTime,
-    ) -> Result<Vec<(Rect, f64)>, CoreError> {
-        let readings = self.db.read().live_readings_for(object, now);
-        let result = self.engine.fuse(&readings, now);
-        let lattice = result.lattice();
+    ) -> Result<(Vec<(Rect, f64)>, AnswerQuality), CoreError> {
+        let attempt = self.fuse_live(object, now);
+        if attempt.total > 0 && attempt.used == 0 {
+            return Err(CoreError::SensorsQuarantined {
+                object: object.to_string(),
+            });
+        }
+        let lattice = attempt.result.lattice();
         let dist: Vec<(Rect, f64)> = lattice
             .normalized_distribution()
             .into_iter()
@@ -482,7 +736,7 @@ impl LocationService {
                 object: object.to_string(),
             });
         }
-        Ok(dist)
+        Ok((dist, attempt.quality()))
     }
 
     /// Answers a [`LocationQuery`] — the single pull-mode entry point
@@ -498,21 +752,61 @@ impl LocationService {
     /// for unresolvable region names, [`CoreError::NoLocation`] for
     /// objects without live readings (never a silent `0.0`), and
     /// [`CoreError::Fusion`] when the fusion lattice rejects the region.
+    ///
+    /// On a supervised service the answer walks a degradation ladder and
+    /// reports the rung taken in [`QueryAnswer::quality`]:
+    ///
+    /// 1. **Full** — fusion over every live reading.
+    /// 2. **Partial** — fusion over the live readings of non-quarantined
+    ///    sensors (some evidence was excluded).
+    /// 3. **LastKnownGood** — no usable live evidence
+    ///    ([`CoreError::NoLocation`]/[`CoreError::SensorsQuarantined`]),
+    ///    but a cached fix no older than the policy's `lkg_max_age`
+    ///    exists: it is served with TDF-degraded probability and a
+    ///    region widened by its age. Without a usable cached fix the
+    ///    underlying error surfaces.
+    ///
+    /// A query with a [`deadline`](LocationQuery::deadline) whose budget
+    /// is already exhausted skips straight to rung 3 (or
+    /// [`CoreError::DeadlineExceeded`] with no cached fix) instead of
+    /// paying for a fusion it can no longer afford.
     pub fn query(&self, q: LocationQuery) -> Result<QueryAnswer, CoreError> {
+        let started = std::time::Instant::now();
         let _timer = self.metrics.as_ref().map(|m| {
             m.query_count.inc();
             m.query_latency.start_timer()
         });
-        match q.target {
-            QueryTarget::Fix => self.locate(&q.object, q.now).map(QueryAnswer::Fix),
+        if self.supervisor.is_some() {
+            if let Some(budget) = q.deadline {
+                if started.elapsed() >= budget {
+                    return self
+                        .last_known_answer(&q)
+                        .ok_or_else(|| CoreError::DeadlineExceeded {
+                            object: q.object.to_string(),
+                        });
+                }
+            }
+        }
+        let primary = match q.target {
+            QueryTarget::Fix => self
+                .locate_graded(&q.object, q.now)
+                .map(|(fix, quality)| QueryAnswer::from_fix(fix, quality)),
             QueryTarget::Distribution => self
                 .distribution_internal(&q.object, q.now)
-                .map(QueryAnswer::Distribution),
-            QueryTarget::Region(ref name) => {
-                let rect = self.world.read().region_rect(name)?;
-                self.rect_answer(&q.object, &rect, q.now)
-            }
+                .map(|(d, quality)| QueryAnswer::from_distribution(d, quality)),
+            QueryTarget::Region(ref name) => match self.world.read().region_rect(name) {
+                Ok(rect) => self.rect_answer(&q.object, &rect, q.now),
+                Err(e) => Err(e),
+            },
             QueryTarget::Rect(rect) => self.rect_answer(&q.object, &rect, q.now),
+        };
+        match primary {
+            Err(e @ (CoreError::NoLocation { .. } | CoreError::SensorsQuarantined { .. }))
+                if self.supervisor.is_some() =>
+            {
+                self.last_known_answer(&q).ok_or(e)
+            }
+            other => other,
         }
     }
 
@@ -522,11 +816,12 @@ impl LocationService {
         rect: &Rect,
         now: SimTime,
     ) -> Result<QueryAnswer, CoreError> {
-        let p = self.rect_probability(object, rect, now)?;
-        Ok(QueryAnswer::Probability {
-            probability: p,
-            band: self.band_thresholds().classify(p),
-        })
+        let (p, quality) = self.rect_probability_graded(object, rect, now)?;
+        Ok(QueryAnswer::from_probability(
+            p,
+            self.band_thresholds().classify(p),
+            quality,
+        ))
     }
 
     /// The `Result`-returning probability core: untracked objects are
@@ -537,14 +832,29 @@ impl LocationService {
         rect: &Rect,
         now: SimTime,
     ) -> Result<f64, CoreError> {
-        let readings = self.db.read().live_readings_for(object, now);
-        if readings.is_empty() {
+        self.rect_probability_graded(object, rect, now)
+            .map(|(p, _)| p)
+    }
+
+    fn rect_probability_graded(
+        &self,
+        object: &MobileObjectId,
+        rect: &Rect,
+        now: SimTime,
+    ) -> Result<(f64, AnswerQuality), CoreError> {
+        let mut attempt = self.fuse_live(object, now);
+        if attempt.total == 0 {
             return Err(CoreError::NoLocation {
                 object: object.to_string(),
             });
         }
-        let mut result = self.engine.fuse(&readings, now);
-        Ok(result.region_probability(*rect)?)
+        if attempt.used == 0 {
+            return Err(CoreError::SensorsQuarantined {
+                object: object.to_string(),
+            });
+        }
+        let quality = attempt.quality();
+        Ok((attempt.result.region_probability(*rect)?, quality))
     }
 
     /// The probability that `object` is inside the named region (§4.2's
@@ -778,7 +1088,18 @@ impl LocationService {
         }
         let _timer = self.metrics.as_ref().map(|m| m.match_latency.start_timer());
         let readings = self.db.read().live_readings_for(object, now);
-        let result = self.engine.fuse(&readings, now);
+        // Quarantined sensors are excluded here too; conflict feedback is
+        // left to the query path so health counters stay deterministic.
+        let result = match &self.supervisor {
+            Some(supervisor) => {
+                let excluded = supervisor
+                    .lock()
+                    .expect("supervisor lock poisoned")
+                    .excluded();
+                self.engine.fuse_excluding(&readings, now, &excluded)
+            }
+            None => self.engine.fuse(&readings, now),
+        };
         // Candidates: subscriptions whose region intersects the surviving
         // evidence (R-tree pruned) plus currently-true ones that may need
         // re-arming. This keeps the per-update cost nearly independent of

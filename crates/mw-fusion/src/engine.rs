@@ -1,10 +1,12 @@
 //! The fusion engine: the end-to-end pipeline of §4.1–§4.4 for one
 //! object's readings.
 
+use std::collections::HashSet;
+
 use mw_geometry::Rect;
 use mw_model::SimTime;
 use mw_obs::MetricsRegistry;
-use mw_sensors::SensorReading;
+use mw_sensors::{SensorId, SensorReading};
 
 use crate::bayes::{posterior_general, SensorEvidence};
 use crate::conflict::{self, ConflictOutcome, ConflictRule};
@@ -76,9 +78,25 @@ pub struct FusionResult {
     lattice: RegionLattice,
     conflict: ConflictOutcome,
     thresholds: BandThresholds,
+    kept_sensors: Vec<SensorId>,
+    discarded_sensors: Vec<SensorId>,
 }
 
 impl FusionResult {
+    /// Sensors whose readings survived conflict resolution and
+    /// contributed evidence to the lattice.
+    #[must_use]
+    pub fn kept_sensors(&self) -> &[SensorId] {
+        &self.kept_sensors
+    }
+
+    /// Sensors whose live readings were discarded by conflict resolution
+    /// (§4.1.2) — the supervision layer's chronic-conflict-loss signal.
+    #[must_use]
+    pub fn discarded_sensors(&self) -> &[SensorId] {
+        &self.discarded_sensors
+    }
+
     /// The spatial probability lattice (Figures 5–6).
     #[must_use]
     pub fn lattice(&self) -> &RegionLattice {
@@ -248,11 +266,38 @@ impl FusionEngine {
     /// (prevented by [`FusionEngine::new`] callers in this workspace).
     #[must_use]
     pub fn fuse(&self, readings: &[SensorReading], now: SimTime) -> FusionResult {
+        static NO_EXCLUSIONS: std::sync::OnceLock<HashSet<SensorId>> = std::sync::OnceLock::new();
+        self.fuse_excluding(readings, now, NO_EXCLUSIONS.get_or_init(HashSet::new))
+    }
+
+    /// Like [`FusionEngine::fuse`], but readings from `quarantined`
+    /// sensors are dropped before conflict resolution — they never
+    /// contribute evidence to the lattice. This is how the supervision
+    /// layer ([`mw_sensors::health`]) removes misbehaving sensors from
+    /// the fused picture while their earlier (pre-quarantine) readings
+    /// may still be live in the spatial database.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine was constructed with a zero-area universe
+    /// (prevented by [`FusionEngine::new`] callers in this workspace).
+    #[must_use]
+    pub fn fuse_excluding(
+        &self,
+        readings: &[SensorReading],
+        now: SimTime,
+        quarantined: &HashSet<SensorId>,
+    ) -> FusionResult {
         let started = std::time::Instant::now();
-        // 1. Keep only live readings, applying the aging motion model.
+        // 1. Keep only live readings from non-quarantined sensors,
+        //    applying the aging motion model.
         let live: Vec<&SensorReading> = readings
             .iter()
-            .filter(|r| !r.is_expired(now) && r.hit_probability_at(now) > 0.0)
+            .filter(|r| {
+                !quarantined.contains(&r.sensor_id)
+                    && !r.is_expired(now)
+                    && r.hit_probability_at(now) > 0.0
+            })
             .collect();
         let live_owned: Vec<SensorReading> = live
             .iter()
@@ -288,12 +333,25 @@ impl FusionEngine {
             .collect();
         let thresholds = BandThresholds::from_sensor_accuracies(&ps);
 
+        let kept_sensors = conflict
+            .kept
+            .iter()
+            .map(|&i| live_owned[i].sensor_id.clone())
+            .collect();
+        let discarded_sensors = conflict
+            .discarded
+            .iter()
+            .map(|&i| live_owned[i].sensor_id.clone())
+            .collect();
+
         let lattice = RegionLattice::build(self.universe, evidence)
             .expect("engine universe has positive area");
         let result = FusionResult {
             lattice,
             conflict,
             thresholds,
+            kept_sensors,
+            discarded_sensors,
         };
         if let Some(metrics) = &self.metrics {
             metrics.record(&result, started.elapsed());
@@ -633,6 +691,59 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.counter("fusion.fuse.count"), Some(2));
         assert_eq!(snap.counter("fusion.conflict.none"), Some(1));
+    }
+
+    #[test]
+    fn excluded_sensors_never_reach_the_lattice() {
+        let mut near = reading(
+            r(10.0, 10.0, 12.0, 12.0),
+            false,
+            SensorSpec::ubisense(1.0),
+            0.0,
+            60.0,
+        );
+        near.sensor_id = "ubi-good".into();
+        let mut far = reading(
+            r(400.0, 80.0, 420.0, 95.0),
+            false,
+            SensorSpec::ubisense(1.0),
+            0.0,
+            60.0,
+        );
+        far.sensor_id = "ubi-bad".into();
+        let e = engine();
+        let readings = vec![near.clone(), far];
+
+        // Excluding the far sensor leaves only the near one: no
+        // conflict, estimate identical to fusing the near reading alone.
+        let excluded: HashSet<_> = [mw_sensors::SensorId::from("ubi-bad")].into();
+        let result = e.fuse_excluding(&readings, SimTime::ZERO, &excluded);
+        assert!(!result.conflict().had_conflict());
+        assert_eq!(result.kept_sensors(), &["ubi-good".into()]);
+        assert!(result.discarded_sensors().is_empty());
+        let alone = e.fuse(std::slice::from_ref(&near), SimTime::ZERO);
+        assert_eq!(
+            result.best_estimate().unwrap(),
+            alone.best_estimate().unwrap()
+        );
+
+        // Without exclusions, fuse() resolves the conflict and reports
+        // the loser by sensor id.
+        let result = e.fuse(&readings, SimTime::ZERO);
+        assert!(result.conflict().had_conflict());
+        assert_eq!(
+            result.kept_sensors().len() + result.discarded_sensors().len(),
+            2
+        );
+        // Excluding everything yields an empty (but valid) result.
+        let all: HashSet<_> = [
+            mw_sensors::SensorId::from("ubi-good"),
+            mw_sensors::SensorId::from("ubi-bad"),
+        ]
+        .into();
+        let empty = e.fuse_excluding(&readings, SimTime::ZERO, &all);
+        assert!(empty.best_estimate().is_none());
+        assert!(empty.kept_sensors().is_empty());
     }
 
     #[test]

@@ -237,6 +237,52 @@ proptest! {
     }
 
     #[test]
+    fn fusion_over_any_healthy_subset_stays_probabilistic(
+        rects in proptest::collection::vec(rect_in_universe(), 1..8),
+        mask in proptest::collection::vec(proptest::bool::ANY, 1..8),
+    ) {
+        // Distinct sensor per reading, a random subset quarantined — the
+        // shape the supervision layer hands the engine when sensors fail.
+        let readings: Vec<SensorReading> = rects
+            .iter()
+            .enumerate()
+            .map(|(i, &region)| SensorReading {
+                sensor_id: format!("s{i}").as_str().into(),
+                spec: SensorSpec::ubisense(0.9),
+                object: "alice".into(),
+                glob_prefix: "SC/3".parse().unwrap(),
+                region,
+                detected_at: SimTime::ZERO,
+                time_to_live: SimDuration::from_secs(100.0),
+                tdf: TemporalDegradation::None,
+                moving: false,
+            })
+            .collect();
+        let excluded: std::collections::HashSet<_> = readings
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask.get(*i).copied().unwrap_or(false))
+            .map(|(_, r)| r.sensor_id.clone())
+            .collect();
+        let engine = FusionEngine::new(universe());
+        let result = engine.fuse_excluding(&readings, SimTime::from_secs(1.0), &excluded);
+        // Quarantined sensors never reach the lattice, in any role.
+        for id in result.kept_sensors().iter().chain(result.discarded_sensors()) {
+            prop_assert!(!excluded.contains(id), "excluded sensor {id:?} was fused");
+        }
+        if excluded.len() == readings.len() {
+            prop_assert!(result.best_estimate().is_none());
+        }
+        if let Some(est) = result.best_estimate() {
+            prop_assert!((0.0..=1.0).contains(&est.probability), "p {}", est.probability);
+        }
+        for id in result.lattice().region_nodes() {
+            let p = result.lattice().probability(id).unwrap();
+            prop_assert!((0.0..=1.0).contains(&p), "lattice p {p}");
+        }
+    }
+
+    #[test]
     fn conflict_resolution_partitions_input(
         rects in proptest::collection::vec(rect_in_universe(), 1..8),
     ) {

@@ -153,6 +153,30 @@ impl QualityOfLocation {
         self.tdf.apply(self.confidence, self.freshness(now))
     }
 
+    /// Returns `true` when the descriptor claims a detection time later
+    /// than `now` — the producing sensor's clock runs ahead of the
+    /// service clock. Because [`freshness`](QualityOfLocation::freshness)
+    /// saturates at zero, such a reading would look maximally fresh for
+    /// as long as the skew lasts and its expiry would be postponed by the
+    /// same amount.
+    #[must_use]
+    pub fn is_from_future(&self, now: SimTime) -> bool {
+        self.detected_at > now
+    }
+
+    /// Clamps a future detection time to `now`, returning `true` when a
+    /// clamp happened. Afterwards freshness, temporal degradation and
+    /// expiry all count from the moment the middleware actually saw the
+    /// reading — never negative staleness, never inflated freshness.
+    pub fn clamp_detection_time(&mut self, now: SimTime) -> bool {
+        if self.is_from_future(now) {
+            self.detected_at = now;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Forces the reading to expire immediately (used by the biometric
     /// adapter when a user manually logs out, §6).
     pub fn expire_now(&mut self, now: SimTime) {
@@ -219,6 +243,32 @@ mod tests {
             quality.confidence_at(SimTime::from_secs(20.0)),
             Confidence::ZERO
         );
+    }
+
+    #[test]
+    fn future_detection_times_clamp_to_now() {
+        // Detected at t=10 with a 60 s ttl; the service clock is at t=4.
+        let mut quality = q(60.0);
+        let now = SimTime::from_secs(4.0);
+        assert!(quality.is_from_future(now));
+        // Unclamped, the skew inflates freshness (age saturates at zero,
+        // so confidence shows no decay) and postpones expiry to t=70.1.
+        assert_eq!(quality.freshness(now), SimDuration::ZERO);
+        assert_eq!(quality.confidence_at(now).value(), 0.9);
+        assert!(!quality.is_expired(SimTime::from_secs(70.0)));
+        // Clamped, the reading's lifetime counts from `now`.
+        assert!(quality.clamp_detection_time(now));
+        assert_eq!(quality.detected_at(), now);
+        assert!(!quality.clamp_detection_time(now), "idempotent");
+        assert!(!quality.is_from_future(now));
+        assert_eq!(
+            quality.freshness(SimTime::from_secs(34.0)),
+            SimDuration::from_secs(30.0)
+        );
+        assert!(quality.is_expired(SimTime::from_secs(64.1)));
+        // Past detection times are untouched.
+        assert!(!quality.clamp_detection_time(SimTime::from_secs(100.0)));
+        assert_eq!(quality.detected_at(), now);
     }
 
     #[test]

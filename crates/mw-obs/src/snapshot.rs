@@ -109,6 +109,35 @@ impl Snapshot {
         self.histograms.iter().find(|h| h.name == name)
     }
 
+    /// A filtered snapshot holding only the metrics whose names start
+    /// with `prefix` — e.g. `section("health.")` for the sensor
+    /// supervision layer, `section("bus.")` for the transport. The
+    /// result preserves name order, so two sections of equal state
+    /// still serialize identically.
+    #[must_use]
+    pub fn section(&self, prefix: &str) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|c| c.name.starts_with(prefix))
+                .cloned()
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|g| g.name.starts_with(prefix))
+                .cloned()
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|h| h.name.starts_with(prefix))
+                .cloned()
+                .collect(),
+        }
+    }
+
     /// Compact JSON encoding.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -159,6 +188,25 @@ mod tests {
         assert_eq!(snap.counter("x"), None);
         assert_eq!(snap.gauge("x"), None);
         assert!(snap.histogram("x").is_none());
+    }
+
+    #[test]
+    fn section_filters_every_metric_kind_by_prefix() {
+        let reg = MetricsRegistry::new();
+        reg.counter("health.quarantines").add(2);
+        reg.counter("bus.fault.injected").add(7);
+        reg.gauge("health.sensor.ubi-1.state").set(2.0);
+        reg.gauge("fusion.lattice.size").set(9.0);
+        reg.histogram("health.probe.latency_us").record(5);
+        reg.histogram("core.ingest.latency_us").record(40);
+        let health = reg.snapshot().section("health.");
+        assert_eq!(health.counter("health.quarantines"), Some(2));
+        assert_eq!(health.gauge("health.sensor.ubi-1.state"), Some(2.0));
+        assert!(health.histogram("health.probe.latency_us").is_some());
+        assert_eq!(health.counters.len(), 1);
+        assert_eq!(health.gauges.len(), 1);
+        assert_eq!(health.histograms.len(), 1);
+        assert!(reg.snapshot().section("nothing.").counters.is_empty());
     }
 
     #[test]

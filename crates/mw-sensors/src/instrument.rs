@@ -8,11 +8,19 @@
 //! translation itself took. Aggregate metrics live under `sensors.*`;
 //! a per-adapter emit counter lives under
 //! `sensors.adapter.<id>.readings_emitted`.
+//!
+//! When a [`SharedSupervisor`] is attached
+//! ([`InstrumentedAdapter::with_supervisor`]), the wrapper additionally
+//! suppresses readings from sensors sitting in *closed* quarantine at
+//! the edge, before they ever reach the bus or the Location Service
+//! (counted under `sensors.readings_suppressed`). The supervisor's
+//! sanity gates still run at service admission — the edge check is a
+//! read-only fast path, so nothing is double-counted.
 
 use mw_model::SimTime;
 use mw_obs::MetricsRegistry;
 
-use crate::{Adapter, AdapterId, AdapterOutput, SensorType};
+use crate::{Adapter, AdapterId, AdapterOutput, SensorType, SharedSupervisor};
 
 /// Wraps an [`Adapter`], recording emit metrics around every
 /// [`Adapter::translate`] call. Implements [`Adapter`] itself, so it
@@ -24,8 +32,10 @@ pub struct InstrumentedAdapter<A> {
     readings: mw_obs::Counter,
     revocations: mw_obs::Counter,
     adapter_readings: mw_obs::Counter,
+    suppressed: mw_obs::Counter,
     staleness: mw_obs::Histogram,
     translate_latency: mw_obs::Histogram,
+    supervisor: Option<SharedSupervisor>,
 }
 
 impl<A: Adapter> InstrumentedAdapter<A> {
@@ -42,9 +52,21 @@ impl<A: Adapter> InstrumentedAdapter<A> {
             readings: registry.counter("sensors.readings_emitted"),
             revocations: registry.counter("sensors.revocations_emitted"),
             adapter_readings,
+            suppressed: registry.counter("sensors.readings_suppressed"),
             staleness: registry.histogram("sensors.reading.staleness_us"),
             translate_latency: registry.histogram("sensors.translate.latency_us"),
+            supervisor: None,
         }
+    }
+
+    /// Attaches a shared [`SensorSupervisor`](crate::SensorSupervisor):
+    /// readings from sensors in closed quarantine are dropped at the
+    /// edge instead of travelling to the service only to be rejected
+    /// there.
+    #[must_use]
+    pub fn with_supervisor(mut self, supervisor: SharedSupervisor) -> Self {
+        self.supervisor = Some(supervisor);
+        self
     }
 
     /// The wrapped adapter.
@@ -73,8 +95,16 @@ impl<A: Adapter> Adapter for InstrumentedAdapter<A> {
 
     fn translate(&mut self, event: Self::Event, now: SimTime) -> AdapterOutput {
         let timer = self.translate_latency.start_timer();
-        let output = self.inner.translate(event, now);
+        let mut output = self.inner.translate(event, now);
         timer.stop();
+        if let Some(supervisor) = &self.supervisor {
+            let guard = supervisor.lock().expect("supervisor lock poisoned");
+            let before = output.readings.len();
+            output
+                .readings
+                .retain(|r| !guard.in_closed_quarantine(&r.sensor_id, now));
+            self.suppressed.add((before - output.readings.len()) as u64);
+        }
         self.events.inc();
         self.readings.add(output.readings.len() as u64);
         self.adapter_readings.add(output.readings.len() as u64);
@@ -154,6 +184,63 @@ mod tests {
                 .unwrap()
                 .count,
             2
+        );
+    }
+
+    #[test]
+    fn supervisor_suppresses_closed_quarantine_at_the_edge() {
+        use crate::health::{HealthConfig, HealthState, SensorSupervisor};
+
+        let registry = MetricsRegistry::new();
+        let frame = Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+        let mut supervisor = SensorSupervisor::new(HealthConfig::new(frame));
+        // Drive "ubi-1" (the OneShot sensor) into quarantine with
+        // out-of-frame readings.
+        let mut t = 0.0;
+        while supervisor.state(&"ubi-1".into()) != Some(HealthState::Quarantined) {
+            let mut bad = SensorReading {
+                sensor_id: "ubi-1".into(),
+                spec: SensorSpec::ubisense(0.9),
+                object: "alice".into(),
+                glob_prefix: "SC/3".parse().unwrap(),
+                region: Rect::from_center(Point::new(900.0, 900.0), 1.0, 1.0),
+                detected_at: SimTime::from_secs(t),
+                time_to_live: SimDuration::from_secs(60.0),
+                tdf: TemporalDegradation::None,
+                moving: false,
+            };
+            let _ = supervisor.admit(&mut bad, SimTime::from_secs(t));
+            t += 1.0;
+        }
+        let shared = supervisor.shared();
+        let mut adapter = InstrumentedAdapter::new(OneShot { id: "ubi-a".into() }, &registry)
+            .with_supervisor(shared.clone());
+
+        // In closed quarantine the reading is dropped at the edge.
+        let now = SimTime::from_secs(t);
+        assert!(shared
+            .lock()
+            .unwrap()
+            .in_closed_quarantine(&"ubi-1".into(), now));
+        let out = adapter.translate((), now);
+        assert!(out.readings.is_empty());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sensors.readings_suppressed"), Some(1));
+        assert_eq!(snap.counter("sensors.readings_emitted"), Some(0));
+
+        // Once the probe window opens the edge lets readings through
+        // again (the service-side gates decide the probe's fate).
+        let probe_at = shared
+            .lock()
+            .unwrap()
+            .next_probe_at(&"ubi-1".into())
+            .unwrap();
+        let after = SimTime::from_secs(probe_at.as_secs() + 0.1);
+        let out = adapter.translate((), after);
+        assert_eq!(out.readings.len(), 1);
+        assert_eq!(
+            registry.snapshot().counter("sensors.readings_suppressed"),
+            Some(1)
         );
     }
 }

@@ -12,7 +12,10 @@
 //!   technology is wrapped by an adapter that translates native events into
 //!   readings (the paper's CORBA "location adapter"),
 //! - [`adapters`] — the four technologies the paper deployed: Ubisense
-//!   UWB, RFID badges, biometric logins and GPS.
+//!   UWB, RFID badges, biometric logins and GPS,
+//! - [`health`] — sensor supervision: per-sensor health state machines,
+//!   sanity gates, staleness watchdogs and quarantine with half-open
+//!   probing, so fusion degrades gracefully when sensors misbehave.
 //!
 //! The original system talks to real hardware; here the native events are
 //! produced by the `mw-sim` simulator, but the adapter layer is identical:
@@ -24,12 +27,17 @@
 mod adapter;
 pub mod adapters;
 mod error;
+pub mod health;
 mod instrument;
 mod reading;
 mod spec;
 
 pub use adapter::{Adapter, AdapterId, AdapterOutput, MovementTracker, Revocation};
 pub use error::SensorError;
+pub use health::{
+    GateDecision, HealthConfig, HealthState, SensorSupervisor, SharedSupervisor, TransitionEvent,
+    Violation,
+};
 pub use instrument::InstrumentedAdapter;
 pub use reading::{MobileObjectId, SensorId, SensorReading};
 pub use spec::{MisidentModel, SensorSpec, SensorType};

@@ -109,6 +109,28 @@ impl SensorReading {
         now.saturating_since(self.detected_at) > self.time_to_live
     }
 
+    /// Returns `true` when the reading claims a detection time later than
+    /// `now` — a sensor with a skewed clock. Such a reading would appear
+    /// maximally fresh forever (its age saturates at zero), inflating
+    /// freshness and postponing expiry.
+    #[must_use]
+    pub fn is_from_future(&self, now: SimTime) -> bool {
+        self.detected_at > now
+    }
+
+    /// Clamps a future detection time to `now`, returning `true` when a
+    /// clamp happened. The supervision layer calls this at admission so
+    /// the reading's age, temporal degradation and expiry all count from
+    /// the moment the middleware actually saw it.
+    pub fn clamp_future_timestamp(&mut self, now: SimTime) -> bool {
+        if self.is_from_future(now) {
+            self.detected_at = now;
+            true
+        } else {
+            false
+        }
+    }
+
     /// The §4.1.2 hit probability `p_i` after temporal degradation at
     /// `now` ("all p_i's are net probabilities obtained after applying the
     /// temporal degradation function").
@@ -175,6 +197,22 @@ mod tests {
         let q_small_universe = r.false_positive_probability(10.0);
         let q_large_universe = r.false_positive_probability(100_000.0);
         assert!(q_small_universe > q_large_universe);
+    }
+
+    #[test]
+    fn future_timestamps_are_detected_and_clamped() {
+        let mut r = reading(); // detected_at = 100 s
+        let now = SimTime::from_secs(50.0);
+        assert!(r.is_from_future(now));
+        // Unclamped, the reading looks maximally fresh: full confidence
+        // and no expiry until its (future) detection time passes.
+        assert!((r.hit_probability_at(now) - r.spec.hit_probability()).abs() < 1e-12);
+        assert!(!r.is_expired(now));
+        // Clamping re-anchors its lifetime at `now`.
+        assert!(r.clamp_future_timestamp(now));
+        assert_eq!(r.detected_at, now);
+        assert!(!r.clamp_future_timestamp(now), "idempotent");
+        assert!(r.is_expired(SimTime::from_secs(53.1)));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 use std::fmt;
 
+use mw_model::SimDuration;
 use serde::{Deserialize, Serialize};
 
 use crate::SensorError;
@@ -24,6 +25,29 @@ pub enum SensorType {
     CardReader,
     /// Login sessions on fixed desktops.
     DesktopLogin,
+}
+
+impl SensorType {
+    /// The technology's declared nominal update period: how often a live
+    /// sensor of this type is expected to produce a reading. `None` for
+    /// event-driven technologies (card swipes, logins) that legitimately
+    /// stay silent for arbitrary stretches.
+    ///
+    /// The periods match the default polling cadence of the simulated
+    /// deployment (`mw-sim`): Ubisense tags report about once a second,
+    /// RFID base stations sweep every five seconds, GPS receivers fix
+    /// every two. The supervision layer's staleness watchdog
+    /// (`mw_sensors::health`) flags a sensor whose silence exceeds a
+    /// multiple of this period.
+    #[must_use]
+    pub fn declared_update_period(&self) -> Option<SimDuration> {
+        match self {
+            SensorType::Ubisense => Some(SimDuration::from_secs(1.0)),
+            SensorType::RfidBadge => Some(SimDuration::from_secs(5.0)),
+            SensorType::Gps => Some(SimDuration::from_secs(2.0)),
+            SensorType::Biometric | SensorType::CardReader | SensorType::DesktopLogin => None,
+        }
+    }
 }
 
 impl fmt::Display for SensorType {
@@ -162,6 +186,14 @@ impl SensorSpec {
     #[must_use]
     pub fn misident_model(&self) -> MisidentModel {
         self.misident
+    }
+
+    /// The declared update period of the underlying technology (see
+    /// [`SensorType::declared_update_period`]); `None` for event-driven
+    /// sensors.
+    #[must_use]
+    pub fn update_period(&self) -> Option<SimDuration> {
+        self.sensor_type.declared_update_period()
     }
 
     /// `z` for a reported region of `area_a` within coverage `area_u`.
@@ -416,5 +448,25 @@ mod tests {
             spec.misident_model(),
             MisidentModel::AreaProportional { .. }
         ));
+    }
+
+    #[test]
+    fn declared_update_periods() {
+        assert_eq!(
+            SensorSpec::ubisense(0.9).update_period(),
+            Some(SimDuration::from_secs(1.0))
+        );
+        assert_eq!(
+            SensorSpec::rfid_badge(0.8).update_period(),
+            Some(SimDuration::from_secs(5.0))
+        );
+        assert_eq!(
+            SensorSpec::gps(0.7).update_period(),
+            Some(SimDuration::from_secs(2.0))
+        );
+        // Event-driven technologies declare no period: silence is normal.
+        assert_eq!(SensorSpec::biometric_short_term().update_period(), None);
+        assert_eq!(SensorSpec::card_reader().update_period(), None);
+        assert_eq!(SensorSpec::desktop_login().update_period(), None);
     }
 }

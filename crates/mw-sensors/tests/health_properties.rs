@@ -1,0 +1,171 @@
+//! Property-based tests for the sensor supervision state machine.
+//!
+//! Two invariants the supervisor must hold under *any* interleaving of
+//! readings, watchdog ticks, conflict losses and clock skew:
+//!
+//! 1. the health state machine only ever takes legal edges
+//!    (`Healthy → Degraded`, `Degraded → Healthy`, `Degraded →
+//!    Quarantined`, `Quarantined → Healthy`, `Quarantined →
+//!    Quarantined` on a failed probe) — in particular a sensor is never
+//!    quarantined straight from `Healthy`;
+//! 2. quarantine is always recoverable: whatever garbage got a sensor
+//!    quarantined, a clean reading through the half-open probe window
+//!    restores it to `Healthy`.
+
+use mw_geometry::{Point, Rect};
+use mw_model::{SimDuration, SimTime, TemporalDegradation};
+use mw_sensors::{
+    GateDecision, HealthConfig, HealthState, SensorReading, SensorSpec, SensorSupervisor,
+};
+use proptest::prelude::*;
+
+fn frame() -> Rect {
+    Rect::new(Point::new(0.0, 0.0), Point::new(500.0, 100.0))
+}
+
+fn reading(center: Point, at: SimTime) -> SensorReading {
+    SensorReading {
+        sensor_id: "ubi-prop".into(),
+        spec: SensorSpec::ubisense(1.0),
+        object: "alice".into(),
+        glob_prefix: "CS/Floor3".parse().unwrap(),
+        region: Rect::from_center(center, 2.0, 2.0),
+        detected_at: at,
+        time_to_live: SimDuration::from_secs(30.0),
+        tdf: TemporalDegradation::None,
+        moving: false,
+    }
+}
+
+/// One scripted interaction with the supervisor: `kind` selects the
+/// operation, `(x, y)` a (possibly out-of-frame) position, `dt` how far
+/// the clock advances first.
+type Op = (u8, f64, f64, f64);
+
+fn op() -> impl Strategy<Value = Op> {
+    (0u8..4, -100.0..600.0f64, -60.0..160.0f64, 0.05..4.0f64)
+}
+
+/// Replays a script against a fresh supervisor with the transition log
+/// enabled; returns the supervisor and the final clock.
+fn replay(script: &[Op]) -> (SensorSupervisor, SimTime) {
+    let mut supervisor = SensorSupervisor::new(HealthConfig::new(frame()));
+    supervisor.enable_transition_log();
+    let sensor = "ubi-prop".into();
+    let mut now = SimTime::ZERO;
+    for &(kind, x, y, dt) in script {
+        now += SimDuration::from_secs(dt);
+        match kind {
+            // A reading at (x, y) — in-frame or not, near or teleported.
+            0 => {
+                let mut r = reading(Point::new(x, y), now);
+                supervisor.admit(&mut r, now);
+            }
+            // A reading stamped in the future (a skewed sensor clock).
+            1 => {
+                let skew = SimDuration::from_secs(1.0 + x.abs());
+                let mut r = reading(Point::new(250.0, 50.0), now + skew);
+                supervisor.admit(&mut r, now);
+            }
+            // The staleness watchdog fires.
+            2 => supervisor.tick(now),
+            // Fusion reports this sensor lost a conflict.
+            _ => supervisor.record_conflict_loss(&sensor, now),
+        }
+    }
+    (supervisor, now)
+}
+
+/// The only edges the state machine may take.
+fn legal(from: HealthState, to: HealthState) -> bool {
+    use HealthState::{Degraded, Healthy, Quarantined};
+    matches!(
+        (from, to),
+        (Healthy, Degraded)
+            | (Degraded, Healthy)
+            | (Degraded, Quarantined)
+            | (Quarantined, Healthy)
+            | (Quarantined, Quarantined)
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn transitions_follow_the_state_machine(
+        script in proptest::collection::vec(op(), 1..60),
+    ) {
+        let (supervisor, _) = replay(&script);
+        let log = supervisor.transition_log();
+        let mut last_at = SimTime::ZERO;
+        for event in log {
+            prop_assert!(
+                legal(event.from, event.to),
+                "illegal transition {:?} -> {:?}", event.from, event.to
+            );
+            prop_assert!(event.at >= last_at, "transition log went back in time");
+            last_at = event.at;
+        }
+        // The log replays to the supervisor's current belief.
+        if let Some(last) = log.last() {
+            prop_assert_eq!(Some(last.to), supervisor.state(&"ubi-prop".into()));
+        }
+    }
+
+    #[test]
+    fn quarantine_is_always_recoverable(
+        script in proptest::collection::vec(op(), 1..60),
+    ) {
+        let (mut supervisor, mut now) = replay(&script);
+        let sensor = "ubi-prop".into();
+
+        // Force quarantine if the script didn't get there on its own:
+        // out-of-frame garbage while the gate is open, dirty probes while
+        // it is half-open. Walking the full ladder (degrade -> quarantine
+        // -> failed probes) is bounded by the strike thresholds plus the
+        // capped backoff, so 64 attempts is far more than enough.
+        let mut attempts = 0;
+        while supervisor.state(&sensor) != Some(HealthState::Quarantined) {
+            attempts += 1;
+            prop_assert!(attempts < 64, "could not force quarantine");
+            if let Some(probe_at) = supervisor.next_probe_at(&sensor) {
+                if now < probe_at {
+                    now = probe_at + SimDuration::from_secs(0.001);
+                }
+            } else {
+                now += SimDuration::from_secs(0.5);
+            }
+            let mut bad = reading(Point::new(-50.0, -50.0), now);
+            supervisor.admit(&mut bad, now);
+        }
+
+        // However deep the backoff, the next probe window is finite...
+        let probe_at = supervisor.next_probe_at(&sensor);
+        prop_assert!(probe_at.is_some(), "quarantined sensor has no probe scheduled");
+        now = probe_at.unwrap() + SimDuration::from_secs(0.001);
+
+        // ...and one clean probe through it restores Healthy.
+        let mut probe = reading(Point::new(250.0, 50.0), now);
+        let decision = supervisor.admit(&mut probe, now);
+        prop_assert_eq!(decision, GateDecision::Accept);
+        prop_assert_eq!(supervisor.state(&sensor), Some(HealthState::Healthy));
+        prop_assert!(supervisor.excluded().is_empty());
+    }
+
+    #[test]
+    fn excluded_set_is_exactly_the_quarantined_sensors(
+        script in proptest::collection::vec(op(), 1..60),
+    ) {
+        let (supervisor, _) = replay(&script);
+        let excluded = supervisor.excluded();
+        for (sensor, state) in supervisor.states() {
+            prop_assert_eq!(
+                excluded.contains(sensor),
+                state == HealthState::Quarantined,
+                "excluded() disagrees with states() for {:?}", sensor
+            );
+        }
+        prop_assert_eq!(excluded.len(), supervisor.quarantined_count());
+    }
+}

@@ -1,0 +1,282 @@
+//! Scripted misbehaving sensors for chaos experiments.
+//!
+//! [`ByzantineAdapter`] is a real [`Adapter`] that emits readings for one
+//! sensor with a scripted failure mode: after `honest_events` sane
+//! readings it turns byzantine and — depending on its
+//! [`ByzantineMode`] — keeps reporting a stuck position, teleports
+//! between far-apart positions, stamps readings with a skewed (future)
+//! clock, or goes silent entirely. Everything is driven by a fixed seed,
+//! so a chaos test can assert the supervision layer's `health.*`
+//! counters against the *exact* number of scripted faults.
+//!
+//! The modes mirror the sensing-layer failure taxonomy the supervision
+//! module defends against (see [`mw_sensors::health`]): stuck and
+//! teleporting sensors trip the implied-velocity gate, stale clocks trip
+//! the future-timestamp clamp, and silent death trips the staleness
+//! watchdog.
+
+use mw_geometry::{Point, Rect};
+use mw_model::{SimDuration, SimTime, TemporalDegradation};
+use mw_sensors::{
+    Adapter, AdapterId, AdapterOutput, MobileObjectId, SensorId, SensorReading, SensorSpec,
+    SensorType,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How the sensor misbehaves once its honest phase ends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ByzantineMode {
+    /// Keeps reporting the last honest position forever while the
+    /// tracked object walks away — the classic frozen-driver failure.
+    /// (Surfaces as teleports *from the stuck position* when another
+    /// sane sensor is interleaved through the same supervisor, or as a
+    /// conflict-loss pattern in fusion.)
+    Stuck,
+    /// Alternates between the honest position and a mirror position
+    /// `hop_ft` away on every reading — impossible implied velocity.
+    Teleporting {
+        /// Distance of each hop, in feet.
+        hop_ft: f64,
+    },
+    /// Reports the honest position but stamps readings `skew` ahead of
+    /// the service clock — a sensor whose NTP died.
+    StaleClock {
+        /// How far into the future the sensor's clock runs.
+        skew: SimDuration,
+    },
+    /// Stops emitting anything — the staleness watchdog's prey.
+    SilentDeath,
+}
+
+/// A scripted misbehaving sensor, driven like any other adapter: call
+/// [`Adapter::translate`] once per declared update period with the
+/// object's true position as the event.
+///
+/// # Example
+///
+/// ```
+/// use mw_geometry::Point;
+/// use mw_model::SimTime;
+/// use mw_sensors::Adapter;
+/// use mw_sim::{ByzantineAdapter, ByzantineMode};
+///
+/// let mut sensor = ByzantineAdapter::new(
+///     "ubi-evil",
+///     ByzantineMode::Teleporting { hop_ft: 400.0 },
+///     2,      // two honest readings first
+///     0xc0ffee,
+/// );
+/// // Honest phase: reports the true position.
+/// let out = sensor.translate(Point::new(100.0, 50.0), SimTime::from_secs(0.0));
+/// assert_eq!(out.readings.len(), 1);
+/// assert_eq!(sensor.faulty_emitted(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ByzantineAdapter {
+    adapter_id: AdapterId,
+    sensor_id: SensorId,
+    object: MobileObjectId,
+    spec: SensorSpec,
+    mode: ByzantineMode,
+    honest_events: u64,
+    events_seen: u64,
+    emitted: u64,
+    faulty: u64,
+    stuck_at: Option<Point>,
+    hop_parity: bool,
+    rng: StdRng,
+}
+
+impl ByzantineAdapter {
+    /// Creates a byzantine Ubisense-class sensor named `sensor` tracking
+    /// object `"alice"`; behaves honestly for the first `honest_events`
+    /// readings, then switches to `mode`. `seed` fixes all randomness.
+    #[must_use]
+    pub fn new(sensor: &str, mode: ByzantineMode, honest_events: u64, seed: u64) -> Self {
+        ByzantineAdapter {
+            adapter_id: AdapterId::new(format!("byz-{sensor}")),
+            sensor_id: sensor.into(),
+            object: "alice".into(),
+            spec: SensorSpec::ubisense(1.0),
+            mode,
+            honest_events,
+            events_seen: 0,
+            emitted: 0,
+            faulty: 0,
+            stuck_at: None,
+            hop_parity: false,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Overrides the tracked object (default `"alice"`).
+    #[must_use]
+    pub fn tracking(mut self, object: impl Into<MobileObjectId>) -> Self {
+        self.object = object.into();
+        self
+    }
+
+    /// Overrides the sensor calibration (default perfect-carry Ubisense).
+    #[must_use]
+    pub fn with_spec(mut self, spec: SensorSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// The scripted failure mode.
+    #[must_use]
+    pub fn mode(&self) -> ByzantineMode {
+        self.mode
+    }
+
+    /// The sensor id this adapter reports as.
+    #[must_use]
+    pub fn sensor_id(&self) -> &SensorId {
+        &self.sensor_id
+    }
+
+    /// Total readings emitted (honest + faulty). Silent-death events
+    /// emit nothing and don't count.
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Readings emitted *after* the honest phase ended — the number a
+    /// chaos test should expect the supervision layer to flag (for
+    /// `SilentDeath`, the count of *suppressed* emissions instead).
+    #[must_use]
+    pub fn faulty_emitted(&self) -> u64 {
+        self.faulty
+    }
+
+    /// `true` once the honest phase is over.
+    #[must_use]
+    pub fn is_byzantine(&self) -> bool {
+        self.events_seen > self.honest_events
+    }
+
+    fn reading(&mut self, center: Point, at: SimTime) -> SensorReading {
+        // Ubisense-style tight box with seeded sub-foot jitter, so runs
+        // are deterministic per seed but not artificially identical.
+        let jitter = self.rng.gen_range(-0.05..0.05f64);
+        SensorReading {
+            sensor_id: self.sensor_id.clone(),
+            spec: self.spec,
+            object: self.object.clone(),
+            glob_prefix: "CS/Floor3".parse().expect("static glob"),
+            region: Rect::from_center(Point::new(center.x + jitter, center.y), 2.0, 2.0),
+            detected_at: at,
+            time_to_live: SimDuration::from_secs(30.0),
+            tdf: TemporalDegradation::None,
+            moving: false,
+        }
+    }
+}
+
+impl Adapter for ByzantineAdapter {
+    /// The tracked object's true position (ground truth from the
+    /// simulation).
+    type Event = Point;
+
+    fn adapter_id(&self) -> &AdapterId {
+        &self.adapter_id
+    }
+
+    fn sensor_type(&self) -> SensorType {
+        SensorType::Ubisense
+    }
+
+    fn translate(&mut self, truth: Point, now: SimTime) -> AdapterOutput {
+        self.events_seen += 1;
+        if self.events_seen <= self.honest_events {
+            self.stuck_at = Some(truth);
+            self.emitted += 1;
+            return AdapterOutput::single(self.reading(truth, now));
+        }
+        self.faulty += 1;
+        match self.mode {
+            ByzantineMode::Stuck => {
+                let frozen = self.stuck_at.unwrap_or(truth);
+                self.emitted += 1;
+                AdapterOutput::single(self.reading(frozen, now))
+            }
+            ByzantineMode::Teleporting { hop_ft } => {
+                self.hop_parity = !self.hop_parity;
+                let center = if self.hop_parity {
+                    Point::new(truth.x + hop_ft, truth.y)
+                } else {
+                    truth
+                };
+                self.emitted += 1;
+                AdapterOutput::single(self.reading(center, now))
+            }
+            ByzantineMode::StaleClock { skew } => {
+                self.emitted += 1;
+                AdapterOutput::single(self.reading(truth, now + skew))
+            }
+            ByzantineMode::SilentDeath => AdapterOutput::empty(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(mode: ByzantineMode, events: u64) -> (ByzantineAdapter, Vec<SensorReading>) {
+        let mut adapter = ByzantineAdapter::new("byz-1", mode, 3, 42);
+        let mut readings = Vec::new();
+        for i in 0..events {
+            #[allow(clippy::cast_precision_loss)]
+            let t = i as f64;
+            let out = adapter.translate(Point::new(100.0 + t, 50.0), SimTime::from_secs(t));
+            readings.extend(out.readings);
+        }
+        (adapter, readings)
+    }
+
+    #[test]
+    fn honest_phase_then_stuck() {
+        let (adapter, readings) = drive(ByzantineMode::Stuck, 8);
+        assert_eq!(adapter.emitted(), 8);
+        assert_eq!(adapter.faulty_emitted(), 5);
+        assert!(adapter.is_byzantine());
+        // Faulty readings all report the last honest position (x ≈ 102).
+        for r in &readings[3..] {
+            assert!((r.region.center().x - 102.0).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn teleporting_alternates_far_positions() {
+        let (_, readings) = drive(ByzantineMode::Teleporting { hop_ft: 400.0 }, 6);
+        let x3 = readings[3].region.center().x;
+        let x4 = readings[4].region.center().x;
+        assert!((x3 - x4).abs() > 300.0, "hop not visible: {x3} vs {x4}");
+    }
+
+    #[test]
+    fn stale_clock_stamps_the_future() {
+        let skew = SimDuration::from_secs(120.0);
+        let (_, readings) = drive(ByzantineMode::StaleClock { skew }, 5);
+        assert!(!readings[2].is_from_future(SimTime::from_secs(2.0)));
+        assert!(readings[4].is_from_future(SimTime::from_secs(4.0)));
+    }
+
+    #[test]
+    fn silent_death_stops_emitting() {
+        let (adapter, readings) = drive(ByzantineMode::SilentDeath, 10);
+        assert_eq!(readings.len(), 3);
+        assert_eq!(adapter.emitted(), 3);
+        assert_eq!(adapter.faulty_emitted(), 7);
+    }
+
+    #[test]
+    fn fixed_seed_is_deterministic() {
+        let (_, a) = drive(ByzantineMode::Stuck, 8);
+        let (_, b) = drive(ByzantineMode::Stuck, 8);
+        assert_eq!(a, b);
+    }
+}

@@ -25,12 +25,14 @@
 #![warn(missing_docs)]
 
 pub mod building;
+pub mod byzantine;
 pub mod calibration;
 mod deployment;
 mod person;
 mod simulation;
 
 pub use building::FloorPlan;
+pub use byzantine::{ByzantineAdapter, ByzantineMode};
 pub use calibration::{fit_tdf, CarryProbabilityEstimator, FittedTdf};
 pub use deployment::{Deployment, DeploymentConfig};
 pub use person::Person;

@@ -19,13 +19,14 @@ use middlewhere::bus::stats::{fetch_snapshot, serve_stats, SnapshotPublisher, SN
 use middlewhere::bus::transport::TcpFrameTransport;
 use middlewhere::bus::Broker;
 use middlewhere::core::{
-    LocationQuery, LocationService, Notification, SubscriptionSpec, NOTIFICATION_TOPIC,
+    CoreError, LocationQuery, LocationService, Notification, SubscriptionSpec, NOTIFICATION_TOPIC,
 };
 use middlewhere::geometry::{Point, Rect};
 use middlewhere::model::{SimDuration, SimTime, TemporalDegradation};
 use middlewhere::obs::{MetricsRegistry, Snapshot};
-use middlewhere::sensors::{SensorReading, SensorSpec};
+use middlewhere::sensors::{Adapter, HealthConfig, SensorReading, SensorSpec, SensorSupervisor};
 use middlewhere::sim::building::paper_floor;
+use middlewhere::sim::{ByzantineAdapter, ByzantineMode};
 
 fn reading(object: &str, region: Rect, at: f64) -> SensorReading {
     SensorReading {
@@ -49,7 +50,16 @@ fn main() {
     let broker = Broker::new();
     let plan = paper_floor();
     let universe = plan.universe;
-    let service = LocationService::new_with_obs(plan.db, universe, &broker, &registry);
+    // Supervised service: every reading passes the sensor-health gates
+    // and `health.*` metrics land in the same registry. The probe
+    // pipeline paces sightings ~10 s apart on sensors that declare a 1 s
+    // period, so widen the staleness window — only the scripted rogue
+    // below should trip the supervisor.
+    let mut supervision = HealthConfig::new(universe);
+    supervision.staleness_factor = 20.0;
+    let supervisor = SensorSupervisor::new(supervision).shared();
+    let service =
+        LocationService::new_supervised(plan.db, universe, &broker, &registry, supervisor);
 
     // Serve the registry over the bus (pull) and on the snapshot topic
     // (push).
@@ -162,6 +172,10 @@ fn main() {
         answer.probability().unwrap(),
         answer.band().unwrap()
     );
+    assert!(
+        answer.quality().is_full(),
+        "all sensors healthy, so the answer is full-quality"
+    );
     let _ = service
         .query(LocationQuery::of("alice").in_rect(corridor).at(now))
         .expect("query");
@@ -183,6 +197,44 @@ fn main() {
     }
     assert_eq!(received, entries, "exactly-once delivery over the bridge");
 
+    // --- quarantine a rogue sensor live ------------------------------------
+
+    // A second badge tracks mallory; after two honest sightings it
+    // starts teleporting 300 ft per reading. Five impossible hops walk
+    // it Healthy → Degraded → Quarantined while the service keeps
+    // serving alice.
+    let mut rogue = ByzantineAdapter::new(
+        "Ubi-rogue",
+        ByzantineMode::Teleporting { hop_ft: -300.0 },
+        2,
+        0x0bad_5eed,
+    )
+    .tracking("mallory");
+    for t in 75..=81u32 {
+        let now = SimTime::from_secs(f64::from(t));
+        service.ingest(rogue.translate(Point::new(320.0, 12.0), now), now);
+    }
+    assert!(
+        service
+            .supervisor()
+            .expect("supervised service")
+            .lock()
+            .unwrap()
+            .is_quarantined(&"Ubi-rogue".into()),
+        "five impossible hops quarantine the rogue"
+    );
+    println!(
+        "Ubi-rogue quarantined after {} impossible hops",
+        rogue.faulty_emitted()
+    );
+    // mallory's only readings came from the quarantined rogue: the
+    // service degrades explicitly instead of serving its garbage.
+    let mallory = service.query(LocationQuery::of("mallory").at(SimTime::from_secs(82.0)));
+    assert!(
+        matches!(mallory, Err(CoreError::SensorsQuarantined { .. })),
+        "{mallory:?}"
+    );
+
     // --- fetch the snapshot over the stats RPC ----------------------------
 
     let snapshot = fetch_snapshot(&broker).expect("stats RPC");
@@ -201,7 +253,7 @@ fn main() {
         snapshot.gauge("fusion.lattice.size").unwrap_or(0.0) > 0.0,
         "fusion lattice gauge set"
     );
-    assert_eq!(snapshot.counter("core.query.count"), Some(2));
+    assert_eq!(snapshot.counter("core.query.count"), Some(3));
     assert!(snapshot.counter("db.readings_inserted").unwrap_or(0) >= 8);
     assert!(
         snapshot
@@ -218,6 +270,33 @@ fn main() {
             >= 1,
         "the duplicated frame was discarded exactly once"
     );
+
+    // The supervision layer's ledger, as a filtered section of the same
+    // snapshot: exactly the scripted rogue's faults, nothing else.
+    let health = snapshot.section("health.");
+    assert!(
+        !health.counters.is_empty()
+            && health
+                .counters
+                .iter()
+                .all(|c| c.name.starts_with("health.")),
+        "health section is non-empty and health-only"
+    );
+    assert_eq!(
+        health.counter("health.violations.teleport"),
+        Some(rogue.faulty_emitted()),
+        "teleport violations == scripted hops"
+    );
+    assert_eq!(health.counter("health.quarantines"), Some(1));
+    assert_eq!(
+        health.counter("health.readings_rejected"),
+        Some(rogue.faulty_emitted())
+    );
+    // 8 alice sightings + 2 honest rogue sightings passed the gates.
+    assert_eq!(health.counter("health.readings_accepted"), Some(10));
+    assert_eq!(health.gauge("health.sensor.Ubi-rogue.state"), Some(2.0));
+    println!("\n--- health section ---");
+    println!("{}", health.to_json_pretty());
 
     // The push mode delivered snapshots too.
     let pushed = snapshot_inbox

@@ -1,0 +1,376 @@
+//! Byzantine-sensor chaos suite: the full degradation ladder, end to end.
+//!
+//! A five-sensor deployment tracks one person through the paper's
+//! Figure 5/6-style overlap scenario while scripted [`ByzantineAdapter`]s
+//! misbehave on a fixed schedule:
+//!
+//! 1. **healthy** — the supervised service's answers are byte-identical
+//!    to an unsupervised twin fed the same readings;
+//! 2. **two sensors fail** (teleporting, stale clock) — the supervisor
+//!    quarantines them and answers carry [`AnswerQuality::Partial`];
+//! 3. **everything goes silent** — the staleness watchdog quarantines the
+//!    rest and queries fall back to the last-known-good fix with
+//!    TDF-degraded probability and an age-widened region
+//!    ([`AnswerQuality::LastKnownGood`]);
+//! 4. **recovery** — one clean reading per sensor through the half-open
+//!    probe window restores every sensor and answers return to
+//!    [`AnswerQuality::Full`].
+//!
+//! Every schedule is fixed, so the `health.*` counters are asserted
+//! *exactly* against the scripted fault counts — invariants, not bounds.
+//!
+//! Re-run: `cargo test --test sensor_chaos -- --nocapture`.
+
+use std::time::Duration;
+
+use mw_bus::Broker;
+use mw_core::{AnswerQuality, CoreError, LocationQuery, LocationService};
+use mw_geometry::{Point, Polygon, Rect, Segment};
+use mw_model::{SimDuration, SimTime, TemporalDegradation};
+use mw_obs::MetricsRegistry;
+use mw_sensors::{
+    Adapter, AdapterOutput, HealthConfig, SensorReading, SensorSpec, SensorSupervisor,
+    SharedSupervisor,
+};
+use mw_sim::{ByzantineAdapter, ByzantineMode};
+use mw_spatial_db::{Geometry, ObjectType, SpatialDatabase, SpatialObject};
+
+/// Fixed seed for the byzantine adapters; CI runs exactly this schedule.
+const CHAOS_SEED: u64 = 0x00c0_ffee_0bad;
+
+/// Where alice actually stands: inside room 3105.
+const TRUTH: Point = Point { x: 340.0, y: 10.0 };
+
+fn universe() -> Rect {
+    Rect::new(Point::new(0.0, 0.0), Point::new(500.0, 100.0))
+}
+
+fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+    Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+}
+
+/// The Siebel third-floor corner the paper's figures use: a floor, room
+/// 3105, the corridor outside it, and the connecting door.
+fn floor_db() -> SpatialDatabase {
+    let mut db = SpatialDatabase::new();
+    let prefix: mw_model::Glob = "CS/Floor3".parse().unwrap();
+    db.insert_object(SpatialObject::new(
+        "Floor3",
+        "CS".parse().unwrap(),
+        ObjectType::Floor,
+        Geometry::Polygon(Polygon::from_rect(&rect(0.0, 0.0, 500.0, 100.0))),
+    ))
+    .unwrap();
+    db.insert_object(SpatialObject::new(
+        "3105",
+        prefix.clone(),
+        ObjectType::Room,
+        Geometry::Polygon(Polygon::from_rect(&rect(330.0, 0.0, 350.0, 30.0))),
+    ))
+    .unwrap();
+    db.insert_object(SpatialObject::new(
+        "LabCorridor",
+        prefix.clone(),
+        ObjectType::Corridor,
+        Geometry::Polygon(Polygon::from_rect(&rect(310.0, 0.0, 330.0, 30.0))),
+    ))
+    .unwrap();
+    db.insert_object(SpatialObject::new(
+        "Door3105",
+        prefix,
+        ObjectType::Door,
+        Geometry::Line(Segment::new(
+            Point::new(330.0, 10.0),
+            Point::new(330.0, 14.0),
+        )),
+    ))
+    .unwrap();
+    db
+}
+
+fn supervised_service(
+    broker: &Broker,
+    registry: &MetricsRegistry,
+) -> (std::sync::Arc<LocationService>, SharedSupervisor) {
+    let supervisor = SensorSupervisor::new(HealthConfig::new(universe())).shared();
+    let service = LocationService::new_supervised(
+        floor_db(),
+        universe(),
+        broker,
+        registry,
+        supervisor.clone(),
+    );
+    (service, supervisor)
+}
+
+/// A hand-made clean reading — what a repaired sensor sends as its probe.
+fn honest_reading(sensor: &str, at: SimTime) -> SensorReading {
+    SensorReading {
+        sensor_id: sensor.into(),
+        spec: SensorSpec::ubisense(1.0),
+        object: "alice".into(),
+        glob_prefix: "CS/Floor3".parse().unwrap(),
+        region: Rect::from_center(TRUTH, 2.0, 2.0),
+        detected_at: at,
+        time_to_live: SimDuration::from_secs(30.0),
+        tdf: TemporalDegradation::None,
+        moving: false,
+    }
+}
+
+#[test]
+fn full_degradation_ladder_with_exact_health_counters() {
+    let registry = MetricsRegistry::new();
+    let broker = Broker::new();
+    let (service, supervisor) = supervised_service(&broker, &registry);
+    // The unsupervised twin: same floor, same readings, no supervision.
+    let twin_broker = Broker::new();
+    let twin = LocationService::new(floor_db(), universe(), &twin_broker);
+
+    // Five Ubisense-class sensors (declared period 1s). Three die
+    // silently late in the run; one teleports 300 ft *into* the frame
+    // (x 340 → 40) so the violation is unambiguously an implied-velocity
+    // fault, not an out-of-frame one; one's clock runs 120 s fast.
+    let mut sensors: Vec<ByzantineAdapter> = vec![
+        ByzantineAdapter::new("ubi-1", ByzantineMode::SilentDeath, 11, CHAOS_SEED),
+        ByzantineAdapter::new("ubi-2", ByzantineMode::SilentDeath, 11, CHAOS_SEED + 1),
+        ByzantineAdapter::new("ubi-3", ByzantineMode::SilentDeath, 11, CHAOS_SEED + 2),
+        ByzantineAdapter::new(
+            "ubi-4",
+            ByzantineMode::Teleporting { hop_ft: -300.0 },
+            3,
+            CHAOS_SEED + 3,
+        ),
+        ByzantineAdapter::new(
+            "ubi-5",
+            ByzantineMode::StaleClock {
+                skew: SimDuration::from_secs(120.0),
+            },
+            3,
+            CHAOS_SEED + 4,
+        ),
+    ];
+
+    let drive = |sensors: &mut [ByzantineAdapter],
+                 range: std::ops::RangeInclusive<usize>,
+                 t: f64,
+                 mirror: bool| {
+        let now = SimTime::from_secs(t);
+        for s in &mut sensors[range] {
+            let out = s.translate(TRUTH, now);
+            if mirror {
+                twin.ingest(out.clone(), now);
+            }
+            service.ingest(out, now);
+        }
+    };
+
+    // --- Rung 0: healthy. Everyone reports; supervised == unsupervised.
+    for t in 0..=2 {
+        drive(&mut sensors, 0..=4, f64::from(t), true);
+    }
+    let baseline = SimTime::from_secs(2.5);
+    for query in [
+        LocationQuery::of("alice").at(baseline),
+        LocationQuery::of("alice").distribution().at(baseline),
+        LocationQuery::of("alice")
+            .in_region("CS/Floor3/3105")
+            .at(baseline),
+    ] {
+        let supervised = service.query(query.clone()).unwrap();
+        let unsupervised = twin.query(query).unwrap();
+        assert_eq!(
+            supervised, unsupervised,
+            "healthy supervised answers must be byte-identical to the twin's"
+        );
+        assert_eq!(supervised.quality(), AnswerQuality::Full);
+    }
+
+    // --- Rung 1: ubi-4 teleports and ubi-5's clock skews, five faulty
+    // readings each (t = 3..=7): exactly enough strikes to walk
+    // Healthy → Degraded (2) → Quarantined (3).
+    for t in 3..=7 {
+        drive(&mut sensors, 0..=4, f64::from(t), false);
+    }
+    // The healthy three keep reporting through t = 10.
+    for t in 8..=10 {
+        drive(&mut sensors, 0..=2, f64::from(t), false);
+    }
+    assert_eq!(sensors[3].faulty_emitted(), 5, "scripted teleport faults");
+    assert_eq!(sensors[4].faulty_emitted(), 5, "scripted clock faults");
+    {
+        let guard = supervisor.lock().unwrap();
+        assert_eq!(guard.quarantined_count(), 2);
+        assert!(guard.is_quarantined(&"ubi-4".into()));
+        assert!(guard.is_quarantined(&"ubi-5".into()));
+    }
+    let t10 = SimTime::from_secs(10.0);
+    let partial = service.query(LocationQuery::of("alice").at(t10)).unwrap();
+    assert_eq!(
+        partial.quality(),
+        AnswerQuality::Partial,
+        "live readings from quarantined sensors exist, so the answer is partial"
+    );
+    let partial_fix = partial.fix().unwrap().clone();
+    assert!(
+        partial_fix.probability > 0.5,
+        "p={}",
+        partial_fix.probability
+    );
+    let snap = registry.snapshot();
+    assert_eq!(snap.gauge("health.sensor.ubi-4.state"), Some(2.0));
+    assert_eq!(snap.gauge("health.sensor.ubi-5.state"), Some(2.0));
+    assert_eq!(snap.gauge("health.sensor.ubi-1.state"), Some(0.0));
+
+    // --- Rung 2: the remaining three go silent. Empty ingests advance
+    // the staleness watchdog; with a 1 s declared period and the default
+    // ×3 staleness factor the missed windows fall at t = 13, 16, 19, 22
+    // and 25 — five strikes, quarantining all three at t = 25.
+    for t in 11..=26 {
+        drive(&mut sensors, 0..=2, f64::from(t), false);
+    }
+    assert_eq!(supervisor.lock().unwrap().quarantined_count(), 5);
+    let t26 = SimTime::from_secs(26.0);
+    let lkg = service.query(LocationQuery::of("alice").at(t26)).unwrap();
+    assert_eq!(lkg.quality(), AnswerQuality::LastKnownGood);
+    let lkg_fix = lkg.fix().unwrap();
+    // The fallback is the cached t = 10 fix, honestly aged: probability
+    // degraded through the TDF, region widened by the age-scaled motion
+    // bound, timestamp kept at the fix's true epoch.
+    assert_eq!(lkg_fix.at, t10);
+    assert!(
+        lkg_fix.probability < partial_fix.probability,
+        "TDF must shrink confidence: {} vs {}",
+        lkg_fix.probability,
+        partial_fix.probability
+    );
+    assert!(
+        lkg_fix.region.contains_rect(&partial_fix.region)
+            && lkg_fix.region.area() > partial_fix.region.area(),
+        "LKG region must be a strict widening"
+    );
+
+    // A query with an already-exhausted deadline budget skips fusion and
+    // goes straight to the last-known-good rung.
+    let rushed = service
+        .query(
+            LocationQuery::of("alice")
+                .at(SimTime::from_secs(26.5))
+                .within(Duration::ZERO),
+        )
+        .unwrap();
+    assert_eq!(rushed.quality(), AnswerQuality::LastKnownGood);
+
+    // --- Rung 3: recovery. All probe windows are open by t = 32 (the
+    // initial 5 s backoff, jittered into [2.5 s, 5 s], armed at t = 25 at
+    // the latest). One clean reading per sensor recovers everything.
+    let t32 = SimTime::from_secs(32.0);
+    for id in ["ubi-1", "ubi-2", "ubi-3", "ubi-4", "ubi-5"] {
+        service.ingest(AdapterOutput::single(honest_reading(id, t32)), t32);
+    }
+    assert_eq!(supervisor.lock().unwrap().quarantined_count(), 0);
+    let healed = service
+        .query(LocationQuery::of("alice").at(SimTime::from_secs(33.0)))
+        .unwrap();
+    assert_eq!(healed.quality(), AnswerQuality::Full);
+
+    // --- The ledger: health.* counters equal the scripted fault counts.
+    let snap = registry.snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    assert_eq!(
+        counter("health.violations.teleport"),
+        sensors[3].faulty_emitted(),
+        "teleport violations == scripted hops"
+    );
+    assert_eq!(
+        counter("health.violations.future_timestamp"),
+        sensors[4].faulty_emitted(),
+        "future-timestamp clamps == scripted skewed readings"
+    );
+    // Three silent sensors × five missed windows each.
+    assert_eq!(counter("health.violations.stale"), 15);
+    assert_eq!(counter("health.violations.out_of_frame"), 0);
+    assert_eq!(counter("health.violations.confidence"), 0);
+    assert_eq!(counter("health.violations.conflict_loss"), 0);
+    assert_eq!(counter("health.quarantines"), 5);
+    assert_eq!(counter("health.probes"), 5);
+    assert_eq!(counter("health.recoveries"), 5);
+    // Rejected = the five teleports; clamped = the five skewed readings;
+    // nothing ever arrived during a closed quarantine window.
+    assert_eq!(counter("health.readings_rejected"), 5);
+    assert_eq!(counter("health.readings_clamped"), 5);
+    assert_eq!(counter("health.quarantine_dropped"), 0);
+    // Accepted: 3 honest sensors × 11 readings + 2 failing sensors ×
+    // 3 honest readings + 5 recovery probes.
+    assert_eq!(counter("health.readings_accepted"), 33 + 6 + 5);
+    assert_eq!(snap.gauge("health.sensor.ubi-4.state"), Some(0.0));
+}
+
+#[test]
+fn exhausted_deadline_with_no_cache_is_an_explicit_error() {
+    let registry = MetricsRegistry::new();
+    let broker = Broker::new();
+    let (service, _supervisor) = supervised_service(&broker, &registry);
+    let err = service
+        .query(
+            LocationQuery::of("alice")
+                .at(SimTime::from_secs(1.0))
+                .within(Duration::ZERO),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, CoreError::DeadlineExceeded { ref object } if object == "alice"),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn all_sensors_quarantined_without_cache_is_an_explicit_error() {
+    let registry = MetricsRegistry::new();
+    let broker = Broker::new();
+    let (service, supervisor) = supervised_service(&broker, &registry);
+    // One sensor, ingested cleanly, then quarantined by the watchdog
+    // before any query ever cached a fix.
+    service.ingest(
+        AdapterOutput::single(honest_reading("ubi-lone", SimTime::ZERO)),
+        SimTime::ZERO,
+    );
+    for t in 1..=20 {
+        service.ingest(AdapterOutput::empty(), SimTime::from_secs(f64::from(t)));
+    }
+    assert!(supervisor
+        .lock()
+        .unwrap()
+        .is_quarantined(&"ubi-lone".into()));
+    // The honest reading (30 s TTL) is still live at t = 20 — but its
+    // only producer is quarantined and there is nothing to fall back to.
+    let err = service
+        .query(LocationQuery::of("alice").at(SimTime::from_secs(20.0)))
+        .unwrap_err();
+    assert!(
+        matches!(err, CoreError::SensorsQuarantined { ref object } if object == "alice"),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn chaos_schedule_is_reproducible() {
+    // The same seed produces the same reading stream, byte for byte.
+    let run = || {
+        let mut a = ByzantineAdapter::new(
+            "ubi-r",
+            ByzantineMode::Teleporting { hop_ft: -300.0 },
+            3,
+            CHAOS_SEED,
+        );
+        let mut readings = Vec::new();
+        for t in 0..10 {
+            readings.extend(
+                a.translate(TRUTH, SimTime::from_secs(f64::from(t)))
+                    .readings,
+            );
+        }
+        readings
+    };
+    assert_eq!(run(), run());
+}
