@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mw_bench::{service_with_triggers, ubisense_reading};
-use mw_core::{Notification, SubscriptionSpec, NOTIFICATION_TOPIC};
+use mw_core::{SharedNotification, SubscriptionSpec, NOTIFICATION_TOPIC};
 use mw_geometry::{Point, Rect};
 use mw_model::{SimDuration, SimTime};
 
@@ -25,7 +25,9 @@ fn trigger_response(c: &mut Criterion) {
                 let _id = service.subscribe(
                     SubscriptionSpec::region_entry(watched, 0.5).for_object("bench-person".into()),
                 );
-                let inbox = broker.topic::<Notification>(NOTIFICATION_TOPIC).subscribe();
+                let inbox = broker
+                    .topic::<SharedNotification>(NOTIFICATION_TOPIC)
+                    .subscribe();
                 let mut tick = 0u64;
                 b.iter(|| {
                     // Leave, then enter: every iteration is a rising edge.

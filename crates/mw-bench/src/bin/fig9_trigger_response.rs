@@ -25,7 +25,7 @@
 use std::time::{Duration, Instant};
 
 use mw_bench::{service_with_triggers, ubisense_reading};
-use mw_core::{Notification, SubscriptionSpec, NOTIFICATION_TOPIC};
+use mw_core::{Notification, SharedNotification, SubscriptionSpec, NOTIFICATION_TOPIC};
 use mw_geometry::{Point, Rect};
 use mw_model::{SimDuration, SimTime};
 
@@ -47,7 +47,9 @@ fn main() {
         let _watched_id = service.subscribe(
             SubscriptionSpec::region_entry(watched, 0.5).for_object("fig9-person".into()),
         );
-        let inbox = broker.topic::<Notification>(NOTIFICATION_TOPIC).subscribe();
+        let inbox = broker
+            .topic::<SharedNotification>(NOTIFICATION_TOPIC)
+            .subscribe();
 
         let mut samples = Vec::with_capacity(UPDATES);
         for update in 0..UPDATES {
@@ -95,7 +97,10 @@ fn main() {
         let _id = service.subscribe(
             SubscriptionSpec::region_entry(watched, 0.5).for_object("fig9-person".into()),
         );
-        let topic = broker.topic::<Notification>(mw_core::NOTIFICATION_TOPIC);
+        // The bridge serves the Arc-wrapped topic; `Arc<T>` is
+        // wire-transparent, so the remote side still decodes plain
+        // `Notification`s.
+        let topic = broker.topic::<SharedNotification>(mw_core::NOTIFICATION_TOPIC);
         let server =
             mw_bus::remote::RemoteTopicServer::bind("127.0.0.1:0", topic).expect("bind bridge");
         let remote_inbox = mw_bus::remote::remote_subscribe::<Notification>(server.local_addr())

@@ -10,15 +10,28 @@
 //! 2. **population** — fixed floor, 5 → 80 people: ingest volume and
 //!    per-step cost,
 //! 3. **subscriptions** — fixed floor and population, 0 → 5000 watched
-//!    regions: per-step cost (the Figure 9 claim at simulation scale).
+//!    regions: per-step cost (the Figure 9 claim at simulation scale),
+//! 4. **perf mix** — the epoch-cached, sharded service against a
+//!    single-shard, cache-free baseline under a repeated-query load and a
+//!    multi-threaded query-heavy mix. Writes `BENCH_perf.json` to the
+//!    workspace root and exits nonzero when the cache-hit speedup, the
+//!    cache-hit ratio, or cached-vs-fresh answer equivalence regresses.
 //!
-//! Run with `cargo run -p mw-bench --release --bin scalability`.
+//! Run with `cargo run -p mw-bench --release --bin scalability`; pass
+//! `perf` as the only argument to run just the perf mix (the CI smoke
+//! step does).
 
+use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
-use mw_core::SubscriptionSpec;
+use mw_bench::{ubisense_reading, LatencyStats};
+use mw_bus::Broker;
+use mw_core::{LocationQuery, LocationService, ServiceTuning, SubscriptionSpec};
 use mw_geometry::{Point, Rect};
-use mw_model::SimDuration;
+use mw_model::{SimDuration, SimTime};
+use mw_obs::MetricsRegistry;
+use mw_sensors::AdapterOutput;
 use mw_sim::{building, DeploymentConfig, SimConfig, Simulation};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -34,9 +47,14 @@ fn full_coverage(rooms: usize, carry: f64) -> DeploymentConfig {
 }
 
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("perf") {
+        perf_mix();
+        return;
+    }
     floor_sweep();
     population_sweep();
     subscription_sweep();
+    perf_mix();
 }
 
 fn floor_sweep() {
@@ -143,5 +161,296 @@ fn subscription_sweep() {
         let per_step = start.elapsed() / 60;
         println!("  {subs:>14} {per_step:>14.1?} {fired:>16}");
     }
+    println!();
+}
+
+// --- perf mix: cached + sharded service vs. uncached single shard -------
+
+const PERF_OBJECTS: usize = 32;
+const REPEATED_QUERIES: usize = 20_000;
+const MIX_OPS_PER_THREAD: usize = 4_000;
+
+fn perf_service(tuning: ServiceTuning) -> (Arc<LocationService>, MetricsRegistry, Broker) {
+    let plan = building::paper_floor();
+    let broker = Broker::new();
+    let registry = MetricsRegistry::new();
+    let svc = LocationService::new_with_tuning_and_obs(
+        plan.db,
+        plan.universe,
+        &broker,
+        &registry,
+        tuning,
+    );
+    (svc, registry, broker)
+}
+
+fn object_name(i: usize) -> String {
+    format!("p{i}")
+}
+
+/// Three readings per object (distinct sensors, overlapping regions so
+/// fusion builds a real lattice), delivered in one batch.
+fn prepopulate(svc: &Arc<LocationService>, now: SimTime) {
+    let outputs: Vec<AdapterOutput> = (0..PERF_OBJECTS)
+        .map(|i| {
+            let center = Point::new(
+                10.0 + (i as f64 * 37.0) % 480.0,
+                10.0 + (i as f64 * 13.0) % 80.0,
+            );
+            AdapterOutput {
+                readings: (0..3)
+                    .map(|s| {
+                        let mut r = ubisense_reading(&object_name(i), center, now);
+                        r.sensor_id = format!("Ubi-{i}-{s}").as_str().into();
+                        r.region =
+                            Rect::from_center(Point::new(center.x + s as f64, center.y), 6.0, 6.0);
+                        r
+                    })
+                    .collect(),
+                revocations: vec![],
+            }
+        })
+        .collect();
+    svc.ingest_batch(outputs, now);
+}
+
+fn seeded_rect(rng: &mut StdRng) -> Rect {
+    let x = rng.gen_range(0.0..460.0);
+    let y = rng.gen_range(0.0..70.0);
+    Rect::new(Point::new(x, y), Point::new(x + 40.0, y + 30.0))
+}
+
+/// Same object, same instant, over and over: on the tuned service every
+/// ask after the first is served from the epoch cache.
+fn repeated_query_throughput(svc: &Arc<LocationService>, now: SimTime, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = Instant::now();
+    for i in 0..REPEATED_QUERIES {
+        let rect = seeded_rect(&mut rng);
+        let _ = svc.query(
+            LocationQuery::of(object_name(i % PERF_OBJECTS).as_str())
+                .in_rect(rect)
+                .at(now),
+        );
+    }
+    REPEATED_QUERIES as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Query-heavy mix (one ingest per 64 ops) across `threads` workers.
+/// Returns (ops/sec, merged latency stats).
+fn mixed_load(
+    svc: &Arc<LocationService>,
+    threads: usize,
+    now: SimTime,
+    seed: u64,
+) -> (f64, LatencyStats) {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let svc = Arc::clone(svc);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed + t as u64);
+                let mut latencies = Vec::with_capacity(MIX_OPS_PER_THREAD);
+                for i in 0..MIX_OPS_PER_THREAD {
+                    let obj = rng.gen_range(0..PERF_OBJECTS);
+                    let op_start = Instant::now();
+                    if i % 64 == 63 {
+                        let center =
+                            Point::new(rng.gen_range(5.0..495.0), rng.gen_range(5.0..95.0));
+                        let mut r = ubisense_reading(&object_name(obj), center, now);
+                        r.sensor_id = format!("Ubi-mix-{obj}").as_str().into();
+                        svc.ingest_reading(r, now);
+                    } else {
+                        let rect = seeded_rect(&mut rng);
+                        let _ = svc.query(
+                            LocationQuery::of(object_name(obj).as_str())
+                                .in_rect(rect)
+                                .at(now),
+                        );
+                    }
+                    latencies.push(op_start.elapsed());
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut all = Vec::new();
+    for h in handles {
+        all.extend(h.join().expect("worker thread"));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (
+        (threads * MIX_OPS_PER_THREAD) as f64 / elapsed,
+        LatencyStats::new(all),
+    )
+}
+
+/// Exact-equality check of every observable query output between the two
+/// configurations. Returns the number of comparisons made.
+fn equivalence_check(
+    tuned: &Arc<LocationService>,
+    baseline: &Arc<LocationService>,
+    now: SimTime,
+) -> usize {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut checks = 0usize;
+    for i in 0..PERF_OBJECTS {
+        let object = object_name(i);
+        for _ in 0..3 {
+            let rect = seeded_rect(&mut rng);
+            // Ask the tuned service twice so the second answer is the
+            // cached one; all three must match the cache-free baseline
+            // bit for bit.
+            let fresh = baseline
+                .query(LocationQuery::of(object.as_str()).in_rect(rect).at(now))
+                .expect("baseline answers");
+            for _ in 0..2 {
+                let cached = tuned
+                    .query(LocationQuery::of(object.as_str()).in_rect(rect).at(now))
+                    .expect("tuned answers");
+                assert_eq!(
+                    cached.probability(),
+                    fresh.probability(),
+                    "probability diverged for {object} in {rect:?}"
+                );
+                assert_eq!(cached.band(), fresh.band(), "band diverged for {object}");
+                assert_eq!(
+                    cached.quality(),
+                    fresh.quality(),
+                    "quality diverged for {object}"
+                );
+                checks += 1;
+            }
+        }
+        let a = tuned.locate(&object.as_str().into(), now).expect("locate");
+        let b = baseline
+            .locate(&object.as_str().into(), now)
+            .expect("locate");
+        assert_eq!(a, b, "locate diverged for {object}");
+        checks += 1;
+    }
+    checks
+}
+
+fn perf_mix() {
+    println!("== perf: epoch-cached sharded service vs single-shard uncached baseline ==");
+    let t0 = SimTime::ZERO;
+    let now = SimTime::from_secs(1.0);
+
+    let (baseline, base_reg, _bb) = perf_service(ServiceTuning {
+        shards: 1,
+        fusion_cache: false,
+    });
+    let (tuned, tuned_reg, _tb) = perf_service(ServiceTuning::default());
+    prepopulate(&baseline, t0);
+    prepopulate(&tuned, t0);
+
+    // 1. Answers must be bit-identical before anything is timed.
+    let checks = equivalence_check(&tuned, &baseline, now);
+    println!("  answer equivalence: {checks} comparisons, all exact");
+
+    // 2. The cache-hit path: repeated queries at one instant.
+    let base_rq = repeated_query_throughput(&baseline, now, 5);
+    let tuned_rq = repeated_query_throughput(&tuned, now, 5);
+    let speedup = tuned_rq / base_rq;
+    println!(
+        "  repeated queries ({REPEATED_QUERIES} ops): baseline {base_rq:>10.0} ops/s, \
+         cached {tuned_rq:>10.0} ops/s ({speedup:.1}x)"
+    );
+
+    // 3. Multi-threaded query-heavy mix.
+    let max_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // Always include 1 and 2 threads (the 2-thread row still measures the
+    // concurrent path, even oversubscribed); 4 only on big enough hosts.
+    let thread_counts: Vec<usize> = [1usize, 2, 4]
+        .into_iter()
+        .filter(|&t| t <= 2 || t <= max_threads)
+        .collect();
+    println!(
+        "  {:>8} {:>20} {:>20}  (p50/p95/p99 µs)",
+        "threads", "baseline ops/s", "cached ops/s"
+    );
+    let mut mix_rows = String::new();
+    for &t in &thread_counts {
+        let (base_tp, base_lat) = mixed_load(&baseline, t, now, 17);
+        let (tuned_tp, tuned_lat) = mixed_load(&tuned, t, now, 17);
+        let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+        println!(
+            "  {:>8} {:>20.0} {:>20.0}  [{:.0}/{:.0}/{:.0} vs {:.0}/{:.0}/{:.0}]",
+            t,
+            base_tp,
+            tuned_tp,
+            us(base_lat.quantile(0.5)),
+            us(base_lat.quantile(0.95)),
+            us(base_lat.quantile(0.99)),
+            us(tuned_lat.quantile(0.5)),
+            us(tuned_lat.quantile(0.95)),
+            us(tuned_lat.quantile(0.99)),
+        );
+        assert!(
+            tuned_tp >= base_tp,
+            "cached+sharded service slower than baseline at {t} threads: \
+             {tuned_tp:.0} vs {base_tp:.0} ops/s"
+        );
+        if !mix_rows.is_empty() {
+            mix_rows.push_str(",\n");
+        }
+        let _ = write!(
+            mix_rows,
+            "    {{\"threads\": {t}, \
+             \"baseline\": {{\"ops_per_sec\": {base_tp:.1}, \"p50_us\": {:.2}, \
+             \"p95_us\": {:.2}, \"p99_us\": {:.2}}}, \
+             \"tuned\": {{\"ops_per_sec\": {tuned_tp:.1}, \"p50_us\": {:.2}, \
+             \"p95_us\": {:.2}, \"p99_us\": {:.2}}}}}",
+            us(base_lat.quantile(0.5)),
+            us(base_lat.quantile(0.95)),
+            us(base_lat.quantile(0.99)),
+            us(tuned_lat.quantile(0.5)),
+            us(tuned_lat.quantile(0.95)),
+            us(tuned_lat.quantile(0.99)),
+        );
+    }
+
+    // 4. Cache effectiveness, from the tuned registry.
+    let snap = tuned_reg.snapshot();
+    let hits = snap.counter("fusion.cache.hits").unwrap_or(0);
+    let misses = snap.counter("fusion.cache.misses").unwrap_or(0);
+    let invalidations = snap.counter("fusion.cache.invalidations").unwrap_or(0);
+    let contention = snap.counter("core.shard.contention").unwrap_or(0);
+    let ratio = hits as f64 / (hits + misses).max(1) as f64;
+    println!(
+        "  cache: {hits} hits / {misses} misses (ratio {ratio:.3}), \
+         {invalidations} invalidations, {contention} contended shard locks"
+    );
+    let base_snap = base_reg.snapshot();
+    assert_eq!(
+        base_snap.counter("fusion.cache.hits").unwrap_or(0),
+        0,
+        "the cache-free baseline must never hit its cache"
+    );
+
+    // Hard gates: the CI smoke step turns any regression here into a
+    // failing build.
+    assert!(
+        speedup >= 5.0,
+        "cache-hit path speedup regressed: {speedup:.2}x < 5x"
+    );
+    assert!(ratio >= 0.8, "cache hit ratio regressed: {ratio:.3} < 0.8");
+
+    let json = format!(
+        "{{\n  \"repeated_query\": {{\"iters\": {REPEATED_QUERIES}, \
+         \"baseline_ops_per_sec\": {base_rq:.1}, \"tuned_ops_per_sec\": {tuned_rq:.1}, \
+         \"speedup\": {speedup:.2}}},\n  \"mixed_load\": [\n{mix_rows}\n  ],\n  \
+         \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"ratio\": {ratio:.4}, \
+         \"invalidations\": {invalidations}, \"shard_contention\": {contention}}},\n  \
+         \"equivalence_checks\": {checks}\n}}\n"
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_perf.json");
+    std::fs::write(&path, json).expect("write BENCH_perf.json");
+    println!("  wrote {}", path.display());
     println!();
 }

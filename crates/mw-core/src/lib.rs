@@ -36,7 +36,10 @@ pub use error::CoreError;
 pub use fix::{LocationFix, Notification};
 pub use query::{AnswerQuality, LocationQuery, QueryAnswer, QueryTarget};
 pub use relations::{CoLocation, ObjectRelation, RegionRelation};
-pub use service::{DegradationPolicy, LocationRequest, LocationResponse, LocationService};
+pub use service::{
+    DegradationPolicy, LocationRequest, LocationResponse, LocationService, ServiceTuning,
+    SharedNotification,
+};
 pub use subscription::{
     DeliveryPolicy, SubscriptionId, SubscriptionSpec, SubscriptionSpecBuilder, SubscriptionTrigger,
 };

@@ -1,14 +1,15 @@
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use mw_bus::{Broker, Publisher};
-use mw_fusion::{BandThresholds, FusionEngine, FusionResult, ProbabilityBand};
+use mw_fusion::{BandThresholds, FusionEngine, FusionResult, ProbabilityBand, SharedFusion};
 use mw_geometry::Rect;
 use mw_model::{Confidence, SimDuration, SimTime, TemporalDegradation};
 use mw_obs::MetricsRegistry;
-use mw_sensors::{AdapterOutput, MobileObjectId, SensorReading, SharedSupervisor};
+use mw_sensors::{AdapterOutput, MobileObjectId, SensorId, SensorReading, SharedSupervisor};
 use mw_spatial_db::{SpatialDatabase, SpatialObject};
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::relations::{self, CoLocation, ObjectRelation, RegionRelation};
 use crate::subscription::SubscriptionManager;
@@ -19,6 +20,127 @@ use crate::{
     QueryAnswer, QueryTarget, SubscriptionId, SubscriptionSpec, SubscriptionSpecBuilder,
     LOCATION_SERVICE_NAME, NOTIFICATION_TOPIC,
 };
+
+/// A [`Notification`] as published on the bus topic: one shared
+/// allocation fanned out to every subscriber instead of a deep clone
+/// per subscriber. On the wire (TCP bridges) it serializes identically
+/// to a plain [`Notification`], so remote subscribers may keep
+/// deserializing either shape.
+pub type SharedNotification = Arc<Notification>;
+
+/// Concurrency tuning for [`LocationService`]: how many shards the
+/// per-object state is spread over and whether fusion results are
+/// cached between ingests. The defaults are right for production; tests
+/// that want the pre-sharding behaviour for differential comparison use
+/// `ServiceTuning { shards: 1, fusion_cache: false }`.
+#[derive(Debug, Clone)]
+pub struct ServiceTuning {
+    /// Number of shards in the per-object state map (readings,
+    /// last-known-good fixes, privacy, fusion cache). Objects hash to a
+    /// shard, so ingest for one object never blocks queries for an
+    /// object on a different shard. Clamped to at least 1.
+    pub shards: usize,
+    /// Cache each object's latest fusion result, keyed by
+    /// (reading-set epoch, query time, excluded-sensor set). Repeated
+    /// queries between ingests then cost a hash lookup instead of a
+    /// lattice rebuild. Answers are bit-identical either way (see the
+    /// equivalence property test).
+    pub fusion_cache: bool,
+}
+
+impl Default for ServiceTuning {
+    fn default() -> Self {
+        ServiceTuning {
+            shards: 16,
+            fusion_cache: true,
+        }
+    }
+}
+
+/// One cached fusion pass. Valid only while every key field still
+/// matches; any mismatch is a miss and the entry is overwritten by the
+/// next fresh fuse.
+#[derive(Debug)]
+struct CachedFusion {
+    /// The object's reading-set epoch when this was computed.
+    epoch: u64,
+    /// Exact query time. Keying on the exact time (not a coarse bucket)
+    /// keeps cached answers bit-identical to fresh fusion — temporal
+    /// degradation and freshness-window (TTL) expiry depend continuously
+    /// on `now`, so any other `now` must recompute.
+    now: SimTime,
+    /// Fingerprint of the supervisor's excluded-sensor set, so a
+    /// quarantine transition between queries invalidates by key.
+    excluded_key: u64,
+    result: Arc<FusionResult>,
+    total: usize,
+    used: usize,
+}
+
+/// Per-object bookkeeping inside one shard.
+#[derive(Debug, Default)]
+struct ObjectState {
+    /// Monotonic version of the object's reading set: bumped on every
+    /// ingest and revocation that touches the object. A bump orphans the
+    /// cached fusion below.
+    epoch: u64,
+    cache: Option<CachedFusion>,
+}
+
+/// The mutable, per-object slice of service state. Objects hash to one
+/// shard; everything an ingest or query touches for that object lives
+/// here, behind one lock that is independent of every other shard.
+#[derive(Debug, Default)]
+struct ShardState {
+    /// Shard-local reading storage (a [`SpatialDatabase`] whose static
+    /// tables stay empty so the `db.*` reading metrics keep aggregating
+    /// across shards by name).
+    db: SpatialDatabase,
+    /// Last successful fix per object, serving the last-known-good rung
+    /// of the degradation ladder. Only populated when supervised.
+    last_good: HashMap<MobileObjectId, LocationFix>,
+    /// Privacy policy: object → maximum GLOB depth revealed (§4.5).
+    privacy: HashMap<MobileObjectId, usize>,
+    objects: HashMap<MobileObjectId, ObjectState>,
+}
+
+impl ShardState {
+    /// Bumps the object's epoch (new evidence or revocation), dropping
+    /// any cached fusion. Returns `true` when a cache entry was dropped.
+    fn bump_epoch(&mut self, object: &MobileObjectId) -> bool {
+        let state = self.objects.entry(object.clone()).or_default();
+        state.epoch = state.epoch.wrapping_add(1);
+        state.cache.take().is_some()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    state: RwLock<ShardState>,
+}
+
+/// Which shard an object's state lives in: hash of the id modulo the
+/// shard count (std's deterministic SipHash with zero keys, so the
+/// mapping is stable across runs and processes).
+fn shard_of(object: &MobileObjectId, shards: usize) -> usize {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    object.hash(&mut hasher);
+    (hasher.finish() as usize) % shards
+}
+
+/// Order-insensitive fingerprint of the excluded-sensor set for the
+/// fusion-cache key (`None` and the empty set share key 0 — both mean
+/// "fuse everything").
+fn excluded_fingerprint(excluded: Option<&HashSet<SensorId>>) -> u64 {
+    let Some(excluded) = excluded else { return 0 };
+    let mut combined = 0u64;
+    for sensor in excluded {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        sensor.hash(&mut hasher);
+        combined ^= hasher.finish();
+    }
+    combined
+}
 
 /// How a supervised service degrades when fusion has nothing to work
 /// with: the last-known-good rung of the ladder
@@ -125,6 +247,10 @@ struct CoreMetrics {
     notifications_published: mw_obs::Counter,
     notification_fanout: mw_obs::Counter,
     subscriptions_active: mw_obs::Gauge,
+    cache_hits: mw_obs::Counter,
+    cache_misses: mw_obs::Counter,
+    cache_invalidations: mw_obs::Counter,
+    shard_contention: mw_obs::Counter,
 }
 
 impl CoreMetrics {
@@ -140,40 +266,50 @@ impl CoreMetrics {
             notifications_published: registry.counter("core.notifications.published"),
             notification_fanout: registry.counter("core.notifications.fanout"),
             subscriptions_active: registry.gauge("core.subscriptions.active"),
+            cache_hits: registry.counter("fusion.cache.hits"),
+            cache_misses: registry.counter("fusion.cache.misses"),
+            cache_invalidations: registry.counter("fusion.cache.invalidations"),
+            shard_contention: registry.counter("core.shard.contention"),
         }
     }
 }
 
 /// The Location Service (§4): fusion, queries, notifications, spatial
 /// relationships and privacy, over the spatial database and the bus.
+///
+/// Concurrency layout (see `DESIGN.md` §10): per-object state —
+/// readings, last-known-good fixes, privacy, the fusion cache — is
+/// spread over a fixed shard map so unrelated objects never contend;
+/// the static world (objects, sensor metadata, triggers) lives in a
+/// read-mostly database whose derived models (`WorldModel`,
+/// `SymbolicLattice`) are swapped as `Arc` snapshots on mutation.
 #[derive(Debug)]
 pub struct LocationService {
-    db: RwLock<SpatialDatabase>,
-    world: RwLock<WorldModel>,
-    symbolic: RwLock<SymbolicLattice>,
+    /// The static tables: spatial objects, sensor metadata, triggers.
+    /// Live readings are shard-local (see [`ShardState`]).
+    statics: RwLock<SpatialDatabase>,
+    world: RwLock<Arc<WorldModel>>,
+    symbolic: RwLock<Arc<SymbolicLattice>>,
+    shards: Box<[Shard]>,
+    tuning: ServiceTuning,
     engine: FusionEngine,
     subs: RwLock<SubscriptionManager>,
-    /// Privacy policy: object → maximum GLOB depth revealed (§4.5).
-    privacy: RwLock<HashMap<MobileObjectId, usize>>,
     /// Hit probabilities (`p_i`) of every sensor technology seen so far;
     /// §4.4 derives the low/medium/high/very-high band edges from "the
     /// accuracy of various sensors" deployed, not just the ones
     /// contributing to one reading.
     sensor_accuracies: RwLock<Vec<f64>>,
-    notifications: Publisher<Notification>,
+    notifications: Publisher<SharedNotification>,
     metrics: Option<CoreMetrics>,
     /// Sensor supervision (quarantine, sanity gates, staleness
     /// watchdogs). `None` keeps the pre-supervision behaviour exactly.
     supervisor: Option<SharedSupervisor>,
-    /// Last successful fix per object, serving the last-known-good rung
-    /// of the degradation ladder. Only populated when supervised.
-    last_good: RwLock<HashMap<MobileObjectId, LocationFix>>,
     degradation: DegradationPolicy,
 }
 
 /// One fusion pass plus the bookkeeping the degradation ladder needs.
 struct FuseAttempt {
-    result: FusionResult,
+    result: SharedFusion,
     /// Live readings the database held for the object.
     total: usize,
     /// Of those, readings from non-quarantined sensors.
@@ -208,7 +344,41 @@ impl LocationService {
         engine: FusionEngine,
         broker: &Broker,
     ) -> Arc<Self> {
-        Self::build(db, engine, broker, None, None)
+        Self::build(db, engine, broker, None, None, ServiceTuning::default())
+    }
+
+    /// Creates a service with explicit concurrency tuning (shard count,
+    /// fusion cache on/off). The other constructors use
+    /// [`ServiceTuning::default`].
+    #[must_use]
+    pub fn new_with_tuning(
+        db: SpatialDatabase,
+        universe: Rect,
+        broker: &Broker,
+        tuning: ServiceTuning,
+    ) -> Arc<Self> {
+        Self::build(db, FusionEngine::new(universe), broker, None, None, tuning)
+    }
+
+    /// [`new_with_tuning`](LocationService::new_with_tuning) plus the
+    /// observability wiring of
+    /// [`new_with_obs`](LocationService::new_with_obs).
+    #[must_use]
+    pub fn new_with_tuning_and_obs(
+        db: SpatialDatabase,
+        universe: Rect,
+        broker: &Broker,
+        registry: &MetricsRegistry,
+        tuning: ServiceTuning,
+    ) -> Arc<Self> {
+        Self::build(
+            db,
+            FusionEngine::new(universe),
+            broker,
+            Some(registry),
+            None,
+            tuning,
+        )
     }
 
     /// Creates an observable service: the database, fusion engine and the
@@ -236,7 +406,14 @@ impl LocationService {
         broker: &Broker,
         registry: &MetricsRegistry,
     ) -> Arc<Self> {
-        Self::build(db, engine, broker, Some(registry), None)
+        Self::build(
+            db,
+            engine,
+            broker,
+            Some(registry),
+            None,
+            ServiceTuning::default(),
+        )
     }
 
     /// Creates a *supervised* observable service: every ingested reading
@@ -264,6 +441,7 @@ impl LocationService {
             broker,
             Some(registry),
             Some(supervisor),
+            ServiceTuning::default(),
         )
     }
 
@@ -273,7 +451,30 @@ impl LocationService {
         broker: &Broker,
         registry: Option<&MetricsRegistry>,
         supervisor: Option<SharedSupervisor>,
+        tuning: ServiceTuning,
     ) -> Arc<Self> {
+        let tuning = ServiceTuning {
+            shards: tuning.shards.max(1),
+            ..tuning
+        };
+        // Shard-local reading databases; bound to the registry first so
+        // the statics database's object gauge wins the final write.
+        let shards: Box<[Shard]> = (0..tuning.shards)
+            .map(|_| {
+                let shard = Shard::default();
+                if let Some(registry) = registry {
+                    shard.state.write().db.bind_metrics(registry);
+                }
+                shard
+            })
+            .collect();
+        // Any readings pre-loaded into the seed database migrate to
+        // their objects' shards.
+        for reading in db.readings_mut().drain() {
+            let idx = shard_of(&reading.object, tuning.shards);
+            let mut state = shards[idx].state.write();
+            state.db.readings_mut().insert(reading);
+        }
         if let Some(registry) = registry {
             db.bind_metrics(registry);
             engine.bind_metrics(registry);
@@ -281,19 +482,70 @@ impl LocationService {
         let world = WorldModel::from_database(&db);
         let symbolic = SymbolicLattice::from_database(&db);
         Arc::new(LocationService {
-            db: RwLock::new(db),
-            world: RwLock::new(world),
-            symbolic: RwLock::new(symbolic),
+            statics: RwLock::new(db),
+            world: RwLock::new(Arc::new(world)),
+            symbolic: RwLock::new(Arc::new(symbolic)),
+            shards,
+            tuning,
             engine,
             subs: RwLock::new(SubscriptionManager::default()),
-            privacy: RwLock::new(HashMap::new()),
             sensor_accuracies: RwLock::new(Vec::new()),
-            notifications: broker.topic::<Notification>(NOTIFICATION_TOPIC),
+            notifications: broker.topic::<SharedNotification>(NOTIFICATION_TOPIC),
             metrics: registry.map(CoreMetrics::new),
             supervisor,
-            last_good: RwLock::new(HashMap::new()),
             degradation: DegradationPolicy::default(),
         })
+    }
+
+    // --- shard plumbing ----------------------------------------------------
+
+    fn shard_index(&self, object: &MobileObjectId) -> usize {
+        shard_of(object, self.shards.len())
+    }
+
+    /// Read-locks an object's shard, counting `core.shard.contention`
+    /// when the uncontended fast path fails and the call has to block.
+    fn shard_read(&self, index: usize) -> RwLockReadGuard<'_, ShardState> {
+        if let Some(guard) = self.shards[index].state.try_read() {
+            return guard;
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.shard_contention.inc();
+        }
+        self.shards[index].state.read()
+    }
+
+    /// Write-locks an object's shard, counting contention like
+    /// [`shard_read`](LocationService::shard_read).
+    fn shard_write(&self, index: usize) -> RwLockWriteGuard<'_, ShardState> {
+        if let Some(guard) = self.shards[index].state.try_write() {
+            return guard;
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.shard_contention.inc();
+        }
+        self.shards[index].state.write()
+    }
+
+    /// Total live+stored readings across all shards (the shard-local
+    /// replacement for `with_db(|db| db.readings().len())`).
+    #[must_use]
+    pub fn reading_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.state.read().db.readings().len())
+            .sum()
+    }
+
+    /// Every object with at least one live reading at `now`, across all
+    /// shards.
+    #[must_use]
+    pub fn tracked_objects(&self, now: SimTime) -> Vec<MobileObjectId> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.state.read().db.readings().tracked_objects(now));
+        }
+        out
     }
 
     /// Overrides the last-known-good policy (supervised services only;
@@ -341,14 +593,26 @@ impl LocationService {
     ///
     /// Returns [`CoreError::Db`] when the object key already exists.
     pub fn add_object(&self, object: SpatialObject) -> Result<(), CoreError> {
-        self.db.write().insert_object(object)?;
-        let db = self.db.read();
-        let rebuilt = WorldModel::from_database(&db);
-        let symbolic = SymbolicLattice::from_database(&db);
+        self.statics.write().insert_object(object)?;
+        let db = self.statics.read();
+        let rebuilt = Arc::new(WorldModel::from_database(&db));
+        let symbolic = Arc::new(SymbolicLattice::from_database(&db));
         drop(db);
+        // Readers hold cheap `Arc` snapshots; mutation swaps the
+        // pointer instead of blocking them mid-walk.
         *self.world.write() = rebuilt;
         *self.symbolic.write() = symbolic;
         Ok(())
+    }
+
+    /// The current world-model snapshot (read-mostly: cloned `Arc`,
+    /// never blocks mutators for longer than the pointer copy).
+    fn world_snapshot(&self) -> Arc<WorldModel> {
+        Arc::clone(&self.world.read())
+    }
+
+    fn symbolic_snapshot(&self) -> Arc<SymbolicLattice> {
+        Arc::clone(&self.symbolic.read())
     }
 
     /// Defines an application-level symbolic region (§4's task 4 and
@@ -382,7 +646,7 @@ impl LocationService {
 
     /// Runs `f` with read access to the symbolic region lattice (§4.5).
     pub fn with_symbolic_lattice<R>(&self, f: impl FnOnce(&SymbolicLattice) -> R) -> R {
-        f(&self.symbolic.read())
+        f(&self.symbolic_snapshot())
     }
 
     /// Every symbolic region containing the object's best estimate, most
@@ -399,8 +663,12 @@ impl LocationService {
         now: SimTime,
     ) -> Result<Vec<mw_model::Glob>, CoreError> {
         let fix = self.locate(object, now)?;
-        let chain = self.symbolic.read().regions_for_rect(&fix.region);
-        let max_depth = self.privacy.read().get(object).copied();
+        let chain = self.symbolic_snapshot().regions_for_rect(&fix.region);
+        let max_depth = self
+            .shard_read(self.shard_index(object))
+            .privacy
+            .get(object)
+            .copied();
         Ok(match max_depth {
             Some(d) => chain.into_iter().filter(|g| g.depth() <= d).collect(),
             None => chain,
@@ -414,17 +682,20 @@ impl LocationService {
     ///
     /// Returns [`CoreError::UnknownRegion`] for unknown names/prefixes.
     pub fn resolve_location(&self, location: &mw_model::Location) -> Result<Rect, CoreError> {
-        self.world.read().resolve_location(location)
+        self.world_snapshot().resolve_location(location)
     }
 
     /// Runs `f` with read access to the world model.
     pub fn with_world<R>(&self, f: impl FnOnce(&WorldModel) -> R) -> R {
-        f(&self.world.read())
+        f(&self.world_snapshot())
     }
 
-    /// Runs `f` with read access to the spatial database.
+    /// Runs `f` with read access to the static spatial database (spatial
+    /// objects, sensor metadata, triggers). Live sensor readings are
+    /// shard-local — see [`reading_count`](LocationService::reading_count)
+    /// and [`tracked_objects`](LocationService::tracked_objects).
     pub fn with_db<R>(&self, f: impl FnOnce(&SpatialDatabase) -> R) -> R {
-        f(&self.db.read())
+        f(&self.statics.read())
     }
 
     // --- ingestion ---------------------------------------------------------
@@ -440,13 +711,47 @@ impl LocationService {
     /// never reach the database, future timestamps are clamped to `now`
     /// before storage, and the staleness watchdog ticks once per ingest.
     pub fn ingest(&self, output: AdapterOutput, now: SimTime) -> Vec<Notification> {
+        self.ingest_internal(std::iter::once(output), now)
+    }
+
+    /// Ingests a batch of adapter outputs in one pass: readings are
+    /// grouped per object shard (one lock acquisition per touched shard
+    /// instead of one per reading) and subscriptions are evaluated once
+    /// per affected object for the whole batch — one fusion per object,
+    /// not one per reading. Semantically identical to calling
+    /// [`ingest`](LocationService::ingest) per output at the same `now`,
+    /// except that an object receiving readings from several outputs is
+    /// notified once, after all of them.
+    pub fn ingest_batch(&self, outputs: Vec<AdapterOutput>, now: SimTime) -> Vec<Notification> {
+        self.ingest_internal(outputs.into_iter(), now)
+    }
+
+    fn ingest_internal(
+        &self,
+        outputs: impl Iterator<Item = AdapterOutput>,
+        now: SimTime,
+    ) -> Vec<Notification> {
+        enum Op {
+            Revoke(SensorId, MobileObjectId),
+            Insert(SensorReading),
+        }
         let started = std::time::Instant::now();
-        let reading_count = output.readings.len() as u64;
+        let mut reading_count = 0u64;
         let mut affected: Vec<MobileObjectId> = Vec::new();
-        {
-            let mut db = self.db.write();
+        // Per-shard operation queues, order-preserving within a shard
+        // (revocations and supersedes are per (sensor, object), so only
+        // same-shard order is observable).
+        let mut ops: HashMap<usize, Vec<Op>> = HashMap::new();
+        let mut meta_rows: Vec<mw_spatial_db::SensorMetaRow> = Vec::new();
+        for output in outputs {
+            reading_count += output.readings.len() as u64;
             for revocation in &output.revocations {
-                db.revoke_readings(&revocation.sensor_id, &revocation.object);
+                ops.entry(self.shard_index(&revocation.object))
+                    .or_default()
+                    .push(Op::Revoke(
+                        revocation.sensor_id.clone(),
+                        revocation.object.clone(),
+                    ));
                 if !affected.contains(&revocation.object) {
                     affected.push(revocation.object.clone());
                 }
@@ -467,15 +772,45 @@ impl LocationService {
                 self.register_accuracy(reading.spec.hit_probability());
                 // Keep the per-sensor metadata table (§5.2's second
                 // table) current from the calibration the adapter sent.
-                db.upsert_sensor_meta(mw_spatial_db::SensorMetaRow {
+                meta_rows.push(mw_spatial_db::SensorMetaRow {
                     sensor_id: reading.sensor_id.clone(),
                     confidence_percent: reading.spec.hit_probability() * 100.0,
                     time_to_live: reading.time_to_live,
                 });
-                // Database-level trigger events are superseded by the
-                // probability-filtered subscription pass below; the raw
-                // events remain available to database-level users.
-                let _ = db.insert_reading(reading, now);
+                ops.entry(self.shard_index(&reading.object))
+                    .or_default()
+                    .push(Op::Insert(reading));
+            }
+        }
+        if !meta_rows.is_empty() {
+            let mut statics = self.statics.write();
+            for row in meta_rows {
+                statics.upsert_sensor_meta(row);
+            }
+        }
+        let mut invalidated = 0u64;
+        for (index, shard_ops) in ops {
+            let mut state = self.shard_write(index);
+            for op in shard_ops {
+                match op {
+                    Op::Revoke(sensor, object) => {
+                        state.db.revoke_readings(&sensor, &object);
+                        if state.bump_epoch(&object) {
+                            invalidated += 1;
+                        }
+                    }
+                    Op::Insert(reading) => {
+                        let object = reading.object.clone();
+                        // Database-level trigger events are superseded by
+                        // the probability-filtered subscription pass
+                        // below; the raw events remain available to
+                        // database-level users.
+                        let _ = state.db.insert_reading(reading, now);
+                        if state.bump_epoch(&object) {
+                            invalidated += 1;
+                        }
+                    }
+                }
             }
         }
         if let Some(supervisor) = &self.supervisor {
@@ -490,10 +825,13 @@ impl LocationService {
         }
         let mut delivered = 0usize;
         for n in &fired {
-            delivered += self.notifications.publish(n.clone());
+            // One shared allocation per notification; subscribers get a
+            // refcount bump each instead of a deep clone.
+            delivered += self.notifications.publish(Arc::new(n.clone()));
         }
         if let Some(metrics) = &self.metrics {
             metrics.ingest_readings.add(reading_count);
+            metrics.cache_invalidations.add(invalidated);
             metrics.notifications_published.add(fired.len() as u64);
             metrics.notification_fanout.add(delivered as u64);
             metrics.ingest_latency.observe(started.elapsed());
@@ -529,39 +867,118 @@ impl LocationService {
 
     // --- object-based queries ----------------------------------------------
 
-    /// One supervised fusion pass: live readings, minus quarantined
-    /// sensors, with conflict outcomes fed back to the supervisor as
-    /// chronic-loss / survivor signals. Unsupervised services fuse
-    /// everything, exactly as before.
-    fn fuse_live(&self, object: &MobileObjectId, now: SimTime) -> FuseAttempt {
-        let readings = self.db.read().live_readings_for(object, now);
+    /// One fusion pass over the object's live readings, served from the
+    /// shard's epoch-versioned cache when the reading set, query time and
+    /// excluded-sensor set all match a previous pass — bit-identical to
+    /// fusing fresh (the cache key admits no approximation; see
+    /// `DESIGN.md` §10).
+    ///
+    /// On a supervised service, quarantined sensors are excluded from
+    /// fusion. When `feedback` is set (the query path), conflict
+    /// outcomes are fed back to the supervisor as chronic-loss /
+    /// survivor signals — on cache hits too, replayed from the cached
+    /// result, so the health ledger advances exactly as if fusion had
+    /// run. Subscription evaluation passes `feedback = false` so health
+    /// counters stay deterministic (unchanged from the pre-cache
+    /// behaviour).
+    fn fuse_live(&self, object: &MobileObjectId, now: SimTime, feedback: bool) -> FuseAttempt {
+        let excluded: Option<HashSet<SensorId>> = self
+            .supervisor
+            .as_ref()
+            .map(|s| s.lock().expect("supervisor lock poisoned").excluded());
+        let excluded_key = excluded_fingerprint(excluded.as_ref());
+        let index = self.shard_index(object);
+
+        if self.tuning.fusion_cache {
+            let shard = self.shard_read(index);
+            if let Some(state) = shard.objects.get(object) {
+                if let Some(cached) = &state.cache {
+                    if cached.epoch == state.epoch
+                        && cached.now == now
+                        && cached.excluded_key == excluded_key
+                    {
+                        let attempt = FuseAttempt {
+                            result: SharedFusion::new(Arc::clone(&cached.result)),
+                            total: cached.total,
+                            used: cached.used,
+                        };
+                        drop(shard);
+                        if let Some(metrics) = &self.metrics {
+                            metrics.cache_hits.inc();
+                        }
+                        self.conflict_feedback(&attempt, now, feedback);
+                        return attempt;
+                    }
+                }
+            }
+        }
+
+        // Miss: copy the readings (and the epoch they were read under)
+        // out of the shard, then fuse outside the lock so a slow lattice
+        // build never blocks the shard.
+        let (readings, epoch) = {
+            let shard = self.shard_read(index);
+            let readings = shard.db.live_readings_for(object, now);
+            let epoch = shard.objects.get(object).map_or(0, |s| s.epoch);
+            (readings, epoch)
+        };
         let total = readings.len();
-        let (result, used) = match &self.supervisor {
-            Some(supervisor) => {
-                let excluded = supervisor
-                    .lock()
-                    .expect("supervisor lock poisoned")
-                    .excluded();
+        let (result, used) = match &excluded {
+            Some(excluded) => {
                 let used = readings
                     .iter()
                     .filter(|r| !excluded.contains(&r.sensor_id))
                     .count();
-                let result = self.engine.fuse_excluding(&readings, now, &excluded);
-                let mut guard = supervisor.lock().expect("supervisor lock poisoned");
-                for sensor in result.discarded_sensors() {
-                    guard.record_conflict_loss(sensor, now);
-                }
-                for sensor in result.kept_sensors() {
-                    guard.record_conflict_survivor(sensor);
-                }
-                (result, used)
+                (self.engine.fuse_excluding(&readings, now, excluded), used)
             }
             None => (self.engine.fuse(&readings, now), total),
         };
-        FuseAttempt {
-            result,
+        let result = Arc::new(result);
+        if self.tuning.fusion_cache {
+            let mut shard = self.shard_write(index);
+            let state = shard.objects.entry(object.clone()).or_default();
+            // Store only if no ingest raced us past the epoch we fused
+            // under — a stale entry would be a correctness bug, a
+            // skipped store merely a future miss.
+            if state.epoch == epoch {
+                state.cache = Some(CachedFusion {
+                    epoch,
+                    now,
+                    excluded_key,
+                    result: Arc::clone(&result),
+                    total,
+                    used,
+                });
+            }
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.cache_misses.inc();
+        }
+        let attempt = FuseAttempt {
+            result: SharedFusion::new(result),
             total,
             used,
+        };
+        self.conflict_feedback(&attempt, now, feedback);
+        attempt
+    }
+
+    /// Feeds one fusion pass's conflict outcomes back to the supervisor
+    /// (chronic-loss / survivor signals). Replayed identically for
+    /// cached and fresh results.
+    fn conflict_feedback(&self, attempt: &FuseAttempt, now: SimTime, feedback: bool) {
+        if !feedback {
+            return;
+        }
+        let Some(supervisor) = &self.supervisor else {
+            return;
+        };
+        let mut guard = supervisor.lock().expect("supervisor lock poisoned");
+        for sensor in attempt.result.result().discarded_sensors() {
+            guard.record_conflict_loss(sensor, now);
+        }
+        for sensor in attempt.result.result().kept_sensors() {
+            guard.record_conflict_survivor(sensor);
         }
     }
 
@@ -588,24 +1005,28 @@ impl LocationService {
             .metrics
             .as_ref()
             .map(|m| m.locate_latency.start_timer());
-        let attempt = self.fuse_live(object, now);
+        let attempt = self.fuse_live(object, now, true);
         if attempt.total > 0 && attempt.used == 0 {
             return Err(CoreError::SensorsQuarantined {
                 object: object.to_string(),
             });
         }
-        let result = &attempt.result;
-        let estimate = result
-            .best_estimate()
-            .ok_or_else(|| CoreError::NoLocation {
-                object: object.to_string(),
-            })?;
-        let world = self.world.read();
+        let estimate =
+            attempt
+                .result
+                .result()
+                .best_estimate()
+                .ok_or_else(|| CoreError::NoLocation {
+                    object: object.to_string(),
+                })?;
+        let world = self.world_snapshot();
         let mut symbolic = world.symbolic_for_rect(&estimate.region);
         let mut region = estimate.region;
         // Privacy (§4.5): truncate the symbolic location and coarsen the
         // coordinate estimate to the revealed region's rectangle.
-        if let Some(&max_depth) = self.privacy.read().get(object) {
+        let index = self.shard_index(object);
+        let max_depth = self.shard_read(index).privacy.get(object).copied();
+        if let Some(max_depth) = max_depth {
             if let Some(glob) = symbolic.take() {
                 let truncated = glob.truncated(max_depth);
                 if let Ok(rect) = world.region_rect(&truncated.to_string()) {
@@ -626,7 +1047,9 @@ impl LocationService {
             at: now,
         };
         if self.supervisor.is_some() {
-            self.last_good.write().insert(object.clone(), fix.clone());
+            self.shard_write(index)
+                .last_good
+                .insert(object.clone(), fix.clone());
         }
         Ok((fix, attempt.quality()))
     }
@@ -637,7 +1060,11 @@ impl LocationService {
     /// universe). `None` when no cached fix exists or it is older than
     /// `lkg_max_age`.
     fn last_known_answer(&self, q: &LocationQuery) -> Option<QueryAnswer> {
-        let cached = self.last_good.read().get(&q.object).cloned()?;
+        let cached = self
+            .shard_read(self.shard_index(&q.object))
+            .last_good
+            .get(&q.object)
+            .cloned()?;
         let age = q.now.saturating_since(cached.at);
         if age > self.degradation.lkg_max_age {
             return None;
@@ -670,7 +1097,7 @@ impl LocationService {
                 quality,
             )),
             QueryTarget::Region(name) => {
-                let rect = self.world.read().region_rect(name).ok()?;
+                let rect = self.world_snapshot().region_rect(name).ok()?;
                 Some(self.last_known_probability(probability, &widened, &rect, quality))
             }
             QueryTarget::Rect(rect) => {
@@ -719,7 +1146,7 @@ impl LocationService {
         object: &MobileObjectId,
         now: SimTime,
     ) -> Result<(Vec<(Rect, f64)>, AnswerQuality), CoreError> {
-        let attempt = self.fuse_live(object, now);
+        let attempt = self.fuse_live(object, now, true);
         if attempt.total > 0 && attempt.used == 0 {
             return Err(CoreError::SensorsQuarantined {
                 object: object.to_string(),
@@ -794,7 +1221,7 @@ impl LocationService {
             QueryTarget::Distribution => self
                 .distribution_internal(&q.object, q.now)
                 .map(|(d, quality)| QueryAnswer::from_distribution(d, quality)),
-            QueryTarget::Region(ref name) => match self.world.read().region_rect(name) {
+            QueryTarget::Region(ref name) => match self.world_snapshot().region_rect(name) {
                 Ok(rect) => self.rect_answer(&q.object, &rect, q.now),
                 Err(e) => Err(e),
             },
@@ -842,7 +1269,7 @@ impl LocationService {
         rect: &Rect,
         now: SimTime,
     ) -> Result<(f64, AnswerQuality), CoreError> {
-        let mut attempt = self.fuse_live(object, now);
+        let attempt = self.fuse_live(object, now, true);
         if attempt.total == 0 {
             return Err(CoreError::NoLocation {
                 object: object.to_string(),
@@ -854,7 +1281,10 @@ impl LocationService {
             });
         }
         let quality = attempt.quality();
-        Ok((attempt.result.region_probability(*rect)?, quality))
+        // Read-only Equation-7 evaluation on the (possibly cached,
+        // possibly shared) lattice — bit-identical to inserting a query
+        // node, which would store this very value on the node.
+        Ok((attempt.result.region_probability(rect), quality))
     }
 
     /// The probability that `object` is inside the named region (§4.2's
@@ -872,7 +1302,7 @@ impl LocationService {
         region: &str,
         now: SimTime,
     ) -> Result<f64, CoreError> {
-        let rect = self.world.read().region_rect(region)?;
+        let rect = self.world_snapshot().region_rect(region)?;
         Ok(self.rect_probability(object, &rect, now).unwrap_or(0.0))
     }
 
@@ -898,7 +1328,7 @@ impl LocationService {
         region: &str,
         now: SimTime,
     ) -> Result<ProbabilityBand, CoreError> {
-        let rect = self.world.read().region_rect(region)?;
+        let rect = self.world_snapshot().region_rect(region)?;
         let p = self.rect_probability(object, &rect, now).unwrap_or(0.0);
         Ok(self.band_thresholds().classify(p))
     }
@@ -923,7 +1353,7 @@ impl LocationService {
     {
         let fix = self.locate(object, now)?;
         let center = fix.region.center();
-        let db = self.db.read();
+        let db = self.statics.read();
         Ok(db
             .objects()
             .nearest_matching(center, pred)
@@ -944,8 +1374,8 @@ impl LocationService {
         min_probability: f64,
         now: SimTime,
     ) -> Result<Vec<(MobileObjectId, f64)>, CoreError> {
-        let rect = self.world.read().region_rect(region)?;
-        let objects = self.db.read().readings().tracked_objects(now);
+        let rect = self.world_snapshot().region_rect(region)?;
+        let objects = self.tracked_objects(now);
         let mut out = Vec::new();
         for object in objects {
             let p = self.rect_probability(&object, &rect, now).unwrap_or(0.0);
@@ -994,7 +1424,7 @@ impl LocationService {
     pub fn subscribe_with_inbox(
         &self,
         spec: SubscriptionSpec,
-    ) -> (SubscriptionId, mw_bus::Subscription<Notification>) {
+    ) -> (SubscriptionId, mw_bus::Subscription<SharedNotification>) {
         let inbox = self.subscribe_notifications(spec.delivery);
         (self.subscribe(spec), inbox)
     }
@@ -1061,7 +1491,7 @@ impl LocationService {
     pub fn subscribe_notifications_bounded(
         &self,
         capacity: usize,
-    ) -> mw_bus::Subscription<Notification> {
+    ) -> mw_bus::Subscription<SharedNotification> {
         self.subscribe_notifications(DeliveryPolicy::Bounded {
             capacity,
             overflow: mw_bus::OverflowPolicy::DropOldest,
@@ -1069,11 +1499,13 @@ impl LocationService {
     }
 
     /// An inbox on the notification topic, queued per `policy`.
+    /// Notifications arrive as [`SharedNotification`]s — one allocation
+    /// shared by every subscriber rather than a deep clone each.
     #[must_use]
     pub fn subscribe_notifications(
         &self,
         policy: DeliveryPolicy,
-    ) -> mw_bus::Subscription<Notification> {
+    ) -> mw_bus::Subscription<SharedNotification> {
         match policy {
             DeliveryPolicy::Unbounded => self.notifications.subscribe(),
             DeliveryPolicy::Bounded { capacity, overflow } => {
@@ -1087,24 +1519,18 @@ impl LocationService {
             return Vec::new();
         }
         let _timer = self.metrics.as_ref().map(|m| m.match_latency.start_timer());
-        let readings = self.db.read().live_readings_for(object, now);
+        // One shared fusion pass per object per batch: the fresh fuse
+        // lands in the shard cache, so queries arriving at the same
+        // instant reuse the lattice instead of rebuilding it.
         // Quarantined sensors are excluded here too; conflict feedback is
         // left to the query path so health counters stay deterministic.
-        let result = match &self.supervisor {
-            Some(supervisor) => {
-                let excluded = supervisor
-                    .lock()
-                    .expect("supervisor lock poisoned")
-                    .excluded();
-                self.engine.fuse_excluding(&readings, now, &excluded)
-            }
-            None => self.engine.fuse(&readings, now),
-        };
+        let attempt = self.fuse_live(object, now, false);
+        let result = attempt.result;
         // Candidates: subscriptions whose region intersects the surviving
         // evidence (R-tree pruned) plus currently-true ones that may need
         // re-arming. This keeps the per-update cost nearly independent of
         // the number of programmed triggers (the paper's Figure 9 claim).
-        let window = result.evidence_window();
+        let window = result.result().evidence_window();
         let candidates: Vec<(SubscriptionId, SubscriptionSpec)> = {
             let subs = self.subs.read();
             subs.candidates(object, window)
@@ -1116,10 +1542,10 @@ impl LocationService {
             return Vec::new();
         }
         let thresholds = self.band_thresholds();
-        let position = result.best_estimate().map(|e| e.region.center());
+        let position = result.result().best_estimate().map(|e| e.region.center());
         let mut fired = Vec::new();
         for (id, spec) in candidates {
-            let p = result.region_probability_fast(&spec.region);
+            let p = result.region_probability(&spec.region);
             let band = thresholds.classify(p);
             let satisfied =
                 p >= spec.min_probability && spec.min_band.is_none_or(|min| band >= min);
@@ -1143,12 +1569,15 @@ impl LocationService {
     /// truncated to `max_depth` segments and coordinates coarsened to the
     /// revealed region (§4.5).
     pub fn set_privacy(&self, object: MobileObjectId, max_depth: usize) {
-        self.privacy.write().insert(object, max_depth);
+        let index = self.shard_index(&object);
+        self.shard_write(index).privacy.insert(object, max_depth);
     }
 
     /// Removes `object`'s privacy constraint.
     pub fn clear_privacy(&self, object: &MobileObjectId) {
-        self.privacy.write().remove(object);
+        self.shard_write(self.shard_index(object))
+            .privacy
+            .remove(object);
     }
 
     // --- spatial relationships (§4.6) ----------------------------------------
@@ -1159,7 +1588,7 @@ impl LocationService {
     ///
     /// Returns [`CoreError::UnknownRegion`] for unknown names.
     pub fn region_relation(&self, a: &str, b: &str) -> Result<RegionRelation, CoreError> {
-        let world = self.world.read();
+        let world = self.world_snapshot();
         let rcc = world.rcc8(a, b)?;
         let ec = world.ec_kind(a, b)?;
         Ok(RegionRelation::from_parts(rcc, ec))
@@ -1172,7 +1601,7 @@ impl LocationService {
     /// without geometry) before running closure.
     #[must_use]
     pub fn build_reasoner(&self) -> mw_reasoning::RccEngine {
-        let world = self.world.read();
+        let world = self.world_snapshot();
         let regions: Vec<(String, Rect)> =
             world.regions().map(|(n, r)| (n.to_string(), r)).collect();
         let mut engine = mw_reasoning::RccEngine::new();
@@ -1273,7 +1702,7 @@ impl LocationService {
         now: SimTime,
     ) -> Result<Option<f64>, CoreError> {
         let fix = self.locate(object, now)?;
-        let world = self.world.read();
+        let world = self.world_snapshot();
         if !path {
             let rect = world.region_rect(region)?;
             return Ok(Some(relations::object_region_distance(&fix, &rect)));
@@ -1663,7 +2092,9 @@ mod tests {
     #[test]
     fn subscription_fires_on_entry_and_is_edge_triggered() {
         let (svc, broker) = service();
-        let sub_rx = broker.topic::<Notification>(NOTIFICATION_TOPIC).subscribe();
+        let sub_rx = broker
+            .topic::<SharedNotification>(NOTIFICATION_TOPIC)
+            .subscribe();
         let room = rect(330.0, 0.0, 350.0, 30.0);
         let id =
             svc.subscribe(SubscriptionSpec::region_entry(room, 0.5).for_object("alice".into()));
@@ -2130,7 +2561,9 @@ mod tests {
     fn rpc_subscribe_and_unsubscribe() {
         let (svc, broker) = service();
         let _server = svc.serve_on(&broker).unwrap();
-        let inbox = broker.topic::<Notification>(NOTIFICATION_TOPIC).subscribe();
+        let inbox = broker
+            .topic::<SharedNotification>(NOTIFICATION_TOPIC)
+            .subscribe();
         let client = broker
             .lookup::<LocationRequest, LocationResponse>(LOCATION_SERVICE_NAME)
             .unwrap();

@@ -20,9 +20,12 @@ use crate::{BandThresholds, FusionError, NodeId, ProbabilityBand};
 struct FusionMetrics {
     fuse_count: mw_obs::Counter,
     fuse_latency: mw_obs::Histogram,
-    lattice_size: mw_obs::Gauge,
+    /// Histograms, not gauges: fusion runs concurrently across objects
+    /// and shards, so a last-writer-wins gauge would report whichever
+    /// object happened to fuse last. The old `fusion.lattice.size` /
+    /// `fusion.evidence.kept` gauges are gone (see CHANGELOG).
     lattice_size_hist: mw_obs::Histogram,
-    evidence_kept: mw_obs::Gauge,
+    evidence_kept_hist: mw_obs::Histogram,
     conflict_none: mw_obs::Counter,
     conflict_moving_wins: mw_obs::Counter,
     conflict_higher_probability_wins: mw_obs::Counter,
@@ -33,9 +36,8 @@ impl FusionMetrics {
         FusionMetrics {
             fuse_count: registry.counter("fusion.fuse.count"),
             fuse_latency: registry.histogram("fusion.fuse.latency_us"),
-            lattice_size: registry.gauge("fusion.lattice.size"),
-            lattice_size_hist: registry.histogram("fusion.lattice.size_hist"),
-            evidence_kept: registry.gauge("fusion.evidence.kept"),
+            lattice_size_hist: registry.histogram("fusion.lattice.size"),
+            evidence_kept_hist: registry.histogram("fusion.evidence.kept"),
             conflict_none: registry.counter("fusion.conflict.none"),
             conflict_moving_wins: registry.counter("fusion.conflict.moving_wins"),
             conflict_higher_probability_wins: registry
@@ -46,12 +48,9 @@ impl FusionMetrics {
     fn record(&self, result: &FusionResult, elapsed: std::time::Duration) {
         self.fuse_count.inc();
         self.fuse_latency.observe(elapsed);
-        let size = result.lattice.len() as u64;
-        #[allow(clippy::cast_precision_loss)]
-        self.lattice_size.set(size as f64);
-        self.lattice_size_hist.record(size);
-        #[allow(clippy::cast_precision_loss)]
-        self.evidence_kept.set(result.conflict.kept.len() as f64);
+        self.lattice_size_hist.record(result.lattice.len() as u64);
+        self.evidence_kept_hist
+            .record(result.conflict.kept.len() as u64);
         match result.conflict.rule {
             ConflictRule::NoConflict => self.conflict_none.inc(),
             ConflictRule::MovingWins => self.conflict_moving_wins.inc(),
@@ -206,8 +205,8 @@ impl FusionEngine {
     }
 
     /// Publishes fusion metrics (`fusion.*`: fuse count/latency,
-    /// lattice sizes, surviving-evidence gauge, conflict-rule counters)
-    /// to `registry` on every [`FusionEngine::fuse`].
+    /// lattice-size and surviving-evidence histograms, conflict-rule
+    /// counters) to `registry` on every [`FusionEngine::fuse`].
     #[must_use]
     pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
         self.bind_metrics(registry);
@@ -678,19 +677,25 @@ mod tests {
         let result = e.fuse(&readings, SimTime::ZERO);
         let snap = registry.snapshot();
         assert_eq!(snap.counter("fusion.fuse.count"), Some(1));
-        #[allow(clippy::cast_precision_loss)]
-        let expected_size = result.lattice().len() as f64;
-        assert_eq!(snap.gauge("fusion.lattice.size"), Some(expected_size));
-        assert_eq!(snap.gauge("fusion.evidence.kept"), Some(1.0));
+        // The per-fuse sizes land in histograms; the old last-writer-wins
+        // gauges are gone.
+        assert_eq!(snap.gauge("fusion.lattice.size"), None);
+        assert_eq!(snap.gauge("fusion.evidence.kept"), None);
+        let lattice_hist = snap.histogram("fusion.lattice.size").unwrap();
+        assert_eq!(lattice_hist.count, 1);
+        assert_eq!(lattice_hist.sum, result.lattice().len() as u64);
+        let kept_hist = snap.histogram("fusion.evidence.kept").unwrap();
+        assert_eq!(kept_hist.count, 1);
+        assert_eq!(kept_hist.sum, 1, "one survivor of the conflict");
         assert_eq!(snap.counter("fusion.conflict.moving_wins"), Some(1));
         assert_eq!(snap.counter("fusion.conflict.none"), Some(0));
         assert_eq!(snap.histogram("fusion.fuse.latency_us").unwrap().count, 1);
-        assert_eq!(snap.histogram("fusion.lattice.size_hist").unwrap().count, 1);
         // A second fuse with clean readings hits the no-conflict counter.
         let _ = e.fuse(&readings[..1], SimTime::ZERO);
         let snap = registry.snapshot();
         assert_eq!(snap.counter("fusion.fuse.count"), Some(2));
         assert_eq!(snap.counter("fusion.conflict.none"), Some(1));
+        assert_eq!(snap.histogram("fusion.evidence.kept").unwrap().count, 2);
     }
 
     #[test]

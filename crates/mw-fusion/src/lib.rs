@@ -59,9 +59,11 @@ pub mod conflict;
 mod engine;
 mod error;
 mod lattice;
+mod shared;
 
 pub use classify::{BandThresholds, ProbabilityBand};
 pub use conflict::{ConflictOutcome, ConflictRule};
 pub use engine::{Estimate, FusionEngine, FusionResult};
 pub use error::FusionError;
 pub use lattice::{NodeId, NodeKind, RegionLattice};
+pub use shared::SharedFusion;

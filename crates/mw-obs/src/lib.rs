@@ -22,7 +22,7 @@
 //!
 //! Names are dotted, lowercase, coarse-to-fine:
 //! `<layer>.<component>.<metric>[_<unit>]` — e.g.
-//! `core.ingest.latency_us`, `fusion.lattice.size`,
+//! `core.ingest.latency_us`, `fusion.cache.hits`,
 //! `bus.client.duplicates_discarded`. Durations are always recorded in
 //! microseconds and suffixed `_us`. See `DESIGN.md` §8 for the full
 //! taxonomy.

@@ -151,6 +151,13 @@ impl SpatialDatabase {
         &self.readings
     }
 
+    /// Mutable access to the sensor-reading table. Bypasses triggers and
+    /// metrics — meant for bulk migration of readings between stores
+    /// (e.g. into per-shard databases), not for normal ingest.
+    pub fn readings_mut(&mut self) -> &mut SensorReadingTable {
+        &mut self.readings
+    }
+
     /// Prunes expired readings.
     pub fn prune_expired(&mut self, now: SimTime) -> usize {
         let pruned = self.readings.prune_expired(now);
@@ -207,7 +214,13 @@ impl SpatialDatabase {
         if let Some(metrics) = &self.metrics {
             metrics.live_queries.inc();
         }
-        self.readings.readings_for(object, now).cloned().collect()
+        let mut out: Vec<SensorReading> =
+            self.readings.readings_for(object, now).cloned().collect();
+        // The backing table iterates in hash order, which differs between
+        // otherwise-identical table instances. Conflict resolution breaks
+        // probability ties by position, so fusion must see a stable order.
+        out.sort_unstable_by(|a, b| a.sensor_id.cmp(&b.sensor_id));
+        out
     }
 
     /// The MBR of everything known about the physical space — a sensible

@@ -44,6 +44,12 @@ impl SensorReadingTable {
             .insert((reading.sensor_id.clone(), reading.object.clone()), reading)
     }
 
+    /// Removes and returns every stored reading (expired rows included) —
+    /// used to migrate a pre-populated table into per-shard storage.
+    pub fn drain(&mut self) -> Vec<SensorReading> {
+        self.rows.drain().map(|(_, r)| r).collect()
+    }
+
     /// Drops all readings from `sensor` about `object` — the §6 logout
     /// revocation ("forces all location information relating to that user
     /// and obtained from the same device to expire immediately").

@@ -8,7 +8,9 @@
 
 use std::time::Duration;
 
-use middlewhere::core::{LocationService, Notification, SubscriptionSpec, NOTIFICATION_TOPIC};
+use middlewhere::core::{
+    LocationService, Notification, SharedNotification, SubscriptionSpec, NOTIFICATION_TOPIC,
+};
 use middlewhere::geometry::Point;
 use middlewhere::model::SimTime;
 use middlewhere::sensors::adapters::{UbisenseAdapter, UbisenseSighting};
@@ -37,7 +39,9 @@ fn main() {
     // 3. Export the notification topic over TCP, and connect a "remote
     //    application" (in the original: a CORBA client elsewhere on the
     //    network).
-    let topic = broker.topic::<Notification>(NOTIFICATION_TOPIC);
+    // The service publishes `Arc<Notification>` locally; the Arc is
+    // wire-transparent, so the remote side decodes plain `Notification`s.
+    let topic = broker.topic::<SharedNotification>(NOTIFICATION_TOPIC);
     let server = RemoteTopicServer::bind("127.0.0.1:0", topic).expect("bind");
     println!("notification bridge listening on {}", server.local_addr());
     let remote_inbox = remote_subscribe::<Notification>(server.local_addr()).expect("connect");

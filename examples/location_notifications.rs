@@ -11,7 +11,7 @@
 
 use std::collections::BTreeSet;
 
-use middlewhere::core::{LocationQuery, Notification, SubscriptionSpec, NOTIFICATION_TOPIC};
+use middlewhere::core::{LocationQuery, SharedNotification, SubscriptionSpec, NOTIFICATION_TOPIC};
 use middlewhere::model::SimDuration;
 use mw_sim::{building, DeploymentConfig, SimConfig, Simulation};
 
@@ -49,7 +49,7 @@ fn main() {
     // Listen on the bus like any Gaia application would.
     let inbox = sim
         .broker()
-        .topic::<Notification>(NOTIFICATION_TOPIC)
+        .topic::<SharedNotification>(NOTIFICATION_TOPIC)
         .subscribe();
 
     // Simulate ten minutes of office life.

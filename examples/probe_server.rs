@@ -19,7 +19,8 @@ use middlewhere::bus::stats::{fetch_snapshot, serve_stats, SnapshotPublisher, SN
 use middlewhere::bus::transport::TcpFrameTransport;
 use middlewhere::bus::Broker;
 use middlewhere::core::{
-    CoreError, LocationQuery, LocationService, Notification, SubscriptionSpec, NOTIFICATION_TOPIC,
+    CoreError, LocationQuery, LocationService, Notification, SharedNotification, SubscriptionSpec,
+    NOTIFICATION_TOPIC,
 };
 use middlewhere::geometry::{Point, Rect};
 use middlewhere::model::{SimDuration, SimTime, TemporalDegradation};
@@ -69,7 +70,7 @@ fn main() {
 
     // Export the notification topic over TCP, counters into the shared
     // registry.
-    let topic = broker.topic::<Notification>(NOTIFICATION_TOPIC);
+    let topic = broker.topic::<SharedNotification>(NOTIFICATION_TOPIC);
     let server = RemoteTopicServer::bind_with(
         "127.0.0.1:0",
         topic,
@@ -249,10 +250,10 @@ fn main() {
         snapshot.histogram("fusion.fuse.latency_us").is_some(),
         "fusion latency recorded"
     );
-    assert!(
-        snapshot.gauge("fusion.lattice.size").unwrap_or(0.0) > 0.0,
-        "fusion lattice gauge set"
-    );
+    let lattice = snapshot
+        .histogram("fusion.lattice.size")
+        .expect("fusion lattice histogram recorded");
+    assert!(lattice.count > 0 && lattice.max > 0, "lattice sizes seen");
     assert_eq!(snapshot.counter("core.query.count"), Some(3));
     assert!(snapshot.counter("db.readings_inserted").unwrap_or(0) >= 8);
     assert!(

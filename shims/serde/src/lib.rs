@@ -278,6 +278,21 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+/// `Arc<T>` is transparent on the wire, exactly like real serde: an
+/// `Arc<Notification>` serializes identically to the `Notification`
+/// inside, so receivers may deserialize either shape.
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        T::deserialize(value).map(std::sync::Arc::new)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn serialize(&self) -> Value {
         match self {

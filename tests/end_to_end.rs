@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use middlewhere::core::{
-    LocationRequest, LocationResponse, LocationService, Notification, SubscriptionSpec,
+    LocationRequest, LocationResponse, LocationService, SharedNotification, SubscriptionSpec,
     LOCATION_SERVICE_NAME, NOTIFICATION_TOPIC,
 };
 use middlewhere::geometry::{Point, Rect};
@@ -152,7 +152,9 @@ fn biometric_logout_revokes_location() {
 #[test]
 fn push_notifications_reach_bus_subscribers() {
     let (service, broker) = service_on_paper_floor();
-    let inbox = broker.topic::<Notification>(NOTIFICATION_TOPIC).subscribe();
+    let inbox = broker
+        .topic::<SharedNotification>(NOTIFICATION_TOPIC)
+        .subscribe();
     let room = Rect::new(Point::new(330.0, 0.0), Point::new(350.0, 30.0));
     let id = service.subscribe(SubscriptionSpec::region_entry(room, 0.5));
 

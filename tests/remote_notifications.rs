@@ -5,7 +5,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use middlewhere::core::{LocationService, Notification, SubscriptionSpec, NOTIFICATION_TOPIC};
+use middlewhere::core::{
+    LocationService, Notification, SharedNotification, SubscriptionSpec, NOTIFICATION_TOPIC,
+};
 use middlewhere::geometry::{Point, Rect};
 use middlewhere::model::{SimDuration, SimTime, TemporalDegradation};
 use middlewhere::sensors::{SensorReading, SensorSpec};
@@ -37,7 +39,9 @@ fn reading(object: &str, center: Point, at: f64) -> SensorReading {
 #[test]
 fn notifications_cross_the_tcp_bridge() {
     let (svc, broker) = service();
-    let topic = broker.topic::<Notification>(NOTIFICATION_TOPIC);
+    // The service publishes `Arc<Notification>`; the Arc is
+    // wire-transparent, so the remote end still decodes `Notification`.
+    let topic = broker.topic::<SharedNotification>(NOTIFICATION_TOPIC);
     let server = RemoteTopicServer::bind("127.0.0.1:0", topic).unwrap();
     // The subscribe handshake completes before this returns: no sleep
     // needed before publishing.
@@ -62,7 +66,7 @@ fn notifications_cross_the_tcp_bridge() {
 #[test]
 fn remote_and_local_subscribers_see_the_same_stream() {
     let (svc, broker) = service();
-    let topic = broker.topic::<Notification>(NOTIFICATION_TOPIC);
+    let topic = broker.topic::<SharedNotification>(NOTIFICATION_TOPIC);
     let local_inbox = topic.subscribe();
     let server = RemoteTopicServer::bind("127.0.0.1:0", topic).unwrap();
     let remote_inbox = remote_subscribe::<Notification>(server.local_addr()).unwrap();
@@ -77,14 +81,13 @@ fn remote_and_local_subscribers_see_the_same_stream() {
         );
     }
 
-    let mut local = Vec::new();
+    let mut local: Vec<Notification> = Vec::new();
     let mut remote = Vec::new();
     for _ in 0..3 {
-        local.push(
-            local_inbox
-                .recv_timeout(Duration::from_secs(2))
-                .expect("local"),
-        );
+        let shared = local_inbox
+            .recv_timeout(Duration::from_secs(2))
+            .expect("local");
+        local.push((*shared).clone());
         remote.push(
             remote_inbox
                 .recv_timeout(Duration::from_secs(5))

@@ -172,7 +172,7 @@ fn sensor_flood_keeps_latest_and_stays_fast() {
         .locate(&"busy".into(), SimTime::from_secs(100.0))
         .unwrap();
     assert!(fix.region.contains_point(Point::new(340.0, 15.0)));
-    svc.with_db(|db| assert_eq!(db.readings().len(), 1));
+    assert_eq!(svc.reading_count(), 1);
 }
 
 #[test]
