@@ -25,6 +25,7 @@
 
 mod error;
 mod fix;
+pub mod pool;
 mod query;
 mod relations;
 mod service;

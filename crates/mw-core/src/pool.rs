@@ -1,0 +1,241 @@
+//! A small, zero-dependency worker pool for the parallel ingest/fusion
+//! pipeline (`DESIGN.md` §10).
+//!
+//! The pool owns a fixed set of persistent threads fed through a
+//! crossbeam-style channel (the workspace shim over `std::sync::mpsc`).
+//! Work is submitted in *batches*: [`WorkerPool::run`] takes a vector of
+//! closures, fans them out to the workers, and blocks until every one
+//! has finished, returning the results **in submission order** — the
+//! property the ingest pipeline's deterministic merge relies on.
+//!
+//! Design constraints:
+//!
+//! - **No `unsafe`.** `mw-core` forbids unsafe code, so the pool cannot
+//!   borrow stack state into worker threads the way scoped pools do.
+//!   Tasks are `'static` closures; the Location Service hands them an
+//!   `Arc` of itself (via a `Weak` self-reference) plus owned per-task
+//!   data.
+//! - **Persistent threads.** Ingest batches arrive at high rate; the
+//!   per-batch cost is two channel sends per task, not a thread spawn.
+//! - **Panic transparency.** A panicking task does not wedge the batch:
+//!   the panic is caught on the worker, carried back over the results
+//!   channel, and resumed on the calling thread.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// A unit of queued work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of persistent worker threads executing batches of
+/// closures with order-preserving result collection.
+///
+/// ```
+/// use mw_core::pool::WorkerPool;
+///
+/// let pool = WorkerPool::new(4);
+/// let squares = pool.run((0u64..8).map(|i| move || i * i).collect());
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub struct WorkerPool {
+    /// `Some` while the pool is live; taken (closing the channel) on
+    /// drop so the workers observe disconnection and exit.
+    jobs: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` persistent workers (clamped to at
+    /// least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = channel::unbounded::<Job>();
+        // `mpsc`-backed receivers are single-consumer; the workers share
+        // one behind a mutex and take turns blocking on it. Dispatch is
+        // serialized (one hand-off at a time), execution is not.
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("mw-pool-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            jobs: Some(tx),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs every task on the pool and returns their results in the
+    /// order the tasks were given (task `i`'s result is element `i`,
+    /// whatever order the workers finished in). Blocks until the whole
+    /// batch is done.
+    ///
+    /// # Panics
+    ///
+    /// If a task panics, the panic is re-raised on the calling thread
+    /// after the batch's bookkeeping is released (remaining tasks still
+    /// run to completion on their workers).
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let (done_tx, done_rx) = channel::unbounded::<(usize, std::thread::Result<T>)>();
+        let jobs = self.jobs.as_ref().expect("worker pool is live");
+        for (i, task) in tasks.into_iter().enumerate() {
+            let done = done_tx.clone();
+            let job: Job = Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(task));
+                // The batch owner may already be unwinding from an
+                // earlier task panic; a closed results channel is fine.
+                let _ = done.send((i, result));
+            });
+            assert!(
+                jobs.send(job).is_ok(),
+                "worker pool channel closed while the pool is live"
+            );
+        }
+        drop(done_tx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, result) = done_rx.recv().expect("a worker disappeared mid-batch");
+            match result {
+                Ok(value) => slots[i] = Some(value),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every task reports exactly once"))
+            .collect()
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only for the blocking receive; run the job with
+        // the lock released so the other workers can pick up the next.
+        let job = {
+            let guard = rx.lock();
+            guard.recv()
+        };
+        match job {
+            Ok(job) => job(),
+            // All senders dropped: the pool is shutting down.
+            Err(_) => break,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channel wakes every idle worker with a
+        // disconnect; busy workers finish their current job first.
+        self.jobs.take();
+        for worker in self.workers.drain(..) {
+            // A worker only terminates abnormally if a *detached* job
+            // panicked outside `run`'s catch; nothing to do but move on.
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.workers.len())
+            .field("live", &self.jobs.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = WorkerPool::new(4);
+        // Stagger completion so late tasks finish first.
+        let tasks: Vec<_> = (0..16u64)
+            .map(|i| {
+                move || {
+                    if i % 3 == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    i * 10
+                }
+            })
+            .collect();
+        assert_eq!(
+            pool.run(tasks),
+            (0..16u64).map(|i| i * 10).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn pool_survives_many_batches() {
+        let pool = WorkerPool::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let tasks: Vec<_> = (0..4)
+                .map(|_| {
+                    let hits = Arc::clone(&hits);
+                    move || {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+                .collect();
+            pool.run(tasks);
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let pool = WorkerPool::new(2);
+        let out: Vec<u32> = pool.run(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.run(vec![|| 7]), vec![7]);
+    }
+
+    #[test]
+    fn task_panic_propagates_to_the_caller() {
+        let pool = WorkerPool::new(2);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(vec![
+                Box::new(|| 1u32) as Box<dyn FnOnce() -> u32 + Send>,
+                Box::new(|| panic!("boom")),
+            ]);
+        }));
+        assert!(outcome.is_err());
+        // The pool is still usable afterwards.
+        assert_eq!(pool.run(vec![|| 9]), vec![9]);
+    }
+}

@@ -1,16 +1,17 @@
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use mw_bus::{Broker, Publisher};
 use mw_fusion::{BandThresholds, FusionEngine, FusionResult, ProbabilityBand, SharedFusion};
-use mw_geometry::Rect;
+use mw_geometry::{Point, Rect};
 use mw_model::{Confidence, SimDuration, SimTime, TemporalDegradation};
 use mw_obs::MetricsRegistry;
 use mw_sensors::{AdapterOutput, MobileObjectId, SensorId, SensorReading, SharedSupervisor};
 use mw_spatial_db::{SpatialDatabase, SpatialObject};
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use crate::pool::WorkerPool;
 use crate::relations::{self, CoLocation, ObjectRelation, RegionRelation};
 use crate::subscription::SubscriptionManager;
 use crate::symbolic::SymbolicLattice;
@@ -29,10 +30,12 @@ use crate::{
 pub type SharedNotification = Arc<Notification>;
 
 /// Concurrency tuning for [`LocationService`]: how many shards the
-/// per-object state is spread over and whether fusion results are
-/// cached between ingests. The defaults are right for production; tests
-/// that want the pre-sharding behaviour for differential comparison use
-/// `ServiceTuning { shards: 1, fusion_cache: false }`.
+/// per-object state is spread over, whether fusion results are cached
+/// between ingests, and how many worker threads the ingest pipeline
+/// fans out over. The defaults are right for production single-threaded
+/// ingest; tests that want the pre-sharding behaviour for differential
+/// comparison use `ServiceTuning { shards: 1, fusion_cache: false,
+/// ..ServiceTuning::default() }`.
 #[derive(Debug, Clone)]
 pub struct ServiceTuning {
     /// Number of shards in the per-object state map (readings,
@@ -46,6 +49,15 @@ pub struct ServiceTuning {
     /// lattice rebuild. Answers are bit-identical either way (see the
     /// equivalence property test).
     pub fusion_cache: bool,
+    /// Worker threads for the ingest pipeline (`DESIGN.md` §10): shard
+    /// op application and the per-affected-object fuse + subscription
+    /// evaluation fan out over a persistent [`pool::WorkerPool`] when
+    /// this is greater than 1, with notifications merged back in
+    /// deterministic (arrival) order so parallel output is bit-identical
+    /// to the serial path. The default of 1 keeps the serial code path:
+    /// no pool is created and every step runs on the caller thread
+    /// exactly as before.
+    pub ingest_threads: usize,
 }
 
 impl Default for ServiceTuning {
@@ -53,6 +65,7 @@ impl Default for ServiceTuning {
         ServiceTuning {
             shards: 16,
             fusion_cache: true,
+            ingest_threads: 1,
         }
     }
 }
@@ -305,6 +318,35 @@ pub struct LocationService {
     /// watchdogs). `None` keeps the pre-supervision behaviour exactly.
     supervisor: Option<SharedSupervisor>,
     degradation: DegradationPolicy,
+    /// The ingest worker pool (`ServiceTuning::ingest_threads > 1`);
+    /// `None` keeps the serial ingest path exactly.
+    pool: Option<WorkerPool>,
+    /// Self-reference so `&self` ingest paths can hand `'static` tasks
+    /// (owning an `Arc<Self>`) to the worker pool without unsafe
+    /// borrows. Always upgradable while a caller holds the service.
+    me: Weak<LocationService>,
+}
+
+/// One queued mutation for a shard, order-preserving within the shard
+/// (revocations and supersedes are per `(sensor, object)`, so only
+/// same-shard order is observable).
+enum ShardOp {
+    Revoke(SensorId, MobileObjectId),
+    Insert(SensorReading),
+}
+
+/// One candidate subscription evaluated against an object's fused
+/// posterior — the read-only half of subscription matching. Workers
+/// produce these in parallel; [`LocationService::apply_evaluations`]
+/// folds them into edge-trigger state sequentially, in deterministic
+/// order.
+struct CandidateEval {
+    id: SubscriptionId,
+    region: Rect,
+    p: f64,
+    band: ProbabilityBand,
+    satisfied: bool,
+    position: Option<Point>,
 }
 
 /// One fusion pass plus the bookkeeping the degradation ladder needs.
@@ -431,6 +473,27 @@ impl LocationService {
         registry: &MetricsRegistry,
         supervisor: SharedSupervisor,
     ) -> Arc<Self> {
+        Self::new_supervised_with_tuning(
+            db,
+            universe,
+            broker,
+            registry,
+            supervisor,
+            ServiceTuning::default(),
+        )
+    }
+
+    /// [`new_supervised`](LocationService::new_supervised) with explicit
+    /// concurrency tuning (shard count, fusion cache, ingest threads).
+    #[must_use]
+    pub fn new_supervised_with_tuning(
+        db: SpatialDatabase,
+        universe: Rect,
+        broker: &Broker,
+        registry: &MetricsRegistry,
+        supervisor: SharedSupervisor,
+        tuning: ServiceTuning,
+    ) -> Arc<Self> {
         supervisor
             .lock()
             .expect("supervisor lock poisoned")
@@ -441,7 +504,7 @@ impl LocationService {
             broker,
             Some(registry),
             Some(supervisor),
-            ServiceTuning::default(),
+            tuning,
         )
     }
 
@@ -455,6 +518,7 @@ impl LocationService {
     ) -> Arc<Self> {
         let tuning = ServiceTuning {
             shards: tuning.shards.max(1),
+            ingest_threads: tuning.ingest_threads.max(1),
             ..tuning
         };
         // Shard-local reading databases; bound to the registry first so
@@ -481,7 +545,10 @@ impl LocationService {
         }
         let world = WorldModel::from_database(&db);
         let symbolic = SymbolicLattice::from_database(&db);
-        Arc::new(LocationService {
+        // Serial default: no pool at all, so `ingest_threads = 1` takes
+        // exactly the pre-pipeline code path.
+        let pool = (tuning.ingest_threads > 1).then(|| WorkerPool::new(tuning.ingest_threads));
+        Arc::new_cyclic(|me| LocationService {
             statics: RwLock::new(db),
             world: RwLock::new(Arc::new(world)),
             symbolic: RwLock::new(Arc::new(symbolic)),
@@ -494,6 +561,8 @@ impl LocationService {
             metrics: registry.map(CoreMetrics::new),
             supervisor,
             degradation: DegradationPolicy::default(),
+            pool,
+            me: me.clone(),
         })
     }
 
@@ -525,6 +594,18 @@ impl LocationService {
             metrics.shard_contention.inc();
         }
         self.shards[index].state.write()
+    }
+
+    /// The object's fusion-cache epoch: bumped on every ingest or
+    /// revocation that touches the object, `0` if never seen. Exposed so
+    /// equivalence tests can assert that parallel and serial ingest
+    /// leave identical version state behind.
+    #[must_use]
+    pub fn object_epoch(&self, object: &MobileObjectId) -> u64 {
+        self.shard_read(self.shard_index(object))
+            .objects
+            .get(object)
+            .map_or(0, |s| s.epoch)
     }
 
     /// Total live+stored readings across all shards (the shard-local
@@ -560,7 +641,12 @@ impl LocationService {
     pub fn with_degradation_policy(self: Arc<Self>, policy: DegradationPolicy) -> Arc<Self> {
         let mut service = Arc::into_inner(self).expect("service handle already shared");
         service.degradation = policy;
-        Arc::new(service)
+        // Re-wrapping allocates a fresh Arc, so the self-reference the
+        // ingest pipeline hands to pool workers must be re-seated too.
+        Arc::new_cyclic(|me| {
+            service.me = me.clone();
+            service
+        })
     }
 
     /// The attached sensor supervisor, when constructed with
@@ -731,55 +817,63 @@ impl LocationService {
         outputs: impl Iterator<Item = AdapterOutput>,
         now: SimTime,
     ) -> Vec<Notification> {
-        enum Op {
-            Revoke(SensorId, MobileObjectId),
-            Insert(SensorReading),
-        }
         let started = std::time::Instant::now();
         let mut reading_count = 0u64;
+        // Affected objects in first-touched order: the merge order of
+        // the notification pass, serial and parallel alike. The `seen`
+        // set keeps the dedup O(1) per reading (it used to be a linear
+        // `Vec::contains` scan, quadratic over large batches).
         let mut affected: Vec<MobileObjectId> = Vec::new();
+        let mut seen: HashSet<MobileObjectId> = HashSet::new();
         // Per-shard operation queues, order-preserving within a shard
         // (revocations and supersedes are per (sensor, object), so only
         // same-shard order is observable).
-        let mut ops: HashMap<usize, Vec<Op>> = HashMap::new();
+        let mut ops: HashMap<usize, Vec<ShardOp>> = HashMap::new();
         let mut meta_rows: Vec<mw_spatial_db::SensorMetaRow> = Vec::new();
-        for output in outputs {
-            reading_count += output.readings.len() as u64;
-            for revocation in &output.revocations {
-                ops.entry(self.shard_index(&revocation.object))
-                    .or_default()
-                    .push(Op::Revoke(
-                        revocation.sensor_id.clone(),
-                        revocation.object.clone(),
-                    ));
-                if !affected.contains(&revocation.object) {
-                    affected.push(revocation.object.clone());
-                }
-            }
-            for mut reading in output.readings {
-                if let Some(supervisor) = &self.supervisor {
-                    let decision = supervisor
-                        .lock()
-                        .expect("supervisor lock poisoned")
-                        .admit(&mut reading, now);
-                    if !decision.is_admitted() {
-                        continue;
+        {
+            // Batch admission: the global supervisor mutex is taken once
+            // for the whole batch instead of once per reading. Readings
+            // are still admitted in arrival order, so every gate
+            // decision (and the supervisor state it evolves) is
+            // identical to per-reading locking.
+            let mut admission = self
+                .supervisor
+                .as_ref()
+                .map(|s| s.lock().expect("supervisor lock poisoned"));
+            for output in outputs {
+                reading_count += output.readings.len() as u64;
+                for revocation in &output.revocations {
+                    ops.entry(self.shard_index(&revocation.object))
+                        .or_default()
+                        .push(ShardOp::Revoke(
+                            revocation.sensor_id.clone(),
+                            revocation.object.clone(),
+                        ));
+                    if seen.insert(revocation.object.clone()) {
+                        affected.push(revocation.object.clone());
                     }
                 }
-                if !affected.contains(&reading.object) {
-                    affected.push(reading.object.clone());
+                for mut reading in output.readings {
+                    if let Some(supervisor) = admission.as_mut() {
+                        if !supervisor.admit(&mut reading, now).is_admitted() {
+                            continue;
+                        }
+                    }
+                    if seen.insert(reading.object.clone()) {
+                        affected.push(reading.object.clone());
+                    }
+                    self.register_accuracy(reading.spec.hit_probability());
+                    // Keep the per-sensor metadata table (§5.2's second
+                    // table) current from the calibration the adapter sent.
+                    meta_rows.push(mw_spatial_db::SensorMetaRow {
+                        sensor_id: reading.sensor_id.clone(),
+                        confidence_percent: reading.spec.hit_probability() * 100.0,
+                        time_to_live: reading.time_to_live,
+                    });
+                    ops.entry(self.shard_index(&reading.object))
+                        .or_default()
+                        .push(ShardOp::Insert(reading));
                 }
-                self.register_accuracy(reading.spec.hit_probability());
-                // Keep the per-sensor metadata table (§5.2's second
-                // table) current from the calibration the adapter sent.
-                meta_rows.push(mw_spatial_db::SensorMetaRow {
-                    sensor_id: reading.sensor_id.clone(),
-                    confidence_percent: reading.spec.hit_probability() * 100.0,
-                    time_to_live: reading.time_to_live,
-                });
-                ops.entry(self.shard_index(&reading.object))
-                    .or_default()
-                    .push(Op::Insert(reading));
             }
         }
         if !meta_rows.is_empty() {
@@ -788,41 +882,14 @@ impl LocationService {
                 statics.upsert_sensor_meta(row);
             }
         }
-        let mut invalidated = 0u64;
-        for (index, shard_ops) in ops {
-            let mut state = self.shard_write(index);
-            for op in shard_ops {
-                match op {
-                    Op::Revoke(sensor, object) => {
-                        state.db.revoke_readings(&sensor, &object);
-                        if state.bump_epoch(&object) {
-                            invalidated += 1;
-                        }
-                    }
-                    Op::Insert(reading) => {
-                        let object = reading.object.clone();
-                        // Database-level trigger events are superseded by
-                        // the probability-filtered subscription pass
-                        // below; the raw events remain available to
-                        // database-level users.
-                        let _ = state.db.insert_reading(reading, now);
-                        if state.bump_epoch(&object) {
-                            invalidated += 1;
-                        }
-                    }
-                }
-            }
-        }
+        let invalidated = self.apply_ops(ops, now);
         if let Some(supervisor) = &self.supervisor {
             supervisor
                 .lock()
                 .expect("supervisor lock poisoned")
                 .tick(now);
         }
-        let mut fired = Vec::new();
-        for object in affected {
-            fired.extend(self.evaluate_subscriptions(&object, now));
-        }
+        let fired = self.evaluate_affected(affected, now);
         let mut delivered = 0usize;
         for n in &fired {
             // One shared allocation per notification; subscribers get a
@@ -835,6 +902,91 @@ impl LocationService {
             metrics.notifications_published.add(fired.len() as u64);
             metrics.notification_fanout.add(delivered as u64);
             metrics.ingest_latency.observe(started.elapsed());
+        }
+        fired
+    }
+
+    /// Applies the batch's per-shard op queues — concurrently over the
+    /// worker pool when one exists and more than one shard is touched
+    /// (shards are independent; order is preserved *within* each
+    /// shard's queue), serially on the caller thread otherwise. Returns
+    /// the number of cache entries invalidated.
+    fn apply_ops(&self, ops: HashMap<usize, Vec<ShardOp>>, now: SimTime) -> u64 {
+        if ops.len() > 1 {
+            if let (Some(pool), Some(me)) = (self.pool.as_ref(), self.me.upgrade()) {
+                let tasks: Vec<_> = ops
+                    .into_iter()
+                    .map(|(index, shard_ops)| {
+                        let me = Arc::clone(&me);
+                        move || me.apply_shard_ops(index, shard_ops, now)
+                    })
+                    .collect();
+                return pool.run(tasks).into_iter().sum();
+            }
+        }
+        ops.into_iter()
+            .map(|(index, shard_ops)| self.apply_shard_ops(index, shard_ops, now))
+            .sum()
+    }
+
+    /// Applies one shard's op queue in order under that shard's write
+    /// lock; returns how many cached fusions were invalidated.
+    fn apply_shard_ops(&self, index: usize, ops: Vec<ShardOp>, now: SimTime) -> u64 {
+        let mut invalidated = 0u64;
+        let mut state = self.shard_write(index);
+        for op in ops {
+            match op {
+                ShardOp::Revoke(sensor, object) => {
+                    state.db.revoke_readings(&sensor, &object);
+                    if state.bump_epoch(&object) {
+                        invalidated += 1;
+                    }
+                }
+                ShardOp::Insert(reading) => {
+                    let object = reading.object.clone();
+                    // Database-level trigger events are superseded by
+                    // the probability-filtered subscription pass; the
+                    // raw events remain available to database-level
+                    // users.
+                    let _ = state.db.insert_reading(reading, now);
+                    if state.bump_epoch(&object) {
+                        invalidated += 1;
+                    }
+                }
+            }
+        }
+        invalidated
+    }
+
+    /// The batch's notification pass: one fuse + subscription evaluation
+    /// per affected object. With a worker pool, the read-only half
+    /// (fusion, candidate selection, probability evaluation) fans out
+    /// across workers; the stateful half (edge-trigger recording) is
+    /// then folded in on the caller thread in `affected` order — object
+    /// by object, candidate by candidate — which is exactly the serial
+    /// path's order, so the fired notifications are bit-identical.
+    fn evaluate_affected(&self, affected: Vec<MobileObjectId>, now: SimTime) -> Vec<Notification> {
+        if affected.len() > 1 && self.subs.read().len() > 0 {
+            if let (Some(pool), Some(me)) = (self.pool.as_ref(), self.me.upgrade()) {
+                let tasks: Vec<_> = affected
+                    .iter()
+                    .cloned()
+                    .map(|object| {
+                        let me = Arc::clone(&me);
+                        move || me.evaluate_candidates(&object, now)
+                    })
+                    .collect();
+                let evaluations = pool.run(tasks);
+                let mut fired = Vec::new();
+                for (object, evals) in affected.iter().zip(evaluations) {
+                    fired.extend(self.apply_evaluations(object, now, evals));
+                }
+                return fired;
+            }
+        }
+        let mut fired = Vec::new();
+        for object in affected {
+            fired.extend(self.evaluate_subscriptions(&object, now));
         }
         fired
     }
@@ -852,8 +1004,16 @@ impl LocationService {
     }
 
     fn register_accuracy(&self, p: f64) {
+        // Hot path: every admitted reading lands here, and after warm-up
+        // the accuracy is always already known — check under the shared
+        // read lock so concurrent ingest batches don't serialize on it.
+        let known = |acc: &[f64]| acc.iter().any(|&x| (x - p).abs() < 1e-9);
+        if known(&self.sensor_accuracies.read()) {
+            return;
+        }
         let mut acc = self.sensor_accuracies.write();
-        if !acc.iter().any(|&x| (x - p).abs() < 1e-9) {
+        // Re-check: another thread may have registered it between locks.
+        if !known(&acc) {
             acc.push(p);
         }
     }
@@ -1518,6 +1678,16 @@ impl LocationService {
         if self.subs.read().len() == 0 {
             return Vec::new();
         }
+        let evals = self.evaluate_candidates(object, now);
+        self.apply_evaluations(object, now, evals)
+    }
+
+    /// The read-only half of subscription evaluation for one object:
+    /// fuse, select candidate subscriptions, compute each candidate's
+    /// probability / band / satisfaction. Safe to run concurrently for
+    /// distinct objects — it mutates nothing but the per-object fusion
+    /// cache (which is keyed so concurrent stores are idempotent).
+    fn evaluate_candidates(&self, object: &MobileObjectId, now: SimTime) -> Vec<CandidateEval> {
         let _timer = self.metrics.as_ref().map(|m| m.match_latency.start_timer());
         // One shared fusion pass per object per batch: the fresh fuse
         // lands in the shard cache, so queries arriving at the same
@@ -1543,19 +1713,50 @@ impl LocationService {
         }
         let thresholds = self.band_thresholds();
         let position = result.result().best_estimate().map(|e| e.region.center());
-        let mut fired = Vec::new();
-        for (id, spec) in candidates {
-            let p = result.region_probability(&spec.region);
-            let band = thresholds.classify(p);
-            let satisfied =
-                p >= spec.min_probability && spec.min_band.is_none_or(|min| band >= min);
-            if self.subs.write().record(id, object, satisfied, position) {
-                fired.push(Notification {
-                    subscription: id,
-                    object: object.clone(),
+        candidates
+            .into_iter()
+            .map(|(id, spec)| {
+                let p = result.region_probability(&spec.region);
+                let band = thresholds.classify(p);
+                let satisfied =
+                    p >= spec.min_probability && spec.min_band.is_none_or(|min| band >= min);
+                CandidateEval {
+                    id,
                     region: spec.region,
-                    probability: p,
+                    p,
                     band,
+                    satisfied,
+                    position,
+                }
+            })
+            .collect()
+    }
+
+    /// The stateful half: fold one object's candidate evaluations into
+    /// the edge-trigger state, in candidate order, emitting a
+    /// [`Notification`] per edge. Always runs on the ingest caller's
+    /// thread, object by object in `affected` order — the same order the
+    /// serial path uses, which is what makes the parallel pipeline's
+    /// output bit-identical.
+    fn apply_evaluations(
+        &self,
+        object: &MobileObjectId,
+        now: SimTime,
+        evals: Vec<CandidateEval>,
+    ) -> Vec<Notification> {
+        let mut fired = Vec::new();
+        for eval in evals {
+            if self
+                .subs
+                .write()
+                .record(eval.id, object, eval.satisfied, eval.position)
+            {
+                fired.push(Notification {
+                    subscription: eval.id,
+                    object: object.clone(),
+                    region: eval.region,
+                    probability: eval.p,
+                    band: eval.band,
                     at: now,
                 });
             }

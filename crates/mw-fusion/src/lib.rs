@@ -67,3 +67,17 @@ pub use engine::{Estimate, FusionEngine, FusionResult};
 pub use error::FusionError;
 pub use lattice::{NodeId, NodeKind, RegionLattice};
 pub use shared::SharedFusion;
+
+// The parallel ingest pipeline (mw-core) ships fusion results between
+// worker threads: `FusionResult` crosses as `Arc<FusionResult>` inside
+// the shard cache and `SharedFusion` rides in per-task closures. Assert
+// the auto-traits at compile time so an interior-mutability change here
+// (a `Cell`, an `Rc`) fails this crate's build instead of surfacing as a
+// cryptic bound error three crates up.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<FusionResult>();
+    assert_send_sync::<SharedFusion>();
+    assert_send_sync::<FusionEngine>();
+    assert_send_sync::<Estimate>();
+};

@@ -133,14 +133,17 @@ impl SpatialTable {
         F: FnMut(&SpatialObject) -> bool,
     {
         // The R-tree nearest() gives only the single nearest entry; the
-        // predicate may reject it, so scan candidates ordered by distance.
-        let mut candidates: Vec<&SpatialObject> = self.rows.values().filter(|o| pred(o)).collect();
-        candidates.sort_by(|a, b| {
-            a.mbr()
-                .distance_to_point(p)
-                .total_cmp(&b.mbr().distance_to_point(p))
-        });
-        candidates.into_iter().next()
+        // predicate may reject it. Single pass keeping the running
+        // minimum — no candidate vector, no O(N log N) sort; ties keep
+        // the earlier row, exactly like the stable sort this replaces.
+        let mut best: Option<(&SpatialObject, f64)> = None;
+        for o in self.rows.values().filter(|o| pred(o)) {
+            let d = o.mbr().distance_to_point(p);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((o, d));
+            }
+        }
+        best.map(|(o, _)| o)
     }
 
     /// The innermost region (smallest-area Room/Corridor/Floor polygon)
@@ -300,6 +303,54 @@ mod tests {
         assert!(t
             .nearest_matching(from, |o| o.attribute("teleporter") == Some("yes"))
             .is_none());
+    }
+
+    #[test]
+    fn nearest_matching_single_pass_matches_sort_based_reference() {
+        // The allocation-free running-minimum scan must agree with the
+        // collect-sort-take-first implementation it replaced, from many
+        // vantage points and under several predicates, on the paper's
+        // floor fixture.
+        let t = floor_table();
+        let reference = |p: Point, pred: &dyn Fn(&SpatialObject) -> bool| -> Option<String> {
+            let mut candidates: Vec<&SpatialObject> = t.rows.values().filter(|o| pred(o)).collect();
+            candidates.sort_by(|a, b| {
+                a.mbr()
+                    .distance_to_point(p)
+                    .total_cmp(&b.mbr().distance_to_point(p))
+            });
+            candidates.first().map(|o| o.identifier.clone())
+        };
+        type Pred = Box<dyn Fn(&SpatialObject) -> bool>;
+        let preds: Vec<(&str, Pred)> = vec![
+            ("rooms", Box::new(|o| o.object_type == ObjectType::Room)),
+            ("any", Box::new(|_| true)),
+            ("none", Box::new(|_| false)),
+            (
+                "corridors",
+                Box::new(|o| o.object_type == ObjectType::Corridor),
+            ),
+        ];
+        for (x, y) in [
+            (0.0, 0.0),
+            (340.0, 10.0),
+            (355.0, 15.0),
+            (500.0, 100.0),
+            (250.0, 50.0),
+            (-20.0, 110.0),
+        ] {
+            let p = Point::new(x, y);
+            for (name, pred) in &preds {
+                let fast = t
+                    .nearest_matching(p, |o| pred(o))
+                    .map(|o| o.identifier.clone());
+                assert_eq!(
+                    fast,
+                    reference(p, pred),
+                    "diverged from sort-based reference at ({x}, {y}) with predicate {name}"
+                );
+            }
+        }
     }
 
     #[test]

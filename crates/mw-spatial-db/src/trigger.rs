@@ -11,6 +11,7 @@
 //! filtered to one mobile object). The Location Service layers the
 //! probability threshold of §4.3 on top.
 
+use std::collections::HashMap;
 use std::fmt;
 
 use mw_geometry::{RTree, Rect};
@@ -66,7 +67,9 @@ pub struct TriggerEvent {
 pub struct TriggerManager {
     next_id: u64,
     index: RTree<(TriggerId, Option<MobileObjectId>)>,
-    regions: Vec<(TriggerId, TriggerSpec)>,
+    /// Id → spec beside the R-tree, so `get`/`unregister` are O(1)
+    /// instead of a linear scan over every registration.
+    regions: HashMap<TriggerId, TriggerSpec>,
 }
 
 impl TriggerManager {
@@ -93,7 +96,7 @@ impl TriggerManager {
         let id = TriggerId(self.next_id);
         self.next_id += 1;
         self.index.insert(spec.region, (id, spec.object.clone()));
-        self.regions.push((id, spec));
+        self.regions.insert(id, spec);
         id
     }
 
@@ -103,12 +106,10 @@ impl TriggerManager {
     ///
     /// Returns [`DbError::UnknownTrigger`] when the id does not exist.
     pub fn unregister(&mut self, id: TriggerId) -> Result<(), DbError> {
-        let pos = self
+        let spec = self
             .regions
-            .iter()
-            .position(|(tid, _)| *tid == id)
+            .remove(&id)
             .ok_or(DbError::UnknownTrigger { id: id.0 })?;
-        let (_, spec) = self.regions.remove(pos);
         self.index.remove_if(&spec.region, |(tid, _)| *tid == id);
         Ok(())
     }
@@ -131,13 +132,10 @@ impl TriggerManager {
             .collect()
     }
 
-    /// The spec of a registered trigger.
+    /// The spec of a registered trigger — a hash lookup, not a scan.
     #[must_use]
     pub fn get(&self, id: TriggerId) -> Option<&TriggerSpec> {
-        self.regions
-            .iter()
-            .find(|(tid, _)| *tid == id)
-            .map(|(_, spec)| spec)
+        self.regions.get(&id)
     }
 }
 
