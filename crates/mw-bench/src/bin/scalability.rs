@@ -13,21 +13,25 @@
 //!    regions: per-step cost (the Figure 9 claim at simulation scale),
 //! 4. **perf mix** — the epoch-cached, sharded service against a
 //!    single-shard, cache-free baseline under a repeated-query load and a
-//!    multi-threaded query-heavy mix. Writes `BENCH_perf.json` to the
-//!    workspace root and exits nonzero when the cache-hit speedup, the
-//!    cache-hit ratio, or cached-vs-fresh answer equivalence regresses.
+//!    multi-threaded query-heavy mix, plus a Zipf-skewed concurrent
+//!    read/write sweep contrasting the locked and left-right read paths
+//!    (`DESIGN.md` §11). Writes `BENCH_perf.json` to the workspace root
+//!    and exits nonzero when the cache-hit speedup, the cache-hit ratio,
+//!    cached-vs-fresh answer equivalence, or (on hosts with enough
+//!    cores) the left-right reader throughput regresses.
 //!
 //! Run with `cargo run -p mw-bench --release --bin scalability`; pass
 //! `perf` as the only argument to run just the perf mix (the CI smoke
 //! step does).
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mw_bench::{ubisense_reading, LatencyStats};
 use mw_bus::Broker;
-use mw_core::{LocationQuery, LocationService, ServiceTuning, SubscriptionSpec};
+use mw_core::{LocationQuery, LocationService, ReadPath, ServiceTuning, SubscriptionSpec};
 use mw_geometry::{Point, Rect};
 use mw_model::{SimDuration, SimTime};
 use mw_obs::MetricsRegistry;
@@ -468,6 +472,11 @@ fn ingest_parallel_sweep() -> String {
     // container) the matrix still runs and the determinism check still
     // bites, but the speedup assertion would only measure oversubscription.
     let gate_enforced = cores >= 4;
+    let gate_skipped_reason = if gate_enforced {
+        "null".to_string()
+    } else {
+        format!("\"host has {cores} core(s), the >= 2x gate needs >= 4\"")
+    };
     if gate_enforced {
         assert!(
             speedup_at_4 >= 2.0,
@@ -485,7 +494,244 @@ fn ingest_parallel_sweep() -> String {
     format!(
         "{{\n    \"subscriptions\": {INGEST_SUBS},\n    \"rows\": [\n{rows}\n    ],\n    \
          \"speedup_at_4_threads\": {speedup_at_4:.2},\n    \
-         \"gate_enforced\": {gate_enforced},\n    \"host_cores\": {cores}\n  }}"
+         \"gate_enforced\": {gate_enforced},\n    \
+         \"gate_skipped_reason\": {gate_skipped_reason},\n    \"host_cores\": {cores}\n  }}"
+    )
+}
+
+// --- concurrent read/write: locked vs left-right read path --------------
+
+/// Objects in the concurrent-read arena; Zipf skew concentrates most
+/// queries (and writes) on the low ranks, so the hot keys see genuine
+/// reader/writer collisions.
+const CR_OBJECTS: usize = 64;
+
+/// Reader thread counts swept per read path.
+const CR_READERS: &[usize] = &[1, 2, 4];
+
+/// Wall-clock measurement window per cell.
+const CR_CELL_MS: u64 = 250;
+
+/// Zipf exponent (s ≈ 1 is the classic web/workload skew).
+const CR_ZIPF_S: f64 = 1.1;
+
+/// Cumulative Zipf(s) distribution over ranks `0..n`, precomputed so
+/// sampling is a binary search — no external zipf crate.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut acc = 0.0f64;
+    let mut cdf: Vec<f64> = (1..=n)
+        .map(|k| {
+            acc += (k as f64).powf(-s);
+            acc
+        })
+        .collect();
+    for v in &mut cdf {
+        *v /= acc;
+    }
+    cdf
+}
+
+fn sample_zipf(cdf: &[f64], rng: &mut StdRng) -> usize {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+}
+
+fn concurrent_read_service(read_path: ReadPath) -> (Arc<LocationService>, MetricsRegistry, Broker) {
+    // One shard so every reader and the writer collide on the same
+    // state — the configuration where the read-path representation is
+    // the whole story.
+    let (svc, registry, broker) = perf_service(ServiceTuning {
+        shards: 1,
+        read_path,
+        ..ServiceTuning::default()
+    });
+    let outputs: Vec<AdapterOutput> = (0..CR_OBJECTS)
+        .map(|i| {
+            let center = Point::new(
+                10.0 + (i as f64 * 37.0) % 480.0,
+                10.0 + (i as f64 * 13.0) % 80.0,
+            );
+            let mut r = ubisense_reading(&object_name(i), center, SimTime::ZERO);
+            r.sensor_id = format!("Ubi-cr-{i}").as_str().into();
+            AdapterOutput::single(r)
+        })
+        .collect();
+    svc.ingest_batch(outputs, SimTime::ZERO);
+    (svc, registry, broker)
+}
+
+/// One cell: a writer continuously re-ingesting Zipf-sampled objects
+/// (superseding, so the database stays bounded) while `readers` threads
+/// spin on `query`. Returns (reads/sec, writes/sec).
+fn concurrent_read_cell(
+    svc: &Arc<LocationService>,
+    readers: usize,
+    now: SimTime,
+    cdf: &Arc<Vec<f64>>,
+    seed: u64,
+) -> (f64, f64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let writes = Arc::new(AtomicU64::new(0));
+    let writer = {
+        let svc = Arc::clone(svc);
+        let stop = Arc::clone(&stop);
+        let writes = Arc::clone(&writes);
+        let cdf = Arc::clone(cdf);
+        std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            while !stop.load(Ordering::Acquire) {
+                let obj = sample_zipf(&cdf, &mut rng);
+                let center = Point::new(rng.gen_range(5.0..495.0), rng.gen_range(5.0..95.0));
+                let mut r = ubisense_reading(&object_name(obj), center, SimTime::ZERO);
+                r.sensor_id = format!("Ubi-cr-{obj}").as_str().into();
+                svc.ingest_reading(r, SimTime::ZERO);
+                writes.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+    };
+    let deadline = Instant::now() + Duration::from_millis(CR_CELL_MS);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..readers)
+        .map(|t| {
+            let svc = Arc::clone(svc);
+            let cdf = Arc::clone(cdf);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed + 100 + t as u64);
+                let mut reads = 0u64;
+                // Deadline-checked after each pass so every reader
+                // completes work even on a single-core host.
+                loop {
+                    let obj = sample_zipf(&cdf, &mut rng);
+                    let rect = seeded_rect(&mut rng);
+                    let _ = svc.query(
+                        LocationQuery::of(object_name(obj).as_str())
+                            .in_rect(rect)
+                            .at(now),
+                    );
+                    reads += 1;
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+                reads
+            })
+        })
+        .collect();
+    let total_reads: u64 = handles.into_iter().map(|h| h.join().expect("reader")).sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Release);
+    writer.join().expect("writer");
+    (
+        total_reads as f64 / elapsed,
+        writes.load(Ordering::Relaxed) as f64 / elapsed,
+    )
+}
+
+/// The Zipf-skewed concurrent read/write sweep: locked vs left-right
+/// read path under a continuous single-writer load. Returns the
+/// `concurrent_read` JSON fragment for `BENCH_perf.json`.
+fn concurrent_read_sweep() -> String {
+    println!(
+        "== perf: concurrent read/write, locked vs left-right read path \
+         ({CR_OBJECTS} objects, Zipf s={CR_ZIPF_S}) =="
+    );
+    println!(
+        "  {:>12} {:>8} {:>14} {:>14}",
+        "read path", "readers", "reads/s", "writes/s"
+    );
+    let now = SimTime::from_secs(1.0);
+    let cdf = Arc::new(zipf_cdf(CR_OBJECTS, CR_ZIPF_S));
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut rows = String::new();
+    let mut locked_at: Vec<f64> = Vec::new();
+    let mut speedup_at_4 = 0.0f64;
+    let mut lr_metrics = String::from("null");
+    for read_path in [ReadPath::Locked, ReadPath::LeftRight] {
+        let label = match read_path {
+            ReadPath::Locked => "locked",
+            ReadPath::LeftRight => "left_right",
+        };
+        let (svc, registry, _broker) = concurrent_read_service(read_path);
+        for (slot, &readers) in CR_READERS.iter().enumerate() {
+            let (reads, writes) = concurrent_read_cell(&svc, readers, now, &cdf, 71);
+            println!("  {label:>12} {readers:>8} {reads:>14.0} {writes:>14.0}");
+            let speedup = match read_path {
+                ReadPath::Locked => {
+                    locked_at.push(reads);
+                    "null".to_string()
+                }
+                _ => {
+                    let ratio = reads / locked_at[slot].max(1.0);
+                    if readers >= 4 {
+                        speedup_at_4 = speedup_at_4.max(ratio);
+                    }
+                    format!("{ratio:.2}")
+                }
+            };
+            if !rows.is_empty() {
+                rows.push_str(",\n");
+            }
+            let _ = write!(
+                rows,
+                "      {{\"read_path\": \"{label}\", \"readers\": {readers}, \
+                 \"reads_per_sec\": {reads:.1}, \"writes_per_sec\": {writes:.1}, \
+                 \"speedup_vs_locked\": {speedup}}}"
+            );
+        }
+        if read_path == ReadPath::LeftRight {
+            // The `core.read_path.*` wiring, straight off the registry:
+            // swap count and publish latency from the writer, reader lag
+            // and retry counts from the pinned readers.
+            let snap = registry.snapshot();
+            let swaps = snap.counter("core.read_path.swaps").unwrap_or(0);
+            let retries = snap.counter("core.read_path.read_retries").unwrap_or(0);
+            let lag = snap.gauge("core.read_path.reader_epoch_lag").unwrap_or(0.0);
+            let (p50, p99) = snap
+                .histogram("core.read_path.publish_latency_us")
+                .map_or((0, 0), |h| (h.p50, h.p99));
+            println!(
+                "  left-right: {swaps} swaps, publish p50/p99 {p50}/{p99} µs, \
+                 {retries} read retries, reader lag {lag:.0}"
+            );
+            lr_metrics = format!(
+                "{{\"swaps\": {swaps}, \"publish_p50_us\": {p50}, \
+                 \"publish_p99_us\": {p99}, \"read_retries\": {retries}, \
+                 \"reader_epoch_lag\": {lag:.1}}}"
+            );
+        }
+    }
+    // Reader throughput is only a fair contest when the readers and the
+    // writer get real cores; oversubscribed hosts run the sweep for the
+    // numbers but skip the gate.
+    let gate_enforced = cores >= 4;
+    let gate_skipped_reason = if gate_enforced {
+        "null".to_string()
+    } else {
+        format!("\"host has {cores} core(s), the >= 2x gate needs >= 4\"")
+    };
+    if gate_enforced {
+        assert!(
+            speedup_at_4 >= 2.0,
+            "left-right reader throughput regressed: {speedup_at_4:.2}x < 2x \
+             over the locked path at 4 readers on a {cores}-core host"
+        );
+        println!("  left-right speedup at 4 readers: {speedup_at_4:.2}x (gate: >= 2x, enforced)");
+    } else {
+        println!(
+            "  left-right speedup at 4 readers: {speedup_at_4:.2}x \
+             (gate skipped: only {cores} core(s) available)"
+        );
+    }
+    println!();
+    format!(
+        "{{\n    \"objects\": {CR_OBJECTS},\n    \"zipf_s\": {CR_ZIPF_S},\n    \
+         \"cell_ms\": {CR_CELL_MS},\n    \"rows\": [\n{rows}\n    ],\n    \
+         \"speedup_at_4_readers\": {speedup_at_4:.2},\n    \
+         \"gate_enforced\": {gate_enforced},\n    \
+         \"gate_skipped_reason\": {gate_skipped_reason},\n    \
+         \"host_cores\": {cores},\n    \"left_right_metrics\": {lr_metrics}\n  }}"
     )
 }
 
@@ -600,6 +846,9 @@ fn perf_mix() {
     // 5. The parallel ingest pipeline matrix + determinism smoke.
     let ingest_parallel = ingest_parallel_sweep();
 
+    // 6. Locked vs left-right read path under concurrent read/write.
+    let concurrent_read = concurrent_read_sweep();
+
     let json = format!(
         "{{\n  \"repeated_query\": {{\"iters\": {REPEATED_QUERIES}, \
          \"baseline_ops_per_sec\": {base_rq:.1}, \"tuned_ops_per_sec\": {tuned_rq:.1}, \
@@ -607,6 +856,7 @@ fn perf_mix() {
          \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"ratio\": {ratio:.4}, \
          \"invalidations\": {invalidations}, \"shard_contention\": {contention}}},\n  \
          \"ingest_parallel\": {ingest_parallel},\n  \
+         \"concurrent_read\": {concurrent_read},\n  \
          \"equivalence_checks\": {checks}\n}}\n"
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

@@ -25,6 +25,7 @@
 
 mod error;
 mod fix;
+pub mod lr;
 pub mod pool;
 mod query;
 mod relations;
@@ -38,7 +39,7 @@ pub use fix::{LocationFix, Notification};
 pub use query::{AnswerQuality, LocationQuery, QueryAnswer, QueryTarget};
 pub use relations::{CoLocation, ObjectRelation, RegionRelation};
 pub use service::{
-    DegradationPolicy, LocationRequest, LocationResponse, LocationService, ServiceTuning,
+    DegradationPolicy, LocationRequest, LocationResponse, LocationService, ReadPath, ServiceTuning,
     SharedNotification,
 };
 pub use subscription::{

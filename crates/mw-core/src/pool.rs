@@ -238,4 +238,75 @@ mod tests {
         // The pool is still usable afterwards.
         assert_eq!(pool.run(vec![|| 9]), vec![9]);
     }
+
+    #[test]
+    fn single_worker_runs_batches_in_submission_order() {
+        // One worker drains the queue serially; ordering must hold
+        // without any reorder buffer exercising the slot logic.
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let out = pool.run((0..32u64).map(|i| move || i * 3).collect());
+        assert_eq!(out, (0..32u64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batch_on_a_single_worker_is_a_no_op() {
+        let pool = WorkerPool::new(1);
+        let out: Vec<u32> = pool.run(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+        // The worker must still be alive for real work afterwards.
+        assert_eq!(pool.run(vec![|| 11]), vec![11]);
+    }
+
+    #[test]
+    fn panic_payload_is_transparent() {
+        // `resume_unwind` must carry the original payload to the
+        // caller, not wrap it — callers that downcast (or harnesses
+        // that print the message) see exactly what the task threw.
+        let pool = WorkerPool::new(2);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(vec![Box::new(|| -> u32 { panic!("original payload") })
+                as Box<dyn FnOnce() -> u32 + Send>]);
+        }));
+        let payload = outcome.expect_err("the task panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .expect("payload must still be the task's &str");
+        assert_eq!(*message, "original payload");
+    }
+
+    #[test]
+    fn remaining_tasks_complete_after_a_task_panics() {
+        // The batch owner unwinds on the first panic, but the other
+        // tasks already queued must still run to completion on their
+        // workers (the documented contract of `run`).
+        let pool = WorkerPool::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+                vec![Box::new(|| panic!("first task explodes"))];
+            for _ in 0..8 {
+                let hits = Arc::clone(&hits);
+                tasks.push(Box::new(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                    0
+                }));
+            }
+            pool.run(tasks);
+        }));
+        assert!(outcome.is_err());
+        // The queued tasks keep draining on the workers after the
+        // caller unwound; wait (bounded) for all of them.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while hits.load(Ordering::SeqCst) < 8 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "queued tasks never finished: {}/8",
+                hits.load(Ordering::SeqCst)
+            );
+            std::thread::yield_now();
+        }
+        // And the pool still serves fresh batches.
+        assert_eq!(pool.run(vec![|| 5]), vec![5]);
+    }
 }

@@ -11,6 +11,7 @@ use mw_sensors::{AdapterOutput, MobileObjectId, SensorId, SensorReading, SharedS
 use mw_spatial_db::{SpatialDatabase, SpatialObject};
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use crate::lr::{Absorb, LeftRight};
 use crate::pool::WorkerPool;
 use crate::relations::{self, CoLocation, ObjectRelation, RegionRelation};
 use crate::subscription::SubscriptionManager;
@@ -58,6 +59,15 @@ pub struct ServiceTuning {
     /// no pool is created and every step runs on the caller thread
     /// exactly as before.
     pub ingest_threads: usize,
+    /// Which concurrency primitive serves the query path (`DESIGN.md`
+    /// §11). The default, [`ReadPath::Locked`], keeps the per-shard
+    /// `RwLock` layout byte-identical to previous releases;
+    /// [`ReadPath::LeftRight`] moves the read state onto the
+    /// [`crate::lr`] left-right cell so queries never block on ingest
+    /// (at the cost of a one-publish staleness window under
+    /// concurrent writes — the equivalence proptests prove the two
+    /// paths identical whenever reads and writes do not overlap).
+    pub read_path: ReadPath,
 }
 
 impl Default for ServiceTuning {
@@ -66,8 +76,24 @@ impl Default for ServiceTuning {
             shards: 16,
             fusion_cache: true,
             ingest_threads: 1,
+            read_path: ReadPath::Locked,
         }
     }
+}
+
+/// Which concurrency primitive serves the per-object read path — see
+/// [`ServiceTuning::read_path`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPath {
+    /// Per-shard `RwLock`s: writers and readers share one lock per
+    /// shard. Exactly the pre-left-right behaviour; the default.
+    #[default]
+    Locked,
+    /// Left-right replicated shard state ([`crate::lr`]): writers
+    /// publish to a staging copy and flip an epoch; readers pin the
+    /// active copy wait-free. Reads served during a concurrent
+    /// publish may be one publish stale, never torn.
+    LeftRight,
 }
 
 /// One cached fusion pass. Valid only while every key field still
@@ -127,9 +153,479 @@ impl ShardState {
     }
 }
 
-#[derive(Debug, Default)]
-struct Shard {
+/// One shard of per-object state, in one of two concurrency
+/// representations selected by [`ServiceTuning::read_path`].
+#[derive(Debug)]
+enum Shard {
+    /// A single `RwLock` over the whole shard — the pre-left-right
+    /// layout, byte-identical behaviour. (Boxed so the enum stays
+    /// small; each service holds only `tuning.shards` of these.)
+    Locked(Box<LockedShard>),
+    /// Left-right replicated read state plus a small locked sidecar
+    /// for the write-on-read maps (fusion cache, last-known-good).
+    LeftRight(Box<LrShard>),
+}
+
+#[derive(Debug)]
+struct LockedShard {
     state: RwLock<ShardState>,
+    /// `core.shard.contention` handle, bumped when the uncontended
+    /// try-lock fast path fails and an access has to block.
+    contention: Option<mw_obs::Counter>,
+}
+
+impl LockedShard {
+    fn read(&self) -> RwLockReadGuard<'_, ShardState> {
+        if let Some(guard) = self.state.try_read() {
+            return guard;
+        }
+        if let Some(contention) = &self.contention {
+            contention.inc();
+        }
+        self.state.read()
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, ShardState> {
+        if let Some(guard) = self.state.try_write() {
+            return guard;
+        }
+        if let Some(contention) = &self.contention {
+            contention.inc();
+        }
+        self.state.write()
+    }
+}
+
+/// The left-right replicated slice of a shard: everything the query
+/// path *reads*. The maps queries *write* (fusion cache entries,
+/// last-known-good fixes) live in [`LrAux`] so a query never touches
+/// the writer's publish lock.
+#[derive(Debug, Clone, Default)]
+struct LrState {
+    /// Shard-local reading storage, replicated onto both sides. Never
+    /// bound to the metrics registry: every op is absorbed once per
+    /// side, which would double-count the `db.*` counters.
+    db: SpatialDatabase,
+    /// Privacy policy: object → maximum GLOB depth revealed (§4.5).
+    privacy: HashMap<MobileObjectId, usize>,
+    /// Per-object reading-set epochs (the [`ObjectState::epoch`]
+    /// equivalent; the fusion cache itself lives in [`LrAux`]).
+    epochs: HashMap<MobileObjectId, u64>,
+}
+
+impl LrState {
+    fn bump_epoch(&mut self, object: &MobileObjectId) {
+        let epoch = self.epochs.entry(object.clone()).or_default();
+        *epoch = epoch.wrapping_add(1);
+    }
+}
+
+/// One replicated write op for an [`LrState`]; absorbed once per side,
+/// one publish apart.
+#[derive(Clone)]
+enum LrOp {
+    /// [`ShardOp::Revoke`] with the epoch bump attached.
+    Revoke(SensorId, MobileObjectId),
+    /// [`ShardOp::Insert`] with the ingest time attached (triggers
+    /// fire against the database on both sides; their events are
+    /// superseded by the subscription pass exactly as on the locked
+    /// path).
+    Insert(SensorReading, SimTime),
+    /// Seed-reading migration at construction: bypasses triggers and
+    /// epochs like the locked path's `readings_mut().insert`.
+    Seed(SensorReading),
+    SetPrivacy(MobileObjectId, usize),
+    ClearPrivacy(MobileObjectId),
+}
+
+impl Absorb<LrOp> for LrState {
+    fn absorb(&mut self, op: &LrOp) {
+        match op {
+            LrOp::Revoke(sensor, object) => {
+                self.db.revoke_readings(sensor, object);
+                self.bump_epoch(object);
+            }
+            LrOp::Insert(reading, now) => {
+                let _ = self.db.insert_reading(reading.clone(), *now);
+                self.bump_epoch(&reading.object);
+            }
+            LrOp::Seed(reading) => {
+                self.db.readings_mut().insert(reading.clone());
+            }
+            LrOp::SetPrivacy(object, max_depth) => {
+                self.privacy.insert(object.clone(), *max_depth);
+            }
+            LrOp::ClearPrivacy(object) => {
+                self.privacy.remove(object);
+            }
+        }
+    }
+}
+
+/// The locked sidecar of a left-right shard: maps the *query* path
+/// writes. Cache entries are validated against the left-right epoch
+/// on every lookup, so a stale entry is unreachable the instant a
+/// publish moves the epoch (the publish also sweeps it, keeping the
+/// invalidation metric and memory use honest).
+#[derive(Debug, Default)]
+struct LrAux {
+    cache: HashMap<MobileObjectId, CachedFusion>,
+    last_good: HashMap<MobileObjectId, LocationFix>,
+}
+
+#[derive(Debug)]
+struct LrShard {
+    state: LeftRight<LrState, LrOp>,
+    aux: RwLock<LrAux>,
+    metrics: Option<LrShardMetrics>,
+}
+
+/// Handles on the `core.read_path.*` metrics, cloned per shard
+/// (registry handles are interned by name, so every shard feeds the
+/// same series).
+#[derive(Debug, Clone)]
+struct LrShardMetrics {
+    swaps: mw_obs::Counter,
+    publish_latency: mw_obs::Histogram,
+    reader_lag: mw_obs::Gauge,
+    read_retries: mw_obs::Counter,
+}
+
+impl LrShardMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        LrShardMetrics {
+            swaps: registry.counter("core.read_path.swaps"),
+            publish_latency: registry.histogram("core.read_path.publish_latency_us"),
+            reader_lag: registry.gauge("core.read_path.reader_epoch_lag"),
+            read_retries: registry.counter("core.read_path.read_retries"),
+        }
+    }
+}
+
+impl LrShard {
+    /// Publishes `ops` through the left-right cell, recording the
+    /// `core.read_path.*` metrics around the swap.
+    fn publish(&self, ops: Vec<LrOp>) {
+        let started = std::time::Instant::now();
+        self.state.publish(ops);
+        if let Some(metrics) = &self.metrics {
+            metrics.swaps.inc();
+            metrics.publish_latency.observe(started.elapsed());
+            #[allow(clippy::cast_precision_loss)]
+            metrics.reader_lag.set(self.state.reader_lag() as f64);
+            metrics.read_retries.add(self.state.take_read_retries());
+        }
+    }
+
+    fn epoch_of(&self, object: &MobileObjectId) -> u64 {
+        self.state.read().epochs.get(object).copied().unwrap_or(0)
+    }
+}
+
+impl Shard {
+    /// The object's reading-set epoch (0 if never seen).
+    fn object_epoch(&self, object: &MobileObjectId) -> u64 {
+        match self {
+            Shard::Locked(shard) => shard.read().objects.get(object).map_or(0, |s| s.epoch),
+            Shard::LeftRight(shard) => shard.epoch_of(object),
+        }
+    }
+
+    fn reading_count(&self) -> usize {
+        match self {
+            Shard::Locked(shard) => shard.read().db.readings().len(),
+            Shard::LeftRight(shard) => shard.state.read().db.readings().len(),
+        }
+    }
+
+    fn tracked_objects(&self, now: SimTime) -> Vec<MobileObjectId> {
+        match self {
+            Shard::Locked(shard) => shard.read().db.readings().tracked_objects(now),
+            Shard::LeftRight(shard) => shard.state.read().db.readings().tracked_objects(now),
+        }
+    }
+
+    /// The object's privacy depth limit, if any (§4.5).
+    fn privacy_of(&self, object: &MobileObjectId) -> Option<usize> {
+        match self {
+            Shard::Locked(shard) => shard.read().privacy.get(object).copied(),
+            Shard::LeftRight(shard) => shard.state.read().privacy.get(object).copied(),
+        }
+    }
+
+    fn set_privacy(&self, object: MobileObjectId, max_depth: usize) {
+        match self {
+            Shard::Locked(shard) => {
+                shard.write().privacy.insert(object, max_depth);
+            }
+            // Privacy changes are writes, so they go through a publish
+            // like any other mutation (rare; administrative path).
+            Shard::LeftRight(shard) => shard.publish(vec![LrOp::SetPrivacy(object, max_depth)]),
+        }
+    }
+
+    fn clear_privacy(&self, object: &MobileObjectId) {
+        match self {
+            Shard::Locked(shard) => {
+                shard.write().privacy.remove(object);
+            }
+            Shard::LeftRight(shard) => shard.publish(vec![LrOp::ClearPrivacy(object.clone())]),
+        }
+    }
+
+    /// Looks up a valid cached fusion for `(object, now, excluded)`.
+    fn cached_fusion(
+        &self,
+        object: &MobileObjectId,
+        now: SimTime,
+        excluded_key: u64,
+    ) -> Option<(Arc<FusionResult>, usize, usize)> {
+        match self {
+            Shard::Locked(shard) => {
+                let guard = shard.read();
+                let state = guard.objects.get(object)?;
+                let cached = state.cache.as_ref()?;
+                (cached.epoch == state.epoch
+                    && cached.now == now
+                    && cached.excluded_key == excluded_key)
+                    .then(|| (Arc::clone(&cached.result), cached.total, cached.used))
+            }
+            Shard::LeftRight(shard) => {
+                // The authoritative epoch lives in the left-right
+                // state; an entry stored under an older epoch is a
+                // miss even before the publish sweeps it. Under a
+                // concurrent publish this epoch may itself be one
+                // publish stale — the same (allowed) window a fresh
+                // fuse over the pinned side would have.
+                let epoch = shard.epoch_of(object);
+                let aux = shard.aux.read();
+                let cached = aux.cache.get(object)?;
+                (cached.epoch == epoch && cached.now == now && cached.excluded_key == excluded_key)
+                    .then(|| (Arc::clone(&cached.result), cached.total, cached.used))
+            }
+        }
+    }
+
+    /// Copies the object's live readings (and the epoch they were read
+    /// under) out of the shard, so fusion runs outside any lock.
+    fn live_readings(&self, object: &MobileObjectId, now: SimTime) -> (Vec<SensorReading>, u64) {
+        match self {
+            Shard::Locked(shard) => {
+                let guard = shard.read();
+                let readings = guard.db.live_readings_for(object, now);
+                let epoch = guard.objects.get(object).map_or(0, |s| s.epoch);
+                (readings, epoch)
+            }
+            Shard::LeftRight(shard) => {
+                let guard = shard.state.read();
+                let readings = guard.db.live_readings_for(object, now);
+                let epoch = guard.epochs.get(object).copied().unwrap_or(0);
+                (readings, epoch)
+            }
+        }
+    }
+
+    /// Stores a fusion result in the cache — only if no ingest raced
+    /// past the epoch it was computed under (a stale entry would be a
+    /// correctness bug, a skipped store merely a future miss).
+    fn store_fusion(&self, object: &MobileObjectId, entry: CachedFusion) {
+        match self {
+            Shard::Locked(shard) => {
+                let mut guard = shard.write();
+                let state = guard.objects.entry(object.clone()).or_default();
+                if state.epoch == entry.epoch {
+                    state.cache = Some(entry);
+                }
+            }
+            Shard::LeftRight(shard) => {
+                let mut aux = shard.aux.write();
+                // Re-check under the aux lock: a publish that moved
+                // the epoch after we fused either already swept the
+                // cache (its sweep takes this lock) or will find and
+                // sweep this entry right after we release it — and
+                // lookups validate against the live epoch anyway.
+                if shard.epoch_of(object) == entry.epoch {
+                    aux.cache.insert(object.clone(), entry);
+                }
+            }
+        }
+    }
+
+    fn last_good(&self, object: &MobileObjectId) -> Option<LocationFix> {
+        match self {
+            Shard::Locked(shard) => shard.read().last_good.get(object).cloned(),
+            Shard::LeftRight(shard) => shard.aux.read().last_good.get(object).cloned(),
+        }
+    }
+
+    fn record_last_good(&self, object: &MobileObjectId, fix: LocationFix) {
+        match self {
+            Shard::Locked(shard) => {
+                shard.write().last_good.insert(object.clone(), fix);
+            }
+            Shard::LeftRight(shard) => {
+                shard.aux.write().last_good.insert(object.clone(), fix);
+            }
+        }
+    }
+
+    /// Applies one ingest batch's op queue for this shard, in order;
+    /// returns how many cached fusions were invalidated.
+    fn apply_ops(&self, ops: Vec<ShardOp>, now: SimTime) -> u64 {
+        match self {
+            Shard::Locked(shard) => {
+                let mut invalidated = 0u64;
+                let mut state = shard.write();
+                for op in ops {
+                    match op {
+                        ShardOp::Revoke(sensor, object) => {
+                            state.db.revoke_readings(&sensor, &object);
+                            if state.bump_epoch(&object) {
+                                invalidated += 1;
+                            }
+                        }
+                        ShardOp::Insert(reading) => {
+                            let object = reading.object.clone();
+                            // Database-level trigger events are
+                            // superseded by the probability-filtered
+                            // subscription pass; the raw events remain
+                            // available to database-level users.
+                            let _ = state.db.insert_reading(reading, now);
+                            if state.bump_epoch(&object) {
+                                invalidated += 1;
+                            }
+                        }
+                    }
+                }
+                invalidated
+            }
+            Shard::LeftRight(shard) => {
+                let mut affected: Vec<MobileObjectId> = Vec::new();
+                let mut seen: HashSet<MobileObjectId> = HashSet::new();
+                let lr_ops: Vec<LrOp> = ops
+                    .into_iter()
+                    .map(|op| match op {
+                        ShardOp::Revoke(sensor, object) => {
+                            if seen.insert(object.clone()) {
+                                affected.push(object.clone());
+                            }
+                            LrOp::Revoke(sensor, object)
+                        }
+                        ShardOp::Insert(reading) => {
+                            if seen.insert(reading.object.clone()) {
+                                affected.push(reading.object.clone());
+                            }
+                            LrOp::Insert(reading, now)
+                        }
+                    })
+                    .collect();
+                shard.publish(lr_ops);
+                // Sweep the cache entries the epoch bumps orphaned.
+                // Lookups already reject them by epoch; the sweep
+                // reclaims the memory and counts the invalidation,
+                // matching the locked path's per-object accounting.
+                let mut aux = shard.aux.write();
+                let mut invalidated = 0u64;
+                for object in affected {
+                    if aux.cache.remove(&object).is_some() {
+                        invalidated += 1;
+                    }
+                }
+                invalidated
+            }
+        }
+    }
+
+    /// Bulk seed-reading migration at construction (no triggers, no
+    /// epoch bumps — mirrors `readings_mut().insert` on the locked
+    /// path).
+    fn seed_readings(&self, readings: Vec<SensorReading>) {
+        match self {
+            Shard::Locked(shard) => {
+                let mut state = shard.write();
+                for reading in readings {
+                    state.db.readings_mut().insert(reading);
+                }
+            }
+            Shard::LeftRight(shard) => {
+                shard.publish(readings.into_iter().map(LrOp::Seed).collect());
+            }
+        }
+    }
+}
+
+/// The world/symbolic snapshot pair, in one of two concurrency
+/// representations (see [`ServiceTuning::read_path`]). Both hand out
+/// cheap `Arc` clones; they differ in how a rebuild is published.
+#[derive(Debug)]
+enum WorldCell {
+    /// `RwLock`-guarded `Arc` swaps — the pre-left-right layout.
+    Locked {
+        world: RwLock<Arc<WorldModel>>,
+        symbolic: RwLock<Arc<SymbolicLattice>>,
+    },
+    /// Both snapshots behind one left-right cell: rebuilds publish a
+    /// replacement pair, readers pin wait-free. (Boxed: the cell's
+    /// reader-slot array dwarfs the two `Arc` pointers of `Locked`.)
+    LeftRight(Box<LeftRight<WorldSnapshots, WorldSnapshots>>),
+}
+
+/// The derived static-world models, swapped atomically on mutation.
+#[derive(Debug, Clone)]
+struct WorldSnapshots {
+    world: Arc<WorldModel>,
+    symbolic: Arc<SymbolicLattice>,
+}
+
+impl Absorb<WorldSnapshots> for WorldSnapshots {
+    fn absorb(&mut self, op: &WorldSnapshots) {
+        self.clone_from(op);
+    }
+}
+
+impl WorldCell {
+    fn new(read_path: ReadPath, world: WorldModel, symbolic: SymbolicLattice) -> Self {
+        let snapshots = WorldSnapshots {
+            world: Arc::new(world),
+            symbolic: Arc::new(symbolic),
+        };
+        match read_path {
+            ReadPath::Locked => WorldCell::Locked {
+                world: RwLock::new(snapshots.world),
+                symbolic: RwLock::new(snapshots.symbolic),
+            },
+            ReadPath::LeftRight => WorldCell::LeftRight(Box::new(LeftRight::new(snapshots))),
+        }
+    }
+
+    fn world(&self) -> Arc<WorldModel> {
+        match self {
+            WorldCell::Locked { world, .. } => Arc::clone(&world.read()),
+            WorldCell::LeftRight(cell) => Arc::clone(&cell.read().world),
+        }
+    }
+
+    fn symbolic(&self) -> Arc<SymbolicLattice> {
+        match self {
+            WorldCell::Locked { symbolic, .. } => Arc::clone(&symbolic.read()),
+            WorldCell::LeftRight(cell) => Arc::clone(&cell.read().symbolic),
+        }
+    }
+
+    fn replace(&self, new_world: Arc<WorldModel>, new_symbolic: Arc<SymbolicLattice>) {
+        match self {
+            WorldCell::Locked { world, symbolic } => {
+                // Readers hold cheap `Arc` snapshots; mutation swaps
+                // the pointer instead of blocking them mid-walk.
+                *world.write() = new_world;
+                *symbolic.write() = new_symbolic;
+            }
+            WorldCell::LeftRight(cell) => cell.publish(vec![WorldSnapshots {
+                world: new_world,
+                symbolic: new_symbolic,
+            }]),
+        }
+    }
 }
 
 /// Which shard an object's state lives in: hash of the id modulo the
@@ -263,7 +759,6 @@ struct CoreMetrics {
     cache_hits: mw_obs::Counter,
     cache_misses: mw_obs::Counter,
     cache_invalidations: mw_obs::Counter,
-    shard_contention: mw_obs::Counter,
 }
 
 impl CoreMetrics {
@@ -282,7 +777,6 @@ impl CoreMetrics {
             cache_hits: registry.counter("fusion.cache.hits"),
             cache_misses: registry.counter("fusion.cache.misses"),
             cache_invalidations: registry.counter("fusion.cache.invalidations"),
-            shard_contention: registry.counter("core.shard.contention"),
         }
     }
 }
@@ -301,8 +795,9 @@ pub struct LocationService {
     /// The static tables: spatial objects, sensor metadata, triggers.
     /// Live readings are shard-local (see [`ShardState`]).
     statics: RwLock<SpatialDatabase>,
-    world: RwLock<Arc<WorldModel>>,
-    symbolic: RwLock<Arc<SymbolicLattice>>,
+    /// The derived world/symbolic snapshots, in the representation
+    /// selected by [`ServiceTuning::read_path`].
+    world: WorldCell,
     shards: Box<[Shard]>,
     tuning: ServiceTuning,
     engine: FusionEngine,
@@ -523,21 +1018,36 @@ impl LocationService {
         };
         // Shard-local reading databases; bound to the registry first so
         // the statics database's object gauge wins the final write.
+        // Left-right shards never bind the db metrics (each op is
+        // absorbed once per side, which would double-count them).
         let shards: Box<[Shard]> = (0..tuning.shards)
-            .map(|_| {
-                let shard = Shard::default();
-                if let Some(registry) = registry {
-                    shard.state.write().db.bind_metrics(registry);
+            .map(|_| match tuning.read_path {
+                ReadPath::Locked => {
+                    let shard = LockedShard {
+                        state: RwLock::new(ShardState::default()),
+                        contention: registry.map(|r| r.counter("core.shard.contention")),
+                    };
+                    if let Some(registry) = registry {
+                        shard.state.write().db.bind_metrics(registry);
+                    }
+                    Shard::Locked(Box::new(shard))
                 }
-                shard
+                ReadPath::LeftRight => Shard::LeftRight(Box::new(LrShard {
+                    state: LeftRight::new(LrState::default()),
+                    aux: RwLock::new(LrAux::default()),
+                    metrics: registry.map(LrShardMetrics::new),
+                })),
             })
             .collect();
         // Any readings pre-loaded into the seed database migrate to
         // their objects' shards.
+        let mut seeds: HashMap<usize, Vec<SensorReading>> = HashMap::new();
         for reading in db.readings_mut().drain() {
             let idx = shard_of(&reading.object, tuning.shards);
-            let mut state = shards[idx].state.write();
-            state.db.readings_mut().insert(reading);
+            seeds.entry(idx).or_default().push(reading);
+        }
+        for (idx, readings) in seeds {
+            shards[idx].seed_readings(readings);
         }
         if let Some(registry) = registry {
             db.bind_metrics(registry);
@@ -550,8 +1060,7 @@ impl LocationService {
         let pool = (tuning.ingest_threads > 1).then(|| WorkerPool::new(tuning.ingest_threads));
         Arc::new_cyclic(|me| LocationService {
             statics: RwLock::new(db),
-            world: RwLock::new(Arc::new(world)),
-            symbolic: RwLock::new(Arc::new(symbolic)),
+            world: WorldCell::new(tuning.read_path, world, symbolic),
             shards,
             tuning,
             engine,
@@ -572,28 +1081,8 @@ impl LocationService {
         shard_of(object, self.shards.len())
     }
 
-    /// Read-locks an object's shard, counting `core.shard.contention`
-    /// when the uncontended fast path fails and the call has to block.
-    fn shard_read(&self, index: usize) -> RwLockReadGuard<'_, ShardState> {
-        if let Some(guard) = self.shards[index].state.try_read() {
-            return guard;
-        }
-        if let Some(metrics) = &self.metrics {
-            metrics.shard_contention.inc();
-        }
-        self.shards[index].state.read()
-    }
-
-    /// Write-locks an object's shard, counting contention like
-    /// [`shard_read`](LocationService::shard_read).
-    fn shard_write(&self, index: usize) -> RwLockWriteGuard<'_, ShardState> {
-        if let Some(guard) = self.shards[index].state.try_write() {
-            return guard;
-        }
-        if let Some(metrics) = &self.metrics {
-            metrics.shard_contention.inc();
-        }
-        self.shards[index].state.write()
+    fn shard(&self, object: &MobileObjectId) -> &Shard {
+        &self.shards[self.shard_index(object)]
     }
 
     /// The object's fusion-cache epoch: bumped on every ingest or
@@ -602,20 +1091,14 @@ impl LocationService {
     /// leave identical version state behind.
     #[must_use]
     pub fn object_epoch(&self, object: &MobileObjectId) -> u64 {
-        self.shard_read(self.shard_index(object))
-            .objects
-            .get(object)
-            .map_or(0, |s| s.epoch)
+        self.shard(object).object_epoch(object)
     }
 
     /// Total live+stored readings across all shards (the shard-local
     /// replacement for `with_db(|db| db.readings().len())`).
     #[must_use]
     pub fn reading_count(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.state.read().db.readings().len())
-            .sum()
+        self.shards.iter().map(Shard::reading_count).sum()
     }
 
     /// Every object with at least one live reading at `now`, across all
@@ -624,7 +1107,7 @@ impl LocationService {
     pub fn tracked_objects(&self, now: SimTime) -> Vec<MobileObjectId> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            out.extend(shard.state.read().db.readings().tracked_objects(now));
+            out.extend(shard.tracked_objects(now));
         }
         out
     }
@@ -684,21 +1167,18 @@ impl LocationService {
         let rebuilt = Arc::new(WorldModel::from_database(&db));
         let symbolic = Arc::new(SymbolicLattice::from_database(&db));
         drop(db);
-        // Readers hold cheap `Arc` snapshots; mutation swaps the
-        // pointer instead of blocking them mid-walk.
-        *self.world.write() = rebuilt;
-        *self.symbolic.write() = symbolic;
+        self.world.replace(rebuilt, symbolic);
         Ok(())
     }
 
     /// The current world-model snapshot (read-mostly: cloned `Arc`,
     /// never blocks mutators for longer than the pointer copy).
     fn world_snapshot(&self) -> Arc<WorldModel> {
-        Arc::clone(&self.world.read())
+        self.world.world()
     }
 
     fn symbolic_snapshot(&self) -> Arc<SymbolicLattice> {
-        Arc::clone(&self.symbolic.read())
+        self.world.symbolic()
     }
 
     /// Defines an application-level symbolic region (§4's task 4 and
@@ -750,11 +1230,7 @@ impl LocationService {
     ) -> Result<Vec<mw_model::Glob>, CoreError> {
         let fix = self.locate(object, now)?;
         let chain = self.symbolic_snapshot().regions_for_rect(&fix.region);
-        let max_depth = self
-            .shard_read(self.shard_index(object))
-            .privacy
-            .get(object)
-            .copied();
+        let max_depth = self.shard(object).privacy_of(object);
         Ok(match max_depth {
             Some(d) => chain.into_iter().filter(|g| g.depth() <= d).collect(),
             None => chain,
@@ -929,33 +1405,11 @@ impl LocationService {
             .sum()
     }
 
-    /// Applies one shard's op queue in order under that shard's write
-    /// lock; returns how many cached fusions were invalidated.
+    /// Applies one shard's op queue in order (under the shard's write
+    /// lock or through a left-right publish, per the read path);
+    /// returns how many cached fusions were invalidated.
     fn apply_shard_ops(&self, index: usize, ops: Vec<ShardOp>, now: SimTime) -> u64 {
-        let mut invalidated = 0u64;
-        let mut state = self.shard_write(index);
-        for op in ops {
-            match op {
-                ShardOp::Revoke(sensor, object) => {
-                    state.db.revoke_readings(&sensor, &object);
-                    if state.bump_epoch(&object) {
-                        invalidated += 1;
-                    }
-                }
-                ShardOp::Insert(reading) => {
-                    let object = reading.object.clone();
-                    // Database-level trigger events are superseded by
-                    // the probability-filtered subscription pass; the
-                    // raw events remain available to database-level
-                    // users.
-                    let _ = state.db.insert_reading(reading, now);
-                    if state.bump_epoch(&object) {
-                        invalidated += 1;
-                    }
-                }
-            }
-        }
-        invalidated
+        self.shards[index].apply_ops(ops, now)
     }
 
     /// The batch's notification pass: one fuse + subscription evaluation
@@ -1047,41 +1501,27 @@ impl LocationService {
             .as_ref()
             .map(|s| s.lock().expect("supervisor lock poisoned").excluded());
         let excluded_key = excluded_fingerprint(excluded.as_ref());
-        let index = self.shard_index(object);
+        let shard = self.shard(object);
 
         if self.tuning.fusion_cache {
-            let shard = self.shard_read(index);
-            if let Some(state) = shard.objects.get(object) {
-                if let Some(cached) = &state.cache {
-                    if cached.epoch == state.epoch
-                        && cached.now == now
-                        && cached.excluded_key == excluded_key
-                    {
-                        let attempt = FuseAttempt {
-                            result: SharedFusion::new(Arc::clone(&cached.result)),
-                            total: cached.total,
-                            used: cached.used,
-                        };
-                        drop(shard);
-                        if let Some(metrics) = &self.metrics {
-                            metrics.cache_hits.inc();
-                        }
-                        self.conflict_feedback(&attempt, now, feedback);
-                        return attempt;
-                    }
+            if let Some((result, total, used)) = shard.cached_fusion(object, now, excluded_key) {
+                let attempt = FuseAttempt {
+                    result: SharedFusion::new(result),
+                    total,
+                    used,
+                };
+                if let Some(metrics) = &self.metrics {
+                    metrics.cache_hits.inc();
                 }
+                self.conflict_feedback(&attempt, now, feedback);
+                return attempt;
             }
         }
 
         // Miss: copy the readings (and the epoch they were read under)
         // out of the shard, then fuse outside the lock so a slow lattice
         // build never blocks the shard.
-        let (readings, epoch) = {
-            let shard = self.shard_read(index);
-            let readings = shard.db.live_readings_for(object, now);
-            let epoch = shard.objects.get(object).map_or(0, |s| s.epoch);
-            (readings, epoch)
-        };
+        let (readings, epoch) = shard.live_readings(object, now);
         let total = readings.len();
         let (result, used) = match &excluded {
             Some(excluded) => {
@@ -1095,21 +1535,17 @@ impl LocationService {
         };
         let result = Arc::new(result);
         if self.tuning.fusion_cache {
-            let mut shard = self.shard_write(index);
-            let state = shard.objects.entry(object.clone()).or_default();
-            // Store only if no ingest raced us past the epoch we fused
-            // under — a stale entry would be a correctness bug, a
-            // skipped store merely a future miss.
-            if state.epoch == epoch {
-                state.cache = Some(CachedFusion {
+            shard.store_fusion(
+                object,
+                CachedFusion {
                     epoch,
                     now,
                     excluded_key,
                     result: Arc::clone(&result),
                     total,
                     used,
-                });
-            }
+                },
+            );
         }
         if let Some(metrics) = &self.metrics {
             metrics.cache_misses.inc();
@@ -1184,8 +1620,8 @@ impl LocationService {
         let mut region = estimate.region;
         // Privacy (§4.5): truncate the symbolic location and coarsen the
         // coordinate estimate to the revealed region's rectangle.
-        let index = self.shard_index(object);
-        let max_depth = self.shard_read(index).privacy.get(object).copied();
+        let shard = self.shard(object);
+        let max_depth = shard.privacy_of(object);
         if let Some(max_depth) = max_depth {
             if let Some(glob) = symbolic.take() {
                 let truncated = glob.truncated(max_depth);
@@ -1207,9 +1643,7 @@ impl LocationService {
             at: now,
         };
         if self.supervisor.is_some() {
-            self.shard_write(index)
-                .last_good
-                .insert(object.clone(), fix.clone());
+            shard.record_last_good(object, fix.clone());
         }
         Ok((fix, attempt.quality()))
     }
@@ -1220,11 +1654,7 @@ impl LocationService {
     /// universe). `None` when no cached fix exists or it is older than
     /// `lkg_max_age`.
     fn last_known_answer(&self, q: &LocationQuery) -> Option<QueryAnswer> {
-        let cached = self
-            .shard_read(self.shard_index(&q.object))
-            .last_good
-            .get(&q.object)
-            .cloned()?;
+        let cached = self.shard(&q.object).last_good(&q.object)?;
         let age = q.now.saturating_since(cached.at);
         if age > self.degradation.lkg_max_age {
             return None;
@@ -1770,15 +2200,12 @@ impl LocationService {
     /// truncated to `max_depth` segments and coordinates coarsened to the
     /// revealed region (§4.5).
     pub fn set_privacy(&self, object: MobileObjectId, max_depth: usize) {
-        let index = self.shard_index(&object);
-        self.shard_write(index).privacy.insert(object, max_depth);
+        self.shard(&object).set_privacy(object, max_depth);
     }
 
     /// Removes `object`'s privacy constraint.
     pub fn clear_privacy(&self, object: &MobileObjectId) {
-        self.shard_write(self.shard_index(object))
-            .privacy
-            .remove(object);
+        self.shard(object).clear_privacy(object);
     }
 
     // --- spatial relationships (§4.6) ----------------------------------------

@@ -22,7 +22,7 @@
 use std::sync::Arc;
 
 use mw_bus::Broker;
-use mw_core::{LocationQuery, LocationService, ServiceTuning, SubscriptionSpec};
+use mw_core::{LocationQuery, LocationService, ReadPath, ServiceTuning, SubscriptionSpec};
 use mw_geometry::{Point, Polygon, Rect};
 use mw_model::{SimDuration, SimTime, TemporalDegradation};
 use mw_obs::MetricsRegistry;
@@ -418,5 +418,157 @@ proptest! {
             let parallel = build_supervised(threads);
             assert_twins_agree(&serial, &parallel, &schedule, threads)?;
         }
+    }
+}
+
+// --- left-right read path vs locked twin ---------------------------------
+
+fn build_read_path(read_path: ReadPath) -> Arc<LocationService> {
+    let service = build(ServiceTuning {
+        read_path,
+        ..ServiceTuning::default()
+    });
+    register_subs(&service);
+    service
+}
+
+fn build_supervised_read_path(read_path: ReadPath) -> Arc<LocationService> {
+    let broker = Broker::new();
+    let registry = MetricsRegistry::new();
+    let supervisor = SensorSupervisor::new(HealthConfig::new(universe())).shared();
+    let service = LocationService::new_supervised_with_tuning(
+        floor_db(),
+        universe(),
+        &broker,
+        &registry,
+        supervisor,
+        ServiceTuning {
+            read_path,
+            ..ServiceTuning::default()
+        },
+    );
+    register_subs(&service);
+    service
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `ReadPath::LeftRight` is observationally identical to
+    /// `ReadPath::Locked` over arbitrary interleaved ingest/query
+    /// scripts: same notifications, reading counts, per-object epochs,
+    /// fixes, and query answers at every step (the `assert_twins_agree`
+    /// contract from the PR 5 serial-equivalence suite).
+    #[test]
+    fn left_right_read_path_matches_locked(schedule in batches()) {
+        let locked = build_read_path(ReadPath::Locked);
+        let left_right = build_read_path(ReadPath::LeftRight);
+        assert_twins_agree(&locked, &left_right, &schedule, 1)?;
+    }
+
+    /// Same with a sensor supervisor in the loop, which additionally
+    /// exercises the last-known-good sidecar (`locate` writes fixes on
+    /// the query path) and quarantine-keyed cache entries.
+    #[test]
+    fn left_right_read_path_matches_locked_supervised(schedule in batches()) {
+        let locked = build_supervised_read_path(ReadPath::Locked);
+        let left_right = build_supervised_read_path(ReadPath::LeftRight);
+        assert_twins_agree(&locked, &left_right, &schedule, 1)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The equivalence holds while 2–8 reader threads hammer the
+    /// left-right service's query path concurrently with ingest: the
+    /// main thread's step-by-step assertions (which serialize with
+    /// ingest) stay bit-identical to the locked twin, and every
+    /// concurrent answer is well-formed (a probability in [0, 1] or a
+    /// defined error — never a panic or torn value).
+    #[test]
+    fn left_right_equivalence_holds_under_concurrent_readers(
+        schedule in batches(),
+        readers in 2usize..=8,
+    ) {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+        let locked = build_read_path(ReadPath::Locked);
+        let left_right = build_read_path(ReadPath::LeftRight);
+        let stop = Arc::new(AtomicBool::new(false));
+        let step = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..readers)
+            .map(|seed| {
+                let service = Arc::clone(&left_right);
+                let stop = Arc::clone(&stop);
+                let step = Arc::clone(&step);
+                std::thread::spawn(move || {
+                    let mut answered = 0u64;
+                    let mut at = 0usize;
+                    // Spin until the driver finishes, then do one last
+                    // pass so every reader observes the final state.
+                    loop {
+                        let finished = stop.load(Ordering::Acquire);
+                        let now = SimTime::from_secs(step.load(Ordering::Acquire) as f64);
+                        let object = OBJECTS[(seed + at) % OBJECTS.len()];
+                        let x0 = ((seed + at) % 10) as f64 * 50.0;
+                        let room = Rect::new(Point::new(x0, 0.0), Point::new(x0 + 50.0, 100.0));
+                        let q = LocationQuery::of(object).in_rect(room).at(now);
+                        match service.query(q) {
+                            Ok(answer) => {
+                                let p = answer.probability().unwrap_or(0.0);
+                                assert!((0.0..=1.0).contains(&p), "malformed probability {p}");
+                                answered += 1;
+                            }
+                            Err(_) => answered += 1,
+                        }
+                        let _ = service.locate(&object.into(), now);
+                        at += 1;
+                        if finished {
+                            break;
+                        }
+                    }
+                    answered
+                })
+            })
+            .collect();
+        for (i, batch) in schedule.iter().enumerate() {
+            step.store(i, Ordering::Release);
+            let now = SimTime::from_secs(i as f64);
+            let outputs: Vec<AdapterOutput> = batch.iter().map(|b| item_to_output(b, now)).collect();
+            let a = locked.ingest_batch(outputs.clone(), now);
+            let b = left_right.ingest_batch(outputs, now);
+            // Readers never touch notification state, so the streams
+            // must stay identical even while they race the queries.
+            prop_assert_eq!(a, b, "notifications diverged at step {}", i);
+            prop_assert_eq!(locked.reading_count(), left_right.reading_count());
+        }
+        stop.store(true, Ordering::Release);
+        for handle in handles {
+            let answered = handle.join().expect("concurrent reader panicked");
+            prop_assert!(answered > 0, "a reader never completed a query");
+        }
+        // Post-quiescence: full equivalence of the end state.
+        let end = SimTime::from_secs(schedule.len() as f64);
+        for object in OBJECTS {
+            let fa = locked.locate(&(*object).into(), end);
+            let fb = left_right.locate(&(*object).into(), end);
+            match (fa, fb) {
+                (Ok(fa), Ok(fb)) => prop_assert!(
+                    fa == fb,
+                    "locate diverged for {object} after concurrent reads: {fa:?} vs {fb:?}"
+                ),
+                (Err(_), Err(_)) => {}
+                (fa, fb) => prop_assert!(
+                    false,
+                    "locate diverged for {object} after concurrent reads: {fa:?} vs {fb:?}"
+                ),
+            }
+            prop_assert_eq!(
+                locked.object_epoch(&(*object).into()),
+                left_right.object_epoch(&(*object).into())
+            );
+        }
+        prop_assert_eq!(locked.tracked_objects(end), left_right.tracked_objects(end));
     }
 }

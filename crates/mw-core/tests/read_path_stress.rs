@@ -1,0 +1,224 @@
+//! Snapshot-consistency stress for the query-serving read path
+//! (`DESIGN.md` §11): N reader threads spin on `query()` while a
+//! writer publishes generation-tagged batches, and every answer must
+//! correspond to **exactly one** published generation — no torn reads
+//! — with staleness bounded by one publish on the left-right path.
+//!
+//! The generation tag is embedded in the value: publish `g` writes two
+//! agreeing sensor readings whose shared 2×2 rectangle encodes `g` in
+//! its center (`x` carries `g mod 10` as the room column, `y` carries
+//! `g mod 3` as the row band — coprime moduli, so the pair decodes
+//! `g mod 30`). A reader that observed a *mix* of generations — one
+//! sensor's reading from `g`, the other's from `g-1` — would fuse two
+//! disjoint rectangles and produce a fix that matches no single
+//! generation's precomputed expectation, exactly (`==` on `f64`s).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mw_bus::Broker;
+use mw_core::{LocationFix, LocationQuery, LocationService, ReadPath, ServiceTuning};
+use mw_geometry::{Point, Polygon, Rect};
+use mw_model::{SimDuration, SimTime, TemporalDegradation};
+use mw_sensors::{AdapterOutput, SensorReading, SensorSpec};
+use mw_spatial_db::{Geometry, ObjectType, SpatialDatabase, SpatialObject};
+
+const OBJECT: &str = "alice";
+const SENSORS: [&str; 2] = ["Stress-A", "Stress-B"];
+/// Distinct decodable generations: lcm(10, 3).
+const RESIDUES: u64 = 30;
+const GENERATIONS: u64 = 240;
+const READERS: usize = 4;
+
+fn universe() -> Rect {
+    Rect::new(Point::new(0.0, 0.0), Point::new(500.0, 100.0))
+}
+
+fn floor_db() -> SpatialDatabase {
+    let mut db = SpatialDatabase::new();
+    db.insert_object(SpatialObject::new(
+        "Floor3",
+        "CS".parse().unwrap(),
+        ObjectType::Floor,
+        Geometry::Polygon(Polygon::from_rect(&universe())),
+    ))
+    .unwrap();
+    for i in 0..10 {
+        let x0 = i as f64 * 50.0;
+        db.insert_object(SpatialObject::new(
+            format!("R{i}"),
+            "CS/Floor3".parse().unwrap(),
+            ObjectType::Room,
+            Geometry::Polygon(Polygon::from_rect(&Rect::new(
+                Point::new(x0, 0.0),
+                Point::new(x0 + 50.0, 100.0),
+            ))),
+        ))
+        .unwrap();
+    }
+    db
+}
+
+/// The center encoding generation `g`: room column from `g mod 10`,
+/// row band from `g mod 3`. Consecutive generations land in different
+/// rooms, so mixed-generation readings are geometrically disjoint.
+fn center_of(g: u64) -> Point {
+    let col = (g % 10) as f64;
+    let row = (g % 3) as f64;
+    Point::new(col * 50.0 + 25.0, row * 20.0 + 20.0)
+}
+
+fn reading_of(sensor: &str, g: u64) -> SensorReading {
+    SensorReading {
+        sensor_id: sensor.into(),
+        spec: SensorSpec::ubisense(1.0),
+        object: OBJECT.into(),
+        glob_prefix: "CS/Floor3".parse().unwrap(),
+        region: Rect::from_center(center_of(g), 2.0, 2.0),
+        detected_at: SimTime::ZERO,
+        time_to_live: SimDuration::from_secs(1e6),
+        tdf: TemporalDegradation::None,
+        moving: false,
+    }
+}
+
+/// The batch that publishes generation `g`: both sensors agree on the
+/// same rectangle, superseding their previous reports.
+fn batch_of(g: u64) -> Vec<AdapterOutput> {
+    SENSORS
+        .iter()
+        .map(|sensor| AdapterOutput::single(reading_of(sensor, g)))
+        .collect()
+}
+
+fn service_with(read_path: ReadPath) -> Arc<LocationService> {
+    let broker = Broker::new();
+    LocationService::new_with_tuning(
+        floor_db(),
+        universe(),
+        &broker,
+        ServiceTuning {
+            // One shard maximizes writer/reader collisions on the
+            // object under test.
+            shards: 1,
+            read_path,
+            ..ServiceTuning::default()
+        },
+    )
+}
+
+/// The exact fix each generation must produce, computed on a quiet
+/// service (supersedes leave only generation `r`'s two readings live,
+/// so ingesting residues in order reproduces every reachable state).
+fn expected_fixes(now: SimTime) -> Vec<LocationFix> {
+    let scratch = service_with(ReadPath::Locked);
+    let mut expected = Vec::new();
+    for r in 0..RESIDUES {
+        scratch.ingest_batch(batch_of(r), SimTime::ZERO);
+        expected.push(scratch.locate(&OBJECT.into(), now).unwrap());
+    }
+    // Decoding relies on the 30 expectations being pairwise distinct.
+    for (i, a) in expected.iter().enumerate() {
+        for b in expected.iter().skip(i + 1) {
+            assert!(a != b, "expected fixes must be distinct per residue");
+        }
+    }
+    expected
+}
+
+/// Runs the stress schedule against one read path. Every observed fix
+/// must equal exactly one generation's expectation, and (via the
+/// published-counter window) a generation the writer could plausibly
+/// have exposed at that instant.
+fn run_stress(read_path: ReadPath) {
+    let now = SimTime::from_secs(1.0);
+    let expected = Arc::new(expected_fixes(now));
+    let service = service_with(read_path);
+    // Completed publishes, stamped after each ingest_batch returns.
+    let published = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let expected = Arc::clone(&expected);
+            let published = Arc::clone(&published);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut answers = 0u64;
+                // Check-after-read so every reader completes at least
+                // one pass even on single-core schedules.
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    let before = published.load(Ordering::Acquire);
+                    let outcome = service.query(LocationQuery::of(OBJECT).at(now));
+                    let after = published.load(Ordering::Acquire);
+                    match outcome {
+                        Err(_) => {
+                            // Only legal before the first publish
+                            // completed (the writer may be mid-flight).
+                            assert_eq!(before, 0, "query failed after {before} publishes");
+                        }
+                        Ok(answer) => {
+                            let fix = answer.fix().expect("Fix target answers with a fix");
+                            // Exactly one published generation: the fix
+                            // must be byte-identical to a precomputed
+                            // expectation — a torn fuse over mixed
+                            // generations matches none.
+                            let residue =
+                                expected.iter().position(|e| e == fix).unwrap_or_else(|| {
+                                    panic!("torn read: {fix:?} matches no generation")
+                                }) as u64;
+                            // Staleness bound: some generation in
+                            // [before - 1, after + 1] (completed-minus-
+                            // one up to the publish that may have
+                            // flipped but not yet been counted) carries
+                            // this residue. Windows narrower than 30
+                            // generations make this a real constraint.
+                            let low = before.saturating_sub(1).max(1);
+                            let high = after + 1;
+                            assert!(
+                                (low..=high).any(|g| g % RESIDUES == residue),
+                                "fix generation {residue} (mod {RESIDUES}) outside \
+                                 the published window [{low}, {high}]"
+                            );
+                            answers += 1;
+                        }
+                    }
+                    if finished {
+                        break;
+                    }
+                }
+                answers
+            })
+        })
+        .collect();
+    for g in 1..=GENERATIONS {
+        service.ingest_batch(batch_of(g), SimTime::ZERO);
+        published.store(g, Ordering::Release);
+    }
+    done.store(true, Ordering::Release);
+    for reader in readers {
+        let answers = reader.join().expect("reader panicked");
+        assert!(answers > 0, "a reader never completed a query");
+    }
+    // Quiescent end state: the final generation, exactly.
+    let final_fix = service.locate(&OBJECT.into(), now).unwrap();
+    assert_eq!(
+        &final_fix,
+        &expected[(GENERATIONS % RESIDUES) as usize],
+        "final state must be the last published generation"
+    );
+}
+
+#[test]
+fn left_right_readers_never_observe_torn_or_overly_stale_state() {
+    run_stress(ReadPath::LeftRight);
+}
+
+/// The locked path satisfies the same contract (readers serialize with
+/// the writer instead of pinning a side) — the stress invariants are a
+/// property of the service, not an artifact of one representation.
+#[test]
+fn locked_readers_never_observe_torn_or_overly_stale_state() {
+    run_stress(ReadPath::Locked);
+}
