@@ -735,6 +735,173 @@ fn concurrent_read_sweep() -> String {
     )
 }
 
+// --- subscription scale: rule-compiled DAG vs naive per-rule walk --------
+
+/// Rule counts swept against the shared (DAG-compiled) engine. The
+/// naive per-rule engine only runs the first two — at 100k+ its
+/// registration alone (one R-tree entry and one group per rule) is the
+/// quadratic story the compiler exists to delete.
+const SS_SCALES: &[usize] = &[1_000, 10_000, 100_000, 1_000_000];
+const SS_NAIVE_SCALES: &[usize] = &[1_000, 10_000];
+
+/// Distinct predicates in the pool: 10×10 ft rects exactly tiling the
+/// 500×100 ft paper floor (50 columns × 10 rows), so every object sits
+/// in exactly one watched rect.
+const SS_PREDICATES: usize = 500;
+
+/// Zipf exponent for rule → predicate popularity (same skew as the
+/// concurrent-read sweep): look-alike subscriptions concentrate on a
+/// few hot regions, the workload the interner fuses.
+const SS_ZIPF_S: f64 = 1.1;
+
+/// Steady-state batches measured per cell (after the prepopulate batch
+/// has paid the one-time entry storm).
+const SS_MEASURED_BATCHES: usize = 4;
+
+fn ss_predicate(rank: usize) -> mw_core::Predicate {
+    let col = rank % 50;
+    let row = rank / 50;
+    let rect = Rect::new(
+        Point::new(col as f64 * 10.0, row as f64 * 10.0),
+        Point::new(col as f64 * 10.0 + 10.0, row as f64 * 10.0 + 10.0),
+    );
+    let min_p = [0.2, 0.3, 0.4][rank % 3];
+    mw_core::Predicate::in_region(rect, min_p)
+}
+
+struct SsRow {
+    rules: usize,
+    mode: &'static str,
+    register_ms: f64,
+    dag_nodes: f64,
+    dag_groups: f64,
+    sharing_ratio: f64,
+    atoms_per_fuse: f64,
+    eval_us_per_fuse: f64,
+}
+
+fn ss_cell(rules: usize, shared: bool) -> SsRow {
+    let (svc, registry, _broker) = perf_service(ServiceTuning {
+        rule_sharing: shared,
+        ..ServiceTuning::default()
+    });
+    let cdf = zipf_cdf(SS_PREDICATES, SS_ZIPF_S);
+    let mut rng = StdRng::seed_from_u64(23);
+    let reg_start = Instant::now();
+    for _ in 0..rules {
+        let rank = sample_zipf(&cdf, &mut rng);
+        let rule = mw_core::Rule::when(ss_predicate(rank))
+            .build()
+            .expect("pool predicates are valid");
+        let _ = svc.subscribe_rule(rule);
+    }
+    let register_ms = reg_start.elapsed().as_secs_f64() * 1e3;
+
+    // Prepopulate pays the one-time entry storm (every look-alike member
+    // of a newly satisfied group fires once); the measured batches then
+    // re-ingest the same objects at later instants, so the per-fuse cost
+    // is the steady-state evaluation the Figure 9 claim is about.
+    prepopulate(&svc, SimTime::ZERO);
+    let atoms_before = registry.snapshot().counter("rules.eval.atoms").unwrap_or(0);
+    let eval_start = Instant::now();
+    for step in 0..SS_MEASURED_BATCHES {
+        prepopulate(&svc, SimTime::from_secs(1.0 + step as f64));
+    }
+    let eval_elapsed = eval_start.elapsed();
+    let snap = registry.snapshot();
+    let atoms = snap.counter("rules.eval.atoms").unwrap_or(0) - atoms_before;
+    let fuses = (PERF_OBJECTS * SS_MEASURED_BATCHES) as f64;
+    SsRow {
+        rules,
+        mode: if shared { "shared" } else { "naive" },
+        register_ms,
+        dag_nodes: snap.gauge("rules.dag.nodes").unwrap_or(0.0),
+        dag_groups: snap.gauge("rules.dag.groups").unwrap_or(0.0),
+        sharing_ratio: snap.gauge("rules.dag.sharing_ratio").unwrap_or(0.0),
+        atoms_per_fuse: atoms as f64 / fuses,
+        eval_us_per_fuse: eval_elapsed.as_secs_f64() * 1e6 / fuses,
+    }
+}
+
+/// `subscription_scale` JSON fragment for `BENCH_perf.json`, plus the
+/// host-independent hard gates: sharing ratio ≥ 100x at 100k look-alike
+/// rules, and sub-linear atoms-per-fuse growth on the 1k → 100k sweep
+/// (atom evaluations are counts, not timings, so the gates hold on any
+/// host).
+fn subscription_scale_sweep() -> String {
+    println!("== perf: rule-compiled subscriptions (Zipf({SS_ZIPF_S}) over {SS_PREDICATES} predicates) ==");
+    println!(
+        "  {:>9} {:>7} {:>12} {:>7} {:>8} {:>9} {:>11} {:>13}",
+        "rules", "mode", "register ms", "nodes", "groups", "sharing", "atoms/fuse", "eval µs/fuse"
+    );
+    let mut rows: Vec<SsRow> = Vec::new();
+    for &rules in SS_SCALES {
+        rows.push(ss_cell(rules, true));
+        if SS_NAIVE_SCALES.contains(&rules) {
+            rows.push(ss_cell(rules, false));
+        }
+    }
+    let mut json_rows = String::new();
+    for row in &rows {
+        println!(
+            "  {:>9} {:>7} {:>12.1} {:>7.0} {:>8.0} {:>8.1}x {:>11.1} {:>13.2}",
+            row.rules,
+            row.mode,
+            row.register_ms,
+            row.dag_nodes,
+            row.dag_groups,
+            row.sharing_ratio,
+            row.atoms_per_fuse,
+            row.eval_us_per_fuse,
+        );
+        if !json_rows.is_empty() {
+            json_rows.push_str(",\n");
+        }
+        let _ = write!(
+            json_rows,
+            "    {{\"rules\": {}, \"mode\": \"{}\", \"register_ms\": {:.2}, \
+             \"dag_nodes\": {:.0}, \"dag_groups\": {:.0}, \"sharing_ratio\": {:.2}, \
+             \"atoms_per_fuse\": {:.2}, \"eval_us_per_fuse\": {:.3}}}",
+            row.rules,
+            row.mode,
+            row.register_ms,
+            row.dag_nodes,
+            row.dag_groups,
+            row.sharing_ratio,
+            row.atoms_per_fuse,
+            row.eval_us_per_fuse,
+        );
+    }
+
+    let shared_at = |rules: usize| {
+        rows.iter()
+            .find(|r| r.rules == rules && r.mode == "shared")
+            .expect("swept scale present")
+    };
+    let ratio_100k = shared_at(100_000).sharing_ratio;
+    assert!(
+        ratio_100k >= 100.0,
+        "sharing ratio regressed: {ratio_100k:.1}x < 100x at 100k look-alike rules"
+    );
+    let atoms_1k = shared_at(1_000).atoms_per_fuse;
+    let atoms_100k = shared_at(100_000).atoms_per_fuse;
+    assert!(
+        atoms_100k <= 10.0 * atoms_1k.max(1.0),
+        "per-fuse atom cost grew super-linearly: {atoms_100k:.1} at 100k vs {atoms_1k:.1} at 1k"
+    );
+    println!(
+        "  gates: sharing {ratio_100k:.0}x >= 100x at 100k; \
+         atoms/fuse {atoms_100k:.1} (100k) <= 10 * {atoms_1k:.1} (1k)"
+    );
+    println!();
+
+    format!(
+        "{{\"zipf_s\": {SS_ZIPF_S}, \"distinct_predicates\": {SS_PREDICATES}, \
+         \"measured_batches\": {SS_MEASURED_BATCHES}, \"objects\": {PERF_OBJECTS}, \
+         \"gate_enforced\": true, \"rows\": [\n{json_rows}\n  ]}}"
+    )
+}
+
 fn perf_mix() {
     println!("== perf: epoch-cached sharded service vs single-shard uncached baseline ==");
     let t0 = SimTime::ZERO;
@@ -849,6 +1016,9 @@ fn perf_mix() {
     // 6. Locked vs left-right read path under concurrent read/write.
     let concurrent_read = concurrent_read_sweep();
 
+    // 7. Rule-compiled subscriptions: shared DAG vs naive walk.
+    let subscription_scale = subscription_scale_sweep();
+
     let json = format!(
         "{{\n  \"repeated_query\": {{\"iters\": {REPEATED_QUERIES}, \
          \"baseline_ops_per_sec\": {base_rq:.1}, \"tuned_ops_per_sec\": {tuned_rq:.1}, \
@@ -857,6 +1027,7 @@ fn perf_mix() {
          \"invalidations\": {invalidations}, \"shard_contention\": {contention}}},\n  \
          \"ingest_parallel\": {ingest_parallel},\n  \
          \"concurrent_read\": {concurrent_read},\n  \
+         \"subscription_scale\": {subscription_scale},\n  \
          \"equivalence_checks\": {checks}\n}}\n"
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

@@ -21,9 +21,11 @@ use mw_spatial_db::DbError;
 ///   A probability of `0.0` always means "tracked, and the evidence says
 ///   it is not there".
 /// - **Malformed requests fail at construction.**
+///   [`Rule::when`](crate::Rule::when) validates eagerly and returns
+///   [`CoreError::InvalidRule`]; the legacy
 ///   [`SubscriptionSpec::builder`](crate::SubscriptionSpec::builder)
-///   validates eagerly and returns [`CoreError::InvalidSubscription`];
-///   a built spec is always accepted by `subscribe`.
+///   shim likewise returns [`CoreError::InvalidSubscription`]. A built
+///   rule or spec is always accepted by `subscribe_rule` / `subscribe`.
 /// - **Stale handles are errors.** Cancelling an unknown subscription id
 ///   yields [`CoreError::UnknownSubscription`].
 /// - **Degradation is explicit, never silent.** On a supervised service
@@ -41,8 +43,8 @@ use mw_spatial_db::DbError;
 ///   [`std::error::Error::source`].
 ///
 /// The deprecated pre-facade methods (`probability_in_rect` returning a
-/// bare `f64`) keep their historical lossy behaviour for compatibility;
-/// new code should use the facade.
+/// bare `f64` and friends) have been removed; the facade and the rule
+/// layer are the only query/subscription surfaces.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum CoreError {
@@ -63,6 +65,11 @@ pub enum CoreError {
     },
     /// A subscription spec failed validation at build time.
     InvalidSubscription {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A declarative rule failed validation at build time.
+    InvalidRule {
         /// What was wrong with it.
         reason: String,
     },
@@ -96,6 +103,9 @@ impl fmt::Display for CoreError {
             CoreError::UnknownSubscription { id } => write!(f, "unknown subscription {id}"),
             CoreError::InvalidSubscription { reason } => {
                 write!(f, "invalid subscription: {reason}")
+            }
+            CoreError::InvalidRule { reason } => {
+                write!(f, "invalid rule: {reason}")
             }
             CoreError::DeadlineExceeded { object } => {
                 write!(f, "deadline exceeded answering query about {object:?}")

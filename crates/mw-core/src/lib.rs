@@ -27,8 +27,10 @@ mod error;
 mod fix;
 pub mod lr;
 pub mod pool;
+pub mod prelude;
 mod query;
 mod relations;
+mod rules;
 mod service;
 mod subscription;
 mod symbolic;
@@ -38,6 +40,7 @@ pub use error::CoreError;
 pub use fix::{LocationFix, Notification};
 pub use query::{AnswerQuality, LocationQuery, QueryAnswer, QueryTarget};
 pub use relations::{CoLocation, ObjectRelation, RegionRelation};
+pub use rules::{Predicate, Rule, RuleBuilder};
 pub use service::{
     DegradationPolicy, LocationRequest, LocationResponse, LocationService, ReadPath, ServiceTuning,
     SharedNotification,

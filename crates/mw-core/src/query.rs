@@ -2,8 +2,8 @@
 //!
 //! The service historically grew one method per question
 //! (`probability_in_region`, `probability_in_rect`, `band_in_region`,
-//! `location_distribution`, …) with inconsistent error behaviour. The
-//! facade collapses them behind one entry point:
+//! `location_distribution`, … — since removed) with inconsistent error
+//! behaviour. The facade collapses them behind one entry point:
 //!
 //! ```text
 //! service.query(LocationQuery::of("alice").in_region("3105").at(now))?

@@ -3,8 +3,8 @@ use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Weak};
 
 use mw_bus::{Broker, Publisher};
-use mw_fusion::{BandThresholds, FusionEngine, FusionResult, ProbabilityBand, SharedFusion};
-use mw_geometry::{Point, Rect};
+use mw_fusion::{BandThresholds, FusionEngine, FusionResult, SharedFusion};
+use mw_geometry::Rect;
 use mw_model::{Confidence, SimDuration, SimTime, TemporalDegradation};
 use mw_obs::MetricsRegistry;
 use mw_sensors::{AdapterOutput, MobileObjectId, SensorId, SensorReading, SharedSupervisor};
@@ -14,12 +14,12 @@ use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use crate::lr::{Absorb, LeftRight};
 use crate::pool::WorkerPool;
 use crate::relations::{self, CoLocation, ObjectRelation, RegionRelation};
-use crate::subscription::SubscriptionManager;
+use crate::rules::{EvalInput, ObjectEvaluation, RuleEngine};
 use crate::symbolic::SymbolicLattice;
 use crate::world::WorldModel;
 use crate::{
     AnswerQuality, CoreError, DeliveryPolicy, LocationFix, LocationQuery, Notification,
-    QueryAnswer, QueryTarget, SubscriptionId, SubscriptionSpec, SubscriptionSpecBuilder,
+    QueryAnswer, QueryTarget, Rule, SubscriptionId, SubscriptionSpec, SubscriptionSpecBuilder,
     LOCATION_SERVICE_NAME, NOTIFICATION_TOPIC,
 };
 
@@ -68,6 +68,14 @@ pub struct ServiceTuning {
     /// concurrent writes — the equivalence proptests prove the two
     /// paths identical whenever reads and writes do not overlap).
     pub read_path: ReadPath,
+    /// Whether the rule compiler interns structurally-equal
+    /// subexpressions into a shared trigger DAG (`DESIGN.md` §12). The
+    /// default `true` evaluates each distinct predicate once per fuse;
+    /// `false` gives every rule private nodes and its own trigger group
+    /// — the historical per-subscription walk, kept as the
+    /// differential-testing and benchmark baseline. Notifications are
+    /// byte-identical either way (see the rule-equivalence proptests).
+    pub rule_sharing: bool,
 }
 
 impl Default for ServiceTuning {
@@ -77,6 +85,7 @@ impl Default for ServiceTuning {
             fusion_cache: true,
             ingest_threads: 1,
             read_path: ReadPath::Locked,
+            rule_sharing: true,
         }
     }
 }
@@ -759,6 +768,11 @@ struct CoreMetrics {
     cache_hits: mw_obs::Counter,
     cache_misses: mw_obs::Counter,
     cache_invalidations: mw_obs::Counter,
+    rules_dag_nodes: mw_obs::Gauge,
+    rules_dag_groups: mw_obs::Gauge,
+    rules_sharing_ratio: mw_obs::Gauge,
+    rules_atoms: mw_obs::Counter,
+    rules_eval_latency: mw_obs::Histogram,
 }
 
 impl CoreMetrics {
@@ -777,6 +791,11 @@ impl CoreMetrics {
             cache_hits: registry.counter("fusion.cache.hits"),
             cache_misses: registry.counter("fusion.cache.misses"),
             cache_invalidations: registry.counter("fusion.cache.invalidations"),
+            rules_dag_nodes: registry.gauge("rules.dag.nodes"),
+            rules_dag_groups: registry.gauge("rules.dag.groups"),
+            rules_sharing_ratio: registry.gauge("rules.dag.sharing_ratio"),
+            rules_atoms: registry.counter("rules.eval.atoms"),
+            rules_eval_latency: registry.histogram("rules.eval.latency_us"),
         }
     }
 }
@@ -801,7 +820,10 @@ pub struct LocationService {
     shards: Box<[Shard]>,
     tuning: ServiceTuning,
     engine: FusionEngine,
-    subs: RwLock<SubscriptionManager>,
+    /// The compiled subscription store (`DESIGN.md` §12): every
+    /// subscription — rule or legacy spec — lives here as a trigger
+    /// group over the interned predicate DAG.
+    rules: RwLock<RuleEngine>,
     /// Hit probabilities (`p_i`) of every sensor technology seen so far;
     /// §4.4 derives the low/medium/high/very-high band edges from "the
     /// accuracy of various sensors" deployed, not just the ones
@@ -828,20 +850,6 @@ pub struct LocationService {
 enum ShardOp {
     Revoke(SensorId, MobileObjectId),
     Insert(SensorReading),
-}
-
-/// One candidate subscription evaluated against an object's fused
-/// posterior — the read-only half of subscription matching. Workers
-/// produce these in parallel; [`LocationService::apply_evaluations`]
-/// folds them into edge-trigger state sequentially, in deterministic
-/// order.
-struct CandidateEval {
-    id: SubscriptionId,
-    region: Rect,
-    p: f64,
-    band: ProbabilityBand,
-    satisfied: bool,
-    position: Option<Point>,
 }
 
 /// One fusion pass plus the bookkeeping the degradation ladder needs.
@@ -1062,9 +1070,9 @@ impl LocationService {
             statics: RwLock::new(db),
             world: WorldCell::new(tuning.read_path, world, symbolic),
             shards,
-            tuning,
             engine,
-            subs: RwLock::new(SubscriptionManager::default()),
+            rules: RwLock::new(RuleEngine::new(tuning.rule_sharing)),
+            tuning,
             sensor_accuracies: RwLock::new(Vec::new()),
             notifications: broker.topic::<SharedNotification>(NOTIFICATION_TOPIC),
             metrics: registry.map(CoreMetrics::new),
@@ -1420,7 +1428,7 @@ impl LocationService {
     /// by object, candidate by candidate — which is exactly the serial
     /// path's order, so the fired notifications are bit-identical.
     fn evaluate_affected(&self, affected: Vec<MobileObjectId>, now: SimTime) -> Vec<Notification> {
-        if affected.len() > 1 && self.subs.read().len() > 0 {
+        if affected.len() > 1 && self.rules.read().len() > 0 {
             if let (Some(pool), Some(me)) = (self.pool.as_ref(), self.me.upgrade()) {
                 let tasks: Vec<_> = affected
                     .iter()
@@ -1712,25 +1720,6 @@ impl LocationService {
         QueryAnswer::from_probability(p, self.band_thresholds().classify(p), quality)
     }
 
-    /// The full spatial probability distribution of one object (§4.1.2:
-    /// "Multi-sensor fusion uses data from different sensors to derive a
-    /// spatial probability distribution of the location of the person"):
-    /// the lattice's minimal regions with normalized weights summing
-    /// to 1.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::NoLocation`] when the object has no live
-    /// readings.
-    #[deprecated(note = "use LocationService::query with LocationQuery::of(..).distribution()")]
-    pub fn location_distribution(
-        &self,
-        object: &MobileObjectId,
-        now: SimTime,
-    ) -> Result<Vec<(Rect, f64)>, CoreError> {
-        self.distribution_internal(object, now).map(|(d, _)| d)
-    }
-
     fn distribution_internal(
         &self,
         object: &MobileObjectId,
@@ -1877,52 +1866,6 @@ impl LocationService {
         Ok((attempt.result.region_probability(rect), quality))
     }
 
-    /// The probability that `object` is inside the named region (§4.2's
-    /// region-based query on one object).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::UnknownRegion`] for unknown names. Untracked
-    /// objects yield `Ok(0.0)` (the historical lossy behaviour; the
-    /// facade reports [`CoreError::NoLocation`] instead).
-    #[deprecated(note = "use LocationService::query with LocationQuery::of(..).in_region(..)")]
-    pub fn probability_in_region(
-        &self,
-        object: &MobileObjectId,
-        region: &str,
-        now: SimTime,
-    ) -> Result<f64, CoreError> {
-        let rect = self.world_snapshot().region_rect(region)?;
-        Ok(self.rect_probability(object, &rect, now).unwrap_or(0.0))
-    }
-
-    /// The probability that `object` is inside an explicit rectangle.
-    /// Errors (including "object not tracked") silently collapse to
-    /// `0.0`; the facade reports them.
-    #[deprecated(note = "use LocationService::query with LocationQuery::of(..).in_rect(..)")]
-    #[must_use]
-    pub fn probability_in_rect(&self, object: &MobileObjectId, rect: &Rect, now: SimTime) -> f64 {
-        self.rect_probability(object, rect, now).unwrap_or(0.0)
-    }
-
-    /// The §4.4 band of the probability that `object` is in the named
-    /// region.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::UnknownRegion`] for unknown names.
-    #[deprecated(note = "use LocationService::query; QueryAnswer::Probability carries the band")]
-    pub fn band_in_region(
-        &self,
-        object: &MobileObjectId,
-        region: &str,
-        now: SimTime,
-    ) -> Result<ProbabilityBand, CoreError> {
-        let rect = self.world_snapshot().region_rect(region)?;
-        let p = self.rect_probability(object, &rect, now).unwrap_or(0.0);
-        Ok(self.band_thresholds().classify(p))
-    }
-
     /// The nearest static object satisfying `pred` to the object's best
     /// estimate — the Follow-Me proxy's "nearby displays or workstations
     /// that are suitable for resuming the session" query (§8.1). Returns
@@ -1979,13 +1922,37 @@ impl LocationService {
 
     // --- subscriptions (push mode) ------------------------------------------
 
-    /// Registers a region-based notification (§4.3); returns its id.
-    /// Build specs with [`SubscriptionSpec::builder`].
+    /// Registers a declarative rule (`DESIGN.md` §12); returns its id.
+    /// This is the primary subscription API: build rules with
+    /// [`Rule::when`] over [`Predicate`](crate::Predicate) atoms
+    /// (in-region, near-point, co-located, dwell, movement) and boolean
+    /// combinators. The rule compiles into the shared trigger DAG, so a
+    /// million look-alike rules cost one predicate evaluation per fuse.
     #[must_use]
-    pub fn subscribe(&self, spec: SubscriptionSpec) -> SubscriptionId {
-        let id = self.subs.write().add(spec);
+    pub fn subscribe_rule(&self, rule: Rule) -> SubscriptionId {
+        let id = self.rules.write().add(&rule);
         self.update_subscription_gauge();
         id
+    }
+
+    /// Registers `rule` and returns an inbox on the notification topic
+    /// configured by the rule's [`DeliveryPolicy`].
+    #[must_use]
+    pub fn subscribe_rule_with_inbox(
+        &self,
+        rule: Rule,
+    ) -> (SubscriptionId, mw_bus::Subscription<SharedNotification>) {
+        let inbox = self.subscribe_notifications(rule.delivery);
+        (self.subscribe_rule(rule), inbox)
+    }
+
+    /// Registers a region-based notification (§4.3); returns its id.
+    /// Build specs with [`SubscriptionSpec::builder`]. The spec is a
+    /// documented shim: it compiles to a one-atom rule, so this is
+    /// exactly `subscribe_rule(Rule::from(spec))`.
+    #[must_use]
+    pub fn subscribe(&self, spec: SubscriptionSpec) -> SubscriptionId {
+        self.subscribe_rule(Rule::from(spec))
     }
 
     /// Builds and registers a subscription whose watched region comes
@@ -2019,73 +1986,38 @@ impl LocationService {
         (self.subscribe(spec), inbox)
     }
 
-    /// Subscribes using positional arguments.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::UnknownRegion`] when the location cannot be
-    /// resolved.
-    #[deprecated(note = "use SubscriptionSpec::builder() with LocationService::subscribe_at")]
-    pub fn subscribe_location(
-        &self,
-        location: &mw_model::Location,
-        min_probability: f64,
-        object: Option<MobileObjectId>,
-    ) -> Result<SubscriptionId, CoreError> {
-        let mut builder = SubscriptionSpec::builder().min_probability(min_probability);
-        if let Some(object) = object {
-            builder = builder.object(object);
-        }
-        self.subscribe_at(location, builder)
-    }
-
     /// Cancels a subscription.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::UnknownSubscription`] for stale ids.
     pub fn unsubscribe(&self, id: SubscriptionId) -> Result<(), CoreError> {
-        let removed = self.subs.write().remove(id);
+        let removed = self.rules.write().remove(id);
         self.update_subscription_gauge();
-        removed
-            .map(|_| ())
-            .ok_or(CoreError::UnknownSubscription { id: id.value() })
+        if removed {
+            Ok(())
+        } else {
+            Err(CoreError::UnknownSubscription { id: id.value() })
+        }
     }
 
     fn update_subscription_gauge(&self) {
         if let Some(metrics) = &self.metrics {
+            let rules = self.rules.read();
             #[allow(clippy::cast_precision_loss)]
-            metrics
-                .subscriptions_active
-                .set(self.subs.read().len() as f64);
+            metrics.subscriptions_active.set(rules.len() as f64);
+            #[allow(clippy::cast_precision_loss)]
+            metrics.rules_dag_nodes.set(rules.node_count() as f64);
+            #[allow(clippy::cast_precision_loss)]
+            metrics.rules_dag_groups.set(rules.live_groups() as f64);
+            metrics.rules_sharing_ratio.set(rules.sharing_ratio());
         }
     }
 
     /// Number of registered subscriptions.
     #[must_use]
     pub fn subscription_count(&self) -> usize {
-        self.subs.read().len()
-    }
-
-    /// Subscribes to the notification topic with a bounded inbox: a
-    /// consumer that falls more than `capacity` notifications behind
-    /// loses the oldest ones (observable via
-    /// [`mw_bus::Subscription::lag_count`]) instead of growing an
-    /// unbounded queue inside the middleware. Trigger notifications are
-    /// freshness-sensitive — a stale "alice entered 3105" is worthless —
-    /// so dropping the oldest is the right policy for slow consumers.
-    #[deprecated(
-        note = "use LocationService::subscribe_notifications with DeliveryPolicy::Bounded"
-    )]
-    #[must_use]
-    pub fn subscribe_notifications_bounded(
-        &self,
-        capacity: usize,
-    ) -> mw_bus::Subscription<SharedNotification> {
-        self.subscribe_notifications(DeliveryPolicy::Bounded {
-            capacity,
-            overflow: mw_bus::OverflowPolicy::DropOldest,
-        })
+        self.rules.read().len()
     }
 
     /// An inbox on the notification topic, queued per `policy`.
@@ -2105,19 +2037,20 @@ impl LocationService {
     }
 
     fn evaluate_subscriptions(&self, object: &MobileObjectId, now: SimTime) -> Vec<Notification> {
-        if self.subs.read().len() == 0 {
+        if self.rules.read().len() == 0 {
             return Vec::new();
         }
-        let evals = self.evaluate_candidates(object, now);
-        self.apply_evaluations(object, now, evals)
+        let evaluation = self.evaluate_candidates(object, now);
+        self.apply_evaluations(object, now, evaluation)
     }
 
-    /// The read-only half of subscription evaluation for one object:
-    /// fuse, select candidate subscriptions, compute each candidate's
-    /// probability / band / satisfaction. Safe to run concurrently for
-    /// distinct objects — it mutates nothing but the per-object fusion
-    /// cache (which is keyed so concurrent stores are idempotent).
-    fn evaluate_candidates(&self, object: &MobileObjectId, now: SimTime) -> Vec<CandidateEval> {
+    /// The read-only half of rule evaluation for one object: fuse,
+    /// select candidate trigger groups, evaluate each reachable DAG
+    /// node once (memoized). Safe to run concurrently for distinct
+    /// objects — it mutates nothing but the per-object fusion cache
+    /// (which is keyed so concurrent stores are idempotent); atom-clock
+    /// updates are collected, not applied.
+    fn evaluate_candidates(&self, object: &MobileObjectId, now: SimTime) -> ObjectEvaluation {
         let _timer = self.metrics.as_ref().map(|m| m.match_latency.start_timer());
         // One shared fusion pass per object per batch: the fresh fuse
         // lands in the shard cache, so queries arriving at the same
@@ -2126,72 +2059,107 @@ impl LocationService {
         // left to the query path so health counters stay deterministic.
         let attempt = self.fuse_live(object, now, false);
         let result = attempt.result;
-        // Candidates: subscriptions whose region intersects the surviving
-        // evidence (R-tree pruned) plus currently-true ones that may need
-        // re-arming. This keeps the per-update cost nearly independent of
-        // the number of programmed triggers (the paper's Figure 9 claim).
+        // Candidates: trigger groups whose interest rects intersect the
+        // surviving evidence (R-tree pruned) plus currently-true ones
+        // that may need re-arming, plus always-evaluate groups. This
+        // keeps the per-update cost nearly independent of the number of
+        // programmed triggers (the paper's Figure 9 claim) — and, with
+        // sharing, independent of look-alike rule count too.
         let window = result.result().evidence_window();
-        let candidates: Vec<(SubscriptionId, SubscriptionSpec)> = {
-            let subs = self.subs.read();
-            subs.candidates(object, window)
-                .into_iter()
-                .filter_map(|id| subs.subs.get(&id).map(|s| (id, s.clone())))
-                .collect()
-        };
+        let rules = self.rules.read();
+        let candidates = rules.candidate_groups(object, window);
         if candidates.is_empty() {
-            return Vec::new();
+            return ObjectEvaluation::empty();
         }
+        let rule_timer = self
+            .metrics
+            .as_ref()
+            .map(|m| m.rules_eval_latency.start_timer());
         let thresholds = self.band_thresholds();
-        let position = result.result().best_estimate().map(|e| e.region.center());
-        candidates
-            .into_iter()
-            .map(|(id, spec)| {
-                let p = result.region_probability(&spec.region);
-                let band = thresholds.classify(p);
-                let satisfied =
-                    p >= spec.min_probability && spec.min_band.is_none_or(|min| band >= min);
-                CandidateEval {
-                    id,
-                    region: spec.region,
-                    p,
-                    band,
-                    satisfied,
-                    position,
-                }
-            })
-            .collect()
+        let estimate = result.result().best_estimate().map(|e| e.region);
+        let position = estimate.map(|r| r.center());
+        let input = EvalInput {
+            fusion: &result,
+            position,
+            estimate,
+            fallback_region: self.engine.universe(),
+            thresholds: &thresholds,
+            now,
+        };
+        let partner = |other: &MobileObjectId| self.rule_partner_fix(other, now);
+        let evaluation = rules.evaluate(object, &candidates, &input, &partner);
+        drop(rule_timer);
+        if let Some(metrics) = &self.metrics {
+            metrics.rules_atoms.add(evaluation.atoms_evaluated);
+        }
+        evaluation
     }
 
-    /// The stateful half: fold one object's candidate evaluations into
-    /// the edge-trigger state, in candidate order, emitting a
-    /// [`Notification`] per edge. Always runs on the ingest caller's
-    /// thread, object by object in `affected` order — the same order the
-    /// serial path uses, which is what makes the parallel pipeline's
-    /// output bit-identical.
+    /// A side-effect-free location fix for rule atoms that need a
+    /// partner object's position (co-location): the
+    /// [`locate`](LocationService::locate) resolution pipeline —
+    /// quarantine check, best estimate, symbolic resolution, privacy
+    /// truncation — without recording a last-known-good fix, so rule
+    /// evaluation never perturbs the degradation ladder's state.
+    fn rule_partner_fix(&self, object: &MobileObjectId, now: SimTime) -> Option<LocationFix> {
+        let attempt = self.fuse_live(object, now, false);
+        if attempt.total > 0 && attempt.used == 0 {
+            return None;
+        }
+        let estimate = attempt.result.result().best_estimate()?;
+        let world = self.world_snapshot();
+        let mut symbolic = world.symbolic_for_rect(&estimate.region);
+        let mut region = estimate.region;
+        let shard = self.shard(object);
+        if let Some(max_depth) = shard.privacy_of(object) {
+            if let Some(glob) = symbolic.take() {
+                let truncated = glob.truncated(max_depth);
+                if let Ok(rect) = world.region_rect(&truncated.to_string()) {
+                    region = rect;
+                }
+                symbolic = Some(truncated);
+            } else {
+                region = self.engine.universe();
+            }
+        }
+        Some(LocationFix {
+            object: object.clone(),
+            region,
+            probability: estimate.probability,
+            band: self.band_thresholds().classify(estimate.probability),
+            symbolic,
+            at: now,
+        })
+    }
+
+    /// The stateful half: fold one object's group evaluations into the
+    /// edge-trigger state, in group order, emitting a [`Notification`]
+    /// per member of each fired group (ascending subscription id).
+    /// Always runs on the ingest caller's thread, object by object in
+    /// `affected` order — the same order the serial path uses, which is
+    /// what makes the parallel pipeline's output bit-identical.
     fn apply_evaluations(
         &self,
         object: &MobileObjectId,
         now: SimTime,
-        evals: Vec<CandidateEval>,
+        evaluation: ObjectEvaluation,
     ) -> Vec<Notification> {
-        let mut fired = Vec::new();
-        for eval in evals {
-            if self
-                .subs
-                .write()
-                .record(eval.id, object, eval.satisfied, eval.position)
-            {
-                fired.push(Notification {
-                    subscription: eval.id,
-                    object: object.clone(),
-                    region: eval.region,
-                    probability: eval.p,
-                    band: eval.band,
-                    at: now,
-                });
-            }
+        if evaluation.is_empty() {
+            return Vec::new();
         }
-        fired
+        self.rules
+            .write()
+            .apply(object, evaluation)
+            .into_iter()
+            .map(|fired| Notification {
+                subscription: fired.id,
+                object: object.clone(),
+                region: fired.region,
+                probability: fired.probability,
+                band: fired.band,
+                at: now,
+            })
+            .collect()
     }
 
     // --- privacy -------------------------------------------------------------
@@ -2451,6 +2419,7 @@ impl LocationService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mw_fusion::ProbabilityBand;
     use mw_geometry::{Point, Polygon, Segment};
     use mw_model::{SimDuration, TemporalDegradation};
     use mw_sensors::SensorSpec;
@@ -2593,8 +2562,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn query_facade_matches_legacy_methods() {
+    fn query_facade_is_internally_consistent() {
         let (svc, _broker) = service();
         svc.ingest_reading(
             reading("alice", rect(339.0, 9.0, 341.0, 11.0), 0.0),
@@ -2602,43 +2570,60 @@ mod tests {
         );
         let now = SimTime::from_secs(1.0);
         let room = "CS/Floor3/3105";
-        let legacy_p = svc
-            .probability_in_region(&"alice".into(), room, now)
-            .unwrap();
+        // Named-region and explicit-rect answers agree.
         let facade = svc
             .query(LocationQuery::of("alice").in_region(room).at(now))
             .unwrap();
-        assert_eq!(facade.probability(), Some(legacy_p));
+        let p = facade.probability().unwrap();
+        assert!(p > 0.8);
         assert_eq!(
             facade.band(),
-            Some(svc.band_in_region(&"alice".into(), room, now).unwrap())
+            Some(svc.band_thresholds().classify(p)),
+            "answer band is the classification of its own probability"
         );
         let rect = svc.with_world(|w| w.region_rect(room)).unwrap();
         assert_eq!(
             svc.query(LocationQuery::of("alice").in_rect(rect).at(now))
                 .unwrap()
                 .probability(),
-            Some(svc.probability_in_rect(&"alice".into(), &rect, now))
+            Some(p)
         );
-        assert_eq!(
-            svc.query(LocationQuery::of("alice").distribution().at(now))
-                .unwrap()
-                .distribution()
-                .unwrap(),
-            svc.location_distribution(&"alice".into(), now)
-                .unwrap()
-                .as_slice()
-        );
-        let legacy_fix = svc.locate(&"alice".into(), now).unwrap();
+        // The distribution normalizes over the evidence regions: it sums
+        // to one, every weight is positive, and (the evidence being a
+        // single reading inside the room) its mass lies in the room.
+        let dist = svc
+            .query(LocationQuery::of("alice").distribution().at(now))
+            .unwrap()
+            .distribution()
+            .unwrap()
+            .to_vec();
+        let total: f64 = dist.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(dist.iter().all(|(_, w)| *w > 0.0));
+        let in_room: f64 = dist
+            .iter()
+            .filter(|(r, _)| rect.contains_rect(r))
+            .map(|(_, w)| w)
+            .sum();
+        assert!(in_room > 0.9, "evidence mass concentrates in the room");
+        // The fix query matches locate().
+        let fix = svc.locate(&"alice".into(), now).unwrap();
         assert_eq!(
             svc.query(LocationQuery::of("alice").at(now))
                 .unwrap()
                 .fix()
                 .unwrap(),
-            &legacy_fix
+            &fix
         );
-        // Legacy lossy path: untracked object is 0.0 there, an error here.
-        assert_eq!(svc.probability_in_rect(&"ghost".into(), &rect, now), 0.0);
+        // Untracked objects are errors on every facade path, never 0.0.
+        for q in [
+            LocationQuery::of("ghost").in_region(room).at(now),
+            LocationQuery::of("ghost").in_rect(rect).at(now),
+            LocationQuery::of("ghost").distribution().at(now),
+            LocationQuery::of("ghost").at(now),
+        ] {
+            assert!(matches!(svc.query(q), Err(CoreError::NoLocation { .. })));
+        }
     }
 
     #[test]
@@ -2679,6 +2664,12 @@ mod tests {
                 >= 1
         );
         assert_eq!(snap.gauge("core.subscriptions.active"), Some(1.0));
+        // The rule layer reports its DAG shape and per-fuse work.
+        assert_eq!(snap.gauge("rules.dag.nodes"), Some(1.0));
+        assert_eq!(snap.gauge("rules.dag.groups"), Some(1.0));
+        assert_eq!(snap.gauge("rules.dag.sharing_ratio"), Some(1.0));
+        assert!(snap.counter("rules.eval.atoms").unwrap_or(0) >= 1);
+        assert!(snap.histogram("rules.eval.latency_us").unwrap().count >= 1);
         // The shared registry also carries the bound db.* and fusion.*
         // layers.
         assert_eq!(snap.counter("db.readings_inserted"), Some(1));
@@ -3131,11 +3122,6 @@ mod tests {
         assert!(svc
             .subscribe_at(&bad, SubscriptionSpec::builder().min_probability(0.5))
             .is_err());
-        // The deprecated positional path routes through the same builder.
-        #[allow(deprecated)]
-        {
-            assert!(svc.subscribe_location(&bad, 0.5, None).is_err());
-        }
     }
 
     #[test]

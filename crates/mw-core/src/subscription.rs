@@ -1,8 +1,7 @@
-use std::collections::HashMap;
 use std::fmt;
 
 use mw_fusion::ProbabilityBand;
-use mw_geometry::{Point, Rect};
+use mw_geometry::Rect;
 use mw_sensors::MobileObjectId;
 use serde::{Deserialize, Serialize};
 
@@ -74,6 +73,15 @@ pub enum DeliveryPolicy {
 /// Alternatively, an application can explicitly ask for the probability"
 /// — so the threshold is either a raw probability or a band.
 ///
+/// This type is a documented **shim** over the declarative rule layer:
+/// a spec compiles to a one-atom [`Rule`](crate::Rule) (a single
+/// `InRegion` predicate carrying the same region / probability / band
+/// thresholds) via `Rule::from(spec)`, and
+/// [`subscribe`](crate::LocationService::subscribe) is exactly
+/// `subscribe_rule(Rule::from(spec))`. New code composing conditions
+/// (co-location, dwell, movement, boolean combinations) should build a
+/// [`Rule`](crate::Rule) directly.
+///
 /// Construct with [`SubscriptionSpec::builder`]; the
 /// [`region_entry`](SubscriptionSpec::region_entry) shorthand remains for
 /// the common any-object/on-enter case.
@@ -133,8 +141,8 @@ impl SubscriptionSpec {
     }
 }
 
-/// Builder for [`SubscriptionSpec`] — the one construction path every
-/// subscription API routes through.
+/// Builder for [`SubscriptionSpec`] — the legacy construction path,
+/// kept as a validated shim over the rule layer.
 ///
 /// ```
 /// use mw_core::{SubscriptionSpec, SubscriptionTrigger};
@@ -266,120 +274,6 @@ impl SubscriptionSpecBuilder {
     }
 }
 
-/// Internal: subscription bookkeeping with edge-triggering state.
-///
-/// Watched regions live in an R-tree so an update only evaluates the
-/// subscriptions its evidence could possibly satisfy — this is what makes
-/// the paper's Figure 9 response time "almost independent" of the number
-/// of programmed triggers.
-#[derive(Debug, Default)]
-pub(crate) struct SubscriptionManager {
-    next_id: u64,
-    pub(crate) subs: HashMap<SubscriptionId, SubscriptionSpec>,
-    index: mw_geometry::RTree<SubscriptionId>,
-    /// Per object: the subscriptions whose condition held on the last
-    /// evaluation (needed so leaving a region re-arms the edge trigger).
-    currently_true: HashMap<MobileObjectId, Vec<SubscriptionId>>,
-    /// For on-move subscriptions: where the object was when the
-    /// subscription last fired.
-    fired_at: HashMap<(SubscriptionId, MobileObjectId), Point>,
-}
-
-impl SubscriptionManager {
-    pub(crate) fn add(&mut self, spec: SubscriptionSpec) -> SubscriptionId {
-        let id = SubscriptionId(self.next_id);
-        self.next_id += 1;
-        self.index.insert(spec.region, id);
-        self.subs.insert(id, spec);
-        id
-    }
-
-    pub(crate) fn remove(&mut self, id: SubscriptionId) -> Option<SubscriptionSpec> {
-        let spec = self.subs.remove(&id)?;
-        self.index.remove_if(&spec.region, |v| *v == id);
-        for set in self.currently_true.values_mut() {
-            set.retain(|sid| *sid != id);
-        }
-        self.fired_at.retain(|(sid, _), _| *sid != id);
-        Some(spec)
-    }
-
-    /// The subscriptions worth evaluating for `object` given the evidence
-    /// window: R-tree hits (could newly fire) plus currently-true ones
-    /// (could need re-arming, firing on exit, or firing on movement),
-    /// filtered by object.
-    pub(crate) fn candidates(
-        &self,
-        object: &MobileObjectId,
-        window: Option<mw_geometry::Rect>,
-    ) -> Vec<SubscriptionId> {
-        let mut out: Vec<SubscriptionId> = match window {
-            Some(w) => self.index.query_window(&w).map(|(_, id)| *id).collect(),
-            None => Vec::new(),
-        };
-        if let Some(truthy) = self.currently_true.get(object) {
-            out.extend(truthy.iter().copied());
-        }
-        out.sort_unstable();
-        out.dedup();
-        out.retain(|id| {
-            self.subs
-                .get(id)
-                .is_some_and(|s| s.object.as_ref().is_none_or(|o| o == object))
-        });
-        out
-    }
-
-    /// Records the evaluation of `(id, object)`; returns `true` when the
-    /// subscription's trigger fires on this transition. `position` is the
-    /// object's best-estimate center, used by on-move triggers.
-    pub(crate) fn record(
-        &mut self,
-        id: SubscriptionId,
-        object: &MobileObjectId,
-        satisfied: bool,
-        position: Option<Point>,
-    ) -> bool {
-        let trigger = self.subs.get(&id).map(|s| s.trigger).unwrap_or_default();
-        let set = self.currently_true.entry(object.clone()).or_default();
-        let was = set.contains(&id);
-        if satisfied && !was {
-            set.push(id);
-        } else if !satisfied && was {
-            set.retain(|sid| *sid != id);
-        }
-        match trigger {
-            SubscriptionTrigger::OnEnter => satisfied && !was,
-            SubscriptionTrigger::OnExit => !satisfied && was,
-            SubscriptionTrigger::OnMove { threshold } => {
-                if !satisfied {
-                    self.fired_at.remove(&(id, object.clone()));
-                    return false;
-                }
-                let Some(here) = position else {
-                    // Entry without a position still fires once.
-                    return !was;
-                };
-                match self.fired_at.get(&(id, object.clone())) {
-                    None => {
-                        self.fired_at.insert((id, object.clone()), here);
-                        true
-                    }
-                    Some(anchor) if anchor.distance(here) >= threshold => {
-                        self.fired_at.insert((id, object.clone()), here);
-                        true
-                    }
-                    Some(_) => false,
-                }
-            }
-        }
-    }
-
-    pub(crate) fn len(&self) -> usize {
-        self.subs.len()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,91 +351,6 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(shorthand, built);
-    }
-
-    #[test]
-    fn edge_triggering() {
-        let mut m = SubscriptionManager::default();
-        let id = m.add(SubscriptionSpec::region_entry(region(), 0.5));
-        let alice: MobileObjectId = "alice".into();
-        // False → no edge.
-        assert!(!m.record(id, &alice, false, None));
-        // Rising edge.
-        assert!(m.record(id, &alice, true, None));
-        // Still true → no new notification.
-        assert!(!m.record(id, &alice, true, None));
-        // Falls, then rises again.
-        assert!(!m.record(id, &alice, false, None));
-        assert!(m.record(id, &alice, true, None));
-    }
-
-    #[test]
-    fn exit_triggering() {
-        let mut m = SubscriptionManager::default();
-        let id = m.add(
-            SubscriptionSpec::builder()
-                .region(region())
-                .on_exit()
-                .build()
-                .unwrap(),
-        );
-        let alice: MobileObjectId = "alice".into();
-        // Entering fires nothing.
-        assert!(!m.record(id, &alice, true, None));
-        assert!(!m.record(id, &alice, true, None));
-        // Leaving is the edge.
-        assert!(m.record(id, &alice, false, None));
-        // Staying out fires nothing; re-entering re-arms.
-        assert!(!m.record(id, &alice, false, None));
-        assert!(!m.record(id, &alice, true, None));
-        assert!(m.record(id, &alice, false, None));
-    }
-
-    #[test]
-    fn move_triggering() {
-        let mut m = SubscriptionManager::default();
-        let id = m.add(
-            SubscriptionSpec::builder()
-                .region(region())
-                .on_move(3.0)
-                .build()
-                .unwrap(),
-        );
-        let alice: MobileObjectId = "alice".into();
-        let p = Point::new(1.0, 1.0);
-        // Entry fires and anchors.
-        assert!(m.record(id, &alice, true, Some(p)));
-        // Sub-threshold jiggle: silent.
-        assert!(!m.record(id, &alice, true, Some(Point::new(2.0, 1.0))));
-        // Past the threshold from the anchor: fires and re-anchors.
-        assert!(m.record(id, &alice, true, Some(Point::new(4.5, 1.0))));
-        assert!(!m.record(id, &alice, true, Some(Point::new(5.0, 1.0))));
-        // Leaving clears the anchor; re-entry fires afresh.
-        assert!(!m.record(id, &alice, false, Some(Point::new(50.0, 50.0))));
-        assert!(m.record(id, &alice, true, Some(Point::new(5.0, 1.0))));
-    }
-
-    #[test]
-    fn state_is_per_object() {
-        let mut m = SubscriptionManager::default();
-        let id = m.add(SubscriptionSpec::region_entry(region(), 0.5));
-        assert!(m.record(id, &"alice".into(), true, None));
-        // Bob's first satisfaction is its own edge.
-        assert!(m.record(id, &"bob".into(), true, None));
-    }
-
-    #[test]
-    fn remove_clears_state() {
-        let mut m = SubscriptionManager::default();
-        let id = m.add(SubscriptionSpec::region_entry(region(), 0.5));
-        m.record(id, &"alice".into(), true, None);
-        assert!(m.remove(id).is_some());
-        assert_eq!(m.len(), 0);
-        assert!(m.remove(id).is_none());
-        // Re-adding gets a fresh id and fresh state.
-        let id2 = m.add(SubscriptionSpec::region_entry(region(), 0.5));
-        assert_ne!(id, id2);
-        assert!(m.record(id2, &"alice".into(), true, None));
     }
 
     #[test]

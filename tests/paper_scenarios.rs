@@ -201,10 +201,11 @@ fn figures_5_and_6_five_sensor_lattice() {
 }
 
 #[test]
-fn figures_5_and_6_facade_matches_legacy_query_methods() {
+fn figures_5_and_6_facade_answers_are_consistent() {
     // The same five-sensor scenario as above, but driven end-to-end
-    // through `LocationService`: the new `query()` facade must agree
-    // exactly with the deprecated per-shape methods it replaces.
+    // through `LocationService`: every shape of `query()` facade answer
+    // (region probability, rect probability, band, distribution, fix)
+    // must describe the same fused posterior.
     use middlewhere::bus::Broker;
     use middlewhere::core::{LocationQuery, LocationService};
 
@@ -242,32 +243,43 @@ fn figures_5_and_6_facade_matches_legacy_query_methods() {
 
     let alice: middlewhere::sensors::MobileObjectId = "alice".into();
     let now = SimTime::from_secs(1.0);
-    #[allow(deprecated)]
+    // Named-region and explicit-rect answers agree, and each band is the
+    // classification of its own probability.
     for name in ["S1", "S2", "S3", "S4", "S5", "3105"] {
         let glob = format!("CS/Floor3/{name}");
-        let legacy_p = svc.probability_in_region(&alice, &glob, now).unwrap();
-        let legacy_band = svc.band_in_region(&alice, &glob, now).unwrap();
         let answer = svc
             .query(LocationQuery::of("alice").in_region(&glob).at(now))
             .unwrap();
-        assert_eq!(answer.probability(), Some(legacy_p), "{glob}");
-        assert_eq!(answer.band(), Some(legacy_band), "{glob}");
-    }
-    #[allow(deprecated)]
-    for rect in [s1, s4, s5, s1.intersection(&s2).unwrap()] {
-        let legacy_p = svc.probability_in_rect(&alice, &rect, now);
-        let answer = svc
+        let p = answer.probability().unwrap();
+        assert_eq!(
+            answer.band(),
+            Some(svc.band_thresholds().classify(p)),
+            "{glob}"
+        );
+        let rect = svc.with_world(|w| w.region_rect(&glob)).unwrap();
+        let by_rect = svc
             .query(LocationQuery::of("alice").in_rect(rect).at(now))
             .unwrap();
-        assert_eq!(answer.probability(), Some(legacy_p), "{rect:?}");
+        assert_eq!(by_rect.probability(), Some(p), "{glob}");
     }
-    #[allow(deprecated)]
     {
-        let legacy = svc.location_distribution(&alice, now).unwrap();
+        // The distribution normalizes to 1 over positive-weight minimal
+        // regions, and every probability-shaped answer stays in [0, 1].
         let answer = svc
             .query(LocationQuery::of("alice").distribution().at(now))
             .unwrap();
-        assert_eq!(answer.distribution(), Some(legacy.as_slice()));
+        let dist = answer.distribution().unwrap();
+        let total: f64 = dist.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        assert!(dist.iter().all(|(_, w)| *w > 0.0));
+        for rect in [s1, s4, s5, s1.intersection(&s2).unwrap()] {
+            let p = svc
+                .query(LocationQuery::of("alice").in_rect(rect).at(now))
+                .unwrap()
+                .probability()
+                .unwrap();
+            assert!((0.0..=1.0).contains(&p), "{rect:?}: p {p}");
+        }
         // And the facade's default target is the plain fix.
         let fix = svc.locate(&alice, now).unwrap();
         let facade_fix = svc
@@ -279,18 +291,7 @@ fn figures_5_and_6_facade_matches_legacy_query_methods() {
         assert_eq!(facade_fix.region, fix.region);
         assert_eq!(facade_fix.probability, fix.probability);
     }
-    // Where the two APIs intentionally differ: an untracked object is a
-    // silent 0.0 through the legacy method, an explicit error through
-    // the facade.
-    #[allow(deprecated)]
-    {
-        let ghost: middlewhere::sensors::MobileObjectId = "ghost".into();
-        assert_eq!(
-            svc.probability_in_region(&ghost, "CS/Floor3/S1", now)
-                .unwrap(),
-            0.0
-        );
-    }
+    // An untracked object is an explicit error, never a silent 0.0.
     assert!(matches!(
         svc.query(LocationQuery::of("ghost").in_region("CS/Floor3/S1").at(now)),
         Err(middlewhere::core::CoreError::NoLocation { .. })
