@@ -27,6 +27,7 @@ mod broker;
 mod error;
 pub mod fault;
 pub mod remote;
+pub mod remote_rpc;
 mod rpc;
 pub mod stats;
 mod topic;
@@ -34,5 +35,6 @@ pub mod transport;
 
 pub use broker::Broker;
 pub use error::BusError;
+pub use remote_rpc::{RemoteRpcClient, RemoteRpcServer, RpcServerOptions, RpcServerStats};
 pub use rpc::{RpcClient, RpcServer};
 pub use topic::{OverflowPolicy, Publisher, Subscription};

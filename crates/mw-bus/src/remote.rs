@@ -111,6 +111,12 @@ pub struct ServerStats {
     pub clients_connected: u64,
     /// Clients dropped after a send failure or missed heartbeat write.
     pub clients_evicted: u64,
+    /// The subset of [`clients_evicted`](ServerStats::clients_evicted)
+    /// proven dead by a failed *heartbeat* write: the peer went silent
+    /// without an outstanding frame, and the liveness probe itself
+    /// surfaced the broken socket. This is the server-side dead-peer
+    /// detector the cluster directory leans on.
+    pub evicted_peers: u64,
     /// Messages forwarded from the topic (sequence numbers assigned).
     pub frames_published: u64,
     /// Frames evicted from full per-client queues (slow-subscriber
@@ -126,6 +132,7 @@ pub struct ServerStats {
 struct ServerCounters {
     clients_connected: mw_obs::Counter,
     clients_evicted: mw_obs::Counter,
+    evicted_peers: mw_obs::Counter,
     frames_published: mw_obs::Counter,
     frames_dropped: mw_obs::Counter,
     heartbeats_sent: mw_obs::Counter,
@@ -142,6 +149,7 @@ impl ServerCounters {
             Some(reg) => ServerCounters {
                 clients_connected: reg.counter("bus.server.clients_connected"),
                 clients_evicted: reg.counter("bus.server.clients_evicted"),
+                evicted_peers: reg.counter("bus.server.evicted_peers"),
                 frames_published: reg.counter("bus.server.frames_published"),
                 frames_dropped: reg.counter("bus.server.frames_dropped"),
                 heartbeats_sent: reg.counter("bus.server.heartbeats_sent"),
@@ -154,6 +162,7 @@ impl ServerCounters {
         ServerStats {
             clients_connected: self.clients_connected.get(),
             clients_evicted: self.clients_evicted.get(),
+            evicted_peers: self.evicted_peers.get(),
             frames_published: self.frames_published.get(),
             frames_dropped: self.frames_dropped.get(),
             heartbeats_sent: self.heartbeats_sent.get(),
@@ -405,18 +414,27 @@ fn serve_client(
     counters.clients_connected.inc();
 
     // Writer loop: drain the queue; heartbeat when idle; evict on any
-    // write failure.
+    // write failure. A failed *data* write and a failed *heartbeat*
+    // write are counted apart: the latter means the liveness probe
+    // itself proved the peer dead (`evicted_peers`), which is what a
+    // cluster directory watches to declare a node gone.
+    #[derive(PartialEq)]
+    enum Eviction {
+        None,
+        SendFailure,
+        DeadPeer,
+    }
     let mut last_write = Instant::now();
     let mut last_seq_sent = start.saturating_sub(1);
     let evicted = loop {
         if stop.load(Ordering::Relaxed) {
-            break false;
+            break Eviction::None;
         }
         let next = handle.queue.lock().pop_front();
         match next {
             Some(frame) => {
                 if transport.send(&frame).is_err() {
-                    break true;
+                    break Eviction::SendFailure;
                 }
                 last_seq_sent = frame.seq;
                 last_write = Instant::now();
@@ -427,7 +445,7 @@ fn serve_client(
                         .send(&Frame::control(FrameKind::Heartbeat, last_seq_sent))
                         .is_err()
                     {
-                        break true;
+                        break Eviction::DeadPeer;
                     }
                     counters.heartbeats_sent.inc();
                     last_write = Instant::now();
@@ -438,8 +456,13 @@ fn serve_client(
         }
     };
     unregister(shared, &handle);
-    if evicted {
-        counters.clients_evicted.inc();
+    match evicted {
+        Eviction::None => {}
+        Eviction::SendFailure => counters.clients_evicted.inc(),
+        Eviction::DeadPeer => {
+            counters.clients_evicted.inc();
+            counters.evicted_peers.inc();
+        }
     }
 }
 
@@ -553,6 +576,52 @@ impl ClientCounters {
     }
 }
 
+/// One delivery on an event-aware remote subscription (see
+/// [`remote_subscribe_events`]): either a message, or an **explicit
+/// resync marker** for a range of messages that are gone for good.
+///
+/// The plain [`remote_subscribe`] stream silently skips messages that
+/// were evicted from the server's replay buffer before the client could
+/// resume (they are only visible in [`ClientStats::frames_lost`]).
+/// Consumers that must *know* about a gap in-stream — a replica applying
+/// ordered state deltas, an auditor — subscribe with the events API and
+/// receive [`RemoteEvent::Lost`] at the exact stream position of the
+/// gap, before the first message after it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteEvent<T> {
+    /// The next message, in order.
+    Data(T),
+    /// `resumed_at - expected` messages were evicted from the server's
+    /// replay buffer before this client could fetch them; the stream
+    /// resumes at sequence `resumed_at`. Delivered *before* the first
+    /// message after the gap, so a consumer can resynchronize out of
+    /// band (e.g. refetch a full state snapshot) instead of applying
+    /// deltas across a hole.
+    Lost {
+        /// First sequence number the client still needed.
+        expected: u64,
+        /// Sequence number the server could actually resume from.
+        resumed_at: u64,
+    },
+}
+
+impl<T> RemoteEvent<T> {
+    /// The message, when this event carries one.
+    #[must_use]
+    pub fn data(self) -> Option<T> {
+        match self {
+            RemoteEvent::Data(message) => Some(message),
+            RemoteEvent::Lost { .. } => None,
+        }
+    }
+
+    /// `true` for a [`RemoteEvent::Lost`] resync marker.
+    #[must_use]
+    pub fn is_lost(&self) -> bool {
+        matches!(self, RemoteEvent::Lost { .. })
+    }
+}
+
 /// A remote subscription: a local [`Subscription`] fed over TCP, plus
 /// resilience counters. Dereferences to the inner subscription.
 #[derive(Debug)]
@@ -630,11 +699,94 @@ where
 /// Returns the last dial or handshake error when no connection could be
 /// established within `options.connect_attempts` attempts.
 pub fn remote_subscribe_with_transport<T, D>(
-    mut dial: D,
+    dial: D,
     options: SubscribeOptions,
 ) -> std::io::Result<RemoteSubscription<T>>
 where
     T: Clone + DeserializeOwned + Send + 'static,
+    D: FnMut() -> std::io::Result<Box<dyn FrameTransport>> + Send + 'static,
+{
+    subscribe_inner::<T, T, D>(dial, options, |message| message, None)
+}
+
+/// [`remote_subscribe`] variant whose stream makes replay-buffer gaps
+/// **explicit**: deliveries are [`RemoteEvent`]s, and a range of
+/// messages evicted from the server's replay buffer before the client
+/// could resume surfaces as [`RemoteEvent::Lost`] in-stream (at the
+/// exact position of the gap) instead of only ticking
+/// [`ClientStats::frames_lost`].
+///
+/// # Errors
+///
+/// Returns the connection or handshake error when the server is
+/// unreachable.
+pub fn remote_subscribe_events<T>(
+    addr: SocketAddr,
+) -> std::io::Result<RemoteSubscription<RemoteEvent<T>>>
+where
+    T: Clone + DeserializeOwned + Send + 'static,
+{
+    remote_subscribe_events_with(addr, SubscribeOptions::default())
+}
+
+/// [`remote_subscribe_events`] with explicit tuning.
+///
+/// # Errors
+///
+/// Returns the connection or handshake error when the server is
+/// unreachable within `options.connect_attempts` attempts.
+pub fn remote_subscribe_events_with<T>(
+    addr: SocketAddr,
+    options: SubscribeOptions,
+) -> std::io::Result<RemoteSubscription<RemoteEvent<T>>>
+where
+    T: Clone + DeserializeOwned + Send + 'static,
+{
+    remote_subscribe_events_with_transport(
+        move || TcpFrameTransport::connect(addr).map(|t| Box::new(t) as Box<dyn FrameTransport>),
+        options,
+    )
+}
+
+/// [`remote_subscribe_events`] over a caller-supplied transport factory
+/// (see [`remote_subscribe_with_transport`]).
+///
+/// # Errors
+///
+/// Returns the last dial or handshake error when no connection could be
+/// established within `options.connect_attempts` attempts.
+pub fn remote_subscribe_events_with_transport<T, D>(
+    dial: D,
+    options: SubscribeOptions,
+) -> std::io::Result<RemoteSubscription<RemoteEvent<T>>>
+where
+    T: Clone + DeserializeOwned + Send + 'static,
+    D: FnMut() -> std::io::Result<Box<dyn FrameTransport>> + Send + 'static,
+{
+    subscribe_inner::<T, RemoteEvent<T>, D>(
+        dial,
+        options,
+        RemoteEvent::Data,
+        Some(|expected, resumed_at| RemoteEvent::Lost {
+            expected,
+            resumed_at,
+        }),
+    )
+}
+
+/// The shared subscriber worker behind the plain and event streams:
+/// `wrap` lifts a decoded message into the delivered type, and
+/// `on_lost` (when present) turns an irrecoverable replay gap into an
+/// in-stream delivery.
+fn subscribe_inner<T, E, D>(
+    mut dial: D,
+    options: SubscribeOptions,
+    wrap: fn(T) -> E,
+    on_lost: Option<fn(u64, u64) -> E>,
+) -> std::io::Result<RemoteSubscription<E>>
+where
+    T: Clone + DeserializeOwned + Send + 'static,
+    E: Clone + Send + 'static,
     D: FnMut() -> std::io::Result<Box<dyn FrameTransport>> + Send + 'static,
 {
     let counters = Arc::new(ClientCounters::new(options.metrics.as_ref()));
@@ -653,7 +805,7 @@ where
     };
     backoff.reset();
 
-    let publisher: Publisher<T> = Publisher::new();
+    let publisher: Publisher<E> = Publisher::new();
     let subscription = publisher.subscribe();
     let thread_counters = Arc::clone(&counters);
     std::thread::spawn(move || {
@@ -685,7 +837,7 @@ where
                                     counters.corrupt_frames.inc();
                                     break;
                                 };
-                                if publisher.publish(message) == 0 {
+                                if publisher.publish(wrap(message)) == 0 {
                                     return; // local subscriber gone
                                 }
                                 last_seq = frame.seq;
@@ -725,7 +877,19 @@ where
                 match establish(&mut dial, last_seq + 1, &options) {
                     Ok((t, resumed_at)) => {
                         if resumed_at > last_seq + 1 {
+                            // Messages in [last_seq + 1, resumed_at)
+                            // were evicted from the server's replay
+                            // buffer: irrecoverable. The counter always
+                            // records the loss; the events stream also
+                            // surfaces it in-band, *before* the first
+                            // post-gap message, so no consumer has to
+                            // infer a resync from a counter diff.
                             counters.frames_lost.add(resumed_at - (last_seq + 1));
+                            if let Some(lost) = on_lost {
+                                if publisher.publish(lost(last_seq + 1, resumed_at)) == 0 {
+                                    return; // local subscriber gone
+                                }
+                            }
                             last_seq = resumed_at - 1;
                         }
                         transport = t;
@@ -1107,6 +1271,170 @@ mod tests {
         drop(broker);
         // Liveness timeout fires, redials fail, the subscription ends.
         assert_eq!(inbox.recv_timeout(Duration::from_secs(3)), None);
+    }
+
+    #[test]
+    fn dead_peer_heartbeat_eviction_is_counted_and_mirrored() {
+        let registry = mw_obs::MetricsRegistry::new();
+        let broker = Broker::new();
+        let topic = broker.topic::<u32>("dead-peer");
+        let server = RemoteTopicServer::bind_with(
+            "127.0.0.1:0",
+            topic.clone(),
+            ServerOptions {
+                heartbeat_interval: Duration::from_millis(10),
+                metrics: Some(registry.clone()),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        // A raw peer that handshakes, then vanishes without a word; the
+        // topic stays idle so only heartbeat writes can notice.
+        {
+            let mut peer = TcpFrameTransport::connect(server.local_addr()).unwrap();
+            peer.send(&Frame::control(FrameKind::Hello, 0)).unwrap();
+            peer.set_read_timeout(Some(Duration::from_secs(1))).unwrap();
+            assert_eq!(peer.recv().unwrap().unwrap().kind, FrameKind::HelloAck);
+        }
+        wait_for(|| server.stats().evicted_peers >= 1, "dead-peer eviction");
+        let stats = server.stats();
+        assert!(
+            stats.clients_evicted >= stats.evicted_peers,
+            "dead-peer evictions are a subset of all evictions: {stats:?}"
+        );
+        // Mirrored into the registry under the documented name.
+        assert_eq!(
+            registry.counter("bus.server.evicted_peers").get(),
+            stats.evicted_peers
+        );
+    }
+
+    #[test]
+    fn replay_overflow_surfaces_explicit_resync_event() {
+        let broker = Broker::new();
+        let topic = broker.topic::<u32>("overflow-resync");
+        let server = RemoteTopicServer::bind_with(
+            "127.0.0.1:0",
+            topic.clone(),
+            ServerOptions {
+                replay_capacity: 4,
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        // Kill the connection after the client has the first two data
+        // frames (recv 0 is the HelloAck), then hold every redial until
+        // the publisher has blown far past the 4-frame replay window.
+        let plan = Arc::new(FaultPlan::scripted().on_recv(3, FaultAction::Reset));
+        let gate = Arc::new(AtomicBool::new(false));
+        let dial_plan = Arc::clone(&plan);
+        let dial_gate = Arc::clone(&gate);
+        let mut dials = 0u32;
+        let inbox = remote_subscribe_events_with_transport::<u32, _>(
+            move || {
+                dials += 1;
+                if dials > 1 {
+                    while !dial_gate.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                TcpFrameTransport::connect(addr)
+                    .map(|t| Box::new(FaultInjector::new(t, Arc::clone(&dial_plan))) as Box<_>)
+            },
+            fast_options(),
+        )
+        .unwrap();
+
+        // Values 0..=2 are seqs 1..=3; the reset fires on seq 3's recv.
+        for i in 0..3u32 {
+            topic.publish(i);
+        }
+        assert_eq!(
+            inbox.recv_timeout(Duration::from_secs(2)),
+            Some(RemoteEvent::Data(0))
+        );
+        assert_eq!(
+            inbox.recv_timeout(Duration::from_secs(2)),
+            Some(RemoteEvent::Data(1))
+        );
+        wait_for(|| plan.injected() == 1, "scripted reset");
+
+        // While the client is locked out, 18 more publishes (seqs
+        // 4..=21) overflow the 4-frame replay buffer: only 18..=21
+        // survive. The client still needs seq 3.
+        for i in 3..21u32 {
+            topic.publish(i);
+        }
+        wait_for(|| server.stats().frames_published == 21, "forwarding");
+        gate.store(true, Ordering::Relaxed);
+
+        // The gap [3, 18) must arrive as an explicit in-stream resync
+        // marker, before the first surviving message — never silently.
+        assert_eq!(
+            inbox.recv_timeout(Duration::from_secs(5)),
+            Some(RemoteEvent::Lost {
+                expected: 3,
+                resumed_at: 18,
+            })
+        );
+        for i in 17..21u32 {
+            assert_eq!(
+                inbox.recv_timeout(Duration::from_secs(2)),
+                Some(RemoteEvent::Data(i))
+            );
+        }
+        assert_eq!(inbox.stats().frames_lost, 15);
+    }
+
+    #[test]
+    fn plain_stream_still_counts_replay_overflow_loss() {
+        let broker = Broker::new();
+        let topic = broker.topic::<u32>("overflow-plain");
+        let server = RemoteTopicServer::bind_with(
+            "127.0.0.1:0",
+            topic.clone(),
+            ServerOptions {
+                replay_capacity: 4,
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let plan = Arc::new(FaultPlan::scripted().on_recv(3, FaultAction::Reset));
+        let gate = Arc::new(AtomicBool::new(false));
+        let dial_plan = Arc::clone(&plan);
+        let dial_gate = Arc::clone(&gate);
+        let mut dials = 0u32;
+        let inbox = remote_subscribe_with_transport::<u32, _>(
+            move || {
+                dials += 1;
+                if dials > 1 {
+                    while !dial_gate.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                TcpFrameTransport::connect(addr)
+                    .map(|t| Box::new(FaultInjector::new(t, Arc::clone(&dial_plan))) as Box<_>)
+            },
+            fast_options(),
+        )
+        .unwrap();
+        for i in 0..3u32 {
+            topic.publish(i);
+        }
+        assert_eq!(inbox.recv_timeout(Duration::from_secs(2)), Some(0));
+        assert_eq!(inbox.recv_timeout(Duration::from_secs(2)), Some(1));
+        wait_for(|| plan.injected() == 1, "scripted reset");
+        for i in 3..21u32 {
+            topic.publish(i);
+        }
+        wait_for(|| server.stats().frames_published == 21, "forwarding");
+        gate.store(true, Ordering::Relaxed);
+        // The plain stream resumes at the first surviving message and
+        // accounts for the hole in `frames_lost`.
+        assert_eq!(inbox.recv_timeout(Duration::from_secs(5)), Some(17));
+        assert_eq!(inbox.stats().frames_lost, 15);
     }
 
     #[test]

@@ -5,10 +5,11 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
 /// What a bounded subscription does with a new message when its queue is
 /// full.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum OverflowPolicy {
     /// Evict the oldest queued message to make room — the subscriber
     /// keeps up with the present and loses the past.

@@ -1,0 +1,82 @@
+//! One partition of the clustered Location Service, as a process.
+//!
+//! Spawned by operators (or the multi-process chaos tests) once per
+//! partition:
+//!
+//! ```text
+//! partition_node --node-id node-a --directory 127.0.0.1:7400
+//! ```
+//!
+//! The node builds the paper floor plan, joins the cluster through the
+//! directory (catching up from its replica if it is a restart), prints
+//! one `READY …` line on stdout, and serves until stdin closes or the
+//! process is killed.
+
+use std::io::Read;
+use std::time::Duration;
+
+use mw_cluster::{NodeConfig, PartitionNode};
+use mw_sim::building::paper_floor;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: partition_node --node-id <id> --directory <addr> \
+         [--heartbeat-ms <n>] [--journal-capacity <n>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut node_id: Option<String> = None;
+    let mut directory: Option<String> = None;
+    let mut heartbeat_ms: u64 = 100;
+    let mut journal_capacity: usize = 1024;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--node-id" => node_id = Some(value()),
+            "--directory" => directory = Some(value()),
+            "--heartbeat-ms" => heartbeat_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--journal-capacity" => {
+                journal_capacity = value().parse().unwrap_or_else(|_| usage());
+            }
+            _ => usage(),
+        }
+    }
+    let Some(node_id) = node_id else { usage() };
+    let Some(directory) = directory else { usage() };
+    let directory = directory.parse().unwrap_or_else(|e| {
+        eprintln!("bad --directory address: {e}");
+        std::process::exit(2);
+    });
+
+    let floor = paper_floor();
+    let mut config = NodeConfig::new(node_id.as_str(), directory);
+    config.heartbeat_interval = Duration::from_millis(heartbeat_ms);
+    config.journal_capacity = journal_capacity;
+
+    let node = match PartitionNode::start(config, floor.db, floor.universe) {
+        Ok(node) => node,
+        Err(e) => {
+            eprintln!("partition_node {node_id}: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Single machine-readable line the harness waits for.
+    println!(
+        "READY node={} rpc={} delta={} notify={}",
+        node.node(),
+        node.rpc_addr(),
+        node.delta_addr(),
+        node.notify_addr()
+    );
+
+    // Serve until stdin closes (parent exited or asked us to stop) or
+    // the process is killed outright — chaos tests do the latter.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    node.shutdown();
+}

@@ -1,0 +1,320 @@
+//! The cluster membership directory — the distributed stand-in for the
+//! Gaia Space Repository (§7): nodes announce themselves and heartbeat;
+//! routers fetch the view to build the hash ring and locate endpoints.
+//!
+//! The directory is deliberately dumb: it records what nodes claim and
+//! evicts the ones that stop heartbeating. It never re-partitions —
+//! ownership is a pure function of the seed and the *announced* member
+//! set (dead or alive), so a dead node's keys fail over to its fixed
+//! replica instead of rehashing across the cluster.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mw_bus::{RemoteRpcClient, RemoteRpcServer};
+use parking_lot::Mutex;
+
+use crate::proto::{ClusterView, DirectoryRequest, DirectoryResponse, MemberInfo};
+use crate::ring::NodeId;
+
+/// Tuning for a [`DirectoryServer`].
+#[derive(Debug, Clone)]
+pub struct DirectoryOptions {
+    /// Silence after which an alive member is marked dead and counted
+    /// as an eviction.
+    pub heartbeat_timeout: Duration,
+    /// How often the liveness sweep runs.
+    pub sweep_interval: Duration,
+    /// Registry for the directory's counters (`cluster.directory.*`).
+    pub metrics: Option<mw_obs::MetricsRegistry>,
+}
+
+impl Default for DirectoryOptions {
+    fn default() -> Self {
+        DirectoryOptions {
+            heartbeat_timeout: Duration::from_millis(900),
+            sweep_interval: Duration::from_millis(100),
+            metrics: None,
+        }
+    }
+}
+
+/// Counters exposed by [`DirectoryServer::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DirectoryStats {
+    /// Announce requests handled (joins and re-joins).
+    pub announcements: u64,
+    /// Heartbeats accepted.
+    pub heartbeats: u64,
+    /// Members marked dead after heartbeat silence.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Default)]
+struct DirectoryCounters {
+    announcements: mw_obs::Counter,
+    heartbeats: mw_obs::Counter,
+    evictions: mw_obs::Counter,
+}
+
+impl DirectoryCounters {
+    fn new(registry: Option<&mw_obs::MetricsRegistry>) -> Self {
+        match registry {
+            None => DirectoryCounters::default(),
+            Some(reg) => DirectoryCounters {
+                announcements: reg.counter("cluster.directory.announcements"),
+                heartbeats: reg.counter("cluster.directory.heartbeats"),
+                evictions: reg.counter("cluster.directory.evictions"),
+            },
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Member {
+    info: MemberInfo,
+    last_beat: Instant,
+}
+
+/// The membership service: an RPC endpoint plus a liveness sweeper.
+#[derive(Debug)]
+pub struct DirectoryServer {
+    rpc: RemoteRpcServer,
+    members: Arc<Mutex<HashMap<NodeId, Member>>>,
+    counters: Arc<DirectoryCounters>,
+    stop: Arc<AtomicBool>,
+}
+
+impl DirectoryServer {
+    /// Binds the directory on `addr` (port 0 for ephemeral).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    pub fn bind(addr: &str, options: DirectoryOptions) -> std::io::Result<Self> {
+        let members: Arc<Mutex<HashMap<NodeId, Member>>> = Arc::new(Mutex::new(HashMap::new()));
+        let counters = Arc::new(DirectoryCounters::new(options.metrics.as_ref()));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let rpc = {
+            let members = Arc::clone(&members);
+            let counters = Arc::clone(&counters);
+            RemoteRpcServer::bind(addr, move |request: DirectoryRequest| match request {
+                DirectoryRequest::Announce(mut info) => {
+                    counters.announcements.inc();
+                    info.alive = true;
+                    members.lock().insert(
+                        info.node.clone(),
+                        Member {
+                            info,
+                            last_beat: Instant::now(),
+                        },
+                    );
+                    DirectoryResponse::Ok
+                }
+                DirectoryRequest::Heartbeat(node) => {
+                    let mut members = members.lock();
+                    match members.get_mut(&node) {
+                        Some(member) if member.info.alive => {
+                            counters.heartbeats.inc();
+                            member.last_beat = Instant::now();
+                            DirectoryResponse::Ok
+                        }
+                        // Evicted (or never announced): the node must
+                        // re-announce so the view gets fresh addresses.
+                        _ => DirectoryResponse::Unknown,
+                    }
+                }
+                DirectoryRequest::List => DirectoryResponse::View(view_of(&members.lock())),
+            })?
+        };
+
+        // Liveness sweep: silence beyond the timeout marks a member dead
+        // exactly once (the eviction the chaos ledger asserts).
+        {
+            let members = Arc::clone(&members);
+            let counters = Arc::clone(&counters);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(options.sweep_interval);
+                    let mut members = members.lock();
+                    for member in members.values_mut() {
+                        if member.info.alive
+                            && member.last_beat.elapsed() > options.heartbeat_timeout
+                        {
+                            member.info.alive = false;
+                            counters.evictions.inc();
+                        }
+                    }
+                }
+            });
+        }
+
+        Ok(DirectoryServer {
+            rpc,
+            members,
+            counters,
+            stop,
+        })
+    }
+
+    /// The address nodes and routers should dial.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.rpc.local_addr()
+    }
+
+    /// The current view, without a network round trip.
+    #[must_use]
+    pub fn view(&self) -> ClusterView {
+        view_of(&self.members.lock())
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> DirectoryStats {
+        DirectoryStats {
+            announcements: self.counters.announcements.get(),
+            heartbeats: self.counters.heartbeats.get(),
+            evictions: self.counters.evictions.get(),
+        }
+    }
+
+    /// Stops the sweeper and the RPC listener (also done on drop).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.rpc.shutdown();
+    }
+}
+
+impl Drop for DirectoryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn view_of(members: &HashMap<NodeId, Member>) -> ClusterView {
+    let mut members: Vec<MemberInfo> = members.values().map(|m| m.info.clone()).collect();
+    members.sort_by(|a, b| a.node.cmp(&b.node));
+    ClusterView { members }
+}
+
+/// Typed client for the directory RPC endpoint.
+#[derive(Debug)]
+pub struct DirectoryClient {
+    rpc: RemoteRpcClient<DirectoryRequest, DirectoryResponse>,
+}
+
+impl DirectoryClient {
+    /// A client for the directory at `addr`.
+    #[must_use]
+    pub fn new(addr: SocketAddr, timeout: Duration) -> Self {
+        DirectoryClient {
+            rpc: RemoteRpcClient::new(addr, timeout),
+        }
+    }
+
+    /// Announces (or re-announces) a member. The `alive` flag is set by
+    /// the directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn announce(&self, info: MemberInfo) -> std::io::Result<()> {
+        self.rpc.call(&DirectoryRequest::Announce(info)).map(|_| ())
+    }
+
+    /// Heartbeats; returns `false` when the directory no longer knows
+    /// the node (it must re-announce).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn heartbeat(&self, node: &NodeId) -> std::io::Result<bool> {
+        Ok(matches!(
+            self.rpc.call(&DirectoryRequest::Heartbeat(node.clone()))?,
+            DirectoryResponse::Ok
+        ))
+    }
+
+    /// Fetches the membership view.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn list(&self) -> std::io::Result<ClusterView> {
+        match self.rpc.call(&DirectoryRequest::List)? {
+            DirectoryResponse::View(view) => Ok(view),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected directory reply: {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(node: &str, rpc: &str) -> MemberInfo {
+        MemberInfo {
+            node: node.into(),
+            rpc_addr: rpc.to_string(),
+            delta_addr: String::new(),
+            notify_addr: String::new(),
+            alive: false, // directory overrides
+        }
+    }
+
+    #[test]
+    fn announce_list_and_evict() {
+        let dir = DirectoryServer::bind(
+            "127.0.0.1:0",
+            DirectoryOptions {
+                heartbeat_timeout: Duration::from_millis(120),
+                sweep_interval: Duration::from_millis(20),
+                metrics: None,
+            },
+        )
+        .unwrap();
+        let client = DirectoryClient::new(dir.local_addr(), Duration::from_secs(2));
+        client.announce(info("node-b", "b:1")).unwrap();
+        client.announce(info("node-a", "a:1")).unwrap();
+
+        let view = client.list().unwrap();
+        assert_eq!(
+            view.alive_nodes(),
+            vec![NodeId::from("node-a"), "node-b".into()]
+        );
+
+        // node-a heartbeats; node-b goes silent and gets evicted.
+        let deadline = Instant::now() + Duration::from_secs(3);
+        loop {
+            assert!(client.heartbeat(&"node-a".into()).unwrap());
+            if dir.stats().evictions >= 1 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "eviction never happened");
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        let view = client.list().unwrap();
+        assert_eq!(view.alive_nodes(), vec![NodeId::from("node-a")]);
+        assert_eq!(dir.stats().evictions, 1, "exactly one eviction");
+        assert!(
+            !client.heartbeat(&"node-b".into()).unwrap(),
+            "must re-announce"
+        );
+
+        // Re-announce revives with fresh addresses; no further eviction.
+        client.announce(info("node-b", "b:2")).unwrap();
+        let view = client.list().unwrap();
+        assert_eq!(view.alive_nodes().len(), 2);
+        assert_eq!(view.member(&"node-b".into()).unwrap().rpc_addr, "b:2");
+        assert_eq!(dir.stats().evictions, 1);
+    }
+}

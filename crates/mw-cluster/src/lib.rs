@@ -1,0 +1,40 @@
+//! Multi-node partitioning of the MiddleWhere Location Service.
+//!
+//! The paper deploys one Location Service per space (§7) and leans on
+//! Gaia's Space Repository for discovery. This crate scales that design
+//! out: the object population is partitioned across N processes with a
+//! seeded consistent-hash ring ([`ring`]), a directory service tracks
+//! membership and evicts silent nodes ([`directory`]), and a
+//! client-side router ([`router`]) sends every ingest batch, query and
+//! subscription to the partition that owns it.
+//!
+//! Robustness is the point, and it reuses the degradation ladder the
+//! single-node service already has: each partition streams last-known-
+//! good deltas to one fixed replica ([`node`]); when a partition dies,
+//! the router fails over and the replica serves answers honestly marked
+//! [`LastKnownGood`](mw_core::AnswerQuality::LastKnownGood) — never
+//! silent staleness — until the restarted partition replays the journal
+//! its replica kept for it and returns to
+//! [`Full`](mw_core::AnswerQuality::Full).
+//!
+//! Everything is observable: the directory, the router and every node
+//! publish `cluster.*` counters that chaos tests assert as an exact
+//! ledger against a scripted fault schedule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod directory;
+pub mod node;
+pub mod proto;
+pub mod ring;
+pub mod router;
+
+pub use directory::{DirectoryClient, DirectoryOptions, DirectoryServer, DirectoryStats};
+pub use node::{NodeConfig, PartitionNode};
+pub use proto::{
+    ClusterView, Delta, DirectoryRequest, DirectoryResponse, HandoffState, JournalEntry,
+    MemberInfo, NodeRequest, NodeResponse, NodeStats, WireError, WireQuery,
+};
+pub use ring::{HashRing, NodeId, VNODES};
+pub use router::{ClusterRouter, IngestReport, RouterConfig, RouterError, RouterStats};

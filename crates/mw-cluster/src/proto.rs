@@ -1,0 +1,371 @@
+//! Wire types spoken between the router, the directory, and partition
+//! nodes.
+//!
+//! Everything here crosses process boundaries over the `mw-bus` frame
+//! protocol, so every type is serde-serializable and self-contained —
+//! notably [`WireQuery`] (a [`LocationQuery`] without its wall-clock
+//! deadline, which is a per-process budget and meaningless on the wire)
+//! and [`WireError`] (a [`CoreError`] flattened to data).
+
+use mw_core::{CoreError, LocationFix, LocationQuery, PartitionState, QueryTarget, Rule};
+use mw_model::SimTime;
+use mw_sensors::{AdapterOutput, MobileObjectId};
+use serde::{Deserialize, Serialize};
+
+use crate::ring::NodeId;
+
+/// A [`LocationQuery`] in wire form. The deadline is dropped: it budgets
+/// wall-clock inside one process and cannot meaningfully transfer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireQuery {
+    /// The object being asked about.
+    pub object: MobileObjectId,
+    /// What to compute.
+    pub target: QueryTarget,
+    /// Evaluation time.
+    pub now: SimTime,
+}
+
+impl WireQuery {
+    /// Wire form of `query` (drops any deadline).
+    #[must_use]
+    pub fn from_query(query: &LocationQuery) -> Self {
+        WireQuery {
+            object: query.object.clone(),
+            target: query.target.clone(),
+            now: query.now,
+        }
+    }
+
+    /// The local query this wire form denotes.
+    #[must_use]
+    pub fn to_query(&self) -> LocationQuery {
+        let mut q = LocationQuery::of(self.object.clone()).at(self.now);
+        q.target = self.target.clone();
+        q
+    }
+}
+
+/// A [`CoreError`] flattened for the wire. Carries enough structure for
+/// routing decisions (a [`WireError::NoLocation`] is a real answer, not
+/// a node failure) without dragging the full error graph across.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireError {
+    /// No live location information for the object.
+    NoLocation {
+        /// The object queried.
+        object: String,
+    },
+    /// The named region is unknown on the serving node.
+    UnknownRegion {
+        /// The missing region name.
+        name: String,
+    },
+    /// Readings exist but every producing sensor is quarantined.
+    SensorsQuarantined {
+        /// The object queried.
+        object: String,
+    },
+    /// The rule or subscription failed validation on the serving node.
+    Invalid {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// Anything else, stringified.
+    Other {
+        /// Display form of the original error.
+        message: String,
+    },
+}
+
+impl From<&CoreError> for WireError {
+    fn from(e: &CoreError) -> Self {
+        match e {
+            CoreError::NoLocation { object } => WireError::NoLocation {
+                object: object.clone(),
+            },
+            CoreError::UnknownRegion { name } => WireError::UnknownRegion { name: name.clone() },
+            CoreError::SensorsQuarantined { object } => WireError::SensorsQuarantined {
+                object: object.clone(),
+            },
+            CoreError::InvalidRule { reason } | CoreError::InvalidSubscription { reason } => {
+                WireError::Invalid {
+                    reason: reason.clone(),
+                }
+            }
+            other => WireError::Other {
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::NoLocation { object } => {
+                write!(f, "no live location information for {object:?}")
+            }
+            WireError::UnknownRegion { name } => write!(f, "unknown region {name:?}"),
+            WireError::SensorsQuarantined { object } => {
+                write!(f, "all sensors for {object:?} quarantined")
+            }
+            WireError::Invalid { reason } => write!(f, "invalid: {reason}"),
+            WireError::Other { message } => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One cluster member as the directory sees it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemberInfo {
+    /// The member's id.
+    pub node: NodeId,
+    /// Address of the member's request/response endpoint.
+    pub rpc_addr: String,
+    /// Address of the member's replication delta topic.
+    pub delta_addr: String,
+    /// Address of the member's notification topic.
+    pub notify_addr: String,
+    /// `false` once the directory's heartbeat monitor evicted it.
+    pub alive: bool,
+}
+
+/// The directory's current membership view.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ClusterView {
+    /// All members ever announced, dead or alive, sorted by node id.
+    pub members: Vec<MemberInfo>,
+}
+
+impl ClusterView {
+    /// The member entry for `node`, if announced.
+    #[must_use]
+    pub fn member(&self, node: &NodeId) -> Option<&MemberInfo> {
+        self.members.iter().find(|m| &m.node == node)
+    }
+
+    /// Ids of the members currently considered alive.
+    #[must_use]
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        self.members
+            .iter()
+            .filter(|m| m.alive)
+            .map(|m| m.node.clone())
+            .collect()
+    }
+}
+
+/// Requests understood by the directory service.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DirectoryRequest {
+    /// A node announcing (or re-announcing) itself. Resets its liveness.
+    Announce(MemberInfo),
+    /// A node's periodic liveness beat.
+    Heartbeat(NodeId),
+    /// Fetch the current membership view.
+    List,
+}
+
+/// Directory replies.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DirectoryResponse {
+    /// Acknowledged.
+    Ok,
+    /// The heartbeat names a node the directory does not know (it was
+    /// evicted, or never announced) — the node must re-announce.
+    Unknown,
+    /// The current view.
+    View(ClusterView),
+}
+
+/// One replication message on an owner's delta topic: the last-known-good
+/// fixes of every object the owner touched in one ingest batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Delta {
+    /// Owner-assigned replication sequence, starting at 1 and gapless
+    /// within one owner incarnation. The replica's applied sequence
+    /// trails this; owner seq minus replica applied seq is the delta lag.
+    pub seq: u64,
+    /// Ingest time of the batch that produced these fixes.
+    pub now: SimTime,
+    /// Fresh best-estimate fixes, one per touched object.
+    pub fixes: Vec<LocationFix>,
+}
+
+/// One journaled ingest batch accepted on behalf of a dead peer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalEntry {
+    /// Journal sequence, starting at 1 per journaled-for node.
+    pub seq: u64,
+    /// Ingest time of the batch.
+    pub now: SimTime,
+    /// The batch itself, verbatim as the router sent it.
+    pub outputs: Vec<AdapterOutput>,
+}
+
+/// What a restarting owner receives from its replica to catch up.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HandoffState {
+    /// `true` when the journal had already evicted entries at or after
+    /// the requested sequence: the journal below is the *retained*
+    /// suffix and the caller must treat `last_good` as the only source
+    /// for anything older.
+    pub resync: bool,
+    /// Journaled ingest batches at or after the requested sequence.
+    pub journal: Vec<JournalEntry>,
+    /// The replica's last-known-good fixes for the requesting owner's
+    /// objects (and possibly others; importing extras is harmless).
+    pub last_good: Vec<LocationFix>,
+    /// The next journal sequence the replica will assign.
+    pub next_seq: u64,
+}
+
+/// Per-node counters, served over RPC so a test harness (or operator)
+/// can assemble the cluster-wide ledger.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Latest replication sequence this node published as an owner.
+    pub delta_seq: u64,
+    /// `(peer, seq)`: latest delta sequence applied from each followed
+    /// peer.
+    pub applied: Vec<(NodeId, u64)>,
+    /// Delta messages applied from peers, lifetime.
+    pub deltas_applied: u64,
+    /// Full-state resyncs performed after a replication gap.
+    pub delta_resyncs: u64,
+    /// Journal entries currently retained across all journaled-for
+    /// peers.
+    pub journal_len: u64,
+    /// Ingest batches accepted on behalf of dead peers, lifetime.
+    pub forwarded_ingests: u64,
+    /// Last-known-good seeds applied (from deltas, forwards, and
+    /// handoffs), lifetime.
+    pub lkg_seeds: u64,
+    /// Handoff requests served to restarting peers, lifetime.
+    pub handoffs_served: u64,
+    /// Journal entries replayed into this node during its own catch-up.
+    pub journal_replayed: u64,
+}
+
+/// Requests understood by a partition node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeRequest {
+    /// Ingest sensor output batches for objects this node owns — or,
+    /// when `forwarded_for` names a dead peer, batches the router could
+    /// not deliver to their owner: journaled and applied as
+    /// last-known-good seeds instead of live readings.
+    Ingest {
+        /// The batches.
+        outputs: Vec<AdapterOutput>,
+        /// Ingest time.
+        now: SimTime,
+        /// `Some(owner)` when this is a failover forward for a dead
+        /// owner; `None` for the node's own partition.
+        forwarded_for: Option<NodeId>,
+    },
+    /// Answer a location query (owned objects answer from live fusion;
+    /// replicated objects fall down the degradation ladder to
+    /// last-known-good).
+    Query(WireQuery),
+    /// Register a declarative trigger rule; notifications publish on the
+    /// node's notify topic.
+    SubscribeRule(Rule),
+    /// A restarted owner catching up: journal at or after `from_seq`
+    /// plus last-known-good state.
+    Handoff {
+        /// The restarting owner.
+        for_node: NodeId,
+        /// First journal sequence the owner has not seen.
+        from_seq: u64,
+    },
+    /// Full partition state (for replica resync after a delta gap).
+    FetchState {
+        /// Time used to filter live readings in the export; callers
+        /// that only want `last_good` may pass [`SimTime::ZERO`].
+        now: SimTime,
+    },
+    /// Counter snapshot.
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+/// Partition node replies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeResponse {
+    /// Ingest accepted; how many subscription notifications fired.
+    Ingested {
+        /// Notifications produced by this batch.
+        notifications: u64,
+    },
+    /// A query answer (quality inside says which ladder rung produced
+    /// it).
+    Answer(mw_core::QueryAnswer),
+    /// The query failed on the serving node.
+    Error(WireError),
+    /// Rule registered under this id.
+    Subscribed {
+        /// Node-local subscription id.
+        id: u64,
+    },
+    /// Catch-up state for a restarting owner.
+    Handoff(HandoffState),
+    /// Full partition state.
+    State(PartitionState),
+    /// Counter snapshot.
+    Stats(NodeStats),
+    /// Liveness reply.
+    Pong,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_query_round_trips_sans_deadline() {
+        let q = LocationQuery::of("alice")
+            .in_region("CS/Floor3/3105")
+            .at(SimTime::from_secs(4.0))
+            .within(std::time::Duration::from_millis(5));
+        let wire = WireQuery::from_query(&q);
+        let back = wire.to_query();
+        assert_eq!(back.object, q.object);
+        assert_eq!(back.target, q.target);
+        assert_eq!(back.now, q.now);
+        assert_eq!(back.deadline, None, "deadline does not cross the wire");
+    }
+
+    #[test]
+    fn wire_error_preserves_routing_relevant_shape() {
+        let e = CoreError::NoLocation {
+            object: "bob".into(),
+        };
+        assert_eq!(
+            WireError::from(&e),
+            WireError::NoLocation {
+                object: "bob".into()
+            }
+        );
+        let e = CoreError::UnknownRegion { name: "X".into() };
+        assert_eq!(
+            WireError::from(&e),
+            WireError::UnknownRegion { name: "X".into() }
+        );
+    }
+
+    #[test]
+    fn node_request_serializes_through_the_frame_codec() {
+        let req = NodeRequest::Ingest {
+            outputs: Vec::new(),
+            now: SimTime::from_secs(1.0),
+            forwarded_for: Some("node-a".into()),
+        };
+        let frame = mw_bus::transport::Frame::data(7, &req).unwrap();
+        let back: NodeRequest = frame.decode().unwrap();
+        assert_eq!(back, req);
+    }
+}

@@ -1,0 +1,187 @@
+//! Seeded consistent-hash ring assigning mobile objects to partition
+//! nodes.
+//!
+//! Every process that knows the cluster seed and the member list derives
+//! the same ring, so the router, the nodes, and a chaos-test harness all
+//! agree on object ownership without exchanging any placement state.
+//!
+//! The ring answers *ownership* only. Replica placement is a fixed
+//! node-level pairing — [`HashRing::replica_of`] returns the next node
+//! id in sorted order — because replication is a per-node delta stream,
+//! not a per-key relationship: one owner streams its whole partition to
+//! exactly one follower.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a partition node (e.g. `node-a`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(String);
+
+impl NodeId {
+    /// Creates a node id.
+    #[must_use]
+    pub fn new(id: impl Into<String>) -> Self {
+        NodeId(id.into())
+    }
+
+    /// The id string.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for NodeId {
+    fn from(s: &str) -> Self {
+        NodeId::new(s)
+    }
+}
+
+/// FNV-1a over a byte string — stable across processes and platforms,
+/// unlike `DefaultHasher` whose algorithm is explicitly unspecified.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64 finalizer — spreads the seed and vnode index into the
+/// point hashes.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Virtual nodes per member. Enough that key balance stays within 2x of
+/// ideal for the cluster sizes we target (3–16 nodes; see the property
+/// tests).
+pub const VNODES: usize = 64;
+
+/// The seeded consistent-hash ring.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    seed: u64,
+    /// Members in sorted order (also the replica-pairing order).
+    nodes: Vec<NodeId>,
+    /// `(point hash, index into nodes)`, sorted by hash.
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// Builds the ring for `nodes` under `seed`. Duplicate ids collapse;
+    /// order of the input does not matter.
+    #[must_use]
+    pub fn new(seed: u64, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut nodes: Vec<NodeId> = nodes.into_iter().collect();
+        nodes.sort();
+        nodes.dedup();
+        let mut points = Vec::with_capacity(nodes.len() * VNODES);
+        for (idx, node) in nodes.iter().enumerate() {
+            let base = fnv64(node.as_str().as_bytes());
+            for v in 0..VNODES {
+                points.push((mix(seed ^ base ^ mix(v as u64)), idx));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            seed,
+            nodes,
+            points,
+        }
+    }
+
+    /// The members, in sorted order.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The node owning `key`, or `None` on an empty ring.
+    #[must_use]
+    pub fn owner(&self, key: &str) -> Option<&NodeId> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = mix(self.seed ^ fnv64(key.as_bytes()));
+        let at = self.points.partition_point(|&(p, _)| p < h);
+        let (_, idx) = self.points[at % self.points.len()];
+        Some(&self.nodes[idx])
+    }
+
+    /// The fixed replica of `node`: the next member in sorted order
+    /// (wrapping). `None` when `node` is not a member or is the only
+    /// one.
+    #[must_use]
+    pub fn replica_of(&self, node: &NodeId) -> Option<&NodeId> {
+        if self.nodes.len() < 2 {
+            return None;
+        }
+        let at = self.nodes.iter().position(|n| n == node)?;
+        Some(&self.nodes[(at + 1) % self.nodes.len()])
+    }
+
+    /// The ring with `node` added (no-op if already a member).
+    #[must_use]
+    pub fn with_node(&self, node: NodeId) -> HashRing {
+        let mut nodes = self.nodes.clone();
+        nodes.push(node);
+        HashRing::new(self.seed, nodes)
+    }
+
+    /// The ring with `node` removed (no-op if not a member).
+    #[must_use]
+    pub fn without_node(&self, node: &NodeId) -> HashRing {
+        let nodes = self.nodes.iter().filter(|n| *n != node).cloned();
+        HashRing::new(self.seed, nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_inputs_same_ring_any_order() {
+        let a = HashRing::new(9, ["b".into(), "a".into(), "c".into()]);
+        let b = HashRing::new(9, ["c".into(), "a".into(), "b".into(), "a".into()]);
+        for key in ["obj-0", "obj-1", "alice-badge", "tom-pda"] {
+            assert_eq!(a.owner(key), b.owner(key));
+        }
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = HashRing::new(0, []);
+        assert_eq!(ring.owner("x"), None);
+        assert_eq!(ring.replica_of(&"a".into()), None);
+    }
+
+    #[test]
+    fn replica_pairing_is_the_sorted_successor() {
+        let ring = HashRing::new(1, ["a".into(), "b".into(), "c".into()]);
+        assert_eq!(ring.replica_of(&"a".into()), Some(&"b".into()));
+        assert_eq!(ring.replica_of(&"b".into()), Some(&"c".into()));
+        assert_eq!(ring.replica_of(&"c".into()), Some(&"a".into()));
+        assert_eq!(ring.replica_of(&"zz".into()), None, "non-member");
+    }
+
+    #[test]
+    fn single_node_owns_everything_but_has_no_replica() {
+        let ring = HashRing::new(5, ["solo".into()]);
+        assert_eq!(ring.owner("anything"), Some(&"solo".into()));
+        assert_eq!(ring.replica_of(&"solo".into()), None);
+    }
+}

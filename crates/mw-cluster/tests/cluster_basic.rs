@@ -1,0 +1,285 @@
+//! In-process integration of the full cluster: three partition nodes,
+//! the directory, and the router — normal operation, owner death with
+//! replica failover (honestly degraded answers), and restart recovery
+//! back to `Full` quality.
+//!
+//! Everything runs on real TCP through the real frame protocol; only
+//! the process boundary is folded away (the multi-process variant is
+//! `cluster_chaos.rs`).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use mw_cluster::{
+    ClusterRouter, DirectoryOptions, DirectoryServer, NodeConfig, NodeId, PartitionNode,
+    RouterConfig,
+};
+use mw_core::{AnswerQuality, LocationQuery, Predicate, Rule};
+use mw_obs::MetricsRegistry;
+use mw_sim::building::paper_floor;
+use mw_sim::ClusterScenario;
+
+const SEED: u64 = 2004;
+const N_OBJECTS: usize = 8;
+
+fn start_node(name: &str, directory: std::net::SocketAddr) -> PartitionNode {
+    let floor = paper_floor();
+    let mut config = NodeConfig::new(name, directory);
+    config.heartbeat_interval = Duration::from_millis(50);
+    PartitionNode::start(config, floor.db, floor.universe).expect("node starts")
+}
+
+/// Ingest one scenario step through the router and return the step's
+/// evaluation time.
+fn drive_step(router: &ClusterRouter, scenario: &ClusterScenario, step: u64) -> mw_model::SimTime {
+    let now = ClusterScenario::now_at(step);
+    router
+        .ingest(scenario.step_outputs(step), now)
+        .unwrap_or_else(|e| panic!("ingest at step {step} failed: {e}"));
+    now
+}
+
+#[test]
+fn cluster_serves_degrades_and_recovers() {
+    let registry = MetricsRegistry::new();
+    let directory = DirectoryServer::bind(
+        "127.0.0.1:0",
+        DirectoryOptions {
+            heartbeat_timeout: Duration::from_millis(400),
+            sweep_interval: Duration::from_millis(50),
+            metrics: Some(registry.clone()),
+        },
+    )
+    .expect("directory binds");
+
+    let mut nodes: HashMap<NodeId, PartitionNode> = HashMap::new();
+    for name in ["node-a", "node-b", "node-c"] {
+        nodes.insert(name.into(), start_node(name, directory.local_addr()));
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while directory.view().alive_nodes().len() < 3 {
+        assert!(Instant::now() < deadline, "nodes never announced");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let router = ClusterRouter::connect(RouterConfig {
+        seed: SEED,
+        directory: directory.local_addr(),
+        rpc_timeout: Duration::from_secs(2),
+        metrics: Some(registry.clone()),
+    })
+    .expect("router connects");
+    let scenario = ClusterScenario::new(SEED, N_OBJECTS);
+    let floor = paper_floor();
+
+    // A movement rule on obj-0: fires on entry and on every room jump
+    // (rooms are >= 20 ft apart; in-room jitter stays under the
+    // threshold), so it keeps firing after its owner restarts with a
+    // blank rule table and the router re-registers it.
+    let inbox = router.notifications();
+    let rule = Rule::when(Predicate::in_region(floor.universe, 0.2))
+        .object("obj-0")
+        .on_move(5.0)
+        .build()
+        .expect("valid rule");
+    router.subscribe_rule(rule).expect("rule routes");
+
+    // --- Phase 1: everything healthy -> Full answers, correct rooms ---
+    let mut degraded_seen: u64 = 0;
+    for step in 0..8 {
+        let now = drive_step(&router, &scenario, step);
+        if !ClusterScenario::is_settled(step) {
+            continue;
+        }
+        for (idx, object) in scenario.objects().iter().enumerate() {
+            let answer = router
+                .query(&LocationQuery::of(object.clone()).at(now))
+                .unwrap_or_else(|e| panic!("query {object} at {step}: {e}"));
+            assert_eq!(
+                answer.quality(),
+                AnswerQuality::Full,
+                "step {step} {object}"
+            );
+            let (room, rect) = scenario.expected_room(idx, step);
+            let fix = answer.fix().expect("fix answer");
+            assert!(
+                rect.contains_point(fix.region.center()),
+                "step {step}: {object} reported outside {room}"
+            );
+        }
+    }
+    let first_notification = inbox
+        .recv_timeout(Duration::from_secs(5))
+        .expect("rule fired pre-kill");
+    assert_eq!(first_notification.object, "obj-0".into());
+
+    // --- Phase 2: kill obj-0's owner; stay inside the first dwell
+    // window (steps < 16) so every last-known-good seed agrees on the
+    // room regardless of arrival order. ---
+    let victim = router.owner_of("obj-0").expect("ring has members");
+    let victim_objects: Vec<usize> = (0..N_OBJECTS)
+        .filter(|i| router.owner_of(&format!("obj-{i}")) == Some(victim.clone()))
+        .collect();
+    drop(nodes.remove(&victim).expect("victim is one of ours"));
+
+    let mut forwarded_expected: u64 = 0;
+    for step in 8..14 {
+        let now = drive_step(&router, &scenario, step);
+        forwarded_expected += 1; // one batch per step for the dead owner
+        for (idx, object) in scenario.objects().iter().enumerate() {
+            let answer = router
+                .query(&LocationQuery::of(object.clone()).at(now))
+                .unwrap_or_else(|e| panic!("dead-phase query {object} at {step}: {e}"));
+            let expected = if victim_objects.contains(&idx) {
+                AnswerQuality::LastKnownGood
+            } else {
+                AnswerQuality::Full
+            };
+            assert_eq!(answer.quality(), expected, "step {step} {object}");
+            if expected != AnswerQuality::Full {
+                degraded_seen += 1;
+            }
+            let (room, rect) = scenario.expected_room(idx, step);
+            let fix = answer.fix().expect("fix answer");
+            assert!(
+                rect.contains_point(fix.region.center()),
+                "step {step}: {object} reported outside {room} (quality {:?})",
+                answer.quality()
+            );
+        }
+    }
+    assert_eq!(router.stats().failovers, 1, "one owner death, one failover");
+    assert_eq!(router.suspects(), vec![victim.clone()]);
+
+    // The directory notices the silence and evicts exactly once.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while directory.stats().evictions < 1 {
+        assert!(
+            Instant::now() < deadline,
+            "directory never evicted {victim}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert_eq!(directory.stats().evictions, 1);
+    assert!(
+        !directory
+            .view()
+            .member(&victim)
+            .expect("still listed")
+            .alive
+    );
+
+    // --- Phase 3: restart the victim; it catches up from its replica's
+    // journal and the router routes to it again. ---
+    let replica = router.replica_of(&victim).expect("victim has a replica");
+    let replica_stats = router.node_stats(&replica).expect("replica stats");
+    assert_eq!(replica_stats.forwarded_ingests, forwarded_expected);
+    assert_eq!(replica_stats.journal_len, forwarded_expected);
+
+    nodes.insert(
+        victim.clone(),
+        start_node(victim.as_str(), directory.local_addr()),
+    );
+    router.refresh().expect("refresh after restart");
+    assert!(router.suspects().is_empty(), "revival clears suspicion");
+    assert_eq!(
+        router.stats().rules_reregistered,
+        1,
+        "the obj-0 rule lands on the restarted owner"
+    );
+
+    let revived_stats = router.node_stats(&victim).expect("revived stats");
+    assert_eq!(
+        revived_stats.journal_replayed, forwarded_expected,
+        "catch-up replays exactly what the replica journaled"
+    );
+
+    for step in 14..24 {
+        let now = drive_step(&router, &scenario, step);
+        // Give the fresh dwell window time to settle before asserting.
+        if step < 20 {
+            continue;
+        }
+        for (idx, object) in scenario.objects().iter().enumerate() {
+            let answer = router
+                .query(&LocationQuery::of(object.clone()).at(now))
+                .unwrap_or_else(|e| panic!("post-restart query {object} at {step}: {e}"));
+            assert_eq!(
+                answer.quality(),
+                AnswerQuality::Full,
+                "step {step} {object}: quality must return to Full"
+            );
+            let (room, rect) = scenario.expected_room(idx, step);
+            assert!(
+                rect.contains_point(answer.fix().expect("fix").region.center()),
+                "step {step}: {object} reported outside {room}"
+            );
+        }
+    }
+
+    // Restart wiped the owner's rule table; the re-registered rule must
+    // fire again through the *new* notify topic. Keep the world moving
+    // while we wait — each room jump is another chance to fire, so a
+    // single publication racing the fresh pump's handshake can't wedge
+    // the test.
+    let mut step = 24;
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let mut post_restart_fired = false;
+    while !post_restart_fired {
+        drive_step(&router, &scenario, step);
+        step += 1;
+        std::thread::sleep(Duration::from_millis(30));
+        while let Some(n) = inbox.try_recv() {
+            if n.at > ClusterScenario::now_at(13) {
+                assert_eq!(n.object, "obj-0".into());
+                post_restart_fired = true;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "re-registered rule never fired after restart"
+        );
+    }
+
+    // --- Quiesce: drive idle steps until every replica has applied its
+    // peer's latest delta — the ledger's "delta lag is zero" line. ---
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        drive_step(&router, &scenario, step);
+        step += 1;
+        std::thread::sleep(Duration::from_millis(50));
+        let lag_free = ["node-a", "node-b", "node-c"].iter().all(|name| {
+            let node: NodeId = (*name).into();
+            let replica = router.replica_of(&node).expect("replica");
+            let owner_stats = router.node_stats(&node).expect("owner stats");
+            let replica_stats = router.node_stats(&replica).expect("replica stats");
+            let applied = replica_stats
+                .applied
+                .iter()
+                .find(|(peer, _)| peer == &node)
+                .map_or(0, |(_, seq)| *seq);
+            applied == owner_stats.delta_seq
+        });
+        if lag_free {
+            break;
+        }
+        assert!(Instant::now() < deadline, "delta lag never reached zero");
+    }
+
+    // Final ledger.
+    let stats = router.stats();
+    assert_eq!(stats.failovers, 1);
+    assert_eq!(stats.forwarded_ingests, forwarded_expected);
+    assert_eq!(
+        stats.degraded_answers, degraded_seen,
+        "router counted exactly the degraded answers the harness saw"
+    );
+    assert_eq!(directory.stats().evictions, 1);
+    // The shared registry mirrors the same ledger under cluster.*.
+    assert_eq!(registry.counter("cluster.router.failovers").get(), 1);
+    assert_eq!(
+        registry.counter("cluster.router.degraded_answers").get(),
+        degraded_seen
+    );
+    assert_eq!(registry.counter("cluster.directory.evictions").get(), 1);
+}

@@ -1,0 +1,284 @@
+//! Multi-process chaos proof: three `partition_node` child processes,
+//! a scripted kill/restart fault schedule, and an *exact* `cluster.*`
+//! metrics ledger asserted against it — failovers, degraded answers,
+//! evictions, journal replay, and delta lag all have to land on the
+//! numbers the schedule predicts, deterministically, under a fixed
+//! seed.
+//!
+//! Unlike `cluster_basic.rs`, the nodes here really die: SIGKILL, no
+//! shutdown hooks, sockets reset by the OS. The restarted process has
+//! to rebuild everything from its replica's journal.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use mw_cluster::{ClusterRouter, DirectoryOptions, DirectoryServer, NodeId, RouterConfig};
+use mw_core::{AnswerQuality, LocationQuery, Predicate, Rule};
+use mw_obs::MetricsRegistry;
+use mw_sim::building::paper_floor;
+use mw_sim::ClusterScenario;
+
+const SEED: u64 = 7031;
+const N_OBJECTS: usize = 8;
+const NODE_NAMES: [&str; 3] = ["node-a", "node-b", "node-c"];
+
+/// A partition node as a real child process. Killed (not shut down) on
+/// drop so a failing test never leaks processes.
+struct NodeProc {
+    child: Child,
+    // Held open: the node serves until its stdin closes.
+    _stdin: ChildStdin,
+}
+
+impl NodeProc {
+    fn spawn(name: &str, directory: std::net::SocketAddr) -> NodeProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_partition_node"))
+            .args(["--node-id", name])
+            .args(["--directory", &directory.to_string()])
+            .args(["--heartbeat-ms", "50"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn partition_node");
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut ready = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut ready)
+            .expect("read READY line");
+        assert!(
+            ready.starts_with(&format!("READY node={name} ")),
+            "unexpected startup line from {name}: {ready:?}"
+        );
+        NodeProc {
+            child,
+            _stdin: stdin,
+        }
+    }
+
+    /// SIGKILL — the point of the exercise. No handlers run, the OS
+    /// resets every socket the node held.
+    fn kill(mut self) {
+        self.child.kill().expect("kill partition_node");
+        self.child.wait().expect("reap partition_node");
+    }
+}
+
+impl Drop for NodeProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn scripted_kill_restart_matches_exact_metrics_ledger() {
+    let registry = MetricsRegistry::new();
+    let directory = DirectoryServer::bind(
+        "127.0.0.1:0",
+        DirectoryOptions {
+            heartbeat_timeout: Duration::from_millis(400),
+            sweep_interval: Duration::from_millis(50),
+            metrics: Some(registry.clone()),
+        },
+    )
+    .expect("directory binds");
+
+    let mut procs: HashMap<NodeId, NodeProc> = HashMap::new();
+    for name in NODE_NAMES {
+        procs.insert(name.into(), NodeProc::spawn(name, directory.local_addr()));
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while directory.view().alive_nodes().len() < NODE_NAMES.len() {
+        assert!(Instant::now() < deadline, "children never announced");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let router = ClusterRouter::connect(RouterConfig {
+        seed: SEED,
+        directory: directory.local_addr(),
+        rpc_timeout: Duration::from_secs(2),
+        metrics: Some(registry.clone()),
+    })
+    .expect("router connects");
+    let scenario = ClusterScenario::new(SEED, N_OBJECTS);
+    let floor = paper_floor();
+
+    let inbox = router.notifications();
+    router
+        .subscribe_rule(
+            Rule::when(Predicate::in_region(floor.universe, 0.2))
+                .object("obj-0")
+                .on_move(5.0)
+                .build()
+                .expect("valid rule"),
+        )
+        .expect("rule routes");
+
+    let drive = |step: u64| {
+        let now = ClusterScenario::now_at(step);
+        router
+            .ingest(scenario.step_outputs(step), now)
+            .unwrap_or_else(|e| panic!("ingest at step {step} failed: {e}"));
+        now
+    };
+
+    // --- The fault schedule, and the ledger it predicts -------------
+    // steps 0..8   healthy      -> all Full
+    // step  8      SIGKILL obj-0's owner
+    // steps 8..14  degraded     -> victim's objects LastKnownGood
+    // step  14     restart victim, router refresh
+    // steps 14..   recovered    -> all Full by step 20
+    let victim = router.owner_of("obj-0").expect("ring has members");
+    let victim_objects: Vec<usize> = (0..N_OBJECTS)
+        .filter(|i| router.owner_of(&format!("obj-{i}")) == Some(victim.clone()))
+        .collect();
+    let expected_failovers: u64 = 1;
+    let expected_evictions: u64 = 1;
+    let expected_forwarded: u64 = 6; // one batch per dead-phase step
+    let expected_degraded: u64 = expected_forwarded * victim_objects.len() as u64;
+    let expected_reregistered: u64 = 1; // the obj-0 rule
+
+    // Healthy phase.
+    for step in 0..8 {
+        let now = drive(step);
+        if !ClusterScenario::is_settled(step) {
+            continue;
+        }
+        for object in scenario.objects() {
+            let answer = router
+                .query(&LocationQuery::of(object.clone()).at(now))
+                .unwrap_or_else(|e| panic!("query {object} at {step}: {e}"));
+            assert_eq!(
+                answer.quality(),
+                AnswerQuality::Full,
+                "step {step} {object}"
+            );
+        }
+    }
+    assert!(
+        inbox.recv_timeout(Duration::from_secs(5)).is_some(),
+        "rule fired pre-kill"
+    );
+
+    // Kill. Every answer for the victim's objects must degrade
+    // honestly, and every one of them is queried every dead step.
+    procs.remove(&victim).expect("victim is one of ours").kill();
+    for step in 8..14 {
+        let now = drive(step);
+        for (idx, object) in scenario.objects().iter().enumerate() {
+            let answer = router
+                .query(&LocationQuery::of(object.clone()).at(now))
+                .unwrap_or_else(|e| panic!("dead-phase query {object} at {step}: {e}"));
+            let expected = if victim_objects.contains(&idx) {
+                AnswerQuality::LastKnownGood
+            } else {
+                AnswerQuality::Full
+            };
+            assert_eq!(answer.quality(), expected, "step {step} {object}");
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while directory.stats().evictions < expected_evictions {
+        assert!(
+            Instant::now() < deadline,
+            "directory never evicted {victim}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // Restart from nothing: the child must catch up from its replica.
+    procs.insert(
+        victim.clone(),
+        NodeProc::spawn(victim.as_str(), directory.local_addr()),
+    );
+    router.refresh().expect("refresh after restart");
+    assert!(router.suspects().is_empty(), "revival clears suspicion");
+    let revived = router.node_stats(&victim).expect("revived stats");
+    assert_eq!(
+        revived.journal_replayed, expected_forwarded,
+        "restart replays exactly the journaled dead-phase batches"
+    );
+
+    // Recovered phase; then drive until the re-registered rule fires
+    // and every replica has fully applied its peer's deltas.
+    for step in 14..24 {
+        let now = drive(step);
+        if step < 20 {
+            continue;
+        }
+        for object in scenario.objects() {
+            let answer = router
+                .query(&LocationQuery::of(object.clone()).at(now))
+                .unwrap_or_else(|e| panic!("post-restart query {object} at {step}: {e}"));
+            assert_eq!(
+                answer.quality(),
+                AnswerQuality::Full,
+                "step {step} {object}: quality must return to Full"
+            );
+        }
+    }
+    let mut step = 24;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut rule_refired = false;
+    let mut lag_free = false;
+    while !(rule_refired && lag_free) {
+        drive(step);
+        step += 1;
+        std::thread::sleep(Duration::from_millis(30));
+        while let Some(n) = inbox.try_recv() {
+            if n.at > ClusterScenario::now_at(13) {
+                rule_refired = true;
+            }
+        }
+        lag_free = NODE_NAMES.iter().all(|name| {
+            let node: NodeId = (*name).into();
+            let replica = router.replica_of(&node).expect("replica");
+            let owner = router.node_stats(&node).expect("owner stats");
+            let replica = router.node_stats(&replica).expect("replica stats");
+            let applied = replica
+                .applied
+                .iter()
+                .find(|(peer, _)| peer == &node)
+                .map_or(0, |(_, seq)| *seq);
+            applied == owner.delta_seq
+        });
+        assert!(
+            Instant::now() < deadline,
+            "never converged (rule refired: {rule_refired}, delta lag clear: {lag_free})"
+        );
+    }
+
+    // --- The exact ledger -------------------------------------------
+    assert_eq!(
+        registry.counter("cluster.router.failovers").get(),
+        expected_failovers
+    );
+    assert_eq!(
+        registry.counter("cluster.router.degraded_answers").get(),
+        expected_degraded
+    );
+    assert_eq!(
+        registry.counter("cluster.router.forwarded_ingests").get(),
+        expected_forwarded
+    );
+    assert_eq!(
+        registry.counter("cluster.router.rules_reregistered").get(),
+        expected_reregistered
+    );
+    assert_eq!(
+        registry.counter("cluster.directory.evictions").get(),
+        expected_evictions
+    );
+    assert_eq!(
+        registry.counter("cluster.directory.announcements").get(),
+        NODE_NAMES.len() as u64 + 1, // three joins + one rejoin
+    );
+    let stats = router.stats();
+    assert_eq!(stats.failovers, expected_failovers);
+    assert_eq!(stats.degraded_answers, expected_degraded);
+    assert_eq!(stats.forwarded_ingests, expected_forwarded);
+    assert_eq!(stats.rules_reregistered, expected_reregistered);
+}

@@ -1,0 +1,102 @@
+//! Property tests of the consistent-hash ring: balance and minimal
+//! remapping — the two promises routing correctness leans on.
+
+use std::collections::HashMap;
+
+use mw_cluster::{HashRing, NodeId};
+use proptest::prelude::*;
+
+const KEYS: usize = 4096;
+
+fn nodes(n: usize) -> Vec<NodeId> {
+    (0..n)
+        .map(|i| NodeId::new(format!("node-{i:02}")))
+        .collect()
+}
+
+fn keys() -> Vec<String> {
+    (0..KEYS).map(|i| format!("obj-{i}")).collect()
+}
+
+fn counts(ring: &HashRing) -> HashMap<NodeId, usize> {
+    let mut counts: HashMap<NodeId, usize> = HashMap::new();
+    for key in keys() {
+        *counts
+            .entry(ring.owner(&key).expect("non-empty").clone())
+            .or_default() += 1;
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every node's key share stays within 2x of the ideal share, for
+    /// every cluster size we target (3–16 nodes) and any seed.
+    #[test]
+    fn keys_balance_within_2x_of_ideal(seed in 0u64..1_000_000u64, n in 3usize..17usize) {
+        let ring = HashRing::new(seed, nodes(n));
+        let counts = counts(&ring);
+        let ideal = KEYS as f64 / n as f64;
+        for node in ring.nodes() {
+            let got = counts.get(node).copied().unwrap_or(0) as f64;
+            prop_assert!(
+                got <= 2.0 * ideal,
+                "{node} owns {got} keys, over 2x ideal {ideal:.0} (n={n}, seed={seed})"
+            );
+            prop_assert!(
+                got >= ideal / 2.0,
+                "{node} owns {got} keys, under half of ideal {ideal:.0} (n={n}, seed={seed})"
+            );
+        }
+    }
+
+    /// Adding a node only moves keys *to* the new node — nothing
+    /// shuffles between survivors — and the moved range is minimal
+    /// (close to the new node's fair share).
+    #[test]
+    fn join_remaps_only_onto_the_new_node(seed in 0u64..1_000_000u64, n in 3usize..17usize) {
+        let ring = HashRing::new(seed, nodes(n));
+        let joined = ring.with_node(NodeId::new("node-new"));
+        let mut moved = 0usize;
+        for key in keys() {
+            let before = ring.owner(&key).expect("non-empty");
+            let after = joined.owner(&key).expect("non-empty");
+            if before != after {
+                prop_assert_eq!(
+                    after,
+                    &NodeId::new("node-new"),
+                    "key {} moved between survivors ({} -> {})", key, before, after
+                );
+                moved += 1;
+            }
+        }
+        let fair = KEYS as f64 / (n + 1) as f64;
+        prop_assert!(moved > 0, "a join must take over some keys");
+        prop_assert!(
+            (moved as f64) <= 2.0 * fair,
+            "join moved {moved} keys, over 2x the fair share {fair:.0} (n={n}, seed={seed})"
+        );
+    }
+
+    /// Removing a node only moves the keys it owned; every other key
+    /// keeps its owner.
+    #[test]
+    fn leave_remaps_only_the_departed_nodes_keys(seed in 0u64..1_000_000u64, n in 3usize..17usize) {
+        let ring = HashRing::new(seed, nodes(n));
+        let departed = ring.nodes()[0].clone();
+        let shrunk = ring.without_node(&departed);
+        for key in keys() {
+            let before = ring.owner(&key).expect("non-empty").clone();
+            let after = shrunk.owner(&key).expect("non-empty").clone();
+            if before == departed {
+                prop_assert!(after != departed, "departed node still owns {key}");
+            } else {
+                prop_assert_eq!(
+                    &before, &after,
+                    "key {} not owned by the departed node moved anyway", key
+                );
+            }
+        }
+    }
+}

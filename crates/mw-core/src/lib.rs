@@ -42,8 +42,8 @@ pub use query::{AnswerQuality, LocationQuery, QueryAnswer, QueryTarget};
 pub use relations::{CoLocation, ObjectRelation, RegionRelation};
 pub use rules::{Predicate, Rule, RuleBuilder};
 pub use service::{
-    DegradationPolicy, LocationRequest, LocationResponse, LocationService, ReadPath, ServiceTuning,
-    SharedNotification,
+    DegradationPolicy, LocationRequest, LocationResponse, LocationService, PartitionState,
+    ReadPath, ServiceTuning, SharedNotification,
 };
 pub use subscription::{
     DeliveryPolicy, SubscriptionId, SubscriptionSpec, SubscriptionSpecBuilder, SubscriptionTrigger,

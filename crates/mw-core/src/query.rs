@@ -17,11 +17,12 @@ use mw_fusion::ProbabilityBand;
 use mw_geometry::Rect;
 use mw_model::SimTime;
 use mw_sensors::MobileObjectId;
+use serde::{Deserialize, Serialize};
 
 use crate::LocationFix;
 
 /// What the query should compute about the object.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum QueryTarget {
     /// The best single estimate ("where is X?").
     Fix,
@@ -117,7 +118,7 @@ impl LocationQuery {
 /// How good an answer is — which rung of the degradation ladder produced
 /// it. The service never silently hands back worse numbers: any answer
 /// computed from less than the full evidence says so here.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AnswerQuality {
     /// Full fusion over every live reading.
     Full,
@@ -138,7 +139,7 @@ impl AnswerQuality {
 }
 
 /// The payload of a [`QueryAnswer`], shaped by the query's target.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum AnswerBody {
     /// Answer to a fix query.
     Fix(LocationFix),
@@ -157,7 +158,7 @@ enum AnswerBody {
 
 /// The answer to a [`LocationQuery`]: a target-shaped payload plus the
 /// [`AnswerQuality`] rung that produced it.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QueryAnswer {
     body: AnswerBody,
     quality: AnswerQuality,

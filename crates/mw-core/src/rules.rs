@@ -66,6 +66,7 @@ use mw_fusion::{BandThresholds, ProbabilityBand, SharedFusion};
 use mw_geometry::{Point, Rect};
 use mw_model::{SimDuration, SimTime};
 use mw_sensors::MobileObjectId;
+use serde::{Deserialize, Serialize};
 
 use crate::relations;
 use crate::subscription::{DeliveryPolicy, SubscriptionId, SubscriptionSpec, SubscriptionTrigger};
@@ -81,7 +82,7 @@ use crate::{CoreError, LocationFix};
 /// [`not`](Predicate::not) and [`for_at_least`](Predicate::for_at_least).
 /// Structurally-equal sub-predicates across rules share one DAG node
 /// after compilation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Predicate {
     /// The object is inside `region` with probability at least
     /// `min_probability` (and at least `min_band`, when set) — the §4.3
@@ -309,7 +310,7 @@ impl Predicate {
 /// A legacy [`SubscriptionSpec`] compiles to a one-atom rule via
 /// [`From`] — `subscribe(spec)` is exactly
 /// `subscribe_rule(Rule::from(spec))`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Rule {
     /// The condition.
     pub predicate: Predicate,

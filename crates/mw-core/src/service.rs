@@ -545,6 +545,32 @@ impl Shard {
         }
     }
 
+    /// Copies the shard's live readings and last-known-good fixes out
+    /// for a partition handoff snapshot.
+    fn export_state(&self, now: SimTime) -> (Vec<SensorReading>, Vec<LocationFix>) {
+        match self {
+            Shard::Locked(shard) => {
+                let state = shard.read();
+                (
+                    state.db.readings().live_readings(now).cloned().collect(),
+                    state.last_good.values().cloned().collect(),
+                )
+            }
+            Shard::LeftRight(shard) => {
+                let readings = shard
+                    .state
+                    .read()
+                    .db
+                    .readings()
+                    .live_readings(now)
+                    .cloned()
+                    .collect();
+                let fixes = shard.aux.read().last_good.values().cloned().collect();
+                (readings, fixes)
+            }
+        }
+    }
+
     /// Bulk seed-reading migration at construction (no triggers, no
     /// epoch bumps — mirrors `readings_mut().insert` on the locked
     /// path).
@@ -658,6 +684,29 @@ fn excluded_fingerprint(excluded: Option<&HashSet<SensorId>>) -> u64 {
         combined ^= hasher.finish();
     }
     combined
+}
+
+/// A serializable snapshot of one partition's per-object state — live
+/// sensor readings plus last-known-good fixes — exchanged between
+/// cluster nodes when a restarted partition fetches its state back from
+/// the replica that covered for it (see
+/// [`LocationService::export_partition_state`] /
+/// [`LocationService::import_partition_state`]).
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PartitionState {
+    /// Readings still live at export time, sorted by
+    /// (object, sensor, detection time).
+    pub readings: Vec<SensorReading>,
+    /// Last-known-good fixes, sorted by object.
+    pub last_good: Vec<LocationFix>,
+}
+
+impl PartitionState {
+    /// `true` when the snapshot carries nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.readings.is_empty() && self.last_good.is_empty()
+    }
 }
 
 /// How a supervised service degrades when fusion has nothing to work
@@ -1266,6 +1315,72 @@ impl LocationService {
     /// and [`tracked_objects`](LocationService::tracked_objects).
     pub fn with_db<R>(&self, f: impl FnOnce(&SpatialDatabase) -> R) -> R {
         f(&self.statics.read())
+    }
+
+    // --- partition handoff (cluster state export/import) -------------------
+
+    /// Snapshots this service's per-object state for a cluster partition
+    /// handoff: every reading still live at `now` plus every
+    /// last-known-good fix, in a deterministic (sorted) order so two
+    /// exports of the same state are byte-identical on the wire.
+    ///
+    /// The snapshot is evidence that already passed this node's
+    /// supervision gates; importing it on a peer
+    /// ([`import_partition_state`](LocationService::import_partition_state))
+    /// does not re-admit it.
+    #[must_use]
+    pub fn export_partition_state(&self, now: SimTime) -> PartitionState {
+        let mut readings: Vec<SensorReading> = Vec::new();
+        let mut last_good: Vec<LocationFix> = Vec::new();
+        for shard in self.shards.iter() {
+            let (r, f) = shard.export_state(now);
+            readings.extend(r);
+            last_good.extend(f);
+        }
+        readings.sort_by(|a, b| {
+            (&a.object, &a.sensor_id)
+                .cmp(&(&b.object, &b.sensor_id))
+                .then_with(|| {
+                    a.detected_at
+                        .partial_cmp(&b.detected_at)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+        });
+        last_good.sort_by(|a, b| a.object.cmp(&b.object));
+        PartitionState {
+            readings,
+            last_good,
+        }
+    }
+
+    /// Imports a peer's partition snapshot: readings go through the
+    /// regular shard insert path (epoch bumps, cache invalidation,
+    /// supersede rules) *without* supervisor re-admission — the source
+    /// node already admitted them — and last-known-good fixes seed the
+    /// degradation ladder's LKG rung. Returns how many readings were
+    /// imported.
+    pub fn import_partition_state(&self, state: PartitionState, now: SimTime) -> usize {
+        let imported = state.readings.len();
+        let mut ops: HashMap<usize, Vec<ShardOp>> = HashMap::new();
+        for reading in state.readings {
+            ops.entry(self.shard_index(&reading.object))
+                .or_default()
+                .push(ShardOp::Insert(reading));
+        }
+        self.apply_ops(ops, now);
+        for fix in state.last_good {
+            self.import_last_good(fix);
+        }
+        imported
+    }
+
+    /// Seeds one last-known-good fix, as a replica applying a peer's
+    /// state delta does. The fix only surfaces through the degradation
+    /// ladder (`quality = LastKnownGood`) on a supervised service, and a
+    /// locally computed fix for the same object overwrites it.
+    pub fn import_last_good(&self, fix: LocationFix) {
+        let shard = &self.shards[self.shard_index(&fix.object)];
+        shard.record_last_good(&fix.object.clone(), fix);
     }
 
     // --- ingestion ---------------------------------------------------------

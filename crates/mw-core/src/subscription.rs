@@ -31,7 +31,7 @@ impl fmt::Display for SubscriptionId {
 /// 3105"); applications also asked for the mirror image (leaving) and for
 /// movement tracking while inside (the Follow-Me proxy re-homes a session
 /// when the user moves far enough within the covered area).
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum SubscriptionTrigger {
     /// Fire on the rising edge: the condition was false and became true.
     #[default]
@@ -50,7 +50,7 @@ pub enum SubscriptionTrigger {
 /// How notifications should be queued for a consumer created alongside a
 /// subscription (see
 /// [`LocationService::subscribe_with_inbox`](crate::LocationService::subscribe_with_inbox)).
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum DeliveryPolicy {
     /// An unbounded inbox: nothing is ever dropped, memory grows with lag.
     #[default]

@@ -56,7 +56,7 @@ pub struct Revocation {
 
 /// What an adapter emits for one native event: zero or more readings plus
 /// zero or more revocations of earlier readings.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct AdapterOutput {
     /// New readings in the common representation.
     pub readings: Vec<SensorReading>,

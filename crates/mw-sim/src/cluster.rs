@@ -1,0 +1,215 @@
+//! Deterministic scenario driver for multi-node cluster experiments.
+//!
+//! Multi-process chaos tests need every process — router harness,
+//! partition nodes, and the assertions at the end — to agree on the
+//! world without sharing any state at runtime. [`ClusterScenario`] is
+//! that shared world: a pure function of `(seed, step)`. Two processes
+//! constructing it from the same seed derive bit-identical sensor
+//! readings and the same ground-truth room schedule, so the harness can
+//! ingest through one node, kill it, query its replica, and still know
+//! exactly which answer is correct.
+//!
+//! Objects dwell in a room for [`ClusterScenario::DWELL_STEPS`] steps
+//! and then jump to the next scheduled room. Readings carry a short
+//! time-to-live so that, two steps into a dwell window, readings from
+//! the previous room have expired and a fused answer can only reflect
+//! the current room — [`ClusterScenario::is_settled`] tells callers
+//! when a step is safe to assert room containment on.
+
+use mw_geometry::{Point, Rect};
+use mw_model::{SimDuration, SimTime, TemporalDegradation};
+use mw_sensors::{AdapterOutput, MobileObjectId, SensorReading, SensorSpec};
+
+use crate::building::{paper_floor, FloorPlan};
+
+/// splitmix64 — the standard 64-bit finalizer-style mixer. Stable by
+/// construction across processes, platforms and std versions, which is
+/// the whole point here (no `DefaultHasher` internals to trust).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded, stateless multi-object world for cluster tests: same seed →
+/// same readings and the same ground truth, in every process.
+#[derive(Debug)]
+pub struct ClusterScenario {
+    seed: u64,
+    floor: FloorPlan,
+    objects: Vec<MobileObjectId>,
+    spec: SensorSpec,
+}
+
+impl ClusterScenario {
+    /// Steps an object stays in one room before jumping to the next.
+    pub const DWELL_STEPS: u64 = 16;
+
+    /// Simulated seconds per step.
+    pub const STEP_SECS: f64 = 1.0;
+
+    /// Reading time-to-live, in steps. Short enough that readings from
+    /// the previous room expire early in a dwell window.
+    pub const TTL_STEPS: u64 = 4;
+
+    /// Builds the scenario: the paper floor plan plus `n_objects`
+    /// tracked objects named `obj-0 … obj-{n-1}`.
+    #[must_use]
+    pub fn new(seed: u64, n_objects: usize) -> Self {
+        let objects = (0..n_objects)
+            .map(|i| MobileObjectId::new(format!("obj-{i}")))
+            .collect();
+        ClusterScenario {
+            seed,
+            floor: paper_floor(),
+            objects,
+            spec: SensorSpec::ubisense(0.9),
+        }
+    }
+
+    /// The tracked objects.
+    #[must_use]
+    pub fn objects(&self) -> &[MobileObjectId] {
+        &self.objects
+    }
+
+    /// The shared floor plan.
+    #[must_use]
+    pub fn floor(&self) -> &FloorPlan {
+        &self.floor
+    }
+
+    /// Simulated clock at `step`.
+    #[must_use]
+    pub fn now_at(step: u64) -> SimTime {
+        SimTime::from_secs(step as f64 * Self::STEP_SECS)
+    }
+
+    /// Ground truth: the room `object_idx` occupies at `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `object_idx` is out of range.
+    #[must_use]
+    pub fn expected_room(&self, object_idx: usize, step: u64) -> &(String, Rect) {
+        assert!(object_idx < self.objects.len(), "unknown object index");
+        let window = step / Self::DWELL_STEPS;
+        let rooms = &self.floor.rooms;
+        let pick = mix(self.seed ^ mix(object_idx as u64) ^ mix(window.wrapping_add(1)));
+        &rooms[(pick % rooms.len() as u64) as usize]
+    }
+
+    /// `true` when `step` is deep enough into its dwell window that all
+    /// live readings for every object are from the current room, so a
+    /// fused answer must land inside [`ClusterScenario::expected_room`].
+    #[must_use]
+    pub fn is_settled(step: u64) -> bool {
+        step % Self::DWELL_STEPS >= Self::TTL_STEPS
+    }
+
+    /// The reading object `object_idx` generates at `step`: a tight
+    /// Ubisense-style box around a deterministically jittered point in
+    /// the scheduled room.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `object_idx` is out of range.
+    #[must_use]
+    pub fn reading(&self, object_idx: usize, step: u64) -> SensorReading {
+        let (room, rect) = self.expected_room(object_idx, step);
+        let j = mix(self.seed ^ mix(0xFACE ^ object_idx as u64) ^ mix(step));
+        // Two independent sub-unit jitters in [-0.45, 0.45], keeping the
+        // 2x2 box strictly inside even the narrowest room.
+        let jx = ((j & 0xFFFF) as f64 / 65535.0 - 0.5) * 0.9;
+        let jy = (((j >> 16) & 0xFFFF) as f64 / 65535.0 - 0.5) * 0.9;
+        let center = rect.center();
+        SensorReading {
+            sensor_id: format!("ubi-{object_idx}").as_str().into(),
+            spec: self.spec,
+            object: self.objects[object_idx].clone(),
+            glob_prefix: format!("CS/Floor3/{room}").parse().expect("static glob"),
+            region: Rect::from_center(Point::new(center.x + jx, center.y + jy), 2.0, 2.0),
+            detected_at: Self::now_at(step),
+            time_to_live: SimDuration::from_secs(Self::TTL_STEPS as f64 * Self::STEP_SECS),
+            tdf: TemporalDegradation::None,
+            moving: false,
+        }
+    }
+
+    /// Everything the sensor layer emits at `step`: one
+    /// [`AdapterOutput`] per object, in object order, so routing layers
+    /// can partition the batch by owner.
+    #[must_use]
+    pub fn step_outputs(&self, step: u64) -> Vec<(MobileObjectId, AdapterOutput)> {
+        (0..self.objects.len())
+            .map(|i| {
+                (
+                    self.objects[i].clone(),
+                    AdapterOutput::single(self.reading(i, step)),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_reproduces_bit_identical_outputs() {
+        let a = ClusterScenario::new(42, 6);
+        let b = ClusterScenario::new(42, 6);
+        for step in 0..40 {
+            assert_eq!(a.step_outputs(step), b.step_outputs(step));
+            for i in 0..6 {
+                assert_eq!(a.expected_room(i, step), b.expected_room(i, step));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = ClusterScenario::new(1, 4);
+        let b = ClusterScenario::new(2, 4);
+        let same = (0..64).all(|step| a.step_outputs(step) == b.step_outputs(step));
+        assert!(!same, "seeds must matter");
+    }
+
+    #[test]
+    fn readings_stay_inside_the_scheduled_room() {
+        let s = ClusterScenario::new(7, 5);
+        for step in 0..64 {
+            for i in 0..5 {
+                let (_, rect) = s.expected_room(i, step);
+                assert!(
+                    rect.contains_rect(&s.reading(i, step).region),
+                    "step {step} object {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn objects_visit_multiple_rooms() {
+        let s = ClusterScenario::new(3, 1);
+        let mut rooms = std::collections::HashSet::new();
+        for window in 0..8 {
+            rooms.insert(
+                s.expected_room(0, window * ClusterScenario::DWELL_STEPS)
+                    .0
+                    .clone(),
+            );
+        }
+        assert!(rooms.len() > 1, "the schedule must move objects around");
+    }
+
+    #[test]
+    fn settled_steps_are_past_the_ttl_horizon() {
+        assert!(!ClusterScenario::is_settled(0));
+        assert!(!ClusterScenario::is_settled(ClusterScenario::TTL_STEPS - 1));
+        assert!(ClusterScenario::is_settled(ClusterScenario::TTL_STEPS));
+        assert!(!ClusterScenario::is_settled(ClusterScenario::DWELL_STEPS));
+    }
+}

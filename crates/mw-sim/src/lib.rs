@@ -27,6 +27,7 @@
 pub mod building;
 pub mod byzantine;
 pub mod calibration;
+pub mod cluster;
 mod deployment;
 mod person;
 mod simulation;
@@ -34,6 +35,7 @@ mod simulation;
 pub use building::FloorPlan;
 pub use byzantine::{ByzantineAdapter, ByzantineMode};
 pub use calibration::{fit_tdf, CarryProbabilityEstimator, FittedTdf};
+pub use cluster::ClusterScenario;
 pub use deployment::{Deployment, DeploymentConfig};
 pub use person::Person;
 pub use simulation::{AccuracyStats, CalibrationBucket, SimConfig, Simulation};
