@@ -25,6 +25,7 @@
 
 mod error;
 mod fix;
+pub mod ident;
 pub mod lr;
 pub mod pool;
 pub mod prelude;
@@ -38,6 +39,7 @@ mod world;
 
 pub use error::CoreError;
 pub use fix::{LocationFix, Notification};
+pub use ident::Interner;
 pub use query::{AnswerQuality, LocationQuery, QueryAnswer, QueryTarget};
 pub use relations::{CoLocation, ObjectRelation, RegionRelation};
 pub use rules::{Predicate, Rule, RuleBuilder};

@@ -32,12 +32,12 @@
 //! - `RuleEngine` (crate-internal) — the compiler and evaluator: interns
 //!   structurally-equal subexpressions into shared DAG nodes, groups
 //!   rules with identical `(root, object filter, trigger)` into one
-//!   trigger group, and prunes candidate groups through an R-tree over
-//!   their regions of interest.
+//!   trigger group, and prunes candidate groups through a coarse
+//!   [`InterestGrid`] over their regions of interest.
 //!
 //! # Evaluation order and edge state
 //!
-//! Per fuse of an object, candidate groups are selected (R-tree window
+//! Per fuse of an object, candidate groups are selected (interest-grid
 //! hits + currently-true groups + always-evaluate groups), then each
 //! reachable DAG node is evaluated **at most once** (memoized per fuse)
 //! bottom-up, with no boolean short-circuiting — `And`/`Or` always
@@ -61,6 +61,7 @@
 //! node (pure subtrees stay shared) so its clocks start fresh.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use mw_fusion::{BandThresholds, ProbabilityBand, SharedFusion};
 use mw_geometry::{Point, Rect};
@@ -68,6 +69,7 @@ use mw_model::{SimDuration, SimTime};
 use mw_sensors::MobileObjectId;
 use serde::{Deserialize, Serialize};
 
+use crate::ident::Interner;
 use crate::relations;
 use crate::subscription::{DeliveryPolicy, SubscriptionId, SubscriptionSpec, SubscriptionTrigger};
 use crate::{CoreError, LocationFix};
@@ -546,8 +548,121 @@ impl TriggerKey {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct GroupKey {
     root: usize,
-    object: Option<MobileObjectId>,
+    /// Interned handle of the rule's object filter, when present.
+    object: Option<u32>,
     trigger: TriggerKey,
+}
+
+// --- spatial interest index ----------------------------------------------
+
+/// Side length of one interest-grid cell in building units. Roughly one
+/// large room: small enough that an ingest's evidence window touches a
+/// handful of cells, large enough that a typical watched region does not
+/// explode into many cells.
+const INTEREST_CELL: f64 = 50.0;
+
+/// A rect spanning more cells than this is tracked in the `oversized`
+/// bucket instead of being enumerated cell by cell (64 × 64 cells).
+const MAX_RECT_CELLS: i64 = 4096;
+
+/// Coarse uniform grid over trigger-group interest rects.
+///
+/// Replaces the R-tree used by the first DAG iteration: with 10k+
+/// near-identical region rules the tree's rebalancing and per-query
+/// descent dominated registration and ingest. The grid buckets each
+/// interest rect into fixed 50-unit cells; a candidate query touches
+/// only the cells the evidence window overlaps, so its cost tracks the
+/// window size, not the rule count. Hits are *coarse* — the caller
+/// re-checks `Rect::intersects` against the group's exact interest
+/// rects, which reproduces the R-tree's semantics bit for bit.
+#[derive(Debug, Default)]
+struct InterestGrid {
+    cells: HashMap<(i64, i64), Vec<usize>>,
+    /// Groups whose interest rect was too large to enumerate; matched
+    /// against every window (the exact post-filter still applies).
+    oversized: Vec<usize>,
+}
+
+impl InterestGrid {
+    /// Inclusive cell range covered by `rect`. Float-to-int casts
+    /// saturate, so degenerate coordinates clamp instead of wrapping.
+    #[allow(clippy::cast_possible_truncation)]
+    fn cell_range(rect: &Rect) -> (i64, i64, i64, i64) {
+        (
+            (rect.min().x / INTEREST_CELL).floor() as i64,
+            (rect.min().y / INTEREST_CELL).floor() as i64,
+            (rect.max().x / INTEREST_CELL).floor() as i64,
+            (rect.max().y / INTEREST_CELL).floor() as i64,
+        )
+    }
+
+    fn span(range: (i64, i64, i64, i64)) -> i64 {
+        let (x0, y0, x1, y1) = range;
+        (x1 - x0 + 1).saturating_mul(y1 - y0 + 1)
+    }
+
+    fn insert(&mut self, rect: &Rect, group: usize) {
+        let range = Self::cell_range(rect);
+        if Self::span(range) > MAX_RECT_CELLS {
+            self.oversized.push(group);
+            return;
+        }
+        let (x0, y0, x1, y1) = range;
+        for cx in x0..=x1 {
+            for cy in y0..=y1 {
+                self.cells.entry((cx, cy)).or_default().push(group);
+            }
+        }
+    }
+
+    /// Removes one occurrence of `group` per cell `rect` covers —
+    /// mirrors `insert`, so a group registered under several rects
+    /// sharing a cell stays present until each rect is removed.
+    fn remove(&mut self, rect: &Rect, group: usize) {
+        let range = Self::cell_range(rect);
+        if Self::span(range) > MAX_RECT_CELLS {
+            if let Some(pos) = self.oversized.iter().position(|g| *g == group) {
+                self.oversized.swap_remove(pos);
+            }
+            return;
+        }
+        let (x0, y0, x1, y1) = range;
+        for cx in x0..=x1 {
+            for cy in y0..=y1 {
+                if let Some(cell) = self.cells.get_mut(&(cx, cy)) {
+                    if let Some(pos) = cell.iter().position(|g| *g == group) {
+                        cell.swap_remove(pos);
+                    }
+                    if cell.is_empty() {
+                        self.cells.remove(&(cx, cy));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Appends the groups registered in every cell `window` overlaps
+    /// (coarse: caller must post-filter against exact interest rects).
+    fn query_window(&self, window: &Rect, out: &mut Vec<usize>) {
+        let range = Self::cell_range(window);
+        if Self::span(range) > MAX_RECT_CELLS {
+            // A window this large overlaps most of the grid anyway;
+            // scanning all occupied cells keeps the cost bounded.
+            for cell in self.cells.values() {
+                out.extend_from_slice(cell);
+            }
+        } else {
+            let (x0, y0, x1, y1) = range;
+            for cx in x0..=x1 {
+                for cy in y0..=y1 {
+                    if let Some(cell) = self.cells.get(&(cx, cy)) {
+                        out.extend_from_slice(cell);
+                    }
+                }
+            }
+        }
+        out.extend_from_slice(&self.oversized);
+    }
 }
 
 // --- engine state --------------------------------------------------------
@@ -579,19 +694,21 @@ pub(crate) enum NodeState {
 struct Group {
     key: GroupKey,
     root: usize,
-    object: Option<MobileObjectId>,
+    /// Interned handle of the object filter, when present.
+    object: Option<u32>,
     trigger: SubscriptionTrigger,
     /// Member rule ids, ascending (ids are assigned monotonically and
     /// late joiners land in fresh groups, so pushes keep the order).
     members: Vec<SubscriptionId>,
-    /// R-tree rects this group was indexed under (positive region
-    /// atoms). Empty for always-evaluate groups.
+    /// Interest-grid rects this group was indexed under (positive
+    /// region atoms). Empty for always-evaluate groups.
     interest: Vec<Rect>,
     /// Evaluated for every affected object (predicates containing
     /// `Not` / `CoLocated` / `Moved` / `DwellFor`, whose truth can
     /// change without the evidence window touching an interest rect).
     always: bool,
-    state: HashMap<MobileObjectId, GroupObjState>,
+    /// Edge state per tracked object, keyed by interned handle.
+    state: HashMap<u32, GroupObjState>,
 }
 
 struct RuleRecord {
@@ -610,19 +727,24 @@ pub(crate) struct RuleEngine {
     /// unshared nodes and its own group — the naive per-subscription
     /// walk, kept as the differential-testing and benchmark baseline.
     shared: bool,
+    /// The service-wide identity interner: object ids arriving at the
+    /// engine's crate-internal API as strings are resolved to dense
+    /// `u32` handles once per call, and all per-object edge state below
+    /// is keyed by handle.
+    idents: Arc<Interner>,
     next_id: u64,
     nodes: Vec<NodeKind>,
     intern: HashMap<NodeKind, usize>,
     groups: Vec<Option<Group>>,
     group_index: HashMap<GroupKey, usize>,
-    index: mw_geometry::RTree<usize>,
+    index: InterestGrid,
     /// Always-evaluate group indices, ascending.
     always: Vec<usize>,
-    /// Per object: groups whose root held on the last evaluation
+    /// Per object handle: groups whose root held on the last evaluation
     /// (candidates even when the evidence window moves away — exit
     /// edges and re-arming need them).
-    truthy: HashMap<MobileObjectId, Vec<usize>>,
-    node_state: HashMap<(usize, MobileObjectId), NodeState>,
+    truthy: HashMap<u32, Vec<usize>>,
+    node_state: HashMap<(usize, u32), NodeState>,
     /// Nodes that have ever committed clock state. A stateful node on
     /// this list is no longer joinable by new rules (see
     /// [`NodeKind::stateful`]).
@@ -713,15 +835,16 @@ struct NodeVal {
 }
 
 impl RuleEngine {
-    pub(crate) fn new(shared: bool) -> RuleEngine {
+    pub(crate) fn new(shared: bool, idents: Arc<Interner>) -> RuleEngine {
         RuleEngine {
             shared,
+            idents,
             next_id: 0,
             nodes: Vec::new(),
             intern: HashMap::new(),
             groups: Vec::new(),
             group_index: HashMap::new(),
-            index: mw_geometry::RTree::new(),
+            index: InterestGrid::default(),
             always: Vec::new(),
             truthy: HashMap::new(),
             node_state: HashMap::new(),
@@ -737,9 +860,10 @@ impl RuleEngine {
         let id = SubscriptionId(self.next_id);
         self.next_id += 1;
         let (root, expanded) = self.compile(&rule.predicate);
+        let object = rule.object.as_ref().map(|o| self.idents.intern(o.as_str()));
         let key = GroupKey {
             root,
-            object: rule.object.clone(),
+            object,
             trigger: TriggerKey::of(rule.trigger),
         };
         if self.shared {
@@ -763,7 +887,7 @@ impl RuleEngine {
         let g = self.groups.len();
         if pure {
             for rect in &interest {
-                self.index.insert(*rect, g);
+                self.index.insert(rect, g);
             }
         } else {
             // `g` grows monotonically, so pushes keep `always` sorted.
@@ -773,7 +897,7 @@ impl RuleEngine {
         self.groups.push(Some(Group {
             key,
             root,
-            object: rule.object.clone(),
+            object,
             trigger: rule.trigger,
             members: vec![id],
             interest: if pure { interest } else { Vec::new() },
@@ -802,7 +926,7 @@ impl RuleEngine {
         // future).
         let group = self.groups[record.group].take().expect("checked above");
         for rect in &group.interest {
-            self.index.remove_if(rect, |g| *g == record.group);
+            self.index.remove(rect, record.group);
         }
         if group.always {
             self.always.retain(|g| *g != record.group);
@@ -993,21 +1117,31 @@ impl RuleEngine {
 
     // --- evaluation (read-only half) -------------------------------------
 
-    /// Candidate trigger groups for one fuse of `object`: R-tree window
-    /// hits, plus groups currently true for the object (exit edges /
-    /// re-arming), plus always-evaluate groups — filtered by each
-    /// group's object filter. Sorted ascending, deduped.
+    /// Candidate trigger groups for one fuse of `object`: interest-grid
+    /// window hits (re-checked against the exact interest rects), plus
+    /// groups currently true for the object (exit edges / re-arming),
+    /// plus always-evaluate groups — filtered by each group's object
+    /// filter. Sorted ascending, deduped.
     pub(crate) fn candidate_groups(
         &self,
         object: &MobileObjectId,
         window: Option<Rect>,
     ) -> Vec<usize> {
-        let mut out: Vec<usize> = match window {
-            Some(w) => self.index.query_window(&w).map(|(_, g)| *g).collect(),
-            None => Vec::new(),
-        };
+        let obj = self.idents.intern(object.as_str());
+        let mut out: Vec<usize> = Vec::new();
+        if let Some(w) = window {
+            self.index.query_window(&w, &mut out);
+            // The grid is coarse (cell overlap, not rect overlap);
+            // re-check the exact rects so selection is bit-identical to
+            // the R-tree's `intersects` semantics.
+            out.retain(|&g| {
+                self.groups[g]
+                    .as_ref()
+                    .is_some_and(|group| group.interest.iter().any(|r| r.intersects(&w)))
+            });
+        }
         out.extend(self.always.iter().copied());
-        if let Some(truthy) = self.truthy.get(object) {
+        if let Some(truthy) = self.truthy.get(&obj) {
             out.extend(truthy.iter().copied());
         }
         out.sort_unstable();
@@ -1015,7 +1149,7 @@ impl RuleEngine {
         out.retain(|&g| {
             self.groups[g]
                 .as_ref()
-                .is_some_and(|group| group.object.as_ref().is_none_or(|o| o == object))
+                .is_some_and(|group| group.object.is_none_or(|o| o == obj))
         });
         out
     }
@@ -1032,6 +1166,7 @@ impl RuleEngine {
         input: &EvalInput<'_>,
         partner: &dyn Fn(&MobileObjectId) -> Option<LocationFix>,
     ) -> ObjectEvaluation {
+        let obj = self.idents.intern(object.as_str());
         let mut memo: HashMap<usize, NodeVal> = HashMap::new();
         let mut updates: Vec<(usize, NodeState)> = Vec::new();
         let mut atoms = 0u64;
@@ -1042,6 +1177,7 @@ impl RuleEngine {
                 let value = self.eval_node(
                     group.root,
                     object,
+                    obj,
                     input,
                     partner,
                     &mut memo,
@@ -1070,6 +1206,7 @@ impl RuleEngine {
         &self,
         node: usize,
         object: &MobileObjectId,
+        obj: u32,
         input: &EvalInput<'_>,
         partner: &dyn Fn(&MobileObjectId) -> Option<LocationFix>,
         memo: &mut HashMap<usize, NodeVal>,
@@ -1148,7 +1285,7 @@ impl RuleEngine {
                         },
                     );
                 };
-                let anchor = match self.node_state.get(&(node, object.clone())) {
+                let anchor = match self.node_state.get(&(node, obj)) {
                     Some(NodeState::MovedAnchor(p)) => Some(*p),
                     _ => None,
                 };
@@ -1170,8 +1307,9 @@ impl RuleEngine {
                 }
             }
             NodeKind::Dwell { child, duration } => {
-                let inner = self.eval_node(*child, object, input, partner, memo, updates, atoms);
-                let since = match self.node_state.get(&(node, object.clone())) {
+                let inner =
+                    self.eval_node(*child, object, obj, input, partner, memo, updates, atoms);
+                let since = match self.node_state.get(&(node, obj)) {
                     Some(NodeState::DwellSince(s)) => *s,
                     _ => None,
                 };
@@ -1194,7 +1332,8 @@ impl RuleEngine {
                 }
             }
             NodeKind::Not(child) => {
-                let inner = self.eval_node(*child, object, input, partner, memo, updates, atoms);
+                let inner =
+                    self.eval_node(*child, object, obj, input, partner, memo, updates, atoms);
                 NodeVal {
                     truth: !inner.truth,
                     probability: (1.0 - inner.probability).clamp(0.0, 1.0),
@@ -1207,7 +1346,7 @@ impl RuleEngine {
                 let mut out: Option<NodeVal> = None;
                 let mut truth = true;
                 for &c in children.clone().iter() {
-                    let v = self.eval_node(c, object, input, partner, memo, updates, atoms);
+                    let v = self.eval_node(c, object, obj, input, partner, memo, updates, atoms);
                     truth &= v.truth;
                     // Payload: the binding constraint (lowest probability).
                     if out.is_none_or(|best| v.probability < best.probability) {
@@ -1225,7 +1364,7 @@ impl RuleEngine {
                 let mut out: Option<NodeVal> = None;
                 let mut truth = false;
                 for &c in children.clone().iter() {
-                    let v = self.eval_node(c, object, input, partner, memo, updates, atoms);
+                    let v = self.eval_node(c, object, obj, input, partner, memo, updates, atoms);
                     truth |= v.truth;
                     // Payload: the strongest alternative.
                     if out.is_none_or(|best| v.probability > best.probability) {
@@ -1258,26 +1397,24 @@ impl RuleEngine {
         object: &MobileObjectId,
         evaluation: ObjectEvaluation,
     ) -> Vec<FiredRule> {
+        let obj = self.idents.intern(object.as_str());
         for (node, state) in evaluation.node_updates {
             self.touched.insert(node);
-            self.node_state.insert((node, object.clone()), state);
+            self.node_state.insert((node, obj), state);
         }
         let mut fired: Vec<FiredRule> = Vec::new();
         for eval in evaluation.evals {
             let Some(group) = self.groups[eval.group].as_mut() else {
                 continue;
             };
-            let state = group.state.entry(object.clone()).or_default();
+            let state = group.state.entry(obj).or_default();
             let was = state.inside;
             if eval.satisfied && !was {
                 state.inside = true;
-                self.truthy
-                    .entry(object.clone())
-                    .or_default()
-                    .push(eval.group);
+                self.truthy.entry(obj).or_default().push(eval.group);
             } else if !eval.satisfied && was {
                 state.inside = false;
-                if let Some(truthy) = self.truthy.get_mut(object) {
+                if let Some(truthy) = self.truthy.get_mut(&obj) {
                     truthy.retain(|g| *g != eval.group);
                 }
             }
@@ -1308,7 +1445,7 @@ impl RuleEngine {
                 }
             };
             if !state.inside && state.anchor.is_none() {
-                group.state.remove(object);
+                group.state.remove(&obj);
             }
             if fires {
                 for &member in &group.members {
@@ -1329,6 +1466,10 @@ impl RuleEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn engine(shared: bool) -> RuleEngine {
+        RuleEngine::new(shared, Arc::new(Interner::new()))
+    }
 
     fn region(i: u32) -> Rect {
         let x = f64::from(i) * 20.0;
@@ -1398,7 +1539,7 @@ mod tests {
 
     #[test]
     fn look_alike_rules_share_one_node_and_one_group() {
-        let mut engine = RuleEngine::new(true);
+        let mut engine = engine(true);
         for _ in 0..1000 {
             engine.add(&Rule::when(in_region(0)).build().unwrap());
         }
@@ -1410,7 +1551,7 @@ mod tests {
 
     #[test]
     fn structurally_equal_subtrees_intern_to_one_node() {
-        let mut engine = RuleEngine::new(true);
+        let mut engine = engine(true);
         // Same And over the same atoms, written in opposite orders.
         engine.add(&Rule::when(in_region(0).and(in_region(1))).build().unwrap());
         engine.add(&Rule::when(in_region(1).and(in_region(0))).build().unwrap());
@@ -1429,7 +1570,7 @@ mod tests {
 
     #[test]
     fn naive_mode_never_shares() {
-        let mut engine = RuleEngine::new(false);
+        let mut engine = engine(false);
         for _ in 0..10 {
             engine.add(&Rule::when(in_region(0)).build().unwrap());
         }
@@ -1440,7 +1581,7 @@ mod tests {
 
     #[test]
     fn and_or_collapse_duplicate_children() {
-        let mut engine = RuleEngine::new(true);
+        let mut engine = engine(true);
         engine.add(&Rule::when(in_region(0).and(in_region(0))).build().unwrap());
         // And([a, a]) canonicalizes to a single atom node.
         assert_eq!(engine.node_count(), 1);
@@ -1448,7 +1589,7 @@ mod tests {
 
     #[test]
     fn remove_frees_group_but_keeps_nodes() {
-        let mut engine = RuleEngine::new(true);
+        let mut engine = engine(true);
         let a = engine.add(&Rule::when(in_region(0)).build().unwrap());
         let b = engine.add(&Rule::when(in_region(0)).build().unwrap());
         assert_eq!(engine.live_groups(), 1);
@@ -1467,7 +1608,7 @@ mod tests {
 
     #[test]
     fn always_evaluate_classification() {
-        let mut engine = RuleEngine::new(true);
+        let mut engine = engine(true);
         engine.add(&Rule::when(in_region(0)).build().unwrap());
         engine.add(&Rule::when(in_region(1).not()).build().unwrap());
         engine.add(
@@ -1521,7 +1662,7 @@ mod tests {
 
     #[test]
     fn edge_triggering() {
-        let mut engine = RuleEngine::new(true);
+        let mut engine = engine(true);
         engine.add(&Rule::when(in_region(0)).build().unwrap());
         // False → no edge.
         assert!(!fires(&mut engine, "alice", false, None));
@@ -1536,7 +1677,7 @@ mod tests {
 
     #[test]
     fn exit_triggering() {
-        let mut engine = RuleEngine::new(true);
+        let mut engine = engine(true);
         engine.add(&Rule::when(in_region(0)).on_exit().build().unwrap());
         // Entering fires nothing.
         assert!(!fires(&mut engine, "alice", true, None));
@@ -1551,7 +1692,7 @@ mod tests {
 
     #[test]
     fn move_triggering() {
-        let mut engine = RuleEngine::new(true);
+        let mut engine = engine(true);
         engine.add(&Rule::when(in_region(0)).on_move(3.0).build().unwrap());
         // Entry fires and anchors.
         assert!(fires(
@@ -1597,7 +1738,7 @@ mod tests {
 
     #[test]
     fn state_is_per_object() {
-        let mut engine = RuleEngine::new(true);
+        let mut engine = engine(true);
         engine.add(&Rule::when(in_region(0)).build().unwrap());
         assert!(fires(&mut engine, "alice", true, None));
         // Bob's first satisfaction is its own edge.
@@ -1606,7 +1747,7 @@ mod tests {
 
     #[test]
     fn group_members_fire_together_sorted_by_id() {
-        let mut engine = RuleEngine::new(true);
+        let mut engine = engine(true);
         let a = engine.add(&Rule::when(in_region(0)).build().unwrap());
         let b = engine.add(&Rule::when(in_region(0)).build().unwrap());
         let ev = verdict(&engine, 0, true, None);
@@ -1616,7 +1757,7 @@ mod tests {
 
     #[test]
     fn late_join_gets_fresh_edge_state() {
-        let mut engine = RuleEngine::new(true);
+        let mut engine = engine(true);
         engine.add(&Rule::when(in_region(0)).build().unwrap());
         // Alice enters: group 0 now holds state.
         assert!(fires(&mut engine, "alice", true, None));
@@ -1632,7 +1773,7 @@ mod tests {
 
     #[test]
     fn stateful_node_splits_after_its_clock_has_run() {
-        let mut engine = RuleEngine::new(true);
+        let mut engine = engine(true);
         let dwell =
             || Predicate::in_region(region(0), 0.5).for_at_least(SimDuration::from_secs(5.0));
         engine.add(&Rule::when(dwell()).build().unwrap());
@@ -1664,7 +1805,7 @@ mod tests {
 
     #[test]
     fn object_filter_prunes_candidates() {
-        let mut engine = RuleEngine::new(true);
+        let mut engine = engine(true);
         engine.add(&Rule::when(in_region(0)).object("alice").build().unwrap());
         engine.add(&Rule::when(in_region(0)).object("bob").build().unwrap());
         engine.add(&Rule::when(in_region(0)).build().unwrap());

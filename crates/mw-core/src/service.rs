@@ -1,3 +1,13 @@
+// Allocation audit (DESIGN.md §14). Id types are `Arc<str>`-backed and
+// ingest canonicalizes them through the service interner, so every
+// `SensorId`/`MobileObjectId` `.clone()` below is a refcount bump, not
+// a string allocation. The `.to_string()` conversions that remain are
+// deliberate boundary conversions — error payloads (`CoreError` carries
+// owned `String`s for bus serialization), GLOB rendering for the world
+// model, and `LocationResponse::Error` — none on the per-reading hot
+// path. Don't "fix" them into borrowed forms: they cross an ownership
+// boundary (bus frame, error value) that must outlive the guard the
+// borrow would come from.
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Weak};
@@ -76,6 +86,16 @@ pub struct ServiceTuning {
     /// differential-testing and benchmark baseline. Notifications are
     /// byte-identical either way (see the rule-equivalence proptests).
     pub rule_sharing: bool,
+    /// Whether locked shards keep per-object bookkeeping (epochs,
+    /// fusion-cache entries, privacy depths, last-known-good fixes) in
+    /// the handle-indexed struct-of-arrays slab keyed by the service's
+    /// identity [`crate::ident::Interner`] (`DESIGN.md` §14). The
+    /// default `true` is the city-scale layout; `false` keeps the
+    /// historical string-keyed `HashMap`s per shard, retained as the
+    /// differential-testing twin (see the interned-equivalence
+    /// proptests — answers, epochs and notifications are byte-identical
+    /// either way). Left-right shards always use the historical maps.
+    pub compact_state: bool,
 }
 
 impl Default for ServiceTuning {
@@ -86,6 +106,7 @@ impl Default for ServiceTuning {
             ingest_threads: 1,
             read_path: ReadPath::Locked,
             rule_sharing: true,
+            compact_state: true,
         }
     }
 }
@@ -125,7 +146,7 @@ struct CachedFusion {
     used: usize,
 }
 
-/// Per-object bookkeeping inside one shard.
+/// Per-object bookkeeping inside one shard (legacy string-keyed layout).
 #[derive(Debug, Default)]
 struct ObjectState {
     /// Monotonic version of the object's reading set: bumped on every
@@ -135,30 +156,334 @@ struct ObjectState {
     cache: Option<CachedFusion>,
 }
 
+/// Per-object bookkeeping in one of two layouts, selected by
+/// [`ServiceTuning::compact_state`] (`DESIGN.md` §14).
+///
+/// `Compact` is the city-scale layout: object ids are interned to dense
+/// `u32` handles once, and everything per-object lives in slot-indexed
+/// vectors (struct-of-arrays) — a `u64` epoch, a boxed fusion-cache
+/// entry only while one is live, a boxed last-known-good fix only when
+/// supervised. The only string-keyed lookup left on the hot path is the
+/// interner's own read-locked hash probe. `Legacy` keeps the historical
+/// three `HashMap<MobileObjectId, _>`s as the differential twin.
+#[derive(Debug)]
+enum ObjectStore {
+    Legacy {
+        /// Last successful fix per object, serving the last-known-good
+        /// rung of the degradation ladder. Only populated when
+        /// supervised.
+        last_good: HashMap<MobileObjectId, LocationFix>,
+        /// Privacy policy: object → maximum GLOB depth revealed (§4.5).
+        privacy: HashMap<MobileObjectId, usize>,
+        objects: HashMap<MobileObjectId, ObjectState>,
+    },
+    Compact {
+        idents: Arc<crate::ident::Interner>,
+        /// Identity handle → slot in the vectors below. Slots are
+        /// allocated first-touch and never freed, mirroring the legacy
+        /// maps (which never forget an object either).
+        index: HashMap<u32, u32>,
+        /// Slot-indexed epochs ([`ObjectState::epoch`]).
+        epochs: Vec<u64>,
+        /// Slot-indexed fusion-cache entries; boxed so an idle slot
+        /// costs one pointer.
+        caches: Vec<Option<Box<CachedFusion>>>,
+        /// Slot-indexed last-known-good fixes; boxed like the caches.
+        last_good: Vec<Option<Box<LocationFix>>>,
+        /// Privacy depths, sparse: most objects never set one (§4.5).
+        privacy: HashMap<u32, usize>,
+    },
+}
+
+impl ObjectStore {
+    fn legacy() -> Self {
+        ObjectStore::Legacy {
+            last_good: HashMap::new(),
+            privacy: HashMap::new(),
+            objects: HashMap::new(),
+        }
+    }
+
+    fn compact(idents: Arc<crate::ident::Interner>) -> Self {
+        ObjectStore::Compact {
+            idents,
+            index: HashMap::new(),
+            epochs: Vec::new(),
+            caches: Vec::new(),
+            last_good: Vec::new(),
+            privacy: HashMap::new(),
+        }
+    }
+
+    /// The object's slot, if it has one already.
+    fn slot(
+        index: &HashMap<u32, u32>,
+        idents: &crate::ident::Interner,
+        object: &MobileObjectId,
+    ) -> Option<usize> {
+        let handle = idents.get(object.as_str())?;
+        index.get(&handle).map(|&s| s as usize)
+    }
+
+    /// The object's slot, allocating handle and slot on first touch.
+    fn ensure_slot(&mut self, object: &MobileObjectId) -> usize {
+        match self {
+            ObjectStore::Legacy { .. } => unreachable!("ensure_slot is compact-only"),
+            ObjectStore::Compact {
+                idents,
+                index,
+                epochs,
+                caches,
+                last_good,
+                ..
+            } => {
+                let handle = idents.intern(object.as_str());
+                if let Some(&slot) = index.get(&handle) {
+                    return slot as usize;
+                }
+                let slot = epochs.len();
+                epochs.push(0);
+                caches.push(None);
+                last_good.push(None);
+                index.insert(handle, u32::try_from(slot).expect("shard slot overflow"));
+                slot
+            }
+        }
+    }
+
+    /// Bumps the object's epoch (new evidence or revocation), dropping
+    /// any cached fusion. Returns `true` when a cache entry was dropped.
+    fn bump_epoch(&mut self, object: &MobileObjectId) -> bool {
+        match self {
+            ObjectStore::Legacy { objects, .. } => {
+                let state = objects.entry(object.clone()).or_default();
+                state.epoch = state.epoch.wrapping_add(1);
+                state.cache.take().is_some()
+            }
+            ObjectStore::Compact { .. } => {
+                let slot = self.ensure_slot(object);
+                let ObjectStore::Compact { epochs, caches, .. } = self else {
+                    unreachable!()
+                };
+                epochs[slot] = epochs[slot].wrapping_add(1);
+                caches[slot].take().is_some()
+            }
+        }
+    }
+
+    /// The object's reading-set epoch (0 if never seen).
+    fn epoch_of(&self, object: &MobileObjectId) -> u64 {
+        match self {
+            ObjectStore::Legacy { objects, .. } => objects.get(object).map_or(0, |s| s.epoch),
+            ObjectStore::Compact {
+                idents,
+                index,
+                epochs,
+                ..
+            } => Self::slot(index, idents, object).map_or(0, |s| epochs[s]),
+        }
+    }
+
+    /// A valid cached fusion for `(object, now, excluded_key)`, checked
+    /// against the object's current epoch.
+    fn cached(
+        &self,
+        object: &MobileObjectId,
+        now: SimTime,
+        excluded_key: u64,
+    ) -> Option<(Arc<FusionResult>, usize, usize)> {
+        let (epoch, cached) = match self {
+            ObjectStore::Legacy { objects, .. } => {
+                let state = objects.get(object)?;
+                (state.epoch, state.cache.as_ref()?)
+            }
+            ObjectStore::Compact {
+                idents,
+                index,
+                epochs,
+                caches,
+                ..
+            } => {
+                let slot = Self::slot(index, idents, object)?;
+                (epochs[slot], caches[slot].as_deref()?)
+            }
+        };
+        (cached.epoch == epoch && cached.now == now && cached.excluded_key == excluded_key)
+            .then(|| (Arc::clone(&cached.result), cached.total, cached.used))
+    }
+
+    /// Stores a fusion result — only if no ingest raced past the epoch
+    /// it was computed under.
+    fn store_cache(&mut self, object: &MobileObjectId, entry: CachedFusion) {
+        match self {
+            ObjectStore::Legacy { objects, .. } => {
+                let state = objects.entry(object.clone()).or_default();
+                if state.epoch == entry.epoch {
+                    state.cache = Some(entry);
+                }
+            }
+            ObjectStore::Compact { .. } => {
+                let slot = self.ensure_slot(object);
+                let ObjectStore::Compact { epochs, caches, .. } = self else {
+                    unreachable!()
+                };
+                if epochs[slot] == entry.epoch {
+                    caches[slot] = Some(Box::new(entry));
+                }
+            }
+        }
+    }
+
+    fn privacy_of(&self, object: &MobileObjectId) -> Option<usize> {
+        match self {
+            ObjectStore::Legacy { privacy, .. } => privacy.get(object).copied(),
+            ObjectStore::Compact {
+                idents, privacy, ..
+            } => {
+                let handle = idents.get(object.as_str())?;
+                privacy.get(&handle).copied()
+            }
+        }
+    }
+
+    fn set_privacy(&mut self, object: MobileObjectId, max_depth: usize) {
+        match self {
+            ObjectStore::Legacy { privacy, .. } => {
+                privacy.insert(object, max_depth);
+            }
+            ObjectStore::Compact {
+                idents, privacy, ..
+            } => {
+                privacy.insert(idents.intern(object.as_str()), max_depth);
+            }
+        }
+    }
+
+    fn clear_privacy(&mut self, object: &MobileObjectId) {
+        match self {
+            ObjectStore::Legacy { privacy, .. } => {
+                privacy.remove(object);
+            }
+            ObjectStore::Compact {
+                idents, privacy, ..
+            } => {
+                if let Some(handle) = idents.get(object.as_str()) {
+                    privacy.remove(&handle);
+                }
+            }
+        }
+    }
+
+    fn last_good_of(&self, object: &MobileObjectId) -> Option<LocationFix> {
+        match self {
+            ObjectStore::Legacy { last_good, .. } => last_good.get(object).cloned(),
+            ObjectStore::Compact {
+                idents,
+                index,
+                last_good,
+                ..
+            } => {
+                let slot = Self::slot(index, idents, object)?;
+                last_good[slot].as_deref().cloned()
+            }
+        }
+    }
+
+    fn record_last_good(&mut self, object: &MobileObjectId, fix: LocationFix) {
+        match self {
+            ObjectStore::Legacy { last_good, .. } => {
+                last_good.insert(object.clone(), fix);
+            }
+            ObjectStore::Compact { .. } => {
+                let slot = self.ensure_slot(object);
+                let ObjectStore::Compact { last_good, .. } = self else {
+                    unreachable!()
+                };
+                last_good[slot] = Some(Box::new(fix));
+            }
+        }
+    }
+
+    /// All last-known-good fixes (unordered; callers sort).
+    fn export_last_good(&self) -> Vec<LocationFix> {
+        match self {
+            ObjectStore::Legacy { last_good, .. } => last_good.values().cloned().collect(),
+            ObjectStore::Compact { last_good, .. } => last_good
+                .iter()
+                .filter_map(|f| f.as_deref().cloned())
+                .collect(),
+        }
+    }
+
+    /// Objects with any per-object state (the `core.objects.tracked`
+    /// gauge input; O(1) in the compact layout's slot count).
+    fn state_len(&self) -> usize {
+        match self {
+            ObjectStore::Legacy { objects, .. } => objects.len(),
+            ObjectStore::Compact { epochs, .. } => epochs.len(),
+        }
+    }
+
+    /// Structural heap estimate of the per-object bookkeeping, feeding
+    /// the `core.mem.bytes_per_object` gauge. O(1): capacity-based, so
+    /// the per-batch gauge update never scans slots. Boxed cache /
+    /// last-good payloads are not counted (they are transient between
+    /// a query and the next ingest); readings and the interner are
+    /// accounted separately by the caller.
+    fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        match self {
+            ObjectStore::Legacy {
+                last_good,
+                privacy,
+                objects,
+            } => {
+                objects.capacity()
+                    * (size_of::<MobileObjectId>() + size_of::<ObjectState>() + size_of::<u64>())
+                    + privacy.capacity()
+                        * (size_of::<MobileObjectId>() + size_of::<usize>() + size_of::<u64>())
+                    + last_good.capacity()
+                        * (size_of::<MobileObjectId>()
+                            + size_of::<LocationFix>()
+                            + size_of::<u64>())
+            }
+            ObjectStore::Compact {
+                index,
+                epochs,
+                caches,
+                last_good,
+                privacy,
+                ..
+            } => {
+                index.capacity() * (size_of::<u32>() * 2 + 1)
+                    + epochs.capacity() * size_of::<u64>()
+                    + caches.capacity() * size_of::<Option<Box<CachedFusion>>>()
+                    + last_good.capacity() * size_of::<Option<Box<LocationFix>>>()
+                    + privacy.capacity() * (size_of::<u32>() + size_of::<usize>() + 1)
+            }
+        }
+    }
+}
+
 /// The mutable, per-object slice of service state. Objects hash to one
 /// shard; everything an ingest or query touches for that object lives
 /// here, behind one lock that is independent of every other shard.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct ShardState {
     /// Shard-local reading storage (a [`SpatialDatabase`] whose static
     /// tables stay empty so the `db.*` reading metrics keep aggregating
     /// across shards by name).
     db: SpatialDatabase,
-    /// Last successful fix per object, serving the last-known-good rung
-    /// of the degradation ladder. Only populated when supervised.
-    last_good: HashMap<MobileObjectId, LocationFix>,
-    /// Privacy policy: object → maximum GLOB depth revealed (§4.5).
-    privacy: HashMap<MobileObjectId, usize>,
-    objects: HashMap<MobileObjectId, ObjectState>,
+    /// Per-object bookkeeping: epochs, fusion cache, privacy,
+    /// last-known-good — in the compact or legacy layout.
+    store: ObjectStore,
 }
 
 impl ShardState {
     /// Bumps the object's epoch (new evidence or revocation), dropping
     /// any cached fusion. Returns `true` when a cache entry was dropped.
     fn bump_epoch(&mut self, object: &MobileObjectId) -> bool {
-        let state = self.objects.entry(object.clone()).or_default();
-        state.epoch = state.epoch.wrapping_add(1);
-        state.cache.take().is_some()
+        self.store.bump_epoch(object)
     }
 }
 
@@ -335,8 +660,35 @@ impl Shard {
     /// The object's reading-set epoch (0 if never seen).
     fn object_epoch(&self, object: &MobileObjectId) -> u64 {
         match self {
-            Shard::Locked(shard) => shard.read().objects.get(object).map_or(0, |s| s.epoch),
+            Shard::Locked(shard) => shard.read().store.epoch_of(object),
             Shard::LeftRight(shard) => shard.epoch_of(object),
+        }
+    }
+
+    /// Objects with any per-object state in this shard (tracked-objects
+    /// gauge input; cheap, no reading-table scan).
+    fn state_len(&self) -> usize {
+        match self {
+            Shard::Locked(shard) => shard.read().store.state_len(),
+            Shard::LeftRight(shard) => shard.state.read().epochs.len(),
+        }
+    }
+
+    /// Structural heap estimate of this shard's per-object bookkeeping.
+    fn state_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        match self {
+            Shard::Locked(shard) => shard.read().store.heap_bytes(),
+            Shard::LeftRight(shard) => {
+                let epochs = shard.state.read().epochs.len();
+                let aux = shard.aux.read();
+                // Two replicated sides of the epoch map plus the aux
+                // maps; coarse by design (the LR path is not the
+                // city-scale layout).
+                2 * epochs * (size_of::<MobileObjectId>() + size_of::<u64>() * 2)
+                    + aux.cache.len() * (size_of::<MobileObjectId>() + size_of::<CachedFusion>())
+                    + aux.last_good.len() * (size_of::<MobileObjectId>() + size_of::<LocationFix>())
+            }
         }
     }
 
@@ -357,7 +709,7 @@ impl Shard {
     /// The object's privacy depth limit, if any (§4.5).
     fn privacy_of(&self, object: &MobileObjectId) -> Option<usize> {
         match self {
-            Shard::Locked(shard) => shard.read().privacy.get(object).copied(),
+            Shard::Locked(shard) => shard.read().store.privacy_of(object),
             Shard::LeftRight(shard) => shard.state.read().privacy.get(object).copied(),
         }
     }
@@ -365,7 +717,7 @@ impl Shard {
     fn set_privacy(&self, object: MobileObjectId, max_depth: usize) {
         match self {
             Shard::Locked(shard) => {
-                shard.write().privacy.insert(object, max_depth);
+                shard.write().store.set_privacy(object, max_depth);
             }
             // Privacy changes are writes, so they go through a publish
             // like any other mutation (rare; administrative path).
@@ -376,7 +728,7 @@ impl Shard {
     fn clear_privacy(&self, object: &MobileObjectId) {
         match self {
             Shard::Locked(shard) => {
-                shard.write().privacy.remove(object);
+                shard.write().store.clear_privacy(object);
             }
             Shard::LeftRight(shard) => shard.publish(vec![LrOp::ClearPrivacy(object.clone())]),
         }
@@ -390,15 +742,7 @@ impl Shard {
         excluded_key: u64,
     ) -> Option<(Arc<FusionResult>, usize, usize)> {
         match self {
-            Shard::Locked(shard) => {
-                let guard = shard.read();
-                let state = guard.objects.get(object)?;
-                let cached = state.cache.as_ref()?;
-                (cached.epoch == state.epoch
-                    && cached.now == now
-                    && cached.excluded_key == excluded_key)
-                    .then(|| (Arc::clone(&cached.result), cached.total, cached.used))
-            }
+            Shard::Locked(shard) => shard.read().store.cached(object, now, excluded_key),
             Shard::LeftRight(shard) => {
                 // The authoritative epoch lives in the left-right
                 // state; an entry stored under an older epoch is a
@@ -422,7 +766,7 @@ impl Shard {
             Shard::Locked(shard) => {
                 let guard = shard.read();
                 let readings = guard.db.live_readings_for(object, now);
-                let epoch = guard.objects.get(object).map_or(0, |s| s.epoch);
+                let epoch = guard.store.epoch_of(object);
                 (readings, epoch)
             }
             Shard::LeftRight(shard) => {
@@ -440,11 +784,7 @@ impl Shard {
     fn store_fusion(&self, object: &MobileObjectId, entry: CachedFusion) {
         match self {
             Shard::Locked(shard) => {
-                let mut guard = shard.write();
-                let state = guard.objects.entry(object.clone()).or_default();
-                if state.epoch == entry.epoch {
-                    state.cache = Some(entry);
-                }
+                shard.write().store.store_cache(object, entry);
             }
             Shard::LeftRight(shard) => {
                 let mut aux = shard.aux.write();
@@ -462,7 +802,7 @@ impl Shard {
 
     fn last_good(&self, object: &MobileObjectId) -> Option<LocationFix> {
         match self {
-            Shard::Locked(shard) => shard.read().last_good.get(object).cloned(),
+            Shard::Locked(shard) => shard.read().store.last_good_of(object),
             Shard::LeftRight(shard) => shard.aux.read().last_good.get(object).cloned(),
         }
     }
@@ -470,7 +810,7 @@ impl Shard {
     fn record_last_good(&self, object: &MobileObjectId, fix: LocationFix) {
         match self {
             Shard::Locked(shard) => {
-                shard.write().last_good.insert(object.clone(), fix);
+                shard.write().store.record_last_good(object, fix);
             }
             Shard::LeftRight(shard) => {
                 shard.aux.write().last_good.insert(object.clone(), fix);
@@ -553,7 +893,7 @@ impl Shard {
                 let state = shard.read();
                 (
                     state.db.readings().live_readings(now).cloned().collect(),
-                    state.last_good.values().cloned().collect(),
+                    state.store.export_last_good(),
                 )
             }
             Shard::LeftRight(shard) => {
@@ -822,6 +1162,10 @@ struct CoreMetrics {
     rules_sharing_ratio: mw_obs::Gauge,
     rules_atoms: mw_obs::Counter,
     rules_eval_latency: mw_obs::Histogram,
+    rules_candidates: mw_obs::Counter,
+    rules_selections: mw_obs::Counter,
+    objects_tracked: mw_obs::Gauge,
+    mem_bytes_per_object: mw_obs::Gauge,
 }
 
 impl CoreMetrics {
@@ -845,6 +1189,10 @@ impl CoreMetrics {
             rules_sharing_ratio: registry.gauge("rules.dag.sharing_ratio"),
             rules_atoms: registry.counter("rules.eval.atoms"),
             rules_eval_latency: registry.histogram("rules.eval.latency_us"),
+            rules_candidates: registry.counter("rules.candidates.examined"),
+            rules_selections: registry.counter("rules.candidates.selections"),
+            objects_tracked: registry.gauge("core.objects.tracked"),
+            mem_bytes_per_object: registry.gauge("core.mem.bytes_per_object"),
         }
     }
 }
@@ -873,6 +1221,12 @@ pub struct LocationService {
     /// subscription — rule or legacy spec — lives here as a trigger
     /// group over the interned predicate DAG.
     rules: RwLock<RuleEngine>,
+    /// The identity table (`DESIGN.md` §14): object and sensor ids
+    /// interned to dense handles at the ingest boundary; the compact
+    /// shard slabs and the rule engine's per-object edge state key by
+    /// handle, and canonical `Arc<str>` allocations are shared by every
+    /// reading and notification.
+    idents: Arc<crate::ident::Interner>,
     /// Hit probabilities (`p_i`) of every sensor technology seen so far;
     /// §4.4 derives the low/medium/high/very-high band edges from "the
     /// accuracy of various sensors" deployed, not just the ones
@@ -1073,6 +1427,10 @@ impl LocationService {
             ingest_threads: tuning.ingest_threads.max(1),
             ..tuning
         };
+        // One identity table for the whole service: object and sensor
+        // ids interned at the ingest boundary, handles keying the
+        // compact shard slabs and the rule engine's edge state.
+        let idents = Arc::new(crate::ident::Interner::new());
         // Shard-local reading databases; bound to the registry first so
         // the statics database's object gauge wins the final write.
         // Left-right shards never bind the db metrics (each op is
@@ -1080,8 +1438,16 @@ impl LocationService {
         let shards: Box<[Shard]> = (0..tuning.shards)
             .map(|_| match tuning.read_path {
                 ReadPath::Locked => {
+                    let store = if tuning.compact_state {
+                        ObjectStore::compact(Arc::clone(&idents))
+                    } else {
+                        ObjectStore::legacy()
+                    };
                     let shard = LockedShard {
-                        state: RwLock::new(ShardState::default()),
+                        state: RwLock::new(ShardState {
+                            db: SpatialDatabase::new(),
+                            store,
+                        }),
                         contention: registry.map(|r| r.counter("core.shard.contention")),
                     };
                     if let Some(registry) = registry {
@@ -1120,7 +1486,8 @@ impl LocationService {
             world: WorldCell::new(tuning.read_path, world, symbolic),
             shards,
             engine,
-            rules: RwLock::new(RuleEngine::new(tuning.rule_sharing)),
+            rules: RwLock::new(RuleEngine::new(tuning.rule_sharing, Arc::clone(&idents))),
+            idents,
             tuning,
             sensor_accuracies: RwLock::new(Vec::new()),
             notifications: broker.topic::<SharedNotification>(NOTIFICATION_TOPIC),
@@ -1201,6 +1568,31 @@ impl LocationService {
     #[must_use]
     pub fn metrics_registry(&self) -> Option<&MetricsRegistry> {
         self.metrics.as_ref().map(|m| &m.registry)
+    }
+
+    /// The service's identity table (`DESIGN.md` §14): one handle per
+    /// distinct object/sensor id admitted so far.
+    #[must_use]
+    pub fn interner(&self) -> &Arc<crate::ident::Interner> {
+        &self.idents
+    }
+
+    /// Structural estimate of per-object heap bytes: shard bookkeeping
+    /// plus the identity table, divided by the objects with state.
+    /// The measured (allocator-level) figure lives in the bench
+    /// harness; this gauge is the always-available approximation
+    /// (readings themselves are accounted by `db.*`).
+    #[must_use]
+    pub fn estimated_bytes_per_object(&self) -> f64 {
+        let objects: usize = self.shards.iter().map(Shard::state_len).sum();
+        if objects == 0 {
+            return 0.0;
+        }
+        let state: usize = self.shards.iter().map(Shard::state_heap_bytes).sum();
+        #[allow(clippy::cast_precision_loss)]
+        {
+            (state + self.idents.heap_bytes()) as f64 / objects as f64
+        }
     }
 
     /// The fusion universe.
@@ -1379,8 +1771,8 @@ impl LocationService {
     /// ladder (`quality = LastKnownGood`) on a supervised service, and a
     /// locally computed fix for the same object overwrites it.
     pub fn import_last_good(&self, fix: LocationFix) {
-        let shard = &self.shards[self.shard_index(&fix.object)];
-        shard.record_last_good(&fix.object.clone(), fix);
+        let object = fix.object.clone();
+        self.shards[self.shard_index(&object)].record_last_good(&object, fix);
     }
 
     // --- ingestion ---------------------------------------------------------
@@ -1458,6 +1850,14 @@ impl LocationService {
                             continue;
                         }
                     }
+                    // Canonicalize the ids through the interner: every
+                    // downstream clone of this reading's object/sensor
+                    // id is then a refcount bump on the one shared
+                    // allocation per distinct identity.
+                    reading.object =
+                        MobileObjectId::new(self.idents.canonical(reading.object.as_str()).1);
+                    reading.sensor_id =
+                        SensorId::new(self.idents.canonical(reading.sensor_id.as_str()).1);
                     if seen.insert(reading.object.clone()) {
                         affected.push(reading.object.clone());
                     }
@@ -1501,6 +1901,13 @@ impl LocationService {
             metrics.notifications_published.add(fired.len() as u64);
             metrics.notification_fanout.add(delivered as u64);
             metrics.ingest_latency.observe(started.elapsed());
+            #[allow(clippy::cast_precision_loss)]
+            metrics
+                .objects_tracked
+                .set(self.shards.iter().map(Shard::state_len).sum::<usize>() as f64);
+            metrics
+                .mem_bytes_per_object
+                .set(self.estimated_bytes_per_object());
         }
         fired
     }
@@ -2175,7 +2582,7 @@ impl LocationService {
         let attempt = self.fuse_live(object, now, false);
         let result = attempt.result;
         // Candidates: trigger groups whose interest rects intersect the
-        // surviving evidence (R-tree pruned) plus currently-true ones
+        // surviving evidence (interest-grid pruned) plus currently-true ones
         // that may need re-arming, plus always-evaluate groups. This
         // keeps the per-update cost nearly independent of the number of
         // programmed triggers (the paper's Figure 9 claim) — and, with
@@ -2183,6 +2590,10 @@ impl LocationService {
         let window = result.result().evidence_window();
         let rules = self.rules.read();
         let candidates = rules.candidate_groups(object, window);
+        if let Some(metrics) = &self.metrics {
+            metrics.rules_selections.inc();
+            metrics.rules_candidates.add(candidates.len() as u64);
+        }
         if candidates.is_empty() {
             return ObjectEvaluation::empty();
         }

@@ -68,15 +68,25 @@ impl WorldModel {
         }
 
         // Wire the route graph: each passage connects every pair of
-        // walkable regions it touches.
-        let walkable: Vec<(String, RouteNodeId)> =
-            route_ids.iter().map(|(n, id)| (n.clone(), *id)).collect();
+        // walkable regions it touches. A door's `connects(a, b)` is just
+        // "the segment touches both rects", so collect the regions each
+        // segment touches in one linear pass and pair within that handful
+        // — all-pairs-per-passage is cubic in rooms and dominates service
+        // construction at city scale.
+        let mut walkable: Vec<(String, RouteNodeId, Rect)> = route_ids
+            .iter()
+            .map(|(n, id)| (n.clone(), *id, regions[n].1))
+            .collect();
+        walkable.sort_by(|a, b| a.0.cmp(&b.0));
         for p in &passages {
-            for (i, (na, a)) in walkable.iter().enumerate() {
-                for (nb, b) in walkable.iter().skip(i + 1) {
-                    let ra = regions[na].1;
-                    let rb = regions[nb].1;
-                    if p.connects(&ra, &rb) && Rcc8::of(&ra, &rb) == Rcc8::Ec {
+            let touching: Vec<usize> = (0..walkable.len())
+                .filter(|&i| p.connects(&walkable[i].2, &walkable[i].2))
+                .collect();
+            for (k, &i) in touching.iter().enumerate() {
+                for &j in touching.iter().skip(k + 1) {
+                    let (_, a, ra) = &walkable[i];
+                    let (_, b, rb) = &walkable[j];
+                    if Rcc8::of(ra, rb) == Rcc8::Ec {
                         let _ = route.connect(*a, *b, p);
                     }
                 }

@@ -1,0 +1,283 @@
+//! Property: the interned, compact per-object state path
+//! (`ServiceTuning::compact_state`, `DESIGN.md` §14) is observationally
+//! identical to the legacy string-keyed hash-map path.
+//!
+//! The compact path re-keys every per-object structure by dense `u32`
+//! interner handles (epochs and cached fusions in slabs, rule-engine
+//! group state by handle, candidate selection through the interest
+//! grid). None of that may be visible: for every random interleaving of
+//! ingests, revocations and queries under a live rule load-out, the twin
+//! running the legacy store must produce byte-identical notification
+//! streams, identical per-object epochs, and exactly equal query and
+//! locate answers.
+
+use std::sync::Arc;
+
+use mw_bus::Broker;
+use mw_core::{LocationQuery, LocationService, Predicate, Rule, ServiceTuning};
+use mw_geometry::{Point, Polygon, Rect};
+use mw_model::{SimDuration, SimTime, TemporalDegradation};
+use mw_sensors::{AdapterOutput, Revocation, SensorReading, SensorSpec};
+use mw_spatial_db::{Geometry, ObjectType, SpatialDatabase, SpatialObject};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+const OBJECTS: &[&str] = &["alice", "bob", "carol", "dave"];
+const SENSORS: &[&str] = &["Ubi-1", "Ubi-2", "RF-1"];
+
+fn universe() -> Rect {
+    Rect::new(Point::new(0.0, 0.0), Point::new(500.0, 100.0))
+}
+
+fn floor_db() -> SpatialDatabase {
+    let mut db = SpatialDatabase::new();
+    db.insert_object(SpatialObject::new(
+        "Floor3",
+        "CS".parse().unwrap(),
+        ObjectType::Floor,
+        Geometry::Polygon(Polygon::from_rect(&universe())),
+    ))
+    .unwrap();
+    for i in 0..10 {
+        let x0 = i as f64 * 50.0;
+        db.insert_object(SpatialObject::new(
+            format!("R{i}"),
+            "CS/Floor3".parse().unwrap(),
+            ObjectType::Room,
+            Geometry::Polygon(Polygon::from_rect(&Rect::new(
+                Point::new(x0, 0.0),
+                Point::new(x0 + 50.0, 100.0),
+            ))),
+        ))
+        .unwrap();
+    }
+    db
+}
+
+/// One step of an interleaved schedule.
+#[derive(Debug, Clone)]
+enum Op {
+    Ingest {
+        sensor: usize,
+        object: usize,
+        center: Point,
+        ttl_secs: f64,
+    },
+    Revoke {
+        sensor: usize,
+        object: usize,
+    },
+    Query {
+        object: usize,
+        rect: Rect,
+    },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    (
+        0..8usize,
+        0..SENSORS.len(),
+        0..OBJECTS.len(),
+        (2.0..448.0f64, 2.0..58.0f64),
+        (10.0..50.0f64, 10.0..40.0f64),
+    )
+        .prop_map(|(kind, sensor, object, (x, y), (w, h))| match kind {
+            0..=4 => Op::Ingest {
+                sensor,
+                object,
+                center: Point::new(x + 1.0, y + 1.0),
+                ttl_secs: if kind % 2 == 0 { 1e6 } else { 5.0 },
+            },
+            5 => Op::Revoke { sensor, object },
+            _ => Op::Query {
+                object,
+                rect: Rect::new(Point::new(x, y), Point::new(x + w, y + h)),
+            },
+        })
+}
+
+fn reading(sensor: usize, object: usize, center: Point, at: SimTime, ttl: f64) -> SensorReading {
+    SensorReading {
+        sensor_id: SENSORS[sensor].into(),
+        spec: SensorSpec::ubisense(1.0),
+        object: OBJECTS[object].into(),
+        glob_prefix: "CS/Floor3".parse().unwrap(),
+        region: Rect::from_center(center, 2.0, 2.0),
+        detected_at: at,
+        time_to_live: SimDuration::from_secs(ttl),
+        tdf: TemporalDegradation::None,
+        moving: false,
+    }
+}
+
+/// The rule load-out both twins carry, registered in a fixed order so
+/// subscription ids line up: one region rule per room (the interest-grid
+/// path), a per-object rule for every object (the handle-scoped group
+/// path), and one co-located pair (the partner-state path).
+fn register_rules(service: &LocationService) {
+    for i in 0..10 {
+        let x0 = i as f64 * 50.0;
+        let room = Rect::new(Point::new(x0, 0.0), Point::new(x0 + 50.0, 100.0));
+        let _ = service.subscribe_rule(
+            Rule::when(Predicate::in_region(room, 0.3))
+                .build()
+                .expect("room rule"),
+        );
+    }
+    for (i, object) in OBJECTS.iter().enumerate() {
+        let x0 = i as f64 * 120.0;
+        let rect = Rect::new(Point::new(x0, 0.0), Point::new(x0 + 120.0, 100.0));
+        let _ = service.subscribe_rule(
+            Rule::when(Predicate::in_region(rect, 0.2))
+                .object(*object)
+                .build()
+                .expect("object rule"),
+        );
+    }
+    let _ = service.subscribe_rule(
+        Rule::when(Predicate::co_located("alice", 2))
+            .object("bob")
+            .build()
+            .expect("co-located rule"),
+    );
+}
+
+fn build(compact: bool) -> Arc<LocationService> {
+    let broker = Broker::new();
+    let service = LocationService::new_with_tuning(
+        floor_db(),
+        universe(),
+        &broker,
+        ServiceTuning {
+            compact_state: compact,
+            ..ServiceTuning::default()
+        },
+    );
+    register_rules(&service);
+    service
+}
+
+fn assert_twins_agree(
+    compact: &LocationService,
+    legacy: &LocationService,
+    ops: &[Op],
+) -> Result<(), TestCaseError> {
+    for (step, op) in ops.iter().enumerate() {
+        let now = SimTime::from_secs(step as f64);
+        match *op {
+            Op::Ingest {
+                sensor,
+                object,
+                center,
+                ttl_secs,
+            } => {
+                let out = AdapterOutput::single(reading(sensor, object, center, now, ttl_secs));
+                let a = compact.ingest(out.clone(), now);
+                let b = legacy.ingest(out, now);
+                prop_assert_eq!(a, b, "notifications diverged at step {}", step);
+            }
+            Op::Revoke { sensor, object } => {
+                let out = AdapterOutput {
+                    readings: vec![],
+                    revocations: vec![Revocation {
+                        sensor_id: SENSORS[sensor].into(),
+                        object: OBJECTS[object].into(),
+                    }],
+                };
+                let a = compact.ingest(out.clone(), now);
+                let b = legacy.ingest(out, now);
+                prop_assert_eq!(a, b, "revocation notifications diverged at step {}", step);
+            }
+            Op::Query { object, rect } => {
+                // Twice: the second ask is the cache-hit path on both.
+                for _ in 0..2 {
+                    let q = || LocationQuery::of(OBJECTS[object]).in_rect(rect).at(now);
+                    match (compact.query(q()), legacy.query(q())) {
+                        (Ok(a), Ok(b)) => {
+                            prop_assert_eq!(
+                                a.probability(),
+                                b.probability(),
+                                "probability diverged at step {}",
+                                step
+                            );
+                            prop_assert_eq!(a.band(), b.band(), "band diverged at step {}", step);
+                            prop_assert_eq!(
+                                a.quality(),
+                                b.quality(),
+                                "quality diverged at step {}",
+                                step
+                            );
+                        }
+                        (Err(_), Err(_)) => {}
+                        (a, b) => {
+                            prop_assert!(false, "one twin errored at step {step}: {a:?} vs {b:?}")
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(compact.reading_count(), legacy.reading_count());
+        for object in OBJECTS {
+            prop_assert_eq!(
+                compact.object_epoch(&(*object).into()),
+                legacy.object_epoch(&(*object).into()),
+                "epoch diverged for {} at step {}",
+                object,
+                step
+            );
+        }
+    }
+    let end = SimTime::from_secs(ops.len() as f64);
+    for object in OBJECTS {
+        let fa = compact.locate(&(*object).into(), end);
+        let fb = legacy.locate(&(*object).into(), end);
+        match (fa, fb) {
+            (Ok(fa), Ok(fb)) => {
+                prop_assert!(fa == fb, "locate diverged for {object}: {fa:?} vs {fb:?}")
+            }
+            (Err(_), Err(_)) => {}
+            (fa, fb) => prop_assert!(false, "locate diverged for {object}: {fa:?} vs {fb:?}"),
+        }
+    }
+    prop_assert_eq!(compact.tracked_objects(end), legacy.tracked_objects(end));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The compact interned store is observationally identical to the
+    /// legacy string-keyed store under a live rule load-out.
+    #[test]
+    fn compact_state_matches_legacy(ops in proptest::collection::vec(op(), 1..48)) {
+        let compact = build(true);
+        let legacy = build(false);
+        assert_twins_agree(&compact, &legacy, &ops)?;
+    }
+}
+
+/// A deterministic burst that makes every object enter and leave every
+/// room rule at least once — a directed complement to the random
+/// schedules, cheap enough to run first and pin obvious divergence.
+#[test]
+fn compact_state_matches_legacy_on_a_room_walk() {
+    let compact = build(true);
+    let legacy = build(false);
+    let mut step = 0.0f64;
+    for lap in 0..2 {
+        for (obj, _) in OBJECTS.iter().enumerate() {
+            for room in 0..10 {
+                step += 1.0;
+                let now = SimTime::from_secs(step);
+                let center = Point::new(room as f64 * 50.0 + 25.0, 50.0 + lap as f64);
+                let out =
+                    AdapterOutput::single(reading(obj % SENSORS.len(), obj, center, now, 1e6));
+                let a = compact.ingest(out.clone(), now);
+                let b = legacy.ingest(out, now);
+                assert_eq!(a, b, "walk diverged at object {obj} room {room} lap {lap}");
+            }
+        }
+    }
+    let end = SimTime::from_secs(step + 1.0);
+    assert_eq!(compact.tracked_objects(end), legacy.tracked_objects(end));
+}

@@ -1,5 +1,6 @@
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 use mw_geometry::Point3;
 use serde::{Deserialize, Serialize};
@@ -80,9 +81,15 @@ impl fmt::Display for GlobLeaf {
 /// assert!(g.parent().unwrap().is_prefix_of(&c));
 /// # Ok::<(), mw_model::ModelError>(())
 /// ```
+/// The symbolic path is immutable once built — every combinator
+/// (`parent`, `child`, `truncated`, …) returns a new GLOB — so the
+/// segments live behind an `Arc` slice: cloning a GLOB is a refcount
+/// bump, and the thousands of sensor readings naming one room all share
+/// that room's single segment allocation (the city-scale
+/// bytes-per-object budget of `DESIGN.md` §14 counts on this).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Glob {
-    segments: Vec<String>,
+    segments: Arc<[String]>,
     leaf: Option<GlobLeaf>,
 }
 
@@ -112,7 +119,7 @@ impl Glob {
             }
         }
         Ok(Glob {
-            segments,
+            segments: segments.into(),
             leaf: None,
         })
     }
@@ -166,7 +173,7 @@ impl Glob {
             return None;
         }
         Some(Glob {
-            segments: self.segments[..self.segments.len() - 1].to_vec(),
+            segments: self.segments[..self.segments.len() - 1].to_vec().into(),
             leaf: None,
         })
     }
@@ -177,7 +184,7 @@ impl Glob {
     ///
     /// Returns [`ModelError::ParseGlob`] for an invalid segment.
     pub fn child(&self, segment: impl Into<String>) -> Result<Glob, ModelError> {
-        let mut segments = self.segments.clone();
+        let mut segments = self.segments.to_vec();
         segments.push(segment.into());
         Glob::symbolic(segments)
     }
@@ -207,7 +214,7 @@ impl Glob {
             return self.clone();
         }
         Glob {
-            segments: self.segments[..depth].to_vec(),
+            segments: self.segments[..depth].to_vec().into(),
             leaf: None,
         }
     }
@@ -222,7 +229,7 @@ impl Glob {
             .take_while(|(a, b)| a == b)
             .count();
         Glob {
-            segments: self.segments[..n].to_vec(),
+            segments: self.segments[..n].to_vec().into(),
             leaf: None,
         }
     }
@@ -266,7 +273,10 @@ impl FromStr for Glob {
                 reason: "coordinate leaf needs a symbolic prefix",
             });
         }
-        Ok(Glob { segments, leaf })
+        Ok(Glob {
+            segments: segments.into(),
+            leaf,
+        })
     }
 }
 

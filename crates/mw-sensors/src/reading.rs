@@ -1,4 +1,5 @@
 use std::fmt;
+use std::sync::Arc;
 
 use mw_geometry::Rect;
 use mw_model::{Confidence, Glob, SimDuration, SimTime, TemporalDegradation};
@@ -8,19 +9,32 @@ use crate::SensorSpec;
 
 /// Identifier of a physical sensor instance (e.g. `RF-12`, `Ubi-18` in the
 /// paper's Table 2).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct SensorId(String);
+///
+/// Backed by `Arc<str>` so a clone is a refcount bump: the same id is
+/// mentioned by every reading a sensor emits, the shard maps and the
+/// sensor meta table, and at city scale (DESIGN.md §14) per-clone string
+/// allocations dominated the ingest profile. Equality, ordering and
+/// hashing all delegate to the string content, so shard placement and
+/// map behavior are unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct SensorId(Arc<str>);
 
 impl SensorId {
     /// Creates a sensor id.
     #[must_use]
-    pub fn new(id: impl Into<String>) -> Self {
+    pub fn new(id: impl Into<Arc<str>>) -> Self {
         SensorId(id.into())
     }
 
     /// The id string.
     #[must_use]
     pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The shared allocation behind the id.
+    #[must_use]
+    pub fn as_shared(&self) -> &Arc<str> {
         &self.0
     }
 }
@@ -37,21 +51,37 @@ impl From<&str> for SensorId {
     }
 }
 
+impl Deserialize for SensorId {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        String::deserialize(value).map(SensorId::new)
+    }
+}
+
 /// Identifier of a tracked mobile object — a person or the device they
 /// carry (e.g. `tom-pda`, `ralph-bat` in Table 2).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct MobileObjectId(String);
+///
+/// `Arc<str>`-backed like [`SensorId`]; the location service interns
+/// every object id it admits, so all fixes, notifications and cache
+/// entries for one object share a single allocation of its name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct MobileObjectId(Arc<str>);
 
 impl MobileObjectId {
     /// Creates a mobile object id.
     #[must_use]
-    pub fn new(id: impl Into<String>) -> Self {
+    pub fn new(id: impl Into<Arc<str>>) -> Self {
         MobileObjectId(id.into())
     }
 
     /// The id string.
     #[must_use]
     pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The shared allocation behind the id.
+    #[must_use]
+    pub fn as_shared(&self) -> &Arc<str> {
         &self.0
     }
 }
@@ -65,6 +95,12 @@ impl fmt::Display for MobileObjectId {
 impl From<&str> for MobileObjectId {
     fn from(s: &str) -> Self {
         MobileObjectId::new(s)
+    }
+}
+
+impl Deserialize for MobileObjectId {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        String::deserialize(value).map(MobileObjectId::new)
     }
 }
 
@@ -222,5 +258,16 @@ mod tests {
         assert_eq!(s.to_string(), "RF-12");
         let m: MobileObjectId = "tom-pda".into();
         assert_eq!(m.as_str(), "tom-pda");
+        let owned = MobileObjectId::new(String::from("tom-pda"));
+        assert_eq!(owned, m);
+    }
+
+    #[test]
+    fn id_clones_share_one_allocation() {
+        let m: MobileObjectId = "tom-pda".into();
+        let c = m.clone();
+        assert!(Arc::ptr_eq(m.as_shared(), c.as_shared()));
+        let s: SensorId = "RF-12".into();
+        assert!(Arc::ptr_eq(s.as_shared(), s.clone().as_shared()));
     }
 }

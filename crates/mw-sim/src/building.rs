@@ -17,11 +17,16 @@ pub struct FloorPlan {
     pub rooms: Vec<(String, Rect)>,
 }
 
-fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+pub(crate) fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
     Rect::new(Point::new(x0, y0), Point::new(x1, y1))
 }
 
-fn room_object(identifier: &str, prefix: &Glob, r: Rect, t: ObjectType) -> SpatialObject {
+pub(crate) fn room_object(
+    identifier: &str,
+    prefix: &Glob,
+    r: Rect,
+    t: ObjectType,
+) -> SpatialObject {
     SpatialObject::new(
         identifier,
         prefix.clone(),
@@ -30,7 +35,7 @@ fn room_object(identifier: &str, prefix: &Glob, r: Rect, t: ObjectType) -> Spati
     )
 }
 
-fn door_object(identifier: &str, prefix: &Glob, a: Point, b: Point) -> SpatialObject {
+pub(crate) fn door_object(identifier: &str, prefix: &Glob, a: Point, b: Point) -> SpatialObject {
     SpatialObject::new(
         identifier,
         prefix.clone(),

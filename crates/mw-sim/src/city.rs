@@ -1,0 +1,476 @@
+//! City-scale workload generation (DESIGN.md §14): multi-building floor
+//! graphs, Zipf room occupancy, diurnal movement, and scripted
+//! rush-hour / evacuation bursts.
+//!
+//! The paper's evaluation tracks a handful of people on one floor; the
+//! city generator produces the 10⁵-object regime the crowd-monitoring
+//! literature (PAPERS.md) identifies as the stress case for region
+//! subscriptions. It is a *workload* generator, not a physics
+//! simulation: each room carries one presence sensor, and a person
+//! moving rooms emits exactly one [`Revocation`] (their old room's
+//! sensor forgets them) paired with one [`SensorReading`] (their new
+//! room sees them). The live-reading table therefore holds **exactly
+//! one row per person** at all times — the invariant the compact
+//! per-object state and bytes-per-object accounting are measured
+//! against.
+//!
+//! Everything is driven by one `u64` seed; the same seed reproduces the
+//! same event stream bit for bit.
+
+use mw_geometry::Rect;
+use mw_model::{Glob, SimDuration, SimTime, TemporalDegradation};
+use mw_sensors::{AdapterOutput, MobileObjectId, Revocation, SensorId, SensorReading, SensorSpec};
+use mw_spatial_db::{ObjectType, SpatialDatabase};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::building::{door_object, rect, room_object, FloorPlan};
+
+/// Dimensions and population of a generated city.
+#[derive(Debug, Clone)]
+pub struct CityConfig {
+    /// Number of buildings, laid out left to right.
+    pub buildings: usize,
+    /// Floors per building, stacked as horizontal strips.
+    pub floors: usize,
+    /// Rooms per floor, each opening onto the floor's hall.
+    pub rooms_per_floor: usize,
+    /// Tracked people.
+    pub population: usize,
+    /// Zipf exponent for work-room popularity (larger = more skew; a
+    /// few hot rooms — lecture halls, cafeterias — absorb most people).
+    pub zipf_exponent: f64,
+    /// Master seed for occupancy assignment and movement.
+    pub seed: u64,
+}
+
+impl Default for CityConfig {
+    fn default() -> Self {
+        CityConfig {
+            buildings: 4,
+            floors: 3,
+            rooms_per_floor: 8,
+            population: 256,
+            zipf_exponent: 1.1,
+            seed: 7,
+        }
+    }
+}
+
+/// One generated room: its spatial identity plus the presence sensor
+/// that reports occupants.
+#[derive(Debug, Clone)]
+struct CityRoom {
+    glob: Glob,
+    rect: Rect,
+    sensor: SensorId,
+    /// Index of the ground-floor hall of this room's building — the
+    /// evacuation assembly point.
+    assembly: usize,
+}
+
+/// The generated city: spatial database, room/sensor inventory, and the
+/// per-person occupancy state that drives movement.
+///
+/// Person state is struct-of-arrays (`home` / `work` / `at` as parallel
+/// `Vec<u32>`) so a 100k-person city costs a few hundred kilobytes of
+/// generator state, dwarfed by the service under test.
+#[derive(Debug)]
+pub struct City {
+    plan: FloorPlan,
+    rooms: Vec<CityRoom>,
+    people: Vec<MobileObjectId>,
+    home: Vec<u32>,
+    work: Vec<u32>,
+    /// Current room per person; `u32::MAX` before first placement.
+    at: Vec<u32>,
+    rng: StdRng,
+}
+
+const UNPLACED: u32 = u32::MAX;
+
+/// Room geometry (building units): 20×30 ft rooms on a 20 ft hall,
+/// matching the synthetic floor's proportions.
+const ROOM_W: f64 = 20.0;
+const ROOM_H: f64 = 30.0;
+const HALL_H: f64 = 20.0;
+/// Gap between buildings / floor strips so regions never touch.
+const GAP: f64 = 40.0;
+
+impl City {
+    /// Generates the city described by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any dimension or the population is zero.
+    #[must_use]
+    pub fn new(config: &CityConfig) -> City {
+        assert!(
+            config.buildings > 0 && config.floors > 0 && config.rooms_per_floor > 0,
+            "city needs at least one building, floor and room"
+        );
+        assert!(config.population > 0, "city needs at least one person");
+        let mut db = SpatialDatabase::new();
+        let root: Glob = "City".parse().expect("valid glob");
+
+        let floor_w = config.rooms_per_floor as f64 * ROOM_W;
+        let strip_h = ROOM_H + HALL_H;
+        let width = config.buildings as f64 * (floor_w + GAP)
+            - if config.buildings > 0 { GAP } else { 0.0 };
+        let height =
+            config.floors as f64 * (strip_h + GAP) - if config.floors > 0 { GAP } else { 0.0 };
+        let universe = rect(0.0, 0.0, width, height);
+        db.insert_object(room_object("Grounds", &root, universe, ObjectType::Floor))
+            .expect("fresh database");
+
+        let mut rooms: Vec<CityRoom> = Vec::new();
+        for b in 0..config.buildings {
+            let x0 = b as f64 * (floor_w + GAP);
+            // Ground-floor hall index for this building: halls are
+            // pushed first per floor, so floor 0's hall is the room
+            // we are about to push.
+            let assembly = rooms.len();
+            for f in 0..config.floors {
+                let y0 = f as f64 * (strip_h + GAP);
+                let prefix: Glob = format!("City/B{b}F{f}").parse().expect("valid glob");
+                let hall = rect(x0, y0 + ROOM_H, x0 + floor_w, y0 + strip_h);
+                db.insert_object(room_object("Hall", &prefix, hall, ObjectType::Corridor))
+                    .expect("unique hall");
+                rooms.push(CityRoom {
+                    glob: format!("City/B{b}F{f}/Hall").parse().expect("valid glob"),
+                    rect: hall,
+                    sensor: SensorId::new(format!("pres-B{b}F{f}-Hall")),
+                    assembly,
+                });
+                for r in 0..config.rooms_per_floor {
+                    let rx = x0 + r as f64 * ROOM_W;
+                    let room = rect(rx, y0, rx + ROOM_W, y0 + ROOM_H);
+                    db.insert_object(room_object(
+                        &format!("R{r}"),
+                        &prefix,
+                        room,
+                        ObjectType::Room,
+                    ))
+                    .expect("unique room");
+                    db.insert_object(door_object(
+                        &format!("DoorR{r}"),
+                        &prefix,
+                        mw_geometry::Point::new(rx + 8.0, y0 + ROOM_H),
+                        mw_geometry::Point::new(rx + 12.0, y0 + ROOM_H),
+                    ))
+                    .expect("unique door");
+                    rooms.push(CityRoom {
+                        glob: format!("City/B{b}F{f}/R{r}").parse().expect("valid glob"),
+                        rect: room,
+                        sensor: SensorId::new(format!("pres-B{b}F{f}-R{r}")),
+                        assembly,
+                    });
+                }
+            }
+        }
+
+        let walkable: Vec<(String, Rect)> =
+            rooms.iter().map(|r| (r.glob.to_string(), r.rect)).collect();
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        // Occupancy: work rooms Zipf-skewed (hot rooms absorb crowds),
+        // home rooms uniform.
+        let cdf = zipf_cdf(rooms.len(), config.zipf_exponent);
+        let mut home = Vec::with_capacity(config.population);
+        let mut work = Vec::with_capacity(config.population);
+        let mut people = Vec::with_capacity(config.population);
+        for i in 0..config.population {
+            people.push(MobileObjectId::new(format!("p{i}")));
+            home.push(rng.gen_range(0..rooms.len()) as u32);
+            work.push(sample_zipf(&cdf, &mut rng) as u32);
+        }
+
+        City {
+            plan: FloorPlan {
+                db,
+                universe,
+                rooms: walkable,
+            },
+            rooms,
+            people,
+            home,
+            work,
+            at: vec![UNPLACED; config.population],
+            rng,
+        }
+    }
+
+    /// The generated floor plan (spatial database, universe, walkable
+    /// rooms) — feed this to the service under test.
+    #[must_use]
+    pub fn plan(&self) -> &FloorPlan {
+        &self.plan
+    }
+
+    /// Number of generated rooms (including halls).
+    #[must_use]
+    pub fn room_count(&self) -> usize {
+        self.rooms.len()
+    }
+
+    /// Number of tracked people.
+    #[must_use]
+    pub fn population(&self) -> usize {
+        self.people.len()
+    }
+
+    /// Tracked object ids, in person order.
+    #[must_use]
+    pub fn people(&self) -> &[MobileObjectId] {
+        &self.people
+    }
+
+    /// Exact rects of the generated rooms, in room order — interest
+    /// regions for look-alike rule registration.
+    #[must_use]
+    pub fn room_rects(&self) -> Vec<Rect> {
+        self.rooms.iter().map(|r| r.rect).collect()
+    }
+
+    /// Places every person in their home room — the initial burst of
+    /// one reading per person, no revocations.
+    pub fn seed_presence(&mut self, now: SimTime) -> Vec<AdapterOutput> {
+        let mut out = Vec::with_capacity(self.people.len());
+        for i in 0..self.people.len() {
+            let to = self.home[i];
+            self.emit_move(i, to, now, &mut out);
+        }
+        out
+    }
+
+    /// One diurnal step: at `hour` (0–24), people drift toward work
+    /// during the day and home in the evening; `churn` is the fraction
+    /// of the population that moves this tick (the rest stay put).
+    pub fn diurnal_tick(&mut self, hour: f64, churn: f64, now: SimTime) -> Vec<AdapterOutput> {
+        let mut out = Vec::new();
+        let workward = (8.0..18.0).contains(&hour);
+        for i in 0..self.people.len() {
+            if !self.rng.gen_bool(churn.clamp(0.0, 1.0)) {
+                continue;
+            }
+            // A small minority wanders to a random room (meetings,
+            // errands); the rest head to their diurnal target.
+            let to = if self.rng.gen_bool(0.1) {
+                self.rng.gen_range(0..self.rooms.len()) as u32
+            } else if workward {
+                self.work[i]
+            } else {
+                self.home[i]
+            };
+            self.emit_move(i, to, now, &mut out);
+        }
+        out
+    }
+
+    /// Rush hour: everyone not already at work heads there — the
+    /// highest-churn scripted burst (worst-case revocation + ingest
+    /// volume, Zipf-concentrated fan-in on the hot rooms).
+    pub fn rush_hour_tick(&mut self, now: SimTime) -> Vec<AdapterOutput> {
+        let mut out = Vec::new();
+        for i in 0..self.people.len() {
+            let to = self.work[i];
+            self.emit_move(i, to, now, &mut out);
+        }
+        out
+    }
+
+    /// Evacuation: everyone moves to their building's ground-floor
+    /// hall — maximal fan-in to a handful of rooms, the notification
+    /// stress case for "anyone enters the assembly point" rules.
+    pub fn evacuation_tick(&mut self, now: SimTime) -> Vec<AdapterOutput> {
+        let mut out = Vec::new();
+        for i in 0..self.people.len() {
+            let to = if self.at[i] == UNPLACED {
+                self.home[i]
+            } else {
+                self.rooms[self.at[i] as usize].assembly as u32
+            };
+            self.emit_move(i, to, now, &mut out);
+        }
+        out
+    }
+
+    /// Moves person `i` to room `to`, pairing the new room's reading
+    /// with a revocation of the old room's — unless they are already
+    /// there, which emits nothing.
+    fn emit_move(&mut self, i: usize, to: u32, now: SimTime, out: &mut Vec<AdapterOutput>) {
+        let from = self.at[i];
+        if from == to {
+            return;
+        }
+        let mut output = AdapterOutput::default();
+        if from != UNPLACED {
+            output.revocations.push(Revocation {
+                sensor_id: self.rooms[from as usize].sensor.clone(),
+                object: self.people[i].clone(),
+            });
+        }
+        let room = &self.rooms[to as usize];
+        output.readings.push(SensorReading {
+            sensor_id: room.sensor.clone(),
+            spec: SensorSpec::ubisense(1.0),
+            object: self.people[i].clone(),
+            glob_prefix: room.glob.clone(),
+            region: room.rect,
+            detected_at: now,
+            // Presence persists until the revocation on the next move;
+            // a long TTL keeps the one-row-per-person invariant from
+            // decaying mid-scenario.
+            time_to_live: SimDuration::from_secs(86_400.0),
+            tdf: TemporalDegradation::None,
+            moving: false,
+        });
+        self.at[i] = to;
+        out.push(output);
+    }
+}
+
+/// Cumulative Zipf distribution over ranks `0..n` with exponent `s`.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for k in 1..=n {
+        total += 1.0 / (k as f64).powf(s);
+        cdf.push(total);
+    }
+    for v in &mut cdf {
+        *v /= total;
+    }
+    cdf
+}
+
+/// Samples a rank from a [`zipf_cdf`] by binary search.
+fn sample_zipf(cdf: &[f64], rng: &mut StdRng) -> usize {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    match cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite cdf")) {
+        Ok(i) | Err(i) => i.min(cdf.len() - 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mw_bus::Broker;
+    use mw_core::LocationService;
+
+    #[test]
+    fn geometry_and_globs_are_depth_3() {
+        let city = City::new(&CityConfig {
+            buildings: 2,
+            floors: 2,
+            rooms_per_floor: 3,
+            population: 10,
+            ..CityConfig::default()
+        });
+        // Per floor: 1 hall + 3 rooms.
+        assert_eq!(city.room_count(), 2 * 2 * 4);
+        for (glob, _) in &city.plan().rooms {
+            assert_eq!(glob.split('/').count(), 3, "depth-3 glob: {glob}");
+        }
+        // Rooms never overlap across buildings/floors.
+        let rects = city.room_rects();
+        for (i, a) in rects.iter().enumerate() {
+            for b in rects.iter().skip(i + 1) {
+                let overlap = a.intersection(b).map(|r| r.area() > 1e-9).unwrap_or(false);
+                assert!(!overlap, "rooms overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn one_live_row_per_person_through_a_day() {
+        let mut city = City::new(&CityConfig {
+            buildings: 2,
+            floors: 1,
+            rooms_per_floor: 4,
+            population: 32,
+            ..CityConfig::default()
+        });
+        let broker = Broker::new();
+        let engine = mw_fusion::FusionEngine::new(city.plan().universe);
+        let service = LocationService::new_with_engine(city.plan().db.clone(), engine, &broker);
+        let mut now = SimTime::from_secs(1.0);
+        let seed = city.seed_presence(now);
+        assert_eq!(seed.len(), 32, "everyone placed");
+        service.ingest_batch(seed, now);
+        assert_eq!(service.reading_count(), 32);
+        for step in 0..6 {
+            now = SimTime::from_secs(10.0 + f64::from(step));
+            let outputs = city.diurnal_tick(9.0, 0.5, now);
+            for o in &outputs {
+                assert_eq!(o.readings.len(), 1);
+                assert_eq!(o.revocations.len(), 1, "move revokes the old row");
+            }
+            service.ingest_batch(outputs, now);
+            assert_eq!(service.reading_count(), 32, "exactly one row per person");
+        }
+        now = SimTime::from_secs(100.0);
+        service.ingest_batch(city.rush_hour_tick(now), now);
+        assert_eq!(service.reading_count(), 32);
+        now = SimTime::from_secs(200.0);
+        service.ingest_batch(city.evacuation_tick(now), now);
+        assert_eq!(service.reading_count(), 32);
+        assert_eq!(service.tracked_objects(now).len(), 32);
+    }
+
+    #[test]
+    fn evacuation_collects_everyone_in_ground_floor_halls() {
+        let mut city = City::new(&CityConfig {
+            buildings: 3,
+            floors: 2,
+            rooms_per_floor: 2,
+            population: 20,
+            ..CityConfig::default()
+        });
+        let now = SimTime::from_secs(1.0);
+        city.seed_presence(now);
+        city.evacuation_tick(SimTime::from_secs(2.0));
+        for i in 0..city.population() {
+            let room = &city.rooms[city.at[i] as usize];
+            assert!(
+                room.glob.to_string().ends_with("/Hall"),
+                "person {i} not in a hall: {}",
+                room.glob
+            );
+            assert!(room.glob.to_string().contains("F0"), "ground floor");
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_stream() {
+        let config = CityConfig {
+            population: 64,
+            ..CityConfig::default()
+        };
+        let mut a = City::new(&config);
+        let mut b = City::new(&config);
+        let now = SimTime::from_secs(1.0);
+        assert_eq!(a.seed_presence(now), b.seed_presence(now));
+        assert_eq!(
+            a.diurnal_tick(9.0, 0.3, SimTime::from_secs(2.0)),
+            b.diurnal_tick(9.0, 0.3, SimTime::from_secs(2.0))
+        );
+        assert_eq!(
+            a.rush_hour_tick(SimTime::from_secs(3.0)),
+            b.rush_hour_tick(SimTime::from_secs(3.0))
+        );
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let cdf = zipf_cdf(100, 1.1);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..10_000 {
+            counts[sample_zipf(&cdf, &mut rng)] += 1;
+        }
+        let head: usize = counts[..10].iter().sum();
+        let tail: usize = counts[90..].iter().sum();
+        assert!(head > 5 * tail, "head {head} should dwarf tail {tail}");
+    }
+}

@@ -7,6 +7,9 @@
 //!
 //! - [`building`] — the paper's floor plan (Figure 8 / Table 1) and
 //!   parameterized synthetic floors for scaling experiments,
+//! - [`City`] — the city-scale workload generator (multi-building floor
+//!   graphs, Zipf occupancy, diurnal/rush-hour/evacuation movement) for
+//!   the 10⁵-object benchmarks of DESIGN.md §14,
 //! - [`Person`] — ground-truth people doing random-waypoint movement
 //!   through the route graph (rooms, doors, corridors),
 //! - [`Deployment`] — simulated sensor installations that observe people
@@ -27,6 +30,7 @@
 pub mod building;
 pub mod byzantine;
 pub mod calibration;
+pub mod city;
 pub mod cluster;
 mod deployment;
 mod person;
@@ -35,6 +39,7 @@ mod simulation;
 pub use building::FloorPlan;
 pub use byzantine::{ByzantineAdapter, ByzantineMode};
 pub use calibration::{fit_tdf, CarryProbabilityEstimator, FittedTdf};
+pub use city::{City, CityConfig};
 pub use cluster::ClusterScenario;
 pub use deployment::{Deployment, DeploymentConfig};
 pub use person::Person;

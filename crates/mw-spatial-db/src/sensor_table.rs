@@ -12,9 +12,23 @@ use mw_sensors::{MobileObjectId, SensorId, SensorReading};
 /// The table keeps the latest reading per `(sensor, mobile object)` pair —
 /// a fresh report from the same sensor supersedes its previous one — and
 /// prunes expired rows lazily.
+///
+/// Storage is keyed by object: the fusion hot path asks "all live
+/// readings about *this* object" once per ingest, and revocation names
+/// one `(sensor, object)` pair, so both must cost the handful of
+/// readings that object actually has — not a scan of every tracked
+/// object in the shard (`DESIGN.md` §14). Rows are boxed: a
+/// `SensorReading` is ~230 bytes inline and containers over-allocate
+/// (a `Vec`'s first push reserves capacity 4 for elements this size,
+/// so an unboxed single-reading object would hold ~930 bytes), so
+/// storing thin pointers keeps the table's resident cost near the
+/// payload itself — the city-scale bytes-per-tracked-object budget is
+/// dominated by exactly this table.
 #[derive(Debug, Clone, Default)]
 pub struct SensorReadingTable {
-    rows: HashMap<(SensorId, MobileObjectId), SensorReading>,
+    #[allow(clippy::vec_box)] // thin rows: see capacity note above
+    rows: HashMap<MobileObjectId, Vec<Box<SensorReading>>>,
+    len: usize,
 }
 
 impl SensorReadingTable {
@@ -28,26 +42,39 @@ impl SensorReadingTable {
     /// pruned).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// Returns `true` when no readings are stored.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
     }
 
     /// Inserts a reading, superseding the previous reading of the same
     /// `(sensor, object)` pair. Returns the superseded reading, if any.
     pub fn insert(&mut self, reading: SensorReading) -> Option<SensorReading> {
-        self.rows
-            .insert((reading.sensor_id.clone(), reading.object.clone()), reading)
+        let per_object = self.rows.entry(reading.object.clone()).or_default();
+        if let Some(slot) = per_object
+            .iter_mut()
+            .find(|r| r.sensor_id == reading.sensor_id)
+        {
+            return Some(std::mem::replace(&mut **slot, reading));
+        }
+        per_object.push(Box::new(reading));
+        self.len += 1;
+        None
     }
 
     /// Removes and returns every stored reading (expired rows included) —
     /// used to migrate a pre-populated table into per-shard storage.
     pub fn drain(&mut self) -> Vec<SensorReading> {
-        self.rows.drain().map(|(_, r)| r).collect()
+        self.len = 0;
+        self.rows
+            .drain()
+            .flat_map(|(_, per_object)| per_object)
+            .map(|r| *r)
+            .collect()
     }
 
     /// Drops all readings from `sensor` about `object` — the §6 logout
@@ -56,9 +83,17 @@ impl SensorReadingTable {
     ///
     /// Returns how many rows were dropped.
     pub fn revoke(&mut self, sensor: &SensorId, object: &MobileObjectId) -> usize {
-        let before = self.rows.len();
-        self.rows.retain(|(s, o), _| !(s == sensor && o == object));
-        before - self.rows.len()
+        let Some(per_object) = self.rows.get_mut(object) else {
+            return 0;
+        };
+        let before = per_object.len();
+        per_object.retain(|r| r.sensor_id != *sensor);
+        let dropped = before - per_object.len();
+        if per_object.is_empty() {
+            self.rows.remove(object);
+        }
+        self.len -= dropped;
+        dropped
     }
 
     /// All live (unexpired) readings about `object` at `now`.
@@ -68,31 +103,44 @@ impl SensorReadingTable {
         now: SimTime,
     ) -> impl Iterator<Item = &'a SensorReading> {
         self.rows
-            .iter()
-            .filter(move |((_, o), r)| o == object && !r.is_expired(now))
-            .map(|(_, r)| r)
+            .get(object)
+            .into_iter()
+            .flatten()
+            .map(|r| &**r)
+            .filter(move |r| !r.is_expired(now))
     }
 
     /// All live readings at `now`, any object.
     pub fn live_readings(&self, now: SimTime) -> impl Iterator<Item = &SensorReading> {
-        self.rows.values().filter(move |r| !r.is_expired(now))
+        self.rows
+            .values()
+            .flatten()
+            .map(|r| &**r)
+            .filter(move |r| !r.is_expired(now))
     }
 
     /// The distinct objects with at least one live reading at `now`.
     #[must_use]
     pub fn tracked_objects(&self, now: SimTime) -> Vec<MobileObjectId> {
-        let mut out: Vec<MobileObjectId> =
-            self.live_readings(now).map(|r| r.object.clone()).collect();
+        let mut out: Vec<MobileObjectId> = self
+            .rows
+            .iter()
+            .filter(|(_, per_object)| per_object.iter().any(|r| !r.is_expired(now)))
+            .map(|(object, _)| object.clone())
+            .collect();
         out.sort();
-        out.dedup();
         out
     }
 
     /// Removes expired rows; returns how many were pruned.
     pub fn prune_expired(&mut self, now: SimTime) -> usize {
-        let before = self.rows.len();
-        self.rows.retain(|_, r| !r.is_expired(now));
-        before - self.rows.len()
+        let before = self.len;
+        for per_object in self.rows.values_mut() {
+            per_object.retain(|r| !r.is_expired(now));
+        }
+        self.rows.retain(|_, per_object| !per_object.is_empty());
+        self.len = self.rows.values().map(Vec::len).sum();
+        before - self.len
     }
 }
 

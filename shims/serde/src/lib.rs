@@ -293,6 +293,14 @@ impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
     }
 }
 
+/// `Arc<[T]>` round-trips as a plain sequence (the blanket `Arc<T>`
+/// impl above only covers sized pointees).
+impl<T: Deserialize> Deserialize for std::sync::Arc<[T]> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Vec::<T>::deserialize(value).map(Into::into)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn serialize(&self) -> Value {
         match self {
