@@ -160,7 +160,7 @@ fn fig5_6_lattice() {
         match lattice.kind(id).expect("valid node") {
             NodeKind::Top => "Top".into(),
             NodeKind::Bottom => "Bottom".into(),
-            NodeKind::Sensor(_) => names
+            NodeKind::Sensor { .. } => names
                 .iter()
                 .find(|(rect, _)| *rect == region)
                 .map_or_else(|| format!("{region}"), |(_, n)| (*n).to_string()),

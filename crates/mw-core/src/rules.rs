@@ -72,7 +72,58 @@ use serde::{Deserialize, Serialize};
 use crate::ident::Interner;
 use crate::relations;
 use crate::subscription::{DeliveryPolicy, SubscriptionId, SubscriptionSpec, SubscriptionTrigger};
-use crate::{CoreError, LocationFix};
+use crate::{CoreError, LocationFix, Notification};
+
+// --- hot-map hashing ------------------------------------------------------
+
+/// Deterministic multiply-rotate hasher (fxhash-style) for the engine's
+/// hot maps, whose keys are small dense integers (interned object ids,
+/// group/node indices, grid cells). Every dirty candidate evaluation
+/// performs several map operations on these keys; SipHash's per-lookup
+/// cost dominated that bookkeeping, and its DoS resistance buys nothing
+/// for crate-internal integer keys (DESIGN.md §15).
+#[derive(Default, Clone, Copy)]
+struct FxHasher(u64);
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        const K: u64 = 0x517c_c1b7_2722_0a95;
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(K);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+}
+
+type FastState = std::hash::BuildHasherDefault<FxHasher>;
+type FastMap<K, V> = HashMap<K, V, FastState>;
+type FastSet<K> = HashSet<K, FastState>;
 
 // --- public AST ----------------------------------------------------------
 
@@ -577,7 +628,7 @@ const MAX_RECT_CELLS: i64 = 4096;
 /// rects, which reproduces the R-tree's semantics bit for bit.
 #[derive(Debug, Default)]
 struct InterestGrid {
-    cells: HashMap<(i64, i64), Vec<usize>>,
+    cells: FastMap<(i64, i64), Vec<usize>>,
     /// Groups whose interest rect was too large to enumerate; matched
     /// against every window (the exact post-filter still applies).
     oversized: Vec<usize>,
@@ -708,7 +759,7 @@ struct Group {
     /// change without the evidence window touching an interest rect).
     always: bool,
     /// Edge state per tracked object, keyed by interned handle.
-    state: HashMap<u32, GroupObjState>,
+    state: FastMap<u32, GroupObjState>,
 }
 
 struct RuleRecord {
@@ -743,15 +794,33 @@ pub(crate) struct RuleEngine {
     /// Per object handle: groups whose root held on the last evaluation
     /// (candidates even when the evidence window moves away — exit
     /// edges and re-arming need them).
-    truthy: HashMap<u32, Vec<usize>>,
-    node_state: HashMap<(usize, u32), NodeState>,
+    truthy: FastMap<u32, Vec<usize>>,
+    node_state: FastMap<(usize, u32), NodeState>,
     /// Nodes that have ever committed clock state. A stateful node on
     /// this list is no longer joinable by new rules (see
     /// [`NodeKind::stateful`]).
-    touched: HashSet<usize>,
+    touched: FastSet<usize>,
     rules: HashMap<SubscriptionId, RuleRecord>,
     /// Sum of `RuleRecord::expanded` over live rules.
     expanded_total: u64,
+    /// Per-node *value purity*, parallel to `nodes`. A pure node's value
+    /// is a function of the evaluation signature alone (fused evidence,
+    /// thresholds, position/estimate, fallback region): `InRegion` /
+    /// `NearPoint` atoms, and `Not`/`And`/`Or` over pure children. Note
+    /// this is broader than the interest-index purity of
+    /// [`RuleEngine::interest_of`]: a `Not` over a pure child is
+    /// value-pure (cacheable) even though it must be always-evaluated.
+    /// `Dwell`/`Moved` (clock state) and `CoLocated` (partner state)
+    /// are impure.
+    pure: Vec<bool>,
+    /// Differential root cache: last `(signature, value)` per
+    /// `(group, object)` for groups with a pure root. On a signature
+    /// match the whole group evaluation is served from here.
+    root_cache: FastMap<(u32, u32), (u64, NodeVal)>,
+    /// Differential frontier cache: last `(signature, value)` per
+    /// `(pure node, object)` where the node is a child of an impure
+    /// parent (the dirty walk stops descending here on a match).
+    leaf_cache: FastMap<(u32, u32), (u64, NodeVal)>,
 }
 
 impl std::fmt::Debug for RuleEngine {
@@ -797,9 +866,19 @@ pub(crate) struct GroupEval {
 pub(crate) struct ObjectEvaluation {
     evals: Vec<GroupEval>,
     node_updates: Vec<(usize, NodeState)>,
+    /// Differential root-cache writes `(group, signature, value)` to
+    /// commit alongside the edge state.
+    root_writes: Vec<(u32, u64, NodeVal)>,
+    /// Differential frontier-cache writes `(node, signature, value)`.
+    leaf_writes: Vec<(u32, u64, NodeVal)>,
     /// Leaf atoms evaluated in this pass (post-memoization) — the
     /// `rules.eval.atoms` metric.
     pub atoms_evaluated: u64,
+    /// Candidate groups actually re-walked — `rules.eval.dirty`.
+    pub dirty_groups: u64,
+    /// Groups / frontier subtrees served from the differential caches —
+    /// `rules.eval.skipped`.
+    pub skipped_cached: u64,
 }
 
 impl ObjectEvaluation {
@@ -807,12 +886,19 @@ impl ObjectEvaluation {
         ObjectEvaluation {
             evals: Vec::new(),
             node_updates: Vec::new(),
+            root_writes: Vec::new(),
+            leaf_writes: Vec::new(),
             atoms_evaluated: 0,
+            dirty_groups: 0,
+            skipped_cached: 0,
         }
     }
 
     pub(crate) fn is_empty(&self) -> bool {
-        self.evals.is_empty() && self.node_updates.is_empty()
+        self.evals.is_empty()
+            && self.node_updates.is_empty()
+            && self.root_writes.is_empty()
+            && self.leaf_writes.is_empty()
     }
 }
 
@@ -820,6 +906,19 @@ impl ObjectEvaluation {
 /// [`Notification`](crate::Notification).
 pub(crate) struct FiredRule {
     pub id: SubscriptionId,
+    pub region: Rect,
+    pub probability: f64,
+    pub band: ProbabilityBand,
+}
+
+/// One trigger *group* that fired. Every member of a look-alike group
+/// shares the same payload, so the hot path records one of these per
+/// group and expands members lazily via
+/// [`RuleEngine::for_each_fired`] — a 100-member group costs one
+/// 48-byte record instead of 100 `FiredRule`s of redundant payload
+/// (DESIGN.md §15).
+pub(crate) struct FiredGroup {
+    pub group: usize,
     pub region: Rect,
     pub probability: f64,
     pub band: ProbabilityBand,
@@ -834,6 +933,100 @@ struct NodeVal {
     region: Rect,
 }
 
+impl Default for NodeVal {
+    /// Placeholder for unstamped scratch slots — never read as a value.
+    fn default() -> Self {
+        NodeVal {
+            truth: false,
+            probability: 0.0,
+            region: Rect::from_point(Point::ORIGIN),
+        }
+    }
+}
+
+/// Generation-stamped dense memo for one evaluation pass, replacing the
+/// per-call `HashMap<usize, NodeVal>`: node ids are dense indices, so a
+/// lookup is an array access and "clear" is a generation bump. Owned by
+/// the caller (one per ingest thread) and reused across every
+/// evaluation, so the steady-state hot path allocates nothing.
+pub(crate) struct EvalScratch {
+    stamp: Vec<u32>,
+    val: Vec<NodeVal>,
+    generation: u32,
+}
+
+impl EvalScratch {
+    pub(crate) fn new() -> EvalScratch {
+        EvalScratch {
+            stamp: Vec::new(),
+            val: Vec::new(),
+            generation: 0,
+        }
+    }
+
+    /// Starts a fresh pass over a DAG of `nodes` nodes. Grows the slabs
+    /// when rules were added since last time (amortized; steady state is
+    /// allocation-free) and invalidates all prior entries by bumping the
+    /// generation.
+    fn begin(&mut self, nodes: usize) {
+        if self.stamp.len() < nodes {
+            self.stamp.resize(nodes, 0);
+            self.val.resize(nodes, NodeVal::default());
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Wrapped: old stamps could alias the new generation.
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+    }
+
+    fn get(&self, node: usize) -> Option<NodeVal> {
+        (self.stamp[node] == self.generation).then(|| self.val[node])
+    }
+
+    fn put(&mut self, node: usize, value: NodeVal) -> NodeVal {
+        self.stamp[node] = self.generation;
+        self.val[node] = value;
+        value
+    }
+}
+
+/// FNV-1a over 64-bit words — the evaluation-signature hash (cheap,
+/// deterministic, allocation-free). A collision merely serves one stale
+/// cached value whose inputs hash alike; at ~2⁻³⁹ over the bench's
+/// volume this is accepted and documented in DESIGN.md §15.
+fn fnv_words<I: IntoIterator<Item = u64>>(words: I) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+            h ^= (w >> shift) & 0xff;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Read-only inputs threaded through one object's node walk.
+struct EvalCtx<'a, 'b> {
+    object: &'a MobileObjectId,
+    obj: u32,
+    input: &'a EvalInput<'b>,
+    partner: &'a dyn Fn(&MobileObjectId) -> Option<LocationFix>,
+    /// The evaluation signature when differential mode is on; `None`
+    /// runs the exact legacy walk (no cache reads, no cache writes).
+    sig: Option<u64>,
+}
+
+/// Mutable side effects of one object's node walk.
+struct EvalSideEffects<'a> {
+    scratch: &'a mut EvalScratch,
+    updates: Vec<(usize, NodeState)>,
+    leaf_writes: Vec<(u32, u64, NodeVal)>,
+    atoms: u64,
+    skipped: u64,
+}
+
 impl RuleEngine {
     pub(crate) fn new(shared: bool, idents: Arc<Interner>) -> RuleEngine {
         RuleEngine {
@@ -846,11 +1039,14 @@ impl RuleEngine {
             group_index: HashMap::new(),
             index: InterestGrid::default(),
             always: Vec::new(),
-            truthy: HashMap::new(),
-            node_state: HashMap::new(),
-            touched: HashSet::new(),
+            truthy: FastMap::default(),
+            node_state: FastMap::default(),
+            touched: FastSet::default(),
             rules: HashMap::new(),
             expanded_total: 0,
+            pure: Vec::new(),
+            root_cache: FastMap::default(),
+            leaf_cache: FastMap::default(),
         }
     }
 
@@ -902,7 +1098,7 @@ impl RuleEngine {
             members: vec![id],
             interest: if pure { interest } else { Vec::new() },
             always: !pure,
-            state: HashMap::new(),
+            state: FastMap::default(),
         }));
         self.rules.insert(id, RuleRecord { group: g, expanded });
         self.expanded_total += expanded;
@@ -937,6 +1133,12 @@ impl RuleEngine {
         if self.group_index.get(&group.key) == Some(&record.group) {
             self.group_index.remove(&group.key);
         }
+        // Cached root values for the freed group are stale (the slot may
+        // be reused by an unrelated group); the frontier cache keys on
+        // DAG nodes, which persist, so it stays valid.
+        #[allow(clippy::cast_possible_truncation)]
+        self.root_cache
+            .retain(|&(g, _), _| g as usize != record.group);
         true
     }
 
@@ -957,6 +1159,14 @@ impl RuleEngine {
         if self.shared {
             self.intern.insert(kind.clone(), idx);
         }
+        // Value purity, bottom-up (children are already pushed).
+        let pure = match &kind {
+            NodeKind::InRegion { .. } | NodeKind::NearPoint { .. } => true,
+            NodeKind::Not(c) => self.pure[*c],
+            NodeKind::And(cs) | NodeKind::Or(cs) => cs.iter().all(|&c| self.pure[c]),
+            NodeKind::CoLocated { .. } | NodeKind::Dwell { .. } | NodeKind::Moved { .. } => false,
+        };
+        self.pure.push(pure);
         self.nodes.push(kind);
         idx
     }
@@ -1118,26 +1328,49 @@ impl RuleEngine {
     // --- evaluation (read-only half) -------------------------------------
 
     /// Candidate trigger groups for one fuse of `object`: interest-grid
-    /// window hits (re-checked against the exact interest rects), plus
-    /// groups currently true for the object (exit edges / re-arming),
-    /// plus always-evaluate groups — filtered by each group's object
-    /// filter. Sorted ascending, deduped.
-    pub(crate) fn candidate_groups(
+    /// hits for each evidence rectangle (re-checked against the exact
+    /// interest rects), plus groups currently true for the object (exit
+    /// edges / re-arming), plus always-evaluate groups — filtered by
+    /// each group's object filter. Sorted ascending, deduped.
+    #[cfg(test)]
+    pub(crate) fn candidate_groups(&self, object: &MobileObjectId, windows: &[Rect]) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.candidate_groups_into(object, windows, &mut out);
+        out
+    }
+
+    /// [`candidate_groups`](RuleEngine::candidate_groups) into a
+    /// caller-owned buffer, so the per-shard ingest loop reuses one
+    /// allocation across fuses. The buffer is cleared first.
+    ///
+    /// `windows` is the object's surviving evidence, one rect per
+    /// reading — not their union MBR. Selecting per rect matters for
+    /// fast movers: an object with an aged reading in one building and
+    /// a fresh reading in another has a union box sweeping every
+    /// watched room in between, and each spurious candidate costs a
+    /// posterior evaluation downstream (DESIGN.md §15).
+    pub(crate) fn candidate_groups_into(
         &self,
         object: &MobileObjectId,
-        window: Option<Rect>,
-    ) -> Vec<usize> {
+        windows: &[Rect],
+        out: &mut Vec<usize>,
+    ) {
         let obj = self.idents.intern(object.as_str());
-        let mut out: Vec<usize> = Vec::new();
-        if let Some(w) = window {
-            self.index.query_window(&w, &mut out);
+        out.clear();
+        for w in windows {
+            self.index.query_window(w, out);
+        }
+        if !windows.is_empty() {
             // The grid is coarse (cell overlap, not rect overlap);
             // re-check the exact rects so selection is bit-identical to
-            // the R-tree's `intersects` semantics.
+            // an exact `intersects` walk over the evidence.
             out.retain(|&g| {
-                self.groups[g]
-                    .as_ref()
-                    .is_some_and(|group| group.interest.iter().any(|r| r.intersects(&w)))
+                self.groups[g].as_ref().is_some_and(|group| {
+                    group
+                        .interest
+                        .iter()
+                        .any(|r| windows.iter().any(|w| r.intersects(w)))
+                })
             });
         }
         out.extend(self.always.iter().copied());
@@ -1151,78 +1384,178 @@ impl RuleEngine {
                 .as_ref()
                 .is_some_and(|group| group.object.is_none_or(|o| o == obj))
         });
-        out
+    }
+
+    /// The differential evaluation signature for one fuse of one object:
+    /// a fingerprint of every input a *pure* node can read. Equal
+    /// signatures ⇒ every pure subtree would evaluate to the same value
+    /// as last time, so its cached result can be served verbatim.
+    /// Deliberately excludes `input.now` — pure nodes never read the
+    /// clock (temporal degradation is already baked into the fused
+    /// evidence fingerprint), which is what lets stationary objects hit
+    /// the cache across ingests while dwell clocks keep advancing.
+    fn eval_signature(&self, input: &EvalInput<'_>) -> u64 {
+        let rect_words = |r: &Rect| {
+            [
+                r.min().x.to_bits(),
+                r.min().y.to_bits(),
+                r.max().x.to_bits(),
+                r.max().y.to_bits(),
+            ]
+        };
+        let mut words = [0u64; 15];
+        words[0] = input.fusion.value_fingerprint();
+        words[1] = input.thresholds.value_fingerprint();
+        match input.position {
+            Some(p) => {
+                words[2] = 1;
+                words[3] = p.x.to_bits();
+                words[4] = p.y.to_bits();
+            }
+            None => words[2] = 2,
+        }
+        match &input.estimate {
+            Some(r) => {
+                words[5] = 1;
+                words[6..10].copy_from_slice(&rect_words(r));
+            }
+            None => words[5] = 2,
+        }
+        words[10..14].copy_from_slice(&rect_words(&input.fallback_region));
+        fnv_words(words)
     }
 
     /// Evaluates the candidate groups against one fuse. Each reachable
-    /// DAG node is computed at most once (memoized); atom-clock updates
-    /// are *collected*, not applied — [`apply`](RuleEngine::apply)
+    /// DAG node is computed at most once per pass (memoized in the
+    /// caller's reusable [`EvalScratch`]); atom-clock updates and cache
+    /// writes are *collected*, not applied — [`apply`](RuleEngine::apply)
     /// commits them, which is what lets this half run concurrently
     /// across objects.
+    ///
+    /// With `differential` on, groups whose pure root evaluated under
+    /// the same signature last time are served from the root cache
+    /// without walking, and the walk of dirty groups stops descending
+    /// at frontier-cached pure subtrees. `false` is the exact legacy
+    /// walk: no cache reads, no cache writes.
     pub(crate) fn evaluate(
         &self,
         object: &MobileObjectId,
         candidates: &[usize],
         input: &EvalInput<'_>,
         partner: &dyn Fn(&MobileObjectId) -> Option<LocationFix>,
+        scratch: &mut EvalScratch,
+        differential: bool,
     ) -> ObjectEvaluation {
         let obj = self.idents.intern(object.as_str());
-        let mut memo: HashMap<usize, NodeVal> = HashMap::new();
-        let mut updates: Vec<(usize, NodeState)> = Vec::new();
-        let mut atoms = 0u64;
-        let evals = candidates
-            .iter()
-            .filter_map(|&g| {
-                let group = self.groups[g].as_ref()?;
-                let value = self.eval_node(
-                    group.root,
-                    object,
-                    obj,
-                    input,
-                    partner,
-                    &mut memo,
-                    &mut updates,
-                    &mut atoms,
-                );
-                Some(GroupEval {
-                    group: g,
-                    satisfied: value.truth,
-                    probability: value.probability,
-                    band: input.thresholds.classify(value.probability),
-                    region: value.region,
-                    position: input.position,
-                })
-            })
-            .collect();
+        scratch.begin(self.nodes.len());
+        let sig = differential.then(|| self.eval_signature(input));
+        let ctx = EvalCtx {
+            object,
+            obj,
+            input,
+            partner,
+            sig,
+        };
+        let mut fx = EvalSideEffects {
+            scratch,
+            updates: Vec::new(),
+            leaf_writes: Vec::new(),
+            atoms: 0,
+            skipped: 0,
+        };
+        let mut root_writes: Vec<(u32, u64, NodeVal)> = Vec::new();
+        let mut dirty = 0u64;
+        let mut evals: Vec<GroupEval> = Vec::with_capacity(candidates.len());
+        for &g in candidates {
+            let Some(group) = self.groups[g].as_ref() else {
+                continue;
+            };
+            #[allow(clippy::cast_possible_truncation)]
+            let value = match (sig, self.pure[group.root]) {
+                (Some(sig), true) => match self.root_cache.get(&(g as u32, obj)) {
+                    Some(&(cached_sig, v)) if cached_sig == sig => {
+                        fx.skipped += 1;
+                        v
+                    }
+                    _ => {
+                        dirty += 1;
+                        let v = self.eval_node(group.root, &ctx, &mut fx);
+                        root_writes.push((g as u32, sig, v));
+                        v
+                    }
+                },
+                _ => {
+                    dirty += 1;
+                    self.eval_node(group.root, &ctx, &mut fx)
+                }
+            };
+            evals.push(GroupEval {
+                group: g,
+                satisfied: value.truth,
+                probability: value.probability,
+                band: input.thresholds.classify(value.probability),
+                region: value.region,
+                position: input.position,
+            });
+        }
         ObjectEvaluation {
             evals,
-            node_updates: updates,
-            atoms_evaluated: atoms,
+            node_updates: fx.updates,
+            root_writes,
+            leaf_writes: fx.leaf_writes,
+            atoms_evaluated: fx.atoms,
+            dirty_groups: dirty,
+            skipped_cached: fx.skipped,
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
+    /// Evaluates `child` from inside an impure parent. In differential
+    /// mode a pure child is the *frontier*: its last value is cached per
+    /// object, and an unchanged signature stops the walk here.
+    fn eval_child(
+        &self,
+        child: usize,
+        ctx: &EvalCtx<'_, '_>,
+        fx: &mut EvalSideEffects<'_>,
+    ) -> NodeVal {
+        if let Some(sig) = ctx.sig {
+            if self.pure[child] {
+                if let Some(v) = fx.scratch.get(child) {
+                    return v;
+                }
+                #[allow(clippy::cast_possible_truncation)]
+                if let Some(&(cached_sig, v)) = self.leaf_cache.get(&(child as u32, ctx.obj)) {
+                    if cached_sig == sig {
+                        fx.skipped += 1;
+                        return fx.scratch.put(child, v);
+                    }
+                }
+                let v = self.eval_node(child, ctx, fx);
+                #[allow(clippy::cast_possible_truncation)]
+                fx.leaf_writes.push((child as u32, sig, v));
+                return v;
+            }
+        }
+        self.eval_node(child, ctx, fx)
+    }
+
     fn eval_node(
         &self,
         node: usize,
-        object: &MobileObjectId,
-        obj: u32,
-        input: &EvalInput<'_>,
-        partner: &dyn Fn(&MobileObjectId) -> Option<LocationFix>,
-        memo: &mut HashMap<usize, NodeVal>,
-        updates: &mut Vec<(usize, NodeState)>,
-        atoms: &mut u64,
+        ctx: &EvalCtx<'_, '_>,
+        fx: &mut EvalSideEffects<'_>,
     ) -> NodeVal {
-        if let Some(&value) = memo.get(&node) {
+        if let Some(value) = fx.scratch.get(node) {
             return value;
         }
+        let input = ctx.input;
         let value = match &self.nodes[node] {
             NodeKind::InRegion {
                 region,
                 min_probability,
                 min_band,
             } => {
-                *atoms += 1;
+                fx.atoms += 1;
                 let rect = region.rect();
                 let p = input.fusion.region_probability(&rect);
                 let band = input.thresholds.classify(p);
@@ -1238,7 +1571,7 @@ impl RuleEngine {
                 radius,
                 min_probability,
             } => {
-                *atoms += 1;
+                fx.atoms += 1;
                 let rect = Rect::from_center(
                     Point::new(x.get(), y.get()),
                     2.0 * radius.get(),
@@ -1252,9 +1585,9 @@ impl RuleEngine {
                 }
             }
             NodeKind::CoLocated { with, granularity } => {
-                *atoms += 1;
+                fx.atoms += 1;
                 let own_region = input.estimate.unwrap_or(input.fallback_region);
-                match (partner(object), partner(with)) {
+                match ((ctx.partner)(ctx.object), (ctx.partner)(with)) {
                     (Some(a), Some(b)) => {
                         let co = relations::co_location(&a, &b, *granularity);
                         NodeVal {
@@ -1271,12 +1604,11 @@ impl RuleEngine {
                 }
             }
             NodeKind::Moved { threshold } => {
-                *atoms += 1;
+                fx.atoms += 1;
                 let region = input.estimate.unwrap_or(input.fallback_region);
                 let Some(here) = input.position else {
                     // No estimate: nothing moved, anchor untouched.
-                    return self.memoize(
-                        memo,
+                    return fx.scratch.put(
                         node,
                         NodeVal {
                             truth: false,
@@ -1285,17 +1617,17 @@ impl RuleEngine {
                         },
                     );
                 };
-                let anchor = match self.node_state.get(&(node, obj)) {
+                let anchor = match self.node_state.get(&(node, ctx.obj)) {
                     Some(NodeState::MovedAnchor(p)) => Some(*p),
                     _ => None,
                 };
                 let truth = match anchor {
                     None => {
-                        updates.push((node, NodeState::MovedAnchor(here)));
+                        fx.updates.push((node, NodeState::MovedAnchor(here)));
                         false
                     }
                     Some(anchor) if anchor.distance(here) >= threshold.get() => {
-                        updates.push((node, NodeState::MovedAnchor(here)));
+                        fx.updates.push((node, NodeState::MovedAnchor(here)));
                         true
                     }
                     Some(_) => false,
@@ -1307,9 +1639,8 @@ impl RuleEngine {
                 }
             }
             NodeKind::Dwell { child, duration } => {
-                let inner =
-                    self.eval_node(*child, object, obj, input, partner, memo, updates, atoms);
-                let since = match self.node_state.get(&(node, obj)) {
+                let inner = self.eval_child(*child, ctx, fx);
+                let since = match self.node_state.get(&(node, ctx.obj)) {
                     Some(NodeState::DwellSince(s)) => *s,
                     _ => None,
                 };
@@ -1319,7 +1650,7 @@ impl RuleEngine {
                     None
                 };
                 if new_since != since {
-                    updates.push((node, NodeState::DwellSince(new_since)));
+                    fx.updates.push((node, NodeState::DwellSince(new_since)));
                 }
                 let truth = match new_since {
                     Some(start) => input.now.saturating_since(start).as_secs() >= duration.get(),
@@ -1332,8 +1663,7 @@ impl RuleEngine {
                 }
             }
             NodeKind::Not(child) => {
-                let inner =
-                    self.eval_node(*child, object, obj, input, partner, memo, updates, atoms);
+                let inner = self.eval_child(*child, ctx, fx);
                 NodeVal {
                     truth: !inner.truth,
                     probability: (1.0 - inner.probability).clamp(0.0, 1.0),
@@ -1345,8 +1675,12 @@ impl RuleEngine {
                 // stateful atoms advance deterministically.
                 let mut out: Option<NodeVal> = None;
                 let mut truth = true;
-                for &c in children.clone().iter() {
-                    let v = self.eval_node(c, object, obj, input, partner, memo, updates, atoms);
+                for i in 0..children.len() {
+                    let c = match &self.nodes[node] {
+                        NodeKind::And(cs) => cs[i],
+                        _ => unreachable!("node kind is stable during evaluation"),
+                    };
+                    let v = self.eval_child(c, ctx, fx);
                     truth &= v.truth;
                     // Payload: the binding constraint (lowest probability).
                     if out.is_none_or(|best| v.probability < best.probability) {
@@ -1363,8 +1697,12 @@ impl RuleEngine {
             NodeKind::Or(children) => {
                 let mut out: Option<NodeVal> = None;
                 let mut truth = false;
-                for &c in children.clone().iter() {
-                    let v = self.eval_node(c, object, obj, input, partner, memo, updates, atoms);
+                for i in 0..children.len() {
+                    let c = match &self.nodes[node] {
+                        NodeKind::Or(cs) => cs[i],
+                        _ => unreachable!("node kind is stable during evaluation"),
+                    };
+                    let v = self.eval_child(c, ctx, fx);
                     truth |= v.truth;
                     // Payload: the strongest alternative.
                     if out.is_none_or(|best| v.probability > best.probability) {
@@ -1379,12 +1717,7 @@ impl RuleEngine {
                 }
             }
         };
-        self.memoize(memo, node, value)
-    }
-
-    fn memoize(&self, memo: &mut HashMap<usize, NodeVal>, node: usize, value: NodeVal) -> NodeVal {
-        memo.insert(node, value);
-        value
+        fx.scratch.put(node, value)
     }
 
     // --- apply (stateful half) -------------------------------------------
@@ -1392,17 +1725,45 @@ impl RuleEngine {
     /// Folds one object's evaluation into edge state, in deterministic
     /// order, returning the rules that fired — sorted by subscription id,
     /// exactly the order the historical per-subscription walk emitted.
+    #[cfg(test)]
     pub(crate) fn apply(
         &mut self,
         object: &MobileObjectId,
         evaluation: ObjectEvaluation,
     ) -> Vec<FiredRule> {
+        let mut groups = Vec::new();
+        self.apply_groups_into(object, evaluation, &mut groups);
+        let mut fired = Vec::new();
+        self.for_each_fired(&groups, |f| fired.push(f));
+        fired
+    }
+
+    /// The stateful half of [`RuleEngine::apply`], writing one record
+    /// per *fired group* into a caller-owned buffer — `fired` is
+    /// cleared, then filled. Recording groups rather than members keeps
+    /// the hot path's memory traffic proportional to groups fired, not
+    /// subscriptions notified; callers expand members with
+    /// [`RuleEngine::for_each_fired`]. The out-parameter is the ingest
+    /// hot path's allocation amortizer: the service hands the same
+    /// thread-local buffer to every apply of a batch (DESIGN.md §15).
+    pub(crate) fn apply_groups_into(
+        &mut self,
+        object: &MobileObjectId,
+        evaluation: ObjectEvaluation,
+        fired: &mut Vec<FiredGroup>,
+    ) {
+        fired.clear();
         let obj = self.idents.intern(object.as_str());
         for (node, state) in evaluation.node_updates {
             self.touched.insert(node);
             self.node_state.insert((node, obj), state);
         }
-        let mut fired: Vec<FiredRule> = Vec::new();
+        for (group, sig, value) in evaluation.root_writes {
+            self.root_cache.insert((group, obj), (sig, value));
+        }
+        for (node, sig, value) in evaluation.leaf_writes {
+            self.leaf_cache.insert((node, obj), (sig, value));
+        }
         for eval in evaluation.evals {
             let Some(group) = self.groups[eval.group].as_mut() else {
                 continue;
@@ -1448,18 +1809,115 @@ impl RuleEngine {
                 group.state.remove(&obj);
             }
             if fires {
-                for &member in &group.members {
-                    fired.push(FiredRule {
-                        id: member,
-                        region: eval.region,
-                        probability: eval.probability,
-                        band: eval.band,
+                fired.push(FiredGroup {
+                    group: eval.group,
+                    region: eval.region,
+                    probability: eval.probability,
+                    band: eval.band,
+                });
+            }
+        }
+    }
+
+    /// Expands fired groups into [`Notification`]s appended to `out`,
+    /// ascending by subscription id (see
+    /// [`for_each_fired`](RuleEngine::for_each_fired) for the ordering
+    /// argument). The common single-fired-group case goes through
+    /// `Vec::extend` with an exact-size iterator, so a 100-member
+    /// look-alike group materializes as one reserve plus a straight
+    /// write loop — no per-push capacity check. This is the ingest hot
+    /// path's single largest memory writer (DESIGN.md §15).
+    pub(crate) fn extend_notifications(
+        &self,
+        fired: &[FiredGroup],
+        object: &MobileObjectId,
+        now: SimTime,
+        out: &mut Vec<Notification>,
+    ) {
+        if let [g] = fired {
+            let Some(group) = self.groups[g.group].as_ref() else {
+                return;
+            };
+            out.extend(group.members.iter().map(|&id| Notification {
+                subscription: id,
+                object: object.clone(),
+                region: g.region,
+                probability: g.probability,
+                band: g.band,
+                at: now,
+            }));
+        } else {
+            self.for_each_fired(fired, |f| {
+                out.push(Notification {
+                    subscription: f.id,
+                    object: object.clone(),
+                    region: f.region,
+                    probability: f.probability,
+                    band: f.band,
+                    at: now,
+                });
+            });
+        }
+    }
+
+    /// Expands fired groups into per-member [`FiredRule`]s, ascending
+    /// by subscription id across *all* groups — exactly the order the
+    /// historical per-subscription walk emitted. Each group's member
+    /// list is already ascending (members are appended in registration
+    /// order and ids are monotone), so the common single-group case is
+    /// a straight scan and the rare multi-group case is a k-way merge
+    /// over k sorted runs — no sort, no allocation for k ≤ 8.
+    pub(crate) fn for_each_fired<F: FnMut(FiredRule)>(&self, fired: &[FiredGroup], mut emit: F) {
+        let members = |g: &FiredGroup| -> &[SubscriptionId] {
+            self.groups[g.group]
+                .as_ref()
+                .map_or(&[], |group| group.members.as_slice())
+        };
+        match fired {
+            [] => {}
+            [g] => {
+                for &id in members(g) {
+                    emit(FiredRule {
+                        id,
+                        region: g.region,
+                        probability: g.probability,
+                        band: g.band,
+                    });
+                }
+            }
+            groups => {
+                // Subscription ids are unique within one apply (a rule
+                // belongs to exactly one group and candidate groups are
+                // deduped), so the merge never sees equal heads.
+                let mut inline = [0usize; 8];
+                let mut spill;
+                let cursors: &mut [usize] = if groups.len() <= inline.len() {
+                    &mut inline[..groups.len()]
+                } else {
+                    spill = vec![0usize; groups.len()];
+                    &mut spill
+                };
+                loop {
+                    let mut best: Option<(usize, SubscriptionId)> = None;
+                    for (i, g) in groups.iter().enumerate() {
+                        if let Some(&id) = members(g).get(cursors[i]) {
+                            if best.is_none_or(|(_, b)| id < b) {
+                                best = Some((i, id));
+                            }
+                        }
+                    }
+                    let Some((i, id)) = best else { break };
+                    cursors[i] += 1;
+                    let g = &groups[i];
+                    emit(FiredRule {
+                        id,
+                        region: g.region,
+                        probability: g.probability,
+                        band: g.band,
                     });
                 }
             }
         }
-        fired.sort_by_key(|f| f.id);
-        fired
     }
 }
 
@@ -1621,9 +2079,9 @@ mod tests {
         // Pure in-region prunes via the R-tree; the other four are
         // always-evaluate.
         assert_eq!(engine.always.len(), 4);
-        let none = engine.candidate_groups(&"alice".into(), None);
+        let none = engine.candidate_groups(&"alice".into(), &[]);
         assert_eq!(none.len(), 4, "always groups survive an empty window");
-        let hit = engine.candidate_groups(&"alice".into(), Some(region(0)));
+        let hit = engine.candidate_groups(&"alice".into(), &[region(0)]);
         assert_eq!(hit.len(), 5);
     }
 
@@ -1646,7 +2104,11 @@ mod tests {
                 position,
             }],
             node_updates: Vec::new(),
+            root_writes: Vec::new(),
+            leaf_writes: Vec::new(),
             atoms_evaluated: 0,
+            dirty_groups: 1,
+            skipped_cached: 0,
         }
     }
 
@@ -1809,7 +2271,7 @@ mod tests {
         engine.add(&Rule::when(in_region(0)).object("alice").build().unwrap());
         engine.add(&Rule::when(in_region(0)).object("bob").build().unwrap());
         engine.add(&Rule::when(in_region(0)).build().unwrap());
-        let alice = engine.candidate_groups(&"alice".into(), Some(region(0)));
+        let alice = engine.candidate_groups(&"alice".into(), &[region(0)]);
         assert_eq!(alice.len(), 2, "alice's filter plus the any-object group");
     }
 }

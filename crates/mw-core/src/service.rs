@@ -8,6 +8,7 @@
 // path. Don't "fix" them into borrowed forms: they cross an ownership
 // boundary (bus frame, error value) that must outlive the guard the
 // borrow would come from.
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Weak};
@@ -24,7 +25,7 @@ use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use crate::lr::{Absorb, LeftRight};
 use crate::pool::WorkerPool;
 use crate::relations::{self, CoLocation, ObjectRelation, RegionRelation};
-use crate::rules::{EvalInput, ObjectEvaluation, RuleEngine};
+use crate::rules::{EvalInput, EvalScratch, ObjectEvaluation, RuleEngine};
 use crate::symbolic::SymbolicLattice;
 use crate::world::WorldModel;
 use crate::{
@@ -96,6 +97,18 @@ pub struct ServiceTuning {
     /// proptests — answers, epochs and notifications are byte-identical
     /// either way). Left-right shards always use the historical maps.
     pub compact_state: bool,
+    /// Whether subscription evaluation is *differential* (`DESIGN.md`
+    /// §15): per-(group, object) root values and per-(node, object)
+    /// frontier values are cached under a fingerprint of the fuse's
+    /// value-relevant inputs, and unchanged pure subtrees are served
+    /// from the cache instead of re-walked. Stateful atoms (dwell
+    /// clocks, moved anchors, co-location) are never cached and advance
+    /// identically. The default `true` is the city-scale hot path;
+    /// `false` is the exact legacy full walk, kept as the
+    /// differential-testing twin (see the differential-vs-full
+    /// rule-equivalence proptests — notifications, epochs and answers
+    /// are byte-identical either way).
+    pub differential_eval: bool,
 }
 
 impl Default for ServiceTuning {
@@ -107,6 +120,7 @@ impl Default for ServiceTuning {
             read_path: ReadPath::Locked,
             rule_sharing: true,
             compact_state: true,
+            differential_eval: true,
         }
     }
 }
@@ -1161,6 +1175,8 @@ struct CoreMetrics {
     rules_dag_groups: mw_obs::Gauge,
     rules_sharing_ratio: mw_obs::Gauge,
     rules_atoms: mw_obs::Counter,
+    rules_eval_dirty: mw_obs::Counter,
+    rules_eval_skipped: mw_obs::Counter,
     rules_eval_latency: mw_obs::Histogram,
     rules_candidates: mw_obs::Counter,
     rules_selections: mw_obs::Counter,
@@ -1188,6 +1204,8 @@ impl CoreMetrics {
             rules_dag_groups: registry.gauge("rules.dag.groups"),
             rules_sharing_ratio: registry.gauge("rules.dag.sharing_ratio"),
             rules_atoms: registry.counter("rules.eval.atoms"),
+            rules_eval_dirty: registry.counter("rules.eval.dirty"),
+            rules_eval_skipped: registry.counter("rules.eval.skipped"),
             rules_eval_latency: registry.histogram("rules.eval.latency_us"),
             rules_candidates: registry.counter("rules.candidates.examined"),
             rules_selections: registry.counter("rules.candidates.selections"),
@@ -1788,7 +1806,9 @@ impl LocationService {
     /// never reach the database, future timestamps are clamped to `now`
     /// before storage, and the staleness watchdog ticks once per ingest.
     pub fn ingest(&self, output: AdapterOutput, now: SimTime) -> Vec<Notification> {
-        self.ingest_internal(std::iter::once(output), now)
+        let mut fired = Vec::new();
+        self.ingest_internal(std::iter::once(output), now, &mut fired);
+        fired
     }
 
     /// Ingests a batch of adapter outputs in one pass: readings are
@@ -1800,14 +1820,32 @@ impl LocationService {
     /// except that an object receiving readings from several outputs is
     /// notified once, after all of them.
     pub fn ingest_batch(&self, outputs: Vec<AdapterOutput>, now: SimTime) -> Vec<Notification> {
-        self.ingest_internal(outputs.into_iter(), now)
+        let mut fired = Vec::new();
+        self.ingest_internal(outputs.into_iter(), now, &mut fired);
+        fired
+    }
+
+    /// [`ingest_batch`](LocationService::ingest_batch) into a
+    /// caller-owned buffer: `fired` is cleared, then filled with the
+    /// batch's notifications. A steady-state ingest loop that reuses one
+    /// buffer across batches pays no allocation for the return value —
+    /// the city-scale benchmark's hot path.
+    pub fn ingest_batch_into(
+        &self,
+        outputs: Vec<AdapterOutput>,
+        now: SimTime,
+        fired: &mut Vec<Notification>,
+    ) {
+        fired.clear();
+        self.ingest_internal(outputs.into_iter(), now, fired);
     }
 
     fn ingest_internal(
         &self,
         outputs: impl Iterator<Item = AdapterOutput>,
         now: SimTime,
-    ) -> Vec<Notification> {
+        fired: &mut Vec<Notification>,
+    ) {
         let started = std::time::Instant::now();
         let mut reading_count = 0u64;
         // Affected objects in first-touched order: the merge order of
@@ -1888,12 +1926,17 @@ impl LocationService {
                 .expect("supervisor lock poisoned")
                 .tick(now);
         }
-        let fired = self.evaluate_affected(affected, now);
+        self.evaluate_affected_into(affected, now, fired);
         let mut delivered = 0usize;
-        for n in &fired {
-            // One shared allocation per notification; subscribers get a
-            // refcount bump each instead of a deep clone.
-            delivered += self.notifications.publish(Arc::new(n.clone()));
+        // With nobody subscribed (batch pipelines that drain the
+        // returned buffer directly), skip the publish loop entirely —
+        // no per-notification `Arc` allocation, no topic lock.
+        if !fired.is_empty() && self.notifications.subscriber_count() > 0 {
+            for n in fired.iter() {
+                // One shared allocation per notification; subscribers
+                // get a refcount bump each instead of a deep clone.
+                delivered += self.notifications.publish(Arc::new(n.clone()));
+            }
         }
         if let Some(metrics) = &self.metrics {
             metrics.ingest_readings.add(reading_count);
@@ -1909,7 +1952,6 @@ impl LocationService {
                 .mem_bytes_per_object
                 .set(self.estimated_bytes_per_object());
         }
-        fired
     }
 
     /// Applies the batch's per-shard op queues — concurrently over the
@@ -1949,7 +1991,12 @@ impl LocationService {
     /// then folded in on the caller thread in `affected` order — object
     /// by object, candidate by candidate — which is exactly the serial
     /// path's order, so the fired notifications are bit-identical.
-    fn evaluate_affected(&self, affected: Vec<MobileObjectId>, now: SimTime) -> Vec<Notification> {
+    fn evaluate_affected_into(
+        &self,
+        affected: Vec<MobileObjectId>,
+        now: SimTime,
+        fired: &mut Vec<Notification>,
+    ) {
         if affected.len() > 1 && self.rules.read().len() > 0 {
             if let (Some(pool), Some(me)) = (self.pool.as_ref(), self.me.upgrade()) {
                 let tasks: Vec<_> = affected
@@ -1961,18 +2008,15 @@ impl LocationService {
                     })
                     .collect();
                 let evaluations = pool.run(tasks);
-                let mut fired = Vec::new();
                 for (object, evals) in affected.iter().zip(evaluations) {
-                    fired.extend(self.apply_evaluations(object, now, evals));
+                    self.apply_evaluations_into(object, now, evals, fired);
                 }
-                return fired;
+                return;
             }
         }
-        let mut fired = Vec::new();
         for object in affected {
-            fired.extend(self.evaluate_subscriptions(&object, now));
+            self.evaluate_subscriptions_into(&object, now, fired);
         }
-        fired
     }
 
     /// Convenience: ingest a single reading.
@@ -2558,12 +2602,17 @@ impl LocationService {
         }
     }
 
-    fn evaluate_subscriptions(&self, object: &MobileObjectId, now: SimTime) -> Vec<Notification> {
+    fn evaluate_subscriptions_into(
+        &self,
+        object: &MobileObjectId,
+        now: SimTime,
+        fired: &mut Vec<Notification>,
+    ) {
         if self.rules.read().len() == 0 {
-            return Vec::new();
+            return;
         }
         let evaluation = self.evaluate_candidates(object, now);
-        self.apply_evaluations(object, now, evaluation)
+        self.apply_evaluations_into(object, now, evaluation, fired);
     }
 
     /// The read-only half of rule evaluation for one object: fuse,
@@ -2582,43 +2631,73 @@ impl LocationService {
         let attempt = self.fuse_live(object, now, false);
         let result = attempt.result;
         // Candidates: trigger groups whose interest rects intersect the
-        // surviving evidence (interest-grid pruned) plus currently-true ones
-        // that may need re-arming, plus always-evaluate groups. This
-        // keeps the per-update cost nearly independent of the number of
-        // programmed triggers (the paper's Figure 9 claim) — and, with
-        // sharing, independent of look-alike rule count too.
-        let window = result.result().evidence_window();
-        let rules = self.rules.read();
-        let candidates = rules.candidate_groups(object, window);
-        if let Some(metrics) = &self.metrics {
-            metrics.rules_selections.inc();
-            metrics.rules_candidates.add(candidates.len() as u64);
+        // surviving evidence (interest-grid pruned, one query per
+        // evidence rect — NOT their union MBR, which would sweep every
+        // watched region between a fast mover's old and new readings)
+        // plus currently-true ones that may need re-arming, plus
+        // always-evaluate groups. This keeps the per-update cost nearly
+        // independent of the number of programmed triggers (the paper's
+        // Figure 9 claim) — and, with sharing, independent of
+        // look-alike rule count too.
+        // Per-thread reusable buffers for the hot path: the evidence
+        // windows, the candidate list, and the generation-stamped node
+        // memo. Thread-local (not per-service) because evaluation fans
+        // out over pool workers.
+        thread_local! {
+            static WINDOWS: RefCell<Vec<Rect>> = const { RefCell::new(Vec::new()) };
+            static CANDIDATES: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+            static SCRATCH: RefCell<EvalScratch> = RefCell::new(EvalScratch::new());
         }
-        if candidates.is_empty() {
-            return ObjectEvaluation::empty();
-        }
-        let rule_timer = self
-            .metrics
-            .as_ref()
-            .map(|m| m.rules_eval_latency.start_timer());
-        let thresholds = self.band_thresholds();
-        let estimate = result.result().best_estimate().map(|e| e.region);
-        let position = estimate.map(|r| r.center());
-        let input = EvalInput {
-            fusion: &result,
-            position,
-            estimate,
-            fallback_region: self.engine.universe(),
-            thresholds: &thresholds,
-            now,
-        };
-        let partner = |other: &MobileObjectId| self.rule_partner_fix(other, now);
-        let evaluation = rules.evaluate(object, &candidates, &input, &partner);
-        drop(rule_timer);
-        if let Some(metrics) = &self.metrics {
-            metrics.rules_atoms.add(evaluation.atoms_evaluated);
-        }
-        evaluation
+        CANDIDATES.with(|candidates_cell| {
+            let mut candidates = candidates_cell.borrow_mut();
+            let rules = self.rules.read();
+            WINDOWS.with(|windows_cell| {
+                let mut windows = windows_cell.borrow_mut();
+                windows.clear();
+                windows.extend(result.result().evidence_regions());
+                rules.candidate_groups_into(object, &windows, &mut candidates);
+            });
+            if let Some(metrics) = &self.metrics {
+                metrics.rules_selections.inc();
+                metrics.rules_candidates.add(candidates.len() as u64);
+            }
+            if candidates.is_empty() {
+                return ObjectEvaluation::empty();
+            }
+            let rule_timer = self
+                .metrics
+                .as_ref()
+                .map(|m| m.rules_eval_latency.start_timer());
+            let thresholds = self.band_thresholds();
+            let estimate = result.result().best_estimate().map(|e| e.region);
+            let position = estimate.map(|r| r.center());
+            let input = EvalInput {
+                fusion: &result,
+                position,
+                estimate,
+                fallback_region: self.engine.universe(),
+                thresholds: &thresholds,
+                now,
+            };
+            let partner = |other: &MobileObjectId| self.rule_partner_fix(other, now);
+            let evaluation = SCRATCH.with(|scratch| {
+                rules.evaluate(
+                    object,
+                    &candidates,
+                    &input,
+                    &partner,
+                    &mut scratch.borrow_mut(),
+                    self.tuning.differential_eval,
+                )
+            });
+            drop(rule_timer);
+            if let Some(metrics) = &self.metrics {
+                metrics.rules_atoms.add(evaluation.atoms_evaluated);
+                metrics.rules_eval_dirty.add(evaluation.dirty_groups);
+                metrics.rules_eval_skipped.add(evaluation.skipped_cached);
+            }
+            evaluation
+        })
     }
 
     /// A side-effect-free location fix for rule atoms that need a
@@ -2664,28 +2743,34 @@ impl LocationService {
     /// Always runs on the ingest caller's thread, object by object in
     /// `affected` order — the same order the serial path uses, which is
     /// what makes the parallel pipeline's output bit-identical.
-    fn apply_evaluations(
+    fn apply_evaluations_into(
         &self,
         object: &MobileObjectId,
         now: SimTime,
         evaluation: ObjectEvaluation,
-    ) -> Vec<Notification> {
+        out: &mut Vec<Notification>,
+    ) {
         if evaluation.is_empty() {
-            return Vec::new();
+            return;
         }
-        self.rules
-            .write()
-            .apply(object, evaluation)
-            .into_iter()
-            .map(|fired| Notification {
-                subscription: fired.id,
-                object: object.clone(),
-                region: fired.region,
-                probability: fired.probability,
-                band: fired.band,
-                at: now,
-            })
-            .collect()
+        // Reused per-thread fired-group buffer: apply_groups_into
+        // clears and fills it, so steady-state batches never allocate a
+        // result `Vec` per object — and because it holds one record per
+        // fired *group* (not per member), a 100-member look-alike group
+        // costs one push; members expand straight into `out` below
+        // (DESIGN.md §15). Thread-local, not per-service: apply always
+        // runs on the ingest caller's thread.
+        thread_local! {
+            static FIRED: RefCell<Vec<crate::rules::FiredGroup>> =
+                const { RefCell::new(Vec::new()) };
+        }
+        FIRED.with(|fired_cell| {
+            let mut fired = fired_cell.borrow_mut();
+            let mut engine = self.rules.write();
+            engine.apply_groups_into(object, evaluation, &mut fired);
+            engine.extend_notifications(&fired, object, now, out);
+            fired.clear();
+        });
     }
 
     // --- privacy -------------------------------------------------------------

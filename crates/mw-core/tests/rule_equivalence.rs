@@ -346,6 +346,87 @@ proptest! {
     }
 }
 
+// --- differential vs full evaluation twins -------------------------------
+
+fn build_diff(differential_eval: bool) -> Arc<LocationService> {
+    let broker = Broker::new();
+    LocationService::new_with_tuning(
+        floor_db(),
+        universe(),
+        &broker,
+        ServiceTuning {
+            differential_eval,
+            ..ServiceTuning::default()
+        },
+    )
+}
+
+fn build_diff_supervised(differential_eval: bool) -> Arc<LocationService> {
+    let broker = Broker::new();
+    let registry = MetricsRegistry::new();
+    let supervisor = SensorSupervisor::new(HealthConfig::new(universe())).shared();
+    LocationService::new_supervised_with_tuning(
+        floor_db(),
+        universe(),
+        &broker,
+        &registry,
+        supervisor,
+        ServiceTuning {
+            differential_eval,
+            ..ServiceTuning::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Differential evaluation (root/frontier caches keyed by input
+    /// signature) fires the same notifications — payloads, order,
+    /// epochs — as the full walk over random rule sets and schedules.
+    #[test]
+    fn differential_matches_full(rules in rule_set(), schedule in batches()) {
+        let differential = build_diff(true);
+        let full = build_diff(false);
+        register_rules(&differential, &full, &rules);
+        assert_twins_agree(&differential, &full, &schedule, 0)?;
+    }
+
+    /// The cache-friendliest workload: one batch replayed verbatim over
+    /// several steps. Evidence rectangles and probabilities repeat
+    /// exactly, so the differential twin serves pure subtrees from its
+    /// caches while dwell clocks and moved anchors keep advancing —
+    /// and must still match the full walk byte for byte.
+    #[test]
+    fn differential_matches_full_stationary(
+        rules in rule_set(),
+        batch in proptest::collection::vec(batch_item(), 1..10),
+        repeats in 2..8usize,
+    ) {
+        let differential = build_diff(true);
+        let full = build_diff(false);
+        register_rules(&differential, &full, &rules);
+        let schedule: Vec<Vec<BatchItem>> = vec![batch; repeats];
+        assert_twins_agree(&differential, &full, &schedule, 0)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Same property under a sensor supervisor: quarantine transitions
+    /// change the fused-evidence fingerprint, so the differential twin
+    /// must invalidate and re-walk exactly when the full walk changes
+    /// its answer.
+    #[test]
+    fn differential_matches_full_supervised(rules in rule_set(), schedule in batches()) {
+        let differential = build_diff_supervised(true);
+        let full = build_diff_supervised(false);
+        register_rules(&differential, &full, &rules);
+        assert_twins_agree(&differential, &full, &schedule, 0)?;
+    }
+}
+
 // --- deterministic dwell-clock semantics across evidence loss ------------
 
 /// Feeds an in-frame reading for `alice` in room 0 at `now`.
@@ -502,5 +583,141 @@ fn dwell_across_quarantine_shared_and_naive_agree() {
     assert!(
         all_shared.iter().any(|n| n.subscription == a),
         "dwell never fired after quarantine recovery: {all_shared:?}"
+    );
+}
+
+// --- dwell clocks under skipped (differential) re-evaluation -------------
+
+/// A dwell timer must mature across ingests whose inputs are bit-for-bit
+/// unchanged — exactly the ingests differential evaluation serves from
+/// its caches. The `Dwell` node itself is stateful (never cached), but
+/// its pure `InRegion` child is frontier-cached after the first
+/// identical fuse; the `rules.eval.skipped` counter proves those skips
+/// really happened while the clock still fired on time.
+#[test]
+fn dwell_matures_across_cache_served_ingests() {
+    let broker = Broker::new();
+    let registry = MetricsRegistry::new();
+    let service = LocationService::new_with_tuning_and_obs(
+        floor_db(),
+        universe(),
+        &broker,
+        &registry,
+        ServiceTuning::default(), // differential_eval: true
+    );
+    let rule =
+        Rule::when(Predicate::in_region(room(0), 0.5).for_at_least(SimDuration::from_secs(4.0)))
+            .object("alice")
+            .build()
+            .unwrap();
+    let id = service.subscribe_rule(rule);
+
+    // t=0..3: the identical reading every second (long TTL, no temporal
+    // degradation) — every input the pure child reads is unchanged, so
+    // from t=1 on the child is served from the frontier cache. The
+    // clock must still accumulate.
+    for t in 0..=3 {
+        let r = reading(
+            0,
+            0,
+            Point::new(25.0, 50.0),
+            SimTime::from_secs(t as f64),
+            30.0,
+        );
+        let fired =
+            service.ingest_batch(vec![AdapterOutput::single(r)], SimTime::from_secs(t as f64));
+        assert!(fired.is_empty(), "dwell fired early at t={t}: {fired:?}");
+    }
+
+    // t=4: four continuous seconds — fires exactly once.
+    let r = reading(0, 0, Point::new(25.0, 50.0), SimTime::from_secs(4.0), 30.0);
+    let fired = service.ingest_batch(vec![AdapterOutput::single(r)], SimTime::from_secs(4.0));
+    assert_eq!(fired.len(), 1, "dwell should mature at t=4: {fired:?}");
+    assert_eq!(fired[0].subscription, id);
+
+    // t=5: still inside — no re-fire.
+    let r = reading(0, 0, Point::new(25.0, 50.0), SimTime::from_secs(5.0), 30.0);
+    let fired = service.ingest_batch(vec![AdapterOutput::single(r)], SimTime::from_secs(5.0));
+    assert!(
+        fired.is_empty(),
+        "on-enter re-fired while dwelling: {fired:?}"
+    );
+
+    // The timer matured *because of* skipped re-evaluation, not despite
+    // a silent fallback to full walks: the frontier cache was hit on
+    // the unchanged ingests.
+    let skipped = registry.counter("rules.eval.skipped").get();
+    assert!(
+        skipped >= 4,
+        "expected the pure dwell child to be cache-served on unchanged ingests, got {skipped} skips"
+    );
+}
+
+/// Quarantine-induced evidence loss mid-dwell must reset the clock
+/// identically with differential evaluation on and off: the quarantine
+/// changes the fused-evidence fingerprint, so the cached frontier is
+/// invalidated on exactly the fuse where the full walk sees the inner
+/// atom go false.
+#[test]
+fn quarantine_mid_dwell_resets_identically_under_differential_eval() {
+    let differential = build_diff_supervised(true);
+    let full = build_diff_supervised(false);
+    let rule =
+        Rule::when(Predicate::in_region(room(0), 0.5).for_at_least(SimDuration::from_secs(4.0)))
+            .object("alice")
+            .build()
+            .unwrap();
+    let a = differential.subscribe_rule(rule.clone());
+    let b = full.subscribe_rule(rule);
+    assert_eq!(a, b);
+
+    let mut all: Vec<Notification> = Vec::new();
+    let mut drive = |outputs: Vec<AdapterOutput>, now: SimTime| {
+        let fa = differential.ingest_batch(outputs.clone(), now);
+        let fb = full.ingest_batch(outputs, now);
+        assert_eq!(fa, fb, "eval modes diverged at t={now:?}");
+        all.extend(fa);
+    };
+
+    // t=0..2: dwell accumulates (short of 4 seconds).
+    for t in 0..=2 {
+        let r = reading(
+            0,
+            0,
+            Point::new(25.0, 50.0),
+            SimTime::from_secs(t as f64),
+            4.0,
+        );
+        drive(vec![AdapterOutput::single(r)], SimTime::from_secs(t as f64));
+    }
+    // t=3..8: out-of-frame garbage racks up violations until the sensor
+    // is quarantined; alice's evidence ages out mid-dwell and the clock
+    // must reset on the same fuse in both modes.
+    for t in 3..=8 {
+        let r = reading(
+            0,
+            0,
+            Point::new(900.0, 900.0),
+            SimTime::from_secs(t as f64),
+            4.0,
+        );
+        drive(vec![AdapterOutput::single(r)], SimTime::from_secs(t as f64));
+    }
+    // t=20..26: healthy readings after the quarantine window; the dwell
+    // restarts from zero and completes.
+    for t in 20..=26 {
+        let r = reading(
+            0,
+            0,
+            Point::new(25.0, 50.0),
+            SimTime::from_secs(t as f64),
+            30.0,
+        );
+        drive(vec![AdapterOutput::single(r)], SimTime::from_secs(t as f64));
+    }
+
+    assert!(
+        all.iter().any(|n| n.subscription == a),
+        "dwell never completed after quarantine recovery: {all:?}"
     );
 }

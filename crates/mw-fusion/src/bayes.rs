@@ -52,6 +52,19 @@ pub struct SensorEvidence {
     pub false_positive: f64,
 }
 
+impl Default for SensorEvidence {
+    /// A zero-information placeholder (degenerate region, zero
+    /// probabilities) — used to pre-fill inline evidence buffers; never
+    /// read as actual evidence.
+    fn default() -> Self {
+        SensorEvidence {
+            region: Rect::from_point(mw_geometry::Point::ORIGIN),
+            hit: 0.0,
+            false_positive: 0.0,
+        }
+    }
+}
+
 impl SensorEvidence {
     /// Creates evidence, clamping the probabilities into `[0, 1]`.
     #[must_use]

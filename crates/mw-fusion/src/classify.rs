@@ -65,7 +65,15 @@ impl BandThresholds {
                 max_p: 0.75,
             };
         }
-        let mut sorted: Vec<f64> = ps.iter().map(|p| p.clamp(0.0, 1.0)).collect();
+        // Inline-first buffer, not a `Vec`: this runs once per fuse on
+        // the ingest hot path, which must stay allocation-free in
+        // steady state (DESIGN.md §15) — typical deployments fuse well
+        // under 8 readings per object.
+        let mut sorted: crate::SmallBuf<f64, 8> = crate::SmallBuf::default();
+        for p in ps {
+            sorted.push(p.clamp(0.0, 1.0));
+        }
+        let sorted = sorted.as_mut_slice();
         sorted.sort_by(f64::total_cmp);
         let min_p = sorted[0];
         let max_p = sorted[sorted.len() - 1];
@@ -112,6 +120,28 @@ impl BandThresholds {
         } else {
             ProbabilityBand::VeryHigh
         }
+    }
+
+    /// A fingerprint over the three threshold values (bit-exact). Two
+    /// thresholds with equal fingerprints classify every probability
+    /// identically — used by differential rule evaluation to detect
+    /// unchanged inputs.
+    #[must_use]
+    pub fn value_fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut hash = OFFSET;
+        for word in [
+            self.min_p.to_bits(),
+            self.median_p.to_bits(),
+            self.max_p.to_bits(),
+        ] {
+            for byte in word.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        }
+        hash
     }
 
     /// The lower edge of the band (exclusive), useful for subscriptions

@@ -13,11 +13,16 @@
 //! We generalize from two rectangles to `n` by grouping the readings into
 //! connected components (rectangles that touch transitively reinforce each
 //! other) and applying the rules between components.
+//!
+//! Resolution is allocation-free for the typical ≤ 8-reading fuse: the
+//! component labels, work stack and survivor sets all live in inline
+//! [`SmallBuf`]s, spilling to the heap only for unusually crowded objects.
 
-use mw_geometry::Rect;
+use mw_geometry::{Point, Rect};
 use mw_sensors::SensorReading;
 
 use crate::bayes::{posterior_single, SensorEvidence};
+use crate::smallbuf::SmallBuf;
 
 /// Which rule selected the surviving component.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,13 +35,18 @@ pub enum ConflictRule {
     HigherProbabilityWins,
 }
 
+/// Inline capacity of the survivor/discard sets — the fuse hot path
+/// handles at most a handful of readings per object.
+const READINGS_INLINE: usize = 8;
+
 /// The outcome of conflict resolution over one object's readings.
 #[derive(Debug, Clone)]
 pub struct ConflictOutcome {
-    /// Indices (into the input slice) of the surviving readings.
-    pub kept: Vec<usize>,
-    /// Indices of the discarded readings.
-    pub discarded: Vec<usize>,
+    /// Indices (into the input slice) of the surviving readings,
+    /// ascending.
+    pub kept: SmallBuf<usize, READINGS_INLINE>,
+    /// Indices of the discarded readings, ascending.
+    pub discarded: SmallBuf<usize, READINGS_INLINE>,
     /// Which rule decided.
     pub rule: ConflictRule,
 }
@@ -47,36 +57,6 @@ impl ConflictOutcome {
     pub fn had_conflict(&self) -> bool {
         !self.discarded.is_empty()
     }
-}
-
-/// Groups reading indices into connected components under rectangle
-/// intersection.
-fn connected_components(rects: &[Rect]) -> Vec<Vec<usize>> {
-    let n = rects.len();
-    let mut component = vec![usize::MAX; n];
-    let mut count = 0;
-    for start in 0..n {
-        if component[start] != usize::MAX {
-            continue;
-        }
-        let id = count;
-        count += 1;
-        let mut stack = vec![start];
-        component[start] = id;
-        while let Some(i) = stack.pop() {
-            for j in 0..n {
-                if component[j] == usize::MAX && rects[i].intersects(&rects[j]) {
-                    component[j] = id;
-                    stack.push(j);
-                }
-            }
-        }
-    }
-    let mut groups = vec![Vec::new(); count];
-    for (i, &c) in component.iter().enumerate() {
-        groups[c].push(i);
-    }
-    groups
 }
 
 /// Resolves conflicts among one object's readings at time `now`.
@@ -90,80 +70,149 @@ pub fn resolve(
     universe: &Rect,
     now: mw_model::SimTime,
 ) -> ConflictOutcome {
-    if readings.is_empty() {
-        return ConflictOutcome {
-            kept: Vec::new(),
-            discarded: Vec::new(),
-            rule: ConflictRule::NoConflict,
-        };
+    let mut live: SmallBuf<u32, READINGS_INLINE> = SmallBuf::default();
+    let mut regions: SmallBuf<Rect, READINGS_INLINE> =
+        SmallBuf::filled(&Rect::from_point(Point::ORIGIN));
+    #[allow(clippy::cast_possible_truncation)]
+    for (i, r) in readings.iter().enumerate() {
+        live.push(i as u32);
+        regions.push(r.region);
     }
-    let rects: Vec<Rect> = readings.iter().map(|r| r.region).collect();
-    let groups = connected_components(&rects);
-    if groups.len() <= 1 {
-        return ConflictOutcome {
-            kept: (0..readings.len()).collect(),
-            discarded: Vec::new(),
-            rule: ConflictRule::NoConflict,
-        };
+    resolve_subset(readings, &live, &regions, universe, now)
+}
+
+/// Resolves conflicts among the `live` subset of `readings`, whose
+/// (possibly aged) rectangles are given in the parallel `regions` slice.
+///
+/// This is the engine's allocation-free entry point: `fuse_excluding`
+/// filters readings in place and passes indices instead of materializing
+/// an owned filtered `Vec`. The returned indices refer to positions in
+/// `live`/`regions` (i.e. the filtered view), matching the historical
+/// behavior where the outcome indexed the filtered reading list.
+#[must_use]
+pub fn resolve_subset(
+    readings: &[SensorReading],
+    live: &[u32],
+    regions: &[Rect],
+    universe: &Rect,
+    now: mw_model::SimTime,
+) -> ConflictOutcome {
+    debug_assert_eq!(live.len(), regions.len());
+    let n = live.len();
+    let mut out = ConflictOutcome {
+        kept: SmallBuf::default(),
+        discarded: SmallBuf::default(),
+        rule: ConflictRule::NoConflict,
+    };
+    if n == 0 {
+        return out;
+    }
+
+    // Connected components under rectangle intersection. Component ids
+    // are assigned in first-encounter order over ascending indices —
+    // the same numbering the historical Vec-of-groups version produced.
+    let mut comp: SmallBuf<u32, READINGS_INLINE> = SmallBuf::default();
+    for _ in 0..n {
+        comp.push(u32::MAX);
+    }
+    let mut count: u32 = 0;
+    let mut stack: SmallBuf<u32, READINGS_INLINE> = SmallBuf::default();
+    for start in 0..n {
+        if comp.as_slice()[start] != u32::MAX {
+            continue;
+        }
+        let id = count;
+        count += 1;
+        comp.as_mut_slice()[start] = id;
+        stack.clear();
+        #[allow(clippy::cast_possible_truncation)]
+        stack.push(start as u32);
+        while let Some(i) = stack.pop() {
+            for j in 0..n {
+                if comp.as_slice()[j] == u32::MAX && regions[i as usize].intersects(&regions[j]) {
+                    comp.as_mut_slice()[j] = id;
+                    #[allow(clippy::cast_possible_truncation)]
+                    stack.push(j as u32);
+                }
+            }
+        }
+    }
+    if count <= 1 {
+        for i in 0..n {
+            out.kept.push(i);
+        }
+        return out;
     }
 
     // Rule 1: prefer components containing a moving rectangle.
-    let moving_groups: Vec<usize> = groups
-        .iter()
-        .enumerate()
-        .filter(|(_, g)| g.iter().any(|&i| readings[i].moving))
-        .map(|(gi, _)| gi)
-        .collect();
-    let (winner, rule) = if moving_groups.len() == 1 {
-        (moving_groups[0], ConflictRule::MovingWins)
+    let mut is_moving: SmallBuf<bool, READINGS_INLINE> = SmallBuf::default();
+    for _ in 0..count {
+        is_moving.push(false);
+    }
+    let mut moving_count = 0u32;
+    let mut single_moving = 0u32;
+    for (k, &ri) in live.iter().enumerate() {
+        if readings[ri as usize].moving {
+            let g = comp.as_slice()[k];
+            if !is_moving.as_slice()[g as usize] {
+                is_moving.as_mut_slice()[g as usize] = true;
+                moving_count += 1;
+                single_moving = g;
+            }
+        }
+    }
+
+    let (winner, rule) = if moving_count == 1 {
+        (single_moving, ConflictRule::MovingWins)
     } else {
         // Rule 2 (also the tie-break when several components move):
-        // highest best single-sensor posterior wins.
-        let candidates: Vec<usize> = if moving_groups.is_empty() {
-            (0..groups.len()).collect()
-        } else {
-            moving_groups
-        };
-        let rule = if candidates.len() == groups.len() {
+        // highest best single-sensor posterior wins. Candidates are the
+        // moving components when any move, otherwise every component.
+        let use_all = moving_count == 0;
+        let rule = if use_all || moving_count == count {
             ConflictRule::HigherProbabilityWins
         } else {
             ConflictRule::MovingWins
         };
-        let best = candidates
-            .into_iter()
-            .max_by(|&a, &b| {
-                let score = |g: &[usize]| -> f64 {
-                    g.iter()
-                        .map(|&i| {
-                            let e = SensorEvidence::new(
-                                readings[i].region,
-                                readings[i].hit_probability_at(now),
-                                readings[i].false_positive_probability(universe.area()),
-                            );
-                            posterior_single(&e, universe)
-                        })
-                        .fold(0.0, f64::max)
-                };
-                score(&groups[a]).total_cmp(&score(&groups[b]))
-            })
-            .expect("at least two groups");
-        (best, rule)
+        // `Iterator::max_by` semantics over ascending candidate ids:
+        // a later candidate replaces the leader when its score compares
+        // greater *or equal* under `total_cmp` (last max wins).
+        let mut best_g = u32::MAX;
+        let mut best_score = 0.0f64;
+        for g in 0..count {
+            if !use_all && !is_moving.as_slice()[g as usize] {
+                continue;
+            }
+            let mut score = 0.0f64;
+            for (k, &ri) in live.iter().enumerate() {
+                if comp.as_slice()[k] != g {
+                    continue;
+                }
+                let r = &readings[ri as usize];
+                let e = SensorEvidence::new(
+                    regions[k],
+                    r.hit_probability_at(now),
+                    r.false_positive_probability(universe.area()),
+                );
+                score = f64::max(score, posterior_single(&e, universe));
+            }
+            if best_g == u32::MAX || score.total_cmp(&best_score) != std::cmp::Ordering::Less {
+                best_g = g;
+                best_score = score;
+            }
+        }
+        (best_g, rule)
     };
 
-    let mut kept = groups[winner].clone();
-    kept.sort_unstable();
-    let mut discarded: Vec<usize> = groups
-        .iter()
-        .enumerate()
-        .filter(|(gi, _)| *gi != winner)
-        .flat_map(|(_, g)| g.iter().copied())
-        .collect();
-    discarded.sort_unstable();
-    ConflictOutcome {
-        kept,
-        discarded,
-        rule,
+    for k in 0..n {
+        if comp.as_slice()[k] == winner {
+            out.kept.push(k);
+        } else {
+            out.discarded.push(k);
+        }
     }
+    out.rule = rule;
+    out
 }
 
 #[cfg(test)]
@@ -348,5 +397,25 @@ mod tests {
         let now = SimTime::from_secs(9.0);
         let out = resolve(&[stale, fresh], &universe(), now);
         assert_eq!(out.kept, vec![1]);
+    }
+
+    #[test]
+    fn subset_resolution_matches_full_on_live_prefix() {
+        // resolve() is resolve_subset() over the identity view.
+        let readings = vec![
+            reading(r(0.0, 0.0, 10.0, 10.0), false, SensorSpec::ubisense(0.9)),
+            reading(
+                r(200.0, 0.0, 210.0, 10.0),
+                false,
+                SensorSpec::rfid_badge(0.6),
+            ),
+        ];
+        let live = [0u32, 1u32];
+        let regions = [readings[0].region, readings[1].region];
+        let by_subset = resolve_subset(&readings, &live, &regions, &universe(), SimTime::ZERO);
+        let by_full = resolve(&readings, &universe(), SimTime::ZERO);
+        assert_eq!(by_subset.kept, by_full.kept);
+        assert_eq!(by_subset.discarded, by_full.discarded);
+        assert_eq!(by_subset.rule, by_full.rule);
     }
 }

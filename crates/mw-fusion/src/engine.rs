@@ -8,10 +8,57 @@ use mw_model::SimTime;
 use mw_obs::MetricsRegistry;
 use mw_sensors::{SensorId, SensorReading};
 
+use mw_geometry::Point;
+
 use crate::bayes::{posterior_general, SensorEvidence};
 use crate::conflict::{self, ConflictOutcome, ConflictRule};
 use crate::lattice::RegionLattice;
+use crate::smallbuf::SmallBuf;
 use crate::{BandThresholds, FusionError, NodeId, ProbabilityBand};
+
+/// Inline capacity of the per-fuse reading buffers: the typical object is
+/// seen by well under eight sensors at once, so the whole fuse pipeline
+/// runs without heap allocation (the bench gates this).
+const READINGS_INLINE: usize = 8;
+
+/// FNV-1a over 64-bit words — a deterministic, allocation-free value
+/// fingerprint (not a cryptographic hash; collisions merely cost one
+/// redundant rule re-evaluation, see DESIGN.md §15).
+#[derive(Clone, Copy)]
+struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    fn word(&mut self, w: u64) {
+        let mut h = self.0;
+        for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+            h ^= (w >> shift) & 0xff;
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        self.0 = h;
+    }
+
+    fn f64_bits(&mut self, v: f64) {
+        self.word(v.to_bits());
+    }
+
+    fn rect(&mut self, r: &Rect) {
+        self.f64_bits(r.min().x);
+        self.f64_bits(r.min().y);
+        self.f64_bits(r.max().x);
+        self.f64_bits(r.max().y);
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
 
 /// Metric handles updated by [`FusionEngine::fuse`], resolved once at
 /// [`FusionEngine::with_metrics`] time (names under `fusion.*`, see
@@ -77,23 +124,38 @@ pub struct FusionResult {
     lattice: RegionLattice,
     conflict: ConflictOutcome,
     thresholds: BandThresholds,
-    kept_sensors: Vec<SensorId>,
-    discarded_sensors: Vec<SensorId>,
+    kept_sensors: SmallBuf<SensorId, READINGS_INLINE>,
+    discarded_sensors: SmallBuf<SensorId, READINGS_INLINE>,
+    /// FNV-1a fingerprint of the surviving evidence (universe, regions,
+    /// degraded hit probabilities, false positives). Two results with
+    /// equal fingerprints produce identical answers from every pure
+    /// read path (`region_probability_fast`, `evidence_window`,
+    /// `best_estimate`), which is what differential rule evaluation
+    /// keys its caches on.
+    fingerprint: u64,
 }
 
 impl FusionResult {
+    /// The evidence value fingerprint (see the field docs): equal
+    /// fingerprints ⇒ identical pure query answers. Used by
+    /// differential rule evaluation to detect "nothing changed".
+    #[must_use]
+    pub fn value_fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
     /// Sensors whose readings survived conflict resolution and
     /// contributed evidence to the lattice.
     #[must_use]
     pub fn kept_sensors(&self) -> &[SensorId] {
-        &self.kept_sensors
+        self.kept_sensors.as_slice()
     }
 
     /// Sensors whose live readings were discarded by conflict resolution
     /// (§4.1.2) — the supervision layer's chronic-conflict-loss signal.
     #[must_use]
     pub fn discarded_sensors(&self) -> &[SensorId] {
-        &self.discarded_sensors
+        self.discarded_sensors.as_slice()
     }
 
     /// The spatial probability lattice (Figures 5–6).
@@ -125,9 +187,11 @@ impl FusionResult {
     /// no live readings exist.
     #[must_use]
     pub fn best_estimate(&self) -> Option<Estimate> {
-        let minimal = self.lattice.minimal_regions();
-        let best = minimal
-            .into_iter()
+        let best = self
+            .lattice
+            .minimal_region_slice()
+            .iter()
+            .copied()
             .filter(|&id| id != self.lattice.top())
             .max_by(|&a, &b| {
                 let pa = self.lattice.probability(a).unwrap_or(0.0);
@@ -171,13 +235,23 @@ impl FusionResult {
     }
 
     /// The union MBR of the surviving sensor evidence, or `None` with no
-    /// live evidence. Trigger matching prunes watched regions against
-    /// this window.
+    /// live evidence.
     #[must_use]
     pub fn evidence_window(&self) -> Option<Rect> {
         let mut rects = self.lattice.evidence().iter().map(|e| e.region);
         let first = rects.next()?;
         Some(rects.fold(first, |acc, r| acc.union(&r)))
+    }
+
+    /// The individual surviving evidence rectangles, in evidence order.
+    /// Trigger matching prunes watched regions against these — per
+    /// rect, not the union MBR of
+    /// [`evidence_window`](FusionResult::evidence_window): when a
+    /// fast-moving object holds one aged reading and one fresh reading
+    /// far apart, the union box sweeps every watched region *between*
+    /// them, none of which the evidence actually touches.
+    pub fn evidence_regions(&self) -> impl Iterator<Item = Rect> + '_ {
+        self.lattice.evidence().iter().map(|e| e.region)
     }
 }
 
@@ -289,61 +363,75 @@ impl FusionEngine {
     ) -> FusionResult {
         let started = std::time::Instant::now();
         // 1. Keep only live readings from non-quarantined sensors,
-        //    applying the aging motion model.
-        let live: Vec<&SensorReading> = readings
-            .iter()
-            .filter(|r| {
-                !quarantined.contains(&r.sensor_id)
-                    && !r.is_expired(now)
-                    && r.hit_probability_at(now) > 0.0
-            })
-            .collect();
-        let live_owned: Vec<SensorReading> = live
-            .iter()
-            .map(|r| {
-                let mut owned = (*r).clone();
-                owned.region = self.aged_region(r, now);
-                owned
-            })
-            .collect();
+        //    applying the aging motion model. Indices into `readings`
+        //    plus a parallel aged-region buffer replace the historical
+        //    owned filtered `Vec` — no cloning, no allocation.
+        let mut live: SmallBuf<u32, READINGS_INLINE> = SmallBuf::default();
+        let mut aged: SmallBuf<Rect, READINGS_INLINE> =
+            SmallBuf::filled(&Rect::from_point(Point::ORIGIN));
+        #[allow(clippy::cast_possible_truncation)]
+        for (i, r) in readings.iter().enumerate() {
+            if !quarantined.contains(&r.sensor_id)
+                && !r.is_expired(now)
+                && r.hit_probability_at(now) > 0.0
+            {
+                live.push(i as u32);
+                aged.push(self.aged_region(r, now));
+            }
+        }
 
-        // 2. Conflict resolution between disjoint components.
-        let conflict = conflict::resolve(&live_owned, &self.universe, now);
+        // 2. Conflict resolution between disjoint components. Outcome
+        //    indices refer to positions in the `live` view, exactly as
+        //    they referred to the filtered list before.
+        let conflict = conflict::resolve_subset(
+            readings,
+            live.as_slice(),
+            aged.as_slice(),
+            &self.universe,
+            now,
+        );
 
-        // 3. Evidence for the survivors, with temporally degraded p_i.
-        let evidence: Vec<SensorEvidence> = conflict
-            .kept
-            .iter()
-            .map(|&i| {
-                let r = &live_owned[i];
-                SensorEvidence::new(
-                    r.region,
-                    r.hit_probability_at(now),
-                    r.false_positive_probability(self.universe.area()),
-                )
-            })
-            .collect();
+        // 3. Evidence for the survivors, with temporally degraded p_i,
+        //    and band thresholds from the (pre-degradation) accuracies.
+        let mut evidence: SmallBuf<SensorEvidence, READINGS_INLINE> = SmallBuf::default();
+        let mut ps: SmallBuf<f64, READINGS_INLINE> = SmallBuf::default();
+        for &k in conflict.kept.as_slice() {
+            let r = &readings[live.as_slice()[k] as usize];
+            evidence.push(SensorEvidence::new(
+                aged.as_slice()[k],
+                r.hit_probability_at(now),
+                r.false_positive_probability(self.universe.area()),
+            ));
+            ps.push(r.spec.hit_probability());
+        }
+        let thresholds = BandThresholds::from_sensor_accuracies(ps.as_slice());
 
-        // 4. Band thresholds from the (pre-degradation) sensor accuracies.
-        let ps: Vec<f64> = conflict
-            .kept
-            .iter()
-            .map(|&i| live_owned[i].spec.hit_probability())
-            .collect();
-        let thresholds = BandThresholds::from_sensor_accuracies(&ps);
+        // Sensor ids are `Arc<str>`s: cloning bumps a refcount, and the
+        // inline buffers are pre-filled from one shared empty id.
+        static EMPTY_ID: std::sync::OnceLock<SensorId> = std::sync::OnceLock::new();
+        let empty_id = EMPTY_ID.get_or_init(|| SensorId::from(""));
+        let mut kept_sensors: SmallBuf<SensorId, READINGS_INLINE> = SmallBuf::filled(empty_id);
+        for &k in conflict.kept.as_slice() {
+            kept_sensors.push(readings[live.as_slice()[k] as usize].sensor_id.clone());
+        }
+        let mut discarded_sensors: SmallBuf<SensorId, READINGS_INLINE> = SmallBuf::filled(empty_id);
+        for &k in conflict.discarded.as_slice() {
+            discarded_sensors.push(readings[live.as_slice()[k] as usize].sensor_id.clone());
+        }
 
-        let kept_sensors = conflict
-            .kept
-            .iter()
-            .map(|&i| live_owned[i].sensor_id.clone())
-            .collect();
-        let discarded_sensors = conflict
-            .discarded
-            .iter()
-            .map(|&i| live_owned[i].sensor_id.clone())
-            .collect();
+        // Value fingerprint over exactly what every pure read path
+        // consumes: the universe and the surviving evidence.
+        let mut fnv = Fnv64::new();
+        fnv.rect(&self.universe);
+        fnv.word(evidence.len() as u64);
+        for e in evidence.as_slice() {
+            fnv.rect(&e.region);
+            fnv.f64_bits(e.hit);
+            fnv.f64_bits(e.false_positive);
+        }
+        let fingerprint = fnv.finish();
 
-        let lattice = RegionLattice::build(self.universe, evidence)
+        let lattice = RegionLattice::build_from_buf(self.universe, evidence)
             .expect("engine universe has positive area");
         let result = FusionResult {
             lattice,
@@ -351,6 +439,7 @@ impl FusionEngine {
             thresholds,
             kept_sensors,
             discarded_sensors,
+            fingerprint,
         };
         if let Some(metrics) = &self.metrics {
             metrics.record(&result, started.elapsed());

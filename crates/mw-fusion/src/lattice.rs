@@ -10,16 +10,29 @@
 //! empty region). The children of a node are the maximal regions strictly
 //! contained in it (a Hasse diagram). Object queries read the parents of
 //! Bottom — the smallest, most specific regions (§4.2).
+//!
+//! # Storage
+//!
+//! Nodes, Hasse edges and evidence indices live in flat arenas with
+//! inline small-buffer storage ([`SmallBuf`]): a node's parent/child
+//! lists are `(start, len)` ranges into two shared edge arenas rather
+//! than per-node `Vec`s, and the per-node evidence lists of merged
+//! sensor rectangles are ranges into a shared index arena. For the
+//! typical fuse (≤ 8 readings, a dozen lattice nodes) building a
+//! lattice therefore performs **zero heap allocations**; larger
+//! lattices spill to the heap transparently. Edge *ordering* is
+//! identical to the historical per-node-`Vec` construction (every list
+//! ascends by node index), so traversal, `best_estimate` tie-breaking
+//! and posteriors are bit-identical.
 
-use std::collections::BTreeMap;
-
-use mw_geometry::Rect;
+use mw_geometry::{Point, Rect};
 
 use crate::bayes::{posterior_general, SensorEvidence};
+use crate::smallbuf::SmallBuf;
 use crate::FusionError;
 
 /// Index of a node within a [`RegionLattice`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct NodeId(usize);
 
 impl NodeId {
@@ -31,36 +44,81 @@ impl NodeId {
 }
 
 /// What a lattice node represents.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum NodeKind {
     /// The universe (everything): the lattice Top.
     Top,
     /// The empty region: the lattice Bottom.
+    #[default]
     Bottom,
-    /// A rectangle reported directly by the sensors with these evidence
-    /// indices (several sensors may report the identical rectangle).
-    Sensor(Vec<usize>),
+    /// A rectangle reported directly by the sensors. Several sensors may
+    /// report the identical rectangle; the reporting evidence indices
+    /// are `count` entries starting at `first` in the lattice's shared
+    /// index arena (see [`RegionLattice::evidence_indices`]).
+    Sensor {
+        /// Start of this node's evidence-index run in the shared arena.
+        first: u32,
+        /// Number of evidence entries that reported this rectangle.
+        count: u32,
+    },
     /// A region formed by intersecting sensor rectangles.
     Intersection,
     /// A region inserted by a query or a trigger subscription (§4.2–4.3).
     Query,
 }
 
-#[derive(Debug, Clone)]
+/// A `(start, len)` run inside one of the shared edge arenas.
+#[derive(Debug, Clone, Copy, Default)]
+struct EdgeRange {
+    start: u32,
+    len: u32,
+}
+
+impl EdgeRange {
+    fn as_range(self) -> std::ops::Range<usize> {
+        self.start as usize..(self.start + self.len) as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
 struct Node {
     region: Rect,
     kind: NodeKind,
-    parents: Vec<NodeId>,
-    children: Vec<NodeId>,
+    parents: EdgeRange,
+    children: EdgeRange,
     probability: f64,
 }
+
+impl Default for Node {
+    fn default() -> Self {
+        Node {
+            region: Rect::from_point(Point::ORIGIN),
+            kind: NodeKind::Bottom,
+            parents: EdgeRange::default(),
+            children: EdgeRange::default(),
+            probability: 0.0,
+        }
+    }
+}
+
+/// Inline capacities: a typical fuse is 1–3 readings (≤ 8 by design),
+/// whose lattice stays within these bounds — larger ones spill.
+const NODES_INLINE: usize = 12;
+const EDGES_INLINE: usize = 24;
+const EVIDENCE_INLINE: usize = 8;
 
 /// The containment lattice over sensor rectangles and their intersections.
 #[derive(Debug, Clone)]
 pub struct RegionLattice {
     universe: Rect,
-    nodes: Vec<Node>,
-    evidence: Vec<SensorEvidence>,
+    nodes: SmallBuf<Node, NODES_INLINE>,
+    /// Parent-edge arena; a node's parents are `node.parents.as_range()`.
+    parent_edges: SmallBuf<NodeId, EDGES_INLINE>,
+    /// Child-edge arena; a node's children are `node.children.as_range()`.
+    child_edges: SmallBuf<NodeId, EDGES_INLINE>,
+    /// Evidence-index arena for merged sensor rectangles.
+    evidence_idx: SmallBuf<u32, EVIDENCE_INLINE>,
+    evidence: SmallBuf<SensorEvidence, EVIDENCE_INLINE>,
 }
 
 /// Top is always node 0, Bottom node 1.
@@ -79,62 +137,132 @@ impl RegionLattice {
     /// Returns [`FusionError::DegenerateUniverse`] when `universe` has zero
     /// area.
     pub fn build(universe: Rect, evidence: Vec<SensorEvidence>) -> Result<Self, FusionError> {
+        let mut buf: SmallBuf<SensorEvidence, EVIDENCE_INLINE> = SmallBuf::default();
+        for e in evidence {
+            buf.push(e);
+        }
+        Self::build_from_buf(universe, buf)
+    }
+
+    /// Allocation-free variant of [`RegionLattice::build`] taking the
+    /// evidence in its final inline-buffer form (the engine's hot path).
+    pub(crate) fn build_from_buf(
+        universe: Rect,
+        evidence: SmallBuf<SensorEvidence, EVIDENCE_INLINE>,
+    ) -> Result<Self, FusionError> {
         if universe.area() <= 0.0 {
             return Err(FusionError::DegenerateUniverse);
         }
         let mut lattice = RegionLattice {
             universe,
-            nodes: vec![
-                Node {
-                    region: universe,
-                    kind: NodeKind::Top,
-                    parents: Vec::new(),
-                    children: Vec::new(),
-                    probability: 1.0,
-                },
-                Node {
-                    region: Rect::from_point(universe.min()),
-                    kind: NodeKind::Bottom,
-                    parents: Vec::new(),
-                    children: Vec::new(),
-                    probability: 0.0,
-                },
-            ],
+            nodes: SmallBuf::default(),
+            parent_edges: SmallBuf::default(),
+            child_edges: SmallBuf::default(),
+            evidence_idx: SmallBuf::default(),
             evidence,
         };
+        lattice.nodes.push(Node {
+            region: universe,
+            kind: NodeKind::Top,
+            parents: EdgeRange::default(),
+            children: EdgeRange::default(),
+            probability: 1.0,
+        });
+        lattice.nodes.push(Node {
+            region: Rect::from_point(universe.min()),
+            kind: NodeKind::Bottom,
+            parents: EdgeRange::default(),
+            children: EdgeRange::default(),
+            probability: 0.0,
+        });
 
-        // Collect distinct rectangles: sensor rects first, then pairwise
-        // intersections that are new.
-        let mut region_nodes: BTreeMap<RectKey, NodeId> = BTreeMap::new();
+        // Distinct sensor rectangles, merged bit-exactly (RectKey), in
+        // first-occurrence order — identical node numbering to the
+        // historical BTreeMap construction. `ev_node[i]` is the node
+        // that evidence entry `i` landed on.
+        let mut ev_node: SmallBuf<u32, EVIDENCE_INLINE> = SmallBuf::default();
         for i in 0..lattice.evidence.len() {
-            let rect = lattice.evidence[i].region;
-            let key = RectKey::from(&rect);
-            match region_nodes.get(&key) {
-                Some(&id) => {
-                    if let NodeKind::Sensor(list) = &mut lattice.nodes[id.0].kind {
-                        list.push(i);
+            let key = RectKey::from(&lattice.evidence.as_slice()[i].region);
+            let existing = (2..lattice.nodes.len())
+                .find(|&n| RectKey::from(&lattice.nodes.as_slice()[n].region) == key);
+            match existing {
+                Some(n) => {
+                    if let NodeKind::Sensor { count, .. } =
+                        &mut lattice.nodes.as_mut_slice()[n].kind
+                    {
+                        *count += 1;
                     }
+                    #[allow(clippy::cast_possible_truncation)]
+                    ev_node.push(n as u32);
                 }
                 None => {
-                    let id = lattice.push_node(rect, NodeKind::Sensor(vec![i]));
-                    region_nodes.insert(key, id);
+                    let region = lattice.evidence.as_slice()[i].region;
+                    let n = lattice.nodes.len();
+                    lattice.nodes.push(Node {
+                        region,
+                        kind: NodeKind::Sensor { first: 0, count: 1 },
+                        parents: EdgeRange::default(),
+                        children: EdgeRange::default(),
+                        probability: 0.0,
+                    });
+                    #[allow(clippy::cast_possible_truncation)]
+                    ev_node.push(n as u32);
                 }
             }
         }
-        let sensor_rects: Vec<Rect> = lattice
-            .nodes
-            .iter()
-            .filter(|n| matches!(n.kind, NodeKind::Sensor(_)))
-            .map(|n| n.region)
-            .collect();
-        for (i, a) in sensor_rects.iter().enumerate() {
-            for b in sensor_rects.iter().skip(i + 1) {
-                if let Some(c) = a.intersection(b) {
+        // Lay the per-node evidence-index runs out contiguously (runs
+        // ascend within a node because evidence is scanned in order).
+        let sensor_end = lattice.nodes.len();
+        let mut cursor = 0u32;
+        for n in 2..sensor_end {
+            if let NodeKind::Sensor { first, count } = &mut lattice.nodes.as_mut_slice()[n].kind {
+                *first = cursor;
+                cursor += *count;
+            }
+        }
+        for _ in 0..ev_node.len() {
+            lattice.evidence_idx.push(0);
+        }
+        {
+            let mut placed: SmallBuf<u32, NODES_INLINE> = SmallBuf::default();
+            for _ in 0..sensor_end {
+                placed.push(0);
+            }
+            for (i, &n) in ev_node.as_slice().iter().enumerate() {
+                let NodeKind::Sensor { first, .. } = lattice.nodes.as_slice()[n as usize].kind
+                else {
+                    unreachable!("evidence maps onto sensor nodes only");
+                };
+                let slot = first + placed.as_slice()[n as usize];
+                #[allow(clippy::cast_possible_truncation)]
+                {
+                    lattice.evidence_idx.as_mut_slice()[slot as usize] = i as u32;
+                }
+                placed.as_mut_slice()[n as usize] += 1;
+            }
+        }
+
+        // Distinct pairwise intersections, in pair order — again the
+        // historical node numbering (the BTreeMap only deduplicated;
+        // insertion order decided indices).
+        for a in 2..sensor_end {
+            for b in (a + 1)..sensor_end {
+                let ra = lattice.nodes.as_slice()[a].region;
+                let rb = lattice.nodes.as_slice()[b].region;
+                if let Some(c) = ra.intersection(&rb) {
                     if c.area() > 0.0 {
                         let key = RectKey::from(&c);
-                        region_nodes
-                            .entry(key)
-                            .or_insert_with(|| lattice.push_node(c, NodeKind::Intersection));
+                        let known = (2..lattice.nodes.len())
+                            .any(|n| RectKey::from(&lattice.nodes.as_slice()[n].region) == key);
+                        if !known {
+                            lattice.nodes.push(Node {
+                                region: c,
+                                kind: NodeKind::Intersection,
+                                parents: EdgeRange::default(),
+                                children: EdgeRange::default(),
+                                probability: 0.0,
+                            });
+                        }
                     }
                 }
             }
@@ -178,7 +306,20 @@ impl RegionLattice {
     /// The evidence the lattice was built from.
     #[must_use]
     pub fn evidence(&self) -> &[SensorEvidence] {
-        &self.evidence
+        self.evidence.as_slice()
+    }
+
+    /// The evidence entries that reported a [`NodeKind::Sensor`] node's
+    /// rectangle (indices into [`RegionLattice::evidence`], ascending).
+    /// Empty for non-sensor nodes or stale ids.
+    #[must_use]
+    pub fn evidence_indices(&self, id: NodeId) -> &[u32] {
+        match self.node(id).map(|n| n.kind) {
+            Ok(NodeKind::Sensor { first, count }) => {
+                &self.evidence_idx.as_slice()[first as usize..(first + count) as usize]
+            }
+            _ => &[],
+        }
     }
 
     /// The node's rectangle.
@@ -195,8 +336,8 @@ impl RegionLattice {
     /// # Errors
     ///
     /// Returns [`FusionError::UnknownNode`] for a stale id.
-    pub fn kind(&self, id: NodeId) -> Result<&NodeKind, FusionError> {
-        self.node(id).map(|n| &n.kind)
+    pub fn kind(&self, id: NodeId) -> Result<NodeKind, FusionError> {
+        self.node(id).map(|n| n.kind)
     }
 
     /// The Equation-7 posterior of the node's region.
@@ -215,7 +356,8 @@ impl RegionLattice {
     ///
     /// Returns [`FusionError::UnknownNode`] for a stale id.
     pub fn parents(&self, id: NodeId) -> Result<&[NodeId], FusionError> {
-        self.node(id).map(|n| n.parents.as_slice())
+        self.node(id)
+            .map(|n| &self.parent_edges.as_slice()[n.parents.as_range()])
     }
 
     /// Direct children in the Hasse diagram (maximal contained regions).
@@ -224,7 +366,8 @@ impl RegionLattice {
     ///
     /// Returns [`FusionError::UnknownNode`] for a stale id.
     pub fn children(&self, id: NodeId) -> Result<&[NodeId], FusionError> {
-        self.node(id).map(|n| n.children.as_slice())
+        self.node(id)
+            .map(|n| &self.child_edges.as_slice()[n.children.as_range()])
     }
 
     /// Ids of every real region node (excludes Top and Bottom).
@@ -233,10 +376,17 @@ impl RegionLattice {
     }
 
     /// The parents of Bottom: the minimal (most specific) regions. §4.2
-    /// reads the object's location from these.
+    /// reads the object's location from these. Allocation-free view;
+    /// [`RegionLattice::minimal_regions`] is the owned variant.
+    #[must_use]
+    pub fn minimal_region_slice(&self) -> &[NodeId] {
+        &self.parent_edges.as_slice()[self.nodes.as_slice()[BOTTOM.0].parents.as_range()]
+    }
+
+    /// The parents of Bottom as an owned list.
     #[must_use]
     pub fn minimal_regions(&self) -> Vec<NodeId> {
-        self.nodes[BOTTOM.0].parents.clone()
+        self.minimal_region_slice().to_vec()
     }
 
     /// Inserts a query/trigger region into the lattice, wiring containment
@@ -245,10 +395,17 @@ impl RegionLattice {
     /// §4.2: "we approximate the region with a minimum bounding rectangle
     /// and insert this into the lattice."
     pub fn insert_query_region(&mut self, region: Rect) -> NodeId {
-        let id = self.push_node(region, NodeKind::Query);
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            region,
+            kind: NodeKind::Query,
+            parents: EdgeRange::default(),
+            children: EdgeRange::default(),
+            probability: 0.0,
+        });
         self.rebuild_edges();
-        let p = posterior_general(&self.evidence, &region, &self.universe);
-        self.nodes[id.0].probability = p;
+        let p = posterior_general(self.evidence.as_slice(), &region, &self.universe);
+        self.nodes.as_mut_slice()[id.0].probability = p;
         id
     }
 
@@ -268,9 +425,14 @@ impl RegionLattice {
         // rebuild the whole lattice from the remaining evidence (stray
         // intersection nodes of the removed rectangle disappear too).
         // Query nodes are not preserved; callers re-insert them.
-        let region = self.nodes[id.0].region;
-        self.evidence.retain(|e| e.region != region);
-        let rebuilt = RegionLattice::build(self.universe, std::mem::take(&mut self.evidence))?;
+        let region = self.nodes.as_slice()[id.0].region;
+        let mut evidence: SmallBuf<SensorEvidence, EVIDENCE_INLINE> = SmallBuf::default();
+        for e in self.evidence.as_slice() {
+            if e.region != region {
+                evidence.push(*e);
+            }
+        }
+        let rebuilt = RegionLattice::build_from_buf(self.universe, evidence)?;
         *self = rebuilt;
         Ok(())
     }
@@ -286,114 +448,173 @@ impl RegionLattice {
         // Only real regions: with no evidence, Bottom hangs directly off
         // Top, which is not a location estimate.
         let minimal: Vec<NodeId> = self
-            .minimal_regions()
-            .into_iter()
+            .minimal_region_slice()
+            .iter()
+            .copied()
             .filter(|id| id.0 >= 2)
             .collect();
-        let total: f64 = minimal.iter().map(|id| self.nodes[id.0].probability).sum();
+        let total: f64 = minimal
+            .iter()
+            .map(|id| self.nodes.as_slice()[id.0].probability)
+            .sum();
         if total <= 0.0 {
             return Vec::new();
         }
         minimal
             .into_iter()
-            .map(|id| (id, self.nodes[id.0].probability / total))
+            .map(|id| (id, self.nodes.as_slice()[id.0].probability / total))
             .collect()
     }
 
     fn node(&self, id: NodeId) -> Result<&Node, FusionError> {
         self.nodes
+            .as_slice()
             .get(id.0)
             .ok_or(FusionError::UnknownNode { index: id.0 })
     }
 
-    fn push_node(&mut self, region: Rect, kind: NodeKind) -> NodeId {
-        let id = NodeId(self.nodes.len());
-        self.nodes.push(Node {
-            region,
-            kind,
-            parents: Vec::new(),
-            children: Vec::new(),
-            probability: 0.0,
-        });
-        id
-    }
-
-    /// Recomputes the Hasse diagram from scratch.
+    /// Recomputes the Hasse diagram from scratch into the edge arenas.
     ///
     /// An edge `a → b` (a parent of b) exists when `b ⊂ a` strictly and no
     /// region c satisfies `b ⊂ c ⊂ a`. Top contains every region; Bottom
-    /// is a child of every minimal region.
+    /// is a child of every minimal region. Every per-node list ascends by
+    /// node index — exactly the order the historical per-node-`Vec`
+    /// construction produced.
     fn rebuild_edges(&mut self) {
         let n = self.nodes.len();
-        for node in &mut self.nodes {
-            node.parents.clear();
-            node.children.clear();
+        self.parent_edges.clear();
+        self.child_edges.clear();
+        for node in self.nodes.as_mut_slice() {
+            node.parents = EdgeRange::default();
+            node.children = EdgeRange::default();
         }
-        let regions: Vec<Rect> = self.nodes.iter().map(|node| node.region).collect();
+        if n == 2 {
+            // Empty lattice: Bottom directly under Top.
+            self.child_edges.push(BOTTOM);
+            self.parent_edges.push(TOP);
+            self.nodes.as_mut_slice()[TOP.0].children = EdgeRange { start: 0, len: 1 };
+            self.nodes.as_mut_slice()[BOTTOM.0].parents = EdgeRange { start: 0, len: 1 };
+            return;
+        }
         // Strict containment among the real regions. Identical rectangles
         // are merged at build time, so ties cannot occur between sensor
         // nodes; a query node may duplicate an existing rectangle, in
         // which case area-equality breaks the tie by index order.
+        let nodes = self.nodes.as_slice();
         let contains = |a: usize, b: usize| -> bool {
             if a == b {
                 return false;
             }
-            if regions[a] == regions[b] {
+            if nodes[a].region == nodes[b].region {
                 // Tie: treat lower index as the container to keep the
                 // relation antisymmetric.
                 return a < b;
             }
-            regions[a].contains_rect(&regions[b])
+            nodes[a].region.contains_rect(&nodes[b].region)
         };
+        let immediate = |a: usize, b: usize| -> bool {
+            contains(a, b) && !(2..n).any(|c| c != a && contains(a, c) && contains(c, b))
+        };
+
+        // All Hasse pairs `(parent, child)` in child-ascending order;
+        // parents of each child are contiguous and ascending, so the
+        // parent arena fills directly in this loop.
+        let mut pairs: SmallBuf<(u32, u32), 64> = SmallBuf::default();
+        #[allow(clippy::cast_possible_truncation)]
         for b in 2..n {
-            // Candidate parents: all strict containers of b.
-            let containers: Vec<usize> = (2..n).filter(|&a| contains(a, b)).collect();
-            // Keep only immediate ones.
-            let mut immediate: Vec<usize> = Vec::new();
-            'outer: for &a in &containers {
-                for &c in &containers {
-                    if c != a && contains(a, c) {
-                        continue 'outer; // a contains c contains b: not immediate
-                    }
+            let start = pairs.len() as u32;
+            for a in 2..n {
+                if immediate(a, b) {
+                    pairs.push((a as u32, b as u32));
                 }
-                immediate.push(a);
             }
-            if immediate.is_empty() {
+            if pairs.len() as u32 == start {
                 // Directly under Top.
-                self.nodes[TOP.0].children.push(NodeId(b));
-                self.nodes[b].parents.push(TOP);
-            } else {
-                for a in immediate {
-                    self.nodes[a].children.push(NodeId(b));
-                    self.nodes[b].parents.push(NodeId(a));
+                pairs.push((TOP.0 as u32, b as u32));
+            }
+        }
+        // Per-parent child counts, accumulated into the `len` field.
+        for &(a, _) in pairs.as_slice() {
+            self.nodes.as_mut_slice()[a as usize].children.len += 1;
+        }
+        // Bottom under every childless region (ascending).
+        #[allow(clippy::cast_possible_truncation)]
+        for i in 2..n {
+            if self.nodes.as_slice()[i].children.len == 0 {
+                pairs.push((i as u32, BOTTOM.0 as u32));
+                self.nodes.as_mut_slice()[i].children.len = 1;
+            }
+        }
+
+        // Parent arena: the pair list is already grouped by child in
+        // child order (region children first, then Bottom), each group
+        // ascending by parent.
+        {
+            let mut run_start = 0usize;
+            let mut run_child = u32::MAX;
+            for (i, &(_, b)) in pairs.as_slice().iter().enumerate() {
+                if b != run_child {
+                    if run_child != u32::MAX {
+                        #[allow(clippy::cast_possible_truncation)]
+                        {
+                            self.nodes.as_mut_slice()[run_child as usize].parents = EdgeRange {
+                                start: run_start as u32,
+                                len: (i - run_start) as u32,
+                            };
+                        }
+                    }
+                    run_child = b;
+                    run_start = i;
+                }
+                self.parent_edges
+                    .push(NodeId(pairs.as_slice()[i].0 as usize));
+            }
+            if run_child != u32::MAX {
+                #[allow(clippy::cast_possible_truncation)]
+                {
+                    self.nodes.as_mut_slice()[run_child as usize].parents = EdgeRange {
+                        start: run_start as u32,
+                        len: (pairs.len() - run_start) as u32,
+                    };
                 }
             }
         }
-        // Bottom under every childless region.
-        for i in 2..n {
-            if self.nodes[i].children.is_empty() {
-                self.nodes[i].children.push(BOTTOM);
-                self.nodes[BOTTOM.0].parents.push(NodeId(i));
-            }
+
+        // Child arena: prefix-sum the counts into start offsets, then
+        // place children by iterating pairs in generation order (child
+        // ascending), which fills each parent's run ascending.
+        let mut running = 0u32;
+        for node in self.nodes.as_mut_slice() {
+            node.children.start = running;
+            running += node.children.len;
         }
-        if n == 2 {
-            // Empty lattice: Bottom directly under Top.
-            self.nodes[TOP.0].children.push(BOTTOM);
-            self.nodes[BOTTOM.0].parents.push(TOP);
+        for _ in 0..running {
+            self.child_edges.push(NodeId(0));
+        }
+        let mut placed: SmallBuf<u32, NODES_INLINE> = SmallBuf::default();
+        for _ in 0..n {
+            placed.push(0);
+        }
+        for &(a, b) in pairs.as_slice() {
+            let slot =
+                self.nodes.as_slice()[a as usize].children.start + placed.as_slice()[a as usize];
+            self.child_edges.as_mut_slice()[slot as usize] = NodeId(b as usize);
+            placed.as_mut_slice()[a as usize] += 1;
         }
     }
 
     fn recompute_probabilities(&mut self) {
         for i in 2..self.nodes.len() {
-            let region = self.nodes[i].region;
-            self.nodes[i].probability = posterior_general(&self.evidence, &region, &self.universe);
+            let region = self.nodes.as_slice()[i].region;
+            self.nodes.as_mut_slice()[i].probability =
+                posterior_general(self.evidence.as_slice(), &region, &self.universe);
         }
-        self.nodes[TOP.0].probability = 1.0;
-        self.nodes[BOTTOM.0].probability = 0.0;
+        self.nodes.as_mut_slice()[TOP.0].probability = 1.0;
+        self.nodes.as_mut_slice()[BOTTOM.0].probability = 0.0;
     }
 }
 
-/// Total-ordering key for rectangle deduplication.
+/// Total-ordering key for bit-exact rectangle deduplication.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct RectKey([u64; 4]);
 
@@ -411,7 +632,6 @@ impl From<&Rect> for RectKey {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mw_geometry::Point;
 
     fn r(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
         Rect::new(Point::new(x0, y0), Point::new(x1, y1))
@@ -584,9 +804,10 @@ mod tests {
         assert_eq!(l.len(), 3);
         let minimal = l.minimal_regions();
         match l.kind(minimal[0]).unwrap() {
-            NodeKind::Sensor(list) => assert_eq!(list.len(), 2),
+            NodeKind::Sensor { count, .. } => assert_eq!(count, 2),
             other => panic!("expected merged sensor node, got {other:?}"),
         }
+        assert_eq!(l.evidence_indices(minimal[0]), &[0, 1]);
     }
 
     #[test]
@@ -613,5 +834,28 @@ mod tests {
             l.probability(bogus),
             Err(FusionError::UnknownNode { index: 99 })
         ));
+    }
+
+    #[test]
+    fn typical_lattices_stay_inline() {
+        // One and three readings — the hot-path shapes — must not spill
+        // any arena (the allocation-free guarantee the bench gates).
+        let l1 = RegionLattice::build(universe(), vec![ev(r(10.0, 10.0, 20.0, 20.0))]).unwrap();
+        assert!(!l1.nodes.spilled());
+        assert!(!l1.parent_edges.spilled());
+        assert!(!l1.child_edges.spilled());
+        assert!(!l1.evidence.spilled());
+        let l3 = RegionLattice::build(
+            universe(),
+            vec![
+                ev(r(0.0, 0.0, 20.0, 20.0)),
+                ev(r(10.0, 10.0, 30.0, 30.0)),
+                ev(r(15.0, 15.0, 25.0, 25.0)),
+            ],
+        )
+        .unwrap();
+        assert!(!l3.nodes.spilled());
+        assert!(!l3.parent_edges.spilled());
+        assert!(!l3.child_edges.spilled());
     }
 }

@@ -60,6 +60,7 @@ mod engine;
 mod error;
 mod lattice;
 mod shared;
+mod smallbuf;
 
 pub use classify::{BandThresholds, ProbabilityBand};
 pub use conflict::{ConflictOutcome, ConflictRule};
@@ -67,6 +68,7 @@ pub use engine::{Estimate, FusionEngine, FusionResult};
 pub use error::FusionError;
 pub use lattice::{NodeId, NodeKind, RegionLattice};
 pub use shared::SharedFusion;
+pub use smallbuf::SmallBuf;
 
 // The parallel ingest pipeline (mw-core) ships fusion results between
 // worker threads: `FusionResult` crosses as `Arc<FusionResult>` inside

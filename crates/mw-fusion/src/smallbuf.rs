@@ -1,0 +1,274 @@
+//! A contiguous growable buffer with inline storage for the first `N`
+//! elements — the allocation-free backbone of the fuse hot path.
+//!
+//! The typical fusion pass handles well under eight readings per object
+//! (one badge sighting, occasionally a couple of reinforcing sensors),
+//! yet the legacy pipeline heap-allocated a dozen `Vec`s per fuse:
+//! evidence lists, lattice nodes, per-node parent/child edge lists,
+//! conflict survivor sets. [`SmallBuf`] keeps those collections inline
+//! on the stack (or inside the owning struct) until they outgrow `N`,
+//! at which point it spills to an ordinary `Vec` — same contents, same
+//! iteration order, one allocation instead of none, and only for the
+//! atypical large case.
+//!
+//! No `unsafe`: the inline storage is a plain `[T; N]` pre-filled with
+//! placeholder values (default or caller-provided), so spilling simply
+//! clones the live prefix into the heap vector. All element access goes
+//! through [`SmallBuf::as_slice`], which always returns one contiguous
+//! slice regardless of which storage is active.
+
+/// A `Vec`-like buffer storing up to `N` elements inline.
+///
+/// Dereferences to `[T]`, so `len()`, `iter()`, indexing and slice
+/// patterns all work as usual. Pushing past `N` moves the contents into
+/// a heap `Vec` (one allocation); [`SmallBuf::clear`] returns to inline
+/// storage while keeping any spilled capacity for reuse.
+#[derive(Clone)]
+pub struct SmallBuf<T, const N: usize> {
+    /// Number of live elements (inline *or* spilled).
+    len: usize,
+    /// Inline storage; only `..len` is meaningful while not spilled.
+    inline: [T; N],
+    /// Spill storage. Invariant: when non-empty it holds *all* live
+    /// elements and `inline` contents are stale placeholders.
+    spill: Vec<T>,
+}
+
+impl<T: Default, const N: usize> Default for SmallBuf<T, N> {
+    fn default() -> Self {
+        SmallBuf {
+            len: 0,
+            inline: std::array::from_fn(|_| T::default()),
+            spill: Vec::new(),
+        }
+    }
+}
+
+impl<T, const N: usize> SmallBuf<T, N> {
+    /// An empty buffer whose inline slots are pre-filled with clones of
+    /// `fill` — for element types without a `Default` (e.g. `Arc<str>`
+    /// sensor ids, where the fill is a clone of one shared empty id).
+    #[must_use]
+    pub fn filled(fill: &T) -> Self
+    where
+        T: Clone,
+    {
+        SmallBuf {
+            len: 0,
+            inline: std::array::from_fn(|_| fill.clone()),
+            spill: Vec::new(),
+        }
+    }
+
+    /// Number of live elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no elements are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` once the buffer has outgrown its inline storage.
+    #[must_use]
+    pub fn spilled(&self) -> bool {
+        !self.spill.is_empty()
+    }
+
+    /// The live elements as one contiguous slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Mutable view of the live elements.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.spill.is_empty() {
+            &mut self.inline[..self.len]
+        } else {
+            &mut self.spill
+        }
+    }
+
+    /// Appends an element, spilling to the heap when the inline storage
+    /// is full. Spilling clones the inline prefix once; the stale inline
+    /// placeholders are never read again.
+    pub fn push(&mut self, value: T)
+    where
+        T: Clone,
+    {
+        if self.spill.is_empty() {
+            if self.len < N {
+                self.inline[self.len] = value;
+                self.len += 1;
+                return;
+            }
+            self.spill.reserve(self.len + 1);
+            self.spill.extend_from_slice(&self.inline[..self.len]);
+        }
+        self.spill.push(value);
+        self.len += 1;
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<T>
+    where
+        T: Clone,
+    {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        if self.spill.is_empty() {
+            Some(self.inline[self.len].clone())
+        } else {
+            self.spill.pop()
+        }
+    }
+
+    /// Empties the buffer. Returns to inline storage; spilled heap
+    /// capacity is kept for reuse (steady-state clears free nothing).
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+}
+
+impl<T, const N: usize> std::ops::Deref for SmallBuf<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T, const N: usize> std::ops::DerefMut for SmallBuf<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: std::fmt::Debug, const N: usize> std::fmt::Debug for SmallBuf<T, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for SmallBuf<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq<Vec<T>> for SmallBuf<T, N> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq<&[T]> for SmallBuf<T, N> {
+    fn eq(&self, other: &&[T]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a SmallBuf<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Clone, const N: usize> Extend<T> for SmallBuf<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_until_capacity() {
+        let mut buf: SmallBuf<u32, 4> = SmallBuf::default();
+        assert!(buf.is_empty());
+        for i in 0..4 {
+            buf.push(i);
+        }
+        assert!(!buf.spilled());
+        assert_eq!(buf.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_preserving_order() {
+        let mut buf: SmallBuf<u32, 2> = SmallBuf::default();
+        for i in 0..5 {
+            buf.push(i);
+        }
+        assert!(buf.spilled());
+        assert_eq!(buf.as_slice(), &[0, 1, 2, 3, 4]);
+        assert_eq!(buf.len(), 5);
+    }
+
+    #[test]
+    fn clear_returns_to_inline() {
+        let mut buf: SmallBuf<u32, 2> = SmallBuf::default();
+        for i in 0..5 {
+            buf.push(i);
+        }
+        buf.clear();
+        assert!(buf.is_empty());
+        buf.push(9);
+        assert!(!buf.spilled(), "clear must fall back to inline storage");
+        assert_eq!(buf.as_slice(), &[9]);
+    }
+
+    #[test]
+    fn pop_both_storages() {
+        let mut buf: SmallBuf<u32, 2> = SmallBuf::default();
+        buf.push(1);
+        buf.push(2);
+        buf.push(3);
+        assert_eq!(buf.pop(), Some(3));
+        assert_eq!(buf.pop(), Some(2));
+        assert_eq!(buf.pop(), Some(1));
+        assert_eq!(buf.pop(), None);
+    }
+
+    #[test]
+    fn filled_works_without_default() {
+        let fill: std::sync::Arc<str> = "".into();
+        let mut buf: SmallBuf<std::sync::Arc<str>, 3> = SmallBuf::filled(&fill);
+        buf.push("a".into());
+        buf.push("b".into());
+        assert_eq!(buf.len(), 2);
+        assert_eq!(&*buf[0], "a");
+    }
+
+    #[test]
+    fn compares_with_vec() {
+        let mut buf: SmallBuf<usize, 4> = SmallBuf::default();
+        buf.push(7);
+        buf.push(8);
+        assert_eq!(buf, vec![7, 8]);
+    }
+
+    #[test]
+    fn mutable_slice_access() {
+        let mut buf: SmallBuf<u32, 4> = SmallBuf::default();
+        buf.push(1);
+        buf.push(2);
+        buf.as_mut_slice()[0] = 10;
+        assert_eq!(buf.as_slice(), &[10, 2]);
+    }
+}

@@ -25,6 +25,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::building::{door_object, rect, room_object, FloorPlan};
+use crate::zipf::{sample_zipf, zipf_cdf};
 
 /// Dimensions and population of a generated city.
 #[derive(Debug, Clone)]
@@ -327,28 +328,6 @@ impl City {
         });
         self.at[i] = to;
         out.push(output);
-    }
-}
-
-/// Cumulative Zipf distribution over ranks `0..n` with exponent `s`.
-fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
-    let mut cdf = Vec::with_capacity(n);
-    let mut total = 0.0;
-    for k in 1..=n {
-        total += 1.0 / (k as f64).powf(s);
-        cdf.push(total);
-    }
-    for v in &mut cdf {
-        *v /= total;
-    }
-    cdf
-}
-
-/// Samples a rank from a [`zipf_cdf`] by binary search.
-fn sample_zipf(cdf: &[f64], rng: &mut StdRng) -> usize {
-    let u: f64 = rng.gen_range(0.0..1.0);
-    match cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite cdf")) {
-        Ok(i) | Err(i) => i.min(cdf.len() - 1),
     }
 }
 

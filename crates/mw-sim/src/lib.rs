@@ -35,6 +35,7 @@ pub mod cluster;
 mod deployment;
 mod person;
 mod simulation;
+pub mod zipf;
 
 pub use building::FloorPlan;
 pub use byzantine::{ByzantineAdapter, ByzantineMode};

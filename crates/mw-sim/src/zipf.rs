@@ -1,0 +1,113 @@
+//! Seeded Zipf sampling, shared by the city generator and the
+//! benchmark workload builders.
+//!
+//! Three sweeps used to carry their own inline copies of this pair
+//! (the concurrent-read arena, the subscription-scale rule pool, and
+//! the city's work-room occupancy); they now all draw from here so the
+//! skew is defined once. The CDF formula is the city generator's
+//! original `1 / k^s` accumulation — bit-for-bit, so city workloads
+//! seeded before the dedupe replay identically.
+
+use rand::Rng;
+
+/// Cumulative Zipf distribution over ranks `0..n` with exponent `s`,
+/// precomputed so sampling is a binary search — no external zipf crate.
+#[must_use]
+pub fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for k in 1..=n {
+        total += 1.0 / (k as f64).powf(s);
+        cdf.push(total);
+    }
+    for v in &mut cdf {
+        *v /= total;
+    }
+    cdf
+}
+
+/// Samples a rank from a [`zipf_cdf`] by binary search. One uniform
+/// draw per sample, so callers replaying a seeded `Rng` get the same
+/// rank sequence the inline samplers produced.
+pub fn sample_zipf<R: Rng>(cdf: &[f64], rng: &mut R) -> usize {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    match cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite cdf")) {
+        Ok(i) | Err(i) => i.min(cdf.len() - 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The CDF is the normalized partial sums of `1/k^s` — pinned
+    /// numerically so a refactor that switches to `k^-s` accumulation
+    /// (or re-normalizes differently) trips this test even though the
+    /// two are mathematically equal.
+    #[test]
+    fn cdf_is_pinned_to_the_reciprocal_power_accumulation() {
+        let n = 100;
+        let s = 1.1;
+        let cdf = zipf_cdf(n, s);
+        assert_eq!(cdf.len(), n);
+        let mut total = 0.0;
+        let mut partial = Vec::with_capacity(n);
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            partial.push(total);
+        }
+        for (i, want) in partial.iter().enumerate() {
+            let want = want / total;
+            assert!(
+                cdf[i].to_bits() == want.to_bits(),
+                "cdf[{i}] drifted: {} vs {want}",
+                cdf[i]
+            );
+        }
+        assert!((cdf[n - 1] - 1.0).abs() < 1e-12, "cdf must end at 1");
+    }
+
+    /// Seeded sampling is deterministic and Zipf-skewed: rank 0 is the
+    /// most popular, the low ranks carry most of the mass, and the same
+    /// seed reproduces the same counts exactly.
+    #[test]
+    fn seeded_sampling_distribution_is_stable_and_skewed() {
+        let cdf = zipf_cdf(100, 1.1);
+        let draw = || {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut counts = [0usize; 100];
+            for _ in 0..20_000 {
+                counts[sample_zipf(&cdf, &mut rng)] += 1;
+            }
+            counts
+        };
+        let counts = draw();
+        assert_eq!(counts, draw(), "same seed must reproduce the same draws");
+        let max = *counts.iter().max().unwrap();
+        assert_eq!(counts[0], max, "rank 0 must be the hottest");
+        let head: usize = counts[..10].iter().sum();
+        let total: usize = counts.iter().sum();
+        assert!(
+            head * 2 > total,
+            "top-10 ranks should carry most of the mass: {head}/{total}"
+        );
+        assert!(
+            counts[0] > 4 * counts[50].max(1),
+            "rank 0 should dwarf mid ranks: {} vs {}",
+            counts[0],
+            counts[50]
+        );
+    }
+
+    /// Every sampled rank is in range, including at the CDF's edges.
+    #[test]
+    fn samples_stay_in_range() {
+        let cdf = zipf_cdf(7, 2.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..5_000 {
+            assert!(sample_zipf(&cdf, &mut rng) < 7);
+        }
+    }
+}
